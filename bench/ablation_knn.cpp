@@ -1,0 +1,85 @@
+// Ablation (design choice from §III-D): how many nearest sampled points
+// should feed the feature vector? The paper fixes k = 5 (23-dim features);
+// this bench sweeps k and reports quality and feature-extraction cost.
+// NOTE: k is a compile-time constant of the shipped pipeline; the sweep is
+// emulated by masking surplus neighbours, i.e. duplicating the k-th
+// neighbour into the unused slots so the information content matches a
+// smaller k while the architecture stays fixed.
+
+#include "common.hpp"
+#include "vf/core/features.hpp"
+#include "vf/nn/trainer.hpp"
+#include "vf/spatial/kdtree.hpp"
+
+namespace {
+
+using vf::nn::Matrix;
+
+/// Rewrite a 23-dim feature matrix so only the first k neighbours carry
+/// information (remaining slots repeat neighbour k-1).
+void mask_neighbors(Matrix& X, int k) {
+  for (std::size_t r = 0; r < X.rows(); ++r) {
+    double* row = X.row(r);
+    for (int j = k; j < vf::core::kNeighbors; ++j) {
+      for (int c = 0; c < 4; ++c) row[4 * j + c] = row[4 * (k - 1) + c];
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace vf;
+  util::Cli cli(argc, argv);
+  util::set_log_level(util::LogLevel::Warn);
+
+  auto ds = data::make_dataset("hurricane");
+  auto truth = ds->generate(bench::bench_dims(*ds), 24.0);
+  sampling::ImportanceSampler sampler;
+  auto cfg = bench::bench_config();
+
+  bench::title("Ablation — feature neighbours k (hurricane " +
+               truth.grid().describe() + ")");
+  bench::row({"k", "snr_1%", "snr_5%"});
+
+  for (int k : {1, 2, 3, 5}) {
+    // Build the standard training set, then mask down to k neighbours.
+    auto set = core::build_training_set(truth, sampler, cfg);
+    mask_neighbors(set.X, k);
+
+    core::FcnnModel model;
+    model.with_gradients = cfg.with_gradients;
+    model.in_norm = core::Normalizer::fit(set.X);
+    model.out_norm = core::Normalizer::fit(set.Y);
+    model.in_norm.apply(set.X);
+    model.out_norm.apply(set.Y);
+    model.net = nn::Network::mlp(core::kFeatureDim, cfg.hidden,
+                                 core::kTargetDimGrad, cfg.seed);
+    nn::TrainOptions topt;
+    topt.epochs = cfg.epochs;
+    topt.batch_size = cfg.batch_size;
+    topt.learning_rate = cfg.learning_rate;
+    nn::Trainer trainer(topt);
+    trainer.fit(model.net, set.X, set.Y);
+
+    std::vector<std::string> cells = {std::to_string(k)};
+    for (double frac : {0.01, 0.05}) {
+      auto cloud = sampler.sample(truth, frac, 99);
+      auto voids = cloud.void_indices();
+      Matrix X = core::extract_features(cloud, truth.grid(), voids);
+      mask_neighbors(X, k);
+      Matrix Y = model.predict(X);
+      field::ScalarField rec(truth.grid(), "rec");
+      const auto& kept = cloud.kept_indices();
+      for (std::size_t i = 0; i < kept.size(); ++i) {
+        rec[kept[i]] = cloud.values()[i];
+      }
+      for (std::size_t i = 0; i < voids.size(); ++i) {
+        rec[voids[i]] = Y(i, 0);
+      }
+      cells.push_back(bench::fmt(field::snr_db(truth, rec)));
+    }
+    bench::row(cells);
+  }
+  return 0;
+}

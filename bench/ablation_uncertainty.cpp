@@ -1,0 +1,61 @@
+// Extension bench (paper §V future work): deep-ensemble uncertainty.
+// Trains an N-member ensemble, reconstructs, and reports (a) the mean's SNR
+// vs the members' individual SNRs and (b) uncertainty calibration: mean
+// absolute error inside each ensemble-stddev decile. A useful uncertainty
+// estimate shows error rising monotonically across deciles.
+
+#include <algorithm>
+
+#include "common.hpp"
+#include "vf/core/ensemble.hpp"
+
+int main(int argc, char** argv) {
+  using namespace vf;
+  util::Cli cli(argc, argv);
+  util::set_log_level(util::LogLevel::Warn);
+
+  auto ds = data::make_dataset("hurricane");
+  auto truth = ds->generate(bench::bench_dims(*ds), 24.0);
+  sampling::ImportanceSampler sampler;
+  const int members = cli.get_int("members", util::quick_mode() ? 2 : 4);
+  const double frac = cli.get_double("fraction", 0.01);
+
+  auto ens = core::EnsembleReconstructor::pretrain(
+      truth, sampler, bench::bench_config(), members);
+  auto cloud = sampler.sample(truth, frac, 7);
+
+  bench::title("Ensemble — member vs mean SNR @" + bench::pct(frac) +
+               " (hurricane " + truth.grid().describe() + ")");
+  bench::row({"model", "snr_db"});
+  for (std::size_t m = 0; m < ens.size(); ++m) {
+    core::FcnnReconstructor rec(ens.member(m).clone());
+    bench::row({"member_" + std::to_string(m),
+                bench::fmt(field::snr_db(
+                    truth, rec.reconstruct(cloud, truth.grid())))});
+  }
+  auto res = ens.reconstruct(cloud, truth.grid());
+  bench::row({"ensemble_mean", bench::fmt(field::snr_db(truth, res.mean))});
+
+  bench::title("Ensemble — error by uncertainty decile");
+  bench::row({"decile", "mean_stddev", "mean_abs_err"});
+  std::vector<std::pair<double, double>> sd_err;
+  sd_err.reserve(static_cast<std::size_t>(truth.size()));
+  for (std::int64_t i = 0; i < truth.size(); ++i) {
+    sd_err.emplace_back(res.stddev[i], std::abs(truth[i] - res.mean[i]));
+  }
+  std::sort(sd_err.begin(), sd_err.end());
+  const std::size_t n = sd_err.size();
+  for (int d = 0; d < 10; ++d) {
+    std::size_t lo = n * static_cast<std::size_t>(d) / 10;
+    std::size_t hi = n * static_cast<std::size_t>(d + 1) / 10;
+    double sd = 0, err = 0;
+    for (std::size_t i = lo; i < hi; ++i) {
+      sd += sd_err[i].first;
+      err += sd_err[i].second;
+    }
+    auto cnt = static_cast<double>(hi - lo);
+    bench::row({std::to_string(d + 1), bench::fmt(sd / cnt, 4),
+                bench::fmt(err / cnt, 4)});
+  }
+  return 0;
+}

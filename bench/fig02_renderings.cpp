@@ -1,0 +1,80 @@
+// Paper Figs 2/3 (qualitative renderings, quantified): volume-render the
+// ground truth and each reconstruction of the combustion (Fig 2) and
+// ionization (Fig 3) datasets at 1% sampling under one transfer function,
+// write the images as PPM files, and score them against the truth render
+// with image PSNR / SSIM. Also compares the mixfrac / density isosurfaces
+// by mean surface distance.
+// Expected shape: FCNN renders closest to the truth; nearest/Shepard
+// renders visibly blocky (low SSIM).
+
+#include <filesystem>
+
+#include "common.hpp"
+#include "vf/interp/methods.hpp"
+#include "vf/vis/marching_cubes.hpp"
+#include "vf/vis/raycast.hpp"
+
+int main(int argc, char** argv) {
+  using namespace vf;
+  util::Cli cli(argc, argv);
+  util::set_log_level(util::LogLevel::Warn);
+  const double frac = cli.get_double("fraction", 0.01);
+  std::filesystem::path outdir = cli.get("out", "bench_renderings");
+  std::filesystem::create_directories(outdir);
+
+  sampling::ImportanceSampler sampler;
+  struct Scene {
+    const char* dataset;
+    vis::ViewAxis axis;
+    double iso_quantile;  // isovalue as a quantile of the value range
+  };
+  for (const Scene& scene : {Scene{"combustion", vis::ViewAxis::Z, 0.5},
+                             Scene{"ionization", vis::ViewAxis::Z, 0.55}}) {
+    auto ds = data::make_dataset(scene.dataset);
+    auto truth = ds->generate(bench::bench_dims(*ds),
+                              ds->timestep_count() / 2.0);
+    auto stats = truth.stats();
+    double iso = stats.min + scene.iso_quantile * (stats.max - stats.min);
+    auto tf = vis::TransferFunction::cool_warm(stats.min, stats.max,
+                                               6.0 / truth.grid().spacing().x);
+    vis::RenderOptions ropt;
+    ropt.axis = scene.axis;
+
+    auto pre = core::pretrain(truth, sampler, bench::bench_config());
+    core::FcnnReconstructor fcnn(std::move(pre.model));
+    auto cloud = sampler.sample(truth, frac, 22);
+
+    auto truth_img = vis::render(truth, tf, ropt);
+    truth_img.write_ppm(
+        (outdir / (std::string(scene.dataset) + "_truth.ppm")).string());
+    auto truth_mesh = vis::extract_isosurface(truth, iso);
+
+    bench::title("Fig 2/3 — rendering & isosurface fidelity @" +
+                 bench::pct(frac) + " (" + scene.dataset + " " +
+                 truth.grid().describe() + ")");
+    bench::row({"method", "img_psnr_db", "img_ssim", "iso_dist_mean"});
+
+    auto evaluate = [&](const std::string& label,
+                        const field::ScalarField& rec) {
+      auto img = vis::render(rec, tf, ropt);
+      img.write_ppm((outdir / (std::string(scene.dataset) + "_" + label +
+                               ".ppm")).string());
+      auto mesh = vis::extract_isosurface(rec, iso);
+      std::string dist = "n/a";
+      if (!mesh.empty() && !truth_mesh.empty()) {
+        dist = bench::fmt(vis::mesh_distance(truth_mesh, mesh, 1500).mean, 4);
+      }
+      bench::row({label, bench::fmt(vis::image_psnr_db(truth_img, img)),
+                  bench::fmt(vis::image_ssim(truth_img, img), 4), dist});
+    };
+
+    evaluate("fcnn", fcnn.reconstruct(cloud, truth.grid()));
+    for (const char* m : {"linear", "natural", "shepard", "nearest"}) {
+      evaluate(m, interp::make_reconstructor(m)->reconstruct(cloud,
+                                                             truth.grid()));
+    }
+  }
+  std::printf("\nrendered images written to %s/\n",
+              std::filesystem::absolute(outdir).c_str());
+  return 0;
+}

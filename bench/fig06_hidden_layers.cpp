@@ -1,0 +1,47 @@
+// Paper Fig 6: average SNR vs number of hidden layers (1-9) on Hurricane
+// Isabel. Expected shape: shallow nets underfit, very deep nets overfit /
+// train poorly; the paper's 5-layer pyramid sits at or near the peak.
+
+#include <cstdio>
+
+#include "common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace vf;
+  util::Cli cli(argc, argv);
+  util::set_log_level(util::LogLevel::Warn);
+
+  auto ds = data::make_dataset("hurricane");
+  auto dims = bench::bench_dims(*ds);
+  const double t = cli.get_double("timestep", 24.0);
+  auto truth = ds->generate(dims, t);
+  sampling::ImportanceSampler sampler;
+
+  // "Average SNR": mean over a few test sampling fractions.
+  std::vector<double> test_fracs = {0.005, 0.01, 0.03};
+
+  bench::title("Fig 6 — SNR vs hidden layer count (hurricane " +
+               truth.grid().describe() + ", t=" + bench::fmt(t, 0) + ")");
+  bench::row({"layers", "widths", "avg_snr_db", "train_s"});
+
+  int max_layers = cli.get_int("max-layers", 9);
+  for (int layers = 1; layers <= max_layers; ++layers) {
+    auto cfg = bench::bench_config();
+    cfg.hidden = core::FcnnConfig::pyramid(layers);
+    auto pre = core::pretrain(truth, sampler, cfg);
+    core::FcnnReconstructor rec(std::move(pre.model));
+
+    double snr_sum = 0.0;
+    for (double frac : test_fracs) {
+      auto cloud = sampler.sample(truth, frac, 1000 + layers);
+      snr_sum += field::snr_db(truth, rec.reconstruct(cloud, truth.grid()));
+    }
+    std::string widths;
+    for (auto w : cfg.hidden) widths += std::to_string(w) + ",";
+    widths.pop_back();
+    bench::row({std::to_string(layers), widths,
+                bench::fmt(snr_sum / static_cast<double>(test_fracs.size())),
+                bench::fmt(pre.history.seconds, 1)});
+  }
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Paper Fig 11: reconstruction quality across the 48 Hurricane Isabel
+// timesteps at 3% sampling.
+// Series: Delaunay linear (per-timestep, from scratch); two FROZEN models
+// pretrained at t=1 and t=25; and the same two models fine-tuned (~10
+// epochs, Case 1) as the simulation advances.
+// Expected shape: frozen models peak at their training timestep and decay
+// away from it; the fine-tuned series stay above linear everywhere.
+
+#include "common.hpp"
+#include "vf/interp/methods.hpp"
+
+int main(int argc, char** argv) {
+  using namespace vf;
+  util::Cli cli(argc, argv);
+  util::set_log_level(util::LogLevel::Warn);
+
+  auto ds = data::make_dataset("hurricane");
+  auto dims = bench::bench_dims(*ds);
+  const double frac = cli.get_double("fraction", 0.03);
+  auto cfg = bench::bench_config();
+  const int ft_epochs = cli.get_int("ft-epochs", 10);
+
+  // Pretrain at the paper's two anchor timesteps.
+  auto truth01 = ds->generate(dims, 1.0);
+  auto truth25 = ds->generate(dims, 25.0);
+  sampling::ImportanceSampler sampler;
+  auto pf01 = core::pretrain(truth01, sampler, cfg);
+  auto pf25 = core::pretrain(truth25, sampler, cfg);
+
+  // Frozen copies + walking fine-tuned copies.
+  auto frozen01 = pf01.model.clone();
+  auto frozen25 = pf25.model.clone();
+  auto tuned01 = pf01.model.clone();
+  auto tuned25 = pf25.model.clone();
+
+  bench::title("Fig 11 — SNR across timesteps @" + bench::pct(frac) +
+               " (hurricane " + truth01.grid().describe() + ")");
+  bench::row({"timestep", "linear", "pf01_frozen", "pf25_frozen",
+              "pf01_ft", "pf25_ft"});
+
+  interp::LinearDelaunayReconstructor linear;
+  for (int t = 0; t < ds->timestep_count(); t += bench::timestep_stride()) {
+    auto truth = ds->generate(dims, t);
+    auto cloud = sampler.sample(truth, frac, 9000 + t);
+
+    double s_lin = field::snr_db(truth, linear.reconstruct(cloud, truth.grid()));
+
+    core::FcnnReconstructor f01(frozen01.clone());
+    core::FcnnReconstructor f25(frozen25.clone());
+    double s_f01 = field::snr_db(truth, f01.reconstruct(cloud, truth.grid()));
+    double s_f25 = field::snr_db(truth, f25.reconstruct(cloud, truth.grid()));
+
+    // Walking fine-tune: adapt the stored model to this timestep, then
+    // reconstruct. Mirrors the paper's "store one model, fine-tune with
+    // newer data as needed" workflow.
+    core::fine_tune(tuned01, truth, sampler, cfg,
+                    core::FineTuneMode::FullNetwork, ft_epochs);
+    core::fine_tune(tuned25, truth, sampler, cfg,
+                    core::FineTuneMode::FullNetwork, ft_epochs);
+    core::FcnnReconstructor t01(tuned01.clone());
+    core::FcnnReconstructor t25(tuned25.clone());
+    double s_t01 = field::snr_db(truth, t01.reconstruct(cloud, truth.grid()));
+    double s_t25 = field::snr_db(truth, t25.reconstruct(cloud, truth.grid()));
+
+    bench::row({std::to_string(t), bench::fmt(s_lin), bench::fmt(s_f01),
+                bench::fmt(s_f25), bench::fmt(s_t01), bench::fmt(s_t25)});
+  }
+  return 0;
+}

@@ -1,0 +1,146 @@
+// Google-benchmark micro benchmarks for the performance-critical kernels:
+// k-d tree construction/query, GEMM, Delaunay insertion + location, the
+// samplers, and feature extraction. These track regressions in the
+// substrate that every figure-level bench depends on.
+
+#include <benchmark/benchmark.h>
+
+#include "common.hpp"
+#include "vf/geometry/delaunay.hpp"
+#include "vf/interp/methods.hpp"
+#include "vf/nn/matrix.hpp"
+#include "vf/spatial/kdtree.hpp"
+#include "vf/util/rng.hpp"
+
+namespace {
+
+using vf::field::Vec3;
+
+std::vector<Vec3> random_points(std::size_t n, std::uint64_t seed = 7) {
+  vf::util::Rng rng(seed);
+  std::vector<Vec3> pts;
+  pts.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    pts.push_back({rng.uniform(0, 1), rng.uniform(0, 1), rng.uniform(0, 1)});
+  }
+  return pts;
+}
+
+void BM_KdTreeBuild(benchmark::State& state) {
+  auto pts = random_points(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    vf::spatial::KdTree tree(pts);
+    benchmark::DoNotOptimize(tree.size());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_KdTreeBuild)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_KdTreeKnn5(benchmark::State& state) {
+  auto pts = random_points(static_cast<std::size_t>(state.range(0)));
+  vf::spatial::KdTree tree(pts);
+  vf::util::Rng rng(5);
+  std::vector<vf::spatial::Neighbor> buf;
+  for (auto _ : state) {
+    Vec3 q{rng.uniform(0, 1), rng.uniform(0, 1), rng.uniform(0, 1)};
+    tree.knn(q, 5, buf);
+    benchmark::DoNotOptimize(buf.data());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_KdTreeKnn5)->Arg(10000)->Arg(100000)->Arg(1000000);
+
+void BM_Gemm(benchmark::State& state) {
+  auto n = static_cast<std::size_t>(state.range(0));
+  vf::nn::Matrix a(n, n, 0.5), b(n, n, 0.25), out;
+  for (auto _ : state) {
+    vf::nn::gemm(a, b, out);
+    benchmark::DoNotOptimize(out.data().data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_Gemm)->Arg(64)->Arg(256)->Arg(512);
+
+void BM_DelaunayBuild(benchmark::State& state) {
+  auto pts = random_points(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    vf::geometry::Delaunay3 dt(pts);
+    benchmark::DoNotOptimize(dt.tetrahedron_count());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_DelaunayBuild)->Arg(1000)->Arg(10000)->Arg(50000);
+
+void BM_DelaunayLocate(benchmark::State& state) {
+  auto pts = random_points(static_cast<std::size_t>(state.range(0)));
+  vf::geometry::Delaunay3 dt(pts);
+  vf::util::Rng rng(3);
+  std::int64_t hint = -1;
+  for (auto _ : state) {
+    Vec3 q{rng.uniform(0.1, 0.9), rng.uniform(0.1, 0.9),
+           rng.uniform(0.1, 0.9)};
+    auto loc = dt.locate(q, hint);
+    hint = loc.tet;
+    benchmark::DoNotOptimize(loc.weights);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DelaunayLocate)->Arg(10000)->Arg(100000);
+
+void BM_ImportanceSampler(benchmark::State& state) {
+  auto ds = vf::data::make_dataset("hurricane");
+  auto truth = ds->generate({64, 64, 16}, 24.0);
+  vf::sampling::ImportanceSampler sampler;
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    auto cloud = sampler.sample(truth, 0.01, seed++);
+    benchmark::DoNotOptimize(cloud.size());
+  }
+  state.SetItemsProcessed(state.iterations() * truth.size());
+}
+BENCHMARK(BM_ImportanceSampler);
+
+void BM_FeatureExtraction(benchmark::State& state) {
+  auto ds = vf::data::make_dataset("hurricane");
+  auto truth = ds->generate({48, 48, 12}, 24.0);
+  vf::sampling::ImportanceSampler sampler;
+  auto cloud = sampler.sample(truth, 0.02, 1);
+  auto voids = cloud.void_indices();
+  voids.resize(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    auto X = vf::core::extract_features(cloud, truth.grid(), voids);
+    benchmark::DoNotOptimize(X.data().data());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_FeatureExtraction)->Arg(1000)->Arg(10000);
+
+void BM_NearestReconstruct(benchmark::State& state) {
+  auto ds = vf::data::make_dataset("hurricane");
+  auto truth = ds->generate({48, 48, 12}, 24.0);
+  vf::sampling::ImportanceSampler sampler;
+  auto cloud = sampler.sample(truth, 0.01, 1);
+  vf::interp::NearestNeighborReconstructor rec;
+  for (auto _ : state) {
+    auto out = rec.reconstruct(cloud, truth.grid());
+    benchmark::DoNotOptimize(out.values().data());
+  }
+  state.SetItemsProcessed(state.iterations() * truth.size());
+}
+BENCHMARK(BM_NearestReconstruct);
+
+void BM_LinearReconstruct(benchmark::State& state) {
+  auto ds = vf::data::make_dataset("hurricane");
+  auto truth = ds->generate({48, 48, 12}, 24.0);
+  vf::sampling::ImportanceSampler sampler;
+  auto cloud = sampler.sample(truth, 0.01, 1);
+  vf::interp::LinearDelaunayReconstructor rec;
+  for (auto _ : state) {
+    auto out = rec.reconstruct(cloud, truth.grid());
+    benchmark::DoNotOptimize(out.values().data());
+  }
+  state.SetItemsProcessed(state.iterations() * truth.size());
+}
+BENCHMARK(BM_LinearReconstruct);
+
+}  // namespace

@@ -1,0 +1,47 @@
+// Paper Table II: effect of training-set subsampling on training time for
+// the Isabel dataset (100% / 50% / 25% of the assembled training rows).
+// Expected shape: time drops near-linearly with the row count (paper:
+// 533s / 275s / 161s), while Fig 14 shows quality is barely affected.
+
+#include "common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace vf;
+  util::Cli cli(argc, argv);
+  util::set_log_level(util::LogLevel::Warn);
+
+  auto ds = data::make_dataset("hurricane");
+  field::Dims dims = util::full_scale()
+                         ? ds->paper_dims()
+                         : data::scaled_dims(*ds, util::quick_mode() ? 8 : 4);
+  auto truth = ds->generate(dims, 24.0);
+  sampling::ImportanceSampler sampler;
+
+  const int epochs = cli.get_int("epochs",
+                                 util::full_scale() ? 500
+                                 : util::quick_mode() ? 1 : 3);
+  const double base_subset = cli.get_double(
+      "subset", util::full_scale() ? 1.0 : util::quick_mode() ? 0.01 : 0.05);
+
+  bench::title("Table II — training time vs training-set share (hurricane " +
+               truth.grid().describe() + ", epochs=" + std::to_string(epochs) +
+               ")");
+  bench::row({"share", "train_rows", "train_s", "ratio"});
+
+  double base_time = 0.0;
+  for (double share : {1.0, 0.5, 0.25}) {
+    auto cfg = core::FcnnConfig::paper();
+    cfg.epochs = epochs;
+    cfg.max_train_rows = 0;
+    cfg.train_subset = base_subset * share;
+    auto pre = core::pretrain(truth, sampler, cfg);
+    if (base_time == 0.0) base_time = pre.history.seconds;
+    bench::row({bench::fmt(share * 100, 0) + "%",
+                std::to_string(pre.train_rows),
+                bench::fmt(pre.history.seconds, 1),
+                bench::fmt(pre.history.seconds / base_time, 2)});
+  }
+  std::printf("\npaper (500 epochs, A100): 533s / 275s / 161s "
+              "-> ratios 1.00 / 0.52 / 0.30\n");
+  return 0;
+}

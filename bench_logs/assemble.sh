@@ -1,0 +1,30 @@
+#!/bin/bash
+# Assemble bench_output.txt from the newest run of each bench section.
+cd /root/repo
+out=bench_output.txt
+: > "$out"
+extract() {  # extract <file> <section-name>
+  awk -v sec="=== $2 ===" '
+    $0 == sec {found=1; print; next}
+    found && /^=== / {exit}
+    found {print}' "$1"
+}
+for b in build/bench/*; do
+  [ -x "$b" ] && [ -f "$b" ] || continue
+  n=$(basename "$b")
+  case "$n" in
+    ablation_cross_dataset) src=bench_logs/suite_gaps2.txt ;;
+    fig02_renderings) src=bench_logs/suite_gaps.txt ;;
+    fig09_quality) src=bench_logs/fig09_rerun.txt ;;
+    XXdummy|fig08_gradient_ablation) src=bench_logs/suite_gaps.txt ;;
+    *) src=bench_logs/suite_run2.txt ;;
+  esac
+  if grep -q "^=== $n ===" "$src" 2>/dev/null; then
+    extract "$src" "$n" >> "$out"
+  else
+    echo "=== $n ===" >> "$out"
+    timeout 2400 "./$b" 2>/dev/null >> "$out"
+    echo >> "$out"
+  fi
+done
+echo "ASSEMBLED"

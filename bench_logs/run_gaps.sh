@@ -1,0 +1,8 @@
+#!/bin/bash
+cd /root/repo
+for n in fig02_renderings ablation_cross_dataset fig08_gradient_ablation; do
+  echo "=== $n ==="
+  timeout 2400 "./build/bench/$n" 2>/dev/null
+  echo
+done
+echo "GAPS DONE"

@@ -1,0 +1,9 @@
+#!/bin/bash
+cd /root/repo
+for b in build/bench/*; do
+  n=$(basename "$b")
+  echo "=== $n ==="
+  timeout 2400 "./$b" 2>/dev/null
+  echo
+done
+echo "SUITE DONE"

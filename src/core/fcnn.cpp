@@ -1,0 +1,260 @@
+#include "vf/core/fcnn.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+#include "vf/util/env.hpp"
+#include "vf/util/parallel.hpp"
+#include "vf/util/rng.hpp"
+#include "vf/util/timer.hpp"
+
+namespace vf::core {
+
+using vf::field::ScalarField;
+using vf::field::UniformGrid3;
+using vf::nn::Matrix;
+using vf::sampling::SampleCloud;
+using vf::sampling::Sampler;
+
+FcnnConfig FcnnConfig::paper() {
+  FcnnConfig cfg;
+  cfg.epochs = 500;
+  cfg.max_train_rows = 0;
+  return cfg;
+}
+
+FcnnConfig FcnnConfig::bench() {
+  FcnnConfig cfg;
+  if (vf::util::full_scale()) {
+    return paper();
+  }
+  cfg.batch_size = 128;  // maximise Adam steps within the reduced budget
+  if (vf::util::quick_mode()) {
+    cfg.epochs = 8;
+    cfg.max_train_rows = 3000;
+  } else {
+    cfg.epochs = 15;
+    cfg.max_train_rows = 8000;
+  }
+  return cfg;
+}
+
+std::vector<std::size_t> FcnnConfig::pyramid(int layers) {
+  std::vector<std::size_t> hidden;
+  std::size_t width = 512;
+  for (int i = 0; i < layers; ++i) {
+    hidden.push_back(width);
+    if (width > 16) width /= 2;
+  }
+  return hidden;
+}
+
+namespace {
+
+/// Stack rows of `parts` vertically into one matrix.
+Matrix vstack(const std::vector<Matrix>& parts) {
+  std::size_t rows = 0;
+  std::size_t cols = parts.empty() ? 0 : parts.front().cols();
+  for (const auto& p : parts) rows += p.rows();
+  Matrix out(rows, cols);
+  std::size_t at = 0;
+  for (const auto& p : parts) {
+    for (std::size_t r = 0; r < p.rows(); ++r) {
+      std::copy(p.row(r), p.row(r) + cols, out.row(at++));
+    }
+  }
+  return out;
+}
+
+/// Keep a random subset of rows (same permutation applied to X and Y).
+void subset_rows(Matrix& X, Matrix& Y, std::size_t keep, std::uint64_t seed) {
+  if (keep >= X.rows()) return;
+  std::vector<std::size_t> order(X.rows());
+  std::iota(order.begin(), order.end(), 0u);
+  vf::util::Rng rng(seed, 0x726f7773);
+  rng.shuffle(order);
+  Matrix Xs(keep, X.cols()), Ys(keep, Y.cols());
+  for (std::size_t r = 0; r < keep; ++r) {
+    std::copy(X.row(order[r]), X.row(order[r]) + X.cols(), Xs.row(r));
+    std::copy(Y.row(order[r]), Y.row(order[r]) + Y.cols(), Ys.row(r));
+  }
+  X = std::move(Xs);
+  Y = std::move(Ys);
+}
+
+}  // namespace
+
+TrainingSet build_training_set(const ScalarField& truth,
+                               const Sampler& sampler,
+                               const FcnnConfig& config) {
+  if (config.train_fractions.empty()) {
+    throw std::invalid_argument("build_training_set: no train fractions");
+  }
+  std::vector<Matrix> xs, ys;
+  std::uint64_t seed = config.seed;
+  for (double frac : config.train_fractions) {
+    SampleCloud cloud = sampler.sample(truth, frac, seed++);
+    auto voids = cloud.void_indices();
+    xs.push_back(extract_features(cloud, truth.grid(), voids));
+    ys.push_back(extract_targets(truth, voids, config.with_gradients));
+  }
+  TrainingSet set{vstack(xs), vstack(ys)};
+
+  std::size_t keep = set.X.rows();
+  if (config.train_subset < 1.0) {
+    keep = static_cast<std::size_t>(config.train_subset *
+                                    static_cast<double>(keep));
+  }
+  if (config.max_train_rows > 0) {
+    keep = std::min(keep, config.max_train_rows);
+  }
+  keep = std::max<std::size_t>(keep, 1);
+  subset_rows(set.X, set.Y, keep, config.seed ^ 0xabcdu);
+  return set;
+}
+
+PretrainResult pretrain(const ScalarField& truth, const Sampler& sampler,
+                        const FcnnConfig& config) {
+  vf::util::Timer data_timer;
+  TrainingSet set = build_training_set(truth, sampler, config);
+
+  PretrainResult result;
+  result.train_rows = set.X.rows();
+  result.model.with_gradients = config.with_gradients;
+  result.model.dataset = truth.name();
+  result.model.in_norm = Normalizer::fit(set.X);
+  result.model.out_norm = Normalizer::fit(set.Y);
+  if (config.with_gradients && config.gradient_loss_weight != 1.0 &&
+      config.gradient_loss_weight > 0.0) {
+    // Inflating a column's stddev shrinks its normalised targets, scaling
+    // that column's squared-error contribution by gradient_loss_weight.
+    double inflate = 1.0 / std::sqrt(config.gradient_loss_weight);
+    for (std::size_t c = 1; c < result.model.out_norm.stddev.size(); ++c) {
+      result.model.out_norm.stddev[c] *= inflate;
+    }
+  }
+  result.model.in_norm.apply(set.X);
+  result.model.out_norm.apply(set.Y);
+  result.data_seconds = data_timer.seconds();
+
+  result.model.net = vf::nn::Network::mlp(
+      static_cast<std::size_t>(kFeatureDim), config.hidden,
+      config.with_gradients ? kTargetDimGrad : kTargetDimScalar, config.seed);
+
+  vf::nn::TrainOptions topt;
+  topt.epochs = config.epochs;
+  topt.batch_size = config.batch_size;
+  topt.learning_rate = config.learning_rate;
+  topt.schedule = config.lr_schedule;
+  topt.shuffle_seed = config.seed ^ 0x5a5a;
+  vf::nn::Trainer trainer(topt);
+  result.history = trainer.fit(result.model.net, set.X, set.Y);
+  return result;
+}
+
+vf::nn::TrainHistory fine_tune(FcnnModel& model, const ScalarField& truth,
+                               const Sampler& sampler,
+                               const FcnnConfig& config, FineTuneMode mode,
+                               int epochs, bool refit_normalization) {
+  TrainingSet set = build_training_set(truth, sampler, config);
+  if (refit_normalization) {
+    // Cross-simulation transfer: rebind the model's I/O space to the new
+    // data's statistics before adapting the weights.
+    model.in_norm = Normalizer::fit(set.X);
+    model.out_norm = Normalizer::fit(set.Y);
+  }
+  // Within one simulation the pretraining normalisation is kept so the
+  // model's I/O space is stable across timesteps (weights adapt instead).
+  model.in_norm.apply(set.X);
+  model.out_norm.apply(set.Y);
+
+  switch (mode) {
+    case FineTuneMode::FullNetwork:
+      model.net.set_all_trainable(true);
+      break;
+    case FineTuneMode::LastTwoLayers:
+      model.net.set_trainable_last_dense(2);
+      break;
+  }
+
+  vf::nn::TrainOptions topt;
+  topt.epochs = epochs;
+  topt.batch_size = config.batch_size;
+  topt.learning_rate = config.learning_rate;
+  topt.schedule = config.lr_schedule;
+  topt.shuffle_seed = config.seed ^ 0x0f1e2d;
+  vf::nn::Trainer trainer(topt);
+  auto history = trainer.fit(model.net, set.X, set.Y);
+  model.net.set_all_trainable(true);  // leave the model unrestricted
+  return history;
+}
+
+FcnnReconstructor::FullReconstruction
+FcnnReconstructor::reconstruct_with_gradients(const SampleCloud& cloud,
+                                              const UniformGrid3& grid) {
+  if (!model_.with_gradients) {
+    throw std::logic_error(
+        "reconstruct_with_gradients: model has scalar-only outputs");
+  }
+  FullReconstruction out{
+      ScalarField(grid, "fcnn"),
+      {ScalarField(grid, "fcnn_dx"), ScalarField(grid, "fcnn_dy"),
+       ScalarField(grid, "fcnn_dz")}};
+
+  // Predict all four outputs at every grid point, then pin sampled points'
+  // scalars to their stored values when the grids match.
+  std::vector<std::int64_t> all(static_cast<std::size_t>(grid.point_count()));
+  std::iota(all.begin(), all.end(), 0);
+  Matrix X = extract_features(cloud, grid, all);
+  Matrix Y = model_.predict(X);
+  vf::util::parallel_for(0, grid.point_count(), [&](std::int64_t i) {
+    auto r = static_cast<std::size_t>(i);
+    out.scalar[i] = Y(r, 0);
+    out.gradient.dx[i] = Y(r, 1);
+    out.gradient.dy[i] = Y(r, 2);
+    out.gradient.dz[i] = Y(r, 3);
+  });
+  if (cloud.has_grid() && cloud.grid() == grid) {
+    const auto& kept = cloud.kept_indices();
+    const auto& vals = cloud.values();
+    for (std::size_t i = 0; i < kept.size(); ++i) {
+      out.scalar[kept[i]] = vals[i];
+    }
+  }
+  return out;
+}
+
+ScalarField FcnnReconstructor::reconstruct(const SampleCloud& cloud,
+                                           const UniformGrid3& grid) {
+  ScalarField out(grid, "fcnn");
+  const bool same_grid = cloud.has_grid() && cloud.grid() == grid;
+
+  if (same_grid) {
+    // Sampled points keep their stored values; only voids are predicted.
+    auto voids = cloud.void_indices();
+    Matrix X = extract_features(cloud, grid, voids);
+    Matrix Y = model_.predict(X);
+    const auto& kept = cloud.kept_indices();
+    const auto& vals = cloud.values();
+    for (std::size_t i = 0; i < kept.size(); ++i) out[kept[i]] = vals[i];
+    vf::util::parallel_for(
+        0, static_cast<std::int64_t>(voids.size()), [&](std::int64_t i) {
+          out[voids[static_cast<std::size_t>(i)]] =
+              Y(static_cast<std::size_t>(i), 0);
+        });
+  } else {
+    // Foreign grid (e.g. upscaling): predict everywhere.
+    std::vector<std::int64_t> all(static_cast<std::size_t>(grid.point_count()));
+    std::iota(all.begin(), all.end(), 0);
+    Matrix X = extract_features(cloud, grid, all);
+    Matrix Y = model_.predict(X);
+    vf::util::parallel_for(0, grid.point_count(), [&](std::int64_t i) {
+      out[i] = Y(static_cast<std::size_t>(i), 0);
+    });
+  }
+  return out;
+}
+
+}  // namespace vf::core

@@ -1,0 +1,135 @@
+#include "vf/core/features.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "vf/util/parallel.hpp"
+
+#include <omp.h>
+
+namespace vf::core {
+
+using vf::field::Vec3;
+using vf::nn::Matrix;
+
+Normalizer Normalizer::fit(const Matrix& m) {
+  Normalizer n;
+  const std::size_t cols = m.cols(), rows = m.rows();
+  if (rows == 0) throw std::invalid_argument("Normalizer::fit: empty matrix");
+  n.mean.assign(cols, 0.0);
+  n.stddev.assign(cols, 0.0);
+  for (std::size_t r = 0; r < rows; ++r) {
+    const double* row = m.row(r);
+    for (std::size_t c = 0; c < cols; ++c) n.mean[c] += row[c];
+  }
+  for (auto& v : n.mean) v /= static_cast<double>(rows);
+  for (std::size_t r = 0; r < rows; ++r) {
+    const double* row = m.row(r);
+    for (std::size_t c = 0; c < cols; ++c) {
+      double d = row[c] - n.mean[c];
+      n.stddev[c] += d * d;
+    }
+  }
+  for (auto& v : n.stddev) {
+    v = std::sqrt(v / static_cast<double>(rows));
+    if (v < 1e-12) v = 1.0;  // constant column: leave centred only
+  }
+  return n;
+}
+
+void Normalizer::apply(Matrix& m) const {
+  if (m.cols() != mean.size()) {
+    throw std::invalid_argument("Normalizer::apply: column mismatch");
+  }
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    double* row = m.row(r);
+    for (std::size_t c = 0; c < m.cols(); ++c) {
+      row[c] = (row[c] - mean[c]) / stddev[c];
+    }
+  }
+}
+
+void Normalizer::invert(Matrix& m) const {
+  if (m.cols() != mean.size()) {
+    throw std::invalid_argument("Normalizer::invert: column mismatch");
+  }
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    double* row = m.row(r);
+    for (std::size_t c = 0; c < m.cols(); ++c) {
+      row[c] = row[c] * stddev[c] + mean[c];
+    }
+  }
+}
+
+Matrix extract_features(const vf::sampling::SampleCloud& cloud,
+                        const std::vector<Vec3>& queries) {
+  if (cloud.size() < kNeighbors) {
+    throw std::invalid_argument("extract_features: cloud smaller than k");
+  }
+  vf::spatial::KdTree tree(cloud.points());
+  const auto& pts = cloud.points();
+  const auto& vals = cloud.values();
+  Matrix X(queries.size(), kFeatureDim);
+
+#pragma omp parallel
+  {
+    std::vector<vf::spatial::Neighbor> nbrs;
+#pragma omp for schedule(static)
+    for (std::int64_t qi = 0; qi < static_cast<std::int64_t>(queries.size());
+         ++qi) {
+      const Vec3& q = queries[static_cast<std::size_t>(qi)];
+      tree.knn(q, kNeighbors, nbrs);
+      double* row = X.row(static_cast<std::size_t>(qi));
+      for (int j = 0; j < kNeighbors; ++j) {
+        const auto& nb = nbrs[static_cast<std::size_t>(j)];
+        const Vec3& p = pts[nb.index];
+        row[4 * j + 0] = p.x;
+        row[4 * j + 1] = p.y;
+        row[4 * j + 2] = p.z;
+        row[4 * j + 3] = vals[nb.index];
+      }
+      row[4 * kNeighbors + 0] = q.x;
+      row[4 * kNeighbors + 1] = q.y;
+      row[4 * kNeighbors + 2] = q.z;
+    }
+  }
+  return X;
+}
+
+Matrix extract_features(const vf::sampling::SampleCloud& cloud,
+                        const vf::field::UniformGrid3& grid,
+                        const std::vector<std::int64_t>& indices) {
+  std::vector<Vec3> queries(indices.size());
+  vf::util::parallel_for(
+      0, static_cast<std::int64_t>(indices.size()), [&](std::int64_t i) {
+        queries[static_cast<std::size_t>(i)] =
+            grid.position(indices[static_cast<std::size_t>(i)]);
+      });
+  return extract_features(cloud, queries);
+}
+
+Matrix extract_targets(const vf::field::ScalarField& truth,
+                       const std::vector<std::int64_t>& indices,
+                       bool with_gradients) {
+  const int width = with_gradients ? kTargetDimGrad : kTargetDimScalar;
+  Matrix Y(indices.size(), static_cast<std::size_t>(width));
+  const auto& grid = truth.grid();
+
+  vf::util::parallel_for(
+      0, static_cast<std::int64_t>(indices.size()), [&](std::int64_t i) {
+        std::int64_t idx = indices[static_cast<std::size_t>(i)];
+        double* row = Y.row(static_cast<std::size_t>(i));
+        row[0] = truth[idx];
+        if (with_gradients) {
+          auto [gi, gj, gk] = grid.ijk(idx);
+          auto g = vf::field::gradient_at(truth, gi, gj, gk);
+          row[1] = g[0];
+          row[2] = g[1];
+          row[3] = g[2];
+        }
+      });
+  return Y;
+}
+
+}  // namespace vf::core

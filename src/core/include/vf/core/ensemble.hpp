@@ -1,0 +1,54 @@
+#pragma once
+// Uncertainty-aware reconstruction via deep ensembles.
+//
+// The paper's discussion (§V, limitation 3) singles out reconstruction
+// uncertainty as the missing piece and names deep ensembles as a candidate
+// solution; this module implements that extension. An ensemble trains N
+// FCNNs that differ only in weight initialisation and shuffle order, and at
+// reconstruction time reports the member mean (typically slightly better
+// than any single member) together with the per-voxel member standard
+// deviation — an epistemic-uncertainty proxy that is high exactly where the
+// members disagree (sparsely sampled or structurally ambiguous regions).
+
+#include <vector>
+
+#include "vf/core/fcnn.hpp"
+
+namespace vf::core {
+
+struct EnsembleResult {
+  /// Member-mean reconstruction.
+  vf::field::ScalarField mean;
+  /// Per-voxel standard deviation across members (0 at sampled points,
+  /// which are pinned to their stored values).
+  vf::field::ScalarField stddev;
+};
+
+class EnsembleReconstructor {
+ public:
+  /// Train `members` models on the same timestep, varying only the seed.
+  static EnsembleReconstructor pretrain(const vf::field::ScalarField& truth,
+                                        const vf::sampling::Sampler& sampler,
+                                        FcnnConfig config, int members);
+
+  /// Wrap already-trained models (e.g. loaded from disk).
+  explicit EnsembleReconstructor(std::vector<FcnnModel> models);
+
+  [[nodiscard]] std::size_t size() const { return members_.size(); }
+  [[nodiscard]] FcnnModel& member(std::size_t i) { return members_[i]; }
+
+  /// Fine-tune every member on a new timestep (Case 1).
+  void fine_tune(const vf::field::ScalarField& truth,
+                 const vf::sampling::Sampler& sampler,
+                 const FcnnConfig& config, int epochs);
+
+  /// Reconstruct with mean + uncertainty.
+  [[nodiscard]] EnsembleResult reconstruct(
+      const vf::sampling::SampleCloud& cloud,
+      const vf::field::UniformGrid3& grid);
+
+ private:
+  std::vector<FcnnModel> members_;
+};
+
+}  // namespace vf::core

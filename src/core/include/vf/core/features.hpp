@@ -1,0 +1,67 @@
+#pragma once
+// Feature engineering for the FCNN (paper §III-D, Fig 4).
+//
+// For every void location (grid point rejected by the sampler) we find the
+// five nearest sampled points and assemble a 23-dimensional feature vector:
+//
+//   [ x1 y1 z1 v1  x2 y2 z2 v2  ...  x5 y5 z5 v5  xq yq zq ]
+//
+// i.e. coordinates + scalar value of each of the 5 nearest samples (20
+// numbers) plus the void point's own coordinates (3 numbers). The training
+// target is the 4-vector [scalar, d/dx, d/dy, d/dz] at the void location
+// (gradients from central differences of the full-resolution timestep); the
+// gradient outputs act as a regulariser (paper Fig 8) and can be disabled
+// for the ablation.
+//
+// Features and targets are z-score normalised; the normalisation constants
+// are part of the trained model and are applied identically at inference.
+
+#include <cstdint>
+#include <vector>
+
+#include "vf/field/gradient.hpp"
+#include "vf/field/scalar_field.hpp"
+#include "vf/nn/matrix.hpp"
+#include "vf/sampling/sample_cloud.hpp"
+#include "vf/spatial/kdtree.hpp"
+
+namespace vf::core {
+
+/// Number of nearest sampled points per feature vector (paper: 5).
+inline constexpr int kNeighbors = 5;
+/// Feature width: kNeighbors * (x,y,z,value) + void (x,y,z).
+inline constexpr int kFeatureDim = kNeighbors * 4 + 3;
+/// Target width with gradients: scalar + (dx, dy, dz).
+inline constexpr int kTargetDimGrad = 4;
+inline constexpr int kTargetDimScalar = 1;
+
+/// Column-wise z-score normalisation constants.
+struct Normalizer {
+  std::vector<double> mean;
+  std::vector<double> stddev;  // floored at a tiny epsilon
+
+  /// Fit on the rows of `m`.
+  static Normalizer fit(const vf::nn::Matrix& m);
+  /// In-place (m - mean) / stddev.
+  void apply(vf::nn::Matrix& m) const;
+  /// In-place m * stddev + mean.
+  void invert(vf::nn::Matrix& m) const;
+};
+
+/// Assemble the (n x 23) feature matrix for the given query positions
+/// against `cloud` (a k-d tree is built internally). Parallelised.
+vf::nn::Matrix extract_features(const vf::sampling::SampleCloud& cloud,
+                                const std::vector<vf::field::Vec3>& queries);
+
+/// Feature matrix for grid points identified by linear indices.
+vf::nn::Matrix extract_features(const vf::sampling::SampleCloud& cloud,
+                                const vf::field::UniformGrid3& grid,
+                                const std::vector<std::int64_t>& indices);
+
+/// Targets for the same indices from the ground-truth field. When
+/// `with_gradients` the result is (n x 4), otherwise (n x 1).
+vf::nn::Matrix extract_targets(const vf::field::ScalarField& truth,
+                               const std::vector<std::int64_t>& indices,
+                               bool with_gradients);
+
+}  // namespace vf::core

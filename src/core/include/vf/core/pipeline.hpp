@@ -1,0 +1,71 @@
+#pragma once
+// In-situ temporal pipeline: the deployment wrapper around pretrain /
+// fine_tune / sample that a simulation code would link against.
+//
+// The workflow the paper targets (§III-D, Experiment 2):
+//   while the simulation runs, each timestep's full data is briefly
+//   resident. The pipeline (a) samples it down to the archival fraction,
+//   (b) pretrains the FCNN on the first step and fine-tunes it on every
+//   later one (Case 1, ~10 epochs — or Case 2, last two layers), and
+//   (c) hands back the artefacts to archive: the sampled cloud plus either
+//   the full model (first step) or the Case-2 weight delta.
+//
+// Post hoc, `reconstruct` rebuilds any archived step from its cloud.
+
+#include <optional>
+#include <vector>
+
+#include "vf/core/fcnn.hpp"
+
+namespace vf::core {
+
+struct PipelineOptions {
+  /// Archival sampling fraction per timestep.
+  double archive_fraction = 0.03;
+  /// Full-training configuration used at the first timestep.
+  FcnnConfig pretrain_config;
+  /// Fine-tuning mode + epochs for subsequent timesteps.
+  FineTuneMode finetune_mode = FineTuneMode::FullNetwork;
+  int finetune_epochs = 10;
+  std::uint64_t seed = 1;
+};
+
+/// Per-timestep archive record.
+struct TimestepArtifacts {
+  int timestep = 0;
+  vf::sampling::SampleCloud cloud;
+  /// Training/fine-tuning seconds spent at this step.
+  double train_seconds = 0.0;
+  /// Final training loss at this step.
+  double final_loss = 0.0;
+};
+
+class TemporalPipeline {
+ public:
+  explicit TemporalPipeline(PipelineOptions options);
+
+  /// Ingest the next timestep's full-resolution data (in situ). Returns the
+  /// artefacts to archive. The first call pretrains; later calls fine-tune.
+  TimestepArtifacts ingest(const vf::field::ScalarField& truth);
+
+  /// Number of timesteps ingested so far.
+  [[nodiscard]] int steps() const { return steps_; }
+
+  /// The current model (pretrained + all fine-tunes applied).
+  [[nodiscard]] const FcnnModel& model() const;
+
+  /// Post-hoc reconstruction of an archived cloud onto `grid` using the
+  /// CURRENT model state. For bit-faithful per-step models, archive the
+  /// model (or its Case-2 tail) alongside the cloud.
+  [[nodiscard]] vf::field::ScalarField reconstruct(
+      const vf::sampling::SampleCloud& cloud,
+      const vf::field::UniformGrid3& grid);
+
+ private:
+  PipelineOptions options_;
+  vf::sampling::ImportanceSampler sampler_;
+  std::optional<FcnnModel> model_;
+  int steps_ = 0;
+};
+
+}  // namespace vf::core

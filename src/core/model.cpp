@@ -1,0 +1,128 @@
+#include "vf/core/model.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+
+#include "vf/nn/serialize.hpp"
+
+namespace vf::core {
+
+using vf::nn::Matrix;
+
+Matrix FcnnModel::predict(const Matrix& features, std::size_t batch) {
+  Matrix X = features;
+  in_norm.apply(X);
+  const std::size_t out_dim = out_norm.mean.size();
+  Matrix out(X.rows(), out_dim);
+  Matrix bx, pred;
+  for (std::size_t begin = 0; begin < X.rows(); begin += batch) {
+    std::size_t end = std::min(begin + batch, X.rows());
+    bx.resize(end - begin, X.cols());
+    for (std::size_t r = begin; r < end; ++r) {
+      std::copy(X.row(r), X.row(r) + X.cols(), bx.row(r - begin));
+    }
+    net.forward(bx, pred);
+    if (pred.cols() != out_dim) {
+      throw std::logic_error("FcnnModel::predict: output width mismatch");
+    }
+    for (std::size_t r = begin; r < end; ++r) {
+      std::copy(pred.row(r - begin), pred.row(r - begin) + out_dim,
+                out.row(r));
+    }
+  }
+  out_norm.invert(out);
+  return out;
+}
+
+FcnnModel FcnnModel::clone() const {
+  FcnnModel copy;
+  copy.net = net.clone();
+  copy.in_norm = in_norm;
+  copy.out_norm = out_norm;
+  copy.with_gradients = with_gradients;
+  copy.dataset = dataset;
+  copy.trained_timestep = trained_timestep;
+  return copy;
+}
+
+namespace {
+
+constexpr char kMagic[4] = {'V', 'F', 'M', 'D'};
+
+void write_normalizer(std::ostream& out, const Normalizer& n) {
+  auto len = static_cast<std::uint32_t>(n.mean.size());
+  out.write(reinterpret_cast<const char*>(&len), sizeof len);
+  out.write(reinterpret_cast<const char*>(n.mean.data()),
+            static_cast<std::streamsize>(len * sizeof(double)));
+  out.write(reinterpret_cast<const char*>(n.stddev.data()),
+            static_cast<std::streamsize>(len * sizeof(double)));
+}
+
+Normalizer read_normalizer(std::istream& in) {
+  std::uint32_t len = 0;
+  in.read(reinterpret_cast<char*>(&len), sizeof len);
+  if (!in || len > 4096) {
+    throw std::runtime_error("FcnnModel: corrupt normalizer");
+  }
+  Normalizer n;
+  n.mean.resize(len);
+  n.stddev.resize(len);
+  in.read(reinterpret_cast<char*>(n.mean.data()),
+          static_cast<std::streamsize>(len * sizeof(double)));
+  in.read(reinterpret_cast<char*>(n.stddev.data()),
+          static_cast<std::streamsize>(len * sizeof(double)));
+  return n;
+}
+
+}  // namespace
+
+void FcnnModel::save(const std::string& path) const {
+  // Header + metadata + normalisers in the .vfmd file; the network itself
+  // reuses the VFNN serializer in a sibling stream appended to the file.
+  {
+    std::ofstream out(path, std::ios::binary);
+    if (!out) throw std::runtime_error("FcnnModel::save: cannot open " + path);
+    out.write(kMagic, 4);
+    std::uint8_t grad = with_gradients ? 1 : 0;
+    out.write(reinterpret_cast<const char*>(&grad), 1);
+    auto nlen = static_cast<std::uint32_t>(dataset.size());
+    out.write(reinterpret_cast<const char*>(&nlen), sizeof nlen);
+    out.write(dataset.data(), nlen);
+    out.write(reinterpret_cast<const char*>(&trained_timestep),
+              sizeof trained_timestep);
+    write_normalizer(out, in_norm);
+    write_normalizer(out, out_norm);
+    if (!out) throw std::runtime_error("FcnnModel::save: write failed");
+  }
+  vf::nn::save_network(net, path + ".net");
+}
+
+FcnnModel FcnnModel::load(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("FcnnModel::load: cannot open " + path);
+  char magic[4];
+  in.read(magic, 4);
+  if (!in || std::memcmp(magic, kMagic, 4) != 0) {
+    throw std::runtime_error("FcnnModel::load: bad magic in " + path);
+  }
+  FcnnModel m;
+  std::uint8_t grad = 1;
+  in.read(reinterpret_cast<char*>(&grad), 1);
+  m.with_gradients = grad != 0;
+  std::uint32_t nlen = 0;
+  in.read(reinterpret_cast<char*>(&nlen), sizeof nlen);
+  if (!in || nlen > 4096) {
+    throw std::runtime_error("FcnnModel::load: corrupt metadata");
+  }
+  m.dataset.resize(nlen);
+  in.read(m.dataset.data(), nlen);
+  in.read(reinterpret_cast<char*>(&m.trained_timestep),
+          sizeof m.trained_timestep);
+  m.in_norm = read_normalizer(in);
+  m.out_norm = read_normalizer(in);
+  m.net = vf::nn::load_network(path + ".net");
+  return m;
+}
+
+}  // namespace vf::core

@@ -1,0 +1,66 @@
+#include "vf/core/pipeline.hpp"
+
+#include <stdexcept>
+
+#include "vf/util/timer.hpp"
+
+namespace vf::core {
+
+TemporalPipeline::TemporalPipeline(PipelineOptions options)
+    : options_(std::move(options)) {
+  if (options_.archive_fraction <= 0.0 || options_.archive_fraction > 1.0) {
+    throw std::invalid_argument(
+        "TemporalPipeline: archive_fraction must be in (0, 1]");
+  }
+  if (options_.finetune_epochs < 1) {
+    throw std::invalid_argument(
+        "TemporalPipeline: finetune_epochs must be positive");
+  }
+}
+
+TimestepArtifacts TemporalPipeline::ingest(const vf::field::ScalarField& truth) {
+  TimestepArtifacts art;
+  art.timestep = steps_;
+
+  vf::util::Timer timer;
+  if (!model_) {
+    auto cfg = options_.pretrain_config;
+    cfg.seed = options_.seed;
+    auto pre = pretrain(truth, sampler_, cfg);
+    model_ = std::move(pre.model);
+    model_->trained_timestep = steps_;
+    art.final_loss = pre.history.train_loss.back();
+  } else {
+    auto cfg = options_.pretrain_config;
+    cfg.seed = options_.seed + static_cast<std::uint64_t>(steps_);
+    auto hist = fine_tune(*model_, truth, sampler_, cfg,
+                          options_.finetune_mode, options_.finetune_epochs);
+    art.final_loss = hist.train_loss.back();
+  }
+  art.train_seconds = timer.seconds();
+
+  art.cloud = sampler_.sample(truth, options_.archive_fraction,
+                              options_.seed + 0x5eedull +
+                                  static_cast<std::uint64_t>(steps_));
+  ++steps_;
+  return art;
+}
+
+const FcnnModel& TemporalPipeline::model() const {
+  if (!model_) {
+    throw std::logic_error("TemporalPipeline: no timestep ingested yet");
+  }
+  return *model_;
+}
+
+vf::field::ScalarField TemporalPipeline::reconstruct(
+    const vf::sampling::SampleCloud& cloud,
+    const vf::field::UniformGrid3& grid) {
+  if (!model_) {
+    throw std::logic_error("TemporalPipeline: no timestep ingested yet");
+  }
+  FcnnReconstructor rec(model_->clone());
+  return rec.reconstruct(cloud, grid);
+}
+
+}  // namespace vf::core

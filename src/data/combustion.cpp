@@ -1,0 +1,53 @@
+#include "vf/data/combustion.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "vf/data/noise.hpp"
+
+namespace vf::data {
+
+using vf::field::BoundingBox;
+using vf::field::Vec3;
+
+CombustionDataset::CombustionDataset(std::uint64_t seed) : seed_(seed) {}
+
+BoundingBox CombustionDataset::domain() const {
+  // Nondimensional jet domain: y is streamwise (360 points in the paper).
+  return {{0.0, 0.0, 0.0}, {4.0, 6.0, 1.0}};
+}
+
+double CombustionDataset::evaluate(const Vec3& p, double t) const {
+  // Jet centreline along y at x = 2, z = 0.5; jet widens downstream.
+  double s = p.y / 6.0;                       // streamwise fraction
+  double cx = 2.0 + 0.25 * std::sin(2.0 * s * M_PI + 0.15 * t);
+  double cz = 0.5 + 0.1 * std::sin(3.0 * s * M_PI - 0.11 * t);
+  double rx = p.x - cx;
+  double rz = p.z - cz;
+  double radius = std::sqrt(rx * rx + 0.8 * rz * rz);
+
+  // Jet core half-width grows downstream; core mixfrac decays downstream.
+  double width = 0.35 + 0.55 * s;
+  double core = 1.0 - 0.55 * s;
+
+  // Turbulent wrinkling of the interface; amplitude grows downstream
+  // (transition to turbulence) and the pattern advects with time.
+  Vec3 q{p.x * 2.2, p.y * 2.2 - 1.4 * t * 0.25, p.z * 2.2};
+  double wrinkle = (0.08 + 0.30 * s) * fbm_time(q, t * 0.3, seed_, 5);
+
+  // Sharp sigmoid interface between fuel-rich core and oxidiser.
+  double d = (radius + wrinkle - width) / 0.08;
+  double mix = core / (1.0 + std::exp(std::clamp(d, -40.0, 40.0)));
+
+  // Fine-grained in-core turbulence so the interior is not flat.
+  Vec3 q2{p.x * 6.0, p.y * 6.0 - 2.0 * t * 0.25, p.z * 6.0};
+  double inner = 0.06 * s * fbm_time(q2, t * 0.4, seed_ + 17, 4);
+  mix += inner * mix;
+
+  // Trace background mixing outside the jet.
+  double bg = 0.015 * (1.0 + fbm_time(Vec3{p.x, p.y, p.z}, t * 0.2,
+                                      seed_ + 99, 3));
+  return std::clamp(mix + bg, 0.0, 1.0);
+}
+
+}  // namespace vf::data

@@ -1,0 +1,77 @@
+#include "vf/data/hurricane.hpp"
+
+#include <cmath>
+
+#include "vf/data/noise.hpp"
+
+namespace vf::data {
+
+using vf::field::BoundingBox;
+using vf::field::Vec3;
+
+HurricaneDataset::HurricaneDataset(std::uint64_t seed) : seed_(seed) {}
+
+BoundingBox HurricaneDataset::domain() const {
+  // Horizontal extent ~2000 km square, vertical ~20 km, in kilometres.
+  return {{0.0, 0.0, 0.0}, {2000.0, 2000.0, 20.0}};
+}
+
+Vec3 HurricaneDataset::eye_position(double t) const {
+  // Curved northwest track: starts southeast, accelerates, recurves north.
+  double u = t / 47.0;  // 0..1 over the run
+  double x = 1600.0 - 1100.0 * u - 150.0 * std::sin(2.2 * u);
+  double y = 400.0 + 1200.0 * u * u + 250.0 * u;
+  return {x, y, 0.0};
+}
+
+double HurricaneDataset::evaluate(const Vec3& p, double t) const {
+  Vec3 eye = eye_position(t);
+  double dx = p.x - eye.x;
+  double dy = p.y - eye.y;
+  double r = std::sqrt(dx * dx + dy * dy);
+
+  // Intensity ramps up and then weakens near landfall.
+  double u = t / 47.0;
+  double intensity = 0.55 + 0.45 * std::sin(M_PI * std::min(u * 1.25, 1.0));
+
+  // Holland-like radial pressure profile: deficit = dp * exp(-(R/r)^b).
+  const double dp = 65.0 * intensity;  // hPa central deficit
+  const double R = 90.0 + 25.0 * std::sin(3.0 * u);  // radius of max winds, km
+  const double b = 1.6;
+  double deficit =
+      r > 1e-6 ? dp * std::exp(-std::pow(R / r, b)) : 0.0;
+  // exp(-(R/r)^b) -> 1 far away; deficit should vanish far away and be
+  // maximal in the centre, so invert:
+  deficit = dp - deficit;
+
+  // Vertical decay: the warm-core low fills with height.
+  double zfrac = p.z / 20.0;
+  double vertical = std::exp(-1.8 * zfrac);
+
+  // Eyewall annulus: a small positive pressure ripple just outside R.
+  double wall = 6.0 * intensity * std::exp(-0.5 * std::pow((r - 1.35 * R) / 30.0, 2.0));
+
+  // Large-scale synoptic gradient plus a mild vertical trend. (The WRF
+  // "Pressure" field the paper reconstructs is perturbation-like: the
+  // hydrostatic column trend is removed, so weather structure dominates.)
+  double background = 1012.0 - 0.004 * (p.y - 1000.0) - 9.0 * zfrac;
+
+  // Drifting mesoscale turbulence (rain bands etc.), stronger at low z.
+  // Kept small relative to the synoptic structure: the reconstructable
+  // smooth field dominates the variance, as in the WRF pressure output.
+  Vec3 q{p.x / 220.0 + 0.35 * t, p.y / 220.0, p.z / 8.0};
+  double turb = 1.2 * (1.0 - 0.6 * zfrac) * fbm_time(q, t * 0.35, seed_, 4);
+
+  // Spiral rain bands: pressure ripples along log-spiral arms around the eye.
+  double theta = std::atan2(dy, dx);
+  double band = 0.0;
+  if (r > 1e-6 && r < 700.0) {
+    double phase = theta - 0.02 * r - 0.8 * t * 0.2;
+    band = 1.5 * intensity * std::cos(2.0 * phase) *
+           std::exp(-std::pow((r - 260.0) / 220.0, 2.0));
+  }
+
+  return background - deficit * vertical + wall * vertical + turb + band;
+}
+
+}  // namespace vf::data

@@ -1,0 +1,35 @@
+#pragma once
+// Turbulent combustion stand-in: mixture-fraction (mixfrac) field.
+//
+// The paper uses the 240x360x60 x 122-step UC Davis turbulent-combustion
+// benchmark and reconstructs "Mixfrac" — the fuel/oxidiser mass proportion,
+// a [0,1] scalar with a thin, convoluted flame interface where it crosses
+// the stoichiometric value. This generator builds a jet-like mixing layer:
+// fuel-rich core decaying downstream, wrinkled by multi-octave turbulence
+// that advects with time, producing the sharp high-gradient interface that
+// makes linear interpolation struggle (paper Fig 2).
+
+#include <cstdint>
+
+#include "vf/data/dataset.hpp"
+
+namespace vf::data {
+
+class CombustionDataset final : public Dataset {
+ public:
+  explicit CombustionDataset(std::uint64_t seed = 2);
+
+  [[nodiscard]] std::string name() const override { return "combustion"; }
+  [[nodiscard]] vf::field::Dims paper_dims() const override {
+    return {240, 360, 60};
+  }
+  [[nodiscard]] int timestep_count() const override { return 122; }
+  [[nodiscard]] vf::field::BoundingBox domain() const override;
+  [[nodiscard]] double evaluate(const vf::field::Vec3& p,
+                                double t) const override;
+
+ private:
+  std::uint64_t seed_;
+};
+
+}  // namespace vf::data

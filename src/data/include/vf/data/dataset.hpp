@@ -1,0 +1,52 @@
+#pragma once
+// Synthetic spatiotemporal dataset interface.
+//
+// A Dataset is an analytic, seeded, time-parameterised continuous field
+// f(position, t) that can be rasterised onto ANY uniform grid. This mirrors
+// what the paper needs from its archived simulations:
+//   - per-timestep full-resolution volumes (training / ground truth),
+//   - many timesteps with coherent temporal evolution (Experiment 2),
+//   - the same physics evaluated at a different resolution and a shifted
+//     spatial domain (Experiment 3, volume upscaling).
+
+#include <memory>
+#include <string>
+
+#include "vf/field/scalar_field.hpp"
+
+namespace vf::data {
+
+class Dataset {
+ public:
+  virtual ~Dataset() = default;
+
+  /// Short identifier ("hurricane", "combustion", "ionization").
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Grid resolution used in the paper.
+  [[nodiscard]] virtual vf::field::Dims paper_dims() const = 0;
+
+  /// Number of timesteps in the paper's dataset.
+  [[nodiscard]] virtual int timestep_count() const = 0;
+
+  /// Physical domain the paper-resolution grid covers.
+  [[nodiscard]] virtual vf::field::BoundingBox domain() const = 0;
+
+  /// Continuous field value at physical position `p`, timestep `t`
+  /// (t may be fractional; integer t correspond to stored steps).
+  [[nodiscard]] virtual double evaluate(const vf::field::Vec3& p,
+                                        double t) const = 0;
+
+  /// Rasterise timestep `t` onto `grid` (parallelised).
+  [[nodiscard]] vf::field::ScalarField generate(const vf::field::UniformGrid3& grid,
+                                                double t) const;
+
+  /// Rasterise onto the default grid for `dims` spanning domain().
+  [[nodiscard]] vf::field::ScalarField generate(vf::field::Dims dims,
+                                                double t) const;
+
+  /// Grid with `dims` points spanning domain().
+  [[nodiscard]] vf::field::UniformGrid3 grid_for(vf::field::Dims dims) const;
+};
+
+}  // namespace vf::data

@@ -1,0 +1,38 @@
+#pragma once
+// Hurricane Isabel stand-in: sea-level pressure of a translating cyclone.
+//
+// The real dataset (vis contest 2004) is a 250x250x50 x 48-timestep WRF run;
+// the paper reconstructs its Pressure field, whose dominant feature is the
+// deep low-pressure eye moving across the domain. This generator reproduces
+// that structure analytically: a background pressure gradient, a radially
+// symmetric pressure deficit (Holland-profile-like) centred on an eye that
+// follows a curved track over the 48 steps, an eyewall annulus, vertical
+// decay of the deficit with altitude, and drifting mesoscale turbulence.
+
+#include <cstdint>
+
+#include "vf/data/dataset.hpp"
+
+namespace vf::data {
+
+class HurricaneDataset final : public Dataset {
+ public:
+  explicit HurricaneDataset(std::uint64_t seed = 1);
+
+  [[nodiscard]] std::string name() const override { return "hurricane"; }
+  [[nodiscard]] vf::field::Dims paper_dims() const override {
+    return {250, 250, 50};
+  }
+  [[nodiscard]] int timestep_count() const override { return 48; }
+  [[nodiscard]] vf::field::BoundingBox domain() const override;
+  [[nodiscard]] double evaluate(const vf::field::Vec3& p,
+                                double t) const override;
+
+  /// Eye centre (x, y) at timestep t — exposed for tests.
+  [[nodiscard]] vf::field::Vec3 eye_position(double t) const;
+
+ private:
+  std::uint64_t seed_;
+};
+
+}  // namespace vf::data

@@ -1,0 +1,38 @@
+#pragma once
+// Ionization Front Instabilities stand-in: gas density around a propagating
+// ionization front (Whalen & Norman 2008).
+//
+// The real dataset is 600x248x248 x 200 steps; the paper reconstructs the
+// density field: very low density in the ionized region behind the front,
+// higher density in the neutral gas ahead, with a compressed shell at the
+// front and finger-like instabilities corrugating it. The generator moves a
+// front along +x over the run, grows sinusoidal+stochastic fingers with
+// time, and superimposes the dense shell and ambient clumpiness.
+
+#include <cstdint>
+
+#include "vf/data/dataset.hpp"
+
+namespace vf::data {
+
+class IonizationDataset final : public Dataset {
+ public:
+  explicit IonizationDataset(std::uint64_t seed = 3);
+
+  [[nodiscard]] std::string name() const override { return "ionization"; }
+  [[nodiscard]] vf::field::Dims paper_dims() const override {
+    return {600, 248, 248};
+  }
+  [[nodiscard]] int timestep_count() const override { return 200; }
+  [[nodiscard]] vf::field::BoundingBox domain() const override;
+  [[nodiscard]] double evaluate(const vf::field::Vec3& p,
+                                double t) const override;
+
+  /// Mean front x-position at timestep t — exposed for tests.
+  [[nodiscard]] double front_position(double t) const;
+
+ private:
+  std::uint64_t seed_;
+};
+
+}  // namespace vf::data

@@ -1,0 +1,33 @@
+#pragma once
+// Deterministic procedural noise for the synthetic datasets.
+//
+// The paper evaluates on three archived simulation datasets we cannot ship.
+// The stand-in generators (hurricane/combustion/ionization) synthesise fields
+// with the same qualitative structure; their broadband "turbulence" comes
+// from the lattice value noise + fractional Brownian motion implemented here.
+// Everything is a pure function of (position, seed), so any grid resolution
+// samples the same underlying continuous field — which is exactly what the
+// upscaling experiment (paper Fig 13) requires.
+
+#include <cstdint>
+
+#include "vf/field/grid.hpp"
+
+namespace vf::data {
+
+/// Smooth lattice value noise in [-1, 1]. C1-continuous (quintic fade).
+/// `seed` selects an independent noise field.
+double value_noise(const vf::field::Vec3& p, std::uint64_t seed);
+
+/// Fractional Brownian motion: `octaves` layers of value noise, each at
+/// `lacunarity` times the previous frequency and `gain` times the previous
+/// amplitude. Output is normalised to roughly [-1, 1].
+double fbm(const vf::field::Vec3& p, std::uint64_t seed, int octaves,
+           double lacunarity = 2.0, double gain = 0.5);
+
+/// Time-coherent fBm: interpolates between two seeds so the field evolves
+/// smoothly as `t` advances (used for temporally drifting turbulence).
+double fbm_time(const vf::field::Vec3& p, double t, std::uint64_t seed,
+                int octaves, double lacunarity = 2.0, double gain = 0.5);
+
+}  // namespace vf::data

@@ -1,0 +1,25 @@
+#pragma once
+// Dataset registry: look up the three benchmark stand-ins by name, and map
+// a global scale factor to per-dataset bench resolutions.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "vf/data/dataset.hpp"
+
+namespace vf::data {
+
+/// Construct a dataset by name ("hurricane", "combustion", "ionization").
+/// Throws std::invalid_argument for unknown names.
+std::unique_ptr<Dataset> make_dataset(const std::string& name,
+                                      std::uint64_t seed = 0);
+
+/// All registered dataset names, in paper order.
+std::vector<std::string> dataset_names();
+
+/// Bench resolution: the paper dims scaled down by `divisor` per axis
+/// (minimum 8 points per axis). divisor=1 reproduces paper scale.
+vf::field::Dims scaled_dims(const Dataset& ds, int divisor);
+
+}  // namespace vf::data

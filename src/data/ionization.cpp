@@ -1,0 +1,66 @@
+#include "vf/data/ionization.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "vf/data/noise.hpp"
+
+namespace vf::data {
+
+using vf::field::BoundingBox;
+using vf::field::Vec3;
+
+IonizationDataset::IonizationDataset(std::uint64_t seed) : seed_(seed) {}
+
+BoundingBox IonizationDataset::domain() const {
+  // Elongated box; the front propagates along x. Nondimensional units.
+  return {{0.0, 0.0, 0.0}, {6.0, 2.5, 2.5}};
+}
+
+double IonizationDataset::front_position(double t) const {
+  // Decelerating D-type front: fast early expansion, slowing later.
+  double u = t / 199.0;
+  return 0.4 + 5.0 * std::pow(u, 0.62);
+}
+
+double IonizationDataset::evaluate(const Vec3& p, double t) const {
+  double u = t / 199.0;
+  double xf = front_position(t);
+
+  // Finger instabilities corrugate the front in (y, z); their amplitude
+  // grows with time (shadowing instability) and they have both coherent
+  // modes and a stochastic component.
+  double amp = 0.05 + 0.45 * u;
+  double coherent = std::sin(5.2 * p.y + 1.0) * std::sin(4.4 * p.z + 2.0);
+  double stochastic =
+      fbm_time(Vec3{p.y * 2.4, p.z * 2.4, 0.3 * t * 0.1}, t * 0.15,
+               seed_ + 7, 4);
+  double corrugation = amp * (0.45 * coherent + 0.8 * stochastic);
+  double front_here = xf + corrugation;
+
+  // Signed distance ahead (+) / behind (-) the corrugated front.
+  double d = p.x - front_here;
+
+  // Smooth step between ionized density (low) and neutral density (high).
+  const double rho_ion = 0.05;
+  const double rho_neutral = 1.0;
+  double w = 1.0 / (1.0 + std::exp(std::clamp(-d / 0.05, -40.0, 40.0)));
+  double rho = rho_ion + (rho_neutral - rho_ion) * w;
+
+  // Swept-up dense shell just ahead of the front; thins as the front slows.
+  double shell_amp = 1.6 * (1.0 - 0.45 * u);
+  rho += shell_amp * std::exp(-0.5 * std::pow((d - 0.07) / 0.06, 2.0));
+
+  // Ambient clumpy medium ahead, mild residual structure behind.
+  double clumps =
+      0.35 * std::max(0.0, fbm(Vec3{p.x * 2.0, p.y * 2.0, p.z * 2.0},
+                               seed_ + 31, 5));
+  rho += clumps * w;
+  rho += 0.02 * (1.0 - w) *
+         (1.0 + fbm_time(Vec3{p.x * 3.0, p.y * 3.0, p.z * 3.0}, t * 0.2,
+                         seed_ + 63, 3));
+
+  return std::max(rho, 0.0);
+}
+
+}  // namespace vf::data

@@ -1,0 +1,93 @@
+#include "vf/data/noise.hpp"
+
+#include <cmath>
+
+namespace vf::data {
+
+namespace {
+
+/// splitmix64-style avalanche of lattice coordinates + seed.
+std::uint64_t hash_coords(std::int64_t ix, std::int64_t iy, std::int64_t iz,
+                          std::uint64_t seed) {
+  std::uint64_t h = seed;
+  h ^= static_cast<std::uint64_t>(ix) * 0x9e3779b97f4a7c15ULL;
+  h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  h ^= static_cast<std::uint64_t>(iy) * 0xc2b2ae3d27d4eb4fULL;
+  h = (h ^ (h >> 27)) * 0x94d049bb133111ebULL;
+  h ^= static_cast<std::uint64_t>(iz) * 0x165667b19e3779f9ULL;
+  h = (h ^ (h >> 31)) * 0xd6e8feb86659fd93ULL;
+  return h ^ (h >> 32);
+}
+
+/// Lattice corner value in [-1, 1].
+double corner_value(std::int64_t ix, std::int64_t iy, std::int64_t iz,
+                    std::uint64_t seed) {
+  std::uint64_t h = hash_coords(ix, iy, iz, seed);
+  return static_cast<double>(h >> 11) * 0x1.0p-53 * 2.0 - 1.0;
+}
+
+/// Quintic fade: 6t^5 - 15t^4 + 10t^3 (zero first & second derivative at
+/// lattice points, so the noise is C2 along axes).
+inline double fade(double t) { return t * t * t * (t * (t * 6 - 15) + 10); }
+
+inline double lerp(double a, double b, double t) { return a + (b - a) * t; }
+
+}  // namespace
+
+double value_noise(const vf::field::Vec3& p, std::uint64_t seed) {
+  double fx = std::floor(p.x), fy = std::floor(p.y), fz = std::floor(p.z);
+  auto ix = static_cast<std::int64_t>(fx);
+  auto iy = static_cast<std::int64_t>(fy);
+  auto iz = static_cast<std::int64_t>(fz);
+  double tx = fade(p.x - fx), ty = fade(p.y - fy), tz = fade(p.z - fz);
+
+  double c000 = corner_value(ix, iy, iz, seed);
+  double c100 = corner_value(ix + 1, iy, iz, seed);
+  double c010 = corner_value(ix, iy + 1, iz, seed);
+  double c110 = corner_value(ix + 1, iy + 1, iz, seed);
+  double c001 = corner_value(ix, iy, iz + 1, seed);
+  double c101 = corner_value(ix + 1, iy, iz + 1, seed);
+  double c011 = corner_value(ix, iy + 1, iz + 1, seed);
+  double c111 = corner_value(ix + 1, iy + 1, iz + 1, seed);
+
+  double x00 = lerp(c000, c100, tx);
+  double x10 = lerp(c010, c110, tx);
+  double x01 = lerp(c001, c101, tx);
+  double x11 = lerp(c011, c111, tx);
+  double y0 = lerp(x00, x10, ty);
+  double y1 = lerp(x01, x11, ty);
+  return lerp(y0, y1, tz);
+}
+
+double fbm(const vf::field::Vec3& p, std::uint64_t seed, int octaves,
+           double lacunarity, double gain) {
+  double sum = 0.0;
+  double amp = 1.0;
+  double norm = 0.0;
+  vf::field::Vec3 q = p;
+  for (int o = 0; o < octaves; ++o) {
+    sum += amp * value_noise(q, seed + 0x51ed270b * static_cast<std::uint64_t>(o));
+    norm += amp;
+    amp *= gain;
+    q = q * lacunarity;
+  }
+  return norm > 0.0 ? sum / norm : 0.0;
+}
+
+double fbm_time(const vf::field::Vec3& p, double t, std::uint64_t seed,
+                int octaves, double lacunarity, double gain) {
+  // Blend between integer time slices of independent noise fields; each
+  // slice is itself smooth in space, and the cosine ramp makes the blend
+  // smooth in time.
+  double ft = std::floor(t);
+  auto it = static_cast<std::int64_t>(ft);
+  double frac = t - ft;
+  double w = 0.5 - 0.5 * std::cos(frac * M_PI);
+  double a = fbm(p, seed + 0x9e3779b9ULL * static_cast<std::uint64_t>(it),
+                 octaves, lacunarity, gain);
+  double b = fbm(p, seed + 0x9e3779b9ULL * static_cast<std::uint64_t>(it + 1),
+                 octaves, lacunarity, gain);
+  return a * (1.0 - w) + b * w;
+}
+
+}  // namespace vf::data

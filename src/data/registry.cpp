@@ -1,0 +1,70 @@
+#include "vf/data/registry.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "vf/data/combustion.hpp"
+#include "vf/data/hurricane.hpp"
+#include "vf/data/ionization.hpp"
+#include "vf/util/parallel.hpp"
+
+namespace vf::data {
+
+// Dataset::generate lives here (dataset.hpp has no own .cpp) to keep the
+// rasterisation path next to the registry helpers.
+vf::field::ScalarField Dataset::generate(const vf::field::UniformGrid3& grid,
+                                         double t) const {
+  vf::field::ScalarField out(grid, name());
+  const auto& d = grid.dims();
+  vf::util::parallel_for(0, d.nz, [&](std::int64_t kk) {
+    int k = static_cast<int>(kk);
+    for (int j = 0; j < d.ny; ++j) {
+      for (int i = 0; i < d.nx; ++i) {
+        out[grid.index(i, j, k)] = evaluate(grid.position(i, j, k), t);
+      }
+    }
+  }, /*grain=*/1);
+  return out;
+}
+
+vf::field::ScalarField Dataset::generate(vf::field::Dims dims, double t) const {
+  return generate(grid_for(dims), t);
+}
+
+vf::field::UniformGrid3 Dataset::grid_for(vf::field::Dims dims) const {
+  auto box = domain();
+  auto ext = box.extent();
+  vf::field::Vec3 spacing{
+      dims.nx > 1 ? ext.x / (dims.nx - 1) : 1.0,
+      dims.ny > 1 ? ext.y / (dims.ny - 1) : 1.0,
+      dims.nz > 1 ? ext.z / (dims.nz - 1) : 1.0,
+  };
+  return vf::field::UniformGrid3(dims, box.min, spacing);
+}
+
+std::unique_ptr<Dataset> make_dataset(const std::string& name,
+                                      std::uint64_t seed) {
+  if (name == "hurricane") {
+    return std::make_unique<HurricaneDataset>(seed ? seed : 1);
+  }
+  if (name == "combustion") {
+    return std::make_unique<CombustionDataset>(seed ? seed : 2);
+  }
+  if (name == "ionization") {
+    return std::make_unique<IonizationDataset>(seed ? seed : 3);
+  }
+  throw std::invalid_argument("make_dataset: unknown dataset '" + name + "'");
+}
+
+std::vector<std::string> dataset_names() {
+  return {"hurricane", "combustion", "ionization"};
+}
+
+vf::field::Dims scaled_dims(const Dataset& ds, int divisor) {
+  auto d = ds.paper_dims();
+  divisor = std::max(divisor, 1);
+  return {std::max(d.nx / divisor, 8), std::max(d.ny / divisor, 8),
+          std::max(d.nz / divisor, 8)};
+}
+
+}  // namespace vf::data

@@ -1,0 +1,61 @@
+#include "vf/field/gradient.hpp"
+
+#include "vf/util/parallel.hpp"
+
+namespace vf::field {
+
+namespace {
+
+/// One-dimensional difference along one axis at index i (0..n-1):
+/// central in the interior, first-order one-sided at the ends.
+inline double axis_diff(double prev, double next, double self, int i, int n,
+                        double h) {
+  if (n == 1) return 0.0;
+  if (i == 0) return (next - self) / h;
+  if (i == n - 1) return (self - prev) / h;
+  return (next - prev) / (2.0 * h);
+}
+
+}  // namespace
+
+std::array<double, 3> gradient_at(const ScalarField& f, int i, int j, int k) {
+  const auto& g = f.grid();
+  const auto& d = g.dims();
+  const auto& h = g.spacing();
+  double self = f.at(i, j, k);
+
+  double gx = axis_diff(i > 0 ? f.at(i - 1, j, k) : 0.0,
+                        i < d.nx - 1 ? f.at(i + 1, j, k) : 0.0, self, i, d.nx,
+                        h.x);
+  double gy = axis_diff(j > 0 ? f.at(i, j - 1, k) : 0.0,
+                        j < d.ny - 1 ? f.at(i, j + 1, k) : 0.0, self, j, d.ny,
+                        h.y);
+  double gz = axis_diff(k > 0 ? f.at(i, j, k - 1) : 0.0,
+                        k < d.nz - 1 ? f.at(i, j, k + 1) : 0.0, self, k, d.nz,
+                        h.z);
+  return {gx, gy, gz};
+}
+
+GradientField compute_gradient(const ScalarField& f) {
+  const auto& g = f.grid();
+  const auto& d = g.dims();
+  GradientField out{ScalarField(g, f.name() + "_dx"),
+                    ScalarField(g, f.name() + "_dy"),
+                    ScalarField(g, f.name() + "_dz")};
+
+  vf::util::parallel_for(0, d.nz, [&](std::int64_t kk) {
+    int k = static_cast<int>(kk);
+    for (int j = 0; j < d.ny; ++j) {
+      for (int i = 0; i < d.nx; ++i) {
+        auto grad = gradient_at(f, i, j, k);
+        std::int64_t idx = g.index(i, j, k);
+        out.dx[idx] = grad[0];
+        out.dy[idx] = grad[1];
+        out.dz[idx] = grad[2];
+      }
+    }
+  }, /*grain=*/1);
+  return out;
+}
+
+}  // namespace vf::field

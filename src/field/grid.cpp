@@ -1,0 +1,55 @@
+#include "vf/field/grid.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace vf::field {
+
+UniformGrid3::UniformGrid3(Dims dims, Vec3 origin, Vec3 spacing)
+    : dims_(dims), origin_(origin), spacing_(spacing) {
+  if (dims.nx < 1 || dims.ny < 1 || dims.nz < 1) {
+    throw std::invalid_argument("UniformGrid3: dims must be >= 1");
+  }
+  if (spacing.x <= 0 || spacing.y <= 0 || spacing.z <= 0) {
+    throw std::invalid_argument("UniformGrid3: spacing must be positive");
+  }
+}
+
+UniformGrid3 UniformGrid3::unit(Dims dims, double longest_extent) {
+  int longest = std::max({dims.nx, dims.ny, dims.nz});
+  double h = longest > 1 ? longest_extent / (longest - 1) : longest_extent;
+  return UniformGrid3(dims, {0, 0, 0}, {h, h, h});
+}
+
+BoundingBox UniformGrid3::bounds() const {
+  return {origin_,
+          {origin_.x + spacing_.x * (dims_.nx - 1),
+           origin_.y + spacing_.y * (dims_.ny - 1),
+           origin_.z + spacing_.z * (dims_.nz - 1)}};
+}
+
+std::array<int, 3> UniformGrid3::nearest_point(const Vec3& p) const {
+  auto clamp_round = [](double v, int n) {
+    int i = static_cast<int>(std::lround(v));
+    return std::clamp(i, 0, n - 1);
+  };
+  Vec3 g = to_grid_space(p);
+  return {clamp_round(g.x, dims_.nx), clamp_round(g.y, dims_.ny),
+          clamp_round(g.z, dims_.nz)};
+}
+
+Vec3 UniformGrid3::to_grid_space(const Vec3& p) const {
+  return {(p.x - origin_.x) / spacing_.x, (p.y - origin_.y) / spacing_.y,
+          (p.z - origin_.z) / spacing_.z};
+}
+
+std::string UniformGrid3::describe() const {
+  char buf[128];
+  std::snprintf(buf, sizeof buf, "%dx%dx%d (%lld points)", dims_.nx, dims_.ny,
+                dims_.nz, static_cast<long long>(point_count()));
+  return buf;
+}
+
+}  // namespace vf::field

@@ -1,0 +1,80 @@
+#include "vf/field/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace vf::field {
+
+Histogram::Histogram(std::span<const double> values, int bins, double lo,
+                     double hi)
+    : counts_(static_cast<std::size_t>(std::max(bins, 1)), 0),
+      lo_(lo),
+      hi_(hi) {
+  if (bins < 1) throw std::invalid_argument("Histogram: bins must be >= 1");
+  if (!(hi > lo)) throw std::invalid_argument("Histogram: hi must be > lo");
+  const double scale = static_cast<double>(bins) / (hi - lo);
+  for (double v : values) {
+    int b = static_cast<int>((v - lo) * scale);
+    b = std::clamp(b, 0, bins - 1);
+    ++counts_[static_cast<std::size_t>(b)];
+    ++total_;
+  }
+}
+
+Histogram Histogram::of(const ScalarField& field, int bins) {
+  auto s = field.stats();
+  double hi = s.max > s.min ? s.max : s.min + 1.0;
+  return Histogram(field.values(), bins, s.min, hi);
+}
+
+double Histogram::probability(int bin) const {
+  if (total_ == 0) return 0.0;
+  return static_cast<double>(counts_[static_cast<std::size_t>(bin)]) /
+         static_cast<double>(total_);
+}
+
+double Histogram::entropy_bits() const {
+  double h = 0.0;
+  for (int b = 0; b < bins(); ++b) {
+    double p = probability(b);
+    if (p > 0.0) h -= p * std::log2(p);
+  }
+  return h;
+}
+
+namespace {
+void check_same_shape(const Histogram& p, const Histogram& q) {
+  if (p.bins() != q.bins()) {
+    throw std::invalid_argument("histogram distance: bin count mismatch");
+  }
+}
+}  // namespace
+
+double kl_divergence_bits(const Histogram& p, const Histogram& q,
+                          double epsilon) {
+  check_same_shape(p, q);
+  double d = 0.0;
+  for (int b = 0; b < p.bins(); ++b) {
+    double pp = p.probability(b);
+    if (pp <= 0.0) continue;
+    double qq = std::max(q.probability(b), epsilon);
+    d += pp * std::log2(pp / qq);
+  }
+  return d;
+}
+
+double emd(const Histogram& p, const Histogram& q) {
+  check_same_shape(p, q);
+  // Prefix-sum formulation of 1-D EMD on normalised histograms; bin width
+  // is 1/bins of the range, so the result is range-relative.
+  double carry = 0.0;
+  double total = 0.0;
+  for (int b = 0; b < p.bins(); ++b) {
+    carry += p.probability(b) - q.probability(b);
+    total += std::abs(carry);
+  }
+  return total / static_cast<double>(p.bins());
+}
+
+}  // namespace vf::field

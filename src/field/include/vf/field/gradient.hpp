@@ -1,0 +1,28 @@
+#pragma once
+// Finite-difference gradients of grid fields.
+//
+// The FCNN's output layer predicts the scalar value plus the x/y/z gradient
+// at each void location (paper §III-D); the training targets come from the
+// central-difference gradient of the full-resolution timestep computed here.
+
+#include <array>
+
+#include "vf/field/scalar_field.hpp"
+
+namespace vf::field {
+
+/// Three gradient component fields (d/dx, d/dy, d/dz) of the input.
+struct GradientField {
+  ScalarField dx;
+  ScalarField dy;
+  ScalarField dz;
+};
+
+/// Central differences in the interior, one-sided at the boundary faces.
+/// Spacing-aware: derivatives are with respect to physical coordinates.
+GradientField compute_gradient(const ScalarField& f);
+
+/// Gradient at a single grid point (same stencils as compute_gradient).
+std::array<double, 3> gradient_at(const ScalarField& f, int i, int j, int k);
+
+}  // namespace vf::field

@@ -1,0 +1,111 @@
+#pragma once
+// Regular (uniform rectilinear) 3-D grids.
+//
+// Every dataset in the paper lives on a uniform grid: Hurricane Isabel
+// 250x250x50, Combustion 240x360x60, Ionization Front 600x248x248. A grid is
+// dims + physical origin + spacing; grid point (i,j,k) sits at
+// origin + (i*dx, j*dy, k*dz). Linear indices are x-fastest (VTK order).
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace vf::field {
+
+/// Integer grid dimensions (number of points along each axis).
+struct Dims {
+  int nx = 0;
+  int ny = 0;
+  int nz = 0;
+
+  [[nodiscard]] std::int64_t count() const {
+    return static_cast<std::int64_t>(nx) * ny * nz;
+  }
+  bool operator==(const Dims&) const = default;
+};
+
+/// Physical position.
+struct Vec3 {
+  double x = 0.0;
+  double y = 0.0;
+  double z = 0.0;
+
+  Vec3 operator+(const Vec3& o) const { return {x + o.x, y + o.y, z + o.z}; }
+  Vec3 operator-(const Vec3& o) const { return {x - o.x, y - o.y, z - o.z}; }
+  Vec3 operator*(double s) const { return {x * s, y * s, z * s}; }
+  double dot(const Vec3& o) const { return x * o.x + y * o.y + z * o.z; }
+  [[nodiscard]] double norm2() const { return dot(*this); }
+  bool operator==(const Vec3&) const = default;
+};
+
+/// Axis-aligned bounding box in physical space.
+struct BoundingBox {
+  Vec3 min;
+  Vec3 max;
+
+  [[nodiscard]] bool contains(const Vec3& p) const {
+    return p.x >= min.x && p.x <= max.x && p.y >= min.y && p.y <= max.y &&
+           p.z >= min.z && p.z <= max.z;
+  }
+  [[nodiscard]] Vec3 extent() const { return max - min; }
+};
+
+/// Uniform rectilinear grid: dims, origin, and per-axis spacing.
+class UniformGrid3 {
+ public:
+  UniformGrid3() = default;
+  UniformGrid3(Dims dims, Vec3 origin, Vec3 spacing);
+
+  /// Grid over [0,1]^3-style unit domain scaled so the longest axis spans
+  /// `longest_extent` (convenience used by the synthetic datasets).
+  static UniformGrid3 unit(Dims dims, double longest_extent = 1.0);
+
+  [[nodiscard]] const Dims& dims() const { return dims_; }
+  [[nodiscard]] const Vec3& origin() const { return origin_; }
+  [[nodiscard]] const Vec3& spacing() const { return spacing_; }
+  [[nodiscard]] std::int64_t point_count() const { return dims_.count(); }
+
+  /// Linear index of grid point (i,j,k); x-fastest ordering.
+  [[nodiscard]] std::int64_t index(int i, int j, int k) const {
+    return (static_cast<std::int64_t>(k) * dims_.ny + j) * dims_.nx + i;
+  }
+
+  /// Inverse of index().
+  [[nodiscard]] std::array<int, 3> ijk(std::int64_t linear) const {
+    int i = static_cast<int>(linear % dims_.nx);
+    std::int64_t rest = linear / dims_.nx;
+    int j = static_cast<int>(rest % dims_.ny);
+    int k = static_cast<int>(rest / dims_.ny);
+    return {i, j, k};
+  }
+
+  /// Physical position of grid point (i,j,k).
+  [[nodiscard]] Vec3 position(int i, int j, int k) const {
+    return {origin_.x + spacing_.x * i, origin_.y + spacing_.y * j,
+            origin_.z + spacing_.z * k};
+  }
+  [[nodiscard]] Vec3 position(std::int64_t linear) const {
+    auto [i, j, k] = ijk(linear);
+    return position(i, j, k);
+  }
+
+  /// Physical bounds of the grid.
+  [[nodiscard]] BoundingBox bounds() const;
+
+  /// Nearest grid point to a physical position, clamped to the grid.
+  [[nodiscard]] std::array<int, 3> nearest_point(const Vec3& p) const;
+
+  /// Continuous grid-space coordinate of a physical position (0..nx-1 etc.).
+  [[nodiscard]] Vec3 to_grid_space(const Vec3& p) const;
+
+  bool operator==(const UniformGrid3&) const = default;
+
+  [[nodiscard]] std::string describe() const;
+
+ private:
+  Dims dims_;
+  Vec3 origin_{0, 0, 0};
+  Vec3 spacing_{1, 1, 1};
+};
+
+}  // namespace vf::field

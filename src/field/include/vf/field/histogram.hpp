@@ -1,0 +1,54 @@
+#pragma once
+// Value histograms and distribution distances.
+//
+// The Biswas-style sampler's first criterion is value-histogram rarity;
+// these utilities quantify how well a sample cloud (or a reconstruction)
+// preserves the original value distribution: Shannon entropy, KL
+// divergence, and the 1-D earth mover's distance between histograms.
+
+#include <span>
+#include <vector>
+
+#include "vf/field/scalar_field.hpp"
+
+namespace vf::field {
+
+class Histogram {
+ public:
+  /// Histogram of `values` over [lo, hi] with `bins` equal-width bins.
+  /// Values outside the range clamp into the end bins.
+  Histogram(std::span<const double> values, int bins, double lo, double hi);
+
+  /// Convenience: range taken from the field's min/max.
+  static Histogram of(const ScalarField& field, int bins = 64);
+
+  [[nodiscard]] int bins() const { return static_cast<int>(counts_.size()); }
+  [[nodiscard]] std::int64_t count(int bin) const { return counts_[static_cast<std::size_t>(bin)]; }
+  [[nodiscard]] std::int64_t total() const { return total_; }
+  [[nodiscard]] double lo() const { return lo_; }
+  [[nodiscard]] double hi() const { return hi_; }
+
+  /// Normalised bin probability.
+  [[nodiscard]] double probability(int bin) const;
+
+  /// Shannon entropy in bits (0 for a single-bin distribution).
+  [[nodiscard]] double entropy_bits() const;
+
+ private:
+  std::vector<std::int64_t> counts_;
+  std::int64_t total_ = 0;
+  double lo_ = 0.0;
+  double hi_ = 1.0;
+};
+
+/// KL divergence D(p || q) in bits over two same-shape histograms; q is
+/// smoothed with epsilon mass so the result stays finite.
+double kl_divergence_bits(const Histogram& p, const Histogram& q,
+                          double epsilon = 1e-9);
+
+/// 1-D earth mover's distance between two same-shape histograms, in units
+/// of the value range (0 = identical distributions, 1 = all mass moved
+/// across the full range).
+double emd(const Histogram& p, const Histogram& q);
+
+}  // namespace vf::field

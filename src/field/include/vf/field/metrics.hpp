@@ -1,0 +1,30 @@
+#pragma once
+// Reconstruction-quality metrics.
+//
+// The paper's headline metric is SNR = 20*log10(sigma_raw / sigma_noise)
+// where noise = original - reconstruction (§IV). PSNR / RMSE / MAE are
+// provided for cross-checking; all operate on same-grid field pairs.
+
+#include "vf/field/scalar_field.hpp"
+
+namespace vf::field {
+
+/// Signal-to-noise ratio in dB, exactly as defined in the paper:
+/// 20*log10(stddev(original) / stddev(original - reconstruction)).
+/// Returns +infinity for a perfect reconstruction.
+double snr_db(const ScalarField& original, const ScalarField& reconstruction);
+
+/// Peak signal-to-noise ratio in dB using the original's value range.
+double psnr_db(const ScalarField& original, const ScalarField& reconstruction);
+
+/// Root mean squared error.
+double rmse(const ScalarField& original, const ScalarField& reconstruction);
+
+/// Mean absolute error.
+double mae(const ScalarField& original, const ScalarField& reconstruction);
+
+/// Maximum absolute error.
+double max_abs_error(const ScalarField& original,
+                     const ScalarField& reconstruction);
+
+}  // namespace vf::field

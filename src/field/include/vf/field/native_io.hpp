@@ -1,0 +1,20 @@
+#pragma once
+// Native binary field format ("VFB1").
+//
+// ASCII .vti is convenient for interoperability but slow for the paper-scale
+// Ionization grid (37M points). The native format is a raw little-endian
+// dump with a small header: magic, dims, origin, spacing, name, values.
+
+#include <string>
+
+#include "vf/field/scalar_field.hpp"
+
+namespace vf::field {
+
+/// Write `field` in the native binary format.
+void write_native(const ScalarField& field, const std::string& path);
+
+/// Read a native binary field. Throws std::runtime_error on bad files.
+ScalarField read_native(const std::string& path);
+
+}  // namespace vf::field

@@ -1,0 +1,23 @@
+#pragma once
+// Grid-to-grid field resampling.
+//
+// Trilinear resampling of a full low-resolution volume onto a finer grid is
+// the classic super-resolution baseline (the "traditional trilinear" method
+// the volume-upscaling literature in the paper's related work compares
+// against); it complements the sparse-sample reconstructors in Experiment 3
+// comparisons.
+
+#include "vf/field/scalar_field.hpp"
+
+namespace vf::field {
+
+/// Evaluate `source` at every point of `target_grid` by trilinear
+/// interpolation (positions outside the source domain clamp to its border).
+ScalarField resample_trilinear(const ScalarField& source,
+                               const UniformGrid3& target_grid);
+
+/// Block-average downsampling by an integer factor per axis (each output
+/// point is the mean of its factor^3 source block). Dims must divide.
+ScalarField downsample_average(const ScalarField& source, int factor);
+
+}  // namespace vf::field

@@ -1,0 +1,77 @@
+#pragma once
+// A scalar field sampled on a uniform grid — the basic data object the whole
+// library moves around: simulation outputs, reconstructions, and error
+// volumes are all ScalarFields.
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "vf/field/grid.hpp"
+
+namespace vf::field {
+
+/// Summary statistics of a value array.
+struct FieldStats {
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  double stddev = 0.0;
+};
+
+class ScalarField {
+ public:
+  ScalarField() = default;
+
+  /// Zero-initialised field over `grid`.
+  explicit ScalarField(UniformGrid3 grid, std::string name = "scalar");
+
+  /// Field adopting existing values (size must equal grid.point_count()).
+  ScalarField(UniformGrid3 grid, std::vector<double> values,
+              std::string name = "scalar");
+
+  [[nodiscard]] const UniformGrid3& grid() const { return grid_; }
+  [[nodiscard]] const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  [[nodiscard]] std::int64_t size() const {
+    return static_cast<std::int64_t>(values_.size());
+  }
+
+  [[nodiscard]] double operator[](std::int64_t i) const { return values_[i]; }
+  [[nodiscard]] double& operator[](std::int64_t i) { return values_[i]; }
+
+  [[nodiscard]] double at(int i, int j, int k) const {
+    return values_[grid_.index(i, j, k)];
+  }
+  [[nodiscard]] double& at(int i, int j, int k) {
+    return values_[grid_.index(i, j, k)];
+  }
+
+  [[nodiscard]] std::span<const double> values() const { return values_; }
+  [[nodiscard]] std::span<double> values() { return values_; }
+  [[nodiscard]] const std::vector<double>& vector() const { return values_; }
+
+  /// Trilinear interpolation at a physical position (clamped to the domain).
+  [[nodiscard]] double sample_trilinear(const Vec3& p) const;
+
+  /// Min / max / mean / population standard deviation.
+  [[nodiscard]] FieldStats stats() const;
+
+  /// Fill every point from `f(position)`.
+  template <typename F>
+  void fill(const F& f) {
+    const auto& d = grid_.dims();
+    for (int k = 0; k < d.nz; ++k)
+      for (int j = 0; j < d.ny; ++j)
+        for (int i = 0; i < d.nx; ++i)
+          values_[grid_.index(i, j, k)] = f(grid_.position(i, j, k));
+  }
+
+ private:
+  UniformGrid3 grid_;
+  std::string name_ = "scalar";
+  std::vector<double> values_;
+};
+
+}  // namespace vf::field

@@ -1,0 +1,40 @@
+#pragma once
+// Minimal VTK XML writers/readers.
+//
+// The paper's pipeline stores full grids as .vti (XML ImageData) and sampled
+// point clouds as .vtp (XML PolyData). We implement the small subset of those
+// formats the workflow needs — one double scalar array, ASCII encoding — so
+// outputs open directly in ParaView and round-trip through our own reader.
+// This is an I/O container, not a VTK reimplementation.
+
+#include <string>
+#include <vector>
+
+#include "vf/field/scalar_field.hpp"
+
+namespace vf::field {
+
+/// Write a scalar field as an ASCII .vti (XML ImageData) file.
+void write_vti(const ScalarField& field, const std::string& path);
+
+/// Read a .vti file previously written by write_vti.
+/// Throws std::runtime_error on malformed input.
+ScalarField read_vti(const std::string& path);
+
+/// Write a point cloud (positions + one scalar per point) as an ASCII .vtp
+/// (XML PolyData) file with vertex cells so ParaView renders the points.
+void write_vtp(const std::vector<Vec3>& points,
+               const std::vector<double>& values, const std::string& name,
+               const std::string& path);
+
+/// Parsed .vtp content.
+struct PolyData {
+  std::vector<Vec3> points;
+  std::vector<double> values;
+  std::string name;
+};
+
+/// Read a .vtp file previously written by write_vtp.
+PolyData read_vtp(const std::string& path);
+
+}  // namespace vf::field

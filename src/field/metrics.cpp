@@ -1,0 +1,86 @@
+#include "vf/field/metrics.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace vf::field {
+
+namespace {
+
+void check_compatible(const ScalarField& a, const ScalarField& b) {
+  if (a.size() != b.size()) {
+    throw std::invalid_argument("metrics: field sizes differ");
+  }
+  if (a.size() == 0) {
+    throw std::invalid_argument("metrics: empty fields");
+  }
+}
+
+/// Population standard deviation of (a - b).
+double noise_stddev(const ScalarField& a, const ScalarField& b) {
+  const std::int64_t n = a.size();
+  double mean = 0.0;
+  for (std::int64_t i = 0; i < n; ++i) mean += a[i] - b[i];
+  mean /= static_cast<double>(n);
+  double var = 0.0;
+  for (std::int64_t i = 0; i < n; ++i) {
+    double d = (a[i] - b[i]) - mean;
+    var += d * d;
+  }
+  return std::sqrt(var / static_cast<double>(n));
+}
+
+}  // namespace
+
+double snr_db(const ScalarField& original, const ScalarField& reconstruction) {
+  check_compatible(original, reconstruction);
+  double sigma_raw = original.stats().stddev;
+  double sigma_noise = noise_stddev(original, reconstruction);
+  if (sigma_noise == 0.0) return std::numeric_limits<double>::infinity();
+  return 20.0 * std::log10(sigma_raw / sigma_noise);
+}
+
+double psnr_db(const ScalarField& original,
+               const ScalarField& reconstruction) {
+  check_compatible(original, reconstruction);
+  auto s = original.stats();
+  double range = s.max - s.min;
+  double r = rmse(original, reconstruction);
+  if (r == 0.0) return std::numeric_limits<double>::infinity();
+  return 20.0 * std::log10(range / r);
+}
+
+double rmse(const ScalarField& original, const ScalarField& reconstruction) {
+  check_compatible(original, reconstruction);
+  const std::int64_t n = original.size();
+  double acc = 0.0;
+  for (std::int64_t i = 0; i < n; ++i) {
+    double d = original[i] - reconstruction[i];
+    acc += d * d;
+  }
+  return std::sqrt(acc / static_cast<double>(n));
+}
+
+double mae(const ScalarField& original, const ScalarField& reconstruction) {
+  check_compatible(original, reconstruction);
+  const std::int64_t n = original.size();
+  double acc = 0.0;
+  for (std::int64_t i = 0; i < n; ++i) {
+    acc += std::abs(original[i] - reconstruction[i]);
+  }
+  return acc / static_cast<double>(n);
+}
+
+double max_abs_error(const ScalarField& original,
+                     const ScalarField& reconstruction) {
+  check_compatible(original, reconstruction);
+  const std::int64_t n = original.size();
+  double mx = 0.0;
+  for (std::int64_t i = 0; i < n; ++i) {
+    mx = std::max(mx, std::abs(original[i] - reconstruction[i]));
+  }
+  return mx;
+}
+
+}  // namespace vf::field

@@ -1,0 +1,80 @@
+#include "vf/field/native_io.hpp"
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+
+namespace vf::field {
+
+namespace {
+constexpr char kMagic[4] = {'V', 'F', 'B', '1'};
+
+template <typename T>
+void write_pod(std::ostream& out, const T& v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof v);
+}
+
+template <typename T>
+void read_pod(std::istream& in, T& v) {
+  in.read(reinterpret_cast<char*>(&v), sizeof v);
+}
+}  // namespace
+
+void write_native(const ScalarField& field, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("write_native: cannot open " + path);
+  out.write(kMagic, 4);
+  const auto& g = field.grid();
+  write_pod(out, static_cast<std::int32_t>(g.dims().nx));
+  write_pod(out, static_cast<std::int32_t>(g.dims().ny));
+  write_pod(out, static_cast<std::int32_t>(g.dims().nz));
+  write_pod(out, g.origin().x);
+  write_pod(out, g.origin().y);
+  write_pod(out, g.origin().z);
+  write_pod(out, g.spacing().x);
+  write_pod(out, g.spacing().y);
+  write_pod(out, g.spacing().z);
+  auto name_len = static_cast<std::uint32_t>(field.name().size());
+  write_pod(out, name_len);
+  out.write(field.name().data(), name_len);
+  out.write(reinterpret_cast<const char*>(field.values().data()),
+            static_cast<std::streamsize>(field.size() * sizeof(double)));
+  if (!out) throw std::runtime_error("write_native: write failed for " + path);
+}
+
+ScalarField read_native(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("read_native: cannot open " + path);
+  char magic[4];
+  in.read(magic, 4);
+  if (!in || std::memcmp(magic, kMagic, 4) != 0) {
+    throw std::runtime_error("read_native: bad magic in " + path);
+  }
+  std::int32_t nx, ny, nz;
+  read_pod(in, nx);
+  read_pod(in, ny);
+  read_pod(in, nz);
+  Vec3 origin, spacing;
+  read_pod(in, origin.x);
+  read_pod(in, origin.y);
+  read_pod(in, origin.z);
+  read_pod(in, spacing.x);
+  read_pod(in, spacing.y);
+  read_pod(in, spacing.z);
+  std::uint32_t name_len = 0;
+  read_pod(in, name_len);
+  if (!in || name_len > 4096) {
+    throw std::runtime_error("read_native: corrupt header in " + path);
+  }
+  std::string name(name_len, '\0');
+  in.read(name.data(), name_len);
+  UniformGrid3 grid({nx, ny, nz}, origin, spacing);
+  std::vector<double> values(static_cast<std::size_t>(grid.point_count()));
+  in.read(reinterpret_cast<char*>(values.data()),
+          static_cast<std::streamsize>(values.size() * sizeof(double)));
+  if (!in) throw std::runtime_error("read_native: truncated data in " + path);
+  return ScalarField(grid, std::move(values), name);
+}
+
+}  // namespace vf::field

@@ -1,0 +1,50 @@
+#include "vf/field/resample.hpp"
+
+#include <stdexcept>
+
+#include "vf/util/parallel.hpp"
+
+namespace vf::field {
+
+ScalarField resample_trilinear(const ScalarField& source,
+                               const UniformGrid3& target_grid) {
+  ScalarField out(target_grid, source.name());
+  vf::util::parallel_for(0, target_grid.point_count(), [&](std::int64_t i) {
+    out[i] = source.sample_trilinear(target_grid.position(i));
+  });
+  return out;
+}
+
+ScalarField downsample_average(const ScalarField& source, int factor) {
+  if (factor < 1) {
+    throw std::invalid_argument("downsample_average: factor must be >= 1");
+  }
+  const auto& d = source.grid().dims();
+  if (d.nx % factor != 0 || d.ny % factor != 0 || d.nz % factor != 0) {
+    throw std::invalid_argument(
+        "downsample_average: dims must be divisible by factor");
+  }
+  Dims od{d.nx / factor, d.ny / factor, d.nz / factor};
+  const auto& s = source.grid().spacing();
+  UniformGrid3 ogrid(od, source.grid().origin(),
+                     {s.x * factor, s.y * factor, s.z * factor});
+  ScalarField out(ogrid, source.name());
+  const double inv = 1.0 / (static_cast<double>(factor) * factor * factor);
+  vf::util::parallel_for(0, od.nz, [&](std::int64_t kk) {
+    int k = static_cast<int>(kk);
+    for (int j = 0; j < od.ny; ++j) {
+      for (int i = 0; i < od.nx; ++i) {
+        double acc = 0.0;
+        for (int dz = 0; dz < factor; ++dz)
+          for (int dy = 0; dy < factor; ++dy)
+            for (int dx = 0; dx < factor; ++dx)
+              acc += source.at(i * factor + dx, j * factor + dy,
+                               k * factor + dz);
+        out.at(i, j, k) = acc * inv;
+      }
+    }
+  }, /*grain=*/1);
+  return out;
+}
+
+}  // namespace vf::field

@@ -1,0 +1,69 @@
+#include "vf/field/scalar_field.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace vf::field {
+
+ScalarField::ScalarField(UniformGrid3 grid, std::string name)
+    : grid_(grid), name_(std::move(name)), values_(grid.point_count(), 0.0) {}
+
+ScalarField::ScalarField(UniformGrid3 grid, std::vector<double> values,
+                         std::string name)
+    : grid_(grid), name_(std::move(name)), values_(std::move(values)) {
+  if (static_cast<std::int64_t>(values_.size()) != grid_.point_count()) {
+    throw std::invalid_argument(
+        "ScalarField: value count does not match grid point count");
+  }
+}
+
+double ScalarField::sample_trilinear(const Vec3& p) const {
+  const auto& d = grid_.dims();
+  Vec3 g = grid_.to_grid_space(p);
+  double gx = std::clamp(g.x, 0.0, static_cast<double>(d.nx - 1));
+  double gy = std::clamp(g.y, 0.0, static_cast<double>(d.ny - 1));
+  double gz = std::clamp(g.z, 0.0, static_cast<double>(d.nz - 1));
+  int i0 = std::min(static_cast<int>(gx), d.nx - 2 >= 0 ? d.nx - 2 : 0);
+  int j0 = std::min(static_cast<int>(gy), d.ny - 2 >= 0 ? d.ny - 2 : 0);
+  int k0 = std::min(static_cast<int>(gz), d.nz - 2 >= 0 ? d.nz - 2 : 0);
+  i0 = std::max(i0, 0);
+  j0 = std::max(j0, 0);
+  k0 = std::max(k0, 0);
+  int i1 = std::min(i0 + 1, d.nx - 1);
+  int j1 = std::min(j0 + 1, d.ny - 1);
+  int k1 = std::min(k0 + 1, d.nz - 1);
+  double fx = gx - i0, fy = gy - j0, fz = gz - k0;
+
+  auto v = [&](int i, int j, int k) { return values_[grid_.index(i, j, k)]; };
+  double c00 = v(i0, j0, k0) * (1 - fx) + v(i1, j0, k0) * fx;
+  double c10 = v(i0, j1, k0) * (1 - fx) + v(i1, j1, k0) * fx;
+  double c01 = v(i0, j0, k1) * (1 - fx) + v(i1, j0, k1) * fx;
+  double c11 = v(i0, j1, k1) * (1 - fx) + v(i1, j1, k1) * fx;
+  double c0 = c00 * (1 - fy) + c10 * fy;
+  double c1 = c01 * (1 - fy) + c11 * fy;
+  return c0 * (1 - fz) + c1 * fz;
+}
+
+FieldStats ScalarField::stats() const {
+  FieldStats s;
+  if (values_.empty()) return s;
+  double mn = values_[0], mx = values_[0];
+  double sum = 0.0;
+  for (double v : values_) {
+    mn = std::min(mn, v);
+    mx = std::max(mx, v);
+    sum += v;
+  }
+  double mean = sum / static_cast<double>(values_.size());
+  double var = 0.0;
+  for (double v : values_) var += (v - mean) * (v - mean);
+  var /= static_cast<double>(values_.size());
+  s.min = mn;
+  s.max = mx;
+  s.mean = mean;
+  s.stddev = std::sqrt(var);
+  return s;
+}
+
+}  // namespace vf::field

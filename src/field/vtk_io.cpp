@@ -1,0 +1,187 @@
+#include "vf/field/vtk_io.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace vf::field {
+
+namespace {
+
+/// Extract the value of `attr="..."` from an XML tag line.
+std::string attr_value(const std::string& line, const std::string& attr) {
+  auto key = attr + "=\"";
+  auto pos = line.find(key);
+  if (pos == std::string::npos) return {};
+  pos += key.size();
+  auto end = line.find('"', pos);
+  if (end == std::string::npos) return {};
+  return line.substr(pos, end - pos);
+}
+
+/// Read whitespace-separated doubles until `count` values are consumed.
+std::vector<double> read_doubles(std::istream& in, std::size_t count,
+                                 const char* what) {
+  std::vector<double> out;
+  out.reserve(count);
+  double v = 0.0;
+  while (out.size() < count && (in >> v)) out.push_back(v);
+  if (out.size() != count) {
+    throw std::runtime_error(std::string("vtk_io: truncated ") + what);
+  }
+  return out;
+}
+
+}  // namespace
+
+void write_vti(const ScalarField& field, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("write_vti: cannot open " + path);
+  const auto& g = field.grid();
+  const auto& d = g.dims();
+  const auto& o = g.origin();
+  const auto& s = g.spacing();
+
+  out << "<?xml version=\"1.0\"?>\n"
+      << "<VTKFile type=\"ImageData\" version=\"1.0\" "
+         "byte_order=\"LittleEndian\">\n";
+  out << "  <ImageData WholeExtent=\"0 " << d.nx - 1 << " 0 " << d.ny - 1
+      << " 0 " << d.nz - 1 << "\" Origin=\"" << o.x << " " << o.y << " " << o.z
+      << "\" Spacing=\"" << s.x << " " << s.y << " " << s.z << "\">\n";
+  out << "    <Piece Extent=\"0 " << d.nx - 1 << " 0 " << d.ny - 1 << " 0 "
+      << d.nz - 1 << "\">\n";
+  out << "      <PointData Scalars=\"" << field.name() << "\">\n";
+  out << "        <DataArray type=\"Float64\" Name=\"" << field.name()
+      << "\" format=\"ascii\">\n";
+  out.precision(17);
+  const auto vals = field.values();
+  for (std::int64_t i = 0; i < field.size(); ++i) {
+    out << vals[i] << ((i + 1) % 6 == 0 ? "\n" : " ");
+  }
+  out << "\n        </DataArray>\n"
+      << "      </PointData>\n"
+      << "    </Piece>\n"
+      << "  </ImageData>\n"
+      << "</VTKFile>\n";
+  if (!out) throw std::runtime_error("write_vti: write failed for " + path);
+}
+
+ScalarField read_vti(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("read_vti: cannot open " + path);
+
+  Dims dims;
+  Vec3 origin, spacing{1, 1, 1};
+  std::string name = "scalar";
+  std::string line;
+  bool have_extent = false;
+  while (std::getline(in, line)) {
+    if (line.find("<ImageData") != std::string::npos) {
+      std::istringstream ext(attr_value(line, "WholeExtent"));
+      int x0, x1, y0, y1, z0, z1;
+      if (!(ext >> x0 >> x1 >> y0 >> y1 >> z0 >> z1)) {
+        throw std::runtime_error("read_vti: bad WholeExtent in " + path);
+      }
+      dims = {x1 - x0 + 1, y1 - y0 + 1, z1 - z0 + 1};
+      std::istringstream org(attr_value(line, "Origin"));
+      org >> origin.x >> origin.y >> origin.z;
+      std::istringstream spc(attr_value(line, "Spacing"));
+      spc >> spacing.x >> spacing.y >> spacing.z;
+      have_extent = true;
+    }
+    if (line.find("<DataArray") != std::string::npos) {
+      auto n = attr_value(line, "Name");
+      if (!n.empty()) name = n;
+      break;  // values follow
+    }
+  }
+  if (!have_extent) {
+    throw std::runtime_error("read_vti: no ImageData element in " + path);
+  }
+  UniformGrid3 grid(dims, origin, spacing);
+  auto values =
+      read_doubles(in, static_cast<std::size_t>(grid.point_count()), "vti data");
+  return ScalarField(grid, std::move(values), name);
+}
+
+void write_vtp(const std::vector<Vec3>& points,
+               const std::vector<double>& values, const std::string& name,
+               const std::string& path) {
+  if (points.size() != values.size()) {
+    throw std::invalid_argument("write_vtp: point/value count mismatch");
+  }
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("write_vtp: cannot open " + path);
+  const std::size_t n = points.size();
+  out << "<?xml version=\"1.0\"?>\n"
+      << "<VTKFile type=\"PolyData\" version=\"1.0\" "
+         "byte_order=\"LittleEndian\">\n"
+      << "  <PolyData>\n"
+      << "    <Piece NumberOfPoints=\"" << n << "\" NumberOfVerts=\"" << n
+      << "\">\n";
+  out.precision(17);
+  out << "      <PointData Scalars=\"" << name << "\">\n"
+      << "        <DataArray type=\"Float64\" Name=\"" << name
+      << "\" format=\"ascii\">\n";
+  for (std::size_t i = 0; i < n; ++i) {
+    out << values[i] << ((i + 1) % 6 == 0 ? "\n" : " ");
+  }
+  out << "\n        </DataArray>\n      </PointData>\n";
+  out << "      <Points>\n"
+      << "        <DataArray type=\"Float64\" NumberOfComponents=\"3\" "
+         "format=\"ascii\">\n";
+  for (const auto& p : points) {
+    out << p.x << " " << p.y << " " << p.z << "\n";
+  }
+  out << "        </DataArray>\n      </Points>\n";
+  out << "      <Verts>\n"
+      << "        <DataArray type=\"Int64\" Name=\"connectivity\" "
+         "format=\"ascii\">\n";
+  for (std::size_t i = 0; i < n; ++i) out << i << ((i + 1) % 12 == 0 ? "\n" : " ");
+  out << "\n        </DataArray>\n"
+      << "        <DataArray type=\"Int64\" Name=\"offsets\" "
+         "format=\"ascii\">\n";
+  for (std::size_t i = 1; i <= n; ++i) out << i << (i % 12 == 0 ? "\n" : " ");
+  out << "\n        </DataArray>\n      </Verts>\n";
+  out << "    </Piece>\n  </PolyData>\n</VTKFile>\n";
+  if (!out) throw std::runtime_error("write_vtp: write failed for " + path);
+}
+
+PolyData read_vtp(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("read_vtp: cannot open " + path);
+  PolyData pd;
+  std::size_t n = 0;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.find("<Piece") != std::string::npos) {
+      n = static_cast<std::size_t>(
+          std::stoll(attr_value(line, "NumberOfPoints")));
+    }
+    if (line.find("<PointData") != std::string::npos) {
+      auto nm = attr_value(line, "Scalars");
+      if (!nm.empty()) pd.name = nm;
+    }
+    if (line.find("<DataArray") != std::string::npos &&
+        line.find("Float64") != std::string::npos &&
+        line.find("NumberOfComponents") == std::string::npos) {
+      pd.values = read_doubles(in, n, "vtp values");
+    }
+    if (line.find("<DataArray") != std::string::npos &&
+        line.find("NumberOfComponents=\"3\"") != std::string::npos) {
+      auto coords = read_doubles(in, n * 3, "vtp points");
+      pd.points.resize(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        pd.points[i] = {coords[3 * i], coords[3 * i + 1], coords[3 * i + 2]};
+      }
+      break;  // vertex topology not needed
+    }
+  }
+  if (pd.points.size() != n || pd.values.size() != n) {
+    throw std::runtime_error("read_vtp: incomplete file " + path);
+  }
+  return pd;
+}
+
+}  // namespace vf::field

@@ -1,0 +1,462 @@
+#include "vf/geometry/delaunay.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace vf::geometry {
+
+using vf::field::Vec3;
+
+namespace {
+
+constexpr std::int64_t kSuperL = 1 << 17;  // super-tet scale
+
+/// splitmix64 for jitter and walk tie-breaking.
+inline std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Pack non-negative lattice coordinates (< 2^20 each) into a key.
+inline std::uint64_t pack_key(const IPoint& p) {
+  return (static_cast<std::uint64_t>(p.x + kSuperL) << 42) |
+         (static_cast<std::uint64_t>(p.y + kSuperL) << 21) |
+         static_cast<std::uint64_t>(p.z + kSuperL);
+}
+
+/// Interleave the low 21 bits of x,y,z into a 63-bit Morton code.
+inline std::uint64_t morton3(std::uint64_t x, std::uint64_t y,
+                             std::uint64_t z) {
+  auto spread = [](std::uint64_t v) {
+    v &= 0x1fffff;
+    v = (v | (v << 32)) & 0x1f00000000ffffULL;
+    v = (v | (v << 16)) & 0x1f0000ff0000ffULL;
+    v = (v | (v << 8)) & 0x100f00f00f00f00fULL;
+    v = (v | (v << 4)) & 0x10c30c30c30c30c3ULL;
+    v = (v | (v << 2)) & 0x1249249249249249ULL;
+    return v;
+  };
+  return spread(x) | (spread(y) << 1) | (spread(z) << 2);
+}
+
+}  // namespace
+
+IPoint Delaunay3::snap(const Vec3& p, std::uint64_t jitter_key) const {
+  // Map into the lattice with a sub-cell dither that breaks the regular-grid
+  // co-sphericity; clamp into the super-tet's guaranteed interior.
+  double jx = 0.5, jy = 0.5, jz = 0.5;
+  if (jitter_key != 0) {
+    std::uint64_t h = mix64(jitter_key);
+    jx = static_cast<double>(h & 0xffff) / 65536.0;
+    jy = static_cast<double>((h >> 16) & 0xffff) / 65536.0;
+    jz = static_cast<double>((h >> 32) & 0xffff) / 65536.0;
+  }
+  auto snap1 = [](double v, double o, double s, double j) {
+    double u = (v - o) * s + j;
+    double lim = static_cast<double>(kSuperL) - 2.0;
+    u = std::clamp(u, -lim, lim + static_cast<double>(kLattice));
+    return static_cast<std::int64_t>(std::floor(u));
+  };
+  return {snap1(p.x, map_origin_.x, map_scale_.x, jx),
+          snap1(p.y, map_origin_.y, map_scale_.y, jy),
+          snap1(p.z, map_origin_.z, map_scale_.z, jz)};
+}
+
+Delaunay3::Delaunay3(const std::vector<Vec3>& points) {
+  if (points.empty()) {
+    throw std::invalid_argument("Delaunay3: need at least one point");
+  }
+  n_points_ = points.size();
+
+  // Affine map: bounding box -> [margin, kLattice - margin].
+  Vec3 lo{std::numeric_limits<double>::infinity(),
+          std::numeric_limits<double>::infinity(),
+          std::numeric_limits<double>::infinity()};
+  Vec3 hi{-lo.x, -lo.y, -lo.z};
+  for (const auto& p : points) {
+    lo.x = std::min(lo.x, p.x); hi.x = std::max(hi.x, p.x);
+    lo.y = std::min(lo.y, p.y); hi.y = std::max(hi.y, p.y);
+    lo.z = std::min(lo.z, p.z); hi.z = std::max(hi.z, p.z);
+  }
+  const double margin = 16.0;
+  const double span = static_cast<double>(kLattice) - 2.0 * margin;
+  map_origin_ = lo;
+  auto scale1 = [&](double extent) {
+    return extent > 1e-300 ? span / extent : 1.0;
+  };
+  map_scale_ = {scale1(hi.x - lo.x), scale1(hi.y - lo.y), scale1(hi.z - lo.z)};
+  map_origin_.x -= margin / map_scale_.x;
+  map_origin_.y -= margin / map_scale_.y;
+  map_origin_.z -= margin / map_scale_.z;
+
+  // Super-tetrahedron (vertices 0..3). Contains every lattice point in
+  // [0, kLattice]^3: min coords > -L and x+y+z < 2L with L = 2^17.
+  vcoord_.push_back({-kSuperL, -kSuperL, -kSuperL});
+  vcoord_.push_back({4 * kSuperL, -kSuperL, -kSuperL});
+  vcoord_.push_back({-kSuperL, 4 * kSuperL, -kSuperL});
+  vcoord_.push_back({-kSuperL, -kSuperL, 4 * kSuperL});
+  vpoint_.assign(4, LocateResult::kSuperVertex);
+  if (orient3d(vcoord_[0], vcoord_[1], vcoord_[2], vcoord_[3]) < 0) {
+    std::swap(vcoord_[2], vcoord_[3]);
+  }
+  Tet root;
+  root.v = {0, 1, 2, 3};
+  root.n = {-1, -1, -1, -1};
+  tets_.push_back(root);
+  mark_.push_back(0);
+
+  // Snap all points, dedupe on lattice cells.
+  point_vertex_.assign(points.size(), LocateResult::kSuperVertex);
+  std::unordered_map<std::uint64_t, std::uint32_t> seen;
+  seen.reserve(points.size() * 2);
+  std::vector<std::pair<std::uint64_t, std::uint32_t>> order;  // morton, point
+  order.reserve(points.size());
+  for (std::uint32_t i = 0; i < points.size(); ++i) {
+    IPoint ip = snap(points[i], 0x5eedULL + i);
+    auto [it, inserted] = seen.emplace(pack_key(ip), i);
+    if (!inserted) {
+      point_vertex_[i] = point_vertex_[it->second];  // resolved below
+      continue;
+    }
+    order.emplace_back(
+        morton3(static_cast<std::uint64_t>(ip.x + kSuperL),
+                static_cast<std::uint64_t>(ip.y + kSuperL),
+                static_cast<std::uint64_t>(ip.z + kSuperL)),
+        i);
+    // Temporarily stash coords keyed by point; vertex ids assigned in
+    // insertion order for locality.
+  }
+  std::sort(order.begin(), order.end());
+
+  std::int64_t hint = 0;
+  for (auto& [code, pi] : order) {
+    (void)code;
+    auto vid = static_cast<std::uint32_t>(vcoord_.size());
+    vcoord_.push_back(snap(points[pi], 0x5eedULL + pi));
+    vpoint_.push_back(pi);
+    point_vertex_[pi] = vid;
+    insert_point(vid, hint);
+  }
+  // Resolve duplicate points to their representative's vertex.
+  for (std::uint32_t i = 0; i < points.size(); ++i) {
+    if (point_vertex_[i] == LocateResult::kSuperVertex) {
+      IPoint ip = snap(points[i], 0x5eedULL + i);
+      point_vertex_[i] = point_vertex_[seen.at(pack_key(ip))];
+    }
+  }
+}
+
+std::size_t Delaunay3::tetrahedron_count() const {
+  std::size_t n = 0;
+  for (const auto& t : tets_) {
+    if (t.alive) ++n;
+  }
+  return n;
+}
+
+IPoint Delaunay3::snapped(std::uint32_t i) const {
+  return vcoord_[point_vertex_[i]];
+}
+
+int Delaunay3::orient_face(const Tet& t, int face, const IPoint& q) const {
+  // Orientation of q substituted for vertex `face` of the tet: positive
+  // when q is on the interior side of that face.
+  const IPoint& a = face == 0 ? q : vcoord_[t.v[0]];
+  const IPoint& b = face == 1 ? q : vcoord_[t.v[1]];
+  const IPoint& c = face == 2 ? q : vcoord_[t.v[2]];
+  const IPoint& d = face == 3 ? q : vcoord_[t.v[3]];
+  return orient3d(a, b, c, d);
+}
+
+bool Delaunay3::in_conflict(const Tet& t, const IPoint& q) const {
+  return insphere(vcoord_[t.v[0]], vcoord_[t.v[1]], vcoord_[t.v[2]],
+                  vcoord_[t.v[3]], q) > 0;
+}
+
+std::int64_t Delaunay3::alloc_tet() {
+  if (!free_list_.empty()) {
+    std::int64_t id = free_list_.back();
+    free_list_.pop_back();
+    tets_[static_cast<std::size_t>(id)].alive = true;
+    mark_[static_cast<std::size_t>(id)] = 0;  // reused slot is not in-cavity
+    return id;
+  }
+  tets_.push_back(Tet{});
+  mark_.push_back(0);
+  return static_cast<std::int64_t>(tets_.size() - 1);
+}
+
+void Delaunay3::free_tet(std::int64_t id) {
+  tets_[static_cast<std::size_t>(id)].alive = false;
+  free_list_.push_back(id);
+}
+
+std::int64_t Delaunay3::walk_from(std::int64_t start, const IPoint& q,
+                                  std::uint64_t salt) const {
+  std::int64_t cur = start;
+  if (cur < 0 || !tets_[static_cast<std::size_t>(cur)].alive) cur = -1;
+  if (cur < 0) {
+    // Find any live tet to start from.
+    for (std::size_t i = tets_.size(); i-- > 0;) {
+      if (tets_[i].alive) {
+        cur = static_cast<std::int64_t>(i);
+        break;
+      }
+    }
+    if (cur < 0) return -1;
+  }
+  std::uint64_t rng = mix64(salt ^ 0xabcdef);
+  // Visibility walk with random negative-face choice; terminates on
+  // Delaunay triangulations. Bounded as a hard safety net.
+  const std::size_t max_steps = tets_.size() * 4 + 64;
+  for (std::size_t step = 0; step < max_steps; ++step) {
+    const Tet& t = tets_[static_cast<std::size_t>(cur)];
+    int neg[4];
+    int nneg = 0;
+    bool inside = true;
+    for (int f = 0; f < 4; ++f) {
+      if (orient_face(t, f, q) < 0) {
+        neg[nneg++] = f;
+        inside = false;
+      }
+    }
+    if (inside) return cur;
+    rng = mix64(rng);
+    int f = neg[rng % static_cast<std::uint64_t>(nneg)];
+    std::int64_t next = t.n[f];
+    if (next < 0) return -1;  // walked out of the super-tet
+    cur = next;
+  }
+  return cur;  // safety net: should be unreachable
+}
+
+void Delaunay3::insert_point(std::uint32_t vertex, std::int64_t& hint) {
+  IPoint q = vcoord_[vertex];
+
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    std::int64_t seed = walk_from(hint, q, vertex + attempt);
+    if (seed < 0) {
+      throw std::logic_error("Delaunay3: insertion point outside super-tet");
+    }
+
+    // Conflict cavity: BFS over strictly-conflicting tets, seeded with the
+    // containing tet (forced in even if q lies exactly on its circumsphere).
+    ++stamp_;
+    cavity_.clear();
+    cavity_.push_back(seed);
+    mark_[static_cast<std::size_t>(seed)] = stamp_;
+    for (std::size_t i = 0; i < cavity_.size(); ++i) {
+      const Tet& t = tets_[static_cast<std::size_t>(cavity_[i])];
+      for (int f = 0; f < 4; ++f) {
+        std::int64_t nb = t.n[f];
+        if (nb < 0 || mark_[static_cast<std::size_t>(nb)] == stamp_) continue;
+        if (in_conflict(tets_[static_cast<std::size_t>(nb)], q)) {
+          mark_[static_cast<std::size_t>(nb)] = stamp_;
+          cavity_.push_back(nb);
+        }
+      }
+    }
+
+    // Boundary faces: (cavity tet, face) whose neighbour is outside.
+    struct BFace {
+      std::uint32_t a, b, c;   // face vertices; tet (vertex,a,b,c) positive
+      std::int64_t outside;    // neighbour beyond the face (-1 at world edge)
+      std::int64_t cavity_tet; // the cavity tet this face belonged to
+    };
+    std::vector<BFace> faces;
+    faces.reserve(cavity_.size() * 2 + 8);
+    bool degenerate = false;
+    for (std::int64_t ct : cavity_) {
+      const Tet& t = tets_[static_cast<std::size_t>(ct)];
+      for (int f = 0; f < 4; ++f) {
+        std::int64_t nb = t.n[f];
+        if (nb >= 0 && mark_[static_cast<std::size_t>(nb)] == stamp_) continue;
+        // Face opposite vertex f. Orient it so the fan tet (q, a, b, c) is
+        // positively oriented: orient3d(q,a,b,c) = -orient3d(a,b,c,q), so we
+        // need q on the NEGATIVE side of (a,b,c).
+        std::uint32_t a = t.v[(f + 1) & 3];
+        std::uint32_t b = t.v[(f + 2) & 3];
+        std::uint32_t c = t.v[(f + 3) & 3];
+        int o = orient3d(vcoord_[a], vcoord_[b], vcoord_[c], q);
+        if (o > 0) std::swap(b, c);
+        if (o == 0) {
+          degenerate = true;
+          break;
+        }
+        faces.push_back({a, b, c, nb, ct});
+      }
+      if (degenerate) break;
+    }
+    if (degenerate) {
+      // q lies exactly on the plane of a cavity-boundary face (possible only
+      // when the forced seed was cospherical). Nudge the vertex one lattice
+      // step and retry; the displacement is ~2^-16 of the domain.
+      vcoord_[vertex].x += (attempt & 1) ? -(attempt + 1) : (attempt + 1);
+      vcoord_[vertex].y += (attempt & 2) ? 1 : 0;
+      q = vcoord_[vertex];
+      continue;
+    }
+
+    // Retriangulate: one new tet per boundary face, fanned from `vertex`.
+    // Cavity slots are freed only after wiring completes so that tet ids
+    // remain unambiguous while outside tets still reference them.
+    std::unordered_map<std::uint64_t, std::pair<std::int64_t, int>> edge_map;
+    edge_map.reserve(faces.size() * 3);
+    std::int64_t first_new = -1;
+    for (const BFace& bf : faces) {
+      std::int64_t nt = alloc_tet();
+      if (first_new < 0) first_new = nt;
+      Tet& t = tets_[static_cast<std::size_t>(nt)];
+      t.v = {vertex, bf.a, bf.b, bf.c};
+      t.n = {bf.outside, -1, -1, -1};
+      if (bf.outside >= 0) {
+        // Wire the outside tet's face (the one that pointed at the cavity
+        // tet this boundary face came from) back to the new tet.
+        Tet& ot = tets_[static_cast<std::size_t>(bf.outside)];
+        for (int f = 0; f < 4; ++f) {
+          if (ot.n[f] == bf.cavity_tet) {
+            ot.n[f] = nt;
+            break;
+          }
+        }
+      }
+      // Internal faces: opposite bf.a is (vertex, bf.b, bf.c) — shared with
+      // the new tet across edge (bf.b, bf.c), etc.
+      const std::uint32_t fv[3] = {bf.a, bf.b, bf.c};
+      for (int f = 0; f < 3; ++f) {
+        std::uint32_t e1 = fv[(f + 1) % 3];
+        std::uint32_t e2 = fv[(f + 2) % 3];
+        std::uint64_t key =
+            (static_cast<std::uint64_t>(std::min(e1, e2)) << 32) |
+            std::max(e1, e2);
+        auto it = edge_map.find(key);
+        if (it == edge_map.end()) {
+          edge_map.emplace(key, std::make_pair(nt, f + 1));
+        } else {
+          auto [other, oface] = it->second;
+          t.n[f + 1] = other;
+          tets_[static_cast<std::size_t>(other)].n[oface] = nt;
+          edge_map.erase(it);
+        }
+      }
+    }
+    for (std::int64_t ct : cavity_) free_tet(ct);
+    hint = first_new;
+    return;
+  }
+  throw std::logic_error(
+      "Delaunay3: unresolvable degeneracy during insertion");
+}
+
+LocateResult Delaunay3::locate(const Vec3& q, std::int64_t hint) const {
+  LocateResult res;
+  IPoint iq = snap(q, 0);
+  std::uint64_t salt = pack_key(iq);
+  std::int64_t tid = walk_from(hint, iq, salt);
+  if (tid < 0) return res;  // outside the super-tetrahedron
+
+  // Queries exactly on a hull face are contained in both the finite tet and
+  // the super tet across it; different walk paths may settle on either.
+  // Prefer the finite tet: it gives a proper barycentric interpolation and
+  // makes locate() deterministic regardless of the walk.
+  {
+    auto has_super = [&](std::int64_t id) {
+      const Tet& tt = tets_[static_cast<std::size_t>(id)];
+      return tt.v[0] < 4 || tt.v[1] < 4 || tt.v[2] < 4 || tt.v[3] < 4;
+    };
+    if (has_super(tid)) {
+      const Tet& t0 = tets_[static_cast<std::size_t>(tid)];
+      for (int f = 0; f < 4; ++f) {
+        std::int64_t nb = t0.n[f];
+        if (nb < 0 || has_super(nb)) continue;
+        if (orient_face(t0, f, iq) != 0) continue;  // not on this face
+        const Tet& tn = tets_[static_cast<std::size_t>(nb)];
+        bool inside = true;
+        for (int g = 0; g < 4; ++g) {
+          if (orient_face(tn, g, iq) < 0) {
+            inside = false;
+            break;
+          }
+        }
+        if (inside) {
+          tid = nb;
+          break;
+        }
+      }
+    }
+  }
+
+  const Tet& t = tets_[static_cast<std::size_t>(tid)];
+  res.tet = tid;
+  res.in_hull = true;
+  for (int i = 0; i < 4; ++i) {
+    std::uint32_t v = t.v[i];
+    res.points[i] = v < 4 ? LocateResult::kSuperVertex : vpoint_[v];
+    if (v < 4) res.in_hull = false;
+  }
+  // Barycentric weights from the orientation determinants. Exact integers
+  // converted to double only for the final normalisation.
+  double w[4];
+  double total = 0.0;
+  for (int i = 0; i < 4; ++i) {
+    const IPoint& a = i == 0 ? iq : vcoord_[t.v[0]];
+    const IPoint& b = i == 1 ? iq : vcoord_[t.v[1]];
+    const IPoint& c = i == 2 ? iq : vcoord_[t.v[2]];
+    const IPoint& d = i == 3 ? iq : vcoord_[t.v[3]];
+    w[i] = orient3d_det(a, b, c, d);
+    total += w[i];
+  }
+  if (total <= 0.0) total = 1.0;  // degenerate guard; weights become ~0
+  for (int i = 0; i < 4; ++i) res.weights[i] = w[i] / total;
+  return res;
+}
+
+bool Delaunay3::validate(int checks, int probes, std::uint64_t seed) const {
+  if (tets_.empty()) return false;
+  std::uint64_t rng = mix64(seed);
+  std::vector<std::int64_t> live;
+  live.reserve(tets_.size());
+  for (std::size_t i = 0; i < tets_.size(); ++i) {
+    if (tets_[i].alive) live.push_back(static_cast<std::int64_t>(i));
+  }
+  if (live.empty()) return false;
+
+  for (int c = 0; c < checks; ++c) {
+    rng = mix64(rng);
+    const std::int64_t tid = live[rng % live.size()];
+    const Tet& t = tets_[static_cast<std::size_t>(tid)];
+    // (a) positive orientation
+    if (orient3d(vcoord_[t.v[0]], vcoord_[t.v[1]], vcoord_[t.v[2]],
+                 vcoord_[t.v[3]]) <= 0) {
+      return false;
+    }
+    // (b) mutual neighbour links
+    for (int f = 0; f < 4; ++f) {
+      std::int64_t nb = t.n[f];
+      if (nb < 0) continue;
+      const Tet& o = tets_[static_cast<std::size_t>(nb)];
+      if (!o.alive) return false;
+      bool back = o.n[0] == tid || o.n[1] == tid || o.n[2] == tid ||
+                  o.n[3] == tid;
+      if (!back) return false;
+    }
+    // (c) empty circumsphere against random vertices (augmented point set)
+    for (int p = 0; p < probes; ++p) {
+      rng = mix64(rng);
+      auto v = static_cast<std::uint32_t>(4 + rng % (vcoord_.size() - 4));
+      if (v == t.v[0] || v == t.v[1] || v == t.v[2] || v == t.v[3]) continue;
+      if (insphere(vcoord_[t.v[0]], vcoord_[t.v[1]], vcoord_[t.v[2]],
+                   vcoord_[t.v[3]], vcoord_[v]) > 0) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace vf::geometry

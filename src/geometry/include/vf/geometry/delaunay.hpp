@@ -1,0 +1,122 @@
+#pragma once
+// Incremental 3-D Delaunay tetrahedralization (Bowyer-Watson).
+//
+// This is the substrate for the paper's strongest classical baseline:
+// Delaunay-based piecewise-linear interpolation (§III-B), which the paper
+// implements with CGAL + OpenMP. Our construction:
+//
+//   1. Input points are affinely mapped into a 2^16 integer lattice with a
+//      deterministic hash jitter (< 1 lattice cell) that breaks the extreme
+//      co-sphericity of points sampled from a regular grid. All predicates
+//      are then EXACT (__int128 determinants, see predicates.hpp), so the
+//      incremental algorithm is robust by construction.
+//   2. Points are inserted in Morton (Z-curve) order; each insertion walks
+//      from the previously created tetrahedron, finds the conflict cavity by
+//      BFS over the "inside circumsphere" predicate, and retriangulates the
+//      cavity boundary fan-style.
+//   3. A large bounding super-tetrahedron (4 artificial vertices) keeps the
+//      structure closed; tetrahedra incident to super vertices are flagged
+//      so interpolation can fall back to nearest-neighbour outside the hull.
+//
+// The lattice snap displaces geometry by at most one cell (2^-16 of the
+// domain), orders of magnitude below the inter-sample spacing at the
+// sampling rates studied (0.1%-5%), so interpolation quality is unaffected.
+// Queries return barycentric coordinates w.r.t. the containing tetrahedron.
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "vf/field/grid.hpp"
+#include "vf/geometry/predicates.hpp"
+
+namespace vf::geometry {
+
+/// Result of a point-location query.
+struct LocateResult {
+  /// Containing tetrahedron id, or -1 when the query fell outside the
+  /// super-tetrahedron (cannot happen for queries inside the build bbox).
+  std::int64_t tet = -1;
+  /// Indices into the ORIGINAL input point array for the tet corners.
+  /// Entries are kSuperVertex for corners of the bounding super-tet.
+  std::array<std::uint32_t, 4> points{};
+  /// Barycentric weights of the query w.r.t. the (possibly super) corners.
+  std::array<double, 4> weights{};
+  /// True when all four corners are real input points (inside the hull).
+  bool in_hull = false;
+
+  static constexpr std::uint32_t kSuperVertex = 0xffffffffu;
+};
+
+class Delaunay3 {
+ public:
+  /// Build the tetrahedralization of `points`. Duplicate points (after
+  /// lattice snapping) are merged onto one representative vertex.
+  /// Requires points.size() >= 1.
+  explicit Delaunay3(const std::vector<vf::field::Vec3>& points);
+
+  /// Number of input points.
+  [[nodiscard]] std::size_t point_count() const { return n_points_; }
+
+  /// Number of live tetrahedra (including those touching super vertices).
+  [[nodiscard]] std::size_t tetrahedron_count() const;
+
+  /// Locate the tetrahedron containing `q` and compute barycentric weights.
+  /// Thread-safe after construction. `hint` accelerates coherent query
+  /// sequences (pass the previous result's tet).
+  [[nodiscard]] LocateResult locate(const vf::field::Vec3& q,
+                                    std::int64_t hint = -1) const;
+
+  /// Sampled structural validation for tests: checks `checks` random live
+  /// tets for (a) positive orientation, (b) mutual neighbour links, and
+  /// (c) the Delaunay empty-circumsphere property against `probes` random
+  /// vertices. Returns true when every check passes.
+  [[nodiscard]] bool validate(int checks, int probes,
+                              std::uint64_t seed = 7) const;
+
+  /// The lattice-snapped coordinate of input point i (for tests).
+  [[nodiscard]] IPoint snapped(std::uint32_t i) const;
+
+ private:
+  struct Tet {
+    std::array<std::uint32_t, 4> v;   // vertex ids (0..3 are super vertices)
+    std::array<std::int64_t, 4> n;    // neighbour opposite v[i]; -1 = none
+    bool alive = true;
+  };
+
+  // --- coordinate mapping ---
+  [[nodiscard]] IPoint snap(const vf::field::Vec3& p,
+                            std::uint64_t jitter_key) const;
+
+  // --- construction helpers ---
+  void insert_point(std::uint32_t vertex, std::int64_t& hint);
+  [[nodiscard]] std::int64_t walk_from(std::int64_t start, const IPoint& q,
+                                       std::uint64_t salt) const;
+  [[nodiscard]] int orient_face(const Tet& t, int face, const IPoint& q) const;
+  [[nodiscard]] bool in_conflict(const Tet& t, const IPoint& q) const;
+
+  std::int64_t alloc_tet();
+  void free_tet(std::int64_t id);
+
+  // vertex id -> lattice coordinates (ids 0..3 are the super vertices).
+  std::vector<IPoint> vcoord_;
+  // vertex id (>= 4) -> original input point index.
+  std::vector<std::uint32_t> vpoint_;
+  // original input point index -> vertex id (duplicates share a vertex).
+  std::vector<std::uint32_t> point_vertex_;
+
+  std::vector<Tet> tets_;
+  std::vector<std::int64_t> free_list_;
+  std::size_t n_points_ = 0;
+
+  // scratch reused across insertions (construction is single-threaded)
+  mutable std::vector<std::int64_t> cavity_;
+  std::vector<std::uint32_t> mark_;     // per-tet visit stamps
+  std::uint32_t stamp_ = 0;
+
+  // physical -> lattice affine map
+  vf::field::Vec3 map_origin_;
+  vf::field::Vec3 map_scale_;
+};
+
+}  // namespace vf::geometry

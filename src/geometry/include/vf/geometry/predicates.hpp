@@ -1,0 +1,53 @@
+#pragma once
+// Exact geometric predicates on lattice-snapped integer coordinates.
+//
+// The Delaunay substrate replaces the paper's CGAL dependency. CGAL's
+// robustness comes from exact predicates; we get the same guarantee a
+// different way: input points are snapped to a 2^16 integer lattice (with a
+// deterministic sub-cell jitter that breaks the massive co-sphericity of
+// regular-grid samples), and orient3d / insphere are evaluated as exact
+// __int128 determinants. With coordinates bounded by the lattice size the
+// determinants provably fit in 128 bits, so every predicate decision is
+// exact and the incremental construction can never be corrupted by
+// floating-point inconsistency.
+
+#include <cstdint>
+
+namespace vf::geometry {
+
+/// Integer lattice point. Coordinates must stay within +-kMaxCoord for the
+/// exactness guarantees below to hold.
+struct IPoint {
+  std::int64_t x = 0;
+  std::int64_t y = 0;
+  std::int64_t z = 0;
+  bool operator==(const IPoint&) const = default;
+};
+
+/// Data points are snapped into [0, kLattice); the bounding super-
+/// tetrahedron may use coordinates up to kMaxCoord in magnitude.
+inline constexpr std::int64_t kLattice = 1 << 16;
+inline constexpr std::int64_t kMaxCoord = 1 << 19;
+
+/// Sign of the orientation determinant:
+///   > 0  when d lies on the positive side of plane (a, b, c)
+///         (i.e. (b-a) x (c-a) . (d-a) > 0),
+///   < 0  on the negative side, 0 when coplanar.
+/// Exact for |coords| <= kMaxCoord.
+int orient3d(const IPoint& a, const IPoint& b, const IPoint& c,
+             const IPoint& d);
+
+/// The orientation determinant itself, rounded to double (exact sign, value
+/// accurate to ~1 ulp of the exact integer). Used for barycentric weights.
+double orient3d_det(const IPoint& a, const IPoint& b, const IPoint& c,
+                    const IPoint& d);
+
+/// Sign of the insphere determinant for a POSITIVELY oriented tet (a,b,c,d)
+/// (orient3d(a,b,c,d) > 0):
+///   > 0  when e is strictly inside the circumsphere,
+///   < 0  strictly outside, 0 on the sphere.
+/// Exact for |coords| <= kMaxCoord.
+int insphere(const IPoint& a, const IPoint& b, const IPoint& c,
+             const IPoint& d, const IPoint& e);
+
+}  // namespace vf::geometry

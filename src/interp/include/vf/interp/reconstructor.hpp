@@ -1,0 +1,42 @@
+#pragma once
+// Common interface for point-cloud -> regular-grid reconstruction.
+//
+// These are the classical methods the paper surveys in §III-B and benchmarks
+// against the FCNN in Figs 9/10: piecewise-linear (Delaunay), natural
+// neighbour (discrete Sibson), modified Shepard, nearest neighbour, and RBF.
+// Every method consumes an unstructured SampleCloud and produces a
+// ScalarField on an arbitrary target grid (which need not match the grid the
+// cloud was sampled from — Experiment 3 reconstructs onto a finer grid).
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "vf/field/scalar_field.hpp"
+#include "vf/sampling/sample_cloud.hpp"
+
+namespace vf::interp {
+
+class Reconstructor {
+ public:
+  virtual ~Reconstructor() = default;
+
+  /// Short identifier used in bench output ("linear", "nearest", ...).
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Reconstruct the full field on `grid` from the sampled cloud.
+  /// Thread policy is an implementation detail of each method.
+  [[nodiscard]] virtual vf::field::ScalarField reconstruct(
+      const vf::sampling::SampleCloud& cloud,
+      const vf::field::UniformGrid3& grid) const = 0;
+};
+
+/// Construct a reconstructor by name: "nearest", "shepard", "linear",
+/// "linear_seq" (single-threaded naive), "natural", "rbf".
+/// Throws std::invalid_argument for unknown names.
+std::unique_ptr<Reconstructor> make_reconstructor(const std::string& name);
+
+/// Names of all registered reconstructors, in paper order.
+std::vector<std::string> reconstructor_names();
+
+}  // namespace vf::interp

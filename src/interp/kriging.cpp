@@ -1,0 +1,128 @@
+#include "vf/interp/kriging.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "vf/spatial/kdtree.hpp"
+
+#include <omp.h>
+
+namespace vf::interp {
+
+namespace {
+
+/// Solve the (k+1)x(k+1) symmetric kriging system in place with partial
+/// pivoting; returns false on singularity.
+bool solve(std::vector<double>& A, std::vector<double>& b, int n) {
+  for (int col = 0; col < n; ++col) {
+    int piv = col;
+    double best = std::abs(A[static_cast<std::size_t>(col) * n + col]);
+    for (int r = col + 1; r < n; ++r) {
+      double v = std::abs(A[static_cast<std::size_t>(r) * n + col]);
+      if (v > best) {
+        best = v;
+        piv = r;
+      }
+    }
+    if (best < 1e-300) return false;
+    if (piv != col) {
+      for (int c = 0; c < n; ++c) {
+        std::swap(A[static_cast<std::size_t>(col) * n + c],
+                  A[static_cast<std::size_t>(piv) * n + c]);
+      }
+      std::swap(b[static_cast<std::size_t>(col)],
+                b[static_cast<std::size_t>(piv)]);
+    }
+    double inv = 1.0 / A[static_cast<std::size_t>(col) * n + col];
+    for (int r = col + 1; r < n; ++r) {
+      double f = A[static_cast<std::size_t>(r) * n + col] * inv;
+      if (f == 0.0) continue;
+      for (int c = col; c < n; ++c) {
+        A[static_cast<std::size_t>(r) * n + c] -=
+            f * A[static_cast<std::size_t>(col) * n + c];
+      }
+      b[static_cast<std::size_t>(r)] -= f * b[static_cast<std::size_t>(col)];
+    }
+  }
+  for (int r = n - 1; r >= 0; --r) {
+    double acc = b[static_cast<std::size_t>(r)];
+    for (int c = r + 1; c < n; ++c) {
+      acc -= A[static_cast<std::size_t>(r) * n + c] *
+             b[static_cast<std::size_t>(c)];
+    }
+    b[static_cast<std::size_t>(r)] = acc / A[static_cast<std::size_t>(r) * n + r];
+  }
+  return true;
+}
+
+}  // namespace
+
+vf::field::ScalarField KrigingReconstructor::reconstruct(
+    const vf::sampling::SampleCloud& cloud,
+    const vf::field::UniformGrid3& grid) const {
+  if (cloud.size() < 2) {
+    throw std::invalid_argument("kriging: need at least 2 samples");
+  }
+  vf::spatial::KdTree tree(cloud.points());
+  const auto& pts = cloud.points();
+  const auto& values = cloud.values();
+  vf::field::ScalarField out(grid, "kriging");
+  const std::int64_t n = grid.point_count();
+  const int k = static_cast<int>(
+      std::min<std::size_t>(static_cast<std::size_t>(k_), cloud.size()));
+  const int sys = k + 1;  // + Lagrange multiplier row/column
+
+#pragma omp parallel
+  {
+    std::vector<vf::spatial::Neighbor> nbrs;
+    std::vector<double> A(static_cast<std::size_t>(sys) * sys);
+    std::vector<double> b(static_cast<std::size_t>(sys));
+#pragma omp for schedule(dynamic, 4096)
+    for (std::int64_t i = 0; i < n; ++i) {
+      vf::field::Vec3 q = grid.position(i);
+      tree.knn(q, k, nbrs);
+      if (nbrs.front().dist2 < 1e-24) {
+        out[i] = values[nbrs.front().index];
+        continue;
+      }
+      // Exponential variogram gamma(h) = 1 - exp(-3h/range), range tied to
+      // the local k-th neighbour distance.
+      double range = range_scale_ * std::sqrt(nbrs.back().dist2);
+      if (range <= 0.0) range = 1.0;
+      auto gamma = [range](double h) {
+        return 1.0 - std::exp(-3.0 * h / range);
+      };
+
+      for (int r = 0; r < k; ++r) {
+        const auto& pr = pts[nbrs[static_cast<std::size_t>(r)].index];
+        for (int c = 0; c < k; ++c) {
+          const auto& pc = pts[nbrs[static_cast<std::size_t>(c)].index];
+          double h = std::sqrt((pr - pc).norm2());
+          A[static_cast<std::size_t>(r) * sys + c] =
+              gamma(h) + (r == c ? nugget_ : 0.0);
+        }
+        A[static_cast<std::size_t>(r) * sys + k] = 1.0;  // unbiasedness
+        A[static_cast<std::size_t>(k) * sys + r] = 1.0;
+        b[static_cast<std::size_t>(r)] =
+            gamma(std::sqrt(nbrs[static_cast<std::size_t>(r)].dist2));
+      }
+      A[static_cast<std::size_t>(k) * sys + k] = 0.0;
+      b[static_cast<std::size_t>(k)] = 1.0;
+
+      if (!solve(A, b, sys)) {
+        out[i] = values[nbrs.front().index];
+        continue;
+      }
+      double acc = 0.0;
+      for (int r = 0; r < k; ++r) {
+        acc += b[static_cast<std::size_t>(r)] *
+               values[nbrs[static_cast<std::size_t>(r)].index];
+      }
+      out[i] = acc;
+    }
+  }
+  return out;
+}
+
+}  // namespace vf::interp

@@ -1,0 +1,25 @@
+#include <stdexcept>
+
+#include "vf/interp/methods.hpp"
+#include "vf/spatial/kdtree.hpp"
+#include "vf/util/parallel.hpp"
+
+namespace vf::interp {
+
+vf::field::ScalarField NearestNeighborReconstructor::reconstruct(
+    const vf::sampling::SampleCloud& cloud,
+    const vf::field::UniformGrid3& grid) const {
+  if (cloud.size() == 0) {
+    throw std::invalid_argument("nearest: empty sample cloud");
+  }
+  vf::spatial::KdTree tree(cloud.points());
+  const auto& values = cloud.values();
+  vf::field::ScalarField out(grid, "nearest");
+
+  vf::util::parallel_for(0, grid.point_count(), [&](std::int64_t i) {
+    out[i] = values[tree.nearest(grid.position(i))];
+  });
+  return out;
+}
+
+}  // namespace vf::interp

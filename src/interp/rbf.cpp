@@ -1,0 +1,117 @@
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "vf/interp/methods.hpp"
+#include "vf/spatial/kdtree.hpp"
+
+#include <omp.h>
+
+namespace vf::interp {
+
+namespace {
+
+/// Solve the dense symmetric system A x = b in place (Gaussian elimination
+/// with partial pivoting). A is k x k, tiny (k <= ~32), so no blocking.
+bool solve_dense(std::vector<double>& A, std::vector<double>& b, int k) {
+  for (int col = 0; col < k; ++col) {
+    // pivot
+    int piv = col;
+    double best = std::abs(A[static_cast<std::size_t>(col) * k + col]);
+    for (int r = col + 1; r < k; ++r) {
+      double v = std::abs(A[static_cast<std::size_t>(r) * k + col]);
+      if (v > best) {
+        best = v;
+        piv = r;
+      }
+    }
+    if (best < 1e-300) return false;
+    if (piv != col) {
+      for (int c = 0; c < k; ++c) {
+        std::swap(A[static_cast<std::size_t>(col) * k + c],
+                  A[static_cast<std::size_t>(piv) * k + c]);
+      }
+      std::swap(b[static_cast<std::size_t>(col)], b[static_cast<std::size_t>(piv)]);
+    }
+    double inv = 1.0 / A[static_cast<std::size_t>(col) * k + col];
+    for (int r = col + 1; r < k; ++r) {
+      double f = A[static_cast<std::size_t>(r) * k + col] * inv;
+      if (f == 0.0) continue;
+      for (int c = col; c < k; ++c) {
+        A[static_cast<std::size_t>(r) * k + c] -=
+            f * A[static_cast<std::size_t>(col) * k + c];
+      }
+      b[static_cast<std::size_t>(r)] -= f * b[static_cast<std::size_t>(col)];
+    }
+  }
+  for (int r = k - 1; r >= 0; --r) {
+    double acc = b[static_cast<std::size_t>(r)];
+    for (int c = r + 1; c < k; ++c) {
+      acc -= A[static_cast<std::size_t>(r) * k + c] * b[static_cast<std::size_t>(c)];
+    }
+    b[static_cast<std::size_t>(r)] = acc / A[static_cast<std::size_t>(r) * k + r];
+  }
+  return true;
+}
+
+}  // namespace
+
+vf::field::ScalarField RbfReconstructor::reconstruct(
+    const vf::sampling::SampleCloud& cloud,
+    const vf::field::UniformGrid3& grid) const {
+  if (cloud.size() == 0) {
+    throw std::invalid_argument("rbf: empty sample cloud");
+  }
+  vf::spatial::KdTree tree(cloud.points());
+  const auto& pts = cloud.points();
+  const auto& values = cloud.values();
+  vf::field::ScalarField out(grid, "rbf");
+  const std::int64_t n = grid.point_count();
+  const int k = static_cast<int>(
+      std::min<std::size_t>(static_cast<std::size_t>(k_), cloud.size()));
+
+#pragma omp parallel
+  {
+    std::vector<vf::spatial::Neighbor> nbrs;
+    std::vector<double> A(static_cast<std::size_t>(k) * k);
+    std::vector<double> b(static_cast<std::size_t>(k));
+#pragma omp for schedule(dynamic, 4096)
+    for (std::int64_t i = 0; i < n; ++i) {
+      vf::field::Vec3 q = grid.position(i);
+      tree.knn(q, k, nbrs);
+      if (nbrs.front().dist2 < 1e-24) {  // exact hit on a sample
+        out[i] = values[nbrs.front().index];
+        continue;
+      }
+      // Gaussian kernel with shape parameter tied to the local spacing.
+      double scale2 = nbrs.back().dist2;
+      if (scale2 <= 0.0) scale2 = 1.0;
+      auto kernel = [scale2](double d2) { return std::exp(-3.0 * d2 / scale2); };
+
+      for (int r = 0; r < k; ++r) {
+        const auto& pr = pts[nbrs[static_cast<std::size_t>(r)].index];
+        for (int c = 0; c < k; ++c) {
+          const auto& pc = pts[nbrs[static_cast<std::size_t>(c)].index];
+          double dx = pr.x - pc.x, dy = pr.y - pc.y, dz = pr.z - pc.z;
+          A[static_cast<std::size_t>(r) * k + c] =
+              kernel(dx * dx + dy * dy + dz * dz) + (r == c ? ridge_ : 0.0);
+        }
+        b[static_cast<std::size_t>(r)] =
+            values[nbrs[static_cast<std::size_t>(r)].index];
+      }
+      if (!solve_dense(A, b, k)) {
+        out[i] = values[nbrs.front().index];
+        continue;
+      }
+      double acc = 0.0;
+      for (int r = 0; r < k; ++r) {
+        acc += b[static_cast<std::size_t>(r)] *
+               kernel(nbrs[static_cast<std::size_t>(r)].dist2);
+      }
+      out[i] = acc;
+    }
+  }
+  return out;
+}
+
+}  // namespace vf::interp

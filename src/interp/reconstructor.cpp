@@ -1,0 +1,36 @@
+#include "vf/interp/reconstructor.hpp"
+
+#include <stdexcept>
+
+#include "vf/interp/kriging.hpp"
+#include "vf/interp/methods.hpp"
+
+namespace vf::interp {
+
+std::unique_ptr<Reconstructor> make_reconstructor(const std::string& name) {
+  if (name == "nearest") return std::make_unique<NearestNeighborReconstructor>();
+  if (name == "shepard") return std::make_unique<ShepardReconstructor>();
+  if (name == "linear") {
+    return std::make_unique<LinearDelaunayReconstructor>(
+        LinearDelaunayReconstructor::Mode::Parallel);
+  }
+  if (name == "linear_seq") {
+    return std::make_unique<LinearDelaunayReconstructor>(
+        LinearDelaunayReconstructor::Mode::Sequential);
+  }
+  if (name == "linear_naive") {
+    return std::make_unique<LinearDelaunayReconstructor>(
+        LinearDelaunayReconstructor::Mode::Naive);
+  }
+  if (name == "natural") return std::make_unique<NaturalNeighborReconstructor>();
+  if (name == "rbf") return std::make_unique<RbfReconstructor>();
+  if (name == "kriging") return std::make_unique<KrigingReconstructor>();
+  throw std::invalid_argument("make_reconstructor: unknown method '" + name +
+                              "'");
+}
+
+std::vector<std::string> reconstructor_names() {
+  return {"linear", "natural", "shepard", "nearest", "rbf", "kriging"};
+}
+
+}  // namespace vf::interp

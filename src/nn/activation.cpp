@@ -1,0 +1,61 @@
+#include "vf/nn/activation.hpp"
+
+#include <cmath>
+
+namespace vf::nn {
+
+void ReluLayer::forward(const Matrix& input, Matrix& output) {
+  input_ = input;
+  output.resize(input.rows(), input.cols());
+  auto in = input.data();
+  auto out = output.data();
+  for (std::size_t i = 0; i < in.size(); ++i) out[i] = in[i] > 0.0 ? in[i] : 0.0;
+}
+
+void ReluLayer::backward(const Matrix& grad_output, Matrix& grad_input) {
+  grad_input.resize(grad_output.rows(), grad_output.cols());
+  auto in = input_.data();
+  auto go = grad_output.data();
+  auto gi = grad_input.data();
+  for (std::size_t i = 0; i < go.size(); ++i) gi[i] = in[i] > 0.0 ? go[i] : 0.0;
+}
+
+void LeakyReluLayer::forward(const Matrix& input, Matrix& output) {
+  input_ = input;
+  output.resize(input.rows(), input.cols());
+  auto in = input.data();
+  auto out = output.data();
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    out[i] = in[i] > 0.0 ? in[i] : slope_ * in[i];
+  }
+}
+
+void LeakyReluLayer::backward(const Matrix& grad_output, Matrix& grad_input) {
+  grad_input.resize(grad_output.rows(), grad_output.cols());
+  auto in = input_.data();
+  auto go = grad_output.data();
+  auto gi = grad_input.data();
+  for (std::size_t i = 0; i < go.size(); ++i) {
+    gi[i] = in[i] > 0.0 ? go[i] : slope_ * go[i];
+  }
+}
+
+void TanhLayer::forward(const Matrix& input, Matrix& output) {
+  output.resize(input.rows(), input.cols());
+  auto in = input.data();
+  auto out = output.data();
+  for (std::size_t i = 0; i < in.size(); ++i) out[i] = std::tanh(in[i]);
+  output_ = output;
+}
+
+void TanhLayer::backward(const Matrix& grad_output, Matrix& grad_input) {
+  grad_input.resize(grad_output.rows(), grad_output.cols());
+  auto out = output_.data();
+  auto go = grad_output.data();
+  auto gi = grad_input.data();
+  for (std::size_t i = 0; i < go.size(); ++i) {
+    gi[i] = go[i] * (1.0 - out[i] * out[i]);
+  }
+}
+
+}  // namespace vf::nn

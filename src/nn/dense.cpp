@@ -1,0 +1,48 @@
+#include "vf/nn/dense.hpp"
+
+#include <cmath>
+
+#include "vf/util/rng.hpp"
+
+namespace vf::nn {
+
+DenseLayer::DenseLayer(std::size_t in, std::size_t out, std::uint64_t seed)
+    : DenseLayer(in, out) {
+  vf::util::Rng rng(seed, 0x64656e73);
+  double stddev = std::sqrt(2.0 / static_cast<double>(in));
+  for (auto& w : weights_.data()) w = rng.gaussian(0.0, stddev);
+}
+
+DenseLayer::DenseLayer(std::size_t in, std::size_t out)
+    : weights_(in, out), bias_(1, out), w_grad_(in, out), b_grad_(1, out) {}
+
+void DenseLayer::forward(const Matrix& input, Matrix& output) {
+  input_ = input;
+  gemm(input, weights_, output);
+  add_row_vector(output, bias_);
+}
+
+void DenseLayer::backward(const Matrix& grad_output, Matrix& grad_input) {
+  if (trainable_) {
+    // dW = x^T . dy ; db = column sums of dy. Accumulate across the batch.
+    Matrix wg, bg;
+    gemm_at_b(input_, grad_output, wg);
+    sum_rows(grad_output, bg);
+    axpy(1.0, wg, w_grad_);
+    axpy(1.0, bg, b_grad_);
+  }
+  // dx = dy . W^T — always needed so deeper (possibly trainable) layers
+  // receive their gradients even when this layer is frozen.
+  gemm_a_bt(grad_output, weights_, grad_input);
+}
+
+std::vector<Param> DenseLayer::params() {
+  return {{&weights_, &w_grad_, trainable_}, {&bias_, &b_grad_, trainable_}};
+}
+
+void DenseLayer::zero_grad() {
+  w_grad_.fill(0.0);
+  b_grad_.fill(0.0);
+}
+
+}  // namespace vf::nn

@@ -1,0 +1,43 @@
+#pragma once
+// Elementwise activation layers. The paper's FCNN uses ReLU throughout
+// (§III-C); Tanh and LeakyReLU are provided for the architecture-sweep
+// ablations.
+
+#include "vf/nn/layer.hpp"
+
+namespace vf::nn {
+
+class ReluLayer final : public Layer {
+ public:
+  [[nodiscard]] std::string kind() const override { return "relu"; }
+  void forward(const Matrix& input, Matrix& output) override;
+  void backward(const Matrix& grad_output, Matrix& grad_input) override;
+
+ private:
+  Matrix input_;
+};
+
+class LeakyReluLayer final : public Layer {
+ public:
+  explicit LeakyReluLayer(double slope = 0.01) : slope_(slope) {}
+  [[nodiscard]] std::string kind() const override { return "leaky_relu"; }
+  void forward(const Matrix& input, Matrix& output) override;
+  void backward(const Matrix& grad_output, Matrix& grad_input) override;
+  [[nodiscard]] double slope() const { return slope_; }
+
+ private:
+  double slope_;
+  Matrix input_;
+};
+
+class TanhLayer final : public Layer {
+ public:
+  [[nodiscard]] std::string kind() const override { return "tanh"; }
+  void forward(const Matrix& input, Matrix& output) override;
+  void backward(const Matrix& grad_output, Matrix& grad_input) override;
+
+ private:
+  Matrix output_;  // tanh' = 1 - tanh^2, so caching the output suffices
+};
+
+}  // namespace vf::nn

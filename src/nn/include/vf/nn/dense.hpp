@@ -1,0 +1,44 @@
+#pragma once
+// Fully connected (dense) layer: y = x W + b.
+
+#include <cstdint>
+
+#include "vf/nn/layer.hpp"
+
+namespace vf::nn {
+
+class DenseLayer final : public Layer {
+ public:
+  /// He-normal weight initialisation (suits the ReLU stack the paper uses);
+  /// biases start at zero. `seed` makes initialisation reproducible.
+  DenseLayer(std::size_t in, std::size_t out, std::uint64_t seed);
+
+  /// Uninitialised layer for the deserializer.
+  DenseLayer(std::size_t in, std::size_t out);
+
+  [[nodiscard]] std::string kind() const override { return "dense"; }
+  void forward(const Matrix& input, Matrix& output) override;
+  void backward(const Matrix& grad_output, Matrix& grad_input) override;
+  std::vector<Param> params() override;
+  void zero_grad() override;
+  [[nodiscard]] std::size_t output_size(std::size_t) const override {
+    return weights_.cols();
+  }
+
+  [[nodiscard]] std::size_t in_features() const { return weights_.rows(); }
+  [[nodiscard]] std::size_t out_features() const { return weights_.cols(); }
+
+  [[nodiscard]] Matrix& weights() { return weights_; }
+  [[nodiscard]] const Matrix& weights() const { return weights_; }
+  [[nodiscard]] Matrix& bias() { return bias_; }
+  [[nodiscard]] const Matrix& bias() const { return bias_; }
+
+ private:
+  Matrix weights_;   // (in x out)
+  Matrix bias_;      // (1 x out)
+  Matrix w_grad_;
+  Matrix b_grad_;
+  Matrix input_;     // cached forward input
+};
+
+}  // namespace vf::nn

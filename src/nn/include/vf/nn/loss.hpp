@@ -1,0 +1,40 @@
+#pragma once
+// Regression losses. The paper trains with mean squared error (§III-C);
+// MAE is provided as a diagnostic.
+
+#include "vf/nn/matrix.hpp"
+
+namespace vf::nn {
+
+class Loss {
+ public:
+  virtual ~Loss() = default;
+
+  /// Scalar loss averaged over all elements of the batch.
+  [[nodiscard]] virtual double value(const Matrix& prediction,
+                                     const Matrix& target) const = 0;
+
+  /// dLoss/dPrediction for the same averaging convention as value().
+  virtual void gradient(const Matrix& prediction, const Matrix& target,
+                        Matrix& grad) const = 0;
+};
+
+/// E = (1/N) * sum (y - yhat)^2 with N = batch * outputs.
+class MseLoss final : public Loss {
+ public:
+  [[nodiscard]] double value(const Matrix& prediction,
+                             const Matrix& target) const override;
+  void gradient(const Matrix& prediction, const Matrix& target,
+                Matrix& grad) const override;
+};
+
+/// E = (1/N) * sum |y - yhat|.
+class MaeLoss final : public Loss {
+ public:
+  [[nodiscard]] double value(const Matrix& prediction,
+                             const Matrix& target) const override;
+  void gradient(const Matrix& prediction, const Matrix& target,
+                Matrix& grad) const override;
+};
+
+}  // namespace vf::nn

@@ -1,0 +1,65 @@
+#pragma once
+// Dense row-major matrix with the handful of BLAS-like kernels the MLP
+// engine needs. This replaces the GPU tensor library the paper trained on
+// (see DESIGN.md substitutions): the model is a tiny 5-hidden-layer MLP, so
+// an OpenMP-blocked CPU GEMM is entirely adequate and keeps the maths
+// identical to the paper's.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace vf::nn {
+
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0);
+
+  [[nodiscard]] std::size_t rows() const { return rows_; }
+  [[nodiscard]] std::size_t cols() const { return cols_; }
+  [[nodiscard]] std::size_t size() const { return data_.size(); }
+
+  [[nodiscard]] double operator()(std::size_t r, std::size_t c) const {
+    return data_[r * cols_ + c];
+  }
+  [[nodiscard]] double& operator()(std::size_t r, std::size_t c) {
+    return data_[r * cols_ + c];
+  }
+
+  [[nodiscard]] std::span<const double> data() const { return data_; }
+  [[nodiscard]] std::span<double> data() { return data_; }
+  [[nodiscard]] const double* row(std::size_t r) const {
+    return data_.data() + r * cols_;
+  }
+  [[nodiscard]] double* row(std::size_t r) { return data_.data() + r * cols_; }
+
+  void fill(double v);
+  void resize(std::size_t rows, std::size_t cols);
+
+  /// Frobenius-norm squared (used by tests and gradient clipping).
+  [[nodiscard]] double squared_norm() const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+// out = a * b              (m x k) . (k x n) -> (m x n)
+void gemm(const Matrix& a, const Matrix& b, Matrix& out);
+// out = a^T * b            (k x m)^T . (k x n) -> (m x n)
+void gemm_at_b(const Matrix& a, const Matrix& b, Matrix& out);
+// out = a * b^T            (m x k) . (n x k)^T -> (m x n)
+void gemm_a_bt(const Matrix& a, const Matrix& b, Matrix& out);
+
+/// out(r, :) += bias for every row r.
+void add_row_vector(Matrix& out, const Matrix& bias);
+
+/// bias(0, :) = sum over rows of grad (bias gradient reduction).
+void sum_rows(const Matrix& grad, Matrix& bias);
+
+/// y = alpha * x + y, elementwise over equal-shaped matrices.
+void axpy(double alpha, const Matrix& x, Matrix& y);
+
+}  // namespace vf::nn

@@ -1,0 +1,59 @@
+#pragma once
+// First-order optimizers. The paper trains with Adam at lr = 1e-3 (§III-C);
+// plain SGD is kept for tests and ablations.
+//
+// An optimizer is attached to a parameter list once (allocating per-param
+// state) and then stepped after each minibatch backward pass. Frozen params
+// (Param::trainable == false) are skipped, which is how fine-tuning Case 2
+// trains only the last two layers.
+
+#include <vector>
+
+#include "vf/nn/layer.hpp"
+
+namespace vf::nn {
+
+class Optimizer {
+ public:
+  virtual ~Optimizer() = default;
+
+  /// Bind to a parameter set. Must be called before step(); re-attaching
+  /// resets all optimizer state.
+  virtual void attach(const std::vector<Param>& params) = 0;
+
+  /// Apply one update using the gradients currently held by the params.
+  virtual void step() = 0;
+};
+
+class SgdOptimizer final : public Optimizer {
+ public:
+  explicit SgdOptimizer(double lr = 0.01) : lr_(lr) {}
+  void attach(const std::vector<Param>& params) override { params_ = params; }
+  void step() override;
+
+ private:
+  double lr_;
+  std::vector<Param> params_;
+};
+
+class AdamOptimizer final : public Optimizer {
+ public:
+  explicit AdamOptimizer(double lr = 1e-3, double beta1 = 0.9,
+                         double beta2 = 0.999, double eps = 1e-8)
+      : lr_(lr), beta1_(beta1), beta2_(beta2), eps_(eps) {}
+
+  void attach(const std::vector<Param>& params) override;
+  void step() override;
+
+  [[nodiscard]] double learning_rate() const { return lr_; }
+  void set_learning_rate(double lr) { lr_ = lr; }
+
+ private:
+  double lr_, beta1_, beta2_, eps_;
+  std::vector<Param> params_;
+  std::vector<Matrix> m_;  // first-moment estimates, parallel to params_
+  std::vector<Matrix> v_;  // second-moment estimates
+  long t_ = 0;             // step counter for bias correction
+};
+
+}  // namespace vf::nn

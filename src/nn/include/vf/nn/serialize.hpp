@@ -1,0 +1,29 @@
+#pragma once
+// Binary network persistence ("VFNN" format).
+//
+// The temporal workflow (paper Experiment 2) stores pretrained models and
+// reloads them for fine-tuning on later timesteps; Case 2 additionally
+// stores only the last two dense layers per timestep. save_network /
+// load_network handle the full model; save_dense_tail / load_dense_tail
+// handle the partial Case-2 payload.
+
+#include <string>
+
+#include "vf/nn/network.hpp"
+
+namespace vf::nn {
+
+/// Serialize the full network (architecture + weights + trainability).
+void save_network(const Network& net, const std::string& path);
+
+/// Load a network saved with save_network.
+Network load_network(const std::string& path);
+
+/// Save only the last `n` dense layers' weights (Case-2 per-timestep delta).
+void save_dense_tail(const Network& net, int n, const std::string& path);
+
+/// Overwrite the last `n` dense layers of `net` with weights from `path`.
+/// Shapes must match; throws std::runtime_error otherwise.
+void load_dense_tail(Network& net, int n, const std::string& path);
+
+}  // namespace vf::nn

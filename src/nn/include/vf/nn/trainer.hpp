@@ -1,0 +1,68 @@
+#pragma once
+// Minibatch training loop.
+//
+// Implements the paper's regime: shuffled minibatches, MSE loss, Adam at
+// lr = 1e-3, a fixed epoch budget (500 for full training, ~10 for Case-1
+// fine-tuning, 300-500 for Case-2). Records the per-epoch loss history that
+// Fig 12 plots.
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "vf/nn/loss.hpp"
+#include "vf/nn/network.hpp"
+#include "vf/nn/optimizer.hpp"
+
+namespace vf::nn {
+
+enum class LrSchedule {
+  Constant,  // the paper's fixed Adam learning rate
+  Cosine,    // cosine decay to lr_floor over the epoch budget
+};
+
+struct TrainOptions {
+  int epochs = 500;
+  std::size_t batch_size = 1024;
+  double learning_rate = 1e-3;
+  LrSchedule schedule = LrSchedule::Constant;
+  /// Final learning-rate fraction for the cosine schedule.
+  double lr_floor = 0.05;
+  std::uint64_t shuffle_seed = 42;
+  /// Fraction of rows held out for validation loss reporting (0 disables).
+  double validation_fraction = 0.0;
+  /// Stop early when training loss fails to improve by more than
+  /// `min_improvement` for `patience` consecutive epochs (0 disables).
+  int patience = 0;
+  double min_improvement = 1e-7;
+  /// Invoked after every epoch with (epoch, train_loss, val_loss);
+  /// val_loss is NaN when no validation split is configured.
+  std::function<void(int, double, double)> on_epoch;
+};
+
+struct TrainHistory {
+  std::vector<double> train_loss;  // one entry per completed epoch
+  std::vector<double> val_loss;    // empty when validation_fraction == 0
+  double seconds = 0.0;
+  int epochs_run = 0;
+};
+
+class Trainer {
+ public:
+  explicit Trainer(TrainOptions options = TrainOptions{});
+
+  /// Train `net` to map rows of X to rows of Y. X and Y must have equal row
+  /// counts. Returns the loss history.
+  TrainHistory fit(Network& net, const Matrix& X, const Matrix& Y) const;
+
+  [[nodiscard]] const TrainOptions& options() const { return options_; }
+
+ private:
+  TrainOptions options_;
+};
+
+/// Single evaluation helper: mean MSE of net's predictions against Y.
+double evaluate_mse(Network& net, const Matrix& X, const Matrix& Y,
+                    std::size_t batch_size = 4096);
+
+}  // namespace vf::nn

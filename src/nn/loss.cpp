@@ -1,0 +1,63 @@
+#include "vf/nn/loss.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace vf::nn {
+
+namespace {
+void check_shapes(const Matrix& a, const Matrix& b) {
+  if (a.rows() != b.rows() || a.cols() != b.cols()) {
+    throw std::invalid_argument("loss: prediction/target shape mismatch");
+  }
+  if (a.size() == 0) throw std::invalid_argument("loss: empty batch");
+}
+}  // namespace
+
+double MseLoss::value(const Matrix& prediction, const Matrix& target) const {
+  check_shapes(prediction, target);
+  auto p = prediction.data();
+  auto t = target.data();
+  double acc = 0.0;
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    double d = p[i] - t[i];
+    acc += d * d;
+  }
+  return acc / static_cast<double>(p.size());
+}
+
+void MseLoss::gradient(const Matrix& prediction, const Matrix& target,
+                       Matrix& grad) const {
+  check_shapes(prediction, target);
+  grad.resize(prediction.rows(), prediction.cols());
+  auto p = prediction.data();
+  auto t = target.data();
+  auto g = grad.data();
+  double scale = 2.0 / static_cast<double>(p.size());
+  for (std::size_t i = 0; i < p.size(); ++i) g[i] = scale * (p[i] - t[i]);
+}
+
+double MaeLoss::value(const Matrix& prediction, const Matrix& target) const {
+  check_shapes(prediction, target);
+  auto p = prediction.data();
+  auto t = target.data();
+  double acc = 0.0;
+  for (std::size_t i = 0; i < p.size(); ++i) acc += std::abs(p[i] - t[i]);
+  return acc / static_cast<double>(p.size());
+}
+
+void MaeLoss::gradient(const Matrix& prediction, const Matrix& target,
+                       Matrix& grad) const {
+  check_shapes(prediction, target);
+  grad.resize(prediction.rows(), prediction.cols());
+  auto p = prediction.data();
+  auto t = target.data();
+  auto g = grad.data();
+  double scale = 1.0 / static_cast<double>(p.size());
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    double d = p[i] - t[i];
+    g[i] = d > 0.0 ? scale : (d < 0.0 ? -scale : 0.0);
+  }
+}
+
+}  // namespace vf::nn

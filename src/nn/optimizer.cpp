@@ -1,0 +1,52 @@
+#include "vf/nn/optimizer.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace vf::nn {
+
+void SgdOptimizer::step() {
+  for (auto& p : params_) {
+    if (!p.trainable) continue;
+    auto w = p.value->data();
+    auto g = p.grad->data();
+    for (std::size_t i = 0; i < w.size(); ++i) w[i] -= lr_ * g[i];
+  }
+}
+
+void AdamOptimizer::attach(const std::vector<Param>& params) {
+  params_ = params;
+  m_.clear();
+  v_.clear();
+  m_.reserve(params.size());
+  v_.reserve(params.size());
+  for (const auto& p : params_) {
+    m_.emplace_back(p.value->rows(), p.value->cols());
+    v_.emplace_back(p.value->rows(), p.value->cols());
+  }
+  t_ = 0;
+}
+
+void AdamOptimizer::step() {
+  if (params_.empty()) throw std::logic_error("AdamOptimizer: not attached");
+  ++t_;
+  double bc1 = 1.0 - std::pow(beta1_, static_cast<double>(t_));
+  double bc2 = 1.0 - std::pow(beta2_, static_cast<double>(t_));
+  for (std::size_t pi = 0; pi < params_.size(); ++pi) {
+    auto& p = params_[pi];
+    if (!p.trainable) continue;
+    auto w = p.value->data();
+    auto g = p.grad->data();
+    auto m = m_[pi].data();
+    auto v = v_[pi].data();
+    for (std::size_t i = 0; i < w.size(); ++i) {
+      m[i] = beta1_ * m[i] + (1.0 - beta1_) * g[i];
+      v[i] = beta2_ * v[i] + (1.0 - beta2_) * g[i] * g[i];
+      double mhat = m[i] / bc1;
+      double vhat = v[i] / bc2;
+      w[i] -= lr_ * mhat / (std::sqrt(vhat) + eps_);
+    }
+  }
+}
+
+}  // namespace vf::nn

@@ -1,0 +1,186 @@
+#include "vf/nn/serialize.hpp"
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+
+namespace vf::nn {
+
+namespace {
+
+constexpr char kMagic[4] = {'V', 'F', 'N', 'N'};
+constexpr std::uint32_t kVersion = 1;
+
+template <typename T>
+void write_pod(std::ostream& out, const T& v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof v);
+}
+
+template <typename T>
+void read_pod(std::istream& in, T& v) {
+  in.read(reinterpret_cast<char*>(&v), sizeof v);
+}
+
+void write_string(std::ostream& out, const std::string& s) {
+  write_pod(out, static_cast<std::uint32_t>(s.size()));
+  out.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+std::string read_string(std::istream& in) {
+  std::uint32_t len = 0;
+  read_pod(in, len);
+  if (!in || len > (1u << 20)) {
+    throw std::runtime_error("nn serialize: corrupt string length");
+  }
+  std::string s(len, '\0');
+  in.read(s.data(), len);
+  return s;
+}
+
+void write_matrix(std::ostream& out, const Matrix& m) {
+  write_pod(out, static_cast<std::uint64_t>(m.rows()));
+  write_pod(out, static_cast<std::uint64_t>(m.cols()));
+  out.write(reinterpret_cast<const char*>(m.data().data()),
+            static_cast<std::streamsize>(m.size() * sizeof(double)));
+}
+
+Matrix read_matrix(std::istream& in) {
+  std::uint64_t rows = 0, cols = 0;
+  read_pod(in, rows);
+  read_pod(in, cols);
+  if (!in || rows * cols > (1ull << 32)) {
+    throw std::runtime_error("nn serialize: corrupt matrix header");
+  }
+  Matrix m(static_cast<std::size_t>(rows), static_cast<std::size_t>(cols));
+  in.read(reinterpret_cast<char*>(m.data().data()),
+          static_cast<std::streamsize>(m.size() * sizeof(double)));
+  if (!in) throw std::runtime_error("nn serialize: truncated matrix");
+  return m;
+}
+
+}  // namespace
+
+void save_network(const Network& net, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("save_network: cannot open " + path);
+  out.write(kMagic, 4);
+  write_pod(out, kVersion);
+  write_pod(out, static_cast<std::uint32_t>(net.layer_count()));
+  for (std::size_t i = 0; i < net.layer_count(); ++i) {
+    const Layer& l = net.layer(i);
+    write_string(out, l.kind());
+    write_pod(out, static_cast<std::uint8_t>(l.trainable() ? 1 : 0));
+    if (l.kind() == "dense") {
+      const auto& d = static_cast<const DenseLayer&>(l);
+      write_matrix(out, d.weights());
+      write_matrix(out, d.bias());
+    } else if (l.kind() == "leaky_relu") {
+      write_pod(out, static_cast<const LeakyReluLayer&>(l).slope());
+    }
+  }
+  if (!out) throw std::runtime_error("save_network: write failed " + path);
+}
+
+Network load_network(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("load_network: cannot open " + path);
+  char magic[4];
+  in.read(magic, 4);
+  if (!in || std::memcmp(magic, kMagic, 4) != 0) {
+    throw std::runtime_error("load_network: bad magic in " + path);
+  }
+  std::uint32_t version = 0, layers = 0;
+  read_pod(in, version);
+  read_pod(in, layers);
+  if (version != kVersion) {
+    throw std::runtime_error("load_network: unsupported version");
+  }
+  Network net;
+  for (std::uint32_t i = 0; i < layers; ++i) {
+    std::string kind = read_string(in);
+    std::uint8_t trainable = 1;
+    read_pod(in, trainable);
+    if (kind == "dense") {
+      Matrix w = read_matrix(in);
+      Matrix b = read_matrix(in);
+      auto d = std::make_unique<DenseLayer>(w.rows(), w.cols());
+      d->weights() = std::move(w);
+      d->bias() = std::move(b);
+      d->set_trainable(trainable != 0);
+      net.add(std::move(d));
+    } else if (kind == "relu") {
+      auto l = std::make_unique<ReluLayer>();
+      l->set_trainable(trainable != 0);
+      net.add(std::move(l));
+    } else if (kind == "tanh") {
+      auto l = std::make_unique<TanhLayer>();
+      l->set_trainable(trainable != 0);
+      net.add(std::move(l));
+    } else if (kind == "leaky_relu") {
+      double slope = 0.01;
+      read_pod(in, slope);
+      auto l = std::make_unique<LeakyReluLayer>(slope);
+      l->set_trainable(trainable != 0);
+      net.add(std::move(l));
+    } else {
+      throw std::runtime_error("load_network: unknown layer kind " + kind);
+    }
+  }
+  return net;
+}
+
+void save_dense_tail(const Network& net, int n, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("save_dense_tail: cannot open " + path);
+  const char tail_magic[4] = {'V', 'F', 'N', 'T'};
+  out.write(tail_magic, 4);
+  write_pod(out, kVersion);
+  int total = net.dense_count();
+  write_pod(out, static_cast<std::uint32_t>(n));
+  int seen = 0;
+  for (std::size_t i = 0; i < net.layer_count(); ++i) {
+    const Layer& l = net.layer(i);
+    if (l.kind() != "dense") continue;
+    ++seen;
+    if (seen <= total - n) continue;
+    const auto& d = static_cast<const DenseLayer&>(l);
+    write_matrix(out, d.weights());
+    write_matrix(out, d.bias());
+  }
+  if (!out) throw std::runtime_error("save_dense_tail: write failed " + path);
+}
+
+void load_dense_tail(Network& net, int n, const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("load_dense_tail: cannot open " + path);
+  char magic[4];
+  in.read(magic, 4);
+  if (!in || std::memcmp(magic, "VFNT", 4) != 0) {
+    throw std::runtime_error("load_dense_tail: bad magic in " + path);
+  }
+  std::uint32_t version = 0, count = 0;
+  read_pod(in, version);
+  read_pod(in, count);
+  if (version != kVersion || static_cast<int>(count) != n) {
+    throw std::runtime_error("load_dense_tail: layer count mismatch");
+  }
+  int total = net.dense_count();
+  int seen = 0;
+  for (std::size_t i = 0; i < net.layer_count(); ++i) {
+    Layer& l = net.layer(i);
+    if (l.kind() != "dense") continue;
+    ++seen;
+    if (seen <= total - n) continue;
+    auto& d = static_cast<DenseLayer&>(l);
+    Matrix w = read_matrix(in);
+    Matrix b = read_matrix(in);
+    if (w.rows() != d.weights().rows() || w.cols() != d.weights().cols()) {
+      throw std::runtime_error("load_dense_tail: shape mismatch");
+    }
+    d.weights() = std::move(w);
+    d.bias() = std::move(b);
+  }
+}
+
+}  // namespace vf::nn

@@ -1,0 +1,135 @@
+#include "vf/nn/trainer.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+#include "vf/util/rng.hpp"
+#include "vf/util/timer.hpp"
+
+namespace vf::nn {
+
+namespace {
+
+/// Copy selected rows of `src` into a contiguous batch matrix.
+void gather_rows(const Matrix& src, const std::vector<std::size_t>& order,
+                 std::size_t begin, std::size_t end, Matrix& out) {
+  out.resize(end - begin, src.cols());
+  for (std::size_t r = begin; r < end; ++r) {
+    const double* s = src.row(order[r]);
+    double* d = out.row(r - begin);
+    std::copy(s, s + src.cols(), d);
+  }
+}
+
+}  // namespace
+
+Trainer::Trainer(TrainOptions options) : options_(std::move(options)) {}
+
+TrainHistory Trainer::fit(Network& net, const Matrix& X,
+                          const Matrix& Y) const {
+  if (X.rows() != Y.rows()) {
+    throw std::invalid_argument("Trainer::fit: X/Y row mismatch");
+  }
+  if (X.rows() == 0) throw std::invalid_argument("Trainer::fit: empty data");
+
+  vf::util::Timer timer;
+  vf::util::Rng rng(options_.shuffle_seed, 0x74726169);
+
+  // Optional validation split off the tail of a fixed shuffle.
+  std::vector<std::size_t> order(X.rows());
+  std::iota(order.begin(), order.end(), 0u);
+  rng.shuffle(order);
+  auto val_rows = static_cast<std::size_t>(
+      options_.validation_fraction * static_cast<double>(X.rows()));
+  val_rows = std::min(val_rows, X.rows() - 1);
+  std::vector<std::size_t> val_order(order.end() - static_cast<std::ptrdiff_t>(val_rows),
+                                     order.end());
+  order.resize(X.rows() - val_rows);
+
+  AdamOptimizer opt(options_.learning_rate);
+  opt.attach(net.params());
+  MseLoss loss;
+
+  TrainHistory hist;
+  Matrix bx, by, pred, grad;
+  double best = std::numeric_limits<double>::infinity();
+  int stall = 0;
+
+  const std::size_t bs = std::max<std::size_t>(options_.batch_size, 1);
+  for (int epoch = 0; epoch < options_.epochs; ++epoch) {
+    if (options_.schedule == LrSchedule::Cosine && options_.epochs > 1) {
+      double u = static_cast<double>(epoch) / (options_.epochs - 1);
+      double factor = options_.lr_floor +
+                      (1.0 - options_.lr_floor) * 0.5 *
+                          (1.0 + std::cos(M_PI * u));
+      opt.set_learning_rate(options_.learning_rate * factor);
+    }
+    rng.shuffle(order);
+    double epoch_loss = 0.0;
+    std::size_t seen = 0;
+    for (std::size_t begin = 0; begin < order.size(); begin += bs) {
+      std::size_t end = std::min(begin + bs, order.size());
+      gather_rows(X, order, begin, end, bx);
+      gather_rows(Y, order, begin, end, by);
+      net.zero_grad();
+      net.forward(bx, pred);
+      epoch_loss += loss.value(pred, by) * static_cast<double>(end - begin);
+      seen += end - begin;
+      loss.gradient(pred, by, grad);
+      net.backward(grad);
+      opt.step();
+    }
+    epoch_loss /= static_cast<double>(seen);
+    hist.train_loss.push_back(epoch_loss);
+    ++hist.epochs_run;
+
+    double vloss = std::numeric_limits<double>::quiet_NaN();
+    if (val_rows > 0) {
+      Matrix vx, vy;
+      gather_rows(X, val_order, 0, val_order.size(), vx);
+      gather_rows(Y, val_order, 0, val_order.size(), vy);
+      Matrix vpred;
+      net.forward(vx, vpred);
+      vloss = loss.value(vpred, vy);
+      hist.val_loss.push_back(vloss);
+    }
+    if (options_.on_epoch) options_.on_epoch(epoch, epoch_loss, vloss);
+
+    if (options_.patience > 0) {
+      if (epoch_loss < best - options_.min_improvement) {
+        best = epoch_loss;
+        stall = 0;
+      } else if (++stall >= options_.patience) {
+        break;
+      }
+    }
+  }
+  hist.seconds = timer.seconds();
+  return hist;
+}
+
+double evaluate_mse(Network& net, const Matrix& X, const Matrix& Y,
+                    std::size_t batch_size) {
+  if (X.rows() != Y.rows() || X.rows() == 0) {
+    throw std::invalid_argument("evaluate_mse: bad shapes");
+  }
+  MseLoss loss;
+  Matrix bx, by, pred;
+  double acc = 0.0;
+  for (std::size_t begin = 0; begin < X.rows(); begin += batch_size) {
+    std::size_t end = std::min(begin + batch_size, X.rows());
+    bx.resize(end - begin, X.cols());
+    by.resize(end - begin, Y.cols());
+    for (std::size_t r = begin; r < end; ++r) {
+      std::copy(X.row(r), X.row(r) + X.cols(), bx.row(r - begin));
+      std::copy(Y.row(r), Y.row(r) + Y.cols(), by.row(r - begin));
+    }
+    net.forward(bx, pred);
+    acc += loss.value(pred, by) * static_cast<double>(end - begin);
+  }
+  return acc / static_cast<double>(X.rows());
+}
+
+}  // namespace vf::nn

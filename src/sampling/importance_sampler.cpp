@@ -1,0 +1,146 @@
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "vf/field/gradient.hpp"
+#include "vf/sampling/samplers.hpp"
+#include "vf/util/parallel.hpp"
+#include "vf/util/rng.hpp"
+
+namespace vf::sampling {
+
+namespace {
+
+/// Find the per-bin quota T (possibly fractional) such that
+/// sum_b min(count_b, T) == budget. Bins with count <= T keep everything.
+double solve_bin_quota(const std::vector<std::int64_t>& counts,
+                       std::int64_t budget) {
+  // Sort counts ascending and walk: after the s smallest bins are fully
+  // kept, the remaining (B - prefix) budget is split evenly among the rest.
+  std::vector<std::int64_t> sorted = counts;
+  std::sort(sorted.begin(), sorted.end());
+  std::int64_t prefix = 0;
+  const auto nbins = static_cast<std::int64_t>(sorted.size());
+  for (std::int64_t s = 0; s < nbins; ++s) {
+    std::int64_t rest_bins = nbins - s;
+    double t = static_cast<double>(budget - prefix) /
+               static_cast<double>(rest_bins);
+    if (t <= static_cast<double>(sorted[static_cast<std::size_t>(s)])) {
+      return t;
+    }
+    prefix += sorted[static_cast<std::size_t>(s)];
+  }
+  // Budget >= total points: keep everything.
+  return sorted.empty() ? 0.0 : static_cast<double>(sorted.back());
+}
+
+}  // namespace
+
+SampleCloud ImportanceSampler::sample(const vf::field::ScalarField& field,
+                                      double fraction,
+                                      std::uint64_t seed) const {
+  const std::int64_t n = field.size();
+  const std::int64_t budget = budget_for(field, fraction);
+  vf::util::Rng rng(seed, 0x696d706f);
+
+  // --- Criterion 1: value-histogram rarity --------------------------------
+  auto stats = field.stats();
+  const int nbins = std::max(opts_.histogram_bins, 1);
+  const double lo = stats.min;
+  const double range = std::max(stats.max - stats.min, 1e-300);
+
+  auto bin_of = [&](double v) {
+    int b = static_cast<int>((v - lo) / range * nbins);
+    return std::clamp(b, 0, nbins - 1);
+  };
+
+  std::vector<std::int64_t> counts(static_cast<std::size_t>(nbins), 0);
+  for (std::int64_t i = 0; i < n; ++i) ++counts[static_cast<std::size_t>(bin_of(field[i]))];
+
+  const double quota = solve_bin_quota(counts, budget);
+
+  // Group point indices by bin (counting sort layout).
+  std::vector<std::int64_t> offsets(static_cast<std::size_t>(nbins) + 1, 0);
+  for (int b = 0; b < nbins; ++b) {
+    offsets[static_cast<std::size_t>(b) + 1] =
+        offsets[static_cast<std::size_t>(b)] + counts[static_cast<std::size_t>(b)];
+  }
+  std::vector<std::int64_t> by_bin(static_cast<std::size_t>(n));
+  {
+    std::vector<std::int64_t> cursor(offsets.begin(), offsets.end() - 1);
+    for (std::int64_t i = 0; i < n; ++i) {
+      auto b = static_cast<std::size_t>(bin_of(field[i]));
+      by_bin[static_cast<std::size_t>(cursor[b]++)] = i;
+    }
+  }
+
+  // --- Criterion 2: gradient-magnitude weighting --------------------------
+  // Only needed inside bins that get subsampled.
+  std::vector<double> gmag;
+  if (opts_.gradient_weight > 0.0) {
+    auto grad = vf::field::compute_gradient(field);
+    gmag.resize(static_cast<std::size_t>(n));
+    double gmax = 1e-300;
+    for (std::int64_t i = 0; i < n; ++i) {
+      double g = std::sqrt(grad.dx[i] * grad.dx[i] + grad.dy[i] * grad.dy[i] +
+                           grad.dz[i] * grad.dz[i]);
+      gmag[static_cast<std::size_t>(i)] = g;
+      gmax = std::max(gmax, g);
+    }
+    for (auto& g : gmag) g /= gmax;  // normalise to [0,1]
+  }
+
+  // --- Draw ---------------------------------------------------------------
+  std::vector<std::int64_t> kept;
+  kept.reserve(static_cast<std::size_t>(budget) + static_cast<std::size_t>(nbins));
+  double carry = 0.0;  // fractional quotas accumulate across bins
+  for (int b = 0; b < nbins; ++b) {
+    auto begin = static_cast<std::size_t>(offsets[static_cast<std::size_t>(b)]);
+    auto end = static_cast<std::size_t>(offsets[static_cast<std::size_t>(b) + 1]);
+    auto avail = static_cast<std::int64_t>(end - begin);
+    if (avail == 0) continue;
+
+    double want_f = std::min(static_cast<double>(avail), quota) + carry;
+    auto want = static_cast<std::int64_t>(want_f);
+    carry = want_f - static_cast<double>(want);
+    want = std::min(want, avail);
+    if (want <= 0) continue;
+
+    if (want >= avail) {
+      // Rare bin: keep every point.
+      for (std::size_t i = begin; i < end; ++i) kept.push_back(by_bin[i]);
+      continue;
+    }
+
+    if (gmag.empty()) {
+      // Uniform subsample within the bin (partial Fisher-Yates).
+      for (std::int64_t i = 0; i < want; ++i) {
+        auto j = static_cast<std::size_t>(i) +
+                 rng.below(static_cast<std::uint32_t>(avail - i));
+        std::swap(by_bin[begin + static_cast<std::size_t>(i)], by_bin[begin + j]);
+        kept.push_back(by_bin[begin + static_cast<std::size_t>(i)]);
+      }
+    } else {
+      // Weighted sampling without replacement (Efraimidis-Spirakis):
+      // key = u^(1/w); keep the `want` largest keys. Weight grows with
+      // normalised gradient magnitude so edges/features win the draw.
+      std::vector<std::pair<double, std::int64_t>> keys;
+      keys.reserve(static_cast<std::size_t>(avail));
+      for (std::size_t i = begin; i < end; ++i) {
+        std::int64_t pt = by_bin[i];
+        double w = std::exp(opts_.gradient_weight *
+                            gmag[static_cast<std::size_t>(pt)]);
+        double u = std::max(rng.uniform(), 1e-300);
+        keys.emplace_back(std::pow(u, 1.0 / w), pt);
+      }
+      std::nth_element(keys.begin(), keys.begin() + (want - 1), keys.end(),
+                       [](const auto& a, const auto& b) { return a.first > b.first; });
+      for (std::int64_t i = 0; i < want; ++i) {
+        kept.push_back(keys[static_cast<std::size_t>(i)].second);
+      }
+    }
+  }
+  return SampleCloud(field, std::move(kept));
+}
+
+}  // namespace vf::sampling

@@ -1,0 +1,47 @@
+#pragma once
+// Temporal-delta importance sampling.
+//
+// An in-situ extension beyond the paper's per-timestep sampling: when the
+// previous timestep is available, budget is steered toward the grid points
+// whose values changed the most since then — the regions a temporal
+// reconstruction pipeline is least able to carry forward. Importance is
+// |delta| blended with the spatial gradient criterion; selection uses the
+// same weighted-without-replacement draw as the Biswas-style sampler.
+
+#include <optional>
+
+#include "vf/sampling/samplers.hpp"
+
+namespace vf::sampling {
+
+class TemporalDeltaSampler final : public Sampler {
+ public:
+  struct Options {
+    /// Exponential weight applied to the normalised |value change|.
+    double delta_weight = 3.0;
+    /// Fraction of the budget reserved for uniform coverage so static
+    /// regions are never starved.
+    double uniform_share = 0.25;
+  };
+
+  TemporalDeltaSampler() : opts_() {}
+  explicit TemporalDeltaSampler(Options opts) : opts_(opts) {}
+
+  [[nodiscard]] std::string name() const override { return "temporal_delta"; }
+
+  /// Provide the previous timestep; until set (or after reset), sampling
+  /// falls back to uniform random.
+  void set_previous(const vf::field::ScalarField& previous);
+  void reset() { previous_.reset(); }
+  [[nodiscard]] bool has_previous() const { return previous_.has_value(); }
+
+  [[nodiscard]] SampleCloud sample(const vf::field::ScalarField& field,
+                                   double fraction,
+                                   std::uint64_t seed) const override;
+
+ private:
+  Options opts_;
+  std::optional<vf::field::ScalarField> previous_;
+};
+
+}  // namespace vf::sampling

@@ -1,0 +1,38 @@
+#include <numeric>
+#include <stdexcept>
+
+#include "vf/sampling/samplers.hpp"
+#include "vf/util/rng.hpp"
+
+namespace vf::sampling {
+
+std::int64_t budget_for(const vf::field::ScalarField& field, double fraction) {
+  if (fraction <= 0.0 || fraction > 1.0) {
+    throw std::invalid_argument("sampler: fraction must be in (0, 1]");
+  }
+  auto budget =
+      static_cast<std::int64_t>(fraction * static_cast<double>(field.size()));
+  return std::max<std::int64_t>(budget, 1);
+}
+
+SampleCloud RandomSampler::sample(const vf::field::ScalarField& field,
+                                  double fraction, std::uint64_t seed) const {
+  const std::int64_t n = field.size();
+  const std::int64_t budget = budget_for(field, fraction);
+  vf::util::Rng rng(seed, 0x72616e64);
+
+  // Partial Fisher-Yates: pick `budget` distinct indices uniformly.
+  std::vector<std::int64_t> idx(static_cast<std::size_t>(n));
+  std::iota(idx.begin(), idx.end(), 0);
+  std::vector<std::int64_t> kept;
+  kept.reserve(static_cast<std::size_t>(budget));
+  for (std::int64_t i = 0; i < budget; ++i) {
+    auto j = i + static_cast<std::int64_t>(
+                     rng.below(static_cast<std::uint32_t>(n - i)));
+    std::swap(idx[static_cast<std::size_t>(i)], idx[static_cast<std::size_t>(j)]);
+    kept.push_back(idx[static_cast<std::size_t>(i)]);
+  }
+  return SampleCloud(field, std::move(kept));
+}
+
+}  // namespace vf::sampling

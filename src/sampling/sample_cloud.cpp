@@ -1,0 +1,70 @@
+#include "vf/sampling/sample_cloud.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "vf/field/vtk_io.hpp"
+
+namespace vf::sampling {
+
+SampleCloud::SampleCloud(const vf::field::ScalarField& source,
+                         std::vector<std::int64_t> kept_indices)
+    : kept_indices_(std::move(kept_indices)),
+      grid_(source.grid()),
+      has_grid_(true) {
+  std::sort(kept_indices_.begin(), kept_indices_.end());
+  kept_indices_.erase(
+      std::unique(kept_indices_.begin(), kept_indices_.end()),
+      kept_indices_.end());
+  points_.reserve(kept_indices_.size());
+  values_.reserve(kept_indices_.size());
+  for (std::int64_t idx : kept_indices_) {
+    if (idx < 0 || idx >= source.size()) {
+      throw std::out_of_range("SampleCloud: kept index out of range");
+    }
+    points_.push_back(grid_.position(idx));
+    values_.push_back(source[idx]);
+  }
+}
+
+SampleCloud::SampleCloud(std::vector<vf::field::Vec3> points,
+                         std::vector<double> values)
+    : points_(std::move(points)), values_(std::move(values)) {
+  if (points_.size() != values_.size()) {
+    throw std::invalid_argument("SampleCloud: point/value count mismatch");
+  }
+}
+
+std::vector<std::int64_t> SampleCloud::void_indices() const {
+  if (!has_grid_) return {};
+  std::vector<std::int64_t> voids;
+  const std::int64_t n = grid_.point_count();
+  voids.reserve(static_cast<std::size_t>(n) - kept_indices_.size());
+  std::size_t k = 0;
+  for (std::int64_t i = 0; i < n; ++i) {
+    if (k < kept_indices_.size() && kept_indices_[k] == i) {
+      ++k;
+    } else {
+      voids.push_back(i);
+    }
+  }
+  return voids;
+}
+
+double SampleCloud::sampling_fraction() const {
+  if (!has_grid_ || grid_.point_count() == 0) return 0.0;
+  return static_cast<double>(kept_indices_.size()) /
+         static_cast<double>(grid_.point_count());
+}
+
+void SampleCloud::save_vtp(const std::string& path,
+                           const std::string& name) const {
+  vf::field::write_vtp(points_, values_, name, path);
+}
+
+SampleCloud SampleCloud::load_vtp(const std::string& path) {
+  auto pd = vf::field::read_vtp(path);
+  return SampleCloud(std::move(pd.points), std::move(pd.values));
+}
+
+}  // namespace vf::sampling

@@ -1,0 +1,95 @@
+#include <algorithm>
+#include <cmath>
+
+#include "vf/sampling/samplers.hpp"
+#include "vf/util/rng.hpp"
+
+namespace vf::sampling {
+
+SampleCloud StratifiedSampler::sample(const vf::field::ScalarField& field,
+                                      double fraction,
+                                      std::uint64_t seed) const {
+  const auto& grid = field.grid();
+  const auto& d = grid.dims();
+  const std::int64_t budget = budget_for(field, fraction);
+  vf::util::Rng rng(seed, 0x73747261);
+
+  const int b = std::max(block_, 1);
+  const int bx = (d.nx + b - 1) / b;
+  const int by = (d.ny + b - 1) / b;
+  const int bz = (d.nz + b - 1) / b;
+  const std::int64_t blocks =
+      static_cast<std::int64_t>(bx) * by * bz;
+
+  std::vector<std::int64_t> kept;
+  kept.reserve(static_cast<std::size_t>(budget));
+
+  // Spread the budget across blocks; distribute the remainder to random
+  // blocks so the expected total matches exactly.
+  const std::int64_t per_block = budget / blocks;
+  std::int64_t remainder = budget % blocks;
+
+  std::vector<std::int64_t> cell;  // linear indices within the current block
+  std::int64_t deficit = 0;  // budget a too-small block could not absorb
+  for (int kb = 0; kb < bz; ++kb) {
+    for (int jb = 0; jb < by; ++jb) {
+      for (int ib = 0; ib < bx; ++ib) {
+        cell.clear();
+        for (int k = kb * b; k < std::min((kb + 1) * b, d.nz); ++k)
+          for (int j = jb * b; j < std::min((jb + 1) * b, d.ny); ++j)
+            for (int i = ib * b; i < std::min((ib + 1) * b, d.nx); ++i)
+              cell.push_back(grid.index(i, j, k));
+
+        std::int64_t want = per_block + deficit;
+        if (remainder > 0) {
+          // Bernoulli draw keeps the expected extra uniform over blocks.
+          std::int64_t blocks_left =
+              blocks - ((static_cast<std::int64_t>(kb) * by + jb) * bx + ib);
+          if (rng.uniform() <
+              static_cast<double>(remainder) / static_cast<double>(blocks_left)) {
+            ++want;
+            --remainder;
+          }
+        }
+        // Boundary blocks may be smaller than the per-block quota; roll the
+        // unplaceable share into the next block so the budget is still met.
+        auto capped =
+            std::min<std::int64_t>(want, static_cast<std::int64_t>(cell.size()));
+        deficit = want - capped;
+        want = capped;
+        // Partial shuffle of the cell's points.
+        for (std::int64_t i = 0; i < want; ++i) {
+          auto j = i + static_cast<std::int64_t>(rng.below(
+                           static_cast<std::uint32_t>(cell.size() - i)));
+          std::swap(cell[static_cast<std::size_t>(i)],
+                    cell[static_cast<std::size_t>(j)]);
+          kept.push_back(cell[static_cast<std::size_t>(i)]);
+        }
+      }
+    }
+  }
+
+  // Any deficit left after the sweep (small boundary blocks everywhere
+  // late in the scan) is topped up uniformly from the unkept points so the
+  // budget is always met.
+  if (deficit > 0) {
+    std::vector<bool> taken(static_cast<std::size_t>(field.size()), false);
+    for (std::int64_t idx : kept) taken[static_cast<std::size_t>(idx)] = true;
+    std::vector<std::int64_t> free;
+    free.reserve(static_cast<std::size_t>(field.size()) - kept.size());
+    for (std::int64_t i = 0; i < field.size(); ++i) {
+      if (!taken[static_cast<std::size_t>(i)]) free.push_back(i);
+    }
+    deficit = std::min<std::int64_t>(deficit,
+                                     static_cast<std::int64_t>(free.size()));
+    for (std::int64_t i = 0; i < deficit; ++i) {
+      auto j = static_cast<std::size_t>(i) +
+               rng.below(static_cast<std::uint32_t>(free.size() - i));
+      std::swap(free[static_cast<std::size_t>(i)], free[j]);
+      kept.push_back(free[static_cast<std::size_t>(i)]);
+    }
+  }
+  return SampleCloud(field, std::move(kept));
+}
+
+}  // namespace vf::sampling

@@ -1,0 +1,84 @@
+#include "vf/sampling/temporal_sampler.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "vf/util/rng.hpp"
+
+namespace vf::sampling {
+
+void TemporalDeltaSampler::set_previous(const vf::field::ScalarField& previous) {
+  previous_ = previous;
+}
+
+SampleCloud TemporalDeltaSampler::sample(const vf::field::ScalarField& field,
+                                         double fraction,
+                                         std::uint64_t seed) const {
+  const std::int64_t n = field.size();
+  const std::int64_t budget = budget_for(field, fraction);
+  vf::util::Rng rng(seed, 0x74656d70);
+
+  if (!previous_ || previous_->size() != n) {
+    // No (compatible) history: uniform random fallback.
+    return RandomSampler().sample(field, fraction, seed);
+  }
+
+  // Normalised |change since the previous timestep|.
+  std::vector<double> delta(static_cast<std::size_t>(n));
+  double dmax = 1e-300;
+  for (std::int64_t i = 0; i < n; ++i) {
+    double d = std::abs(field[i] - (*previous_)[i]);
+    delta[static_cast<std::size_t>(i)] = d;
+    dmax = std::max(dmax, d);
+  }
+  for (auto& d : delta) d /= dmax;
+
+  // Split the budget: a uniform share for coverage, the rest drawn by
+  // weighted sampling without replacement on exp(w * delta).
+  auto uniform_budget =
+      static_cast<std::int64_t>(opts_.uniform_share * static_cast<double>(budget));
+  std::int64_t delta_budget = budget - uniform_budget;
+
+  std::vector<std::int64_t> kept;
+  kept.reserve(static_cast<std::size_t>(budget));
+
+  // Weighted draw (Efraimidis-Spirakis keys, top delta_budget).
+  std::vector<std::pair<double, std::int64_t>> keys;
+  keys.reserve(static_cast<std::size_t>(n));
+  for (std::int64_t i = 0; i < n; ++i) {
+    double w = std::exp(opts_.delta_weight * delta[static_cast<std::size_t>(i)]);
+    double u = std::max(rng.uniform(), 1e-300);
+    keys.emplace_back(std::pow(u, 1.0 / w), i);
+  }
+  if (delta_budget > 0) {
+    std::nth_element(keys.begin(), keys.begin() + (delta_budget - 1),
+                     keys.end(),
+                     [](const auto& a, const auto& b) { return a.first > b.first; });
+    for (std::int64_t i = 0; i < delta_budget; ++i) {
+      kept.push_back(keys[static_cast<std::size_t>(i)].second);
+    }
+  }
+
+  // Uniform top-up from the remaining points.
+  if (uniform_budget > 0) {
+    std::vector<bool> taken(static_cast<std::size_t>(n), false);
+    for (std::int64_t idx : kept) taken[static_cast<std::size_t>(idx)] = true;
+    std::vector<std::int64_t> rest;
+    rest.reserve(static_cast<std::size_t>(n - delta_budget));
+    for (std::int64_t i = 0; i < n; ++i) {
+      if (!taken[static_cast<std::size_t>(i)]) rest.push_back(i);
+    }
+    uniform_budget = std::min<std::int64_t>(
+        uniform_budget, static_cast<std::int64_t>(rest.size()));
+    for (std::int64_t i = 0; i < uniform_budget; ++i) {
+      auto j = static_cast<std::size_t>(i) +
+               rng.below(static_cast<std::uint32_t>(rest.size() - i));
+      std::swap(rest[static_cast<std::size_t>(i)], rest[j]);
+      kept.push_back(rest[static_cast<std::size_t>(i)]);
+    }
+  }
+  return SampleCloud(field, std::move(kept));
+}
+
+}  // namespace vf::sampling

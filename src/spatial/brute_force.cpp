@@ -1,0 +1,47 @@
+#include "vf/spatial/brute_force.hpp"
+
+#include <algorithm>
+
+namespace vf::spatial {
+
+using vf::field::Vec3;
+
+namespace {
+inline double dist2(const Vec3& a, const Vec3& b) {
+  double dx = a.x - b.x, dy = a.y - b.y, dz = a.z - b.z;
+  return dx * dx + dy * dy + dz * dz;
+}
+
+bool less(const Neighbor& a, const Neighbor& b) {
+  if (a.dist2 != b.dist2) return a.dist2 < b.dist2;
+  return a.index < b.index;
+}
+}  // namespace
+
+std::vector<Neighbor> brute_force_knn(const std::vector<Vec3>& points,
+                                      const Vec3& query, int k) {
+  std::vector<Neighbor> all;
+  all.reserve(points.size());
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    all.push_back({static_cast<std::uint32_t>(i), dist2(points[i], query)});
+  }
+  auto kk = std::min<std::size_t>(static_cast<std::size_t>(std::max(k, 0)),
+                                  all.size());
+  std::partial_sort(all.begin(), all.begin() + kk, all.end(), less);
+  all.resize(kk);
+  return all;
+}
+
+std::vector<Neighbor> brute_force_radius(const std::vector<Vec3>& points,
+                                         const Vec3& query, double radius) {
+  std::vector<Neighbor> out;
+  double r2 = radius * radius;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    double d2 = dist2(points[i], query);
+    if (d2 <= r2) out.push_back({static_cast<std::uint32_t>(i), d2});
+  }
+  std::sort(out.begin(), out.end(), less);
+  return out;
+}
+
+}  // namespace vf::spatial

@@ -1,0 +1,23 @@
+#pragma once
+// O(n) reference nearest-neighbour search.
+//
+// Exists to validate the k-d tree (property tests compare the two on random
+// clouds) and as a fallback for tiny point sets.
+
+#include <vector>
+
+#include "vf/spatial/kdtree.hpp"
+
+namespace vf::spatial {
+
+/// k nearest points by exhaustive scan, sorted by ascending distance.
+/// Ties are broken by index for determinism.
+std::vector<Neighbor> brute_force_knn(const std::vector<vf::field::Vec3>& points,
+                                      const vf::field::Vec3& query, int k);
+
+/// All points within `radius`, sorted by ascending distance.
+std::vector<Neighbor> brute_force_radius(
+    const std::vector<vf::field::Vec3>& points, const vf::field::Vec3& query,
+    double radius);
+
+}  // namespace vf::spatial

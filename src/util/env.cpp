@@ -1,0 +1,33 @@
+#include "vf/util/env.hpp"
+
+#include <cstdlib>
+
+namespace vf::util {
+
+std::string env_string(const char* name, const std::string& fallback) {
+  const char* v = std::getenv(name);
+  return (v == nullptr || v[0] == '\0') ? fallback : std::string(v);
+}
+
+int env_int(const char* name, int fallback) {
+  const char* v = std::getenv(name);
+  return (v == nullptr || v[0] == '\0') ? fallback : std::atoi(v);
+}
+
+double env_double(const char* name, double fallback) {
+  const char* v = std::getenv(name);
+  return (v == nullptr || v[0] == '\0') ? fallback : std::atof(v);
+}
+
+bool env_bool(const char* name, bool fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || v[0] == '\0') return fallback;
+  std::string s(v);
+  return s == "1" || s == "true" || s == "yes" || s == "on";
+}
+
+bool full_scale() { return env_bool("VF_FULL_SCALE", false); }
+
+bool quick_mode() { return env_bool("VF_QUICK", false); }
+
+}  // namespace vf::util

@@ -1,0 +1,22 @@
+#pragma once
+// Environment-variable helpers. The bench harnesses honour a few global
+// switches (VF_FULL_SCALE, VF_THREADS, VF_QUICK) read through these.
+
+#include <string>
+
+namespace vf::util {
+
+/// Value of environment variable `name`, or `fallback` when unset/empty.
+std::string env_string(const char* name, const std::string& fallback);
+int env_int(const char* name, int fallback);
+double env_double(const char* name, double fallback);
+bool env_bool(const char* name, bool fallback);
+
+/// True when VF_FULL_SCALE is set: harnesses run at the paper's dataset
+/// resolutions instead of the reduced defaults.
+bool full_scale();
+
+/// True when VF_QUICK is set: harnesses shrink sweeps further for smoke runs.
+bool quick_mode();
+
+}  // namespace vf::util

@@ -1,0 +1,26 @@
+#pragma once
+// Minimal leveled logging to stderr, printf-style.
+//
+// Benches and examples narrate progress through this; tests run with the
+// level raised to Warn so ctest output stays clean.
+
+#include <cstdarg>
+
+namespace vf::util {
+
+enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+/// Globally set the minimum level that is emitted.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// printf-style logging; a newline is appended.
+void logf(LogLevel level, const char* fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+#define VF_DEBUG(...) ::vf::util::logf(::vf::util::LogLevel::Debug, __VA_ARGS__)
+#define VF_INFO(...) ::vf::util::logf(::vf::util::LogLevel::Info, __VA_ARGS__)
+#define VF_WARN(...) ::vf::util::logf(::vf::util::LogLevel::Warn, __VA_ARGS__)
+#define VF_ERROR(...) ::vf::util::logf(::vf::util::LogLevel::Error, __VA_ARGS__)
+
+}  // namespace vf::util

@@ -1,0 +1,48 @@
+#pragma once
+// OpenMP-backed parallel loop helpers.
+//
+// All hot loops in the library (batch k-NN queries, GEMM, per-voxel
+// reconstruction) parallelise through these wrappers so thread policy lives
+// in one place. Loops fall back to serial execution below a grain threshold
+// where fork/join overhead would dominate.
+
+#include <cstddef>
+#include <cstdint>
+
+#include <omp.h>
+
+namespace vf::util {
+
+/// Number of worker threads OpenMP will use.
+inline int thread_count() { return omp_get_max_threads(); }
+
+/// Override the global thread count (used by benches to compare scaling).
+inline void set_thread_count(int n) { omp_set_num_threads(n); }
+
+/// Parallel for over [begin, end). `body` is invoked with each index.
+/// Serial when the range is smaller than `grain`.
+template <typename Body>
+void parallel_for(std::int64_t begin, std::int64_t end, const Body& body,
+                  std::int64_t grain = 1024) {
+  if (end - begin < grain) {
+    for (std::int64_t i = begin; i < end; ++i) body(i);
+    return;
+  }
+#pragma omp parallel for schedule(static)
+  for (std::int64_t i = begin; i < end; ++i) body(i);
+}
+
+/// Parallel for with dynamic scheduling for irregular per-item cost
+/// (e.g. Delaunay point location where walk length varies).
+template <typename Body>
+void parallel_for_dynamic(std::int64_t begin, std::int64_t end,
+                          const Body& body, std::int64_t grain = 256) {
+  if (end - begin < grain) {
+    for (std::int64_t i = begin; i < end; ++i) body(i);
+    return;
+  }
+#pragma omp parallel for schedule(dynamic, 64)
+  for (std::int64_t i = begin; i < end; ++i) body(i);
+}
+
+}  // namespace vf::util

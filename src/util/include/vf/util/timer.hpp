@@ -1,0 +1,31 @@
+#pragma once
+// Wall-clock timing for reconstruction and training benchmarks.
+
+#include <chrono>
+#include <string>
+
+namespace vf::util {
+
+/// Monotonic stopwatch. Started on construction; `seconds()` reads elapsed
+/// time without stopping, `restart()` resets the origin.
+class Timer {
+ public:
+  Timer();
+
+  void restart();
+
+  /// Elapsed wall-clock seconds since construction or last restart.
+  [[nodiscard]] double seconds() const;
+
+  /// Elapsed milliseconds.
+  [[nodiscard]] double millis() const;
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Format a duration in seconds as a short human-readable string
+/// (e.g. "532ms", "12.3s", "4m05s").
+std::string format_duration(double seconds);
+
+}  // namespace vf::util

@@ -1,0 +1,35 @@
+#include "vf/util/log.hpp"
+
+#include <atomic>
+#include <cstdio>
+
+namespace vf::util {
+
+namespace {
+std::atomic<LogLevel> g_level{LogLevel::Info};
+
+const char* level_tag(LogLevel level) {
+  switch (level) {
+    case LogLevel::Debug: return "debug";
+    case LogLevel::Info: return "info ";
+    case LogLevel::Warn: return "warn ";
+    case LogLevel::Error: return "error";
+    default: return "?";
+  }
+}
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level.store(level); }
+LogLevel log_level() { return g_level.load(); }
+
+void logf(LogLevel level, const char* fmt, ...) {
+  if (level < g_level.load()) return;
+  std::va_list args;
+  va_start(args, fmt);
+  std::fprintf(stderr, "[vf %s] ", level_tag(level));
+  std::vfprintf(stderr, fmt, args);
+  std::fputc('\n', stderr);
+  va_end(args);
+}
+
+}  // namespace vf::util

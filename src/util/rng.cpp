@@ -1,0 +1,73 @@
+#include "vf/util/rng.hpp"
+
+#include <cmath>
+
+namespace vf::util {
+
+Rng::Rng(std::uint64_t seed, std::uint64_t stream)
+    : state_(0), inc_((stream << 1u) | 1u) {
+  operator()();
+  state_ += seed;
+  operator()();
+}
+
+Rng::result_type Rng::operator()() {
+  std::uint64_t old = state_;
+  state_ = old * 6364136223846793005ULL + inc_;
+  auto xorshifted =
+      static_cast<std::uint32_t>(((old >> 18u) ^ old) >> 27u);
+  auto rot = static_cast<std::uint32_t>(old >> 59u);
+  return (xorshifted >> rot) | (xorshifted << ((32u - rot) & 31u));
+}
+
+double Rng::uniform() {
+  // 53-bit mantissa from two draws for full double resolution.
+  std::uint64_t hi = operator()();
+  std::uint64_t lo = operator()();
+  std::uint64_t bits = (hi << 21u) ^ lo;
+  return static_cast<double>(bits & ((1ULL << 53) - 1)) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+std::uint32_t Rng::below(std::uint32_t n) {
+  if (n == 0) return 0;
+  // Lemire's method: multiply-shift with rejection to remove modulo bias.
+  std::uint64_t m = static_cast<std::uint64_t>(operator()()) * n;
+  auto l = static_cast<std::uint32_t>(m);
+  if (l < n) {
+    std::uint32_t t = -n % n;
+    while (l < t) {
+      m = static_cast<std::uint64_t>(operator()()) * n;
+      l = static_cast<std::uint32_t>(m);
+    }
+  }
+  return static_cast<std::uint32_t>(m >> 32u);
+}
+
+double Rng::gaussian() {
+  if (has_cached_gaussian_) {
+    has_cached_gaussian_ = false;
+    return cached_gaussian_;
+  }
+  double u1 = 0.0;
+  do {
+    u1 = uniform();
+  } while (u1 <= 0.0);
+  double u2 = uniform();
+  double r = std::sqrt(-2.0 * std::log(u1));
+  double theta = 2.0 * M_PI * u2;
+  cached_gaussian_ = r * std::sin(theta);
+  has_cached_gaussian_ = true;
+  return r * std::cos(theta);
+}
+
+double Rng::gaussian(double mean, double stddev) {
+  return mean + stddev * gaussian();
+}
+
+Rng Rng::fork(std::uint64_t id) const {
+  return Rng(state_ ^ (0x9e3779b97f4a7c15ULL * (id + 1)), inc_ ^ id);
+}
+
+}  // namespace vf::util

@@ -1,0 +1,33 @@
+#include "vf/util/timer.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace vf::util {
+
+Timer::Timer() : start_(std::chrono::steady_clock::now()) {}
+
+void Timer::restart() { start_ = std::chrono::steady_clock::now(); }
+
+double Timer::seconds() const {
+  auto now = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(now - start_).count();
+}
+
+double Timer::millis() const { return seconds() * 1000.0; }
+
+std::string format_duration(double seconds) {
+  char buf[64];
+  if (seconds < 1.0) {
+    std::snprintf(buf, sizeof buf, "%.0fms", seconds * 1000.0);
+  } else if (seconds < 120.0) {
+    std::snprintf(buf, sizeof buf, "%.1fs", seconds);
+  } else {
+    int mins = static_cast<int>(seconds / 60.0);
+    int secs = static_cast<int>(std::lround(seconds - 60.0 * mins));
+    std::snprintf(buf, sizeof buf, "%dm%02ds", mins, secs);
+  }
+  return buf;
+}
+
+}  // namespace vf::util

@@ -1,0 +1,132 @@
+#include "vf/vis/image.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <stdexcept>
+
+namespace vf::vis {
+
+Image::Image(int width, int height, Rgb fill)
+    : width_(width),
+      height_(height),
+      pixels_(static_cast<std::size_t>(width) * static_cast<std::size_t>(height),
+              fill) {
+  if (width < 1 || height < 1) {
+    throw std::invalid_argument("Image: dimensions must be positive");
+  }
+}
+
+void Image::write_ppm(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("write_ppm: cannot open " + path);
+  out << "P6\n" << width_ << " " << height_ << "\n255\n";
+  auto quantise = [](double v) {
+    return static_cast<unsigned char>(
+        std::lround(std::clamp(v, 0.0, 1.0) * 255.0));
+  };
+  for (const auto& p : pixels_) {
+    unsigned char rgb[3] = {quantise(p.r), quantise(p.g), quantise(p.b)};
+    out.write(reinterpret_cast<const char*>(rgb), 3);
+  }
+  if (!out) throw std::runtime_error("write_ppm: write failed " + path);
+}
+
+Image Image::read_ppm(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("read_ppm: cannot open " + path);
+  std::string magic;
+  int w = 0, h = 0, maxv = 0;
+  in >> magic >> w >> h >> maxv;
+  if (magic != "P6" || w < 1 || h < 1 || maxv != 255) {
+    throw std::runtime_error("read_ppm: unsupported PPM " + path);
+  }
+  in.get();  // single whitespace after header
+  Image img(w, h);
+  std::vector<unsigned char> buf(static_cast<std::size_t>(w) * h * 3);
+  in.read(reinterpret_cast<char*>(buf.data()),
+          static_cast<std::streamsize>(buf.size()));
+  if (!in) throw std::runtime_error("read_ppm: truncated " + path);
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      std::size_t o = (static_cast<std::size_t>(y) * w + x) * 3;
+      img.at(x, y) = {buf[o] / 255.0, buf[o + 1] / 255.0, buf[o + 2] / 255.0};
+    }
+  }
+  return img;
+}
+
+namespace {
+void check_same_shape(const Image& a, const Image& b) {
+  if (a.width() != b.width() || a.height() != b.height()) {
+    throw std::invalid_argument("image metrics: size mismatch");
+  }
+}
+
+double luminance(const Rgb& p) {
+  return 0.2126 * p.r + 0.7152 * p.g + 0.0722 * p.b;
+}
+}  // namespace
+
+double image_mse(const Image& a, const Image& b) {
+  check_same_shape(a, b);
+  double acc = 0.0;
+  for (int y = 0; y < a.height(); ++y) {
+    for (int x = 0; x < a.width(); ++x) {
+      const Rgb& pa = a.at(x, y);
+      const Rgb& pb = b.at(x, y);
+      acc += (pa.r - pb.r) * (pa.r - pb.r) + (pa.g - pb.g) * (pa.g - pb.g) +
+             (pa.b - pb.b) * (pa.b - pb.b);
+    }
+  }
+  return acc / (3.0 * a.width() * a.height());
+}
+
+double image_psnr_db(const Image& a, const Image& b) {
+  double mse = image_mse(a, b);
+  if (mse == 0.0) return std::numeric_limits<double>::infinity();
+  return 10.0 * std::log10(1.0 / mse);
+}
+
+double image_ssim(const Image& a, const Image& b) {
+  check_same_shape(a, b);
+  constexpr int kWin = 8;
+  constexpr double c1 = 0.01 * 0.01;
+  constexpr double c2 = 0.03 * 0.03;
+  double ssim_sum = 0.0;
+  int windows = 0;
+  for (int y0 = 0; y0 + kWin <= a.height(); y0 += kWin) {
+    for (int x0 = 0; x0 + kWin <= a.width(); x0 += kWin) {
+      double ma = 0, mb = 0;
+      for (int y = y0; y < y0 + kWin; ++y) {
+        for (int x = x0; x < x0 + kWin; ++x) {
+          ma += luminance(a.at(x, y));
+          mb += luminance(b.at(x, y));
+        }
+      }
+      const double n = kWin * kWin;
+      ma /= n;
+      mb /= n;
+      double va = 0, vb = 0, cov = 0;
+      for (int y = y0; y < y0 + kWin; ++y) {
+        for (int x = x0; x < x0 + kWin; ++x) {
+          double da = luminance(a.at(x, y)) - ma;
+          double db = luminance(b.at(x, y)) - mb;
+          va += da * da;
+          vb += db * db;
+          cov += da * db;
+        }
+      }
+      va /= n - 1;
+      vb /= n - 1;
+      cov /= n - 1;
+      ssim_sum += ((2 * ma * mb + c1) * (2 * cov + c2)) /
+                  ((ma * ma + mb * mb + c1) * (va + vb + c2));
+      ++windows;
+    }
+  }
+  if (windows == 0) throw std::invalid_argument("image_ssim: image too small");
+  return ssim_sum / windows;
+}
+
+}  // namespace vf::vis

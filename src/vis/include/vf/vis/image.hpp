@@ -1,0 +1,61 @@
+#pragma once
+// RGB float images + PPM export + image-space error metrics.
+//
+// The paper judges reconstructions visually (Figs 2/3 are volume renderings
+// of reconstructed combustion / ionization data). This module provides the
+// image container the raycaster writes into, a portable PPM writer so the
+// renders can be eyeballed, and image-space metrics (MSE / PSNR / mean
+// structural similarity) so rendering fidelity can be asserted numerically.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace vf::vis {
+
+struct Rgb {
+  double r = 0.0;
+  double g = 0.0;
+  double b = 0.0;
+
+  Rgb operator+(const Rgb& o) const { return {r + o.r, g + o.g, b + o.b}; }
+  Rgb operator*(double s) const { return {r * s, g * s, b * s}; }
+};
+
+class Image {
+ public:
+  Image() = default;
+  Image(int width, int height, Rgb fill = {});
+
+  [[nodiscard]] int width() const { return width_; }
+  [[nodiscard]] int height() const { return height_; }
+
+  [[nodiscard]] Rgb& at(int x, int y) { return pixels_[idx(x, y)]; }
+  [[nodiscard]] const Rgb& at(int x, int y) const { return pixels_[idx(x, y)]; }
+
+  /// Write as binary PPM (P6), clamping channels to [0, 1].
+  void write_ppm(const std::string& path) const;
+
+  /// Read back a P6 PPM written by write_ppm (8-bit quantised).
+  static Image read_ppm(const std::string& path);
+
+ private:
+  [[nodiscard]] std::size_t idx(int x, int y) const {
+    return static_cast<std::size_t>(y) * static_cast<std::size_t>(width_) +
+           static_cast<std::size_t>(x);
+  }
+  int width_ = 0;
+  int height_ = 0;
+  std::vector<Rgb> pixels_;
+};
+
+/// Mean squared error over all pixels and channels.
+double image_mse(const Image& a, const Image& b);
+
+/// PSNR in dB against a unit dynamic range.
+double image_psnr_db(const Image& a, const Image& b);
+
+/// Mean SSIM over 8x8 luminance windows (structural similarity, 1 = equal).
+double image_ssim(const Image& a, const Image& b);
+
+}  // namespace vf::vis

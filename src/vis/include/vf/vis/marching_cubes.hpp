@@ -1,0 +1,22 @@
+#pragma once
+// Isosurface extraction on ScalarFields via marching tetrahedra: every grid
+// cell is decomposed into six tetrahedra sharing a main diagonal, and each
+// tetrahedron emits 0-2 triangles from the sign pattern of its corners.
+// Compared to classic marching cubes this needs no case tables, has no
+// ambiguous configurations, and is watertight by construction; it emits
+// somewhat more triangles, which is irrelevant for the area/distance
+// comparisons the library uses it for.
+//
+// Vertices are placed by linear interpolation along tetrahedron edges and
+// welded across cells via an edge-keyed map.
+
+#include "vf/field/scalar_field.hpp"
+#include "vf/vis/mesh.hpp"
+
+namespace vf::vis {
+
+/// Extract the isosurface of `field` at `isovalue`.
+TriangleMesh extract_isosurface(const vf::field::ScalarField& field,
+                                double isovalue);
+
+}  // namespace vf::vis

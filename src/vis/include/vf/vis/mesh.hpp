@@ -1,0 +1,53 @@
+#pragma once
+// Triangle meshes produced by the isosurface extractor.
+//
+// Enough mesh machinery to compare the isosurfaces of a reconstruction and
+// its ground truth (the paper's isosurface-contouring use case): surface
+// area, OBJ export for inspection, and a sampled symmetric surface distance
+// (Hausdorff-style) computed with exact point-triangle projections
+// accelerated by the k-d tree.
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "vf/field/grid.hpp"
+
+namespace vf::vis {
+
+struct TriangleMesh {
+  std::vector<vf::field::Vec3> vertices;
+  std::vector<std::array<std::uint32_t, 3>> triangles;
+
+  [[nodiscard]] std::size_t triangle_count() const { return triangles.size(); }
+  [[nodiscard]] bool empty() const { return triangles.empty(); }
+
+  /// Total surface area.
+  [[nodiscard]] double surface_area() const;
+
+  /// Axis-aligned bounds of the vertices (undefined when empty).
+  [[nodiscard]] vf::field::BoundingBox bounds() const;
+
+  /// Write as Wavefront OBJ.
+  void write_obj(const std::string& path) const;
+};
+
+/// Exact distance from a point to a triangle (p, a, b, c).
+double point_triangle_distance(const vf::field::Vec3& p,
+                               const vf::field::Vec3& a,
+                               const vf::field::Vec3& b,
+                               const vf::field::Vec3& c);
+
+/// Symmetric mean surface distance between two meshes, estimated from
+/// `samples` random surface points per direction (area-weighted), each
+/// projected exactly onto the nearest triangles of the other mesh.
+/// Returns {mean, max} over both directions.
+struct SurfaceDistance {
+  double mean = 0.0;
+  double max = 0.0;
+};
+SurfaceDistance mesh_distance(const TriangleMesh& a, const TriangleMesh& b,
+                              int samples = 2000, std::uint64_t seed = 1);
+
+}  // namespace vf::vis

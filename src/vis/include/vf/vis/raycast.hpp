@@ -1,0 +1,32 @@
+#pragma once
+// Orthographic volume raycaster with front-to-back emission-absorption
+// compositing — enough renderer to reproduce the paper's Fig 2/3-style
+// qualitative comparisons (truth vs reconstruction under one transfer
+// function) and to quantify them with image metrics.
+
+#include "vf/field/scalar_field.hpp"
+#include "vf/vis/image.hpp"
+#include "vf/vis/transfer_function.hpp"
+
+namespace vf::vis {
+
+enum class ViewAxis { X, Y, Z };
+
+struct RenderOptions {
+  int width = 256;
+  int height = 256;
+  /// Axis the orthographic rays travel along (image spans the other two).
+  ViewAxis axis = ViewAxis::Z;
+  /// Step length as a fraction of the voxel spacing along the view axis.
+  double step_scale = 0.5;
+  /// Background colour composited behind the volume.
+  Rgb background{1.0, 1.0, 1.0};
+  /// Simple headlight shading strength from the local gradient (0 = off).
+  double shading = 0.35;
+};
+
+/// Render `field` with the given transfer function. Parallel over rows.
+Image render(const vf::field::ScalarField& field, const TransferFunction& tf,
+             const RenderOptions& options = {});
+
+}  // namespace vf::vis

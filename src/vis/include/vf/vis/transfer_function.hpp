@@ -1,0 +1,42 @@
+#pragma once
+// Piecewise-linear transfer functions mapping scalar values to colour and
+// opacity — the standard volume-rendering control the paper's figures use.
+
+#include <vector>
+
+#include "vf/vis/image.hpp"
+
+namespace vf::vis {
+
+struct TfPoint {
+  double value = 0.0;  // scalar position of the control point
+  Rgb color;
+  double opacity = 0.0;  // per-unit-length extinction in [0, ~inf)
+};
+
+class TransferFunction {
+ public:
+  /// Control points; sorted by value internally. Needs at least one.
+  explicit TransferFunction(std::vector<TfPoint> points);
+
+  /// Piecewise-linear colour at a scalar value (clamped at the ends).
+  [[nodiscard]] Rgb color(double value) const;
+  /// Piecewise-linear opacity at a scalar value.
+  [[nodiscard]] double opacity(double value) const;
+
+  /// A perceptually-reasonable default: cool-to-warm diverging ramp over
+  /// [lo, hi] with opacity rising toward both extremes (highlights lows and
+  /// highs, de-emphasises the midrange).
+  static TransferFunction cool_warm(double lo, double hi,
+                                    double max_opacity = 8.0);
+
+  /// Single-band isosurface-like TF: opaque shell around `value` with the
+  /// given half-width, transparent elsewhere.
+  static TransferFunction band(double value, double half_width, Rgb color,
+                               double opacity = 40.0);
+
+ private:
+  std::vector<TfPoint> points_;
+};
+
+}  // namespace vf::vis

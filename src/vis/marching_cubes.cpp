@@ -1,0 +1,145 @@
+#include "vf/vis/marching_cubes.hpp"
+
+#include <unordered_map>
+
+namespace vf::vis {
+
+using vf::field::ScalarField;
+using vf::field::Vec3;
+
+namespace {
+
+/// The six tetrahedra of a cube, as corner ids 0..7 with bit 0 = +x,
+/// bit 1 = +y, bit 2 = +z. All share the 0-7 main diagonal, so adjacent
+/// cubes' decompositions agree on shared faces.
+constexpr int kTets[6][4] = {
+    {0, 5, 1, 7}, {0, 1, 3, 7}, {0, 3, 2, 7},
+    {0, 2, 6, 7}, {0, 6, 4, 7}, {0, 4, 5, 7},
+};
+
+struct Extractor {
+  const ScalarField& field;
+  double iso;
+  TriangleMesh mesh;
+  // Welding map: an interpolated vertex is identified by its (sorted)
+  // global corner-index pair.
+  std::unordered_map<std::uint64_t, std::uint32_t> edge_vertex;
+
+  explicit Extractor(const ScalarField& f, double isovalue)
+      : field(f), iso(isovalue) {}
+
+  std::uint32_t vertex_on_edge(std::int64_t ga, std::int64_t gb, double va,
+                               double vb, Vec3 pa, Vec3 pb) {
+    // Canonical edge orientation so both adjacent tets agree on the key
+    // AND on the interpolated position bit-for-bit.
+    if (ga > gb) {
+      std::swap(ga, gb);
+      std::swap(va, vb);
+      std::swap(pa, pb);
+    }
+    std::uint64_t key = (static_cast<std::uint64_t>(ga) << 32) |
+                        static_cast<std::uint64_t>(gb);
+    auto it = edge_vertex.find(key);
+    if (it != edge_vertex.end()) return it->second;
+    double t = (iso - va) / (vb - va);
+    Vec3 p = pa + (pb - pa) * t;
+    auto id = static_cast<std::uint32_t>(mesh.vertices.size());
+    mesh.vertices.push_back(p);
+    edge_vertex.emplace(key, id);
+    return id;
+  }
+
+  void tetra(const std::int64_t g[4], const double v[4], const Vec3 p[4]) {
+    // Sign pattern: bit i set when corner i is above the isovalue.
+    int pattern = 0;
+    for (int i = 0; i < 4; ++i) {
+      if (v[i] >= iso) pattern |= 1 << i;
+    }
+    if (pattern == 0 || pattern == 15) return;
+
+    auto edge = [&](int a, int b) {
+      return vertex_on_edge(g[a], g[b], v[a], v[b], p[a], p[b]);
+    };
+    auto tri = [&](std::uint32_t a, std::uint32_t b, std::uint32_t c) {
+      if (a != b && b != c && a != c) mesh.triangles.push_back({a, b, c});
+    };
+
+    // One corner isolated (4 single-bit + 4 inverted) -> one triangle;
+    // two-vs-two -> a quad split into two triangles.
+    switch (pattern) {
+      case 1: case 14: tri(edge(0, 1), edge(0, 2), edge(0, 3)); break;
+      case 2: case 13: tri(edge(1, 0), edge(1, 3), edge(1, 2)); break;
+      case 4: case 11: tri(edge(2, 0), edge(2, 1), edge(2, 3)); break;
+      case 8: case 7:  tri(edge(3, 0), edge(3, 2), edge(3, 1)); break;
+      case 3: case 12: {  // corners {0,1} vs {2,3}
+        auto a = edge(0, 2), b = edge(0, 3), c = edge(1, 3), d = edge(1, 2);
+        tri(a, b, c);
+        tri(a, c, d);
+        break;
+      }
+      case 5: case 10: {  // corners {0,2} vs {1,3}
+        auto a = edge(0, 1), b = edge(0, 3), c = edge(2, 3), d = edge(2, 1);
+        tri(a, b, c);
+        tri(a, c, d);
+        break;
+      }
+      case 6: case 9: {   // corners {1,2} vs {0,3}
+        auto a = edge(1, 0), b = edge(1, 3), c = edge(2, 3), d = edge(2, 0);
+        tri(a, b, c);
+        tri(a, c, d);
+        break;
+      }
+      default: break;
+    }
+  }
+
+  void run() {
+    const auto& grid = field.grid();
+    const auto& d = grid.dims();
+    for (int k = 0; k + 1 < d.nz; ++k) {
+      for (int j = 0; j + 1 < d.ny; ++j) {
+        for (int i = 0; i + 1 < d.nx; ++i) {
+          std::int64_t g[8];
+          double v[8];
+          Vec3 p[8];
+          for (int c = 0; c < 8; ++c) {
+            int ci = i + (c & 1);
+            int cj = j + ((c >> 1) & 1);
+            int ck = k + ((c >> 2) & 1);
+            g[c] = grid.index(ci, cj, ck);
+            v[c] = field[g[c]];
+            p[c] = grid.position(ci, cj, ck);
+          }
+          // Quick reject: cell entirely above or below the isovalue.
+          bool any_lo = false, any_hi = false;
+          for (double val : v) {
+            (val >= iso ? any_hi : any_lo) = true;
+          }
+          if (!any_lo || !any_hi) continue;
+
+          for (const auto& tet : kTets) {
+            std::int64_t tg[4];
+            double tv[4];
+            Vec3 tp[4];
+            for (int c = 0; c < 4; ++c) {
+              tg[c] = g[tet[c]];
+              tv[c] = v[tet[c]];
+              tp[c] = p[tet[c]];
+            }
+            tetra(tg, tv, tp);
+          }
+        }
+      }
+    }
+  }
+};
+
+}  // namespace
+
+TriangleMesh extract_isosurface(const ScalarField& field, double isovalue) {
+  Extractor ex(field, isovalue);
+  ex.run();
+  return std::move(ex.mesh);
+}
+
+}  // namespace vf::vis

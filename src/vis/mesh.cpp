@@ -1,0 +1,197 @@
+#include "vf/vis/mesh.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <limits>
+#include <stdexcept>
+
+#include "vf/spatial/kdtree.hpp"
+#include "vf/util/rng.hpp"
+
+namespace vf::vis {
+
+using vf::field::BoundingBox;
+using vf::field::Vec3;
+
+namespace {
+Vec3 cross(const Vec3& a, const Vec3& b) {
+  return {a.y * b.z - a.z * b.y, a.z * b.x - a.x * b.z,
+          a.x * b.y - a.y * b.x};
+}
+
+double triangle_area(const Vec3& a, const Vec3& b, const Vec3& c) {
+  return 0.5 * std::sqrt(cross(b - a, c - a).norm2());
+}
+}  // namespace
+
+double TriangleMesh::surface_area() const {
+  double area = 0.0;
+  for (const auto& t : triangles) {
+    area += triangle_area(vertices[t[0]], vertices[t[1]], vertices[t[2]]);
+  }
+  return area;
+}
+
+BoundingBox TriangleMesh::bounds() const {
+  BoundingBox box{{std::numeric_limits<double>::infinity(),
+                   std::numeric_limits<double>::infinity(),
+                   std::numeric_limits<double>::infinity()},
+                  {-std::numeric_limits<double>::infinity(),
+                   -std::numeric_limits<double>::infinity(),
+                   -std::numeric_limits<double>::infinity()}};
+  for (const auto& v : vertices) {
+    box.min.x = std::min(box.min.x, v.x);
+    box.min.y = std::min(box.min.y, v.y);
+    box.min.z = std::min(box.min.z, v.z);
+    box.max.x = std::max(box.max.x, v.x);
+    box.max.y = std::max(box.max.y, v.y);
+    box.max.z = std::max(box.max.z, v.z);
+  }
+  return box;
+}
+
+void TriangleMesh::write_obj(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("write_obj: cannot open " + path);
+  out.precision(9);
+  for (const auto& v : vertices) {
+    out << "v " << v.x << " " << v.y << " " << v.z << "\n";
+  }
+  for (const auto& t : triangles) {
+    out << "f " << t[0] + 1 << " " << t[1] + 1 << " " << t[2] + 1 << "\n";
+  }
+  if (!out) throw std::runtime_error("write_obj: write failed " + path);
+}
+
+double point_triangle_distance(const Vec3& p, const Vec3& a, const Vec3& b,
+                               const Vec3& c) {
+  // Ericson, "Real-Time Collision Detection": closest point via barycentric
+  // region classification.
+  Vec3 ab = b - a, ac = c - a, ap = p - a;
+  double d1 = ab.dot(ap), d2 = ac.dot(ap);
+  if (d1 <= 0.0 && d2 <= 0.0) return std::sqrt((p - a).norm2());
+
+  Vec3 bp = p - b;
+  double d3 = ab.dot(bp), d4 = ac.dot(bp);
+  if (d3 >= 0.0 && d4 <= d3) return std::sqrt((p - b).norm2());
+
+  double vc = d1 * d4 - d3 * d2;
+  if (vc <= 0.0 && d1 >= 0.0 && d3 <= 0.0) {
+    double t = d1 / (d1 - d3);
+    return std::sqrt((p - (a + ab * t)).norm2());
+  }
+
+  Vec3 cp = p - c;
+  double d5 = ab.dot(cp), d6 = ac.dot(cp);
+  if (d6 >= 0.0 && d5 <= d6) return std::sqrt((p - c).norm2());
+
+  double vb = d5 * d2 - d1 * d6;
+  if (vb <= 0.0 && d2 >= 0.0 && d6 <= 0.0) {
+    double t = d2 / (d2 - d6);
+    return std::sqrt((p - (a + ac * t)).norm2());
+  }
+
+  double va = d3 * d6 - d5 * d4;
+  if (va <= 0.0 && (d4 - d3) >= 0.0 && (d5 - d6) >= 0.0) {
+    double t = (d4 - d3) / ((d4 - d3) + (d5 - d6));
+    return std::sqrt((p - (b + (c - b) * t)).norm2());
+  }
+
+  double denom = 1.0 / (va + vb + vc);
+  double v = vb * denom, w = vc * denom;
+  Vec3 closest = a + ab * v + ac * w;
+  return std::sqrt((p - closest).norm2());
+}
+
+namespace {
+
+/// Area-weighted random surface samples.
+std::vector<Vec3> sample_surface(const TriangleMesh& mesh, int samples,
+                                 vf::util::Rng& rng) {
+  std::vector<double> cdf(mesh.triangles.size());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < mesh.triangles.size(); ++i) {
+    const auto& t = mesh.triangles[i];
+    acc += triangle_area(mesh.vertices[t[0]], mesh.vertices[t[1]],
+                         mesh.vertices[t[2]]);
+    cdf[i] = acc;
+  }
+  std::vector<Vec3> out;
+  out.reserve(static_cast<std::size_t>(samples));
+  for (int s = 0; s < samples; ++s) {
+    double u = rng.uniform() * acc;
+    auto it = std::lower_bound(cdf.begin(), cdf.end(), u);
+    std::size_t ti = static_cast<std::size_t>(it - cdf.begin());
+    ti = std::min(ti, mesh.triangles.size() - 1);
+    const auto& t = mesh.triangles[ti];
+    double r1 = std::sqrt(rng.uniform());
+    double r2 = rng.uniform();
+    Vec3 p = mesh.vertices[t[0]] * (1 - r1) +
+             mesh.vertices[t[1]] * (r1 * (1 - r2)) +
+             mesh.vertices[t[2]] * (r1 * r2);
+    out.push_back(p);
+  }
+  return out;
+}
+
+/// Mean/max distance from sampled points of `from` to the surface of `to`,
+/// using a centroid k-d tree to narrow the candidate triangles.
+void one_sided(const TriangleMesh& from, const TriangleMesh& to, int samples,
+               vf::util::Rng& rng, double& mean, double& mx) {
+  std::vector<Vec3> centroids;
+  std::vector<double> radius;  // circumscribing radius per triangle
+  centroids.reserve(to.triangles.size());
+  radius.reserve(to.triangles.size());
+  for (const auto& t : to.triangles) {
+    const Vec3& a = to.vertices[t[0]];
+    const Vec3& b = to.vertices[t[1]];
+    const Vec3& c = to.vertices[t[2]];
+    Vec3 centroid = (a + b + c) * (1.0 / 3.0);
+    centroids.push_back(centroid);
+    double r2 = std::max({(a - centroid).norm2(), (b - centroid).norm2(),
+                          (c - centroid).norm2()});
+    radius.push_back(std::sqrt(r2));
+  }
+  double r_max = 0.0;
+  for (double r : radius) r_max = std::max(r_max, r);
+  vf::spatial::KdTree tree(centroids);
+
+  auto points = sample_surface(from, samples, rng);
+  double acc = 0.0;
+  mx = 0.0;
+  std::vector<vf::spatial::Neighbor> nbrs;
+  for (const auto& p : points) {
+    // The nearest centroid bounds the true distance within +-2*r_max; all
+    // triangles whose centroid lies within that bound are candidates.
+    tree.knn(p, 1, nbrs);
+    double bound = std::sqrt(nbrs[0].dist2) + 2.0 * r_max;
+    auto candidates = tree.radius_query(p, bound);
+    double best = std::numeric_limits<double>::infinity();
+    for (const auto& cand : candidates) {
+      const auto& t = to.triangles[cand.index];
+      best = std::min(best, point_triangle_distance(p, to.vertices[t[0]],
+                                                    to.vertices[t[1]],
+                                                    to.vertices[t[2]]));
+    }
+    acc += best;
+    mx = std::max(mx, best);
+  }
+  mean = acc / static_cast<double>(points.size());
+}
+
+}  // namespace
+
+SurfaceDistance mesh_distance(const TriangleMesh& a, const TriangleMesh& b,
+                              int samples, std::uint64_t seed) {
+  if (a.empty() || b.empty()) {
+    throw std::invalid_argument("mesh_distance: empty mesh");
+  }
+  vf::util::Rng rng(seed, 0x6d657368);
+  double mean_ab = 0, max_ab = 0, mean_ba = 0, max_ba = 0;
+  one_sided(a, b, samples, rng, mean_ab, max_ab);
+  one_sided(b, a, samples, rng, mean_ba, max_ba);
+  return {0.5 * (mean_ab + mean_ba), std::max(max_ab, max_ba)};
+}
+
+}  // namespace vf::vis

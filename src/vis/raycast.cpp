@@ -1,0 +1,105 @@
+#include "vf/vis/raycast.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "vf/util/parallel.hpp"
+
+namespace vf::vis {
+
+using vf::field::ScalarField;
+using vf::field::Vec3;
+
+namespace {
+
+/// Map the view axis to (ray direction component, image u/v components).
+struct AxisFrame {
+  int ray;  // 0=x, 1=y, 2=z
+  int u;
+  int v;
+};
+
+AxisFrame frame_of(ViewAxis axis) {
+  switch (axis) {
+    case ViewAxis::X: return {0, 1, 2};
+    case ViewAxis::Y: return {1, 0, 2};
+    default: return {2, 0, 1};
+  }
+}
+
+double component(const Vec3& p, int axis) {
+  return axis == 0 ? p.x : (axis == 1 ? p.y : p.z);
+}
+
+void set_component(Vec3& p, int axis, double v) {
+  if (axis == 0) p.x = v;
+  else if (axis == 1) p.y = v;
+  else p.z = v;
+}
+
+}  // namespace
+
+Image render(const ScalarField& field, const TransferFunction& tf,
+             const RenderOptions& options) {
+  const auto& grid = field.grid();
+  auto box = grid.bounds();
+  AxisFrame fr = frame_of(options.axis);
+
+  const double ray_lo = component(box.min, fr.ray);
+  const double ray_hi = component(box.max, fr.ray);
+  const double u_lo = component(box.min, fr.u);
+  const double u_hi = component(box.max, fr.u);
+  const double v_lo = component(box.min, fr.v);
+  const double v_hi = component(box.max, fr.v);
+
+  const double spacing = component(
+      Vec3{grid.spacing().x, grid.spacing().y, grid.spacing().z}, fr.ray);
+  const double step = std::max(spacing * options.step_scale, 1e-9);
+  const double grad_h = step;
+
+  Image img(options.width, options.height, options.background);
+
+  vf::util::parallel_for(0, options.height, [&](std::int64_t yy) {
+    int y = static_cast<int>(yy);
+    for (int x = 0; x < options.width; ++x) {
+      double u = u_lo + (u_hi - u_lo) * (x + 0.5) / options.width;
+      // Image row 0 at the top (max v).
+      double v = v_hi - (v_hi - v_lo) * (y + 0.5) / options.height;
+
+      Rgb accum{};
+      double transmittance = 1.0;
+      Vec3 p{};
+      set_component(p, fr.u, u);
+      set_component(p, fr.v, v);
+      for (double s = ray_lo; s <= ray_hi && transmittance > 1e-3;
+           s += step) {
+        set_component(p, fr.ray, s);
+        double value = field.sample_trilinear(p);
+        double sigma = tf.opacity(value);
+        if (sigma <= 0.0) continue;
+        Rgb color = tf.color(value);
+
+        if (options.shading > 0.0) {
+          // Headlight: darken where the scalar gradient faces away from
+          // the viewer (cheap but effective depth cueing).
+          Vec3 q = p;
+          set_component(q, fr.ray, s + grad_h);
+          double ahead = field.sample_trilinear(q);
+          double slope = (ahead - value) / grad_h;
+          double shade =
+              1.0 - options.shading * std::tanh(std::abs(slope) * 0.5);
+          color = color * std::clamp(shade, 0.3, 1.0);
+        }
+
+        double alpha = 1.0 - std::exp(-sigma * step);
+        accum = accum + color * (transmittance * alpha);
+        transmittance *= 1.0 - alpha;
+      }
+      accum = accum + options.background * transmittance;
+      img.at(x, y) = accum;
+    }
+  }, /*grain=*/1);
+  return img;
+}
+
+}  // namespace vf::vis

@@ -1,0 +1,70 @@
+#include "vf/vis/transfer_function.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace vf::vis {
+
+TransferFunction::TransferFunction(std::vector<TfPoint> points)
+    : points_(std::move(points)) {
+  if (points_.empty()) {
+    throw std::invalid_argument("TransferFunction: need control points");
+  }
+  std::sort(points_.begin(), points_.end(),
+            [](const TfPoint& a, const TfPoint& b) { return a.value < b.value; });
+}
+
+namespace {
+/// Find the bracketing control points and the interpolation weight.
+struct Bracket {
+  std::size_t lo;
+  std::size_t hi;
+  double t;
+};
+
+Bracket bracket_of(const std::vector<TfPoint>& pts, double value) {
+  if (value <= pts.front().value) return {0, 0, 0.0};
+  if (value >= pts.back().value) {
+    return {pts.size() - 1, pts.size() - 1, 0.0};
+  }
+  std::size_t hi = 1;
+  while (pts[hi].value < value) ++hi;
+  std::size_t lo = hi - 1;
+  double span = pts[hi].value - pts[lo].value;
+  double t = span > 0 ? (value - pts[lo].value) / span : 0.0;
+  return {lo, hi, t};
+}
+}  // namespace
+
+Rgb TransferFunction::color(double value) const {
+  auto [lo, hi, t] = bracket_of(points_, value);
+  return points_[lo].color * (1.0 - t) + points_[hi].color * t;
+}
+
+double TransferFunction::opacity(double value) const {
+  auto [lo, hi, t] = bracket_of(points_, value);
+  return points_[lo].opacity * (1.0 - t) + points_[hi].opacity * t;
+}
+
+TransferFunction TransferFunction::cool_warm(double lo, double hi,
+                                             double max_opacity) {
+  double mid = 0.5 * (lo + hi);
+  return TransferFunction({
+      {lo, {0.23, 0.30, 0.75}, max_opacity},
+      {mid, {0.87, 0.87, 0.87}, max_opacity * 0.05},
+      {hi, {0.71, 0.02, 0.15}, max_opacity},
+  });
+}
+
+TransferFunction TransferFunction::band(double value, double half_width,
+                                        Rgb color, double opacity) {
+  return TransferFunction({
+      {value - 2 * half_width, color * 0.6, 0.0},
+      {value - half_width, color * 0.8, opacity * 0.5},
+      {value, color, opacity},
+      {value + half_width, color * 0.8, opacity * 0.5},
+      {value + 2 * half_width, color * 0.6, 0.0},
+  });
+}
+
+}  // namespace vf::vis

@@ -1,0 +1,211 @@
+// Tests for the deep-ensemble uncertainty extension (paper §V future work)
+// and for gradient-field reconstruction.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "vf/core/ensemble.hpp"
+#include "vf/field/metrics.hpp"
+#include "vf/sampling/samplers.hpp"
+
+namespace {
+
+using namespace vf::core;
+using vf::field::ScalarField;
+using vf::field::UniformGrid3;
+using vf::field::Vec3;
+using vf::sampling::ImportanceSampler;
+
+ScalarField smooth_truth(vf::field::Dims dims = {16, 16, 8}) {
+  ScalarField f(UniformGrid3(dims, {0, 0, 0}, {1, 1, 1}), "t");
+  f.fill([](const Vec3& p) {
+    return std::sin(0.4 * p.x) * std::cos(0.35 * p.y) + 0.1 * p.z;
+  });
+  return f;
+}
+
+FcnnConfig tiny_config() {
+  FcnnConfig cfg;
+  cfg.hidden = {20, 10};
+  cfg.epochs = 25;
+  cfg.batch_size = 256;
+  cfg.max_train_rows = 3000;
+  cfg.train_fractions = {0.02, 0.08};
+  return cfg;
+}
+
+TEST(Ensemble, RequiresAtLeastOneMember) {
+  auto truth = smooth_truth();
+  ImportanceSampler sampler;
+  EXPECT_THROW(
+      EnsembleReconstructor::pretrain(truth, sampler, tiny_config(), 0),
+      std::invalid_argument);
+  EXPECT_THROW(EnsembleReconstructor(std::vector<FcnnModel>{}),
+               std::invalid_argument);
+}
+
+TEST(Ensemble, MembersDiffer) {
+  auto truth = smooth_truth();
+  ImportanceSampler sampler;
+  auto ens = EnsembleReconstructor::pretrain(truth, sampler, tiny_config(), 3);
+  ASSERT_EQ(ens.size(), 3u);
+  // Different seeds -> different weights.
+  vf::nn::Matrix X(2, 23, 0.3);
+  auto y0 = ens.member(0).predict(X);
+  auto y1 = ens.member(1).predict(X);
+  bool differ = false;
+  for (std::size_t i = 0; i < y0.size(); ++i) {
+    if (y0.data()[i] != y1.data()[i]) differ = true;
+  }
+  EXPECT_TRUE(differ);
+}
+
+TEST(Ensemble, MeanAndStddevShapes) {
+  auto truth = smooth_truth();
+  ImportanceSampler sampler;
+  auto ens = EnsembleReconstructor::pretrain(truth, sampler, tiny_config(), 3);
+  auto cloud = sampler.sample(truth, 0.05, 5);
+  auto res = ens.reconstruct(cloud, truth.grid());
+  ASSERT_EQ(res.mean.size(), truth.size());
+  ASSERT_EQ(res.stddev.size(), truth.size());
+  for (std::int64_t i = 0; i < truth.size(); ++i) {
+    ASSERT_TRUE(std::isfinite(res.mean[i]));
+    ASSERT_GE(res.stddev[i], 0.0);
+  }
+  // Uncertainty collapses at sampled points (all members pin them).
+  for (std::int64_t idx : cloud.kept_indices()) {
+    // All members pin sampled points; tolerance covers the one-pass
+    // variance's floating-point cancellation noise.
+    ASSERT_NEAR(res.stddev[idx], 0.0, 1e-6);
+    ASSERT_NEAR(res.mean[idx], truth[idx], 1e-12);
+  }
+  // Somewhere the members must disagree.
+  double max_sd = 0;
+  for (std::int64_t i = 0; i < truth.size(); ++i) {
+    max_sd = std::max(max_sd, res.stddev[i]);
+  }
+  EXPECT_GT(max_sd, 0.0);
+}
+
+TEST(Ensemble, MeanCompetitiveWithSingleMember) {
+  auto truth = smooth_truth();
+  ImportanceSampler sampler;
+  auto ens = EnsembleReconstructor::pretrain(truth, sampler, tiny_config(), 3);
+  auto cloud = sampler.sample(truth, 0.05, 9);
+
+  FcnnReconstructor single(ens.member(0).clone());
+  double snr_single =
+      vf::field::snr_db(truth, single.reconstruct(cloud, truth.grid()));
+  auto res = ens.reconstruct(cloud, truth.grid());
+  double snr_mean = vf::field::snr_db(truth, res.mean);
+  // Averaging independent members should not hurt materially.
+  EXPECT_GT(snr_mean, snr_single - 1.0);
+}
+
+TEST(Ensemble, UncertaintyCorrelatesWithError) {
+  // Deep-ensemble sanity: the voxels the ensemble is most unsure about
+  // should carry above-average absolute error.
+  auto truth = smooth_truth({18, 18, 8});
+  ImportanceSampler sampler;
+  auto ens = EnsembleReconstructor::pretrain(truth, sampler, tiny_config(), 4);
+  auto cloud = sampler.sample(truth, 0.02, 13);
+  auto res = ens.reconstruct(cloud, truth.grid());
+
+  // Mean |error| among the top-decile-uncertainty voxels vs overall.
+  std::vector<std::pair<double, double>> sd_err;
+  for (std::int64_t i = 0; i < truth.size(); ++i) {
+    sd_err.emplace_back(res.stddev[i], std::abs(truth[i] - res.mean[i]));
+  }
+  std::sort(sd_err.begin(), sd_err.end(),
+            [](auto& a, auto& b) { return a.first > b.first; });
+  std::size_t decile = sd_err.size() / 10;
+  double err_top = 0, err_all = 0;
+  for (std::size_t i = 0; i < sd_err.size(); ++i) {
+    if (i < decile) err_top += sd_err[i].second;
+    err_all += sd_err[i].second;
+  }
+  err_top /= static_cast<double>(decile);
+  err_all /= static_cast<double>(sd_err.size());
+  EXPECT_GT(err_top, err_all);
+}
+
+TEST(Ensemble, FineTuneAdaptsAllMembers) {
+  auto t0 = smooth_truth();
+  ScalarField t1(t0.grid(), "t1");
+  t1.fill([](const Vec3& p) {
+    return std::sin(0.4 * p.x + 1.0) * std::cos(0.35 * p.y) + 0.15 * p.z;
+  });
+  ImportanceSampler sampler;
+  auto cfg = tiny_config();
+  auto ens = EnsembleReconstructor::pretrain(t0, sampler, cfg, 2);
+  auto cloud = sampler.sample(t1, 0.05, 3);
+  auto before = ens.reconstruct(cloud, t1.grid());
+  ens.fine_tune(t1, sampler, cfg, 10);
+  auto after = ens.reconstruct(cloud, t1.grid());
+  EXPECT_GT(vf::field::snr_db(t1, after.mean),
+            vf::field::snr_db(t1, before.mean));
+}
+
+TEST(GradientOutput, FullReconstructionShapes) {
+  auto truth = smooth_truth();
+  ImportanceSampler sampler;
+  auto pre = pretrain(truth, sampler, tiny_config());
+  FcnnReconstructor rec(std::move(pre.model));
+  auto cloud = sampler.sample(truth, 0.05, 21);
+  auto full = rec.reconstruct_with_gradients(cloud, truth.grid());
+  ASSERT_EQ(full.scalar.size(), truth.size());
+  ASSERT_EQ(full.gradient.dx.size(), truth.size());
+  for (std::int64_t idx : cloud.kept_indices()) {
+    ASSERT_DOUBLE_EQ(full.scalar[idx], truth[idx]);
+  }
+  for (std::int64_t i = 0; i < truth.size(); ++i) {
+    ASSERT_TRUE(std::isfinite(full.gradient.dx[i]));
+    ASSERT_TRUE(std::isfinite(full.gradient.dy[i]));
+    ASSERT_TRUE(std::isfinite(full.gradient.dz[i]));
+  }
+}
+
+TEST(GradientOutput, PredictedGradientsTrackTruth) {
+  // The gradient head should learn at least the sign/scale structure of
+  // the field's derivatives: require positive correlation with the true
+  // central-difference gradients.
+  auto truth = smooth_truth({18, 18, 8});
+  ImportanceSampler sampler;
+  auto cfg = tiny_config();
+  cfg.epochs = 60;
+  auto pre = pretrain(truth, sampler, cfg);
+  FcnnReconstructor rec(std::move(pre.model));
+  auto cloud = sampler.sample(truth, 0.08, 31);
+  auto full = rec.reconstruct_with_gradients(cloud, truth.grid());
+  auto g = vf::field::compute_gradient(truth);
+
+  auto correlation = [&](const ScalarField& a, const ScalarField& b) {
+    double ma = a.stats().mean, mb = b.stats().mean;
+    double num = 0, da = 0, db = 0;
+    for (std::int64_t i = 0; i < a.size(); ++i) {
+      num += (a[i] - ma) * (b[i] - mb);
+      da += (a[i] - ma) * (a[i] - ma);
+      db += (b[i] - mb) * (b[i] - mb);
+    }
+    return num / std::sqrt(da * db + 1e-300);
+  };
+  // The miniature test net cannot match the true gradients closely; the
+  // property asserted is a solidly positive correlation.
+  EXPECT_GT(correlation(full.gradient.dx, g.dx), 0.2);
+  EXPECT_GT(correlation(full.gradient.dy, g.dy), 0.2);
+}
+
+TEST(GradientOutput, ScalarOnlyModelThrows) {
+  auto truth = smooth_truth();
+  ImportanceSampler sampler;
+  auto cfg = tiny_config();
+  cfg.with_gradients = false;
+  auto pre = pretrain(truth, sampler, cfg);
+  FcnnReconstructor rec(std::move(pre.model));
+  auto cloud = sampler.sample(truth, 0.05, 7);
+  EXPECT_THROW((void)rec.reconstruct_with_gradients(cloud, truth.grid()),
+               std::logic_error);
+}
+
+}  // namespace

@@ -1,0 +1,90 @@
+// Tests for the in-situ TemporalPipeline facade.
+
+#include <gtest/gtest.h>
+
+#include "vf/core/pipeline.hpp"
+#include "vf/data/registry.hpp"
+#include "vf/field/metrics.hpp"
+
+namespace {
+
+using namespace vf::core;
+
+PipelineOptions small_options() {
+  PipelineOptions opt;
+  opt.archive_fraction = 0.04;
+  opt.pretrain_config.hidden = {24, 12};
+  opt.pretrain_config.epochs = 30;
+  opt.pretrain_config.max_train_rows = 3000;
+  opt.finetune_epochs = 8;
+  return opt;
+}
+
+TEST(Pipeline, ValidatesOptions) {
+  auto opt = small_options();
+  opt.archive_fraction = 0.0;
+  EXPECT_THROW(TemporalPipeline{opt}, std::invalid_argument);
+  opt = small_options();
+  opt.finetune_epochs = 0;
+  EXPECT_THROW(TemporalPipeline{opt}, std::invalid_argument);
+}
+
+TEST(Pipeline, ThrowsBeforeFirstIngest) {
+  TemporalPipeline pipe(small_options());
+  EXPECT_THROW((void)pipe.model(), std::logic_error);
+  auto ds = vf::data::make_dataset("hurricane");
+  auto truth = ds->generate({12, 12, 6}, 0.0);
+  vf::sampling::ImportanceSampler s;
+  auto cloud = s.sample(truth, 0.05, 1);
+  EXPECT_THROW((void)pipe.reconstruct(cloud, truth.grid()), std::logic_error);
+}
+
+TEST(Pipeline, IngestReconstructRoundTrip) {
+  auto ds = vf::data::make_dataset("hurricane");
+  TemporalPipeline pipe(small_options());
+
+  double worst_snr = 1e9;
+  for (int s = 0; s < 3; ++s) {
+    auto truth = ds->generate({16, 16, 8}, s * 10.0);
+    auto art = pipe.ingest(truth);
+    EXPECT_EQ(art.timestep, s);
+    EXPECT_GT(art.train_seconds, 0.0);
+    EXPECT_GT(art.final_loss, 0.0);
+    // The archived cloud respects the archival fraction.
+    EXPECT_NEAR(art.cloud.sampling_fraction(), 0.04, 0.005);
+
+    auto rec = pipe.reconstruct(art.cloud, truth.grid());
+    worst_snr = std::min(worst_snr, vf::field::snr_db(truth, rec));
+  }
+  EXPECT_EQ(pipe.steps(), 3);
+  EXPECT_GT(worst_snr, 0.0);  // every archived step reconstructable
+}
+
+TEST(Pipeline, FirstIngestTrainsLongerThanLaterOnes) {
+  auto ds = vf::data::make_dataset("hurricane");
+  TemporalPipeline pipe(small_options());
+  auto t0 = pipe.ingest(ds->generate({16, 16, 8}, 0.0));
+  auto t1 = pipe.ingest(ds->generate({16, 16, 8}, 4.0));
+  // 30-epoch pretrain vs 8-epoch fine-tune.
+  EXPECT_GT(t0.train_seconds, t1.train_seconds);
+}
+
+TEST(Pipeline, Case2ModeKeepsHeadFrozen) {
+  auto ds = vf::data::make_dataset("hurricane");
+  auto opt = small_options();
+  opt.finetune_mode = FineTuneMode::LastTwoLayers;
+  TemporalPipeline pipe(opt);
+  pipe.ingest(ds->generate({14, 14, 6}, 0.0));
+
+  auto& head = dynamic_cast<vf::nn::DenseLayer&>(
+      const_cast<FcnnModel&>(pipe.model()).net.layer(0));
+  auto snapshot = head.weights();
+  pipe.ingest(ds->generate({14, 14, 6}, 8.0));
+  auto& after = dynamic_cast<vf::nn::DenseLayer&>(
+      const_cast<FcnnModel&>(pipe.model()).net.layer(0));
+  for (std::size_t i = 0; i < snapshot.size(); ++i) {
+    ASSERT_EQ(after.weights().data()[i], snapshot.data()[i]);
+  }
+}
+
+}  // namespace

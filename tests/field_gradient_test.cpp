@@ -1,0 +1,117 @@
+// Tests for finite-difference gradients (training targets for the FCNN).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "vf/field/gradient.hpp"
+
+namespace {
+
+using vf::field::compute_gradient;
+using vf::field::gradient_at;
+using vf::field::ScalarField;
+using vf::field::UniformGrid3;
+using vf::field::Vec3;
+
+TEST(Gradient, LinearFieldExactEverywhere) {
+  // Central AND one-sided differences are exact for affine fields, so the
+  // boundary stencils must also be exact here.
+  ScalarField f(UniformGrid3({9, 7, 5}, {0, 0, 0}, {0.5, 0.25, 2.0}));
+  f.fill([](const Vec3& p) { return 3 * p.x - 2 * p.y + 7 * p.z + 1; });
+  auto g = compute_gradient(f);
+  for (std::int64_t i = 0; i < f.size(); ++i) {
+    ASSERT_NEAR(g.dx[i], 3.0, 1e-10);
+    ASSERT_NEAR(g.dy[i], -2.0, 1e-10);
+    ASSERT_NEAR(g.dz[i], 7.0, 1e-10);
+  }
+}
+
+TEST(Gradient, QuadraticExactInInterior) {
+  // Central differences are exact for quadratics in the interior.
+  ScalarField f(UniformGrid3({9, 9, 9}, {0, 0, 0}, {1, 1, 1}));
+  f.fill([](const Vec3& p) { return p.x * p.x + 2 * p.y * p.y - p.z * p.z; });
+  auto g = compute_gradient(f);
+  const auto& grid = f.grid();
+  for (int k = 1; k < 8; ++k) {
+    for (int j = 1; j < 8; ++j) {
+      for (int i = 1; i < 8; ++i) {
+        std::int64_t idx = grid.index(i, j, k);
+        ASSERT_NEAR(g.dx[idx], 2.0 * i, 1e-10);
+        ASSERT_NEAR(g.dy[idx], 4.0 * j, 1e-10);
+        ASSERT_NEAR(g.dz[idx], -2.0 * k, 1e-10);
+      }
+    }
+  }
+}
+
+TEST(Gradient, SpacingAware) {
+  // Same values, doubled spacing -> halved gradients.
+  auto make = [](double h) {
+    ScalarField f(UniformGrid3({6, 6, 6}, {0, 0, 0}, {h, h, h}));
+    f.fill([](const Vec3& p) { return p.x; });
+    return f;
+  };
+  auto g1 = compute_gradient(make(1.0));
+  auto g2 = compute_gradient(make(2.0));
+  EXPECT_NEAR(g1.dx[10], 1.0, 1e-12);
+  EXPECT_NEAR(g2.dx[10], 1.0, 1e-12);  // physical derivative unchanged
+}
+
+TEST(Gradient, SmoothFieldConvergence) {
+  // Halving h should shrink interior central-difference error ~4x.
+  auto err_for = [](int n) {
+    double h = 2.0 * M_PI / (n - 1);
+    ScalarField f(UniformGrid3({n, 3, 3}, {0, 0, 0}, {h, 1, 1}));
+    f.fill([](const Vec3& p) { return std::sin(p.x); });
+    auto g = compute_gradient(f);
+    double worst = 0.0;
+    for (int i = 1; i < n - 1; ++i) {
+      double x = i * h;
+      worst = std::max(worst,
+                       std::abs(g.dx[f.grid().index(i, 1, 1)] - std::cos(x)));
+    }
+    return worst;
+  };
+  double e1 = err_for(33);
+  double e2 = err_for(65);
+  EXPECT_LT(e2, e1 / 3.0);
+}
+
+TEST(Gradient, SingleLayerAxisIsZero) {
+  // nz == 1: no z-neighbours exist, derivative must be reported as 0.
+  ScalarField f(UniformGrid3({5, 5, 1}, {0, 0, 0}, {1, 1, 1}));
+  f.fill([](const Vec3& p) { return p.x + p.y; });
+  auto g = compute_gradient(f);
+  for (std::int64_t i = 0; i < f.size(); ++i) {
+    ASSERT_EQ(g.dz[i], 0.0);
+  }
+}
+
+TEST(Gradient, PointwiseMatchesFieldwise) {
+  ScalarField f(UniformGrid3({7, 6, 5}, {0, 0, 0}, {1, 1.5, 0.5}));
+  f.fill([](const Vec3& p) { return std::cos(p.x) * p.y + p.z * p.z; });
+  auto g = compute_gradient(f);
+  const auto& grid = f.grid();
+  for (int k = 0; k < 5; ++k) {
+    for (int j = 0; j < 6; ++j) {
+      for (int i = 0; i < 7; ++i) {
+        auto pg = gradient_at(f, i, j, k);
+        std::int64_t idx = grid.index(i, j, k);
+        ASSERT_DOUBLE_EQ(pg[0], g.dx[idx]);
+        ASSERT_DOUBLE_EQ(pg[1], g.dy[idx]);
+        ASSERT_DOUBLE_EQ(pg[2], g.dz[idx]);
+      }
+    }
+  }
+}
+
+TEST(Gradient, OutputFieldsNamed) {
+  ScalarField f(UniformGrid3({3, 3, 3}, {0, 0, 0}, {1, 1, 1}), "p");
+  auto g = compute_gradient(f);
+  EXPECT_EQ(g.dx.name(), "p_dx");
+  EXPECT_EQ(g.dy.name(), "p_dy");
+  EXPECT_EQ(g.dz.name(), "p_dz");
+}
+
+}  // namespace

@@ -1,0 +1,144 @@
+// Tests for UniformGrid3: indexing, positions, bounds, coordinate mapping.
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <tuple>
+
+#include "vf/field/grid.hpp"
+
+namespace {
+
+using vf::field::BoundingBox;
+using vf::field::Dims;
+using vf::field::UniformGrid3;
+using vf::field::Vec3;
+
+TEST(Dims, Count) {
+  EXPECT_EQ((Dims{250, 250, 50}.count()), 3125000);
+  EXPECT_EQ((Dims{1, 1, 1}.count()), 1);
+  // The paper's largest grid must not overflow 32-bit arithmetic.
+  EXPECT_EQ((Dims{600, 248, 248}.count()), 36902400);
+}
+
+TEST(Grid, RejectsInvalidConstruction) {
+  EXPECT_THROW(UniformGrid3({0, 5, 5}, {}, {1, 1, 1}), std::invalid_argument);
+  EXPECT_THROW(UniformGrid3({5, 5, 5}, {}, {0, 1, 1}), std::invalid_argument);
+  EXPECT_THROW(UniformGrid3({5, 5, 5}, {}, {1, -1, 1}), std::invalid_argument);
+}
+
+TEST(Grid, IndexIsXFastest) {
+  UniformGrid3 g({4, 3, 2}, {0, 0, 0}, {1, 1, 1});
+  EXPECT_EQ(g.index(0, 0, 0), 0);
+  EXPECT_EQ(g.index(1, 0, 0), 1);
+  EXPECT_EQ(g.index(0, 1, 0), 4);
+  EXPECT_EQ(g.index(0, 0, 1), 12);
+  EXPECT_EQ(g.index(3, 2, 1), 23);
+}
+
+class GridRoundTrip : public ::testing::TestWithParam<Dims> {};
+
+TEST_P(GridRoundTrip, IjkIndexInverse) {
+  UniformGrid3 g(GetParam(), {1, 2, 3}, {0.5, 0.25, 2.0});
+  for (std::int64_t idx = 0; idx < g.point_count(); ++idx) {
+    auto [i, j, k] = g.ijk(idx);
+    ASSERT_EQ(g.index(i, j, k), idx);
+    ASSERT_GE(i, 0);
+    ASSERT_LT(i, GetParam().nx);
+    ASSERT_GE(j, 0);
+    ASSERT_LT(j, GetParam().ny);
+    ASSERT_GE(k, 0);
+    ASSERT_LT(k, GetParam().nz);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, GridRoundTrip,
+                         ::testing::Values(Dims{1, 1, 1}, Dims{5, 1, 1},
+                                           Dims{1, 7, 1}, Dims{1, 1, 9},
+                                           Dims{8, 4, 2}, Dims{13, 11, 7},
+                                           Dims{2, 2, 2}));
+
+TEST(Grid, PositionsUseOriginAndSpacing) {
+  UniformGrid3 g({10, 10, 10}, {100, 200, 300}, {0.5, 2, 4});
+  Vec3 p = g.position(2, 3, 4);
+  EXPECT_DOUBLE_EQ(p.x, 101.0);
+  EXPECT_DOUBLE_EQ(p.y, 206.0);
+  EXPECT_DOUBLE_EQ(p.z, 316.0);
+  // Linear-index overload agrees.
+  Vec3 q = g.position(g.index(2, 3, 4));
+  EXPECT_EQ(p, q);
+}
+
+TEST(Grid, BoundsSpanAllPoints) {
+  UniformGrid3 g({5, 6, 7}, {-1, -2, -3}, {1, 0.5, 0.25});
+  BoundingBox b = g.bounds();
+  EXPECT_EQ(b.min, (Vec3{-1, -2, -3}));
+  EXPECT_DOUBLE_EQ(b.max.x, -1 + 4 * 1.0);
+  EXPECT_DOUBLE_EQ(b.max.y, -2 + 5 * 0.5);
+  EXPECT_DOUBLE_EQ(b.max.z, -3 + 6 * 0.25);
+  for (std::int64_t i = 0; i < g.point_count(); ++i) {
+    ASSERT_TRUE(b.contains(g.position(i)));
+  }
+}
+
+TEST(Grid, NearestPointExactAndClamped) {
+  UniformGrid3 g({10, 10, 10}, {0, 0, 0}, {1, 1, 1});
+  auto n = g.nearest_point({3.4, 5.6, 0.1});
+  EXPECT_EQ(n[0], 3);
+  EXPECT_EQ(n[1], 6);
+  EXPECT_EQ(n[2], 0);
+  // Outside the grid: clamped to the boundary.
+  n = g.nearest_point({-5, 100, 4});
+  EXPECT_EQ(n[0], 0);
+  EXPECT_EQ(n[1], 9);
+  EXPECT_EQ(n[2], 4);
+}
+
+TEST(Grid, ToGridSpaceInvertsPosition) {
+  UniformGrid3 g({8, 8, 8}, {3, -1, 2}, {0.25, 0.5, 2});
+  Vec3 gs = g.to_grid_space(g.position(5, 2, 7));
+  EXPECT_NEAR(gs.x, 5.0, 1e-12);
+  EXPECT_NEAR(gs.y, 2.0, 1e-12);
+  EXPECT_NEAR(gs.z, 7.0, 1e-12);
+}
+
+TEST(Grid, UnitFactoryScalesLongestAxis) {
+  auto g = UniformGrid3::unit({11, 5, 3}, 2.0);
+  EXPECT_DOUBLE_EQ(g.bounds().max.x, 2.0);  // longest axis spans 2.0
+  EXPECT_EQ(g.spacing().x, g.spacing().y);
+  EXPECT_EQ(g.spacing().y, g.spacing().z);
+}
+
+TEST(Grid, EqualityComparesAllFields) {
+  UniformGrid3 a({4, 4, 4}, {0, 0, 0}, {1, 1, 1});
+  UniformGrid3 b({4, 4, 4}, {0, 0, 0}, {1, 1, 1});
+  UniformGrid3 c({4, 4, 4}, {0, 0, 1}, {1, 1, 1});
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+}
+
+TEST(Grid, DescribeMentionsDims) {
+  UniformGrid3 g({250, 250, 50}, {0, 0, 0}, {1, 1, 1});
+  EXPECT_NE(g.describe().find("250x250x50"), std::string::npos);
+}
+
+TEST(Vec3, Arithmetic) {
+  Vec3 a{1, 2, 3}, b{4, 5, 6};
+  EXPECT_EQ(a + b, (Vec3{5, 7, 9}));
+  EXPECT_EQ(b - a, (Vec3{3, 3, 3}));
+  EXPECT_EQ(a * 2.0, (Vec3{2, 4, 6}));
+  EXPECT_DOUBLE_EQ(a.dot(b), 32.0);
+  EXPECT_DOUBLE_EQ(a.norm2(), 14.0);
+}
+
+TEST(BoundingBox, ContainsAndExtent) {
+  BoundingBox b{{0, 0, 0}, {2, 3, 4}};
+  EXPECT_TRUE(b.contains({1, 1, 1}));
+  EXPECT_TRUE(b.contains({0, 0, 0}));
+  EXPECT_TRUE(b.contains({2, 3, 4}));
+  EXPECT_FALSE(b.contains({2.01, 3, 4}));
+  EXPECT_FALSE(b.contains({-0.01, 1, 1}));
+  EXPECT_EQ(b.extent(), (Vec3{2, 3, 4}));
+}
+
+}  // namespace

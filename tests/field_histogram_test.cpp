@@ -1,0 +1,127 @@
+// Tests for histograms, entropy, KL divergence, and 1-D EMD — plus their
+// intended application: quantifying value-distribution preservation of the
+// importance sampler.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "vf/data/registry.hpp"
+#include "vf/field/histogram.hpp"
+#include "vf/sampling/samplers.hpp"
+#include "vf/util/rng.hpp"
+
+namespace {
+
+using vf::field::emd;
+using vf::field::Histogram;
+using vf::field::kl_divergence_bits;
+
+TEST(Histogram, BinningAndClamping) {
+  std::vector<double> vals = {0.05, 0.15, 0.15, 0.95, -100.0, 100.0};
+  Histogram h(vals, 10, 0.0, 1.0);
+  EXPECT_EQ(h.bins(), 10);
+  EXPECT_EQ(h.total(), 6);
+  EXPECT_EQ(h.count(0), 2);  // 0.05 and the clamped -100
+  EXPECT_EQ(h.count(1), 2);  // two 0.15s
+  EXPECT_EQ(h.count(9), 2);  // 0.95 and the clamped +100
+  EXPECT_DOUBLE_EQ(h.probability(1), 2.0 / 6.0);
+}
+
+TEST(Histogram, InvalidArgsThrow) {
+  std::vector<double> vals = {1.0};
+  EXPECT_THROW(Histogram(vals, 0, 0, 1), std::invalid_argument);
+  EXPECT_THROW(Histogram(vals, 4, 1, 1), std::invalid_argument);
+}
+
+TEST(Histogram, EntropyKnownCases) {
+  // All mass in one bin: zero entropy.
+  std::vector<double> same(100, 0.5);
+  EXPECT_DOUBLE_EQ(Histogram(same, 8, 0, 1).entropy_bits(), 0.0);
+  // Uniform over 8 bins: 3 bits.
+  std::vector<double> uniform;
+  for (int b = 0; b < 8; ++b) {
+    for (int i = 0; i < 10; ++i) uniform.push_back((b + 0.5) / 8.0);
+  }
+  EXPECT_NEAR(Histogram(uniform, 8, 0, 1).entropy_bits(), 3.0, 1e-12);
+}
+
+TEST(Histogram, OfFieldUsesFieldRange) {
+  auto f = vf::data::make_dataset("combustion")->generate({12, 16, 8}, 40.0);
+  auto h = Histogram::of(f, 32);
+  EXPECT_EQ(h.total(), f.size());
+  EXPECT_DOUBLE_EQ(h.lo(), f.stats().min);
+}
+
+TEST(Distances, IdenticalDistributionsAreZero) {
+  std::vector<double> vals;
+  vf::util::Rng rng(3);
+  for (int i = 0; i < 5000; ++i) vals.push_back(rng.uniform());
+  Histogram h(vals, 16, 0, 1);
+  EXPECT_NEAR(kl_divergence_bits(h, h), 0.0, 1e-9);
+  EXPECT_NEAR(emd(h, h), 0.0, 1e-12);
+}
+
+TEST(Distances, EmdDetectsShift) {
+  // Two point masses separated by half the range: EMD = 0.5.
+  std::vector<double> a(100, 0.125), b(100, 0.625);
+  Histogram ha(a, 8, 0, 1), hb(b, 8, 0, 1);
+  EXPECT_NEAR(emd(ha, hb), 0.5, 1e-12);
+  // EMD is symmetric.
+  EXPECT_DOUBLE_EQ(emd(ha, hb), emd(hb, ha));
+}
+
+TEST(Distances, KlGrowsWithDivergence) {
+  vf::util::Rng rng(7);
+  std::vector<double> base, near, far;
+  for (int i = 0; i < 20000; ++i) {
+    base.push_back(rng.gaussian(0.5, 0.1));
+    near.push_back(rng.gaussian(0.52, 0.1));
+    far.push_back(rng.gaussian(0.8, 0.1));
+  }
+  Histogram hb(base, 32, 0, 1), hn(near, 32, 0, 1), hf(far, 32, 0, 1);
+  EXPECT_LT(kl_divergence_bits(hb, hn), kl_divergence_bits(hb, hf));
+}
+
+TEST(Distances, BinMismatchThrows) {
+  std::vector<double> v(10, 0.5);
+  Histogram a(v, 8, 0, 1), b(v, 16, 0, 1);
+  EXPECT_THROW(kl_divergence_bits(a, b), std::invalid_argument);
+  EXPECT_THROW(emd(a, b), std::invalid_argument);
+}
+
+TEST(SamplerDistribution, ImportanceHasHigherSampleEntropy) {
+  // Histogram equalisation should raise the entropy of the KEPT values
+  // relative to random sampling on a skewed field.
+  auto f = vf::data::make_dataset("ionization")->generate({20, 14, 14}, 80.0);
+  auto stats = f.stats();
+  vf::sampling::ImportanceSampler imp;
+  vf::sampling::RandomSampler rnd;
+  double e_imp = 0, e_rnd = 0;
+  for (std::uint64_t seed = 0; seed < 3; ++seed) {
+    auto ci = imp.sample(f, 0.02, seed);
+    auto cr = rnd.sample(f, 0.02, seed);
+    e_imp += Histogram(ci.values(), 32, stats.min, stats.max).entropy_bits();
+    e_rnd += Histogram(cr.values(), 32, stats.min, stats.max).entropy_bits();
+  }
+  EXPECT_GT(e_imp, e_rnd);
+}
+
+TEST(SamplerDistribution, RandomSamplingPreservesDistribution) {
+  // Random sampling's kept-value histogram should stay close to the
+  // field's (small EMD), unlike the deliberately-equalising importance
+  // sampler.
+  auto f = vf::data::make_dataset("ionization")->generate({20, 14, 14}, 80.0);
+  auto stats = f.stats();
+  Histogram truth(f.values(), 32, stats.min, stats.max);
+  vf::sampling::ImportanceSampler imp;
+  vf::sampling::RandomSampler rnd;
+  auto ci = imp.sample(f, 0.02, 5);
+  auto cr = rnd.sample(f, 0.02, 5);
+  double emd_imp = emd(truth, Histogram(ci.values(), 32, stats.min, stats.max));
+  double emd_rnd = emd(truth, Histogram(cr.values(), 32, stats.min, stats.max));
+  EXPECT_LT(emd_rnd, emd_imp);
+}
+
+}  // namespace

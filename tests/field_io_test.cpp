@@ -1,0 +1,151 @@
+// Tests for the VTI / VTP / native binary I/O round trips.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+
+#include "vf/field/native_io.hpp"
+#include "vf/field/vtk_io.hpp"
+#include "vf/util/rng.hpp"
+
+namespace {
+
+using namespace vf::field;
+
+class IoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("vf_io_test_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string path(const std::string& name) { return (dir_ / name).string(); }
+
+  ScalarField random_field(Dims dims) {
+    ScalarField f(UniformGrid3(dims, {1.5, -2.0, 0.25}, {0.5, 1.0, 2.0}),
+                  "testvar");
+    vf::util::Rng rng(77);
+    for (std::int64_t i = 0; i < f.size(); ++i) {
+      f[i] = rng.uniform(-100, 100);
+    }
+    return f;
+  }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(IoTest, VtiRoundTrip) {
+  auto f = random_field({7, 5, 3});
+  write_vti(f, path("a.vti"));
+  auto g = read_vti(path("a.vti"));
+  EXPECT_EQ(g.grid(), f.grid());
+  EXPECT_EQ(g.name(), "testvar");
+  ASSERT_EQ(g.size(), f.size());
+  for (std::int64_t i = 0; i < f.size(); ++i) {
+    ASSERT_DOUBLE_EQ(g[i], f[i]);  // %.17g survives exactly
+  }
+}
+
+TEST_F(IoTest, VtiPreservesOriginAndSpacing) {
+  ScalarField f(UniformGrid3({3, 3, 3}, {-5, 2.5, 0.125}, {0.1, 0.2, 0.4}));
+  write_vti(f, path("b.vti"));
+  auto g = read_vti(path("b.vti"));
+  EXPECT_EQ(g.grid().origin(), f.grid().origin());
+  EXPECT_EQ(g.grid().spacing(), f.grid().spacing());
+}
+
+TEST_F(IoTest, VtiMissingFileThrows) {
+  EXPECT_THROW(read_vti(path("nonexistent.vti")), std::runtime_error);
+}
+
+TEST_F(IoTest, VtiTruncatedDataThrows) {
+  auto f = random_field({6, 6, 6});
+  write_vti(f, path("c.vti"));
+  // Truncate the file in the middle of the data section.
+  auto full = std::filesystem::file_size(path("c.vti"));
+  std::filesystem::resize_file(path("c.vti"), full / 2);
+  EXPECT_THROW(read_vti(path("c.vti")), std::runtime_error);
+}
+
+TEST_F(IoTest, VtiGarbageThrows) {
+  std::ofstream out(path("garbage.vti"));
+  out << "this is not xml at all\n";
+  out.close();
+  EXPECT_THROW(read_vti(path("garbage.vti")), std::runtime_error);
+}
+
+TEST_F(IoTest, VtpRoundTrip) {
+  vf::util::Rng rng(5);
+  std::vector<Vec3> pts;
+  std::vector<double> vals;
+  for (int i = 0; i < 137; ++i) {
+    pts.push_back({rng.uniform(0, 1), rng.uniform(0, 2), rng.uniform(-1, 1)});
+    vals.push_back(rng.gaussian());
+  }
+  write_vtp(pts, vals, "density", path("a.vtp"));
+  auto pd = read_vtp(path("a.vtp"));
+  EXPECT_EQ(pd.name, "density");
+  ASSERT_EQ(pd.points.size(), pts.size());
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    ASSERT_DOUBLE_EQ(pd.points[i].x, pts[i].x);
+    ASSERT_DOUBLE_EQ(pd.points[i].y, pts[i].y);
+    ASSERT_DOUBLE_EQ(pd.points[i].z, pts[i].z);
+    ASSERT_DOUBLE_EQ(pd.values[i], vals[i]);
+  }
+}
+
+TEST_F(IoTest, VtpMismatchedInputThrows) {
+  std::vector<Vec3> pts(3);
+  std::vector<double> vals(2);
+  EXPECT_THROW(write_vtp(pts, vals, "x", path("bad.vtp")),
+               std::invalid_argument);
+}
+
+TEST_F(IoTest, VtpMissingFileThrows) {
+  EXPECT_THROW(read_vtp(path("none.vtp")), std::runtime_error);
+}
+
+TEST_F(IoTest, NativeRoundTrip) {
+  auto f = random_field({11, 9, 7});
+  write_native(f, path("a.vfb"));
+  auto g = read_native(path("a.vfb"));
+  EXPECT_EQ(g.grid(), f.grid());
+  EXPECT_EQ(g.name(), f.name());
+  for (std::int64_t i = 0; i < f.size(); ++i) {
+    ASSERT_EQ(g[i], f[i]);  // binary: bit-exact
+  }
+}
+
+TEST_F(IoTest, NativeBadMagicThrows) {
+  std::ofstream out(path("bad.vfb"), std::ios::binary);
+  out << "XXXXjunkjunkjunk";
+  out.close();
+  EXPECT_THROW(read_native(path("bad.vfb")), std::runtime_error);
+}
+
+TEST_F(IoTest, NativeTruncatedThrows) {
+  auto f = random_field({8, 8, 8});
+  write_native(f, path("t.vfb"));
+  auto full = std::filesystem::file_size(path("t.vfb"));
+  std::filesystem::resize_file(path("t.vfb"), full - 64);
+  EXPECT_THROW(read_native(path("t.vfb")), std::runtime_error);
+}
+
+TEST_F(IoTest, NativeMissingFileThrows) {
+  EXPECT_THROW(read_native(path("none.vfb")), std::runtime_error);
+}
+
+TEST_F(IoTest, SingleVoxelFields) {
+  ScalarField f(UniformGrid3({1, 1, 1}, {0, 0, 0}, {1, 1, 1}), std::vector<double>{42.0});
+  write_vti(f, path("one.vti"));
+  write_native(f, path("one.vfb"));
+  EXPECT_DOUBLE_EQ(read_vti(path("one.vti"))[0], 42.0);
+  EXPECT_DOUBLE_EQ(read_native(path("one.vfb"))[0], 42.0);
+}
+
+}  // namespace

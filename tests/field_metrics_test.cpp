@@ -1,0 +1,143 @@
+// Tests for reconstruction-quality metrics, especially the paper's SNR.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "vf/field/metrics.hpp"
+#include "vf/util/rng.hpp"
+
+namespace {
+
+using namespace vf::field;
+
+ScalarField make_field(int n, double (*f)(double)) {
+  ScalarField out(UniformGrid3({n, n, n}, {0, 0, 0}, {1, 1, 1}));
+  for (std::int64_t i = 0; i < out.size(); ++i) {
+    out[i] = f(static_cast<double>(i));
+  }
+  return out;
+}
+
+TEST(Metrics, PerfectReconstructionIsInfiniteSnr) {
+  auto a = make_field(6, [](double i) { return std::sin(i * 0.1); });
+  EXPECT_TRUE(std::isinf(snr_db(a, a)));
+  EXPECT_TRUE(std::isinf(psnr_db(a, a)));
+  EXPECT_EQ(rmse(a, a), 0.0);
+  EXPECT_EQ(mae(a, a), 0.0);
+  EXPECT_EQ(max_abs_error(a, a), 0.0);
+}
+
+TEST(Metrics, SnrMatchesDefinition) {
+  // SNR = 20*log10(sigma_raw / sigma_noise) — verify against hand-built
+  // fields with known standard deviations.
+  auto a = make_field(8, [](double i) { return std::sin(i * 0.37); });
+  auto b = a;
+  vf::util::Rng rng(5);
+  for (std::int64_t i = 0; i < b.size(); ++i) b[i] += 0.1 * rng.gaussian();
+
+  double sig_raw = a.stats().stddev;
+  // noise stddev computed directly
+  double mean = 0;
+  for (std::int64_t i = 0; i < a.size(); ++i) mean += a[i] - b[i];
+  mean /= static_cast<double>(a.size());
+  double var = 0;
+  for (std::int64_t i = 0; i < a.size(); ++i) {
+    double d = a[i] - b[i] - mean;
+    var += d * d;
+  }
+  double sig_noise = std::sqrt(var / static_cast<double>(a.size()));
+  EXPECT_NEAR(snr_db(a, b), 20.0 * std::log10(sig_raw / sig_noise), 1e-9);
+}
+
+TEST(Metrics, SnrDecreasesWithNoise) {
+  auto a = make_field(8, [](double i) { return std::cos(i * 0.2); });
+  vf::util::Rng rng(7);
+  std::vector<double> noise(static_cast<std::size_t>(a.size()));
+  for (auto& n : noise) n = rng.gaussian();
+
+  double prev = std::numeric_limits<double>::infinity();
+  for (double amp : {0.01, 0.05, 0.2, 1.0}) {
+    auto b = a;
+    for (std::int64_t i = 0; i < b.size(); ++i) {
+      b[i] += amp * noise[static_cast<std::size_t>(i)];
+    }
+    double s = snr_db(a, b);
+    EXPECT_LT(s, prev);
+    prev = s;
+  }
+}
+
+TEST(Metrics, SnrTenXNoiseIsMinus20Db) {
+  auto a = make_field(10, [](double i) { return std::sin(i * 0.11); });
+  vf::util::Rng rng(11);
+  std::vector<double> noise(static_cast<std::size_t>(a.size()));
+  for (auto& n : noise) n = rng.gaussian();
+  auto b1 = a, b10 = a;
+  for (std::int64_t i = 0; i < a.size(); ++i) {
+    b1[i] += 0.01 * noise[static_cast<std::size_t>(i)];
+    b10[i] += 0.1 * noise[static_cast<std::size_t>(i)];
+  }
+  EXPECT_NEAR(snr_db(a, b1) - snr_db(a, b10), 20.0, 1e-6);
+}
+
+TEST(Metrics, RmseKnownValue) {
+  ScalarField a(UniformGrid3({2, 2, 1}, {0, 0, 0}, {1, 1, 1}), std::vector<double>{0, 0, 0, 0});
+  ScalarField b(UniformGrid3({2, 2, 1}, {0, 0, 0}, {1, 1, 1}), std::vector<double>{1, 1, 1, 1});
+  EXPECT_DOUBLE_EQ(rmse(a, b), 1.0);
+  ScalarField c(UniformGrid3({2, 2, 1}, {0, 0, 0}, {1, 1, 1}), std::vector<double>{3, 0, 0, 0});
+  EXPECT_DOUBLE_EQ(rmse(a, c), 1.5);  // sqrt(9/4)
+}
+
+TEST(Metrics, MaeAndMaxKnownValues) {
+  ScalarField a(UniformGrid3({4, 1, 1}, {0, 0, 0}, {1, 1, 1}), std::vector<double>{0, 0, 0, 0});
+  ScalarField b(UniformGrid3({4, 1, 1}, {0, 0, 0}, {1, 1, 1}), std::vector<double>{1, -2, 3, 0});
+  EXPECT_DOUBLE_EQ(mae(a, b), 1.5);
+  EXPECT_DOUBLE_EQ(max_abs_error(a, b), 3.0);
+}
+
+TEST(Metrics, PsnrUsesRange) {
+  ScalarField a(UniformGrid3({4, 1, 1}, {0, 0, 0}, {1, 1, 1}), std::vector<double>{0, 2, 6, 10});
+  auto b = a;
+  for (std::int64_t i = 0; i < b.size(); ++i) b[i] += 0.1;
+  // range 10, rmse 0.1 -> 20*log10(100) = 40 dB
+  EXPECT_NEAR(psnr_db(a, b), 40.0, 1e-9);
+}
+
+TEST(Metrics, ConstantBiasGivesInfiniteSnrButNonzeroRmse) {
+  // SNR measures noise VARIANCE: a pure DC offset has zero noise stddev.
+  auto a = make_field(5, [](double i) { return std::sin(i); });
+  auto b = a;
+  for (std::int64_t i = 0; i < b.size(); ++i) b[i] += 3.0;
+  EXPECT_TRUE(std::isinf(snr_db(a, b)));
+  EXPECT_NEAR(rmse(a, b), 3.0, 1e-12);
+}
+
+TEST(Metrics, MismatchedSizesThrow) {
+  ScalarField a(UniformGrid3({2, 2, 2}, {0, 0, 0}, {1, 1, 1}));
+  ScalarField b(UniformGrid3({3, 2, 2}, {0, 0, 0}, {1, 1, 1}));
+  EXPECT_THROW(snr_db(a, b), std::invalid_argument);
+  EXPECT_THROW(psnr_db(a, b), std::invalid_argument);
+  EXPECT_THROW(rmse(a, b), std::invalid_argument);
+  EXPECT_THROW(mae(a, b), std::invalid_argument);
+  EXPECT_THROW(max_abs_error(a, b), std::invalid_argument);
+}
+
+TEST(Metrics, BetterReconstructionHigherSnr) {
+  // Sanity: an interpolation 2x closer to the truth scores higher.
+  auto truth = make_field(8, [](double i) { return std::sin(i * 0.05); });
+  auto good = truth;
+  auto bad = truth;
+  vf::util::Rng rng(3);
+  for (std::int64_t i = 0; i < truth.size(); ++i) {
+    double n = rng.gaussian();
+    good[i] += 0.01 * n;
+    bad[i] += 0.02 * n;
+  }
+  EXPECT_GT(snr_db(truth, good), snr_db(truth, bad));
+  EXPECT_LT(rmse(truth, good), rmse(truth, bad));
+}
+
+}  // namespace

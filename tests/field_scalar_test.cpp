@@ -1,0 +1,103 @@
+// Tests for ScalarField: storage, statistics, trilinear sampling.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "vf/field/scalar_field.hpp"
+#include "vf/util/rng.hpp"
+
+namespace {
+
+using vf::field::ScalarField;
+using vf::field::UniformGrid3;
+using vf::field::Vec3;
+
+UniformGrid3 small_grid() { return UniformGrid3({8, 6, 4}, {0, 0, 0}, {1, 1, 1}); }
+
+TEST(ScalarField, ZeroInitialised) {
+  ScalarField f(small_grid());
+  EXPECT_EQ(f.size(), 8 * 6 * 4);
+  for (std::int64_t i = 0; i < f.size(); ++i) EXPECT_EQ(f[i], 0.0);
+}
+
+TEST(ScalarField, AdoptsValues) {
+  std::vector<double> vals(8 * 6 * 4, 2.5);
+  ScalarField f(small_grid(), vals, "pressure");
+  EXPECT_EQ(f.name(), "pressure");
+  EXPECT_EQ(f[0], 2.5);
+}
+
+TEST(ScalarField, RejectsWrongValueCount) {
+  std::vector<double> vals(10, 0.0);
+  EXPECT_THROW(ScalarField(small_grid(), vals), std::invalid_argument);
+}
+
+TEST(ScalarField, AtMatchesLinearIndex) {
+  ScalarField f(small_grid());
+  f.at(3, 2, 1) = 7.0;
+  EXPECT_EQ(f[f.grid().index(3, 2, 1)], 7.0);
+}
+
+TEST(ScalarField, FillEvaluatesPositions) {
+  ScalarField f(small_grid());
+  f.fill([](const Vec3& p) { return p.x + 10 * p.y + 100 * p.z; });
+  EXPECT_DOUBLE_EQ(f.at(2, 3, 1), 2 + 30 + 100);
+}
+
+TEST(ScalarField, StatsOnKnownValues) {
+  ScalarField f(UniformGrid3({4, 1, 1}, {0, 0, 0}, {1, 1, 1}),
+                std::vector<double>{1.0, 2.0, 3.0, 4.0});
+  auto s = f.stats();
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 4.0);
+  EXPECT_DOUBLE_EQ(s.mean, 2.5);
+  EXPECT_NEAR(s.stddev, std::sqrt(1.25), 1e-12);
+}
+
+TEST(ScalarField, TrilinearExactAtGridPoints) {
+  ScalarField f(small_grid());
+  f.fill([](const Vec3& p) { return std::sin(p.x) + p.y * p.z; });
+  const auto& g = f.grid();
+  for (std::int64_t i = 0; i < f.size(); i += 7) {
+    EXPECT_NEAR(f.sample_trilinear(g.position(i)), f[i], 1e-12);
+  }
+}
+
+TEST(ScalarField, TrilinearReproducesTrilinearFunctions) {
+  // A function of the form a + bx + cy + dz + exy + fxz + gyz + hxyz is
+  // reproduced exactly by trilinear interpolation.
+  ScalarField f(small_grid());
+  auto tri = [](const Vec3& p) {
+    return 1.0 + 2 * p.x - 3 * p.y + 0.5 * p.z + 0.25 * p.x * p.y -
+           p.x * p.z + 2 * p.y * p.z + 0.125 * p.x * p.y * p.z;
+  };
+  f.fill(tri);
+  vf::util::Rng rng(3);
+  for (int t = 0; t < 200; ++t) {
+    Vec3 q{rng.uniform(0, 7), rng.uniform(0, 5), rng.uniform(0, 3)};
+    EXPECT_NEAR(f.sample_trilinear(q), tri(q), 1e-9);
+  }
+}
+
+TEST(ScalarField, TrilinearClampsOutsideDomain) {
+  ScalarField f(small_grid());
+  f.fill([](const Vec3& p) { return p.x; });
+  EXPECT_DOUBLE_EQ(f.sample_trilinear({-5, 2, 2}), 0.0);
+  EXPECT_DOUBLE_EQ(f.sample_trilinear({100, 2, 2}), 7.0);
+}
+
+TEST(ScalarField, TrilinearHandlesSinglePointAxis) {
+  ScalarField f(UniformGrid3({4, 4, 1}, {0, 0, 0}, {1, 1, 1}));
+  f.fill([](const Vec3& p) { return p.x + p.y; });
+  EXPECT_NEAR(f.sample_trilinear({1.5, 2.5, 0.0}), 4.0, 1e-12);
+}
+
+TEST(ScalarField, SetName) {
+  ScalarField f(small_grid());
+  f.set_name("density");
+  EXPECT_EQ(f.name(), "density");
+}
+
+}  // namespace

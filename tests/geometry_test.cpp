@@ -1,0 +1,321 @@
+// Tests for the exact predicates and the Delaunay tetrahedralization.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "vf/geometry/delaunay.hpp"
+#include "vf/geometry/predicates.hpp"
+#include "vf/util/rng.hpp"
+
+namespace {
+
+using namespace vf::geometry;
+using vf::field::Vec3;
+
+// ----------------------------------------------------------- predicates ---
+
+TEST(Orient3d, KnownSigns) {
+  IPoint a{0, 0, 0}, b{1, 0, 0}, c{0, 1, 0};
+  EXPECT_GT(orient3d(a, b, c, {0, 0, 1}), 0);
+  EXPECT_LT(orient3d(a, b, c, {0, 0, -1}), 0);
+  EXPECT_EQ(orient3d(a, b, c, {5, 7, 0}), 0);  // coplanar
+}
+
+TEST(Orient3d, SwapAntisymmetry) {
+  vf::util::Rng rng(3);
+  for (int t = 0; t < 200; ++t) {
+    auto rp = [&] {
+      return IPoint{static_cast<std::int64_t>(rng.below(1000)) - 500,
+                    static_cast<std::int64_t>(rng.below(1000)) - 500,
+                    static_cast<std::int64_t>(rng.below(1000)) - 500};
+    };
+    IPoint a = rp(), b = rp(), c = rp(), d = rp();
+    EXPECT_EQ(orient3d(a, b, c, d), -orient3d(b, a, c, d));
+    EXPECT_EQ(orient3d(a, b, c, d), -orient3d(a, c, b, d));
+    EXPECT_EQ(orient3d(a, b, c, d), -orient3d(a, b, d, c));
+  }
+}
+
+TEST(Orient3d, ExactAtLargeCoordinates) {
+  // Nearly-degenerate slivers at the extreme of the coordinate budget must
+  // still be decided exactly.
+  IPoint a{-kMaxCoord, -kMaxCoord, -kMaxCoord};
+  IPoint b{kMaxCoord, -kMaxCoord, -kMaxCoord};
+  IPoint c{-kMaxCoord, kMaxCoord, -kMaxCoord};
+  IPoint d{0, 0, -kMaxCoord};
+  EXPECT_EQ(orient3d(a, b, c, d), 0);  // exactly coplanar
+  d.z += 1;
+  EXPECT_NE(orient3d(a, b, c, d), 0);  // one lattice unit resolves it
+}
+
+TEST(Orient3dDet, SignConsistentWithPredicate) {
+  vf::util::Rng rng(4);
+  for (int t = 0; t < 200; ++t) {
+    auto rp = [&] {
+      return IPoint{static_cast<std::int64_t>(rng.below(2000)) - 1000,
+                    static_cast<std::int64_t>(rng.below(2000)) - 1000,
+                    static_cast<std::int64_t>(rng.below(2000)) - 1000};
+    };
+    IPoint a = rp(), b = rp(), c = rp(), d = rp();
+    double det = orient3d_det(a, b, c, d);
+    int sign = orient3d(a, b, c, d);
+    if (sign > 0) EXPECT_GT(det, 0);
+    if (sign < 0) EXPECT_LT(det, 0);
+    if (sign == 0) EXPECT_EQ(det, 0);
+  }
+}
+
+TEST(Insphere, KnownConfiguration) {
+  // Regular tetrahedron-ish: unit cube corners; circumsphere of
+  // (0,0,0),(1000,0,0),(0,1000,0),(0,0,1000) centred at (500,500,500).
+  IPoint a{0, 0, 0}, b{1000, 0, 0}, c{0, 1000, 0}, d{0, 0, 1000};
+  ASSERT_GT(orient3d(a, b, c, d), 0);
+  EXPECT_GT(insphere(a, b, c, d, {500, 500, 500}), 0);   // centre inside
+  EXPECT_GT(insphere(a, b, c, d, {100, 100, 100}), 0);
+  EXPECT_LT(insphere(a, b, c, d, {2000, 2000, 2000}), 0);  // far outside
+  EXPECT_LT(insphere(a, b, c, d, {-800, -800, -800}), 0);
+  // A point exactly on the sphere: (1000,1000,0) satisfies the circum-
+  // sphere equation (x-500)^2+(y-500)^2+(z-500)^2 = 750000?
+  // (500)^2+(500)^2+(500)^2 = 750000 for corner (0,0,0); for (1000,1000,0):
+  // 500^2+500^2+500^2 = same. So it lies exactly on the sphere.
+  EXPECT_EQ(insphere(a, b, c, d, {1000, 1000, 0}), 0);
+}
+
+TEST(Insphere, AgreesWithFloatingCircumsphere) {
+  // Property check against an explicit circumcentre computation.
+  vf::util::Rng rng(7);
+  int tested = 0;
+  while (tested < 200) {
+    auto rp = [&] {
+      return IPoint{static_cast<std::int64_t>(rng.below(4000)),
+                    static_cast<std::int64_t>(rng.below(4000)),
+                    static_cast<std::int64_t>(rng.below(4000))};
+    };
+    IPoint a = rp(), b = rp(), c = rp(), d = rp(), e = rp();
+    if (orient3d(a, b, c, d) <= 0) continue;
+    // Solve for circumcentre with doubles.
+    auto solve = [&](const IPoint& p0, const IPoint& p1, const IPoint& p2,
+                     const IPoint& p3) -> std::array<double, 4> {
+      double ax = p0.x, ay = p0.y, az = p0.z;
+      double m[3][4];
+      const IPoint* ps[3] = {&p1, &p2, &p3};
+      for (int i = 0; i < 3; ++i) {
+        double px = ps[i]->x, py = ps[i]->y, pz = ps[i]->z;
+        m[i][0] = 2 * (px - ax);
+        m[i][1] = 2 * (py - ay);
+        m[i][2] = 2 * (pz - az);
+        m[i][3] = px * px - ax * ax + py * py - ay * ay + pz * pz - az * az;
+      }
+      // Gaussian elimination.
+      for (int col = 0; col < 3; ++col) {
+        int piv = col;
+        for (int r = col + 1; r < 3; ++r) {
+          if (std::abs(m[r][col]) > std::abs(m[piv][col])) piv = r;
+        }
+        std::swap(m[piv], m[col]);
+        for (int r = col + 1; r < 3; ++r) {
+          double f = m[r][col] / m[col][col];
+          for (int cc = col; cc < 4; ++cc) m[r][cc] -= f * m[col][cc];
+        }
+      }
+      double z = m[2][3] / m[2][2];
+      double y = (m[1][3] - m[1][2] * z) / m[1][1];
+      double x = (m[0][3] - m[0][1] * y - m[0][2] * z) / m[0][0];
+      double r2 = (x - ax) * (x - ax) + (y - ay) * (y - ay) +
+                  (z - az) * (z - az);
+      return {x, y, z, r2};
+    };
+    auto [cx, cy, cz, r2] = solve(a, b, c, d);
+    double d2 = (e.x - cx) * (e.x - cx) + (e.y - cy) * (e.y - cy) +
+                (e.z - cz) * (e.z - cz);
+    // Only check when the floating computation is decisively inside/outside.
+    double margin = 1e-6 * r2;
+    if (std::abs(d2 - r2) < margin) continue;
+    int sign = insphere(a, b, c, d, e);
+    if (d2 < r2) {
+      EXPECT_GT(sign, 0) << "inside point misclassified";
+    } else {
+      EXPECT_LT(sign, 0) << "outside point misclassified";
+    }
+    ++tested;
+  }
+}
+
+TEST(Insphere, PerturbationSensitivity) {
+  // Cospherical case resolved by one lattice step.
+  IPoint a{0, 0, 0}, b{1000, 0, 0}, c{0, 1000, 0}, d{0, 0, 1000};
+  IPoint on{1000, 1000, 0};
+  EXPECT_EQ(insphere(a, b, c, d, on), 0);
+  EXPECT_LT(insphere(a, b, c, d, {1001, 1000, 0}), 0);
+  EXPECT_GT(insphere(a, b, c, d, {999, 1000, 0}), 0);
+}
+
+// -------------------------------------------------------------- delaunay ---
+
+std::vector<Vec3> random_points(std::size_t n, std::uint64_t seed) {
+  vf::util::Rng rng(seed);
+  std::vector<Vec3> pts;
+  pts.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    pts.push_back({rng.uniform(0, 1), rng.uniform(0, 2), rng.uniform(0, 0.5)});
+  }
+  return pts;
+}
+
+TEST(Delaunay, RejectsEmptyInput) {
+  EXPECT_THROW(Delaunay3(std::vector<Vec3>{}), std::invalid_argument);
+}
+
+class DelaunayRandom : public ::testing::TestWithParam<int> {};
+
+TEST_P(DelaunayRandom, StructurallyValid) {
+  auto pts = random_points(static_cast<std::size_t>(GetParam()),
+                           1000 + GetParam());
+  Delaunay3 dt(pts);
+  EXPECT_EQ(dt.point_count(), pts.size());
+  EXPECT_GT(dt.tetrahedron_count(), 0u);
+  EXPECT_TRUE(dt.validate(500, 40));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, DelaunayRandom,
+                         ::testing::Values(1, 2, 3, 4, 5, 10, 50, 500, 5000));
+
+TEST(Delaunay, GridAlignedPointsAreHandled) {
+  // Regular-grid samples are the pathological co-spherical case our jitter
+  // must break; the result must still validate.
+  std::vector<Vec3> pts;
+  for (int k = 0; k < 10; ++k)
+    for (int j = 0; j < 10; ++j)
+      for (int i = 0; i < 10; ++i)
+        pts.push_back({i * 0.1, j * 0.1, k * 0.1});
+  Delaunay3 dt(pts);
+  EXPECT_TRUE(dt.validate(1000, 40));
+}
+
+TEST(Delaunay, DuplicatePointsMerged) {
+  std::vector<Vec3> pts = random_points(100, 5);
+  auto dup = pts;
+  dup.insert(dup.end(), pts.begin(), pts.end());  // every point twice
+  Delaunay3 dt(dup);
+  EXPECT_EQ(dt.point_count(), 200u);
+  EXPECT_TRUE(dt.validate(300, 30));
+  // Duplicates land within the jitter radius (a couple of lattice cells) of
+  // each other; exact collisions are merged onto one vertex.
+  for (std::size_t i = 0; i < 100; ++i) {
+    auto a = dt.snapped(static_cast<std::uint32_t>(i));
+    auto b = dt.snapped(static_cast<std::uint32_t>(i + 100));
+    ASSERT_LE(std::abs(a.x - b.x), 2);
+    ASSERT_LE(std::abs(a.y - b.y), 2);
+    ASSERT_LE(std::abs(a.z - b.z), 2);
+  }
+}
+
+TEST(Delaunay, LocateInsideHull) {
+  auto pts = random_points(2000, 11);
+  Delaunay3 dt(pts);
+  vf::util::Rng rng(13);
+  int in_hull = 0;
+  for (int q = 0; q < 500; ++q) {
+    Vec3 query{rng.uniform(0.2, 0.8), rng.uniform(0.4, 1.6),
+               rng.uniform(0.1, 0.4)};
+    auto loc = dt.locate(query);
+    ASSERT_GE(loc.tet, 0);
+    if (!loc.in_hull) continue;
+    ++in_hull;
+    double sum = 0;
+    for (int j = 0; j < 4; ++j) {
+      ASSERT_NE(loc.points[j], LocateResult::kSuperVertex);
+      ASSERT_LT(loc.points[j], pts.size());
+      ASSERT_GE(loc.weights[j], -1e-9);  // inside => nonnegative weights
+      sum += loc.weights[j];
+    }
+    ASSERT_NEAR(sum, 1.0, 1e-9);
+  }
+  EXPECT_GT(in_hull, 450);  // interior queries almost always in hull
+}
+
+TEST(Delaunay, LocateReproducesLinearFunctions) {
+  // Barycentric interpolation over any triangulation reproduces affine
+  // functions up to the lattice-snap displacement.
+  auto pts = random_points(3000, 17);
+  auto f = [](const Vec3& p) { return 2 * p.x - 3 * p.y + 5 * p.z + 1; };
+  Delaunay3 dt(pts);
+  vf::util::Rng rng(19);
+  std::int64_t hint = -1;
+  for (int q = 0; q < 500; ++q) {
+    Vec3 query{rng.uniform(0.1, 0.9), rng.uniform(0.2, 1.8),
+               rng.uniform(0.05, 0.45)};
+    auto loc = dt.locate(query, hint);
+    hint = loc.tet;
+    if (!loc.in_hull) continue;
+    double v = 0;
+    for (int j = 0; j < 4; ++j) v += loc.weights[j] * f(pts[loc.points[j]]);
+    // Tolerance: snap displacement is <= ~2 lattice cells of the bbox.
+    ASSERT_NEAR(v, f(query), 2e-3);
+  }
+}
+
+TEST(Delaunay, LocateAtSamplePointsReturnsThatValueRegion) {
+  auto pts = random_points(500, 23);
+  Delaunay3 dt(pts);
+  for (std::size_t i = 0; i < pts.size(); i += 13) {
+    auto loc = dt.locate(pts[i]);
+    ASSERT_GE(loc.tet, 0);
+    // The sample itself must be a corner of (or adjacent to) the located
+    // tet with dominating weight.
+    double wmax = 0;
+    for (int j = 0; j < 4; ++j) wmax = std::max(wmax, loc.weights[j]);
+    EXPECT_GT(wmax, 0.9);
+  }
+}
+
+TEST(Delaunay, LocateFarOutsideReturnsNotInHull) {
+  auto pts = random_points(200, 29);
+  Delaunay3 dt(pts);
+  auto loc = dt.locate({100.0, 100.0, 100.0});
+  EXPECT_FALSE(loc.in_hull);
+}
+
+TEST(Delaunay, CollinearInputDoesNotCrash) {
+  std::vector<Vec3> pts;
+  for (int i = 0; i < 50; ++i) pts.push_back({i * 0.02, 0.0, 0.0});
+  Delaunay3 dt(pts);  // jitter lifts them into general position
+  EXPECT_TRUE(dt.validate(100, 20));
+}
+
+TEST(Delaunay, CoplanarInputDoesNotCrash) {
+  std::vector<Vec3> pts;
+  for (int j = 0; j < 12; ++j)
+    for (int i = 0; i < 12; ++i) pts.push_back({i * 0.1, j * 0.1, 0.0});
+  Delaunay3 dt(pts);
+  EXPECT_TRUE(dt.validate(200, 20));
+}
+
+TEST(Delaunay, TetCountScalesLinearl) {
+  // Expected ~6.7 tets per vertex for uniform random points (plus hull
+  // effects); sanity-check the count is in a plausible band.
+  auto pts = random_points(4000, 31);
+  Delaunay3 dt(pts);
+  double per_vertex =
+      static_cast<double>(dt.tetrahedron_count()) / 4000.0;
+  EXPECT_GT(per_vertex, 4.0);
+  EXPECT_LT(per_vertex, 9.0);
+}
+
+TEST(Delaunay, ClusteredPointsValid) {
+  // Two dense clusters with a sparse gap: stresses walk + cavity logic.
+  vf::util::Rng rng(37);
+  std::vector<Vec3> pts;
+  for (int i = 0; i < 1000; ++i) {
+    pts.push_back({rng.gaussian(0.2, 0.02), rng.gaussian(0.2, 0.02),
+                   rng.gaussian(0.2, 0.02)});
+    pts.push_back({rng.gaussian(0.8, 0.02), rng.gaussian(0.8, 0.02),
+                   rng.gaussian(0.8, 0.02)});
+  }
+  Delaunay3 dt(pts);
+  EXPECT_TRUE(dt.validate(500, 40));
+}
+
+}  // namespace

@@ -1,0 +1,193 @@
+// Cross-module integration tests: the full paper workflow in miniature.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <filesystem>
+#include <unistd.h>
+
+#include "vf/core/fcnn.hpp"
+#include "vf/data/registry.hpp"
+#include "vf/field/metrics.hpp"
+#include "vf/field/vtk_io.hpp"
+#include "vf/interp/methods.hpp"
+#include "vf/sampling/samplers.hpp"
+
+namespace {
+
+using namespace vf;
+using core::FcnnConfig;
+using core::FcnnReconstructor;
+using core::FineTuneMode;
+using field::snr_db;
+using sampling::ImportanceSampler;
+
+FcnnConfig small_config() {
+  FcnnConfig cfg;
+  cfg.hidden = {32, 16};
+  cfg.epochs = 50;
+  cfg.batch_size = 256;
+  cfg.max_train_rows = 6000;
+  cfg.train_fractions = {0.01, 0.05};
+  return cfg;
+}
+
+TEST(Workflow, SampleReconstructEvaluate) {
+  // Figure 1's workflow end to end on a small hurricane volume.
+  auto ds = data::make_dataset("hurricane");
+  auto truth = ds->generate({24, 24, 10}, 24.0);
+  ImportanceSampler sampler;
+
+  auto pre = core::pretrain(truth, sampler, small_config());
+  FcnnReconstructor fcnn(std::move(pre.model));
+
+  auto cloud = sampler.sample(truth, 0.03, 5);
+  auto rec_fcnn = fcnn.reconstruct(cloud, truth.grid());
+  auto rec_linear =
+      interp::LinearDelaunayReconstructor().reconstruct(cloud, truth.grid());
+  auto rec_nearest =
+      interp::NearestNeighborReconstructor().reconstruct(cloud, truth.grid());
+
+  double s_fcnn = snr_db(truth, rec_fcnn);
+  double s_linear = snr_db(truth, rec_linear);
+  double s_nearest = snr_db(truth, rec_nearest);
+
+  // Paper Fig 9 ordering at moderate sampling: FCNN wins, nearest loses.
+  EXPECT_GT(s_fcnn, s_nearest);
+  EXPECT_GT(s_linear, s_nearest);
+  EXPECT_GT(s_fcnn, 3.0);
+}
+
+TEST(Workflow, PretrainedModelSpansSamplingRates) {
+  // One pretrained model must serve every sampling rate (paper Fig 9).
+  auto ds = data::make_dataset("combustion");
+  auto truth = ds->generate({20, 30, 10}, 60.0);
+  ImportanceSampler sampler;
+  auto pre = core::pretrain(truth, sampler, small_config());
+  FcnnReconstructor fcnn(std::move(pre.model));
+
+  double prev = -100.0;
+  for (double frac : {0.005, 0.02, 0.08}) {
+    auto cloud = sampler.sample(truth, frac, 31);
+    double s = snr_db(truth, fcnn.reconstruct(cloud, truth.grid()));
+    EXPECT_GT(s, prev - 3.0);  // no catastrophic regression as rate rises
+    prev = s;
+  }
+}
+
+TEST(Workflow, TemporalFineTuningBeatsStaleModel) {
+  // Experiment 2 in miniature: pretrain at t=2, evaluate at t=40 with and
+  // without a 10-epoch Case-1 fine-tune.
+  auto ds = data::make_dataset("hurricane");
+  auto t_train = ds->generate({20, 20, 8}, 2.0);
+  auto t_far = ds->generate({20, 20, 8}, 40.0);
+  ImportanceSampler sampler;
+  auto cfg = small_config();
+  auto pre = core::pretrain(t_train, sampler, cfg);
+
+  auto cloud = sampler.sample(t_far, 0.03, 77);
+  FcnnReconstructor stale(pre.model.clone());
+  double snr_stale = snr_db(t_far, stale.reconstruct(cloud, t_far.grid()));
+
+  core::fine_tune(pre.model, t_far, sampler, cfg, FineTuneMode::FullNetwork,
+                  10);
+  FcnnReconstructor tuned(std::move(pre.model));
+  double snr_tuned = snr_db(t_far, tuned.reconstruct(cloud, t_far.grid()));
+
+  EXPECT_GT(snr_tuned, snr_stale);
+}
+
+TEST(Workflow, UpscalingAcrossResolutions) {
+  // Experiment 3 in miniature: pretrain on the coarse grid, fine-tune on
+  // the fine grid's sampling, reconstruct the fine grid.
+  auto ds = data::make_dataset("hurricane");
+  auto coarse = ds->generate({16, 16, 8}, 10.0);
+  auto fine = ds->generate({31, 31, 15}, 10.0);
+  ImportanceSampler sampler;
+  auto cfg = small_config();
+  auto pre = core::pretrain(coarse, sampler, cfg);
+
+  core::fine_tune(pre.model, fine, sampler, cfg, FineTuneMode::FullNetwork,
+                  10);
+  FcnnReconstructor rec(std::move(pre.model));
+  auto cloud = sampler.sample(fine, 0.03, 3);
+  auto out = rec.reconstruct(cloud, fine.grid());
+  double snr = snr_db(fine, out);
+  EXPECT_GT(snr, 3.0);
+
+  // Also beat nearest-neighbour at the fine resolution.
+  auto nn = interp::NearestNeighborReconstructor().reconstruct(cloud,
+                                                               fine.grid());
+  EXPECT_GT(snr, snr_db(fine, nn));
+}
+
+TEST(Workflow, VtiVtpPipelineFiles) {
+  // The paper's on-disk pipeline: truth .vti -> sampled .vtp ->
+  // reconstructed .vti, all through our readers/writers.
+  auto dir = std::filesystem::temp_directory_path() /
+             ("vf_integration_" + std::to_string(::getpid()));
+  std::filesystem::create_directories(dir);
+
+  auto ds = data::make_dataset("ionization");
+  auto truth = ds->generate({16, 12, 12}, 100.0);
+  field::write_vti(truth, (dir / "truth.vti").string());
+
+  auto loaded = field::read_vti((dir / "truth.vti").string());
+  ImportanceSampler sampler;
+  auto cloud = sampler.sample(loaded, 0.05, 9);
+  cloud.save_vtp((dir / "sampled.vtp").string(), "density");
+
+  auto cloud_back =
+      sampling::SampleCloud::load_vtp((dir / "sampled.vtp").string());
+  auto rec = interp::LinearDelaunayReconstructor().reconstruct(
+      cloud_back, loaded.grid());
+  field::write_vti(rec, (dir / "recon.vti").string());
+
+  auto rec_back = field::read_vti((dir / "recon.vti").string());
+  EXPECT_GT(snr_db(truth, rec_back), 0.0);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Workflow, ModelPersistenceAcrossSessions) {
+  // In-situ pattern: train, save, reload in a "later session", reconstruct.
+  auto dir = std::filesystem::temp_directory_path() /
+             ("vf_session_" + std::to_string(::getpid()));
+  std::filesystem::create_directories(dir);
+
+  auto ds = data::make_dataset("hurricane");
+  auto truth = ds->generate({16, 16, 8}, 20.0);
+  ImportanceSampler sampler;
+  auto cfg = small_config();
+  cfg.epochs = 20;
+  auto pre = core::pretrain(truth, sampler, cfg);
+  pre.model.save((dir / "m.vfmd").string());
+
+  auto restored = core::FcnnModel::load((dir / "m.vfmd").string());
+  FcnnReconstructor rec(std::move(restored));
+  auto cloud = sampler.sample(truth, 0.05, 13);
+  auto out = rec.reconstruct(cloud, truth.grid());
+  EXPECT_GT(snr_db(truth, out), 0.0);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Workflow, SamplerAgnosticReconstruction) {
+  // §III-D claims the approach is sampling-method agnostic: a model trained
+  // with importance sampling must still reconstruct clouds from random and
+  // stratified samplers.
+  auto ds = data::make_dataset("hurricane");
+  auto truth = ds->generate({20, 20, 8}, 30.0);
+  ImportanceSampler train_sampler;
+  auto pre = core::pretrain(truth, train_sampler, small_config());
+  FcnnReconstructor fcnn(std::move(pre.model));
+
+  sampling::RandomSampler rnd;
+  sampling::StratifiedSampler strat;
+  for (sampling::Sampler* s :
+       std::initializer_list<sampling::Sampler*>{&rnd, &strat}) {
+    auto cloud = s->sample(truth, 0.05, 55);
+    auto out = fcnn.reconstruct(cloud, truth.grid());
+    EXPECT_GT(snr_db(truth, out), 0.0) << s->name();
+  }
+}
+
+}  // namespace

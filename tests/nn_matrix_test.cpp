@@ -1,0 +1,172 @@
+// Tests for the matrix kernels underlying the MLP engine.
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <tuple>
+
+#include "vf/nn/matrix.hpp"
+#include "vf/util/rng.hpp"
+
+namespace {
+
+using vf::nn::Matrix;
+
+Matrix random_matrix(std::size_t r, std::size_t c, std::uint64_t seed) {
+  Matrix m(r, c);
+  vf::util::Rng rng(seed);
+  for (auto& v : m.data()) v = rng.uniform(-2, 2);
+  return m;
+}
+
+// Naive reference implementations.
+Matrix ref_gemm(const Matrix& a, const Matrix& b) {
+  Matrix out(a.rows(), b.cols());
+  for (std::size_t r = 0; r < a.rows(); ++r)
+    for (std::size_t c = 0; c < b.cols(); ++c)
+      for (std::size_t k = 0; k < a.cols(); ++k)
+        out(r, c) += a(r, k) * b(k, c);
+  return out;
+}
+
+void expect_matrix_near(const Matrix& got, const Matrix& want, double tol) {
+  ASSERT_EQ(got.rows(), want.rows());
+  ASSERT_EQ(got.cols(), want.cols());
+  for (std::size_t r = 0; r < got.rows(); ++r)
+    for (std::size_t c = 0; c < got.cols(); ++c)
+      ASSERT_NEAR(got(r, c), want(r, c), tol) << "at (" << r << "," << c << ")";
+}
+
+TEST(Matrix, ConstructionAndAccess) {
+  Matrix m(3, 4, 1.5);
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 4u);
+  EXPECT_EQ(m.size(), 12u);
+  EXPECT_EQ(m(2, 3), 1.5);
+  m(1, 2) = -7.0;
+  EXPECT_EQ(m.row(1)[2], -7.0);
+}
+
+TEST(Matrix, FillAndResize) {
+  Matrix m(2, 2, 5.0);
+  m.fill(0.0);
+  EXPECT_EQ(m(0, 0), 0.0);
+  m.resize(4, 5);
+  EXPECT_EQ(m.rows(), 4u);
+  EXPECT_EQ(m.size(), 20u);
+  EXPECT_EQ(m(3, 4), 0.0);  // zeroed on resize
+}
+
+TEST(Matrix, SquaredNorm) {
+  Matrix m(1, 3);
+  m(0, 0) = 1;
+  m(0, 1) = 2;
+  m(0, 2) = -2;
+  EXPECT_DOUBLE_EQ(m.squared_norm(), 9.0);
+}
+
+TEST(Gemm, SmallKnownResult) {
+  Matrix a(2, 2), b(2, 2), out;
+  a(0, 0) = 1; a(0, 1) = 2; a(1, 0) = 3; a(1, 1) = 4;
+  b(0, 0) = 5; b(0, 1) = 6; b(1, 0) = 7; b(1, 1) = 8;
+  vf::nn::gemm(a, b, out);
+  EXPECT_DOUBLE_EQ(out(0, 0), 19);
+  EXPECT_DOUBLE_EQ(out(0, 1), 22);
+  EXPECT_DOUBLE_EQ(out(1, 0), 43);
+  EXPECT_DOUBLE_EQ(out(1, 1), 50);
+}
+
+class GemmShapes
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(GemmShapes, MatchesReference) {
+  auto [m, k, n] = GetParam();
+  auto a = random_matrix(m, k, 100 + m);
+  auto b = random_matrix(k, n, 200 + n);
+  Matrix out;
+  vf::nn::gemm(a, b, out);
+  expect_matrix_near(out, ref_gemm(a, b), 1e-9);
+}
+
+TEST_P(GemmShapes, AtBMatchesReference) {
+  auto [m, k, n] = GetParam();
+  // a is (k x m) so a^T b is (m x n)
+  auto a = random_matrix(k, m, 300 + m);
+  auto b = random_matrix(k, n, 400 + n);
+  Matrix at(m, k);
+  for (std::size_t r = 0; r < a.rows(); ++r)
+    for (std::size_t c = 0; c < a.cols(); ++c) at(c, r) = a(r, c);
+  Matrix out;
+  vf::nn::gemm_at_b(a, b, out);
+  expect_matrix_near(out, ref_gemm(at, b), 1e-9);
+}
+
+TEST_P(GemmShapes, ABtMatchesReference) {
+  auto [m, k, n] = GetParam();
+  auto a = random_matrix(m, k, 500 + m);
+  auto b = random_matrix(n, k, 600 + n);  // b^T is (k x n)
+  Matrix bt(k, n);
+  for (std::size_t r = 0; r < b.rows(); ++r)
+    for (std::size_t c = 0; c < b.cols(); ++c) bt(c, r) = b(r, c);
+  Matrix out;
+  vf::nn::gemm_a_bt(a, b, out);
+  expect_matrix_near(out, ref_gemm(a, bt), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, GemmShapes,
+    ::testing::Values(std::tuple{1, 1, 1}, std::tuple{2, 3, 4},
+                      std::tuple{5, 1, 7}, std::tuple{1, 9, 1},
+                      std::tuple{8, 8, 8}, std::tuple{17, 23, 13},
+                      std::tuple{64, 32, 48}, std::tuple{3, 100, 5}));
+
+TEST(Gemm, ShapeMismatchThrows) {
+  Matrix a(2, 3), b(4, 5), out;
+  EXPECT_THROW(vf::nn::gemm(a, b, out), std::invalid_argument);
+  EXPECT_THROW(vf::nn::gemm_at_b(a, b, out), std::invalid_argument);
+  EXPECT_THROW(vf::nn::gemm_a_bt(a, b, out), std::invalid_argument);
+}
+
+TEST(AddRowVector, BroadcastsBias) {
+  Matrix m(3, 2, 1.0), bias(1, 2);
+  bias(0, 0) = 10;
+  bias(0, 1) = -1;
+  vf::nn::add_row_vector(m, bias);
+  for (std::size_t r = 0; r < 3; ++r) {
+    EXPECT_DOUBLE_EQ(m(r, 0), 11.0);
+    EXPECT_DOUBLE_EQ(m(r, 1), 0.0);
+  }
+}
+
+TEST(AddRowVector, ShapeMismatchThrows) {
+  Matrix m(3, 2);
+  Matrix bad(1, 3);
+  EXPECT_THROW(vf::nn::add_row_vector(m, bad), std::invalid_argument);
+  Matrix bad2(2, 2);
+  EXPECT_THROW(vf::nn::add_row_vector(m, bad2), std::invalid_argument);
+}
+
+TEST(SumRows, ColumnReduction) {
+  Matrix m(3, 2);
+  m(0, 0) = 1; m(1, 0) = 2; m(2, 0) = 3;
+  m(0, 1) = -1; m(1, 1) = 0; m(2, 1) = 1;
+  Matrix bias;
+  vf::nn::sum_rows(m, bias);
+  ASSERT_EQ(bias.rows(), 1u);
+  ASSERT_EQ(bias.cols(), 2u);
+  EXPECT_DOUBLE_EQ(bias(0, 0), 6.0);
+  EXPECT_DOUBLE_EQ(bias(0, 1), 0.0);
+}
+
+TEST(Axpy, AccumulatesScaled) {
+  Matrix x(2, 2, 2.0), y(2, 2, 1.0);
+  vf::nn::axpy(0.5, x, y);
+  for (auto v : y.data()) EXPECT_DOUBLE_EQ(v, 2.0);
+}
+
+TEST(Axpy, ShapeMismatchThrows) {
+  Matrix x(2, 2), y(2, 3);
+  EXPECT_THROW(vf::nn::axpy(1.0, x, y), std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,339 @@
+// Tests for the optimizers and the minibatch trainer.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "vf/nn/trainer.hpp"
+#include "vf/util/rng.hpp"
+
+namespace {
+
+using namespace vf::nn;
+
+Matrix random_matrix(std::size_t r, std::size_t c, std::uint64_t seed,
+                     double scale = 1.0) {
+  Matrix m(r, c);
+  vf::util::Rng rng(seed);
+  for (auto& v : m.data()) v = rng.uniform(-scale, scale);
+  return m;
+}
+
+TEST(Sgd, AppliesLearningRateTimesGradient) {
+  DenseLayer layer(1, 1);
+  layer.weights()(0, 0) = 2.0;
+  layer.bias()(0, 0) = 1.0;
+  Network net;
+  net.add(std::make_unique<DenseLayer>(std::move(layer)));
+
+  Matrix x(1, 1), y(1, 1), pred, grad;
+  x(0, 0) = 3.0;
+  y(0, 0) = 0.0;
+  MseLoss loss;
+  net.zero_grad();
+  net.forward(x, pred);  // pred = 7
+  loss.gradient(pred, y, grad);  // dL/dpred = 2*7 = 14
+  net.backward(grad);
+
+  SgdOptimizer opt(0.1);
+  opt.attach(net.params());
+  opt.step();
+  // dW = x * g = 42, db = 14
+  auto& d = dynamic_cast<DenseLayer&>(net.layer(0));
+  EXPECT_NEAR(d.weights()(0, 0), 2.0 - 0.1 * 42.0, 1e-12);
+  EXPECT_NEAR(d.bias()(0, 0), 1.0 - 0.1 * 14.0, 1e-12);
+}
+
+TEST(Adam, FirstStepMovesByLearningRate) {
+  // Adam's bias-corrected first step is ~lr * sign(gradient).
+  DenseLayer layer(1, 1);
+  layer.weights()(0, 0) = 0.0;
+  Network net;
+  net.add(std::make_unique<DenseLayer>(std::move(layer)));
+  Matrix x(1, 1), y(1, 1), pred, grad;
+  x(0, 0) = 1.0;
+  y(0, 0) = 10.0;  // positive target -> negative gradient -> weight rises
+  MseLoss loss;
+  net.zero_grad();
+  net.forward(x, pred);
+  loss.gradient(pred, y, grad);
+  net.backward(grad);
+
+  AdamOptimizer opt(0.001);
+  opt.attach(net.params());
+  opt.step();
+  auto& d = dynamic_cast<DenseLayer&>(net.layer(0));
+  EXPECT_NEAR(d.weights()(0, 0), 0.001, 1e-6);
+}
+
+TEST(Adam, SkipsFrozenParams) {
+  Network net;
+  net.add(std::make_unique<DenseLayer>(2, 2, 1));
+  net.add(std::make_unique<DenseLayer>(2, 1, 2));
+  net.layer(0).set_trainable(false);
+  auto before = dynamic_cast<DenseLayer&>(net.layer(0)).weights();
+
+  Matrix x = random_matrix(4, 2, 3), y = random_matrix(4, 1, 4);
+  MseLoss loss;
+  Matrix pred, grad;
+  AdamOptimizer opt(0.01);
+  opt.attach(net.params());
+  for (int i = 0; i < 5; ++i) {
+    net.zero_grad();
+    net.forward(x, pred);
+    loss.gradient(pred, y, grad);
+    net.backward(grad);
+    opt.step();
+  }
+  auto& after = dynamic_cast<DenseLayer&>(net.layer(0)).weights();
+  for (std::size_t i = 0; i < before.size(); ++i) {
+    ASSERT_EQ(after.data()[i], before.data()[i]);
+  }
+}
+
+TEST(Adam, StepWithoutAttachThrows) {
+  AdamOptimizer opt;
+  EXPECT_THROW(opt.step(), std::logic_error);
+}
+
+TEST(Trainer, LearnsLinearRegression) {
+  // y = 3x + 2 learned by a single dense layer.
+  vf::util::Rng rng(5);
+  Matrix X(256, 1), Y(256, 1);
+  for (std::size_t i = 0; i < 256; ++i) {
+    double x = rng.uniform(-1, 1);
+    X(i, 0) = x;
+    Y(i, 0) = 3 * x + 2;
+  }
+  Network net;
+  net.add(std::make_unique<DenseLayer>(1, 1, 3));
+  TrainOptions opt;
+  opt.epochs = 400;
+  opt.batch_size = 32;
+  opt.learning_rate = 0.05;
+  Trainer trainer(opt);
+  auto hist = trainer.fit(net, X, Y);
+  EXPECT_LT(hist.train_loss.back(), 1e-4);
+  auto& d = dynamic_cast<DenseLayer&>(net.layer(0));
+  EXPECT_NEAR(d.weights()(0, 0), 3.0, 0.05);
+  EXPECT_NEAR(d.bias()(0, 0), 2.0, 0.05);
+}
+
+TEST(Trainer, LearnsNonlinearFunction) {
+  // y = sin(pi * x) needs the hidden ReLU stack.
+  vf::util::Rng rng(6);
+  Matrix X(512, 1), Y(512, 1);
+  for (std::size_t i = 0; i < 512; ++i) {
+    double x = rng.uniform(-1, 1);
+    X(i, 0) = x;
+    Y(i, 0) = std::sin(M_PI * x);
+  }
+  Network net = Network::mlp(1, {32, 32}, 1, 7);
+  TrainOptions opt;
+  opt.epochs = 300;
+  opt.batch_size = 64;
+  opt.learning_rate = 3e-3;
+  Trainer trainer(opt);
+  auto hist = trainer.fit(net, X, Y);
+  EXPECT_LT(hist.train_loss.back(), 0.01);
+  EXPECT_LT(hist.train_loss.back(), hist.train_loss.front() / 10);
+}
+
+TEST(Trainer, LossDecreasesOverall) {
+  Matrix X = random_matrix(200, 4, 8);
+  Matrix Y(200, 1);
+  for (std::size_t i = 0; i < 200; ++i) {
+    Y(i, 0) = X(i, 0) * X(i, 1) - X(i, 2);
+  }
+  Network net = Network::mlp(4, {16}, 1, 9);
+  TrainOptions opt;
+  opt.epochs = 100;
+  Trainer trainer(opt);
+  auto hist = trainer.fit(net, X, Y);
+  ASSERT_EQ(hist.train_loss.size(), 100u);
+  EXPECT_LT(hist.train_loss.back(), hist.train_loss.front());
+  EXPECT_EQ(hist.epochs_run, 100);
+  EXPECT_GT(hist.seconds, 0.0);
+}
+
+TEST(Trainer, DeterministicGivenSeed) {
+  auto run = [] {
+    Matrix X = random_matrix(100, 2, 10);
+    Matrix Y = random_matrix(100, 1, 11);
+    Network net = Network::mlp(2, {8}, 1, 12);
+    TrainOptions opt;
+    opt.epochs = 20;
+    opt.shuffle_seed = 99;
+    Trainer trainer(opt);
+    trainer.fit(net, X, Y);
+    Matrix pred;
+    net.forward(X, pred);
+    return pred;
+  };
+  auto a = run();
+  auto b = run();
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a.data()[i], b.data()[i]);
+  }
+}
+
+TEST(Trainer, ValidationSplitReported) {
+  Matrix X = random_matrix(200, 2, 13);
+  Matrix Y = random_matrix(200, 1, 14);
+  Network net = Network::mlp(2, {8}, 1, 15);
+  TrainOptions opt;
+  opt.epochs = 10;
+  opt.validation_fraction = 0.25;
+  Trainer trainer(opt);
+  auto hist = trainer.fit(net, X, Y);
+  ASSERT_EQ(hist.val_loss.size(), 10u);
+  for (double v : hist.val_loss) {
+    ASSERT_TRUE(std::isfinite(v));
+  }
+}
+
+TEST(Trainer, EarlyStoppingHonoursPatience) {
+  // With a zero learning rate the loss cannot improve, so the patience
+  // counter must fire deterministically after `patience` stalled epochs.
+  Matrix X = random_matrix(64, 2, 16);
+  Matrix Y(64, 1, 0.0);
+  Network net = Network::mlp(2, {4}, 1, 17);
+  TrainOptions opt;
+  opt.epochs = 500;
+  opt.learning_rate = 0.0;
+  opt.patience = 5;
+  opt.min_improvement = 1e-9;
+  Trainer trainer(opt);
+  auto hist = trainer.fit(net, X, Y);
+  EXPECT_LT(hist.epochs_run, 500);
+}
+
+TEST(Trainer, EpochCallbackInvoked) {
+  Matrix X = random_matrix(32, 2, 18);
+  Matrix Y = random_matrix(32, 1, 19);
+  Network net = Network::mlp(2, {4}, 1, 20);
+  TrainOptions opt;
+  opt.epochs = 7;
+  int calls = 0;
+  opt.on_epoch = [&](int epoch, double train, double val) {
+    EXPECT_EQ(epoch, calls);
+    EXPECT_TRUE(std::isfinite(train));
+    EXPECT_TRUE(std::isnan(val));  // no validation split configured
+    ++calls;
+  };
+  Trainer trainer(opt);
+  trainer.fit(net, X, Y);
+  EXPECT_EQ(calls, 7);
+}
+
+TEST(Trainer, RejectsBadInput) {
+  Network net = Network::mlp(2, {4}, 1, 21);
+  Trainer trainer;
+  Matrix X(10, 2), Y(9, 1);
+  EXPECT_THROW(trainer.fit(net, X, Y), std::invalid_argument);
+  Matrix empty_x(0, 2), empty_y(0, 1);
+  EXPECT_THROW(trainer.fit(net, empty_x, empty_y), std::invalid_argument);
+}
+
+TEST(Trainer, CosineScheduleConvergesAtLeastAsWell) {
+  // Same budget, constant vs cosine-decayed learning rate on a noisy
+  // regression problem; the schedule must not hurt and usually helps.
+  auto make_data = [](Matrix& X, Matrix& Y) {
+    vf::util::Rng rng(40);
+    X.resize(300, 2);
+    Y.resize(300, 1);
+    for (std::size_t i = 0; i < 300; ++i) {
+      double a = rng.uniform(-1, 1), b = rng.uniform(-1, 1);
+      X(i, 0) = a;
+      X(i, 1) = b;
+      Y(i, 0) = std::sin(2 * a) * b;
+    }
+  };
+  auto train_with = [&](LrSchedule sched) {
+    Matrix X, Y;
+    make_data(X, Y);
+    Network net = Network::mlp(2, {16, 16}, 1, 41);
+    TrainOptions opt;
+    opt.epochs = 150;
+    opt.batch_size = 32;
+    opt.learning_rate = 5e-3;
+    opt.schedule = sched;
+    Trainer trainer(opt);
+    return trainer.fit(net, X, Y).train_loss.back();
+  };
+  double constant = train_with(LrSchedule::Constant);
+  double cosine = train_with(LrSchedule::Cosine);
+  EXPECT_LT(cosine, constant * 1.5);
+  EXPECT_LT(cosine, 0.05);
+}
+
+TEST(Trainer, CosineScheduleReachesFloor) {
+  // Verify via the epoch callback that the final epochs train at the
+  // floored learning rate: loss stops moving much once lr ~ floor.
+  Matrix X(64, 1), Y(64, 1);
+  vf::util::Rng rng(42);
+  for (std::size_t i = 0; i < 64; ++i) {
+    X(i, 0) = rng.uniform(-1, 1);
+    Y(i, 0) = 2 * X(i, 0);
+  }
+  Network net = Network::mlp(1, {4}, 1, 43);
+  TrainOptions opt;
+  opt.epochs = 60;
+  opt.learning_rate = 1e-2;
+  opt.schedule = LrSchedule::Cosine;
+  opt.lr_floor = 0.01;
+  Trainer trainer(opt);
+  auto hist = trainer.fit(net, X, Y);
+  ASSERT_EQ(hist.epochs_run, 60);
+  // Late-phase improvements are tiny compared to the early phase.
+  double early = hist.train_loss[0] - hist.train_loss[10];
+  double late = hist.train_loss[49] - hist.train_loss[59];
+  EXPECT_LT(std::abs(late), std::abs(early) + 1e-12);
+}
+
+TEST(EvaluateMse, MatchesDirectComputation) {
+  Network net = Network::mlp(3, {5}, 2, 22);
+  Matrix X = random_matrix(50, 3, 23);
+  Matrix Y = random_matrix(50, 2, 24);
+  double batched = evaluate_mse(net, X, Y, 16);
+  Matrix pred;
+  net.forward(X, pred);
+  double direct = MseLoss().value(pred, Y);
+  EXPECT_NEAR(batched, direct, 1e-12);
+}
+
+TEST(Trainer, FineTuneOnlyChangesTrailingLayers) {
+  // Simulates the paper's Case 2: freeze all but the last two dense layers,
+  // train, and verify frozen weights are bit-identical afterwards.
+  Network net = Network::mlp(4, {8, 8, 8}, 1, 25);
+  Matrix X = random_matrix(128, 4, 26);
+  Matrix Y = random_matrix(128, 1, 27);
+
+  net.set_trainable_last_dense(2);
+  auto w0_before = dynamic_cast<DenseLayer&>(net.layer(0)).weights();
+  auto w2_before = dynamic_cast<DenseLayer&>(net.layer(2)).weights();
+
+  TrainOptions opt;
+  opt.epochs = 20;
+  Trainer trainer(opt);
+  trainer.fit(net, X, Y);
+
+  auto& w0_after = dynamic_cast<DenseLayer&>(net.layer(0)).weights();
+  auto& w2_after = dynamic_cast<DenseLayer&>(net.layer(2)).weights();
+  for (std::size_t i = 0; i < w0_before.size(); ++i) {
+    ASSERT_EQ(w0_after.data()[i], w0_before.data()[i]);
+  }
+  for (std::size_t i = 0; i < w2_before.size(); ++i) {
+    ASSERT_EQ(w2_after.data()[i], w2_before.data()[i]);
+  }
+  // The trainable tail did change.
+  bool changed = false;
+  auto params = net.params();
+  for (auto& p : params) {
+    if (p.trainable) changed = true;
+  }
+  EXPECT_TRUE(changed);
+}
+
+}  // namespace

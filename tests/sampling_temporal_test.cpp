@@ -1,0 +1,103 @@
+// Tests for the temporal-delta sampler extension.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "vf/data/registry.hpp"
+#include "vf/sampling/temporal_sampler.hpp"
+
+namespace {
+
+using namespace vf::sampling;
+using vf::field::ScalarField;
+using vf::field::UniformGrid3;
+using vf::field::Vec3;
+
+TEST(TemporalDelta, FallsBackToRandomWithoutHistory) {
+  auto f = vf::data::make_dataset("hurricane")->generate({16, 16, 8}, 5.0);
+  TemporalDeltaSampler ts;
+  EXPECT_FALSE(ts.has_previous());
+  auto a = ts.sample(f, 0.05, 7);
+  auto b = RandomSampler().sample(f, 0.05, 7);
+  EXPECT_EQ(a.kept_indices(), b.kept_indices());
+}
+
+TEST(TemporalDelta, RespectsBudgetAndUniqueness) {
+  auto ds = vf::data::make_dataset("hurricane");
+  auto prev = ds->generate({16, 16, 8}, 5.0);
+  auto cur = ds->generate({16, 16, 8}, 6.0);
+  TemporalDeltaSampler ts;
+  ts.set_previous(prev);
+  auto cloud = ts.sample(cur, 0.05, 3);
+  auto budget = static_cast<double>(cur.size()) * 0.05;
+  EXPECT_NEAR(static_cast<double>(cloud.size()), budget,
+              std::max(3.0, budget * 0.02));
+  std::set<std::int64_t> seen(cloud.kept_indices().begin(),
+                              cloud.kept_indices().end());
+  EXPECT_EQ(seen.size(), cloud.size());
+}
+
+TEST(TemporalDelta, ConcentratesBudgetOnChangedRegion) {
+  // Two identical fields except a bump in one octant: the sampler must
+  // put far more than a proportional share of samples inside that octant.
+  UniformGrid3 grid({20, 20, 10}, {0, 0, 0}, {1, 1, 1});
+  ScalarField prev(grid), cur(grid);
+  prev.fill([](const Vec3&) { return 1.0; });
+  cur.fill([](const Vec3& p) {
+    bool in_octant = p.x < 10 && p.y < 10 && p.z < 5;
+    return in_octant ? 2.0 : 1.0;
+  });
+  TemporalDeltaSampler ts;
+  ts.set_previous(prev);
+  auto cloud = ts.sample(cur, 0.05, 11);
+
+  int inside = 0;
+  for (const auto& p : cloud.points()) {
+    if (p.x < 10 && p.y < 10 && p.z < 5) ++inside;
+  }
+  double share = static_cast<double>(inside) / static_cast<double>(cloud.size());
+  // The changed octant holds 1/8 of the volume but should get >1/2 of the
+  // budget with the default 25% uniform share.
+  EXPECT_GT(share, 0.5);
+}
+
+TEST(TemporalDelta, UniformShareCoversStaticRegions) {
+  UniformGrid3 grid({20, 20, 10}, {0, 0, 0}, {1, 1, 1});
+  ScalarField prev(grid), cur(grid);
+  prev.fill([](const Vec3&) { return 1.0; });
+  cur.fill([](const Vec3& p) { return p.x < 2 ? 5.0 : 1.0; });
+  TemporalDeltaSampler ts;
+  ts.set_previous(prev);
+  auto cloud = ts.sample(cur, 0.05, 13);
+  // Some samples must land in the static region (x >= 2) thanks to the
+  // uniform share.
+  int in_static = 0;
+  for (const auto& p : cloud.points()) {
+    if (p.x >= 2) ++in_static;
+  }
+  EXPECT_GT(in_static, 10);
+}
+
+TEST(TemporalDelta, IncompatibleHistoryIgnored) {
+  auto ds = vf::data::make_dataset("hurricane");
+  auto prev = ds->generate({8, 8, 4}, 5.0);
+  auto cur = ds->generate({16, 16, 8}, 6.0);
+  TemporalDeltaSampler ts;
+  ts.set_previous(prev);  // different size -> falls back to random
+  auto a = ts.sample(cur, 0.03, 5);
+  auto b = RandomSampler().sample(cur, 0.03, 5);
+  EXPECT_EQ(a.kept_indices(), b.kept_indices());
+}
+
+TEST(TemporalDelta, ResetClearsHistory) {
+  auto ds = vf::data::make_dataset("hurricane");
+  auto prev = ds->generate({12, 12, 6}, 5.0);
+  TemporalDeltaSampler ts;
+  ts.set_previous(prev);
+  EXPECT_TRUE(ts.has_previous());
+  ts.reset();
+  EXPECT_FALSE(ts.has_previous());
+}
+
+}  // namespace

@@ -1,0 +1,277 @@
+// Tests for SampleCloud and the three sampling strategies.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <filesystem>
+#include <set>
+#include <unistd.h>
+
+#include "vf/data/registry.hpp"
+#include "vf/sampling/samplers.hpp"
+#include "vf/util/rng.hpp"
+
+namespace {
+
+using namespace vf::sampling;
+using vf::field::ScalarField;
+using vf::field::UniformGrid3;
+using vf::field::Vec3;
+
+ScalarField test_field() {
+  return vf::data::make_dataset("hurricane")->generate({24, 24, 10}, 12.0);
+}
+
+std::vector<std::unique_ptr<Sampler>> all_samplers() {
+  std::vector<std::unique_ptr<Sampler>> s;
+  s.push_back(std::make_unique<RandomSampler>());
+  s.push_back(std::make_unique<StratifiedSampler>(6));
+  s.push_back(std::make_unique<ImportanceSampler>());
+  return s;
+}
+
+// ---------------------------------------------------------- SampleCloud ---
+
+TEST(SampleCloud, BuildsFromIndices) {
+  auto f = test_field();
+  SampleCloud cloud(f, {0, 5, 100, 100, 5});  // duplicates collapse
+  EXPECT_EQ(cloud.size(), 3u);
+  EXPECT_TRUE(cloud.has_grid());
+  EXPECT_TRUE(std::is_sorted(cloud.kept_indices().begin(),
+                             cloud.kept_indices().end()));
+  EXPECT_EQ(cloud.points()[0], f.grid().position(0));
+  EXPECT_DOUBLE_EQ(cloud.values()[1], f[5]);
+}
+
+TEST(SampleCloud, RejectsOutOfRangeIndices) {
+  auto f = test_field();
+  EXPECT_THROW(SampleCloud(f, {-1}), std::out_of_range);
+  EXPECT_THROW(SampleCloud(f, {f.size()}), std::out_of_range);
+}
+
+TEST(SampleCloud, VoidIndicesComplementKept) {
+  auto f = test_field();
+  SampleCloud cloud(f, {1, 3, 5, 7});
+  auto voids = cloud.void_indices();
+  EXPECT_EQ(static_cast<std::int64_t>(voids.size()) + 4, f.size());
+  std::set<std::int64_t> vs(voids.begin(), voids.end());
+  for (std::int64_t k : {1, 3, 5, 7}) EXPECT_FALSE(vs.count(k));
+  EXPECT_TRUE(vs.count(0));
+  EXPECT_TRUE(vs.count(2));
+}
+
+TEST(SampleCloud, GridlessCloud) {
+  SampleCloud cloud({{0, 0, 0}, {1, 1, 1}}, {1.0, 2.0});
+  EXPECT_FALSE(cloud.has_grid());
+  EXPECT_TRUE(cloud.void_indices().empty());
+  EXPECT_EQ(cloud.sampling_fraction(), 0.0);
+}
+
+TEST(SampleCloud, MismatchedPointValuesThrow) {
+  EXPECT_THROW(SampleCloud({{0, 0, 0}}, {1.0, 2.0}), std::invalid_argument);
+}
+
+TEST(SampleCloud, VtpRoundTrip) {
+  auto f = test_field();
+  RandomSampler s;
+  auto cloud = s.sample(f, 0.02, 5);
+  auto dir = std::filesystem::temp_directory_path() /
+             ("vf_cloud_" + std::to_string(::getpid()));
+  std::filesystem::create_directories(dir);
+  auto path = (dir / "cloud.vtp").string();
+  cloud.save_vtp(path, "pressure");
+  auto back = SampleCloud::load_vtp(path);
+  ASSERT_EQ(back.size(), cloud.size());
+  for (std::size_t i = 0; i < cloud.size(); ++i) {
+    ASSERT_EQ(back.points()[i], cloud.points()[i]);
+    ASSERT_EQ(back.values()[i], cloud.values()[i]);
+  }
+  std::filesystem::remove_all(dir);
+}
+
+// ------------------------------------------------------------- samplers ---
+
+class SamplerContract
+    : public ::testing::TestWithParam<std::tuple<int, double>> {
+ protected:
+  std::unique_ptr<Sampler> sampler() {
+    auto all = all_samplers();
+    return std::move(all[static_cast<std::size_t>(std::get<0>(GetParam()))]);
+  }
+  double fraction() { return std::get<1>(GetParam()); }
+};
+
+TEST_P(SamplerContract, RespectsBudget) {
+  auto f = test_field();
+  auto cloud = sampler()->sample(f, fraction(), 42);
+  auto budget = static_cast<double>(f.size()) * fraction();
+  // All samplers must land within 2% relative (+ small absolute slack).
+  EXPECT_NEAR(static_cast<double>(cloud.size()), budget,
+              std::max(budget * 0.02, 3.0));
+}
+
+TEST_P(SamplerContract, ValuesMatchSourceField) {
+  auto f = test_field();
+  auto cloud = sampler()->sample(f, fraction(), 42);
+  const auto& kept = cloud.kept_indices();
+  for (std::size_t i = 0; i < kept.size(); ++i) {
+    ASSERT_DOUBLE_EQ(cloud.values()[i], f[kept[i]]);
+    ASSERT_EQ(cloud.points()[i], f.grid().position(kept[i]));
+  }
+}
+
+TEST_P(SamplerContract, IndicesUniqueAndInRange) {
+  auto f = test_field();
+  auto cloud = sampler()->sample(f, fraction(), 42);
+  std::set<std::int64_t> seen;
+  for (std::int64_t idx : cloud.kept_indices()) {
+    ASSERT_GE(idx, 0);
+    ASSERT_LT(idx, f.size());
+    ASSERT_TRUE(seen.insert(idx).second) << "duplicate index";
+  }
+}
+
+TEST_P(SamplerContract, DeterministicBySeed) {
+  auto f = test_field();
+  auto a = sampler()->sample(f, fraction(), 7);
+  auto b = sampler()->sample(f, fraction(), 7);
+  ASSERT_EQ(a.kept_indices(), b.kept_indices());
+  auto c = sampler()->sample(f, fraction(), 8);
+  EXPECT_NE(a.kept_indices(), c.kept_indices());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SamplerContract,
+    ::testing::Combine(::testing::Values(0, 1, 2),  // sampler kind
+                       ::testing::Values(0.001, 0.01, 0.05, 0.2)));
+
+TEST(Samplers, InvalidFractionThrows) {
+  auto f = test_field();
+  for (auto& s : all_samplers()) {
+    EXPECT_THROW(s->sample(f, 0.0, 1), std::invalid_argument) << s->name();
+    EXPECT_THROW(s->sample(f, -0.5, 1), std::invalid_argument) << s->name();
+    EXPECT_THROW(s->sample(f, 1.5, 1), std::invalid_argument) << s->name();
+  }
+}
+
+TEST(Samplers, FullFractionKeepsEverything) {
+  auto f = test_field();
+  for (auto& s : all_samplers()) {
+    auto cloud = s->sample(f, 1.0, 1);
+    EXPECT_EQ(static_cast<std::int64_t>(cloud.size()), f.size()) << s->name();
+  }
+}
+
+TEST(Samplers, Names) {
+  EXPECT_EQ(RandomSampler().name(), "random");
+  EXPECT_EQ(StratifiedSampler().name(), "stratified");
+  EXPECT_EQ(ImportanceSampler().name(), "importance");
+}
+
+TEST(StratifiedSampler, CoversAllBlocks) {
+  // With a budget of >= 1 sample per block, no block may end up empty —
+  // the defining property vs pure random sampling.
+  auto f = test_field();  // 24x24x10
+  StratifiedSampler s(8); // blocks: 3x3x2 = 18
+  auto cloud = s.sample(f, 0.05, 3);  // budget ~288 >> 18
+  std::set<int> blocks_hit;
+  for (std::int64_t idx : cloud.kept_indices()) {
+    auto [i, j, k] = f.grid().ijk(idx);
+    blocks_hit.insert((k / 8) * 100 + (j / 8) * 10 + (i / 8));
+  }
+  EXPECT_EQ(blocks_hit.size(), 18u);
+}
+
+TEST(ImportanceSampler, OversamplesRareValues) {
+  // Field with a rare hot spot: importance sampling must keep a larger
+  // share of the rare-value points than random sampling does.
+  ScalarField f(UniformGrid3({30, 30, 10}, {0, 0, 0}, {1, 1, 1}));
+  f.fill([](const Vec3& p) {
+    double r2 = (p.x - 15) * (p.x - 15) + (p.y - 15) * (p.y - 15);
+    return r2 < 9.0 ? 100.0 : 0.0;  // rare plateau ~28 cells * 10 slabs
+  });
+  auto count_rare = [&](const SampleCloud& c) {
+    int n = 0;
+    for (double v : c.values()) {
+      if (v > 50.0) ++n;
+    }
+    return n;
+  };
+  ImportanceSampler imp;
+  RandomSampler rnd;
+  int imp_rare = 0, rnd_rare = 0;
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    imp_rare += count_rare(imp.sample(f, 0.01, seed));
+    rnd_rare += count_rare(rnd.sample(f, 0.01, seed));
+  }
+  EXPECT_GT(imp_rare, rnd_rare * 3);
+}
+
+TEST(ImportanceSampler, GradientCriterionPrefersEdges) {
+  // Step field: half the budget should concentrate near the discontinuity
+  // when the gradient criterion is enabled.
+  ScalarField f(UniformGrid3({40, 20, 10}, {0, 0, 0}, {1, 1, 1}));
+  f.fill([](const Vec3& p) { return p.x < 20 ? 0.0 : 1.0; });
+  ImportanceSampler::Options with_grad;
+  with_grad.gradient_weight = 4.0;
+  ImportanceSampler::Options no_grad;
+  no_grad.gradient_weight = 0.0;
+
+  auto near_edge = [&](const SampleCloud& c) {
+    int n = 0;
+    for (const auto& p : c.points()) {
+      if (std::abs(p.x - 19.5) < 2.0) ++n;
+    }
+    return n;
+  };
+  int with_n = 0, without_n = 0;
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    with_n += near_edge(ImportanceSampler(with_grad).sample(f, 0.05, seed));
+    without_n += near_edge(ImportanceSampler(no_grad).sample(f, 0.05, seed));
+  }
+  EXPECT_GT(with_n, without_n);
+}
+
+TEST(ImportanceSampler, HistogramEqualisesOutput) {
+  // On a strongly skewed field the kept-value histogram must be flatter
+  // than the raw histogram (the Biswas-style rarity criterion).
+  auto ds = vf::data::make_dataset("ionization");
+  auto f = ds->generate({24, 16, 16}, 100.0);
+  ImportanceSampler imp;
+  auto cloud = imp.sample(f, 0.02, 9);
+
+  auto stats = f.stats();
+  auto bin = [&](double v) {
+    return std::min(9, static_cast<int>((v - stats.min) /
+                                        (stats.max - stats.min + 1e-12) * 10));
+  };
+  std::vector<int> raw(10, 0), kept(10, 0);
+  for (std::int64_t i = 0; i < f.size(); ++i) ++raw[bin(f[i])];
+  for (double v : cloud.values()) ++kept[bin(v)];
+
+  auto flatness = [](const std::vector<int>& h) {
+    // max/mean of the nonzero bins: lower = flatter
+    double mx = 0, sum = 0;
+    int nz = 0;
+    for (int c : h) {
+      if (c > 0) {
+        mx = std::max(mx, static_cast<double>(c));
+        sum += c;
+        ++nz;
+      }
+    }
+    return mx / (sum / nz);
+  };
+  EXPECT_LT(flatness(kept), flatness(raw));
+}
+
+TEST(BudgetFor, ClampsAndValidates) {
+  auto f = test_field();
+  EXPECT_EQ(budget_for(f, 1.0), f.size());
+  EXPECT_GE(budget_for(f, 1e-9), 1);  // at least one point
+  EXPECT_THROW(budget_for(f, 0.0), std::invalid_argument);
+  EXPECT_THROW(budget_for(f, 2.0), std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,221 @@
+// Tests for the k-d tree, validated against brute force on random clouds.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <tuple>
+
+#include "vf/spatial/brute_force.hpp"
+#include "vf/spatial/kdtree.hpp"
+#include "vf/util/rng.hpp"
+
+namespace {
+
+using vf::field::Vec3;
+using vf::spatial::brute_force_knn;
+using vf::spatial::brute_force_radius;
+using vf::spatial::KdTree;
+using vf::spatial::Neighbor;
+
+std::vector<Vec3> random_cloud(std::size_t n, std::uint64_t seed,
+                               double aniso_z = 1.0) {
+  vf::util::Rng rng(seed);
+  std::vector<Vec3> pts;
+  pts.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    pts.push_back({rng.uniform(0, 10), rng.uniform(0, 10),
+                   rng.uniform(0, 10 * aniso_z)});
+  }
+  return pts;
+}
+
+// Property sweep: tree results must match brute force for every
+// (cloud size, k) combination on random queries.
+class KnnAgainstBruteForce
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(KnnAgainstBruteForce, MatchesReference) {
+  auto [n, k] = GetParam();
+  auto pts = random_cloud(static_cast<std::size_t>(n), 1000 + n * 7 + k);
+  KdTree tree(pts);
+  vf::util::Rng rng(55);
+  for (int q = 0; q < 50; ++q) {
+    Vec3 query{rng.uniform(-1, 11), rng.uniform(-1, 11), rng.uniform(-1, 11)};
+    auto got = tree.knn(query, k);
+    auto want = brute_force_knn(pts, query, k);
+    ASSERT_EQ(got.size(), want.size());
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      // Distances must agree exactly; indices may differ only on exact ties.
+      ASSERT_DOUBLE_EQ(got[i].dist2, want[i].dist2);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, KnnAgainstBruteForce,
+    ::testing::Combine(::testing::Values(1, 2, 5, 16, 17, 100, 1000),
+                       ::testing::Values(1, 2, 5, 8, 32)));
+
+TEST(KdTree, EmptyTree) {
+  KdTree tree{std::vector<Vec3>{}};
+  EXPECT_EQ(tree.size(), 0u);
+  EXPECT_TRUE(tree.knn({0, 0, 0}, 3).empty());
+  EXPECT_TRUE(tree.radius_query({0, 0, 0}, 1.0).empty());
+  EXPECT_THROW((void)tree.nearest({0, 0, 0}), std::logic_error);
+}
+
+TEST(KdTree, SinglePoint) {
+  KdTree tree({{1, 2, 3}});
+  EXPECT_EQ(tree.nearest({0, 0, 0}), 0u);
+  auto nb = tree.knn({1, 2, 3}, 5);
+  ASSERT_EQ(nb.size(), 1u);
+  EXPECT_EQ(nb[0].dist2, 0.0);
+}
+
+TEST(KdTree, KLargerThanCloud) {
+  auto pts = random_cloud(7, 3);
+  KdTree tree(pts);
+  auto nb = tree.knn({5, 5, 5}, 100);
+  EXPECT_EQ(nb.size(), 7u);
+}
+
+TEST(KdTree, ResultsSortedAscending) {
+  auto pts = random_cloud(500, 9);
+  KdTree tree(pts);
+  auto nb = tree.knn({5, 5, 5}, 20);
+  for (std::size_t i = 1; i < nb.size(); ++i) {
+    ASSERT_LE(nb[i - 1].dist2, nb[i].dist2);
+  }
+}
+
+TEST(KdTree, NearestMatchesKnn1) {
+  auto pts = random_cloud(800, 21);
+  KdTree tree(pts);
+  vf::util::Rng rng(2);
+  for (int q = 0; q < 100; ++q) {
+    Vec3 query{rng.uniform(0, 10), rng.uniform(0, 10), rng.uniform(0, 10)};
+    auto nb = tree.knn(query, 1);
+    auto nearest = tree.nearest(query);
+    ASSERT_DOUBLE_EQ(
+        nb[0].dist2,
+        brute_force_knn(pts, query, 1)[0].dist2);
+    // nearest() may pick a different index only on an exact tie
+    Vec3 a = pts[nearest], b = pts[nb[0].index];
+    double da = (a - query).norm2(), db = (b - query).norm2();
+    ASSERT_DOUBLE_EQ(da, db);
+  }
+}
+
+TEST(KdTree, RadiusQueryMatchesBruteForce) {
+  auto pts = random_cloud(600, 31);
+  KdTree tree(pts);
+  vf::util::Rng rng(4);
+  for (double radius : {0.0, 0.5, 1.5, 5.0, 20.0}) {
+    Vec3 query{rng.uniform(0, 10), rng.uniform(0, 10), rng.uniform(0, 10)};
+    auto got = tree.radius_query(query, radius);
+    auto want = brute_force_radius(pts, query, radius);
+    ASSERT_EQ(got.size(), want.size()) << "radius " << radius;
+    std::sort(got.begin(), got.end(),
+              [](const Neighbor& a, const Neighbor& b) {
+                return a.index < b.index;
+              });
+    std::sort(want.begin(), want.end(),
+              [](const Neighbor& a, const Neighbor& b) {
+                return a.index < b.index;
+              });
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      ASSERT_EQ(got[i].index, want[i].index);
+    }
+  }
+}
+
+TEST(KdTree, HandlesDuplicatePoints) {
+  std::vector<Vec3> pts(50, Vec3{1, 1, 1});
+  pts.push_back({2, 2, 2});
+  KdTree tree(pts);
+  auto nb = tree.knn({1, 1, 1}, 3);
+  ASSERT_EQ(nb.size(), 3u);
+  for (const auto& n : nb) EXPECT_EQ(n.dist2, 0.0);
+  EXPECT_EQ(tree.nearest({1.9, 1.9, 1.9}), 50u);
+}
+
+TEST(KdTree, HandlesCollinearPoints) {
+  std::vector<Vec3> pts;
+  for (int i = 0; i < 100; ++i) pts.push_back({static_cast<double>(i), 0, 0});
+  KdTree tree(pts);
+  auto nb = tree.knn({42.4, 0, 0}, 2);
+  ASSERT_EQ(nb.size(), 2u);
+  EXPECT_EQ(nb[0].index, 42u);
+  EXPECT_EQ(nb[1].index, 43u);
+}
+
+TEST(KdTree, HandlesAnisotropicClouds) {
+  // Thin-slab clouds (like a 250x250x50 grid's samples) stress the axis
+  // selection; results must still match brute force.
+  auto pts = random_cloud(400, 77, /*aniso_z=*/0.01);
+  KdTree tree(pts);
+  vf::util::Rng rng(6);
+  for (int q = 0; q < 30; ++q) {
+    Vec3 query{rng.uniform(0, 10), rng.uniform(0, 10), rng.uniform(0, 0.1)};
+    auto got = tree.knn(query, 5);
+    auto want = brute_force_knn(pts, query, 5);
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      ASSERT_DOUBLE_EQ(got[i].dist2, want[i].dist2);
+    }
+  }
+}
+
+TEST(KdTree, GridAlignedPoints) {
+  // Regular grid points (many ties in every coordinate).
+  std::vector<Vec3> pts;
+  for (int k = 0; k < 8; ++k)
+    for (int j = 0; j < 8; ++j)
+      for (int i = 0; i < 8; ++i) pts.push_back({i * 1.0, j * 1.0, k * 1.0});
+  KdTree tree(pts);
+  vf::util::Rng rng(8);
+  for (int q = 0; q < 50; ++q) {
+    Vec3 query{rng.uniform(0, 7), rng.uniform(0, 7), rng.uniform(0, 7)};
+    auto got = tree.knn(query, 8);
+    auto want = brute_force_knn(pts, query, 8);
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      ASSERT_DOUBLE_EQ(got[i].dist2, want[i].dist2);
+    }
+  }
+}
+
+TEST(KdTree, NoAllocOverloadMatches) {
+  auto pts = random_cloud(300, 91);
+  KdTree tree(pts);
+  std::vector<Neighbor> buf;
+  for (int q = 0; q < 20; ++q) {
+    Vec3 query{q * 0.5, q * 0.3, q * 0.1};
+    tree.knn(query, 6, buf);
+    auto fresh = tree.knn(query, 6);
+    ASSERT_EQ(buf.size(), fresh.size());
+    for (std::size_t i = 0; i < buf.size(); ++i) {
+      ASSERT_EQ(buf[i].index, fresh[i].index);
+      ASSERT_EQ(buf[i].dist2, fresh[i].dist2);
+    }
+  }
+}
+
+TEST(KdTree, PointsAccessorPreservesOrder) {
+  auto pts = random_cloud(100, 13);
+  KdTree tree(pts);
+  ASSERT_EQ(tree.points().size(), pts.size());
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    ASSERT_EQ(tree.points()[i], pts[i]);
+  }
+}
+
+TEST(BruteForce, TieBreaksByIndex) {
+  std::vector<Vec3> pts{{1, 0, 0}, {-1, 0, 0}, {0, 1, 0}};
+  auto nb = brute_force_knn(pts, {0, 0, 0}, 3);
+  ASSERT_EQ(nb.size(), 3u);
+  EXPECT_EQ(nb[0].index, 0u);
+  EXPECT_EQ(nb[1].index, 1u);
+  EXPECT_EQ(nb[2].index, 2u);
+}
+
+}  // namespace

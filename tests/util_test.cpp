@@ -1,0 +1,282 @@
+// Tests for vf_util: RNG, timer, CLI parsing, env helpers, parallel loops.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstdlib>
+#include <numeric>
+#include <set>
+#include <vector>
+
+#include "vf/util/cli.hpp"
+#include "vf/util/env.hpp"
+#include "vf/util/parallel.hpp"
+#include "vf/util/rng.hpp"
+#include "vf/util/timer.hpp"
+
+namespace {
+
+using vf::util::Cli;
+using vf::util::Rng;
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_EQ(a(), b());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (a() == b()) ++same;
+  }
+  EXPECT_LT(same, 5);
+}
+
+TEST(Rng, DifferentStreamsDiffer) {
+  Rng a(7, 100), b(7, 200);
+  int same = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (a() == b()) ++same;
+  }
+  EXPECT_LT(same, 5);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(42);
+  double lo = 1.0, hi = 0.0;
+  for (int i = 0; i < 100000; ++i) {
+    double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    lo = std::min(lo, u);
+    hi = std::max(hi, u);
+  }
+  EXPECT_LT(lo, 0.01);
+  EXPECT_GT(hi, 0.99);
+}
+
+TEST(Rng, UniformRangeRespected) {
+  Rng rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    double u = rng.uniform(-3.0, 7.0);
+    ASSERT_GE(u, -3.0);
+    ASSERT_LT(u, 7.0);
+  }
+}
+
+TEST(Rng, UniformMeanNearHalf) {
+  Rng rng(9);
+  double sum = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += rng.uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.005);
+}
+
+TEST(Rng, BelowStaysBelowBound) {
+  Rng rng(11);
+  for (std::uint32_t bound : {1u, 2u, 3u, 7u, 100u, 1000000u}) {
+    for (int i = 0; i < 1000; ++i) {
+      ASSERT_LT(rng.below(bound), bound);
+    }
+  }
+}
+
+TEST(Rng, BelowZeroReturnsZero) {
+  Rng rng(1);
+  EXPECT_EQ(rng.below(0), 0u);
+}
+
+TEST(Rng, BelowCoversAllValues) {
+  Rng rng(13);
+  std::set<std::uint32_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.below(10));
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(Rng, BelowApproximatelyUniform) {
+  Rng rng(17);
+  std::vector<int> counts(8, 0);
+  const int n = 80000;
+  for (int i = 0; i < n; ++i) ++counts[rng.below(8)];
+  for (int c : counts) {
+    EXPECT_NEAR(c, n / 8, n / 8 * 0.1);
+  }
+}
+
+TEST(Rng, GaussianMoments) {
+  Rng rng(23);
+  const int n = 200000;
+  double sum = 0.0, sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    double g = rng.gaussian();
+    sum += g;
+    sq += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sq / n, 1.0, 0.02);
+}
+
+TEST(Rng, GaussianScaled) {
+  Rng rng(29);
+  const int n = 100000;
+  double sum = 0.0, sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    double g = rng.gaussian(5.0, 2.0);
+    sum += g;
+    sq += (g - 5.0) * (g - 5.0);
+  }
+  EXPECT_NEAR(sum / n, 5.0, 0.05);
+  EXPECT_NEAR(std::sqrt(sq / n), 2.0, 0.05);
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng(31);
+  std::vector<int> v(100);
+  std::iota(v.begin(), v.end(), 0);
+  auto orig = v;
+  rng.shuffle(v);
+  EXPECT_NE(v, orig);  // astronomically unlikely to be identity
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, orig);
+}
+
+TEST(Rng, ForkIndependent) {
+  Rng base(99);
+  Rng a = base.fork(1);
+  Rng b = base.fork(2);
+  int same = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (a() == b()) ++same;
+  }
+  EXPECT_LT(same, 5);
+}
+
+TEST(Timer, MeasuresElapsedTime) {
+  vf::util::Timer t;
+  volatile double x = 0.0;
+  for (int i = 0; i < 2000000; ++i) x = x + 1.0;
+  EXPECT_GT(t.seconds(), 0.0);
+  EXPECT_GE(t.millis(), t.seconds() * 1000.0 * 0.5);  // consistent units
+}
+
+TEST(Timer, RestartResets) {
+  vf::util::Timer t;
+  volatile double x = 0.0;
+  for (int i = 0; i < 2000000; ++i) x = x + 1.0;
+  double before = t.seconds();
+  t.restart();
+  EXPECT_LT(t.seconds(), before + 1.0);
+}
+
+TEST(Timer, FormatDuration) {
+  EXPECT_EQ(vf::util::format_duration(0.5), "500ms");
+  EXPECT_EQ(vf::util::format_duration(12.34), "12.3s");
+  EXPECT_EQ(vf::util::format_duration(125.0), "2m05s");
+}
+
+TEST(Cli, ParsesSpaceSeparatedOptions) {
+  const char* argv[] = {"prog", "--alpha", "3", "--name", "isabel"};
+  Cli cli(5, argv);
+  EXPECT_EQ(cli.get_int("alpha", 0), 3);
+  EXPECT_EQ(cli.get("name", ""), "isabel");
+}
+
+TEST(Cli, ParsesEqualsForm) {
+  const char* argv[] = {"prog", "--frac=0.05", "--mode=fast"};
+  Cli cli(3, argv);
+  EXPECT_DOUBLE_EQ(cli.get_double("frac", 0.0), 0.05);
+  EXPECT_EQ(cli.get("mode", ""), "fast");
+}
+
+TEST(Cli, BareFlagIsTrue) {
+  const char* argv[] = {"prog", "--verbose", "--count", "2"};
+  Cli cli(4, argv);
+  EXPECT_TRUE(cli.get_bool("verbose", false));
+  EXPECT_EQ(cli.get_int("count", 0), 2);
+}
+
+TEST(Cli, FallbacksWhenMissing) {
+  const char* argv[] = {"prog"};
+  Cli cli(1, argv);
+  EXPECT_FALSE(cli.has("missing"));
+  EXPECT_EQ(cli.get_int("missing", 7), 7);
+  EXPECT_DOUBLE_EQ(cli.get_double("missing", 1.5), 1.5);
+  EXPECT_EQ(cli.get("missing", "dft"), "dft");
+  EXPECT_TRUE(cli.get_bool("missing", true));
+}
+
+TEST(Cli, CollectsPositionals) {
+  const char* argv[] = {"prog", "a.vti", "--k", "5", "b.vti"};
+  Cli cli(5, argv);
+  ASSERT_EQ(cli.positionals().size(), 2u);
+  EXPECT_EQ(cli.positionals()[0], "a.vti");
+  EXPECT_EQ(cli.positionals()[1], "b.vti");
+}
+
+TEST(Cli, BoolValueForms) {
+  const char* argv[] = {"prog", "--a=1", "--b=false", "--c=on", "--d=no"};
+  Cli cli(5, argv);
+  EXPECT_TRUE(cli.get_bool("a", false));
+  EXPECT_FALSE(cli.get_bool("b", true));
+  EXPECT_TRUE(cli.get_bool("c", false));
+  EXPECT_FALSE(cli.get_bool("d", true));
+}
+
+TEST(Env, StringFallback) {
+  unsetenv("VF_TEST_VAR_X");
+  EXPECT_EQ(vf::util::env_string("VF_TEST_VAR_X", "dflt"), "dflt");
+  setenv("VF_TEST_VAR_X", "hello", 1);
+  EXPECT_EQ(vf::util::env_string("VF_TEST_VAR_X", "dflt"), "hello");
+  unsetenv("VF_TEST_VAR_X");
+}
+
+TEST(Env, IntAndDouble) {
+  setenv("VF_TEST_VAR_Y", "42", 1);
+  EXPECT_EQ(vf::util::env_int("VF_TEST_VAR_Y", 0), 42);
+  setenv("VF_TEST_VAR_Y", "2.5", 1);
+  EXPECT_DOUBLE_EQ(vf::util::env_double("VF_TEST_VAR_Y", 0.0), 2.5);
+  unsetenv("VF_TEST_VAR_Y");
+  EXPECT_EQ(vf::util::env_int("VF_TEST_VAR_Y", 3), 3);
+}
+
+TEST(Env, BoolParsing) {
+  setenv("VF_TEST_VAR_Z", "true", 1);
+  EXPECT_TRUE(vf::util::env_bool("VF_TEST_VAR_Z", false));
+  setenv("VF_TEST_VAR_Z", "0", 1);
+  EXPECT_FALSE(vf::util::env_bool("VF_TEST_VAR_Z", true));
+  unsetenv("VF_TEST_VAR_Z");
+  EXPECT_TRUE(vf::util::env_bool("VF_TEST_VAR_Z", true));
+}
+
+TEST(Parallel, ForCoversRange) {
+  std::vector<std::atomic<int>> hits(1000);
+  vf::util::parallel_for(0, 1000, [&](std::int64_t i) { ++hits[i]; },
+                         /*grain=*/1);
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(Parallel, ForSerialBelowGrain) {
+  std::vector<int> hits(10, 0);
+  vf::util::parallel_for(0, 10, [&](std::int64_t i) { hits[i] += 1; });
+  for (int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(Parallel, DynamicCoversRange) {
+  std::vector<std::atomic<int>> hits(5000);
+  vf::util::parallel_for_dynamic(0, 5000, [&](std::int64_t i) { ++hits[i]; },
+                                 /*grain=*/1);
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(Parallel, EmptyRangeIsNoop) {
+  int count = 0;
+  vf::util::parallel_for(5, 5, [&](std::int64_t) { ++count; });
+  EXPECT_EQ(count, 0);
+}
+
+}  // namespace

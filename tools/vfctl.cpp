@@ -1,0 +1,193 @@
+// vfctl — command-line driver for the voidfill pipeline.
+//
+// Chains the paper's workflow over VTK files, so the library is usable
+// without writing C++:
+//
+//   vfctl generate    --dataset hurricane --dims 125x125x25 --t 24 \
+//                     --out truth.vti
+//   vfctl sample      --in truth.vti --fraction 0.01 \
+//                     [--sampler importance|random|stratified] --out cloud.vtp
+//   vfctl train       --in truth.vti --out model.vfmd [--epochs N]
+//                     [--max-rows N] [--no-gradients]
+//   vfctl finetune    --model model.vfmd --in next.vti [--epochs 10]
+//                     [--case2]
+//   vfctl reconstruct --cloud cloud.vtp --like truth.vti --out recon.vti
+//                     (--model model.vfmd | --method linear|natural|...)
+//   vfctl eval        --truth truth.vti --recon recon.vti
+//
+// Every command prints what it did; `eval` prints SNR/PSNR/RMSE.
+
+#include <cstdio>
+#include <stdexcept>
+#include <string>
+
+#include "vf/core/fcnn.hpp"
+#include "vf/data/registry.hpp"
+#include "vf/field/metrics.hpp"
+#include "vf/field/vtk_io.hpp"
+#include "vf/interp/reconstructor.hpp"
+#include "vf/sampling/samplers.hpp"
+#include "vf/util/cli.hpp"
+#include "vf/util/timer.hpp"
+
+namespace {
+
+using namespace vf;
+
+[[noreturn]] void usage(const char* why) {
+  std::fprintf(stderr, "vfctl: %s\n", why);
+  std::fprintf(stderr,
+               "usage: vfctl <generate|sample|train|finetune|reconstruct|"
+               "eval> [options]\n       (see tools/vfctl.cpp header for the "
+               "full option list)\n");
+  std::exit(2);
+}
+
+std::string require(const util::Cli& cli, const char* name) {
+  if (!cli.has(name)) usage(("missing --" + std::string(name)).c_str());
+  return cli.get(name, "");
+}
+
+field::Dims parse_dims(const std::string& spec) {
+  field::Dims d;
+  if (std::sscanf(spec.c_str(), "%dx%dx%d", &d.nx, &d.ny, &d.nz) != 3) {
+    usage("bad --dims, expected e.g. 125x125x25");
+  }
+  return d;
+}
+
+std::unique_ptr<sampling::Sampler> make_sampler(const std::string& name) {
+  if (name == "importance") return std::make_unique<sampling::ImportanceSampler>();
+  if (name == "random") return std::make_unique<sampling::RandomSampler>();
+  if (name == "stratified") return std::make_unique<sampling::StratifiedSampler>();
+  usage("unknown --sampler");
+}
+
+core::FcnnConfig config_from(const util::Cli& cli) {
+  core::FcnnConfig cfg;
+  cfg.epochs = cli.get_int("epochs", 60);
+  cfg.max_train_rows =
+      static_cast<std::size_t>(cli.get_int("max-rows", 20000));
+  cfg.with_gradients = !cli.get_bool("no-gradients", false);
+  cfg.seed = static_cast<std::uint64_t>(cli.get_int("seed", 42));
+  return cfg;
+}
+
+int cmd_generate(const util::Cli& cli) {
+  auto ds = data::make_dataset(cli.get("dataset", "hurricane"),
+                               static_cast<std::uint64_t>(cli.get_int("seed", 0)));
+  auto dims = parse_dims(cli.get("dims", "125x125x25"));
+  double t = cli.get_double("t", 0.0);
+  auto truth = ds->generate(dims, t);
+  auto out = require(cli, "out");
+  field::write_vti(truth, out);
+  std::printf("generated %s t=%g (%s) -> %s\n", ds->name().c_str(), t,
+              truth.grid().describe().c_str(), out.c_str());
+  return 0;
+}
+
+int cmd_sample(const util::Cli& cli) {
+  auto truth = field::read_vti(require(cli, "in"));
+  auto sampler = make_sampler(cli.get("sampler", "importance"));
+  double fraction = cli.get_double("fraction", 0.01);
+  auto cloud = sampler->sample(truth, fraction,
+                               static_cast<std::uint64_t>(cli.get_int("seed", 1)));
+  auto out = require(cli, "out");
+  cloud.save_vtp(out, truth.name());
+  std::printf("sampled %zu/%lld points (%.3f%%) with %s -> %s\n",
+              cloud.size(), static_cast<long long>(truth.size()),
+              cloud.sampling_fraction() * 100, sampler->name().c_str(),
+              out.c_str());
+  return 0;
+}
+
+int cmd_train(const util::Cli& cli) {
+  auto truth = field::read_vti(require(cli, "in"));
+  auto sampler = make_sampler(cli.get("sampler", "importance"));
+  auto cfg = config_from(cli);
+  util::Timer timer;
+  auto pre = core::pretrain(truth, *sampler, cfg);
+  auto out = require(cli, "out");
+  pre.model.save(out);
+  std::printf("trained on %zu rows in %.1fs (loss %.5f -> %.5f) -> %s\n",
+              pre.train_rows, timer.seconds(),
+              pre.history.train_loss.front(), pre.history.train_loss.back(),
+              out.c_str());
+  return 0;
+}
+
+int cmd_finetune(const util::Cli& cli) {
+  auto model_path = require(cli, "model");
+  auto model = core::FcnnModel::load(model_path);
+  auto truth = field::read_vti(require(cli, "in"));
+  auto sampler = make_sampler(cli.get("sampler", "importance"));
+  auto cfg = config_from(cli);
+  auto mode = cli.get_bool("case2", false)
+                  ? core::FineTuneMode::LastTwoLayers
+                  : core::FineTuneMode::FullNetwork;
+  int epochs = cli.get_int("epochs", mode == core::FineTuneMode::FullNetwork
+                                         ? 10
+                                         : 300);
+  util::Timer timer;
+  auto hist = core::fine_tune(model, truth, *sampler, cfg, mode, epochs);
+  auto out = cli.get("out", model_path);
+  model.save(out);
+  std::printf("fine-tuned (%s, %d epochs) in %.1fs (loss %.5f -> %.5f) -> %s\n",
+              mode == core::FineTuneMode::FullNetwork ? "case 1" : "case 2",
+              epochs, timer.seconds(), hist.train_loss.front(),
+              hist.train_loss.back(), out.c_str());
+  return 0;
+}
+
+int cmd_reconstruct(const util::Cli& cli) {
+  auto cloud = sampling::SampleCloud::load_vtp(require(cli, "cloud"));
+  auto like = field::read_vti(require(cli, "like"));
+  auto out = require(cli, "out");
+
+  util::Timer timer;
+  field::ScalarField recon;
+  if (cli.has("model")) {
+    auto model = core::FcnnModel::load(cli.get("model", ""));
+    core::FcnnReconstructor rec(std::move(model));
+    recon = rec.reconstruct(cloud, like.grid());
+  } else {
+    auto rec = interp::make_reconstructor(cli.get("method", "linear"));
+    recon = rec->reconstruct(cloud, like.grid());
+  }
+  double seconds = timer.seconds();
+  recon.set_name(like.name());
+  field::write_vti(recon, out);
+  std::printf("reconstructed %s in %.2fs -> %s\n",
+              like.grid().describe().c_str(), seconds, out.c_str());
+  return 0;
+}
+
+int cmd_eval(const util::Cli& cli) {
+  auto truth = field::read_vti(require(cli, "truth"));
+  auto recon = field::read_vti(require(cli, "recon"));
+  std::printf("snr_db=%.3f psnr_db=%.3f rmse=%.6g mae=%.6g max_err=%.6g\n",
+              field::snr_db(truth, recon), field::psnr_db(truth, recon),
+              field::rmse(truth, recon), field::mae(truth, recon),
+              field::max_abs_error(truth, recon));
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) usage("no command");
+  std::string cmd = argv[1];
+  util::Cli cli(argc - 1, argv + 1);
+  try {
+    if (cmd == "generate") return cmd_generate(cli);
+    if (cmd == "sample") return cmd_sample(cli);
+    if (cmd == "train") return cmd_train(cli);
+    if (cmd == "finetune") return cmd_finetune(cli);
+    if (cmd == "reconstruct") return cmd_reconstruct(cli);
+    if (cmd == "eval") return cmd_eval(cli);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "vfctl %s: %s\n", cmd.c_str(), e.what());
+    return 1;
+  }
+  usage(("unknown command " + cmd).c_str());
+}
