@@ -9,6 +9,7 @@
 // nearest.
 
 #include "common.hpp"
+#include "vf/core/batch_reconstruct.hpp"
 #include "vf/interp/methods.hpp"
 
 int main(int argc, char** argv) {
@@ -29,11 +30,12 @@ int main(int argc, char** argv) {
     auto truth = ds->generate(bench::bench_dims(*ds), t);
 
     auto pre = core::pretrain(truth, sampler, bench::bench_config());
+    core::BatchReconstructor fcnn_stream(pre.model.clone());
     core::FcnnReconstructor fcnn(std::move(pre.model));
 
     bench::title("Fig 10 — reconstruction time [s] vs sampling % (" + name +
                  " " + truth.grid().describe() + ")");
-    std::vector<std::string> header = {"sampling", "fcnn"};
+    std::vector<std::string> header = {"sampling", "fcnn", "fcnn_stream"};
     header.insert(header.end(), methods.begin(), methods.end());
     bench::row(header);
 
@@ -44,6 +46,10 @@ int main(int argc, char** argv) {
       cells.push_back(bench::fmt(
           bench::timed([&] { out = fcnn.reconstruct(cloud, truth.grid()); }),
           3));
+      cells.push_back(bench::fmt(bench::timed([&] {
+                        out = fcnn_stream.reconstruct(cloud, truth.grid());
+                      }),
+                      3));
       for (const auto& m : methods) {
         auto rec = interp::make_reconstructor(m);
         cells.push_back(bench::fmt(

@@ -1,0 +1,125 @@
+#include "vf/core/batch_reconstruct.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "vf/core/features.hpp"
+
+#include <omp.h>
+
+namespace vf::core {
+
+using vf::field::ScalarField;
+using vf::field::UniformGrid3;
+using vf::field::Vec3;
+using vf::sampling::SampleCloud;
+
+namespace {
+
+/// Per-thread working set for one tile. Buffers grow to tile size on the
+/// first tile a thread processes and are reused for every tile after.
+struct TileScratch {
+  std::vector<Vec3> queries;
+  vf::nn::Matrix X;
+  vf::nn::Matrix Y;
+  vf::nn::InferScratch infer;
+
+  [[nodiscard]] std::size_t element_count() const {
+    // Vec3 counts as 3 doubles; neighbour staging inside
+    // extract_features_into is O(k) and ignored.
+    return 3 * queries.capacity() + X.size() + Y.size() +
+           infer.element_count();
+  }
+};
+
+}  // namespace
+
+BatchReconstructor::BatchReconstructor(FcnnModel model, std::size_t tile_size)
+    : model_(std::move(model)), tile_(std::max<std::size_t>(1, tile_size)) {
+  if (model_.out_norm.mean.empty() || model_.in_norm.mean.empty()) {
+    throw std::invalid_argument(
+        "BatchReconstructor: model is missing normalisation constants");
+  }
+}
+
+void BatchReconstructor::bind_cloud(const SampleCloud& cloud) {
+  const void* key = static_cast<const void*>(cloud.points().data());
+  if (key == cloud_key_ && cloud.size() == cloud_count_) return;
+  tree_ = vf::spatial::KdTree(cloud.points());
+  values_ = cloud.values();
+  cloud_key_ = key;
+  cloud_count_ = cloud.size();
+  ++tree_builds_;
+}
+
+ScalarField BatchReconstructor::reconstruct(const SampleCloud& cloud,
+                                            const UniformGrid3& grid) {
+  if (cloud.size() < static_cast<std::size_t>(kNeighbors)) {
+    throw std::invalid_argument("BatchReconstructor: cloud smaller than k");
+  }
+  bind_cloud(cloud);
+
+  ScalarField out(grid, "fcnn");
+  const bool same_grid = cloud.has_grid() && cloud.grid() == grid;
+
+  // Prediction targets: a void-index list when the grids match (sampled
+  // points are pinned to their stored values), every linear index otherwise.
+  std::vector<std::int64_t> voids;
+  const std::int64_t* idx = nullptr;
+  std::int64_t n = 0;
+  if (same_grid) {
+    const auto& kept = cloud.kept_indices();
+    const auto& vals = cloud.values();
+    for (std::size_t i = 0; i < kept.size(); ++i) out[kept[i]] = vals[i];
+    voids = cloud.void_indices();
+    idx = voids.data();
+    n = static_cast<std::int64_t>(voids.size());
+  } else {
+    n = grid.point_count();
+  }
+  if (n == 0) return out;
+
+  const auto tile = static_cast<std::int64_t>(tile_);
+  const std::int64_t tiles = (n + tile - 1) / tile;
+  // De-normalisation of the scalar column, applied in the write-back loop.
+  // Gradient-output models predict 4 columns; only column 0 is a field
+  // value, so the gradient columns never touch memory outside Y.
+  const double scale = model_.out_norm.stddev[0];
+  const double shift = model_.out_norm.mean[0];
+
+  std::size_t peak = 0;
+#pragma omp parallel
+  {
+    TileScratch ts;
+    std::size_t local_peak = 0;
+#pragma omp for schedule(dynamic)
+    for (std::int64_t t = 0; t < tiles; ++t) {
+      const std::int64_t b = t * tile;
+      const std::int64_t e = std::min(n, b + tile);
+      const auto count = static_cast<std::size_t>(e - b);
+
+      ts.queries.resize(count);
+      for (std::int64_t i = b; i < e; ++i) {
+        ts.queries[static_cast<std::size_t>(i - b)] =
+            grid.position(idx ? idx[i] : i);
+      }
+      // Inside this parallel region the helpers' own OpenMP regions
+      // serialise (nested parallelism is off), so each tile is one
+      // thread's sequential pipeline.
+      extract_features_into(tree_, values_, ts.queries.data(), count, ts.X);
+      model_.in_norm.apply(ts.X);
+      model_.net.infer(ts.X, ts.Y, ts.infer);
+      for (std::int64_t i = b; i < e; ++i) {
+        out[idx ? idx[i] : i] =
+            ts.Y(static_cast<std::size_t>(i - b), 0) * scale + shift;
+      }
+      local_peak = std::max(local_peak, ts.element_count());
+    }
+#pragma omp critical
+    peak = std::max(peak, local_peak);
+  }
+  peak_scratch_elements_ = std::max(peak_scratch_elements_, peak);
+  return out;
+}
+
+}  // namespace vf::core

@@ -68,6 +68,18 @@ Matrix vstack(const std::vector<Matrix>& parts) {
   return out;
 }
 
+/// Physical positions of the grid points named by `indices`.
+std::vector<vf::field::Vec3> grid_positions(
+    const UniformGrid3& grid, const std::vector<std::int64_t>& indices) {
+  std::vector<vf::field::Vec3> queries(indices.size());
+  vf::util::parallel_for(
+      0, static_cast<std::int64_t>(indices.size()), [&](std::int64_t i) {
+        queries[static_cast<std::size_t>(i)] =
+            grid.position(indices[static_cast<std::size_t>(i)]);
+      });
+  return queries;
+}
+
 /// Keep a random subset of rows (same permutation applied to X and Y).
 void subset_rows(Matrix& X, Matrix& Y, std::size_t keep, std::uint64_t seed) {
   if (keep >= X.rows()) return;
@@ -97,7 +109,11 @@ TrainingSet build_training_set(const ScalarField& truth,
   for (double frac : config.train_fractions) {
     SampleCloud cloud = sampler.sample(truth, frac, seed++);
     auto voids = cloud.void_indices();
-    xs.push_back(extract_features(cloud, truth.grid(), voids));
+    // One explicit tree per sampled cloud, shared by every feature query of
+    // this fraction rather than rebuilt inside extract_features.
+    vf::spatial::KdTree tree(cloud.points());
+    xs.push_back(extract_features(tree, cloud.values(),
+                                  grid_positions(truth.grid(), voids)));
     ys.push_back(extract_targets(truth, voids, config.with_gradients));
   }
   TrainingSet set{vstack(xs), vstack(ys)};
@@ -191,6 +207,18 @@ vf::nn::TrainHistory fine_tune(FcnnModel& model, const ScalarField& truth,
   return history;
 }
 
+const vf::spatial::KdTree& FcnnReconstructor::bound_tree(
+    const SampleCloud& cloud) {
+  const void* key = static_cast<const void*>(cloud.points().data());
+  if (key != tree_key_ || cloud.size() != tree_count_) {
+    tree_ = vf::spatial::KdTree(cloud.points());
+    tree_values_ = cloud.values();
+    tree_key_ = key;
+    tree_count_ = cloud.size();
+  }
+  return tree_;
+}
+
 FcnnReconstructor::FullReconstruction
 FcnnReconstructor::reconstruct_with_gradients(const SampleCloud& cloud,
                                               const UniformGrid3& grid) {
@@ -207,7 +235,8 @@ FcnnReconstructor::reconstruct_with_gradients(const SampleCloud& cloud,
   // scalars to their stored values when the grids match.
   std::vector<std::int64_t> all(static_cast<std::size_t>(grid.point_count()));
   std::iota(all.begin(), all.end(), 0);
-  Matrix X = extract_features(cloud, grid, all);
+  const auto& tree = bound_tree(cloud);
+  Matrix X = extract_features(tree, tree_values_, grid_positions(grid, all));
   Matrix Y = model_.predict(X);
   vf::util::parallel_for(0, grid.point_count(), [&](std::int64_t i) {
     auto r = static_cast<std::size_t>(i);
@@ -234,7 +263,9 @@ ScalarField FcnnReconstructor::reconstruct(const SampleCloud& cloud,
   if (same_grid) {
     // Sampled points keep their stored values; only voids are predicted.
     auto voids = cloud.void_indices();
-    Matrix X = extract_features(cloud, grid, voids);
+    const auto& tree = bound_tree(cloud);
+    Matrix X =
+        extract_features(tree, tree_values_, grid_positions(grid, voids));
     Matrix Y = model_.predict(X);
     const auto& kept = cloud.kept_indices();
     const auto& vals = cloud.values();
@@ -248,7 +279,8 @@ ScalarField FcnnReconstructor::reconstruct(const SampleCloud& cloud,
     // Foreign grid (e.g. upscaling): predict everywhere.
     std::vector<std::int64_t> all(static_cast<std::size_t>(grid.point_count()));
     std::iota(all.begin(), all.end(), 0);
-    Matrix X = extract_features(cloud, grid, all);
+    const auto& tree = bound_tree(cloud);
+    Matrix X = extract_features(tree, tree_values_, grid_positions(grid, all));
     Matrix Y = model_.predict(X);
     vf::util::parallel_for(0, grid.point_count(), [&](std::int64_t i) {
       out[i] = Y(static_cast<std::size_t>(i), 0);

@@ -38,46 +38,72 @@ Normalizer Normalizer::fit(const Matrix& m) {
   return n;
 }
 
+namespace {
+
+/// Row grain so parallel_for only forks when there are ~16k elements.
+std::int64_t row_grain(std::size_t cols) {
+  return std::max<std::int64_t>(
+      1, (std::int64_t{1} << 14) / static_cast<std::int64_t>(
+                                       std::max<std::size_t>(1, cols)));
+}
+
+}  // namespace
+
 void Normalizer::apply(Matrix& m) const {
   if (m.cols() != mean.size()) {
     throw std::invalid_argument("Normalizer::apply: column mismatch");
   }
-  for (std::size_t r = 0; r < m.rows(); ++r) {
-    double* row = m.row(r);
-    for (std::size_t c = 0; c < m.cols(); ++c) {
-      row[c] = (row[c] - mean[c]) / stddev[c];
-    }
-  }
+  const std::size_t cols = m.cols();
+  const double* mu = mean.data();
+  const double* sd = stddev.data();
+  vf::util::parallel_for(
+      0, static_cast<std::int64_t>(m.rows()),
+      [&](std::int64_t r) {
+        double* row = m.row(static_cast<std::size_t>(r));
+#pragma omp simd
+        for (std::size_t c = 0; c < cols; ++c) {
+          row[c] = (row[c] - mu[c]) / sd[c];
+        }
+      },
+      row_grain(cols));
 }
 
 void Normalizer::invert(Matrix& m) const {
   if (m.cols() != mean.size()) {
     throw std::invalid_argument("Normalizer::invert: column mismatch");
   }
-  for (std::size_t r = 0; r < m.rows(); ++r) {
-    double* row = m.row(r);
-    for (std::size_t c = 0; c < m.cols(); ++c) {
-      row[c] = row[c] * stddev[c] + mean[c];
-    }
-  }
+  const std::size_t cols = m.cols();
+  const double* mu = mean.data();
+  const double* sd = stddev.data();
+  vf::util::parallel_for(
+      0, static_cast<std::int64_t>(m.rows()),
+      [&](std::int64_t r) {
+        double* row = m.row(static_cast<std::size_t>(r));
+#pragma omp simd
+        for (std::size_t c = 0; c < cols; ++c) {
+          row[c] = row[c] * sd[c] + mu[c];
+        }
+      },
+      row_grain(cols));
 }
 
-Matrix extract_features(const vf::sampling::SampleCloud& cloud,
-                        const std::vector<Vec3>& queries) {
-  if (cloud.size() < kNeighbors) {
+void extract_features_into(const vf::spatial::KdTree& tree,
+                           const std::vector<double>& values,
+                           const Vec3* queries, std::size_t count, Matrix& X) {
+  if (tree.size() < kNeighbors) {
     throw std::invalid_argument("extract_features: cloud smaller than k");
   }
-  vf::spatial::KdTree tree(cloud.points());
-  const auto& pts = cloud.points();
-  const auto& vals = cloud.values();
-  Matrix X(queries.size(), kFeatureDim);
+  if (values.size() != tree.size()) {
+    throw std::invalid_argument("extract_features: values/tree size mismatch");
+  }
+  const auto& pts = tree.points();
+  X.resize(count, kFeatureDim);
 
 #pragma omp parallel
   {
     std::vector<vf::spatial::Neighbor> nbrs;
 #pragma omp for schedule(static)
-    for (std::int64_t qi = 0; qi < static_cast<std::int64_t>(queries.size());
-         ++qi) {
+    for (std::int64_t qi = 0; qi < static_cast<std::int64_t>(count); ++qi) {
       const Vec3& q = queries[static_cast<std::size_t>(qi)];
       tree.knn(q, kNeighbors, nbrs);
       double* row = X.row(static_cast<std::size_t>(qi));
@@ -87,14 +113,30 @@ Matrix extract_features(const vf::sampling::SampleCloud& cloud,
         row[4 * j + 0] = p.x;
         row[4 * j + 1] = p.y;
         row[4 * j + 2] = p.z;
-        row[4 * j + 3] = vals[nb.index];
+        row[4 * j + 3] = values[nb.index];
       }
       row[4 * kNeighbors + 0] = q.x;
       row[4 * kNeighbors + 1] = q.y;
       row[4 * kNeighbors + 2] = q.z;
     }
   }
+}
+
+Matrix extract_features(const vf::spatial::KdTree& tree,
+                        const std::vector<double>& values,
+                        const std::vector<Vec3>& queries) {
+  Matrix X;
+  extract_features_into(tree, values, queries.data(), queries.size(), X);
   return X;
+}
+
+Matrix extract_features(const vf::sampling::SampleCloud& cloud,
+                        const std::vector<Vec3>& queries) {
+  if (cloud.size() < kNeighbors) {
+    throw std::invalid_argument("extract_features: cloud smaller than k");
+  }
+  vf::spatial::KdTree tree(cloud.points());
+  return extract_features(tree, cloud.values(), queries);
 }
 
 Matrix extract_features(const vf::sampling::SampleCloud& cloud,

@@ -1,0 +1,92 @@
+#pragma once
+// Streaming batch reconstruction with a trained FCNN model.
+//
+// FcnnReconstructor materialises the full (n_voids x 23) feature matrix,
+// normalises a copy of it, and runs inference over the whole thing — three
+// grid-sized dense buffers alive at once. Fine for one 128^3 field, hostile
+// to the paper's in-situ setting where reconstruction shares a node with the
+// running simulation.
+//
+// BatchReconstructor instead streams void points through fixed-size tiles:
+// for each tile it extracts features, z-score normalises in place, runs the
+// fused inference path (Network::infer — GEMM + bias + ReLU in one output
+// pass), and de-normalises the scalar column directly into the output field.
+// Peak scratch memory is O(tile_size), independent of the grid. Tiles are
+// processed in parallel — each OpenMP thread owns one TileScratch (feature
+// matrix, activation ping-pong buffers, query/neighbour staging), and
+// Network::infer is const and thread-safe, so no state is shared but the
+// read-only model and the cached k-d tree.
+//
+// The sample cloud's k-d tree is cached across calls (keyed on the identity
+// of the cloud's points buffer): the common loop "reconstruct the same
+// sampling at several grids / repeatedly over time" pays the O(n log n)
+// build once.
+
+#include <cstdint>
+#include <vector>
+
+#include "vf/core/model.hpp"
+#include "vf/field/scalar_field.hpp"
+#include "vf/sampling/sample_cloud.hpp"
+#include "vf/spatial/kdtree.hpp"
+
+namespace vf::core {
+
+class BatchReconstructor {
+ public:
+  /// Default tile: 2048 rows keeps the widest activation buffer
+  /// (2048 x 512 doubles = 8 MB) within reach of the outer cache levels
+  /// while still amortising per-tile setup; the BM_BatchReconstruct sweep
+  /// in bench/micro_kernels picked it over 1024/4096/8192.
+  static constexpr std::size_t kDefaultTile = 2048;
+
+  explicit BatchReconstructor(FcnnModel model,
+                              std::size_t tile_size = kDefaultTile);
+
+  [[nodiscard]] std::string name() const { return "fcnn_stream"; }
+
+  /// Reconstruct a full grid. Semantics match FcnnReconstructor: when the
+  /// cloud was sampled from `grid`, sampled points keep their stored values
+  /// and only voids are predicted; on a foreign grid every point is
+  /// predicted. Results match the non-streaming path to rounding.
+  [[nodiscard]] vf::field::ScalarField reconstruct(
+      const vf::sampling::SampleCloud& cloud,
+      const vf::field::UniformGrid3& grid);
+
+  [[nodiscard]] std::size_t tile_size() const { return tile_; }
+
+  /// High-water mark of per-thread scratch (doubles) across all reconstruct
+  /// calls so far. Exposed so tests can assert the O(tile) memory bound.
+  [[nodiscard]] std::size_t peak_scratch_elements() const {
+    return peak_scratch_elements_;
+  }
+
+  /// Number of k-d tree builds performed (cache misses). A second
+  /// reconstruct with the same cloud must not increment this.
+  [[nodiscard]] std::size_t tree_builds() const { return tree_builds_; }
+
+  [[nodiscard]] FcnnModel& model() { return model_; }
+  [[nodiscard]] const FcnnModel& model() const { return model_; }
+
+ private:
+  /// Rebuild the cached tree iff `cloud` is not the one already bound.
+  void bind_cloud(const vf::sampling::SampleCloud& cloud);
+
+  FcnnModel model_;
+  std::size_t tile_;
+
+  // Cached spatial index over the bound cloud. The key is the points
+  // buffer's address + size: cheap, and stale hits would require the caller
+  // to have freed the cloud and landed a new one at the same address with
+  // the same size — reconstruct() takes the cloud by reference, so the
+  // cached values_ copy keeps results well-defined regardless.
+  vf::spatial::KdTree tree_;
+  std::vector<double> values_;
+  const void* cloud_key_ = nullptr;
+  std::size_t cloud_count_ = 0;
+  std::size_t tree_builds_ = 0;
+
+  std::size_t peak_scratch_elements_ = 0;
+};
+
+}  // namespace vf::core

@@ -125,7 +125,17 @@ class FcnnReconstructor {
   [[nodiscard]] const FcnnModel& model() const { return model_; }
 
  private:
+  /// k-d tree over `cloud`'s points, rebuilt only when the cloud changes
+  /// (keyed on the points buffer identity). Repeated reconstructions of the
+  /// same sampling — the Fig 10 timing loop, upscaling to several grids —
+  /// skip the O(n log n) build after the first call.
+  const vf::spatial::KdTree& bound_tree(const vf::sampling::SampleCloud& cloud);
+
   FcnnModel model_;
+  vf::spatial::KdTree tree_;
+  std::vector<double> tree_values_;
+  const void* tree_key_ = nullptr;
+  std::size_t tree_count_ = 0;
 };
 
 /// Internal helper, exposed for tests and benches: assemble the (X, Y)

@@ -58,6 +58,23 @@ vf::nn::Matrix extract_features(const vf::sampling::SampleCloud& cloud,
                                 const vf::field::UniformGrid3& grid,
                                 const std::vector<std::int64_t>& indices);
 
+/// Same, against a prebuilt k-d tree (`values[i]` is the scalar of
+/// `tree.points()[i]`). Lets callers that query one cloud repeatedly —
+/// the trainer's per-fraction loop, the streaming BatchReconstructor —
+/// pay the O(n log n) build once instead of per call.
+vf::nn::Matrix extract_features(const vf::spatial::KdTree& tree,
+                                const std::vector<double>& values,
+                                const std::vector<vf::field::Vec3>& queries);
+
+/// Allocation-free core: fills `X` (resized to count x 23) from `count`
+/// query positions. Internally parallel, but safe to call from inside an
+/// active OpenMP region (the nested region serialises), which is how the
+/// per-tile streaming path uses it.
+void extract_features_into(const vf::spatial::KdTree& tree,
+                           const std::vector<double>& values,
+                           const vf::field::Vec3* queries, std::size_t count,
+                           vf::nn::Matrix& X);
+
 /// Targets for the same indices from the ground-truth field. When
 /// `with_gradients` the result is (n x 4), otherwise (n x 1).
 vf::nn::Matrix extract_targets(const vf::field::ScalarField& truth,

@@ -16,13 +16,14 @@ Matrix FcnnModel::predict(const Matrix& features, std::size_t batch) {
   const std::size_t out_dim = out_norm.mean.size();
   Matrix out(X.rows(), out_dim);
   Matrix bx, pred;
+  vf::nn::InferScratch scratch;
   for (std::size_t begin = 0; begin < X.rows(); begin += batch) {
     std::size_t end = std::min(begin + batch, X.rows());
     bx.resize(end - begin, X.cols());
     for (std::size_t r = begin; r < end; ++r) {
       std::copy(X.row(r), X.row(r) + X.cols(), bx.row(r - begin));
     }
-    net.forward(bx, pred);
+    net.infer(bx, pred, scratch);
     if (pred.cols() != out_dim) {
       throw std::logic_error("FcnnModel::predict: output width mismatch");
     }

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "vf/nn/kernels.hpp"
 #include "vf/util/rng.hpp"
 
 namespace vf::nn {
@@ -18,8 +19,10 @@ DenseLayer::DenseLayer(std::size_t in, std::size_t out)
 
 void DenseLayer::forward(const Matrix& input, Matrix& output) {
   input_ = input;
-  gemm(input, weights_, output);
-  add_row_vector(output, bias_);
+  // Bias is fused into the GEMM tile write-back (no separate output pass);
+  // the activation stays a distinct layer here because backward() needs the
+  // pre-activation chain.
+  fused_dense_forward(input, weights_, bias_, /*relu=*/false, output);
 }
 
 void DenseLayer::backward(const Matrix& grad_output, Matrix& grad_input) {

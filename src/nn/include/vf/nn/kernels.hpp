@@ -1,0 +1,60 @@
+#pragma once
+// Compute-kernel layer under vf::nn: cache-blocked, packed-panel GEMM with a
+// register-tiled SIMD micro-kernel, plus the fused dense-layer forward used
+// by the streaming inference path.
+//
+// Layout (BLIS-style):
+//   - the k dimension is split into Kc panels, the m dimension into Mc
+//     blocks; for each (Kc, Nc) slice the B panel is packed once into
+//     Kc x NR micro-panels and each thread packs its Mc x Kc block of A
+//     into MR x Kc micro-panels (packing also absorbs the A^T / B^T
+//     operand layouts, so all three GEMM variants share one micro-kernel);
+//   - the micro-kernel accumulates an MR x NR register tile with
+//     `#pragma omp simd` FMA chains over the packed panels, then writes the
+//     tile back once — the naive kernels instead re-streamed the whole B
+//     panel from L2/L3 for every output row;
+//   - the k-summation order per output element matches the naive triple
+//     loop; the only deviation is that partial sums are re-associated at
+//     Kc-panel boundaries (and FMA contraction may differ), so results
+//     agree with the reference kernels to a few ulps (~1e-13 relative),
+//     not necessarily bit-for-bit.
+//
+// The fused forward applies `+ bias` and optionally ReLU inside the tile
+// write-back of the last Kc panel, eliminating the separate full passes
+// over the output that add_row_vector + ReluLayer::forward used to make.
+
+#include "vf/nn/matrix.hpp"
+
+namespace vf::nn {
+
+/// Fused inference dense layer: out = act(input . weights + bias) with
+/// act = ReLU when `relu`, identity otherwise. Equivalent to
+/// gemm + add_row_vector + elementwise ReLU up to GEMM rounding (see the
+/// header note). `out` must not alias `input`.
+void fused_dense_forward(const Matrix& input, const Matrix& weights,
+                         const Matrix& bias, bool relu, Matrix& out);
+
+// Naive reference kernels (the pre-kernel-layer implementations), retained
+// for the equivalence test suite and as the comparison baseline in
+// bench/micro_kernels.
+void gemm_naive(const Matrix& a, const Matrix& b, Matrix& out);
+void gemm_at_b_naive(const Matrix& a, const Matrix& b, Matrix& out);
+void gemm_a_bt_naive(const Matrix& a, const Matrix& b, Matrix& out);
+
+namespace detail {
+
+/// Blocked GEMM core: C(m x n, leading dim ldc) = op(A) . op(B), where
+/// op(A) is A(m x k) row-major with leading dimension lda, or, when
+/// `a_trans`, the transpose of A stored (k x m); likewise op(B) is
+/// B(k x n) or, when `b_trans`, the transpose of B stored (n x k).
+/// C is fully overwritten. When `bias` is non-null it is a length-n row
+/// added to every output row; `relu` clamps negatives, both applied in the
+/// final-panel write-back.
+void gemm_blocked(std::size_t m, std::size_t n, std::size_t k,
+                  const double* a, std::size_t lda, bool a_trans,
+                  const double* b, std::size_t ldb, bool b_trans, double* c,
+                  std::size_t ldc, const double* bias, bool relu);
+
+}  // namespace detail
+
+}  // namespace vf::nn

@@ -2,12 +2,18 @@
 // Dense row-major matrix with the handful of BLAS-like kernels the MLP
 // engine needs. This replaces the GPU tensor library the paper trained on
 // (see DESIGN.md substitutions): the model is a tiny 5-hidden-layer MLP, so
-// an OpenMP-blocked CPU GEMM is entirely adequate and keeps the maths
+// a cache-blocked CPU GEMM is entirely adequate and keeps the maths
 // identical to the paper's.
+//
+// The GEMM entry points below dispatch to the tiled/packed kernel layer in
+// kernels.hpp (Mc/Kc blocked, 8x8 register-tiled SIMD micro-kernel).
+// Storage is 64-byte aligned so the micro-kernel's vector accesses never
+// straddle cache lines.
 
 #include <cstddef>
 #include <span>
-#include <vector>
+
+#include "vf/util/aligned.hpp"
 
 namespace vf::nn {
 
@@ -35,6 +41,15 @@ class Matrix {
   [[nodiscard]] double* row(std::size_t r) { return data_.data() + r * cols_; }
 
   void fill(double v);
+  /// Zero every element in place (shape unchanged).
+  void set_zero() { fill(0.0); }
+
+  /// Reshape to (rows x cols). When the shape is unchanged this is a no-op
+  /// and the existing contents are KEPT — callers that previously relied on
+  /// resize() zero-filling a same-shaped buffer must call set_zero()
+  /// explicitly. A shape change reallocates and zero-fills as before. This
+  /// removes the alloc + memset churn of the per-minibatch resizes on the
+  /// training and inference hot paths.
   void resize(std::size_t rows, std::size_t cols);
 
   /// Frobenius-norm squared (used by tests and gradient clipping).
@@ -43,7 +58,7 @@ class Matrix {
  private:
   std::size_t rows_ = 0;
   std::size_t cols_ = 0;
-  std::vector<double> data_;
+  vf::util::AlignedVector<double> data_;
 };
 
 // out = a * b              (m x k) . (k x n) -> (m x n)

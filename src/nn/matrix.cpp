@@ -1,8 +1,10 @@
 #include "vf/nn/matrix.hpp"
 
-#include <cassert>
+#include <algorithm>
+#include <cstdint>
 #include <stdexcept>
 
+#include "vf/nn/kernels.hpp"
 #include "vf/util/parallel.hpp"
 
 namespace vf::nn {
@@ -13,6 +15,7 @@ Matrix::Matrix(std::size_t rows, std::size_t cols, double fill)
 void Matrix::fill(double v) { std::fill(data_.begin(), data_.end(), v); }
 
 void Matrix::resize(std::size_t rows, std::size_t cols) {
+  if (rows == rows_ && cols == cols_) return;  // shape-preserving: keep data
   rows_ = rows;
   cols_ = cols;
   data_.assign(rows * cols, 0.0);
@@ -25,131 +28,113 @@ double Matrix::squared_norm() const {
 }
 
 namespace {
+
 void check(bool ok, const char* what) {
   if (!ok) throw std::invalid_argument(what);
 }
-// Parallelise over rows only when the work amortises the fork.
-constexpr std::size_t kParallelWork = 1 << 14;
+
+// Parallelise only when the work amortises the fork.
+constexpr std::int64_t kParallelWork = 1 << 14;
+
+/// Grain so parallel_for stays serial until ~kParallelWork elements of work.
+std::int64_t row_grain(std::size_t cols) {
+  return std::max<std::int64_t>(
+      1, kParallelWork / static_cast<std::int64_t>(std::max<std::size_t>(
+             cols, 1)));
+}
+
 }  // namespace
 
 void gemm(const Matrix& a, const Matrix& b, Matrix& out) {
   check(a.cols() == b.rows(), "gemm: inner dims mismatch");
-  const std::size_t m = a.rows(), k = a.cols(), n = b.cols();
-  out.resize(m, n);
-  auto body = [&](std::int64_t ri) {
-    auto r = static_cast<std::size_t>(ri);
-    double* orow = out.row(r);
-    const double* arow = a.row(r);
-    for (std::size_t kk = 0; kk < k; ++kk) {
-      double av = arow[kk];
-      if (av == 0.0) continue;
-      const double* brow = b.row(kk);
-      for (std::size_t c = 0; c < n; ++c) orow[c] += av * brow[c];
-    }
-  };
-  vf::util::parallel_for(0, static_cast<std::int64_t>(m), body,
-                         m * k * n < kParallelWork ? static_cast<std::int64_t>(m + 1) : 1);
+  out.resize(a.rows(), b.cols());
+  detail::gemm_blocked(a.rows(), b.cols(), a.cols(), a.data().data(),
+                       a.cols(), /*a_trans=*/false, b.data().data(), b.cols(),
+                       /*b_trans=*/false, out.data().data(), out.cols(),
+                       nullptr, false);
 }
 
 void gemm_at_b(const Matrix& a, const Matrix& b, Matrix& out) {
   check(a.rows() == b.rows(), "gemm_at_b: outer dims mismatch");
-  const std::size_t k = a.rows(), m = a.cols(), n = b.cols();
-  out.resize(m, n);
-  // out(m,n) = sum_k a(k,m) * b(k,n). Iterate k outermost so both inputs
-  // are read row-contiguously; `out` (m*n, typically the weight-gradient
-  // shape) stays cache-resident across the k accumulation.
-  if (static_cast<std::size_t>(vf::util::thread_count()) > 1 &&
-      m * k * n >= kParallelWork) {
-    // Parallel: split output rows; each thread scans its slice of a's rows.
-#pragma omp parallel for schedule(static)
-    for (std::int64_t ri = 0; ri < static_cast<std::int64_t>(m); ++ri) {
-      auto r = static_cast<std::size_t>(ri);
-      double* orow = out.row(r);
-      for (std::size_t kk = 0; kk < k; ++kk) {
-        double av = a(kk, r);
-        if (av == 0.0) continue;
-        const double* brow = b.row(kk);
-        for (std::size_t c = 0; c < n; ++c) orow[c] += av * brow[c];
-      }
-    }
-    return;
-  }
-  for (std::size_t kk = 0; kk < k; ++kk) {
-    const double* arow = a.row(kk);
-    const double* brow = b.row(kk);
-    for (std::size_t r = 0; r < m; ++r) {
-      double av = arow[r];
-      if (av == 0.0) continue;
-      double* orow = out.row(r);
-      for (std::size_t c = 0; c < n; ++c) orow[c] += av * brow[c];
-    }
-  }
+  // a is stored (k x m); op(A) = a^T.
+  out.resize(a.cols(), b.cols());
+  detail::gemm_blocked(a.cols(), b.cols(), a.rows(), a.data().data(),
+                       a.cols(), /*a_trans=*/true, b.data().data(), b.cols(),
+                       /*b_trans=*/false, out.data().data(), out.cols(),
+                       nullptr, false);
 }
 
 void gemm_a_bt(const Matrix& a, const Matrix& b, Matrix& out) {
   check(a.cols() == b.cols(), "gemm_a_bt: inner dims mismatch");
-  const std::size_t m = a.rows(), k = a.cols(), n = b.rows();
-  out.resize(m, n);
-  // Process four output columns per pass: one read of a's row feeds four
-  // independent accumulation chains (better ILP than a single dot product).
-  auto body = [&](std::int64_t ri) {
-    auto r = static_cast<std::size_t>(ri);
-    double* orow = out.row(r);
-    const double* arow = a.row(r);
-    std::size_t c = 0;
-    for (; c + 4 <= n; c += 4) {
-      const double* b0 = b.row(c);
-      const double* b1 = b.row(c + 1);
-      const double* b2 = b.row(c + 2);
-      const double* b3 = b.row(c + 3);
-      double acc0 = 0.0, acc1 = 0.0, acc2 = 0.0, acc3 = 0.0;
-      for (std::size_t kk = 0; kk < k; ++kk) {
-        double av = arow[kk];
-        acc0 += av * b0[kk];
-        acc1 += av * b1[kk];
-        acc2 += av * b2[kk];
-        acc3 += av * b3[kk];
-      }
-      orow[c] = acc0;
-      orow[c + 1] = acc1;
-      orow[c + 2] = acc2;
-      orow[c + 3] = acc3;
-    }
-    for (; c < n; ++c) {
-      const double* brow = b.row(c);
-      double acc = 0.0;
-      for (std::size_t kk = 0; kk < k; ++kk) acc += arow[kk] * brow[kk];
-      orow[c] = acc;
-    }
-  };
-  vf::util::parallel_for(0, static_cast<std::int64_t>(m), body,
-                         m * k * n < kParallelWork ? static_cast<std::int64_t>(m + 1) : 1);
+  // b is stored (n x k); op(B) = b^T.
+  out.resize(a.rows(), b.rows());
+  detail::gemm_blocked(a.rows(), b.rows(), a.cols(), a.data().data(),
+                       a.cols(), /*a_trans=*/false, b.data().data(), b.cols(),
+                       /*b_trans=*/true, out.data().data(), out.cols(),
+                       nullptr, false);
 }
 
 void add_row_vector(Matrix& out, const Matrix& bias) {
   check(bias.rows() == 1 && bias.cols() == out.cols(),
         "add_row_vector: bias shape mismatch");
   const double* b = bias.row(0);
-  for (std::size_t r = 0; r < out.rows(); ++r) {
-    double* orow = out.row(r);
-    for (std::size_t c = 0; c < out.cols(); ++c) orow[c] += b[c];
-  }
+  const std::size_t cols = out.cols();
+  vf::util::parallel_for(
+      0, static_cast<std::int64_t>(out.rows()),
+      [&](std::int64_t r) {
+        double* orow = out.row(static_cast<std::size_t>(r));
+#pragma omp simd
+        for (std::size_t c = 0; c < cols; ++c) orow[c] += b[c];
+      },
+      row_grain(cols));
 }
 
 void sum_rows(const Matrix& grad, Matrix& bias) {
   bias.resize(1, grad.cols());
+  bias.set_zero();
   double* b = bias.row(0);
-  for (std::size_t r = 0; r < grad.rows(); ++r) {
-    const double* grow = grad.row(r);
-    for (std::size_t c = 0; c < grad.cols(); ++c) b[c] += grow[c];
-  }
+  const std::size_t rows = grad.rows(), cols = grad.cols();
+  // Parallelise over disjoint column chunks: each thread owns a slice of
+  // the output row and scans every input row's contiguous segment for it,
+  // so no reduction combine step is needed.
+  constexpr std::int64_t kChunk = 64;
+  const auto nchunks =
+      (static_cast<std::int64_t>(cols) + kChunk - 1) / kChunk;
+  const std::int64_t grain =
+      static_cast<std::int64_t>(rows * cols) < kParallelWork ? nchunks + 1
+                                                             : 1;
+  vf::util::parallel_for(
+      0, nchunks,
+      [&](std::int64_t ch) {
+        const std::size_t c0 = static_cast<std::size_t>(ch) * kChunk;
+        const std::size_t c1 =
+            std::min(cols, c0 + static_cast<std::size_t>(kChunk));
+        for (std::size_t r = 0; r < rows; ++r) {
+          const double* grow = grad.row(r);
+#pragma omp simd
+          for (std::size_t c = c0; c < c1; ++c) b[c] += grow[c];
+        }
+      },
+      grain);
 }
 
 void axpy(double alpha, const Matrix& x, Matrix& y) {
   check(x.rows() == y.rows() && x.cols() == y.cols(), "axpy: shape mismatch");
-  auto xd = x.data();
-  auto yd = y.data();
-  for (std::size_t i = 0; i < xd.size(); ++i) yd[i] += alpha * xd[i];
+  const double* xd = x.data().data();
+  double* yd = y.data().data();
+  const auto n = static_cast<std::int64_t>(x.size());
+  constexpr std::int64_t kChunk = 4096;
+  const std::int64_t nchunks = (n + kChunk - 1) / kChunk;
+  const std::int64_t grain = n < kParallelWork ? nchunks + 1 : 1;
+  vf::util::parallel_for(
+      0, nchunks,
+      [&](std::int64_t ch) {
+        const std::int64_t i0 = ch * kChunk;
+        const std::int64_t i1 = std::min(n, i0 + kChunk);
+#pragma omp simd
+        for (std::int64_t i = i0; i < i1; ++i) yd[i] += alpha * xd[i];
+      },
+      grain);
 }
 
 }  // namespace vf::nn

@@ -1,0 +1,55 @@
+#pragma once
+// Cache-line-aligned allocation for hot numeric buffers.
+//
+// The GEMM kernel layer (vf::nn) packs operand panels and stores Matrix
+// data 64-byte aligned so vector loads/stores never straddle cache lines
+// and the compiler can emit aligned SIMD moves for the micro-kernel.
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <vector>
+
+namespace vf::util {
+
+/// Minimal stateless allocator returning `Alignment`-byte aligned storage.
+template <typename T, std::size_t Alignment = 64>
+class AlignedAllocator {
+  static_assert((Alignment & (Alignment - 1)) == 0,
+                "Alignment must be a power of two");
+  static_assert(Alignment >= alignof(T),
+                "Alignment must not weaken the type's natural alignment");
+
+ public:
+  using value_type = T;
+  using is_always_equal = std::true_type;
+
+  AlignedAllocator() noexcept = default;
+  template <typename U>
+  AlignedAllocator(const AlignedAllocator<U, Alignment>&) noexcept {}
+
+  template <typename U>
+  struct rebind {
+    using other = AlignedAllocator<U, Alignment>;
+  };
+
+  [[nodiscard]] T* allocate(std::size_t n) {
+    if (n == 0) return nullptr;
+    return static_cast<T*>(
+        ::operator new(n * sizeof(T), std::align_val_t{Alignment}));
+  }
+  void deallocate(T* p, std::size_t n) noexcept {
+    ::operator delete(p, n * sizeof(T), std::align_val_t{Alignment});
+  }
+
+  friend bool operator==(const AlignedAllocator&,
+                         const AlignedAllocator&) noexcept {
+    return true;
+  }
+};
+
+/// std::vector with 64-byte-aligned storage.
+template <typename T>
+using AlignedVector = std::vector<T, AlignedAllocator<T>>;
+
+}  // namespace vf::util

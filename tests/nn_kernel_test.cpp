@@ -1,0 +1,195 @@
+// Equivalence suite for the blocked GEMM kernel layer against the retained
+// naive reference kernels, plus the fused dense forward and the Matrix
+// storage semantics the kernels rely on.
+//
+// The blocked path keeps the naive per-element k-summation order but
+// re-associates partial sums at Kc-panel boundaries, so comparisons use a
+// magnitude-scaled tolerance (a few ulps) rather than exact equality.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <tuple>
+#include <vector>
+
+#include "vf/nn/kernels.hpp"
+#include "vf/nn/matrix.hpp"
+#include "vf/nn/network.hpp"
+#include "vf/util/rng.hpp"
+
+namespace {
+
+using vf::nn::Matrix;
+
+Matrix random_matrix(std::size_t rows, std::size_t cols, std::uint64_t seed) {
+  Matrix m(rows, cols);
+  vf::util::Rng rng(seed, 0x6b65726e);
+  for (auto& v : m.data()) v = rng.uniform(-1.0, 1.0);
+  return m;
+}
+
+void expect_close(const Matrix& got, const Matrix& want, double tol = 1e-12) {
+  ASSERT_EQ(got.rows(), want.rows());
+  ASSERT_EQ(got.cols(), want.cols());
+  for (std::size_t r = 0; r < want.rows(); ++r) {
+    for (std::size_t c = 0; c < want.cols(); ++c) {
+      double scale = std::max(1.0, std::abs(want(r, c)));
+      ASSERT_NEAR(got(r, c), want(r, c), tol * scale)
+          << "at (" << r << ", " << c << ")";
+    }
+  }
+}
+
+// (m, n, k) shapes: exact-tile, tile remainders, degenerate 1s, primes, the
+// 23-wide feature dimension, tall-skinny batches, and multi-Kc-panel depths
+// that exercise the accumulate path.
+using Shape = std::tuple<std::size_t, std::size_t, std::size_t>;
+
+class GemmEquivalence : public ::testing::TestWithParam<Shape> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, GemmEquivalence,
+    ::testing::Values(Shape{1, 1, 1}, Shape{1, 1, 7}, Shape{7, 1, 1},
+                      Shape{1, 9, 1}, Shape{2, 3, 5}, Shape{8, 16, 192},
+                      Shape{9, 17, 193}, Shape{23, 23, 23}, Shape{31, 29, 37},
+                      Shape{256, 24, 23}, Shape{1000, 4, 23},
+                      Shape{13, 512, 23}, Shape{129, 17, 192},
+                      Shape{8, 16, 384}, Shape{40, 50, 450}));
+
+TEST_P(GemmEquivalence, GemmMatchesNaive) {
+  auto [m, n, k] = GetParam();
+  Matrix a = random_matrix(m, k, 11 * m + 13 * n + k);
+  Matrix b = random_matrix(k, n, 17 * m + 19 * n + k);
+  Matrix want, got;
+  vf::nn::gemm_naive(a, b, want);
+  vf::nn::gemm(a, b, got);
+  expect_close(got, want);
+}
+
+TEST_P(GemmEquivalence, GemmAtBMatchesNaive) {
+  auto [m, n, k] = GetParam();
+  // a is stored (k x m): out = a^T . b.
+  Matrix a = random_matrix(k, m, 23 * m + 29 * n + k);
+  Matrix b = random_matrix(k, n, 31 * m + 37 * n + k);
+  Matrix want, got;
+  vf::nn::gemm_at_b_naive(a, b, want);
+  vf::nn::gemm_at_b(a, b, got);
+  expect_close(got, want);
+}
+
+TEST_P(GemmEquivalence, GemmABtMatchesNaive) {
+  auto [m, n, k] = GetParam();
+  // b is stored (n x k): out = a . b^T.
+  Matrix a = random_matrix(m, k, 41 * m + 43 * n + k);
+  Matrix b = random_matrix(n, k, 47 * m + 53 * n + k);
+  Matrix want, got;
+  vf::nn::gemm_a_bt_naive(a, b, want);
+  vf::nn::gemm_a_bt(a, b, got);
+  expect_close(got, want);
+}
+
+TEST(Gemm, DegenerateDims) {
+  // k == 0 contracts an empty sum: the output must be all zeros even if the
+  // destination held stale values.
+  Matrix a(3, 0), b(0, 4);
+  Matrix out(3, 4);
+  out.fill(7.0);
+  vf::nn::gemm(a, b, out);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(out.data()[i], 0.0);
+  }
+  // m == 0 / n == 0 produce empty outputs without touching memory.
+  Matrix e0(0, 5), e1(5, 0), r;
+  vf::nn::gemm(e0, random_matrix(5, 3, 1), r);
+  EXPECT_EQ(r.rows(), 0u);
+  EXPECT_EQ(r.cols(), 3u);
+  vf::nn::gemm(random_matrix(4, 5, 2), e1, r);
+  EXPECT_EQ(r.rows(), 4u);
+  EXPECT_EQ(r.cols(), 0u);
+}
+
+TEST(FusedDense, MatchesUnfusedPipeline) {
+  const std::size_t m = 37, k = 23, n = 19;
+  Matrix x = random_matrix(m, k, 101);
+  Matrix w = random_matrix(k, n, 102);
+  Matrix bias = random_matrix(1, n, 103);
+
+  Matrix want;
+  vf::nn::gemm(x, w, want);
+  vf::nn::add_row_vector(want, bias);
+
+  Matrix fused;
+  vf::nn::fused_dense_forward(x, w, bias, /*relu=*/false, fused);
+  expect_close(fused, want);
+
+  // ReLU variant: clamp the reference, rerun fused.
+  for (auto& v : want.data()) v = v > 0.0 ? v : 0.0;
+  vf::nn::fused_dense_forward(x, w, bias, /*relu=*/true, fused);
+  expect_close(fused, want);
+}
+
+TEST(FusedDense, RejectsBadShapesAndAliasing) {
+  Matrix x = random_matrix(4, 6, 1);
+  Matrix w = random_matrix(6, 3, 2);
+  Matrix bias = random_matrix(1, 3, 3);
+  Matrix out;
+  Matrix bad_w = random_matrix(5, 3, 4);
+  EXPECT_THROW(vf::nn::fused_dense_forward(x, bad_w, bias, false, out),
+               std::invalid_argument);
+  Matrix bad_bias = random_matrix(1, 2, 5);
+  EXPECT_THROW(vf::nn::fused_dense_forward(x, w, bad_bias, false, out),
+               std::invalid_argument);
+  EXPECT_THROW(vf::nn::fused_dense_forward(x, w, bias, false, x),
+               std::invalid_argument);
+}
+
+TEST(InferPath, MatchesTrainingForward) {
+  // The fused streaming inference must agree with the layer-by-layer
+  // training forward across all supported activations.
+  vf::nn::Network net;
+  net.add(std::make_unique<vf::nn::DenseLayer>(23, 32, 7u));
+  net.add(std::make_unique<vf::nn::ReluLayer>());
+  net.add(std::make_unique<vf::nn::DenseLayer>(32, 16, 8u));
+  net.add(std::make_unique<vf::nn::TanhLayer>());
+  net.add(std::make_unique<vf::nn::DenseLayer>(16, 8, 9u));
+  net.add(std::make_unique<vf::nn::LeakyReluLayer>(0.1));
+  net.add(std::make_unique<vf::nn::DenseLayer>(8, 4, 10u));
+
+  Matrix x = random_matrix(71, 23, 301);
+  Matrix want, got;
+  net.forward(x, want);
+  vf::nn::InferScratch scratch;
+  net.infer(x, got, scratch);
+  expect_close(got, want);
+
+  // Second call reuses the scratch buffers without growing them.
+  std::size_t held = scratch.element_count();
+  net.infer(x, got, scratch);
+  expect_close(got, want);
+  EXPECT_EQ(scratch.element_count(), held);
+}
+
+TEST(MatrixStorage, ResizeKeepsContentsWhenShapeUnchanged) {
+  Matrix m(3, 4);
+  for (std::size_t i = 0; i < m.size(); ++i) m.data()[i] = double(i + 1);
+  m.resize(3, 4);  // no-op: same shape
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    EXPECT_EQ(m.data()[i], double(i + 1));
+  }
+  m.resize(2, 4);  // shape change: zero-filled
+  for (std::size_t i = 0; i < m.size(); ++i) EXPECT_EQ(m.data()[i], 0.0);
+  m.fill(5.0);
+  m.set_zero();
+  for (std::size_t i = 0; i < m.size(); ++i) EXPECT_EQ(m.data()[i], 0.0);
+}
+
+TEST(MatrixStorage, DataIs64ByteAligned) {
+  for (std::size_t rows : {1u, 7u, 64u}) {
+    Matrix m(rows, 23);
+    auto addr = reinterpret_cast<std::uintptr_t>(m.data().data());
+    EXPECT_EQ(addr % 64, 0u) << rows << " rows";
+  }
+}
+
+}  // namespace
