@@ -88,6 +88,8 @@ ScalarField BatchReconstructor::reconstruct(const SampleCloud& cloud,
   const double shift = model_.out_norm.mean[0];
 
   std::size_t peak = 0;
+  // vf-par: per-thread-scratch — TileScratch is thread-local; tiles write
+  // disjoint out[] index ranges; the peak merge is inside omp critical.
 #pragma omp parallel
   {
     TileScratch ts;

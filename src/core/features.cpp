@@ -4,6 +4,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "vf/util/contract.hpp"
 #include "vf/util/parallel.hpp"
 
 #include <omp.h>
@@ -99,6 +100,8 @@ void extract_features_into(const vf::spatial::KdTree& tree,
   const auto& pts = tree.points();
   X.resize(count, kFeatureDim);
 
+  // vf-par: per-thread-scratch — nbrs is thread-local; iteration qi writes
+  // only X.row(qi); the tree and values are read-only after build.
 #pragma omp parallel
   {
     std::vector<vf::spatial::Neighbor> nbrs;
@@ -106,9 +109,14 @@ void extract_features_into(const vf::spatial::KdTree& tree,
     for (std::int64_t qi = 0; qi < static_cast<std::int64_t>(count); ++qi) {
       const Vec3& q = queries[static_cast<std::size_t>(qi)];
       tree.knn(q, kNeighbors, nbrs);
+      // The size guard above ensures the tree holds >= k points, so a query
+      // always fills exactly k neighbour slots of the feature row.
+      VF_ASSERT(nbrs.size() == static_cast<std::size_t>(kNeighbors),
+                "extract_features: knn returned fewer than k neighbours");
       double* row = X.row(static_cast<std::size_t>(qi));
       for (int j = 0; j < kNeighbors; ++j) {
         const auto& nb = nbrs[static_cast<std::size_t>(j)];
+        VF_BOUNDS_CHECK(nb.index, pts.size());
         const Vec3& p = pts[nb.index];
         row[4 * j + 0] = p.x;
         row[4 * j + 1] = p.y;

@@ -73,6 +73,8 @@ vf::field::ScalarField KrigingReconstructor::reconstruct(
       std::min<std::size_t>(static_cast<std::size_t>(k_), cloud.size()));
   const int sys = k + 1;  // + Lagrange multiplier row/column
 
+  // vf-par: per-thread-scratch — nbrs/A/b are thread-local; iteration i
+  // writes only out[i]; tree/values are read-only.
 #pragma omp parallel
   {
     std::vector<vf::spatial::Neighbor> nbrs;

@@ -66,6 +66,8 @@ vf::field::ScalarField LinearDelaunayReconstructor::reconstruct(
     case Mode::Parallel: {
       // OpenMP over z-slabs; each thread keeps its own walk hint, which
       // stays coherent because consecutive queries are grid neighbours.
+      // vf-par: per-thread-scratch — hint is thread-local; each z-slab
+      // writes a disjoint out.at(i,j,k) range; dt/tree are read-only.
 #pragma omp parallel
       {
         std::int64_t hint = -1;

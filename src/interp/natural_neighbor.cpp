@@ -39,6 +39,8 @@ vf::field::ScalarField NaturalNeighborReconstructor::reconstruct(
   std::vector<double> wgt(static_cast<std::size_t>(n), 0.0);
   const auto& h = grid.spacing();
 
+  // vf-par: atomic-accumulate — the scatter into acc/wgt crosses voxel
+  // ownership, so both increments are #pragma omp atomic below.
 #pragma omp parallel for schedule(dynamic, 1)
   for (int ku = 0; ku < d.nz; ++ku) {
     for (int ju = 0; ju < d.ny; ++ju) {
@@ -46,7 +48,6 @@ vf::field::ScalarField NaturalNeighborReconstructor::reconstruct(
         std::int64_t u = grid.index(iu, ju, ku);
         double r = nn_dist[static_cast<std::size_t>(u)];
         double val = values[nn_id[static_cast<std::size_t>(u)]];
-        int ri = static_cast<int>(r / h.x);
         int rj = static_cast<int>(r / h.y);
         int rk = static_cast<int>(r / h.z);
         double r2 = r * r;

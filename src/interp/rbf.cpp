@@ -70,6 +70,8 @@ vf::field::ScalarField RbfReconstructor::reconstruct(
   const int k = static_cast<int>(
       std::min<std::size_t>(static_cast<std::size_t>(k_), cloud.size()));
 
+  // vf-par: per-thread-scratch — nbrs/A/b are thread-local; iteration i
+  // writes only out[i]; tree/values are read-only.
 #pragma omp parallel
   {
     std::vector<vf::spatial::Neighbor> nbrs;

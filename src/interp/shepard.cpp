@@ -20,6 +20,8 @@ vf::field::ScalarField ShepardReconstructor::reconstruct(
   const std::int64_t n = grid.point_count();
   const int k = k_;
 
+  // vf-par: per-thread-scratch — nbrs is thread-local; iteration i writes
+  // only out[i]; tree/values are read-only.
 #pragma omp parallel
   {
     std::vector<vf::spatial::Neighbor> nbrs;  // reused per thread

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "vf/nn/kernels.hpp"
+#include "vf/util/contract.hpp"
 #include "vf/util/rng.hpp"
 
 namespace vf::nn {
@@ -18,6 +19,8 @@ DenseLayer::DenseLayer(std::size_t in, std::size_t out)
     : weights_(in, out), bias_(1, out), w_grad_(in, out), b_grad_(1, out) {}
 
 void DenseLayer::forward(const Matrix& input, Matrix& output) {
+  VF_REQUIRE(input.cols() == weights_.rows(),
+             "DenseLayer::forward: input width != in_features");
   input_ = input;
   // Bias is fused into the GEMM tile write-back (no separate output pass);
   // the activation stays a distinct layer here because backward() needs the
@@ -26,6 +29,9 @@ void DenseLayer::forward(const Matrix& input, Matrix& output) {
 }
 
 void DenseLayer::backward(const Matrix& grad_output, Matrix& grad_input) {
+  VF_REQUIRE(grad_output.rows() == input_.rows() &&
+                 grad_output.cols() == weights_.cols(),
+             "DenseLayer::backward: grad shape != forward output shape");
   if (trainable_) {
     // dW = x^T . dy ; db = column sums of dy. Accumulate across the batch.
     Matrix wg, bg;

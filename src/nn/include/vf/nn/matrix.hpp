@@ -14,6 +14,7 @@
 #include <span>
 
 #include "vf/util/aligned.hpp"
+#include "vf/util/contract.hpp"
 
 namespace vf::nn {
 
@@ -27,18 +28,26 @@ class Matrix {
   [[nodiscard]] std::size_t size() const { return data_.size(); }
 
   [[nodiscard]] double operator()(std::size_t r, std::size_t c) const {
+    VF_BOUNDS_CHECK(r, rows_);
+    VF_BOUNDS_CHECK(c, cols_);
     return data_[r * cols_ + c];
   }
   [[nodiscard]] double& operator()(std::size_t r, std::size_t c) {
+    VF_BOUNDS_CHECK(r, rows_);
+    VF_BOUNDS_CHECK(c, cols_);
     return data_[r * cols_ + c];
   }
 
   [[nodiscard]] std::span<const double> data() const { return data_; }
   [[nodiscard]] std::span<double> data() { return data_; }
   [[nodiscard]] const double* row(std::size_t r) const {
+    VF_BOUNDS_CHECK(r, rows_);
     return data_.data() + r * cols_;
   }
-  [[nodiscard]] double* row(std::size_t r) { return data_.data() + r * cols_; }
+  [[nodiscard]] double* row(std::size_t r) {
+    VF_BOUNDS_CHECK(r, rows_);
+    return data_.data() + r * cols_;
+  }
 
   void fill(double v);
   /// Zero every element in place (shape unchanged).

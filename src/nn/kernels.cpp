@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "vf/util/aligned.hpp"
+#include "vf/util/contract.hpp"
 #include "vf/util/parallel.hpp"
 
 namespace vf::nn {
@@ -142,6 +143,11 @@ void gemm_blocked(std::size_t m, std::size_t n, std::size_t k,
                   const double* a, std::size_t lda, bool a_trans,
                   const double* b, std::size_t ldb, bool b_trans, double* c,
                   std::size_t ldc, const double* bias, bool relu) {
+  // Leading dimensions are row strides of the *stored* operands: op(A) is
+  // (m x k) but A is stored (k x m) when transposed, and likewise for B.
+  VF_REQUIRE(lda >= (a_trans ? m : k), "gemm_blocked: lda below logical row");
+  VF_REQUIRE(ldb >= (b_trans ? k : n), "gemm_blocked: ldb below logical row");
+  VF_REQUIRE(ldc >= n, "gemm_blocked: ldc below output row");
   if (m == 0 || n == 0) return;
   if (k == 0) {
     // Degenerate inner dimension: the product is all zeros + epilogue.
@@ -171,6 +177,8 @@ void gemm_blocked(std::size_t m, std::size_t n, std::size_t k,
       pack_b(b, ldb, b_trans, pc, kc, jc, nc, bpack.data());
 
       const auto ic_blocks = static_cast<std::int64_t>((m + MC - 1) / MC);
+      // vf-par: per-thread-scratch — apack is thread-local; each ic-block
+      // writes a disjoint row band of C; bpack is read-only in the region.
 #pragma omp parallel if (threads)
       {
         vf::util::AlignedVector<double> apack(MC * kc);
@@ -251,6 +259,7 @@ void gemm_at_b_naive(const Matrix& a, const Matrix& b, Matrix& out) {
   if (static_cast<std::size_t>(vf::util::thread_count()) > 1 &&
       m * k * n >= kParallelWork) {
     // Parallel: split output rows; each thread scans its slice of a's rows.
+    // vf-par: disjoint-writes — iteration ri writes only out.row(ri).
 #pragma omp parallel for schedule(static)
     for (std::int64_t ri = 0; ri < static_cast<std::int64_t>(m); ++ri) {
       auto r = static_cast<std::size_t>(ri);

@@ -5,16 +5,22 @@
 #include <stdexcept>
 
 #include "vf/nn/kernels.hpp"
+#include "vf/util/contract.hpp"
 #include "vf/util/parallel.hpp"
 
 namespace vf::nn {
 
 Matrix::Matrix(std::size_t rows, std::size_t cols, double fill)
-    : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+    : rows_(rows), cols_(cols), data_(rows * cols, fill) {
+  VF_REQUIRE(cols == 0 || rows * cols / cols == rows,
+             "Matrix: rows * cols overflows size_t");
+}
 
 void Matrix::fill(double v) { std::fill(data_.begin(), data_.end(), v); }
 
 void Matrix::resize(std::size_t rows, std::size_t cols) {
+  VF_REQUIRE(cols == 0 || rows * cols / cols == rows,
+             "Matrix::resize: rows * cols overflows size_t");
   if (rows == rows_ && cols == cols_) return;  // shape-preserving: keep data
   rows_ = rows;
   cols_ = cols;

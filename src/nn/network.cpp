@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "vf/nn/kernels.hpp"
+#include "vf/util/contract.hpp"
 
 namespace vf::nn {
 
@@ -54,6 +55,13 @@ void Network::forward(const Matrix& input, Matrix& output) {
 
 void Network::infer(const Matrix& input, Matrix& output,
                     InferScratch& scratch) const {
+  // The ping-pong buffers and the output are written while `input` is still
+  // being read, so none of them may alias it.
+  VF_REQUIRE(&output != &input, "Network::infer: output aliases input");
+  VF_REQUIRE(&scratch.a != &input && &scratch.b != &input,
+             "Network::infer: scratch aliases input");
+  VF_REQUIRE(&scratch.a != &output && &scratch.b != &output,
+             "Network::infer: scratch aliases output");
   if (layers_.empty()) {
     output = input;
     return;

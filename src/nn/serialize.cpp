@@ -5,6 +5,8 @@
 #include <fstream>
 #include <stdexcept>
 
+#include "vf/util/contract.hpp"
+
 namespace vf::nn {
 
 namespace {
@@ -137,6 +139,8 @@ void save_dense_tail(const Network& net, int n, const std::string& path) {
   out.write(tail_magic, 4);
   write_pod(out, kVersion);
   int total = net.dense_count();
+  VF_REQUIRE(n >= 0 && n <= total,
+             "save_dense_tail: tail longer than dense stack");
   write_pod(out, static_cast<std::uint32_t>(n));
   int seen = 0;
   for (std::size_t i = 0; i < net.layer_count(); ++i) {
@@ -166,6 +170,8 @@ void load_dense_tail(Network& net, int n, const std::string& path) {
     throw std::runtime_error("load_dense_tail: layer count mismatch");
   }
   int total = net.dense_count();
+  VF_REQUIRE(n >= 0 && n <= total,
+             "load_dense_tail: tail longer than dense stack");
   int seen = 0;
   for (std::size_t i = 0; i < net.layer_count(); ++i) {
     Layer& l = net.layer(i);

@@ -133,8 +133,9 @@ SampleCloud ImportanceSampler::sample(const vf::field::ScalarField& field,
         double u = std::max(rng.uniform(), 1e-300);
         keys.emplace_back(std::pow(u, 1.0 / w), pt);
       }
-      std::nth_element(keys.begin(), keys.begin() + (want - 1), keys.end(),
-                       [](const auto& a, const auto& b) { return a.first > b.first; });
+      std::nth_element(
+          keys.begin(), keys.begin() + (want - 1), keys.end(),
+          [](const auto& ka, const auto& kb) { return ka.first > kb.first; });
       for (std::int64_t i = 0; i < want; ++i) {
         kept.push_back(keys[static_cast<std::size_t>(i)].second);
       }

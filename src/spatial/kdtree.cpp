@@ -6,6 +6,8 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "vf/util/contract.hpp"
+
 namespace vf::spatial {
 
 using vf::field::Vec3;
@@ -39,9 +41,11 @@ KdTree::KdTree(std::vector<Vec3> points) : points_(std::move(points)) {
   perm_.resize(points_.size());
   std::iota(perm_.begin(), perm_.end(), 0u);
   root_ = build(0, static_cast<std::uint32_t>(points_.size()));
+  VF_ASSERT(root_ < nodes_.size(), "KdTree: root index outside node array");
   // Reorder the point storage to match perm_ so leaf scans are sequential.
   std::vector<Vec3> reordered(points_.size());
   for (std::size_t i = 0; i < points_.size(); ++i) {
+    VF_BOUNDS_CHECK(perm_[i], points_.size());
     reordered[i] = points_[perm_[i]];
   }
   points_storage_ = std::move(reordered);
@@ -107,8 +111,11 @@ std::uint32_t KdTree::build(std::uint32_t begin, std::uint32_t end) {
 template <typename Visitor>
 void KdTree::search(std::uint32_t node_idx, const Vec3& q, double& worst,
                     Visitor&& visit) const {
+  VF_BOUNDS_CHECK(node_idx, nodes_.size());
   const Node& node = nodes_[node_idx];
   if (node.count > 0) {
+    VF_ASSERT(node.first + node.count <= points_storage_.size(),
+              "KdTree: leaf range outside point storage");
     for (std::uint32_t i = node.first; i < node.first + node.count; ++i) {
       double d2 = dist2(points_storage_[i], q);
       if (d2 < worst) visit(perm_[i], d2, worst);

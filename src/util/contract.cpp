@@ -1,0 +1,19 @@
+#include "vf/util/contract.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace vf::util {
+
+[[noreturn]] void contract_fail(const char* kind, const char* expr,
+                                const char* what, const char* file, int line) {
+  // stderr + abort rather than an exception: a contract violation means the
+  // process state is already outside the library's invariants, and abort()
+  // gives the sanitizers and core dumps an exact trap site.
+  std::fprintf(stderr, "vf contract %s failed: %s (%s) at %s:%d\n", kind,
+               expr, what, file, line);
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace vf::util

@@ -1,0 +1,64 @@
+#pragma once
+// Contract macros for internal invariants, preconditions, and bounds checks.
+//
+// The library's public entry points validate caller input with exceptions
+// (std::invalid_argument) unconditionally — those stay. These macros cover
+// the *internal* contracts underneath: index arithmetic inside Matrix, shape
+// plumbing between layers, packed-panel geometry in the GEMM kernels,
+// serializer field invariants. They compile to nothing in plain Release
+// builds so the hot paths carry zero cost, and switch on in Debug and
+// sanitizer builds (any -DVF_SANITIZE= preset defines VF_ENABLE_CONTRACTS)
+// where the point is to fail loudly and early.
+//
+//   VF_ASSERT(cond, what)        — internal invariant ("this cannot happen")
+//   VF_REQUIRE(cond, what)       — internal precondition at a module seam
+//   VF_BOUNDS_CHECK(index, size) — 0 <= index < size, for raw buffer access
+//
+// A violation prints the failed expression, message, and location to stderr
+// and aborts, which both GTest death tests and the sanitizers' abort hooks
+// pick up cleanly. Contracts are statements, not expressions, and must not
+// have side effects: the argument expression disappears entirely when
+// contracts are off.
+
+#include <cstddef>
+
+// Contracts are active when the build opts in (VF_ENABLE_CONTRACTS, set by
+// the sanitizer presets and -DVF_CONTRACTS=ON) or in any Debug build.
+#if defined(VF_ENABLE_CONTRACTS) || !defined(NDEBUG)
+#define VF_CONTRACTS_ACTIVE 1
+#else
+#define VF_CONTRACTS_ACTIVE 0
+#endif
+
+namespace vf::util {
+
+/// Report a contract violation and abort. Out-of-line so the macro expansion
+/// in hot loops is a single compare + predictable branch to a cold call.
+[[noreturn]] void contract_fail(const char* kind, const char* expr,
+                                const char* what, const char* file, int line);
+
+}  // namespace vf::util
+
+#if VF_CONTRACTS_ACTIVE
+
+#define VF_CONTRACT_CHECK_(kind, cond, what)                              \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      ::vf::util::contract_fail(kind, #cond, what, __FILE__, __LINE__);   \
+    }                                                                     \
+  } while (false)
+
+#define VF_ASSERT(cond, what) VF_CONTRACT_CHECK_("assert", cond, what)
+#define VF_REQUIRE(cond, what) VF_CONTRACT_CHECK_("require", cond, what)
+#define VF_BOUNDS_CHECK(index, size)                                      \
+  VF_CONTRACT_CHECK_("bounds", static_cast<std::size_t>(index) <          \
+                                   static_cast<std::size_t>(size),        \
+                     "index out of range")
+
+#else
+
+#define VF_ASSERT(cond, what) static_cast<void>(0)
+#define VF_REQUIRE(cond, what) static_cast<void>(0)
+#define VF_BOUNDS_CHECK(index, size) static_cast<void>(0)
+
+#endif

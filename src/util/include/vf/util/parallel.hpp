@@ -28,6 +28,8 @@ void parallel_for(std::int64_t begin, std::int64_t end, const Body& body,
     for (std::int64_t i = begin; i < end; ++i) body(i);
     return;
   }
+  // vf-par: disjoint-writes — caller contract: body(i) may write only
+  // index-i state (enforced by review + the TSan suite, see DESIGN.md).
 #pragma omp parallel for schedule(static)
   for (std::int64_t i = begin; i < end; ++i) body(i);
 }
@@ -41,6 +43,8 @@ void parallel_for_dynamic(std::int64_t begin, std::int64_t end,
     for (std::int64_t i = begin; i < end; ++i) body(i);
     return;
   }
+  // vf-par: disjoint-writes — caller contract: body(i) may write only
+  // index-i state (enforced by review + the TSan suite, see DESIGN.md).
 #pragma omp parallel for schedule(dynamic, 64)
   for (std::int64_t i = begin; i < end; ++i) body(i);
 }

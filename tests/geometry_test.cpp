@@ -61,9 +61,15 @@ TEST(Orient3dDet, SignConsistentWithPredicate) {
     IPoint a = rp(), b = rp(), c = rp(), d = rp();
     double det = orient3d_det(a, b, c, d);
     int sign = orient3d(a, b, c, d);
-    if (sign > 0) EXPECT_GT(det, 0);
-    if (sign < 0) EXPECT_LT(det, 0);
-    if (sign == 0) EXPECT_EQ(det, 0);
+    if (sign > 0) {
+      EXPECT_GT(det, 0);
+    }
+    if (sign < 0) {
+      EXPECT_LT(det, 0);
+    }
+    if (sign == 0) {
+      EXPECT_EQ(det, 0);
+    }
   }
 }
 
@@ -98,11 +104,14 @@ TEST(Insphere, AgreesWithFloatingCircumsphere) {
     // Solve for circumcentre with doubles.
     auto solve = [&](const IPoint& p0, const IPoint& p1, const IPoint& p2,
                      const IPoint& p3) -> std::array<double, 4> {
-      double ax = p0.x, ay = p0.y, az = p0.z;
+      double ax = static_cast<double>(p0.x), ay = static_cast<double>(p0.y),
+             az = static_cast<double>(p0.z);
       double m[3][4];
       const IPoint* ps[3] = {&p1, &p2, &p3};
       for (int i = 0; i < 3; ++i) {
-        double px = ps[i]->x, py = ps[i]->y, pz = ps[i]->z;
+        double px = static_cast<double>(ps[i]->x),
+               py = static_cast<double>(ps[i]->y),
+               pz = static_cast<double>(ps[i]->z);
         m[i][0] = 2 * (px - ax);
         m[i][1] = 2 * (py - ay);
         m[i][2] = 2 * (pz - az);
@@ -128,8 +137,10 @@ TEST(Insphere, AgreesWithFloatingCircumsphere) {
       return {x, y, z, r2};
     };
     auto [cx, cy, cz, r2] = solve(a, b, c, d);
-    double d2 = (e.x - cx) * (e.x - cx) + (e.y - cy) * (e.y - cy) +
-                (e.z - cz) * (e.z - cz);
+    double ex = static_cast<double>(e.x), ey = static_cast<double>(e.y),
+           ez = static_cast<double>(e.z);
+    double d2 = (ex - cx) * (ex - cx) + (ey - cy) * (ey - cy) +
+                (ez - cz) * (ez - cz);
     // Only check when the floating computation is decisively inside/outside.
     double margin = 1e-6 * r2;
     if (std::abs(d2 - r2) < margin) continue;

@@ -176,7 +176,6 @@ TEST(Linear, ReproducesLinearFieldsInsideHull) {
   auto rec = LinearDelaunayReconstructor().reconstruct(cloud, truth.grid());
   // Interior points (hull covers them at 15% sampling): near-exact up to
   // the lattice snap. Check a central sub-block.
-  const auto& g = truth.grid();
   for (int k = 2; k < 6; ++k)
     for (int j = 4; j < 12; ++j)
       for (int i = 4; i < 12; ++i)

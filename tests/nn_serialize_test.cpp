@@ -2,8 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <iterator>
 #include <unistd.h>
 
 #include "vf/nn/serialize.hpp"
@@ -47,6 +49,45 @@ TEST_F(SerializeTest, RoundTripPredictionsIdentical) {
   for (std::size_t i = 0; i < y1.size(); ++i) {
     ASSERT_EQ(y1.data()[i], y2.data()[i]);  // bit-exact
   }
+}
+
+TEST_F(SerializeTest, RoundTripWeightsBitExact) {
+  Network net = Network::mlp(11, {9, 7}, 2, 42);
+  save_network(net, path("w.vfnn"));
+  Network back = load_network(path("w.vfnn"));
+  ASSERT_EQ(back.layer_count(), net.layer_count());
+  for (std::size_t i = 0; i < net.layer_count(); ++i) {
+    if (net.layer(i).kind() != "dense") continue;
+    const auto& a = static_cast<const DenseLayer&>(net.layer(i));
+    const auto& b = static_cast<const DenseLayer&>(back.layer(i));
+    ASSERT_EQ(a.weights().rows(), b.weights().rows());
+    ASSERT_EQ(a.weights().cols(), b.weights().cols());
+    ASSERT_EQ(0, std::memcmp(a.weights().data().data(),
+                             b.weights().data().data(),
+                             a.weights().size() * sizeof(double)));
+    ASSERT_EQ(0, std::memcmp(a.bias().data().data(), b.bias().data().data(),
+                             a.bias().size() * sizeof(double)));
+  }
+}
+
+TEST_F(SerializeTest, SaveLoadSaveIsByteStable) {
+  // A model that survives one round-trip must serialize to identical bytes
+  // the second time — guards against uninitialised padding or field-order
+  // drift in the writer.
+  Network net = Network::mlp(6, {5}, 3, 17);
+  save_network(net, path("a.vfnn"));
+  Network back = load_network(path("a.vfnn"));
+  save_network(back, path("b.vfnn"));
+
+  auto slurp = [](const std::string& p) {
+    std::ifstream in(p, std::ios::binary);
+    return std::string(std::istreambuf_iterator<char>(in),
+                       std::istreambuf_iterator<char>());
+  };
+  const std::string a = slurp(path("a.vfnn"));
+  const std::string b = slurp(path("b.vfnn"));
+  ASSERT_FALSE(a.empty());
+  EXPECT_EQ(a, b);
 }
 
 TEST_F(SerializeTest, PreservesTrainabilityFlags) {

@@ -209,6 +209,57 @@ TEST(KdTree, PointsAccessorPreservesOrder) {
   }
 }
 
+// --- Degenerate-input hardening (runs under asan/ubsan/tsan via the
+// `sanitize` label; these shapes are where index arithmetic goes wrong) ---
+
+TEST(KdTree, ZeroAndNegativeKReturnEmpty) {
+  KdTree tree(random_cloud(50, 3));
+  EXPECT_TRUE(tree.knn({1, 1, 1}, 0).empty());
+  EXPECT_TRUE(tree.knn({1, 1, 1}, -4).empty());
+  std::vector<Neighbor> out{{7u, 1.0}};  // stale content must be cleared
+  tree.knn({1, 1, 1}, 0, out);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(KdTree, EmptyTreeNoAllocOverloadClearsOutput) {
+  KdTree tree{std::vector<Vec3>{}};
+  std::vector<Neighbor> out{{3u, 2.0}};
+  tree.knn({0, 0, 0}, 5, out);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(KdTree, AllDuplicatePointsWithKAboveN) {
+  // 40 identical points exercise the degenerate split (every coordinate
+  // equal on every axis) plus the k > N clamp in one shape.
+  std::vector<Vec3> pts(40, Vec3{2.5, -1.0, 0.25});
+  KdTree tree(pts);
+  auto nb = tree.knn({2.5, -1.0, 0.25}, 100);
+  ASSERT_EQ(nb.size(), 40u);
+  for (const auto& n : nb) ASSERT_EQ(n.dist2, 0.0);
+  // Every original index must appear exactly once.
+  std::vector<bool> seen(pts.size(), false);
+  for (const auto& n : nb) {
+    ASSERT_LT(n.index, pts.size());
+    ASSERT_FALSE(seen[n.index]);
+    seen[n.index] = true;
+  }
+  EXPECT_EQ(tree.radius_query({2.5, -1.0, 0.25}, 0.0).size(), 40u);
+}
+
+TEST(KdTree, DuplicateClusterBeatsOutlier) {
+  std::vector<Vec3> pts(10, Vec3{0, 0, 0});
+  pts.push_back({100, 100, 100});
+  KdTree tree(pts);
+  auto nb = tree.knn({0.1, 0, 0}, 10);
+  ASSERT_EQ(nb.size(), 10u);
+  for (const auto& n : nb) ASSERT_LT(n.index, 10u);  // never the outlier
+}
+
+TEST(KdTree, NegativeRadiusReturnsEmpty) {
+  KdTree tree(random_cloud(30, 5));
+  EXPECT_TRUE(tree.radius_query({5, 5, 5}, -1.0).empty());
+}
+
 TEST(BruteForce, TieBreaksByIndex) {
   std::vector<Vec3> pts{{1, 0, 0}, {-1, 0, 0}, {0, 1, 0}};
   auto nb = brute_force_knn(pts, {0, 0, 0}, 3);

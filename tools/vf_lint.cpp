@@ -1,0 +1,355 @@
+// vf_lint — repo-specific static checks that clang-tidy cannot express.
+//
+// The generic tooling (clang-tidy profile, -Wconversion/-Wshadow, the
+// sanitizer matrix) covers language-level correctness. This checker
+// enforces the *repo conventions* that keep the parallel numerics safe,
+// scanning .cpp/.hpp files line by line:
+//
+//   omp-annotation   Every `#pragma omp parallel` construct must either
+//                    carry a `reduction(...)` clause or be annotated with a
+//                    `// vf-par: <reason>` comment within the four lines
+//                    above it, stating why its shared writes are safe
+//                    (per-thread scratch, disjoint index ranges, atomics).
+//                    An unannotated parallel region is exactly how the PR 1
+//                    race-audit findings slipped in.
+//
+//   naked-new        No `new` / `malloc` / `calloc` / `realloc` / `free`
+//                    outside the aligned-allocator implementation. All
+//                    ownership goes through std::make_unique / containers.
+//                    Silence a deliberate site with
+//                    `// vf-lint: allow(naked-new) <reason>`.
+//
+//   resize-zeroed    Matrix::resize keeps existing contents when the shape
+//                    is unchanged, so `x.resize(...)` followed by `+=`
+//                    accumulation into `x` without an intervening
+//                    `x.set_zero()` / `x.fill(` reads stale values on the
+//                    second call. Silence a checked site with
+//                    `// vf-lint: allow(resize-zeroed) <reason>`.
+//
+//   aligned-cast     `reinterpret_cast` is allowed only to byte pointers
+//                    (char / unsigned char / std::byte), the legal aliasing
+//                    family used by the binary serializers. Anything else —
+//                    in particular casting the 64-byte-aligned Matrix
+//                    buffers to vector types with alignment assumptions —
+//                    needs `// vf-lint: allow(cast) <reason>`.
+//
+// Usage: vf_lint <dir-or-file>...   (exit 1 if any finding)
+// Wired into CTest as the `vf_lint` test over src/ and tools/.
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace fs = std::filesystem;
+
+namespace {
+
+struct Finding {
+  std::string file;
+  std::size_t line;
+  std::string rule;
+  std::string message;
+};
+
+bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+/// True when `token` appears in `s` delimited by non-identifier characters.
+bool has_word(std::string_view s, std::string_view token) {
+  std::size_t pos = 0;
+  while ((pos = s.find(token, pos)) != std::string_view::npos) {
+    const bool left_ok = pos == 0 || !is_ident_char(s[pos - 1]);
+    const std::size_t end = pos + token.size();
+    const bool right_ok = end >= s.size() || !is_ident_char(s[end]);
+    if (left_ok && right_ok) return true;
+    pos += 1;
+  }
+  return false;
+}
+
+/// The identifier immediately preceding `s[dot_pos]` (a '.'), or empty.
+std::string ident_before(std::string_view s, std::size_t dot_pos) {
+  std::size_t b = dot_pos;
+  while (b > 0 && is_ident_char(s[b - 1])) --b;
+  if (b == dot_pos) return {};
+  return std::string(s.substr(b, dot_pos - b));
+}
+
+/// One source line split into executable code and its trailing comment,
+/// with string/char literals blanked out of the code part so tokens inside
+/// literals never match rules.
+struct SplitLine {
+  std::string code;
+  std::string comment;  // text of // or /* */ comment content on this line
+};
+
+/// Comment/string-aware splitter. `in_block` carries /* */ state across
+/// lines. This is a line-based lexer, not a full C++ parser: raw strings
+/// spanning lines are not handled (none in this repo) and that is fine for
+/// a convention checker.
+SplitLine split_line(const std::string& line, bool& in_block) {
+  SplitLine out;
+  bool in_string = false, in_char = false;
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    const char next = i + 1 < line.size() ? line[i + 1] : '\0';
+    if (in_block) {
+      out.comment += c;
+      if (c == '*' && next == '/') {
+        in_block = false;
+        ++i;
+      }
+      continue;
+    }
+    if (in_string) {
+      out.code += ' ';
+      if (c == '\\') {
+        out.code += ' ';
+        ++i;
+      } else if (c == '"') {
+        in_string = false;
+      }
+      continue;
+    }
+    if (in_char) {
+      out.code += ' ';
+      if (c == '\\') {
+        out.code += ' ';
+        ++i;
+      } else if (c == '\'') {
+        in_char = false;
+      }
+      continue;
+    }
+    if (c == '/' && next == '/') {
+      out.comment += line.substr(i + 2);
+      break;
+    }
+    if (c == '/' && next == '*') {
+      in_block = true;
+      ++i;
+      continue;
+    }
+    if (c == '"') {
+      in_string = true;
+      out.code += ' ';
+      continue;
+    }
+    // Char literal, not a digit separator / apostrophe in a comment.
+    if (c == '\'' && (i == 0 || !is_ident_char(line[i - 1]))) {
+      in_char = true;
+      out.code += ' ';
+      continue;
+    }
+    out.code += c;
+  }
+  return out;
+}
+
+/// Active `x.resize(...)` site awaiting evidence of zeroing before use.
+struct ResizeWatch {
+  std::string name;
+  std::size_t line;
+  int remaining;  // lines of lookahead left
+};
+
+void lint_file(const fs::path& path, std::vector<Finding>& findings) {
+  std::ifstream in(path);
+  if (!in) {
+    findings.push_back({path.string(), 0, "io", "cannot open file"});
+    return;
+  }
+
+  std::vector<std::string> raw;
+  for (std::string line; std::getline(in, line);) raw.push_back(line);
+
+  bool in_block = false;
+  std::vector<SplitLine> split;
+  split.reserve(raw.size());
+  for (const auto& line : raw) split.push_back(split_line(line, in_block));
+
+  const std::string file = path.string();
+  std::vector<ResizeWatch> watches;
+
+  for (std::size_t i = 0; i < split.size(); ++i) {
+    const std::string& code = split[i].code;
+    const std::string& comment = split[i].comment;
+    const std::size_t lineno = i + 1;
+
+    auto allowed = [&](std::string_view tag) {
+      std::string needle = "vf-lint: allow(" + std::string(tag) + ")";
+      if (comment.find(needle) != std::string::npos) return true;
+      // Annotation may sit on the line above a long statement.
+      return i > 0 && split[i - 1].comment.find(needle) != std::string::npos;
+    };
+
+    // --- omp-annotation -------------------------------------------------
+    if (code.find("#pragma") != std::string::npos &&
+        code.find("omp parallel") != std::string::npos) {
+      // Merge backslash-continued pragma lines so clauses on follow-up
+      // lines count.
+      std::string pragma = code;
+      std::size_t j = i;
+      while (j < split.size() && !raw[j].empty() && raw[j].back() == '\\') {
+        ++j;
+        if (j < split.size()) pragma += split[j].code;
+      }
+      bool has_reduction = pragma.find("reduction(") != std::string::npos ||
+                           pragma.find("reduction (") != std::string::npos;
+      bool annotated = false;
+      for (std::size_t back = 1; back <= 4 && back <= i; ++back) {
+        if (split[i - back].comment.find("vf-par:") != std::string::npos) {
+          annotated = true;
+          break;
+        }
+      }
+      if (!has_reduction && !annotated) {
+        findings.push_back(
+            {file, lineno, "omp-annotation",
+             "#pragma omp parallel without reduction(...) or a preceding "
+             "`// vf-par: <why shared writes are safe>` annotation"});
+      }
+    }
+
+    // --- naked-new ------------------------------------------------------
+    if (code.find('#') == std::string::npos) {  // skip preprocessor lines
+      const bool operator_new =
+          code.find("operator new") != std::string::npos ||
+          code.find("operator delete") != std::string::npos;
+      if (has_word(code, "new") && !operator_new && !allowed("naked-new")) {
+        findings.push_back({file, lineno, "naked-new",
+                            "naked `new` — use std::make_unique or a "
+                            "container, or annotate the allocator internals "
+                            "with vf-lint: allow(naked-new)"});
+      }
+      for (const char* fn : {"malloc", "calloc", "realloc", "free"}) {
+        std::size_t pos = code.find(std::string(fn) + "(");
+        const bool word =
+            pos != std::string::npos && (pos == 0 || !is_ident_char(code[pos - 1]));
+        if (word && !allowed("naked-new")) {
+          findings.push_back({file, lineno, "naked-new",
+                              std::string("raw `") + fn +
+                                  "` — use RAII-managed storage, or annotate "
+                                  "with vf-lint: allow(naked-new)"});
+        }
+      }
+    }
+
+    // --- resize-zeroed --------------------------------------------------
+    for (auto it = watches.begin(); it != watches.end();) {
+      bool drop = false;
+      if (has_word(code, it->name)) {
+        if (code.find(it->name + ".set_zero") != std::string::npos ||
+            code.find(it->name + ".fill") != std::string::npos ||
+            code.find(it->name + " =") != std::string::npos ||
+            code.find(it->name + " = ") != std::string::npos) {
+          drop = true;  // explicitly reinitialised
+        } else if (std::size_t plus = code.find("+=");
+                   plus != std::string::npos &&
+                   has_word(std::string_view(code).substr(0, plus),
+                            it->name)) {
+          // Only an accumulation whose *target* mentions the watched name
+          // (left of the +=) reads possibly-stale resized contents.
+          if (!allowed("resize-zeroed")) {
+            findings.push_back(
+                {file, lineno, "resize-zeroed",
+                 "`" + it->name + "` resized at line " +
+                     std::to_string(it->line) +
+                     " then accumulated with += — resize() keeps contents "
+                     "for unchanged shapes; call " +
+                     it->name + ".set_zero() first or annotate with "
+                     "vf-lint: allow(resize-zeroed)"});
+          }
+          drop = true;
+        }
+      }
+      if (--it->remaining <= 0) drop = true;
+      it = drop ? watches.erase(it) : it + 1;
+    }
+    for (std::size_t pos = code.find(".resize("); pos != std::string::npos;
+         pos = code.find(".resize(", pos + 1)) {
+      std::string name = ident_before(code, pos);
+      if (!name.empty() && !allowed("resize-zeroed")) {
+        watches.push_back({name, lineno, 12});
+      }
+    }
+
+    // --- aligned-cast ---------------------------------------------------
+    for (std::size_t pos = code.find("reinterpret_cast<");
+         pos != std::string::npos;
+         pos = code.find("reinterpret_cast<", pos + 1)) {
+      std::size_t open = pos + std::string("reinterpret_cast<").size() - 1;
+      std::size_t close = code.find('>', open);
+      std::string target = close == std::string::npos
+                               ? ""
+                               : code.substr(open + 1, close - open - 1);
+      // Normalise whitespace for the byte-pointer allowlist test.
+      std::string norm;
+      for (char c : target) {
+        if (!std::isspace(static_cast<unsigned char>(c))) norm += c;
+      }
+      const bool byte_ptr = norm == "char*" || norm == "constchar*" ||
+                            norm == "unsignedchar*" ||
+                            norm == "constunsignedchar*" ||
+                            norm == "std::byte*" || norm == "conststd::byte*";
+      if (!byte_ptr && !allowed("cast")) {
+        findings.push_back(
+            {file, lineno, "aligned-cast",
+             "reinterpret_cast to `" + target +
+                 "` — only byte-pointer casts (serialization) are allowed; "
+                 "aligned-buffer reinterpretation needs "
+                 "vf-lint: allow(cast) with a justification"});
+      }
+    }
+  }
+}
+
+void collect(const fs::path& root, std::vector<fs::path>& files) {
+  if (fs::is_regular_file(root)) {
+    files.push_back(root);
+    return;
+  }
+  for (const auto& entry : fs::recursive_directory_iterator(root)) {
+    if (!entry.is_regular_file()) continue;
+    const auto ext = entry.path().extension();
+    if (ext == ".cpp" || ext == ".hpp" || ext == ".h") {
+      files.push_back(entry.path());
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: vf_lint <dir-or-file>...\n");
+    return 2;
+  }
+  std::vector<fs::path> files;
+  for (int i = 1; i < argc; ++i) {
+    const fs::path p(argv[i]);
+    if (!fs::exists(p)) {
+      std::fprintf(stderr, "vf_lint: no such path: %s\n", argv[i]);
+      return 2;
+    }
+    collect(p, files);
+  }
+  std::sort(files.begin(), files.end());
+
+  std::vector<Finding> findings;
+  for (const auto& f : files) lint_file(f, findings);
+
+  for (const auto& f : findings) {
+    std::fprintf(stderr, "%s:%zu: [%s] %s\n", f.file.c_str(), f.line,
+                 f.rule.c_str(), f.message.c_str());
+  }
+  std::printf("vf_lint: %zu file(s) scanned, %zu finding(s)\n", files.size(),
+              findings.size());
+  return findings.empty() ? 0 : 1;
+}

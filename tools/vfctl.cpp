@@ -3,9 +3,9 @@
 // Chains the paper's workflow over VTK files, so the library is usable
 // without writing C++:
 //
-//   vfctl generate    --dataset hurricane --dims 125x125x25 --t 24 \
+//   vfctl generate    --dataset hurricane --dims 125x125x25 --t 24
 //                     --out truth.vti
-//   vfctl sample      --in truth.vti --fraction 0.01 \
+//   vfctl sample      --in truth.vti --fraction 0.01
 //                     [--sampler importance|random|stratified] --out cloud.vtp
 //   vfctl train       --in truth.vti --out model.vfmd [--epochs N]
 //                     [--max-rows N] [--no-gradients]
