@@ -1,9 +1,11 @@
 #include "vf/core/batch_reconstruct.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <stdexcept>
 
 #include "vf/core/features.hpp"
+#include "vf/core/resilient.hpp"
 
 #include <omp.h>
 
@@ -45,8 +47,11 @@ BatchReconstructor::BatchReconstructor(FcnnModel model, std::size_t tile_size)
 void BatchReconstructor::bind_cloud(const SampleCloud& cloud) {
   const void* key = static_cast<const void*>(cloud.points().data());
   if (key == cloud_key_ && cloud.size() == cloud_count_) return;
-  tree_ = vf::spatial::KdTree(cloud.points());
-  values_ = cloud.values();
+  // Scrub once per bound cloud; tree, feature queries, and value pinning
+  // all see the scrubbed copy.
+  bound_ = cloud.scrubbed(scrub_nonfinite_, scrub_duplicates_);
+  tree_ = vf::spatial::KdTree(bound_.points());
+  values_ = bound_.values();
   cloud_key_ = key;
   cloud_count_ = cloud.size();
   ++tree_builds_;
@@ -54,13 +59,24 @@ void BatchReconstructor::bind_cloud(const SampleCloud& cloud) {
 
 ScalarField BatchReconstructor::reconstruct(const SampleCloud& cloud,
                                             const UniformGrid3& grid) {
-  if (cloud.size() < static_cast<std::size_t>(kNeighbors)) {
+  ReconstructReport report;
+  return reconstruct(cloud, grid, report);
+}
+
+ScalarField BatchReconstructor::reconstruct(const SampleCloud& cloud,
+                                            const UniformGrid3& grid,
+                                            ReconstructReport& report) {
+  bind_cloud(cloud);
+  if (bound_.size() < static_cast<std::size_t>(kNeighbors)) {
     throw std::invalid_argument("BatchReconstructor: cloud smaller than k");
   }
-  bind_cloud(cloud);
+  report = ReconstructReport{};
+  report.input_points = cloud.size();
+  report.scrubbed_nonfinite = scrub_nonfinite_;
+  report.scrubbed_duplicates = scrub_duplicates_;
 
   ScalarField out(grid, "fcnn");
-  const bool same_grid = cloud.has_grid() && cloud.grid() == grid;
+  const bool same_grid = bound_.has_grid() && bound_.grid() == grid;
 
   // Prediction targets: a void-index list when the grids match (sampled
   // points are pinned to their stored values), every linear index otherwise.
@@ -68,10 +84,10 @@ ScalarField BatchReconstructor::reconstruct(const SampleCloud& cloud,
   const std::int64_t* idx = nullptr;
   std::int64_t n = 0;
   if (same_grid) {
-    const auto& kept = cloud.kept_indices();
-    const auto& vals = cloud.values();
+    const auto& kept = bound_.kept_indices();
+    const auto& vals = bound_.values();
     for (std::size_t i = 0; i < kept.size(); ++i) out[kept[i]] = vals[i];
-    voids = cloud.void_indices();
+    voids = bound_.void_indices();
     idx = voids.data();
     n = static_cast<std::int64_t>(voids.size());
   } else {
@@ -88,12 +104,15 @@ ScalarField BatchReconstructor::reconstruct(const SampleCloud& cloud,
   const double shift = model_.out_norm.mean[0];
 
   std::size_t peak = 0;
-  // vf-par: per-thread-scratch — TileScratch is thread-local; tiles write
-  // disjoint out[] index ranges; the peak merge is inside omp critical.
+  std::vector<std::int64_t> bad;  // grid indices with non-finite predictions
+  // vf-par: per-thread-scratch — TileScratch and bad_local are
+  // thread-local; tiles write disjoint out[] index ranges; the peak and
+  // bad-index merges are inside omp critical.
 #pragma omp parallel
   {
     TileScratch ts;
     std::size_t local_peak = 0;
+    std::vector<std::int64_t> bad_local;
 #pragma omp for schedule(dynamic)
     for (std::int64_t t = 0; t < tiles; ++t) {
       const std::int64_t b = t * tile;
@@ -112,15 +131,37 @@ ScalarField BatchReconstructor::reconstruct(const SampleCloud& cloud,
       model_.in_norm.apply(ts.X);
       model_.net.infer(ts.X, ts.Y, ts.infer);
       for (std::int64_t i = b; i < e; ++i) {
-        out[idx ? idx[i] : i] =
-            ts.Y(static_cast<std::size_t>(i - b), 0) * scale + shift;
+        const double y = ts.Y(static_cast<std::size_t>(i - b), 0) * scale +
+                         shift;
+        const std::int64_t target = idx ? idx[i] : i;
+        if (std::isfinite(y)) {
+          out[target] = y;
+        } else {
+          bad_local.push_back(target);
+        }
       }
       local_peak = std::max(local_peak, ts.element_count());
     }
 #pragma omp critical
-    peak = std::max(peak, local_peak);
+    {
+      peak = std::max(peak, local_peak);
+      bad.insert(bad.end(), bad_local.begin(), bad_local.end());
+    }
   }
   peak_scratch_elements_ = std::max(peak_scratch_elements_, peak);
+
+  // Per-point graceful degradation: a non-finite prediction is replaced by
+  // the classical Shepard estimate from the scrubbed samples.
+  for (std::int64_t target : bad) {
+    out[target] =
+        shepard_estimate(tree_, values_, grid.position(target), kNeighbors);
+  }
+  report.predicted_points = static_cast<std::size_t>(n) - bad.size();
+  report.degraded_points = bad.size();
+  if (!bad.empty()) {
+    report.fallback = FallbackReason::NonFiniteOutput;
+    report.detail = "network produced non-finite outputs";
+  }
   return out;
 }
 

@@ -5,6 +5,7 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "vf/core/resilient.hpp"
 #include "vf/util/env.hpp"
 #include "vf/util/parallel.hpp"
 #include "vf/util/rng.hpp"
@@ -165,6 +166,10 @@ PretrainResult pretrain(const ScalarField& truth, const Sampler& sampler,
   topt.learning_rate = config.learning_rate;
   topt.schedule = config.lr_schedule;
   topt.shuffle_seed = config.seed ^ 0x5a5a;
+  topt.checkpoint_dir = config.checkpoint_dir;
+  topt.checkpoint_every = config.checkpoint_every;
+  topt.checkpoint_keep = config.checkpoint_keep;
+  topt.resume = config.resume;
   vf::nn::Trainer trainer(topt);
   result.history = trainer.fit(result.model.net, set.X, set.Y);
   return result;
@@ -211,8 +216,10 @@ const vf::spatial::KdTree& FcnnReconstructor::bound_tree(
     const SampleCloud& cloud) {
   const void* key = static_cast<const void*>(cloud.points().data());
   if (key != tree_key_ || cloud.size() != tree_count_) {
-    tree_ = vf::spatial::KdTree(cloud.points());
-    tree_values_ = cloud.values();
+    // Scrub once per bound cloud: the scrubbed copy is what the tree, the
+    // feature queries, and the value pinning all see.
+    bound_ = cloud.scrubbed(scrub_nonfinite_, scrub_duplicates_);
+    tree_ = vf::spatial::KdTree(bound_.points());
     tree_key_ = key;
     tree_count_ = cloud.size();
   }
@@ -236,7 +243,7 @@ FcnnReconstructor::reconstruct_with_gradients(const SampleCloud& cloud,
   std::vector<std::int64_t> all(static_cast<std::size_t>(grid.point_count()));
   std::iota(all.begin(), all.end(), 0);
   const auto& tree = bound_tree(cloud);
-  Matrix X = extract_features(tree, tree_values_, grid_positions(grid, all));
+  Matrix X = extract_features(tree, bound_.values(), grid_positions(grid, all));
   Matrix Y = model_.predict(X);
   vf::util::parallel_for(0, grid.point_count(), [&](std::int64_t i) {
     auto r = static_cast<std::size_t>(i);
@@ -245,9 +252,9 @@ FcnnReconstructor::reconstruct_with_gradients(const SampleCloud& cloud,
     out.gradient.dy[i] = Y(r, 2);
     out.gradient.dz[i] = Y(r, 3);
   });
-  if (cloud.has_grid() && cloud.grid() == grid) {
-    const auto& kept = cloud.kept_indices();
-    const auto& vals = cloud.values();
+  if (bound_.has_grid() && bound_.grid() == grid) {
+    const auto& kept = bound_.kept_indices();
+    const auto& vals = bound_.values();
     for (std::size_t i = 0; i < kept.size(); ++i) {
       out.scalar[kept[i]] = vals[i];
     }
@@ -257,34 +264,65 @@ FcnnReconstructor::reconstruct_with_gradients(const SampleCloud& cloud,
 
 ScalarField FcnnReconstructor::reconstruct(const SampleCloud& cloud,
                                            const UniformGrid3& grid) {
+  ReconstructReport report;
+  return reconstruct(cloud, grid, report);
+}
+
+ScalarField FcnnReconstructor::reconstruct(const SampleCloud& cloud,
+                                           const UniformGrid3& grid,
+                                           ReconstructReport& report) {
+  report = ReconstructReport{};
+  report.input_points = cloud.size();
+  const auto& tree = bound_tree(cloud);
+  report.scrubbed_nonfinite = scrub_nonfinite_;
+  report.scrubbed_duplicates = scrub_duplicates_;
+
   ScalarField out(grid, "fcnn");
-  const bool same_grid = cloud.has_grid() && cloud.grid() == grid;
+  const bool same_grid = bound_.has_grid() && bound_.grid() == grid;
+
+  // Write Y's scalar column to the targeted indices, replacing any
+  // non-finite prediction with a Shepard estimate from the scrubbed
+  // samples; the repair is accounted as a degraded point.
+  auto write_scalar = [&](const std::vector<std::int64_t>& targets,
+                          const Matrix& Y) {
+    vf::util::parallel_for(
+        0, static_cast<std::int64_t>(targets.size()), [&](std::int64_t i) {
+          out[targets[static_cast<std::size_t>(i)]] =
+              Y(static_cast<std::size_t>(i), 0);
+        });
+    std::size_t degraded = 0;
+    for (std::size_t i = 0; i < targets.size(); ++i) {
+      if (std::isfinite(Y(i, 0))) continue;
+      out[targets[i]] = shepard_estimate(tree, bound_.values(),
+                                         grid.position(targets[i]),
+                                         kNeighbors);
+      ++degraded;
+    }
+    report.predicted_points += targets.size() - degraded;
+    report.degraded_points += degraded;
+  };
 
   if (same_grid) {
     // Sampled points keep their stored values; only voids are predicted.
-    auto voids = cloud.void_indices();
-    const auto& tree = bound_tree(cloud);
+    auto voids = bound_.void_indices();
     Matrix X =
-        extract_features(tree, tree_values_, grid_positions(grid, voids));
+        extract_features(tree, bound_.values(), grid_positions(grid, voids));
     Matrix Y = model_.predict(X);
-    const auto& kept = cloud.kept_indices();
-    const auto& vals = cloud.values();
+    const auto& kept = bound_.kept_indices();
+    const auto& vals = bound_.values();
     for (std::size_t i = 0; i < kept.size(); ++i) out[kept[i]] = vals[i];
-    vf::util::parallel_for(
-        0, static_cast<std::int64_t>(voids.size()), [&](std::int64_t i) {
-          out[voids[static_cast<std::size_t>(i)]] =
-              Y(static_cast<std::size_t>(i), 0);
-        });
+    write_scalar(voids, Y);
   } else {
     // Foreign grid (e.g. upscaling): predict everywhere.
     std::vector<std::int64_t> all(static_cast<std::size_t>(grid.point_count()));
     std::iota(all.begin(), all.end(), 0);
-    const auto& tree = bound_tree(cloud);
-    Matrix X = extract_features(tree, tree_values_, grid_positions(grid, all));
+    Matrix X = extract_features(tree, bound_.values(), grid_positions(grid, all));
     Matrix Y = model_.predict(X);
-    vf::util::parallel_for(0, grid.point_count(), [&](std::int64_t i) {
-      out[i] = Y(static_cast<std::size_t>(i), 0);
-    });
+    write_scalar(all, Y);
+  }
+  if (report.degraded_points > 0) {
+    report.fallback = FallbackReason::NonFiniteOutput;
+    report.detail = "network produced non-finite outputs";
   }
   return out;
 }

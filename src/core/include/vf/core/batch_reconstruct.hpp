@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "vf/core/model.hpp"
+#include "vf/core/report.hpp"
 #include "vf/field/scalar_field.hpp"
 #include "vf/sampling/sample_cloud.hpp"
 #include "vf/spatial/kdtree.hpp"
@@ -52,6 +53,14 @@ class BatchReconstructor {
   [[nodiscard]] vf::field::ScalarField reconstruct(
       const vf::sampling::SampleCloud& cloud,
       const vf::field::UniformGrid3& grid);
+
+  /// Degradation-accounting overload: scrubs unusable samples on ingest
+  /// (cached with the tree) and replaces non-finite network outputs per
+  /// point with a Shepard estimate from the scrubbed samples, recording
+  /// every decision in `report`. The two-argument overload delegates here.
+  [[nodiscard]] vf::field::ScalarField reconstruct(
+      const vf::sampling::SampleCloud& cloud,
+      const vf::field::UniformGrid3& grid, ReconstructReport& report);
 
   [[nodiscard]] std::size_t tile_size() const { return tile_; }
 
@@ -81,7 +90,11 @@ class BatchReconstructor {
   // the same size — reconstruct() takes the cloud by reference, so the
   // cached values_ copy keeps results well-defined regardless.
   vf::spatial::KdTree tree_;
+  /// Scrubbed copy of the bound cloud; values_ aliases its values.
+  vf::sampling::SampleCloud bound_;
   std::vector<double> values_;
+  std::size_t scrub_nonfinite_ = 0;
+  std::size_t scrub_duplicates_ = 0;
   const void* cloud_key_ = nullptr;
   std::size_t cloud_count_ = 0;
   std::size_t tree_builds_ = 0;

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "vf/core/model.hpp"
+#include "vf/core/report.hpp"
 #include "vf/nn/trainer.hpp"
 #include "vf/sampling/samplers.hpp"
 
@@ -52,6 +53,12 @@ struct FcnnConfig {
   /// reduced-scale bench defaults.
   std::size_t max_train_rows = 0;
   std::uint64_t seed = 42;
+  /// Crash-safe training checkpoints (empty dir disables): forwarded to
+  /// TrainOptions, see vf/nn/checkpoint.hpp for format/retention/resume.
+  std::string checkpoint_dir;
+  int checkpoint_every = 1;
+  int checkpoint_keep = 3;
+  bool resume = false;
 
   /// Full paper settings (500 epochs, uncapped rows).
   static FcnnConfig paper();
@@ -109,6 +116,15 @@ class FcnnReconstructor {
       const vf::sampling::SampleCloud& cloud,
       const vf::field::UniformGrid3& grid);
 
+  /// Degradation-accounting overload. Unusable samples (non-finite values
+  /// or coordinates, duplicated positions) are scrubbed on ingest, and any
+  /// non-finite network output is replaced per point by a Shepard estimate
+  /// from the scrubbed samples; `report` records every such decision. The
+  /// two-argument overload delegates here and discards the report.
+  [[nodiscard]] vf::field::ScalarField reconstruct(
+      const vf::sampling::SampleCloud& cloud,
+      const vf::field::UniformGrid3& grid, ReconstructReport& report);
+
   /// Scalar + predicted gradient components in one pass. Only valid for
   /// models trained with gradient outputs (throws otherwise). At sampled
   /// grid points the scalar is pinned to the stored value while gradients
@@ -125,15 +141,19 @@ class FcnnReconstructor {
   [[nodiscard]] const FcnnModel& model() const { return model_; }
 
  private:
-  /// k-d tree over `cloud`'s points, rebuilt only when the cloud changes
-  /// (keyed on the points buffer identity). Repeated reconstructions of the
-  /// same sampling — the Fig 10 timing loop, upscaling to several grids —
-  /// skip the O(n log n) build after the first call.
+  /// k-d tree over `cloud`'s scrubbed points, rebuilt only when the cloud
+  /// changes (keyed on the points buffer identity). Repeated
+  /// reconstructions of the same sampling — the Fig 10 timing loop,
+  /// upscaling to several grids — skip the scrub and the O(n log n) build
+  /// after the first call.
   const vf::spatial::KdTree& bound_tree(const vf::sampling::SampleCloud& cloud);
 
   FcnnModel model_;
   vf::spatial::KdTree tree_;
-  std::vector<double> tree_values_;
+  /// Scrubbed copy of the bound cloud (the tree/values the queries use).
+  vf::sampling::SampleCloud bound_;
+  std::size_t scrub_nonfinite_ = 0;
+  std::size_t scrub_duplicates_ = 0;
   const void* tree_key_ = nullptr;
   std::size_t tree_count_ = 0;
 };

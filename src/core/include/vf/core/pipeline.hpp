@@ -61,6 +61,13 @@ class TemporalPipeline {
       const vf::sampling::SampleCloud& cloud,
       const vf::field::UniformGrid3& grid);
 
+  /// Degradation-accounting overload: scrubs unusable archived samples and
+  /// repairs non-finite predictions per point, recording the decisions in
+  /// `report` (see vf/core/report.hpp).
+  [[nodiscard]] vf::field::ScalarField reconstruct(
+      const vf::sampling::SampleCloud& cloud,
+      const vf::field::UniformGrid3& grid, ReconstructReport& report);
+
  private:
   PipelineOptions options_;
   vf::sampling::ImportanceSampler sampler_;

@@ -1,0 +1,52 @@
+#pragma once
+// Degradation accounting for the resilient reconstruction paths.
+//
+// Production reconstruction must not fall over because a few archived
+// samples rotted (NaN/Inf values from a failing simulation rank, duplicated
+// points from a botched merge) or because the network produced a non-finite
+// output for some query. The resilient paths scrub bad inputs, fall back to
+// a classical estimate for individual bad predictions, and account for every
+// such decision in a ReconstructReport instead of throwing — the caller
+// decides whether a degraded result is acceptable.
+
+#include <cstddef>
+#include <string>
+
+namespace vf::core {
+
+/// Why (part of) a reconstruction did not come from the FCNN.
+enum class FallbackReason {
+  None,             ///< fully model-predicted
+  ModelLoadFailed,  ///< model file missing/corrupt: classical method used
+  NonFiniteOutput,  ///< some network outputs were NaN/Inf and were replaced
+  NoUsableSamples,  ///< scrubbing left too few samples to query
+};
+
+[[nodiscard]] const char* to_string(FallbackReason reason);
+
+struct ReconstructReport {
+  /// Cloud size before scrubbing.
+  std::size_t input_points = 0;
+  /// Samples dropped for a non-finite value or coordinate.
+  std::size_t scrubbed_nonfinite = 0;
+  /// Samples dropped as exact positional duplicates.
+  std::size_t scrubbed_duplicates = 0;
+  /// Grid points filled by the network.
+  std::size_t predicted_points = 0;
+  /// Grid points filled by the classical fallback instead of the network.
+  std::size_t degraded_points = 0;
+  FallbackReason fallback = FallbackReason::None;
+  /// Human-readable detail (e.g. the model-load error message).
+  std::string detail;
+
+  /// True when nothing was scrubbed and nothing fell back.
+  [[nodiscard]] bool clean() const {
+    return scrubbed_nonfinite == 0 && scrubbed_duplicates == 0 &&
+           degraded_points == 0 && fallback == FallbackReason::None;
+  }
+
+  /// One-line description for logs / the CLI.
+  [[nodiscard]] std::string summary() const;
+};
+
+}  // namespace vf::core

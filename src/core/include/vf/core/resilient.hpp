@@ -1,0 +1,49 @@
+#pragma once
+// Never-throw reconstruction entry point plus the classical per-point
+// estimators the degradation paths share.
+//
+// reconstruct_resilient() is the production face of the library: given a
+// model path and an archived cloud it always produces a field on valid
+// inputs, degrading stepwise instead of failing —
+//   1. unusable samples (non-finite, duplicated) are scrubbed on ingest;
+//   2. a missing/corrupt model file drops the whole reconstruction to the
+//      classical interpolant (Shepard or nearest-neighbour);
+//   3. individual non-finite network outputs are replaced per point by the
+//      classical estimate.
+// Every decision is accounted for in the ReconstructReport.
+
+#include <string>
+#include <vector>
+
+#include "vf/core/report.hpp"
+#include "vf/field/scalar_field.hpp"
+#include "vf/sampling/sample_cloud.hpp"
+#include "vf/spatial/kdtree.hpp"
+
+namespace vf::core {
+
+/// Which classical estimator fills degraded points.
+enum class FallbackMethod {
+  Shepard,  ///< inverse-squared-distance weighting of the k nearest samples
+  Nearest,  ///< value of the single nearest sample
+};
+
+/// Parse "shepard" / "nearest" (throws std::invalid_argument otherwise).
+[[nodiscard]] FallbackMethod fallback_method_from(const std::string& name);
+
+/// Classical estimate at `p` from the k nearest samples in `tree` (values
+/// parallel to the tree's points). Finite whenever `values` are finite and
+/// the tree is non-empty. k = 1 degenerates to nearest-neighbour.
+[[nodiscard]] double shepard_estimate(const vf::spatial::KdTree& tree,
+                                      const std::vector<double>& values,
+                                      const vf::field::Vec3& p, int k);
+
+/// Reconstruct `grid` from `cloud` with the model stored at `model_path`,
+/// degrading gracefully per the module comment. Throws only on invalid
+/// arguments (empty cloud, zero-point grid) — never on corrupt inputs.
+[[nodiscard]] vf::field::ScalarField reconstruct_resilient(
+    const std::string& model_path, const vf::sampling::SampleCloud& cloud,
+    const vf::field::UniformGrid3& grid, ReconstructReport& report,
+    FallbackMethod fallback = FallbackMethod::Shepard);
+
+}  // namespace vf::core

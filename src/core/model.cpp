@@ -5,6 +5,8 @@
 #include <stdexcept>
 
 #include "vf/nn/serialize.hpp"
+#include "vf/util/atomic_io.hpp"
+#include "vf/util/fault.hpp"
 
 namespace vf::core {
 
@@ -50,79 +52,117 @@ FcnnModel FcnnModel::clone() const {
 namespace {
 
 constexpr char kMagic[4] = {'V', 'F', 'M', 'D'};
+constexpr std::uint32_t kVersion = 2;
+/// Width bound for normaliser vectors at load (real models use 23/4).
+constexpr std::uint32_t kMaxNormWidth = 4096;
 
-void write_normalizer(std::ostream& out, const Normalizer& n) {
-  auto len = static_cast<std::uint32_t>(n.mean.size());
-  out.write(reinterpret_cast<const char*>(&len), sizeof len);
-  out.write(reinterpret_cast<const char*>(n.mean.data()),
-            static_cast<std::streamsize>(len * sizeof(double)));
-  out.write(reinterpret_cast<const char*>(n.stddev.data()),
-            static_cast<std::streamsize>(len * sizeof(double)));
+void write_normalizer(vf::util::ByteWriter& out, const Normalizer& n) {
+  out.pod(static_cast<std::uint32_t>(n.mean.size()));
+  out.bytes(n.mean.data(), n.mean.size() * sizeof(double));
+  out.bytes(n.stddev.data(), n.stddev.size() * sizeof(double));
 }
 
-Normalizer read_normalizer(std::istream& in) {
-  std::uint32_t len = 0;
-  in.read(reinterpret_cast<char*>(&len), sizeof len);
-  if (!in || len > 4096) {
-    throw std::runtime_error("FcnnModel: corrupt normalizer");
+Normalizer read_normalizer(vf::util::ByteReader& in) {
+  const auto len = in.pod<std::uint32_t>();
+  if (len > kMaxNormWidth || 2ull * len * sizeof(double) > in.remaining()) {
+    throw std::runtime_error("FcnnModel::load: corrupt normalizer");
   }
   Normalizer n;
   n.mean.resize(len);
   n.stddev.resize(len);
-  in.read(reinterpret_cast<char*>(n.mean.data()),
-          static_cast<std::streamsize>(len * sizeof(double)));
-  in.read(reinterpret_cast<char*>(n.stddev.data()),
-          static_cast<std::streamsize>(len * sizeof(double)));
+  in.bytes(n.mean.data(), len * sizeof(double));
+  in.bytes(n.stddev.data(), len * sizeof(double));
   return n;
 }
 
-}  // namespace
-
-void FcnnModel::save(const std::string& path) const {
-  // Header + metadata + normalisers in the .vfmd file; the network itself
-  // reuses the VFNN serializer in a sibling stream appended to the file.
-  {
-    std::ofstream out(path, std::ios::binary);
-    if (!out) throw std::runtime_error("FcnnModel::save: cannot open " + path);
-    out.write(kMagic, 4);
-    std::uint8_t grad = with_gradients ? 1 : 0;
-    out.write(reinterpret_cast<const char*>(&grad), 1);
-    auto nlen = static_cast<std::uint32_t>(dataset.size());
-    out.write(reinterpret_cast<const char*>(&nlen), sizeof nlen);
-    out.write(dataset.data(), nlen);
-    out.write(reinterpret_cast<const char*>(&trained_timestep),
-              sizeof trained_timestep);
-    write_normalizer(out, in_norm);
-    write_normalizer(out, out_norm);
-    if (!out) throw std::runtime_error("FcnnModel::save: write failed");
-  }
-  vf::nn::save_network(net, path + ".net");
+std::string metadata_payload(const FcnnModel& m) {
+  vf::util::ByteWriter out;
+  out.pod(static_cast<std::uint8_t>(m.with_gradients ? 1 : 0));
+  out.str(m.dataset);
+  out.pod(m.trained_timestep);
+  write_normalizer(out, m.in_norm);
+  write_normalizer(out, m.out_norm);
+  return out.take();
 }
 
-FcnnModel FcnnModel::load(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) throw std::runtime_error("FcnnModel::load: cannot open " + path);
-  char magic[4];
-  in.read(magic, 4);
-  if (!in || std::memcmp(magic, kMagic, 4) != 0) {
-    throw std::runtime_error("FcnnModel::load: bad magic in " + path);
-  }
+/// Legacy (pre-versioning) two-file layout: metadata in `path`, network in
+/// `path`.net. No checksums; bounds come from the real byte counts.
+FcnnModel load_v1(std::istream& in, const std::string& path) {
   FcnnModel m;
   std::uint8_t grad = 1;
   in.read(reinterpret_cast<char*>(&grad), 1);
   m.with_gradients = grad != 0;
   std::uint32_t nlen = 0;
   in.read(reinterpret_cast<char*>(&nlen), sizeof nlen);
-  if (!in || nlen > 4096) {
+  if (!in || nlen > kMaxNormWidth) {
     throw std::runtime_error("FcnnModel::load: corrupt metadata");
   }
   m.dataset.resize(nlen);
   in.read(m.dataset.data(), nlen);
   in.read(reinterpret_cast<char*>(&m.trained_timestep),
           sizeof m.trained_timestep);
-  m.in_norm = read_normalizer(in);
-  m.out_norm = read_normalizer(in);
+  const std::uint64_t rest = vf::util::bytes_remaining(in);
+  std::string body(static_cast<std::size_t>(rest), '\0');
+  in.read(body.data(), static_cast<std::streamsize>(rest));
+  vf::util::ByteReader tail(body, "FcnnModel::load");
+  m.in_norm = read_normalizer(tail);
+  m.out_norm = read_normalizer(tail);
+  tail.expect_end();
   m.net = vf::nn::load_network(path + ".net");
+  return m;
+}
+
+}  // namespace
+
+void FcnnModel::save(const std::string& path) const {
+  // One atomic file: versioned header, then CRC-framed metadata and network
+  // sections. A crash mid-save leaves the previous model intact; a torn
+  // file is rejected at load rather than half-parsed.
+  const std::string net_bytes = vf::nn::network_to_bytes(net);
+  const std::string meta = metadata_payload(*this);
+  vf::util::atomic_write_file(path, [&](std::ostream& out) {
+    out.write(kMagic, 4);
+    const std::uint32_t version = kVersion;
+    out.write(reinterpret_cast<const char*>(&version), sizeof version);
+    vf::util::write_crc_section(out, meta);
+    vf::util::write_crc_section(out, net_bytes);
+  });
+}
+
+FcnnModel FcnnModel::load(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in || vf::util::fault::should_fail("model_read")) {
+    throw std::runtime_error("FcnnModel::load: cannot open " + path);
+  }
+  char magic[4];
+  in.read(magic, 4);
+  if (!in || std::memcmp(magic, kMagic, 4) != 0) {
+    throw std::runtime_error("FcnnModel::load: bad magic in " + path);
+  }
+  std::uint32_t version = 0;
+  in.read(reinterpret_cast<char*>(&version), sizeof version);
+  if (!in) throw std::runtime_error("FcnnModel::load: truncated " + path);
+  if (version != kVersion) {
+    // Not a known version marker: assume the legacy layout, whose next
+    // bytes are the grad flag + name length (never equal to a small
+    // version integer — the flag byte is 0/1 and names are short).
+    in.seekg(4);
+    return load_v1(in, path);
+  }
+  FcnnModel m;
+  const std::string meta = vf::util::read_crc_section(
+      in, vf::util::bytes_remaining(in), "FcnnModel::load");
+  vf::util::ByteReader meta_in(meta, "FcnnModel::load");
+  m.with_gradients = meta_in.pod<std::uint8_t>() != 0;
+  m.dataset = meta_in.str(kMaxNormWidth);
+  m.trained_timestep = meta_in.pod<double>();
+  m.in_norm = read_normalizer(meta_in);
+  m.out_norm = read_normalizer(meta_in);
+  meta_in.expect_end();
+  const std::string net_bytes = vf::util::read_crc_section(
+      in, vf::util::bytes_remaining(in), "FcnnModel::load");
+  vf::util::expect_eof(in, "FcnnModel::load");
+  m.net = vf::nn::network_from_bytes(net_bytes, "FcnnModel::load");
   return m;
 }
 

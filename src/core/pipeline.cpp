@@ -56,11 +56,18 @@ const FcnnModel& TemporalPipeline::model() const {
 vf::field::ScalarField TemporalPipeline::reconstruct(
     const vf::sampling::SampleCloud& cloud,
     const vf::field::UniformGrid3& grid) {
+  ReconstructReport report;
+  return reconstruct(cloud, grid, report);
+}
+
+vf::field::ScalarField TemporalPipeline::reconstruct(
+    const vf::sampling::SampleCloud& cloud,
+    const vf::field::UniformGrid3& grid, ReconstructReport& report) {
   if (!model_) {
     throw std::logic_error("TemporalPipeline: no timestep ingested yet");
   }
   FcnnReconstructor rec(model_->clone());
-  return rec.reconstruct(cloud, grid);
+  return rec.reconstruct(cloud, grid, report);
 }
 
 }  // namespace vf::core

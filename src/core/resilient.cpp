@@ -1,0 +1,161 @@
+#include "vf/core/resilient.hpp"
+
+#include <cmath>
+#include <exception>
+#include <numeric>
+#include <stdexcept>
+
+#include "vf/core/batch_reconstruct.hpp"
+#include "vf/core/features.hpp"
+#include "vf/core/model.hpp"
+#include "vf/util/parallel.hpp"
+
+namespace vf::core {
+
+using vf::field::ScalarField;
+using vf::field::UniformGrid3;
+using vf::field::Vec3;
+using vf::sampling::SampleCloud;
+
+const char* to_string(FallbackReason reason) {
+  switch (reason) {
+    case FallbackReason::None:
+      return "none";
+    case FallbackReason::ModelLoadFailed:
+      return "model-load-failed";
+    case FallbackReason::NonFiniteOutput:
+      return "non-finite-output";
+    case FallbackReason::NoUsableSamples:
+      return "no-usable-samples";
+  }
+  return "unknown";
+}
+
+std::string ReconstructReport::summary() const {
+  std::string s = "reconstruct: " + std::to_string(input_points) + " samples";
+  if (scrubbed_nonfinite > 0) {
+    s += ", scrubbed " + std::to_string(scrubbed_nonfinite) + " non-finite";
+  }
+  if (scrubbed_duplicates > 0) {
+    s += ", scrubbed " + std::to_string(scrubbed_duplicates) + " duplicates";
+  }
+  s += ", " + std::to_string(predicted_points) + " predicted";
+  if (degraded_points > 0) {
+    s += ", " + std::to_string(degraded_points) + " degraded (" +
+         to_string(fallback) + ")";
+  }
+  if (!detail.empty()) s += " [" + detail + "]";
+  return s;
+}
+
+FallbackMethod fallback_method_from(const std::string& name) {
+  if (name == "shepard") return FallbackMethod::Shepard;
+  if (name == "nearest") return FallbackMethod::Nearest;
+  throw std::invalid_argument("unknown fallback method: " + name);
+}
+
+double shepard_estimate(const vf::spatial::KdTree& tree,
+                        const std::vector<double>& values, const Vec3& p,
+                        int k) {
+  thread_local std::vector<vf::spatial::Neighbor> nbrs;
+  tree.knn(p, k, nbrs);
+  // Exact hit (or k == 1): the nearest sample's value verbatim.
+  if (!nbrs.empty() && (nbrs.size() == 1 || nbrs.front().dist2 == 0.0)) {
+    return values[nbrs.front().index];
+  }
+  double wsum = 0.0, vsum = 0.0;
+  for (const auto& nb : nbrs) {
+    const double w = 1.0 / nb.dist2;
+    wsum += w;
+    vsum += w * values[nb.index];
+  }
+  return vsum / wsum;
+}
+
+namespace {
+
+/// Fill `grid` classically from `clean`: kept samples pinned when the grids
+/// match, every remaining point estimated from the k nearest samples.
+ScalarField classical_fill(const SampleCloud& clean, const UniformGrid3& grid,
+                           FallbackMethod method, ReconstructReport& report) {
+  ScalarField out(grid, "fcnn");
+  const int k = method == FallbackMethod::Nearest ? 1 : kNeighbors;
+  vf::spatial::KdTree tree(clean.points());
+  const auto& values = clean.values();
+
+  if (clean.has_grid() && clean.grid() == grid) {
+    const auto& kept = clean.kept_indices();
+    for (std::size_t i = 0; i < kept.size(); ++i) out[kept[i]] = values[i];
+    const auto voids = clean.void_indices();
+    // vf-par: read-only-capture — tree queries are thread-safe after build;
+    // each iteration writes a distinct void index of out.
+    vf::util::parallel_for(
+        0, static_cast<std::int64_t>(voids.size()), [&](std::int64_t i) {
+          const auto idx = voids[static_cast<std::size_t>(i)];
+          out[idx] = shepard_estimate(tree, values, grid.position(idx), k);
+        });
+    report.degraded_points += voids.size();
+  } else {
+    // vf-par: read-only-capture — disjoint writes indexed by i.
+    vf::util::parallel_for(0, grid.point_count(), [&](std::int64_t i) {
+      out[i] = shepard_estimate(tree, values, grid.position(i), k);
+    });
+    report.degraded_points += static_cast<std::size_t>(grid.point_count());
+  }
+  return out;
+}
+
+}  // namespace
+
+ScalarField reconstruct_resilient(const std::string& model_path,
+                                  const SampleCloud& cloud,
+                                  const UniformGrid3& grid,
+                                  ReconstructReport& report,
+                                  FallbackMethod fallback) {
+  if (cloud.size() == 0) {
+    throw std::invalid_argument("reconstruct_resilient: empty cloud");
+  }
+  if (grid.point_count() <= 0) {
+    throw std::invalid_argument("reconstruct_resilient: empty grid");
+  }
+  report = ReconstructReport{};
+  report.input_points = cloud.size();
+  const SampleCloud clean =
+      cloud.scrubbed(report.scrubbed_nonfinite, report.scrubbed_duplicates);
+
+  if (clean.size() == 0) {
+    // Nothing usable at all: a constant field is the only honest answer.
+    report.fallback = FallbackReason::NoUsableSamples;
+    report.detail = "every sample was scrubbed";
+    report.degraded_points = static_cast<std::size_t>(grid.point_count());
+    return ScalarField(grid, "fcnn");
+  }
+
+  const std::size_t nonfinite = report.scrubbed_nonfinite;
+  const std::size_t duplicates = report.scrubbed_duplicates;
+  if (clean.size() >= static_cast<std::size_t>(kNeighbors)) {
+    try {
+      BatchReconstructor rec(FcnnModel::load(model_path));
+      ScalarField out = rec.reconstruct(clean, grid, report);
+      // The inner report re-ran scrubbing on the already-clean cloud;
+      // restore the ingest-side accounting.
+      report.input_points = cloud.size();
+      report.scrubbed_nonfinite = nonfinite;
+      report.scrubbed_duplicates = duplicates;
+      return out;
+    } catch (const std::exception& e) {
+      report = ReconstructReport{};  // discard any partial inner accounting
+      report.input_points = cloud.size();
+      report.scrubbed_nonfinite = nonfinite;
+      report.scrubbed_duplicates = duplicates;
+      report.fallback = FallbackReason::ModelLoadFailed;
+      report.detail = e.what();
+    }
+  } else {
+    report.fallback = FallbackReason::NoUsableSamples;
+    report.detail = "fewer usable samples than the feature stencil needs";
+  }
+  return classical_fill(clean, grid, fallback, report);
+}
+
+}  // namespace vf::core

@@ -1,9 +1,16 @@
 #pragma once
-// Native binary field format ("VFB1").
+// Native binary field format ("VFB").
 //
 // ASCII .vti is convenient for interoperability but slow for the paper-scale
 // Ionization grid (37M points). The native format is a raw little-endian
 // dump with a small header: magic, dims, origin, spacing, name, values.
+//
+// Version 2 ("VFB2") is crash-safe: writes are atomic
+// (write-temp -> fsync -> rename) and the header and value payload are
+// CRC32-framed, so torn writes and bit flips throw std::runtime_error at
+// load instead of materialising as corrupt fields. Legacy "VFB1" files
+// remain readable; their headers are bound-checked against the actual file
+// size before any allocation.
 
 #include <string>
 

@@ -5,53 +5,46 @@
 #include <fstream>
 #include <stdexcept>
 
+#include "vf/util/atomic_io.hpp"
+#include "vf/util/fault.hpp"
+
 namespace vf::field {
 
 namespace {
-constexpr char kMagic[4] = {'V', 'F', 'B', '1'};
-
-template <typename T>
-void write_pod(std::ostream& out, const T& v) {
-  out.write(reinterpret_cast<const char*>(&v), sizeof v);
-}
+// Version 1 ("VFB1"): unchecksummed header + raw values, kept readable.
+// Version 2 ("VFB2"): atomic write, CRC-framed header and data sections,
+// exact-size files — a torn write or bit flip throws at load.
+constexpr char kMagicV1[4] = {'V', 'F', 'B', '1'};
+constexpr char kMagicV2[4] = {'V', 'F', 'B', '2'};
+constexpr std::uint32_t kVersion = 2;
+constexpr std::uint32_t kMaxNameLen = 4096;
 
 template <typename T>
 void read_pod(std::istream& in, T& v) {
   in.read(reinterpret_cast<char*>(&v), sizeof v);
 }
-}  // namespace
 
-void write_native(const ScalarField& field, const std::string& path) {
-  std::ofstream out(path, std::ios::binary);
-  if (!out) throw std::runtime_error("write_native: cannot open " + path);
-  out.write(kMagic, 4);
-  const auto& g = field.grid();
-  write_pod(out, static_cast<std::int32_t>(g.dims().nx));
-  write_pod(out, static_cast<std::int32_t>(g.dims().ny));
-  write_pod(out, static_cast<std::int32_t>(g.dims().nz));
-  write_pod(out, g.origin().x);
-  write_pod(out, g.origin().y);
-  write_pod(out, g.origin().z);
-  write_pod(out, g.spacing().x);
-  write_pod(out, g.spacing().y);
-  write_pod(out, g.spacing().z);
-  auto name_len = static_cast<std::uint32_t>(field.name().size());
-  write_pod(out, name_len);
-  out.write(field.name().data(), name_len);
-  out.write(reinterpret_cast<const char*>(field.values().data()),
-            static_cast<std::streamsize>(field.size() * sizeof(double)));
-  if (!out) throw std::runtime_error("write_native: write failed for " + path);
+/// Validate header dims before any allocation: positive, non-overflowing,
+/// and small enough that the value payload fits in the bytes actually left
+/// in the file. A corrupt header must never drive a multi-GB resize.
+std::int64_t checked_point_count(std::int32_t nx, std::int32_t ny,
+                                 std::int32_t nz, std::uint64_t bytes_left,
+                                 const std::string& path) {
+  if (nx <= 0 || ny <= 0 || nz <= 0) {
+    throw std::runtime_error("read_native: non-positive dims in " + path);
+  }
+  const std::int64_t count =
+      static_cast<std::int64_t>(nx) * ny * nz;  // nx,ny,nz <= 2^31: no overflow in i64
+  if (static_cast<std::uint64_t>(count) > bytes_left / sizeof(double)) {
+    throw std::runtime_error(
+        "read_native: header dims exceed file size (torn or corrupt) in " +
+        path);
+  }
+  return count;
 }
 
-ScalarField read_native(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) throw std::runtime_error("read_native: cannot open " + path);
-  char magic[4];
-  in.read(magic, 4);
-  if (!in || std::memcmp(magic, kMagic, 4) != 0) {
-    throw std::runtime_error("read_native: bad magic in " + path);
-  }
-  std::int32_t nx, ny, nz;
+ScalarField read_native_v1(std::istream& in, const std::string& path) {
+  std::int32_t nx = 0, ny = 0, nz = 0;
   read_pod(in, nx);
   read_pod(in, ny);
   read_pod(in, nz);
@@ -64,16 +57,93 @@ ScalarField read_native(const std::string& path) {
   read_pod(in, spacing.z);
   std::uint32_t name_len = 0;
   read_pod(in, name_len);
-  if (!in || name_len > 4096) {
+  if (!in || name_len > kMaxNameLen) {
     throw std::runtime_error("read_native: corrupt header in " + path);
   }
   std::string name(name_len, '\0');
   in.read(name.data(), name_len);
+  if (!in) throw std::runtime_error("read_native: corrupt header in " + path);
+  const std::int64_t count = checked_point_count(
+      nx, ny, nz, vf::util::bytes_remaining(in), path);
   UniformGrid3 grid({nx, ny, nz}, origin, spacing);
-  std::vector<double> values(static_cast<std::size_t>(grid.point_count()));
+  std::vector<double> values(static_cast<std::size_t>(count));
   in.read(reinterpret_cast<char*>(values.data()),
           static_cast<std::streamsize>(values.size() * sizeof(double)));
   if (!in) throw std::runtime_error("read_native: truncated data in " + path);
+  vf::util::expect_eof(in, "read_native");
+  return ScalarField(grid, std::move(values), name);
+}
+
+}  // namespace
+
+void write_native(const ScalarField& field, const std::string& path) {
+  const auto& g = field.grid();
+  vf::util::ByteWriter header;
+  header.pod(static_cast<std::int32_t>(g.dims().nx));
+  header.pod(static_cast<std::int32_t>(g.dims().ny));
+  header.pod(static_cast<std::int32_t>(g.dims().nz));
+  header.pod(g.origin().x);
+  header.pod(g.origin().y);
+  header.pod(g.origin().z);
+  header.pod(g.spacing().x);
+  header.pod(g.spacing().y);
+  header.pod(g.spacing().z);
+  header.str(field.name());
+
+  vf::util::atomic_write_file(path, [&](std::ostream& out) {
+    out.write(kMagicV2, 4);
+    const std::uint32_t version = kVersion;
+    out.write(reinterpret_cast<const char*>(&version), sizeof version);
+    vf::util::write_crc_section(out, header.data());
+    // The value payload streams directly from the field's buffer — no
+    // staging copy of the (possibly multi-hundred-MB) data section.
+    vf::util::write_crc_section(out, field.values().data(),
+                                static_cast<std::size_t>(field.size()) *
+                                    sizeof(double));
+  });
+}
+
+ScalarField read_native(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in || vf::util::fault::should_fail("native_read")) {
+    throw std::runtime_error("read_native: cannot open " + path);
+  }
+  char magic[4];
+  in.read(magic, 4);
+  if (!in) throw std::runtime_error("read_native: truncated " + path);
+  if (std::memcmp(magic, kMagicV1, 4) == 0) return read_native_v1(in, path);
+  if (std::memcmp(magic, kMagicV2, 4) != 0) {
+    throw std::runtime_error("read_native: bad magic in " + path);
+  }
+  std::uint32_t version = 0;
+  read_pod(in, version);
+  if (!in || version != kVersion) {
+    throw std::runtime_error("read_native: unsupported version in " + path);
+  }
+  const std::string header = vf::util::read_crc_section(
+      in, vf::util::bytes_remaining(in), "read_native");
+  vf::util::ByteReader hdr(header, "read_native");
+  const auto nx = hdr.pod<std::int32_t>();
+  const auto ny = hdr.pod<std::int32_t>();
+  const auto nz = hdr.pod<std::int32_t>();
+  Vec3 origin, spacing;
+  origin.x = hdr.pod<double>();
+  origin.y = hdr.pod<double>();
+  origin.z = hdr.pod<double>();
+  spacing.x = hdr.pod<double>();
+  spacing.y = hdr.pod<double>();
+  spacing.z = hdr.pod<double>();
+  const std::string name = hdr.str(kMaxNameLen);
+  hdr.expect_end();
+
+  const std::int64_t count = checked_point_count(
+      nx, ny, nz, vf::util::bytes_remaining(in), path);
+  UniformGrid3 grid({nx, ny, nz}, origin, spacing);
+  std::vector<double> values(static_cast<std::size_t>(count));
+  vf::util::read_crc_section_into(in, values.data(),
+                                  values.size() * sizeof(double),
+                                  "read_native");
+  vf::util::expect_eof(in, "read_native");
   return ScalarField(grid, std::move(values), name);
 }
 

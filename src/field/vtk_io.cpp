@@ -5,6 +5,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "vf/util/atomic_io.hpp"
+
 namespace vf::field {
 
 namespace {
@@ -36,8 +38,9 @@ std::vector<double> read_doubles(std::istream& in, std::size_t count,
 }  // namespace
 
 void write_vti(const ScalarField& field, const std::string& path) {
-  std::ofstream out(path);
-  if (!out) throw std::runtime_error("write_vti: cannot open " + path);
+  // Field archives go through the atomic writer: a crash mid-write must not
+  // replace a good archived timestep with a torn one.
+  vf::util::atomic_write_file(path, [&](std::ostream& out) {
   const auto& g = field.grid();
   const auto& d = g.dims();
   const auto& o = g.origin();
@@ -65,6 +68,7 @@ void write_vti(const ScalarField& field, const std::string& path) {
       << "  </ImageData>\n"
       << "</VTKFile>\n";
   if (!out) throw std::runtime_error("write_vti: write failed for " + path);
+  });
 }
 
 ScalarField read_vti(const std::string& path) {
@@ -111,8 +115,8 @@ void write_vtp(const std::vector<Vec3>& points,
   if (points.size() != values.size()) {
     throw std::invalid_argument("write_vtp: point/value count mismatch");
   }
-  std::ofstream out(path);
-  if (!out) throw std::runtime_error("write_vtp: cannot open " + path);
+  // Sample-cloud archives are as precious as field archives: atomic write.
+  vf::util::atomic_write_file(path, [&](std::ostream& out) {
   const std::size_t n = points.size();
   out << "<?xml version=\"1.0\"?>\n"
       << "<VTKFile type=\"PolyData\" version=\"1.0\" "
@@ -146,6 +150,7 @@ void write_vtp(const std::vector<Vec3>& points,
   out << "\n        </DataArray>\n      </Verts>\n";
   out << "    </Piece>\n  </PolyData>\n</VTKFile>\n";
   if (!out) throw std::runtime_error("write_vtp: write failed for " + path);
+  });
 }
 
 PolyData read_vtp(const std::string& path) {

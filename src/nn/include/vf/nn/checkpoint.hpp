@@ -1,0 +1,80 @@
+#pragma once
+// Crash-safe training checkpoints ("VFCK").
+//
+// A checkpoint captures everything Trainer::fit needs to continue a run
+// bit-identically after a crash: the network weights, the full Adam moment
+// state (m, v, step counter), the shuffle RNG state, the current cumulative
+// row permutations, the loss history, and the early-stopping counters.
+// Checkpoints are written through the atomic-write helper (temp -> fsync ->
+// rename) with per-section CRC32 framing, so a SIGKILL mid-write can never
+// leave a checkpoint that loads as garbage — torn files throw at load and
+// load_latest() falls back to the previous intact one.
+//
+// File layout (little-endian):
+//   "VFCK" | u32 version | crc_section(trainer state) |
+//   crc_section(network bytes, see serialize.hpp) | crc_section(adam state)
+//
+// Files are named ckpt_NNNNNN.vfck (NNNNNN = completed-epoch count) inside
+// the checkpoint directory; keep_last bounds how many are retained.
+
+#include <string>
+#include <vector>
+
+#include "vf/nn/network.hpp"
+#include "vf/nn/optimizer.hpp"
+#include "vf/util/rng.hpp"
+
+namespace vf::nn {
+
+/// Everything beyond the weights that Trainer::fit must restore to resume a
+/// run exactly where it stopped.
+struct TrainerState {
+  int epoch = 0;  ///< completed-epoch count; resume re-enters at this index
+  double best = 0.0;  ///< best train loss seen (early stopping)
+  int stall = 0;      ///< consecutive epochs without improvement
+  vf::util::RngState rng;
+  std::vector<std::size_t> order;      ///< cumulative training permutation
+  std::vector<std::size_t> val_order;  ///< fixed validation rows
+  std::vector<double> train_loss;
+  std::vector<double> val_loss;
+  AdamState adam;
+};
+
+class Checkpointer {
+ public:
+  struct Options {
+    std::string dir;    ///< checkpoint directory (created on first write)
+    int every = 1;      ///< write every N completed epochs
+    int keep_last = 3;  ///< retain at most this many checkpoints (>=1)
+  };
+
+  explicit Checkpointer(Options options);
+
+  /// True when `epoch` completed epochs is a checkpoint boundary.
+  [[nodiscard]] bool due(int epoch) const;
+
+  /// Atomically write a checkpoint for `state.epoch` completed epochs and
+  /// prune checkpoints beyond keep_last. Throws std::runtime_error on I/O
+  /// failure (the previous checkpoints are left intact).
+  void write(const Network& net, const TrainerState& state) const;
+
+  [[nodiscard]] const Options& options() const { return options_; }
+
+  /// Checkpoint paths in `dir`, sorted ascending by epoch. Missing or
+  /// unreadable directories yield an empty list.
+  static std::vector<std::string> list(const std::string& dir);
+
+  /// Load one checkpoint file. Throws std::runtime_error on corruption.
+  static void load(const std::string& path, Network& net,
+                   TrainerState& state);
+
+  /// Load the newest checkpoint that passes integrity checks, skipping
+  /// corrupt ones. Returns false when no valid checkpoint exists.
+  static bool load_latest(const std::string& dir, Network& net,
+                          TrainerState& state);
+
+ private:
+  Options options_;
+};
+
+}  // namespace vf::nn

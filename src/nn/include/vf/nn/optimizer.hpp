@@ -36,6 +36,16 @@ class SgdOptimizer final : public Optimizer {
   std::vector<Param> params_;
 };
 
+/// Complete Adam moment state. Exported into checkpoints so a resumed run
+/// continues the exact bias-corrected update sequence — dropping m/v/t on
+/// restart would perturb the first post-resume steps and break bit-identical
+/// resume.
+struct AdamState {
+  long t = 0;              // step counter for bias correction
+  std::vector<Matrix> m;   // first-moment estimates, parallel to params
+  std::vector<Matrix> v;   // second-moment estimates
+};
+
 class AdamOptimizer final : public Optimizer {
  public:
   explicit AdamOptimizer(double lr = 1e-3, double beta1 = 0.9,
@@ -44,6 +54,14 @@ class AdamOptimizer final : public Optimizer {
 
   void attach(const std::vector<Param>& params) override;
   void step() override;
+
+  /// Copy out the moment state for checkpointing. Requires attach().
+  [[nodiscard]] AdamState export_state() const;
+
+  /// Restore moment state exported from an identically-shaped parameter
+  /// set. Must be called after attach(); throws std::runtime_error when the
+  /// state's shapes do not match the attached params.
+  void import_state(AdamState state);
 
   [[nodiscard]] double learning_rate() const { return lr_; }
   void set_learning_rate(double lr) { lr_ = lr; }

@@ -6,6 +6,14 @@
 // stores only the last two dense layers per timestep. save_network /
 // load_network handle the full model; save_dense_tail / load_dense_tail
 // handle the partial Case-2 payload.
+//
+// Format version 2 is crash-safe: files are written atomically
+// (write-temp -> fsync -> rename, see vf/util/atomic_io.hpp) and every
+// variable-length section — one per layer — carries a CRC32, so a torn
+// write or a bit flip is rejected at load with std::runtime_error instead
+// of being silently deserialised. Loaders consume the file exactly:
+// trailing bytes after the payload are an error. Version-1 files (no
+// checksums) are still readable, with the same exact-size discipline.
 
 #include <string>
 
@@ -14,10 +22,16 @@
 namespace vf::nn {
 
 /// Serialize the full network (architecture + weights + trainability).
+/// The write is atomic: on any failure `path` keeps its previous content.
 void save_network(const Network& net, const std::string& path);
 
 /// Load a network saved with save_network.
 Network load_network(const std::string& path);
+
+/// The v2 on-disk byte layout, in memory. The checkpoint format embeds
+/// networks through these instead of touching the filesystem twice.
+std::string network_to_bytes(const Network& net);
+Network network_from_bytes(const std::string& bytes, const char* what);
 
 /// Save only the last `n` dense layers' weights (Case-2 per-timestep delta).
 void save_dense_tail(const Network& net, int n, const std::string& path);

@@ -38,6 +38,18 @@ struct TrainOptions {
   /// Invoked after every epoch with (epoch, train_loss, val_loss);
   /// val_loss is NaN when no validation split is configured.
   std::function<void(int, double, double)> on_epoch;
+  /// Directory for periodic crash-safe checkpoints (empty disables). See
+  /// vf/nn/checkpoint.hpp for the VFCK format and retention policy.
+  std::string checkpoint_dir;
+  /// Write a checkpoint every this many completed epochs.
+  int checkpoint_every = 1;
+  /// Retain at most this many checkpoints (oldest pruned first).
+  int checkpoint_keep = 3;
+  /// Resume from the newest intact checkpoint in checkpoint_dir before
+  /// training (fresh run when none exists). A resumed run continues
+  /// bit-identically to an uninterrupted one: weights, Adam moments, the
+  /// shuffle RNG, and the loss history are all restored.
+  bool resume = false;
 };
 
 struct TrainHistory {
@@ -45,6 +57,8 @@ struct TrainHistory {
   std::vector<double> val_loss;    // empty when validation_fraction == 0
   double seconds = 0.0;
   int epochs_run = 0;
+  /// Completed-epoch count restored from a checkpoint; -1 for a fresh run.
+  int resumed_from_epoch = -1;
 };
 
 class Trainer {

@@ -27,6 +27,35 @@ void AdamOptimizer::attach(const std::vector<Param>& params) {
   t_ = 0;
 }
 
+AdamState AdamOptimizer::export_state() const {
+  if (params_.empty()) throw std::logic_error("AdamOptimizer: not attached");
+  AdamState s;
+  s.t = t_;
+  s.m = m_;
+  s.v = v_;
+  return s;
+}
+
+void AdamOptimizer::import_state(AdamState state) {
+  if (params_.empty()) throw std::logic_error("AdamOptimizer: not attached");
+  if (state.m.size() != m_.size() || state.v.size() != v_.size()) {
+    throw std::runtime_error(
+        "AdamOptimizer::import_state: param count mismatch");
+  }
+  for (std::size_t i = 0; i < m_.size(); ++i) {
+    if (state.m[i].rows() != m_[i].rows() ||
+        state.m[i].cols() != m_[i].cols() ||
+        state.v[i].rows() != v_[i].rows() ||
+        state.v[i].cols() != v_[i].cols()) {
+      throw std::runtime_error(
+          "AdamOptimizer::import_state: moment shape mismatch");
+    }
+  }
+  t_ = state.t;
+  m_ = std::move(state.m);
+  v_ = std::move(state.v);
+}
+
 void AdamOptimizer::step() {
   if (params_.empty()) throw std::logic_error("AdamOptimizer: not attached");
   ++t_;

@@ -3,109 +3,132 @@
 #include <cstdint>
 #include <cstring>
 #include <fstream>
+#include <sstream>
 #include <stdexcept>
+#include <utility>
+#include <vector>
 
+#include "vf/util/atomic_io.hpp"
 #include "vf/util/contract.hpp"
+#include "vf/util/fault.hpp"
 
 namespace vf::nn {
 
 namespace {
 
+using vf::util::ByteReader;
+using vf::util::ByteWriter;
+
 constexpr char kMagic[4] = {'V', 'F', 'N', 'N'};
-constexpr std::uint32_t kVersion = 1;
+constexpr char kTailMagic[4] = {'V', 'F', 'N', 'T'};
+constexpr std::uint32_t kVersion = 2;
+constexpr std::uint32_t kLegacyVersion = 1;
+/// Upper bound on any matrix element count accepted at load: larger than
+/// every real model, small enough that a corrupt header cannot OOM.
+constexpr std::uint64_t kMaxMatrixElements = 1ull << 28;
 
-template <typename T>
-void write_pod(std::ostream& out, const T& v) {
-  out.write(reinterpret_cast<const char*>(&v), sizeof v);
+void write_matrix(ByteWriter& out, const Matrix& m) {
+  out.pod(static_cast<std::uint64_t>(m.rows()));
+  out.pod(static_cast<std::uint64_t>(m.cols()));
+  out.bytes(m.data().data(), m.size() * sizeof(double));
 }
 
-template <typename T>
-void read_pod(std::istream& in, T& v) {
-  in.read(reinterpret_cast<char*>(&v), sizeof v);
-}
-
-void write_string(std::ostream& out, const std::string& s) {
-  write_pod(out, static_cast<std::uint32_t>(s.size()));
-  out.write(s.data(), static_cast<std::streamsize>(s.size()));
-}
-
-std::string read_string(std::istream& in) {
-  std::uint32_t len = 0;
-  read_pod(in, len);
-  if (!in || len > (1u << 20)) {
-    throw std::runtime_error("nn serialize: corrupt string length");
-  }
-  std::string s(len, '\0');
-  in.read(s.data(), len);
-  return s;
-}
-
-void write_matrix(std::ostream& out, const Matrix& m) {
-  write_pod(out, static_cast<std::uint64_t>(m.rows()));
-  write_pod(out, static_cast<std::uint64_t>(m.cols()));
-  out.write(reinterpret_cast<const char*>(m.data().data()),
-            static_cast<std::streamsize>(m.size() * sizeof(double)));
-}
-
-Matrix read_matrix(std::istream& in) {
-  std::uint64_t rows = 0, cols = 0;
-  read_pod(in, rows);
-  read_pod(in, cols);
-  if (!in || rows * cols > (1ull << 32)) {
+Matrix read_matrix(ByteReader& in) {
+  const auto rows = in.pod<std::uint64_t>();
+  const auto cols = in.pod<std::uint64_t>();
+  if (rows == 0 || cols == 0 || rows * cols > kMaxMatrixElements ||
+      rows * cols * sizeof(double) > in.remaining()) {
     throw std::runtime_error("nn serialize: corrupt matrix header");
   }
   Matrix m(static_cast<std::size_t>(rows), static_cast<std::size_t>(cols));
-  in.read(reinterpret_cast<char*>(m.data().data()),
-          static_cast<std::streamsize>(m.size() * sizeof(double)));
-  if (!in) throw std::runtime_error("nn serialize: truncated matrix");
+  in.bytes(m.data().data(), m.size() * sizeof(double));
   return m;
 }
 
-}  // namespace
-
-void save_network(const Network& net, const std::string& path) {
-  std::ofstream out(path, std::ios::binary);
-  if (!out) throw std::runtime_error("save_network: cannot open " + path);
-  out.write(kMagic, 4);
-  write_pod(out, kVersion);
-  write_pod(out, static_cast<std::uint32_t>(net.layer_count()));
-  for (std::size_t i = 0; i < net.layer_count(); ++i) {
-    const Layer& l = net.layer(i);
-    write_string(out, l.kind());
-    write_pod(out, static_cast<std::uint8_t>(l.trainable() ? 1 : 0));
-    if (l.kind() == "dense") {
-      const auto& d = static_cast<const DenseLayer&>(l);
-      write_matrix(out, d.weights());
-      write_matrix(out, d.bias());
-    } else if (l.kind() == "leaky_relu") {
-      write_pod(out, static_cast<const LeakyReluLayer&>(l).slope());
-    }
+/// One layer's section payload: kind, trainability, parameters.
+std::string layer_payload(const Layer& l) {
+  ByteWriter out;
+  out.str(l.kind());
+  out.pod(static_cast<std::uint8_t>(l.trainable() ? 1 : 0));
+  if (l.kind() == "dense") {
+    const auto& d = static_cast<const DenseLayer&>(l);
+    write_matrix(out, d.weights());
+    write_matrix(out, d.bias());
+  } else if (l.kind() == "leaky_relu") {
+    out.pod(static_cast<const LeakyReluLayer&>(l).slope());
   }
-  if (!out) throw std::runtime_error("save_network: write failed " + path);
+  return out.take();
 }
 
-Network load_network(const std::string& path) {
+std::unique_ptr<Layer> layer_from_payload(const std::string& payload) {
+  ByteReader in(payload, "load_network");
+  const std::string kind = in.str(64);
+  const auto trainable = in.pod<std::uint8_t>();
+  std::unique_ptr<Layer> layer;
+  if (kind == "dense") {
+    Matrix w = read_matrix(in);
+    Matrix b = read_matrix(in);
+    if (b.rows() != 1 || b.cols() != w.cols()) {
+      throw std::runtime_error("load_network: bias/weights shape mismatch");
+    }
+    auto d = std::make_unique<DenseLayer>(w.rows(), w.cols());
+    d->weights() = std::move(w);
+    d->bias() = std::move(b);
+    layer = std::move(d);
+  } else if (kind == "relu") {
+    layer = std::make_unique<ReluLayer>();
+  } else if (kind == "tanh") {
+    layer = std::make_unique<TanhLayer>();
+  } else if (kind == "leaky_relu") {
+    layer = std::make_unique<LeakyReluLayer>(in.pod<double>());
+  } else {
+    throw std::runtime_error("load_network: unknown layer kind " + kind);
+  }
+  layer->set_trainable(trainable != 0);
+  in.expect_end();
+  return layer;
+}
+
+std::string slurp(const std::string& path, const char* what) {
   std::ifstream in(path, std::ios::binary);
-  if (!in) throw std::runtime_error("load_network: cannot open " + path);
-  char magic[4];
-  in.read(magic, 4);
-  if (!in || std::memcmp(magic, kMagic, 4) != 0) {
-    throw std::runtime_error("load_network: bad magic in " + path);
+  if (!in || vf::util::fault::should_fail("serialize_read")) {
+    throw std::runtime_error(std::string(what) + ": cannot open " + path);
   }
-  std::uint32_t version = 0, layers = 0;
-  read_pod(in, version);
-  read_pod(in, layers);
-  if (version != kVersion) {
-    throw std::runtime_error("load_network: unsupported version");
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  if (!in && !in.eof()) {
+    throw std::runtime_error(std::string(what) + ": read failed for " + path);
   }
+  return buf.str();
+}
+
+// ---- legacy (version 1, unchecksummed) parsing ---------------------------
+// Kept so models archived before the crash-safe format still load. The
+// ByteReader bounds every field against the real file size, and expect_end
+// enforces exact consumption, so v1 files get the same trailing-garbage and
+// giant-header protection even without CRCs.
+
+Matrix read_matrix_v1(ByteReader& in, const char* what) {
+  const auto rows = in.pod<std::uint64_t>();
+  const auto cols = in.pod<std::uint64_t>();
+  if (rows == 0 || cols == 0 || rows * cols > kMaxMatrixElements ||
+      rows * cols * sizeof(double) > in.remaining()) {
+    throw std::runtime_error(std::string(what) + ": corrupt matrix header");
+  }
+  Matrix m(static_cast<std::size_t>(rows), static_cast<std::size_t>(cols));
+  in.bytes(m.data().data(), m.size() * sizeof(double));
+  return m;
+}
+
+Network network_from_bytes_v1(ByteReader& in) {
+  const auto layers = in.pod<std::uint32_t>();
   Network net;
   for (std::uint32_t i = 0; i < layers; ++i) {
-    std::string kind = read_string(in);
-    std::uint8_t trainable = 1;
-    read_pod(in, trainable);
+    const std::string kind = in.str(64);
+    const auto trainable = in.pod<std::uint8_t>();
     if (kind == "dense") {
-      Matrix w = read_matrix(in);
-      Matrix b = read_matrix(in);
+      Matrix w = read_matrix_v1(in, "load_network");
+      Matrix b = read_matrix_v1(in, "load_network");
       auto d = std::make_unique<DenseLayer>(w.rows(), w.cols());
       d->weights() = std::move(w);
       d->bias() = std::move(b);
@@ -120,68 +143,173 @@ Network load_network(const std::string& path) {
       l->set_trainable(trainable != 0);
       net.add(std::move(l));
     } else if (kind == "leaky_relu") {
-      double slope = 0.01;
-      read_pod(in, slope);
-      auto l = std::make_unique<LeakyReluLayer>(slope);
+      auto l = std::make_unique<LeakyReluLayer>(in.pod<double>());
       l->set_trainable(trainable != 0);
       net.add(std::move(l));
     } else {
       throw std::runtime_error("load_network: unknown layer kind " + kind);
     }
   }
+  in.expect_end();
   return net;
 }
 
+}  // namespace
+
+std::string network_to_bytes(const Network& net) {
+  std::ostringstream out;
+  out.write(kMagic, 4);
+  const std::uint32_t version = kVersion;
+  out.write(reinterpret_cast<const char*>(&version), sizeof version);
+  ByteWriter header;
+  header.pod(static_cast<std::uint32_t>(net.layer_count()));
+  vf::util::write_crc_section(out, header.data());
+  for (std::size_t i = 0; i < net.layer_count(); ++i) {
+    vf::util::write_crc_section(out, layer_payload(net.layer(i)));
+  }
+  return out.str();
+}
+
+Network network_from_bytes(const std::string& bytes, const char* what) {
+  std::istringstream in(bytes);
+  char magic[4];
+  in.read(magic, 4);
+  std::uint32_t version = 0;
+  in.read(reinterpret_cast<char*>(&version), sizeof version);
+  if (!in || std::memcmp(magic, kMagic, 4) != 0) {
+    throw std::runtime_error(std::string(what) + ": bad magic");
+  }
+  if (version == kLegacyVersion) {
+    ByteReader body(bytes, what);
+    body.bytes(magic, 4);          // skip magic
+    body.pod<std::uint32_t>();     // skip version
+    return network_from_bytes_v1(body);
+  }
+  if (version != kVersion) {
+    throw std::runtime_error(std::string(what) + ": unsupported version " +
+                             std::to_string(version));
+  }
+  const std::string header =
+      vf::util::read_crc_section(in, vf::util::bytes_remaining(in), what);
+  ByteReader hdr(header, what);
+  const auto layers = hdr.pod<std::uint32_t>();
+  hdr.expect_end();
+  Network net;
+  for (std::uint32_t i = 0; i < layers; ++i) {
+    net.add(layer_from_payload(
+        vf::util::read_crc_section(in, vf::util::bytes_remaining(in), what)));
+  }
+  vf::util::expect_eof(in, what);
+  return net;
+}
+
+void save_network(const Network& net, const std::string& path) {
+  const std::string bytes = network_to_bytes(net);
+  vf::util::atomic_write_file(path, [&](std::ostream& out) {
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  });
+}
+
+Network load_network(const std::string& path) {
+  try {
+    return network_from_bytes(slurp(path, "load_network"), "load_network");
+  } catch (const std::runtime_error& e) {
+    throw std::runtime_error(std::string(e.what()) + " in " + path);
+  }
+}
+
 void save_dense_tail(const Network& net, int n, const std::string& path) {
-  std::ofstream out(path, std::ios::binary);
-  if (!out) throw std::runtime_error("save_dense_tail: cannot open " + path);
-  const char tail_magic[4] = {'V', 'F', 'N', 'T'};
-  out.write(tail_magic, 4);
-  write_pod(out, kVersion);
-  int total = net.dense_count();
+  const int total = net.dense_count();
   VF_REQUIRE(n >= 0 && n <= total,
              "save_dense_tail: tail longer than dense stack");
-  write_pod(out, static_cast<std::uint32_t>(n));
-  int seen = 0;
-  for (std::size_t i = 0; i < net.layer_count(); ++i) {
-    const Layer& l = net.layer(i);
-    if (l.kind() != "dense") continue;
-    ++seen;
-    if (seen <= total - n) continue;
-    const auto& d = static_cast<const DenseLayer&>(l);
-    write_matrix(out, d.weights());
-    write_matrix(out, d.bias());
-  }
-  if (!out) throw std::runtime_error("save_dense_tail: write failed " + path);
+  vf::util::atomic_write_file(path, [&](std::ostream& out) {
+    out.write(kTailMagic, 4);
+    const std::uint32_t version = kVersion;
+    out.write(reinterpret_cast<const char*>(&version), sizeof version);
+    ByteWriter header;
+    header.pod(static_cast<std::uint32_t>(n));
+    vf::util::write_crc_section(out, header.data());
+    int seen = 0;
+    for (std::size_t i = 0; i < net.layer_count(); ++i) {
+      const Layer& l = net.layer(i);
+      if (l.kind() != "dense") continue;
+      ++seen;
+      if (seen <= total - n) continue;
+      const auto& d = static_cast<const DenseLayer&>(l);
+      ByteWriter section;
+      write_matrix(section, d.weights());
+      write_matrix(section, d.bias());
+      vf::util::write_crc_section(out, section.data());
+    }
+  });
 }
 
 void load_dense_tail(Network& net, int n, const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) throw std::runtime_error("load_dense_tail: cannot open " + path);
+  const std::string bytes = slurp(path, "load_dense_tail");
+  std::istringstream in(bytes);
   char magic[4];
   in.read(magic, 4);
-  if (!in || std::memcmp(magic, "VFNT", 4) != 0) {
+  if (!in || std::memcmp(magic, kTailMagic, 4) != 0) {
     throw std::runtime_error("load_dense_tail: bad magic in " + path);
   }
-  std::uint32_t version = 0, count = 0;
-  read_pod(in, version);
-  read_pod(in, count);
-  if (version != kVersion || static_cast<int>(count) != n) {
-    throw std::runtime_error("load_dense_tail: layer count mismatch");
-  }
-  int total = net.dense_count();
+  std::uint32_t version = 0;
+  in.read(reinterpret_cast<char*>(&version), sizeof version);
+
+  const int total = net.dense_count();
   VF_REQUIRE(n >= 0 && n <= total,
              "load_dense_tail: tail longer than dense stack");
+
+  // Parse every tail matrix before touching `net`, so a corrupt later
+  // section cannot leave the network half-overwritten.
+  std::vector<std::pair<Matrix, Matrix>> tail;
+  if (version == kLegacyVersion) {
+    ByteReader body(bytes, "load_dense_tail");
+    body.bytes(magic, 4);
+    body.pod<std::uint32_t>();  // version
+    const auto count = body.pod<std::uint32_t>();
+    if (static_cast<int>(count) != n) {
+      throw std::runtime_error("load_dense_tail: layer count mismatch");
+    }
+    for (std::uint32_t i = 0; i < count; ++i) {
+      Matrix w = read_matrix_v1(body, "load_dense_tail");
+      Matrix b = read_matrix_v1(body, "load_dense_tail");
+      tail.emplace_back(std::move(w), std::move(b));
+    }
+    body.expect_end();
+  } else if (version == kVersion) {
+    const std::string header = vf::util::read_crc_section(
+        in, vf::util::bytes_remaining(in), "load_dense_tail");
+    ByteReader hdr(header, "load_dense_tail");
+    const auto count = hdr.pod<std::uint32_t>();
+    hdr.expect_end();
+    if (static_cast<int>(count) != n) {
+      throw std::runtime_error("load_dense_tail: layer count mismatch");
+    }
+    for (std::uint32_t i = 0; i < count; ++i) {
+      const std::string payload = vf::util::read_crc_section(
+          in, vf::util::bytes_remaining(in), "load_dense_tail");
+      ByteReader section(payload, "load_dense_tail");
+      Matrix w = read_matrix(section);
+      Matrix b = read_matrix(section);
+      section.expect_end();
+      tail.emplace_back(std::move(w), std::move(b));
+    }
+    vf::util::expect_eof(in, "load_dense_tail");
+  } else {
+    throw std::runtime_error("load_dense_tail: unsupported version in " + path);
+  }
+
   int seen = 0;
+  std::size_t next = 0;
   for (std::size_t i = 0; i < net.layer_count(); ++i) {
     Layer& l = net.layer(i);
     if (l.kind() != "dense") continue;
     ++seen;
     if (seen <= total - n) continue;
     auto& d = static_cast<DenseLayer&>(l);
-    Matrix w = read_matrix(in);
-    Matrix b = read_matrix(in);
-    if (w.rows() != d.weights().rows() || w.cols() != d.weights().cols()) {
+    auto& [w, b] = tail[next++];
+    if (w.rows() != d.weights().rows() || w.cols() != d.weights().cols() ||
+        b.cols() != d.bias().cols()) {
       throw std::runtime_error("load_dense_tail: shape mismatch");
     }
     d.weights() = std::move(w);

@@ -2,9 +2,14 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <numeric>
+#include <optional>
 #include <stdexcept>
+#include <utility>
 
+#include "vf/nn/checkpoint.hpp"
+#include "vf/util/fault.hpp"
 #include "vf/util/rng.hpp"
 #include "vf/util/timer.hpp"
 
@@ -49,16 +54,63 @@ TrainHistory Trainer::fit(Network& net, const Matrix& X,
   order.resize(X.rows() - val_rows);
 
   AdamOptimizer opt(options_.learning_rate);
-  opt.attach(net.params());
   MseLoss loss;
 
   TrainHistory hist;
   Matrix bx, by, pred, grad;
   double best = std::numeric_limits<double>::infinity();
   int stall = 0;
+  int start_epoch = 0;
+
+  std::optional<Checkpointer> ckpt;
+  if (!options_.checkpoint_dir.empty()) {
+    ckpt.emplace(Checkpointer::Options{options_.checkpoint_dir,
+                                       options_.checkpoint_every,
+                                       options_.checkpoint_keep});
+  }
+
+  // Resume replaces the freshly-initialised net and re-enters the epoch
+  // loop with the exact shuffle/optimizer/loss state of the interrupted
+  // run, so the continuation is bit-identical to never having stopped.
+  std::optional<TrainerState> resumed;
+  if (ckpt && options_.resume) {
+    TrainerState st;
+    if (Checkpointer::load_latest(options_.checkpoint_dir, net, st)) {
+      resumed = std::move(st);
+    }
+  }
+  if (resumed) {
+    if (resumed->order.size() != order.size() ||
+        resumed->val_order.size() != val_order.size()) {
+      throw std::runtime_error(
+          "Trainer::fit: checkpoint does not match this dataset/options");
+    }
+    for (std::size_t idx : resumed->order) {
+      if (idx >= X.rows()) {
+        throw std::runtime_error("Trainer::fit: checkpoint index out of range");
+      }
+    }
+    rng.restore(resumed->rng);
+    order = std::move(resumed->order);
+    val_order = std::move(resumed->val_order);
+    hist.train_loss = std::move(resumed->train_loss);
+    hist.val_loss = std::move(resumed->val_loss);
+    hist.epochs_run = resumed->epoch;
+    hist.resumed_from_epoch = resumed->epoch;
+    best = resumed->best;
+    stall = resumed->stall;
+    start_epoch = resumed->epoch;
+  }
+  opt.attach(net.params());
+  if (resumed) opt.import_state(std::move(resumed->adam));
 
   const std::size_t bs = std::max<std::size_t>(options_.batch_size, 1);
-  for (int epoch = 0; epoch < options_.epochs; ++epoch) {
+  for (int epoch = start_epoch; epoch < options_.epochs; ++epoch) {
+    // Failpoint for kill-and-resume tests: dies between epochs, exactly
+    // where a SIGKILL loses the least work.
+    if (vf::util::fault::should_fail("trainer_epoch")) {
+      throw std::runtime_error("Trainer::fit: injected epoch fault");
+    }
     if (options_.schedule == LrSchedule::Cosine && options_.epochs > 1) {
       double u = static_cast<double>(epoch) / (options_.epochs - 1);
       double factor = options_.lr_floor +
@@ -97,14 +149,33 @@ TrainHistory Trainer::fit(Network& net, const Matrix& X,
     }
     if (options_.on_epoch) options_.on_epoch(epoch, epoch_loss, vloss);
 
+    bool stop = false;
     if (options_.patience > 0) {
       if (epoch_loss < best - options_.min_improvement) {
         best = epoch_loss;
         stall = 0;
       } else if (++stall >= options_.patience) {
-        break;
+        stop = true;
       }
     }
+
+    // Snapshot AFTER this epoch's rng/optimizer/history updates so a resumed
+    // run re-enters the loop exactly where an uninterrupted one would be.
+    // The final epoch (budget exhausted or early stop) is always persisted.
+    if (ckpt && (ckpt->due(epoch + 1) || epoch + 1 == options_.epochs || stop)) {
+      TrainerState st;
+      st.epoch = epoch + 1;
+      st.best = best;
+      st.stall = stall;
+      st.rng = rng.state();
+      st.order = order;
+      st.val_order = val_order;
+      st.train_loss = hist.train_loss;
+      st.val_loss = hist.val_loss;
+      st.adam = opt.export_state();
+      ckpt->write(net, st);
+    }
+    if (stop) break;
   }
   hist.seconds = timer.seconds();
   return hist;

@@ -48,6 +48,15 @@ class SampleCloud {
   /// Fraction of grid points kept (0 when no grid).
   [[nodiscard]] double sampling_fraction() const;
 
+  /// Copy with unusable samples removed: points whose value or any
+  /// coordinate is non-finite (NaN/Inf), and exact positional duplicates
+  /// (first occurrence wins). The dropped counts are reported through the
+  /// out-parameters. Grid association and the kept-index mapping are
+  /// preserved for the surviving points, so scrubbed grid locations simply
+  /// become voids for reconstruction.
+  [[nodiscard]] SampleCloud scrubbed(std::size_t& dropped_nonfinite,
+                                     std::size_t& dropped_duplicates) const;
+
   /// Write as .vtp / read back.
   void save_vtp(const std::string& path, const std::string& name) const;
   static SampleCloud load_vtp(const std::string& path);

@@ -1,7 +1,10 @@
 #include "vf/sampling/sample_cloud.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <cstring>
 #include <stdexcept>
+#include <unordered_set>
 
 #include "vf/field/vtk_io.hpp"
 
@@ -49,6 +52,72 @@ std::vector<std::int64_t> SampleCloud::void_indices() const {
     }
   }
   return voids;
+}
+
+namespace {
+
+/// Exact bit-pattern identity of a position, for duplicate detection.
+/// Collisions in the hash are resolved by the set's equality compare, so
+/// distinct positions are never merged.
+struct PointKey {
+  std::uint64_t x, y, z;
+  bool operator==(const PointKey&) const = default;
+};
+
+struct PointKeyHash {
+  std::size_t operator()(const PointKey& k) const {
+    std::uint64_t h = k.x * 0x9e3779b97f4a7c15ULL;
+    h ^= k.y + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+    h ^= k.z + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+    return static_cast<std::size_t>(h);
+  }
+};
+
+PointKey key_of(const vf::field::Vec3& p) {
+  PointKey k;
+  std::memcpy(&k.x, &p.x, sizeof k.x);
+  std::memcpy(&k.y, &p.y, sizeof k.y);
+  std::memcpy(&k.z, &p.z, sizeof k.z);
+  return k;
+}
+
+}  // namespace
+
+SampleCloud SampleCloud::scrubbed(std::size_t& dropped_nonfinite,
+                                  std::size_t& dropped_duplicates) const {
+  dropped_nonfinite = 0;
+  dropped_duplicates = 0;
+  std::vector<char> keep(points_.size(), 1);
+  std::unordered_set<PointKey, PointKeyHash> seen;
+  seen.reserve(points_.size());
+  for (std::size_t i = 0; i < points_.size(); ++i) {
+    const auto& p = points_[i];
+    if (!std::isfinite(values_[i]) || !std::isfinite(p.x) ||
+        !std::isfinite(p.y) || !std::isfinite(p.z)) {
+      keep[i] = 0;
+      ++dropped_nonfinite;
+    } else if (!seen.insert(key_of(p)).second) {
+      keep[i] = 0;
+      ++dropped_duplicates;
+    }
+  }
+  if (dropped_nonfinite == 0 && dropped_duplicates == 0) return *this;
+
+  SampleCloud out;
+  out.grid_ = grid_;
+  out.has_grid_ = has_grid_;
+  const std::size_t survivors =
+      points_.size() - dropped_nonfinite - dropped_duplicates;
+  out.points_.reserve(survivors);
+  out.values_.reserve(survivors);
+  if (has_grid_) out.kept_indices_.reserve(survivors);
+  for (std::size_t i = 0; i < points_.size(); ++i) {
+    if (!keep[i]) continue;
+    out.points_.push_back(points_[i]);
+    out.values_.push_back(values_[i]);
+    if (has_grid_) out.kept_indices_.push_back(kept_indices_[i]);
+  }
+  return out;
 }
 
 double SampleCloud::sampling_fraction() const {

@@ -1,0 +1,191 @@
+#include "vf/util/atomic_io.hpp"
+
+#include <array>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include "vf/util/fault.hpp"
+
+namespace vf::util {
+
+namespace {
+
+const std::array<std::uint32_t, 256>& crc_table() {
+  static const std::array<std::uint32_t, 256> table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        c = (c & 1u) != 0 ? 0xEDB88320u ^ (c >> 1u) : c >> 1u;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  return table;
+}
+
+/// fsync the file at `path` via a short-lived descriptor (ofstream cannot
+/// fsync). Returns false on open/fsync failure.
+bool fsync_path(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);  // NOLINT(cppcoreguidelines-pro-type-vararg,hicpp-vararg)
+  if (fd < 0) return false;
+  const bool ok = ::fsync(fd) == 0;
+  ::close(fd);
+  return ok;
+}
+
+/// Best-effort fsync of the directory containing `path`, so the rename
+/// itself is durable. Failure is ignored: the data file is already synced
+/// and some filesystems reject directory fsync.
+void fsync_parent_dir(const std::string& path) {
+  const std::filesystem::path parent =
+      std::filesystem::path(path).parent_path();
+  const std::string dir = parent.empty() ? "." : parent.string();
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);  // NOLINT(cppcoreguidelines-pro-type-vararg,hicpp-vararg)
+  if (fd < 0) return;
+  ::fsync(fd);
+  ::close(fd);
+}
+
+}  // namespace
+
+std::uint32_t crc32(const void* data, std::size_t len, std::uint32_t seed) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  std::uint32_t c = seed ^ 0xFFFFFFFFu;
+  const auto& table = crc_table();
+  for (std::size_t i = 0; i < len; ++i) {
+    c = table[(c ^ bytes[i]) & 0xFFu] ^ (c >> 8u);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+void atomic_write_file(const std::string& path,
+                       const std::function<void(std::ostream&)>& writer) {
+  const std::string tmp =
+      path + ".tmp." + std::to_string(static_cast<long>(::getpid()));
+  // Remove the temp on every exit path; harmless when the rename won.
+  struct TmpGuard {
+    const std::string& tmp;
+    ~TmpGuard() {
+      std::error_code ec;
+      std::filesystem::remove(tmp, ec);
+    }
+  } guard{tmp};
+
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);  // vf-lint: allow(raw-ofstream) the atomic-write implementation itself
+    if (!out || fault::should_fail("atomic_open")) {
+      throw std::runtime_error("atomic_write_file: cannot open temp for " +
+                               path);
+    }
+    writer(out);
+    out.flush();
+    if (!out) {
+      throw std::runtime_error("atomic_write_file: write failed for " + path);
+    }
+    if (fault::fire("atomic_write") == fault::Mode::ShortWrite) {
+      // Injected torn write: truncate the temp to half and fail as a crash
+      // mid-write would. The destination must remain untouched.
+      out.close();
+      std::error_code ec;
+      const auto size = std::filesystem::file_size(tmp, ec);
+      if (!ec) std::filesystem::resize_file(tmp, size / 2, ec);
+      throw std::runtime_error("atomic_write_file: short write for " + path);
+    }
+  }
+  if (!fsync_path(tmp) || fault::should_fail("atomic_fsync")) {
+    throw std::runtime_error("atomic_write_file: fsync failed for " + path);
+  }
+  if (fault::should_fail("atomic_rename") ||
+      std::rename(tmp.c_str(), path.c_str()) != 0) {
+    throw std::runtime_error("atomic_write_file: rename failed for " + path +
+                             ": " + std::strerror(errno));
+  }
+  fsync_parent_dir(path);
+}
+
+void write_crc_section(std::ostream& out, const std::string& payload) {
+  const auto size = static_cast<std::uint64_t>(payload.size());
+  out.write(reinterpret_cast<const char*>(&size), sizeof size);
+  out.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+  const std::uint32_t crc = crc32(payload.data(), payload.size());
+  out.write(reinterpret_cast<const char*>(&crc), sizeof crc);
+}
+
+std::string read_crc_section(std::istream& in, std::uint64_t max_size,
+                             const char* what) {
+  std::uint64_t size = 0;
+  in.read(reinterpret_cast<char*>(&size), sizeof size);
+  if (!in || size > max_size) {
+    throw std::runtime_error(std::string(what) +
+                             ": corrupt section size (torn or tampered file)");
+  }
+  std::string payload(static_cast<std::size_t>(size), '\0');
+  in.read(payload.data(), static_cast<std::streamsize>(size));
+  std::uint32_t stored = 0;
+  in.read(reinterpret_cast<char*>(&stored), sizeof stored);
+  if (!in) {
+    throw std::runtime_error(std::string(what) + ": truncated section");
+  }
+  if (crc32(payload.data(), payload.size()) != stored) {
+    throw std::runtime_error(std::string(what) + ": section checksum mismatch");
+  }
+  return payload;
+}
+
+void write_crc_section(std::ostream& out, const void* data, std::size_t len) {
+  const auto size = static_cast<std::uint64_t>(len);
+  out.write(reinterpret_cast<const char*>(&size), sizeof size);
+  out.write(static_cast<const char*>(data), static_cast<std::streamsize>(len));
+  const std::uint32_t crc = crc32(data, len);
+  out.write(reinterpret_cast<const char*>(&crc), sizeof crc);
+}
+
+void read_crc_section_into(std::istream& in, void* dst, std::uint64_t expected,
+                           const char* what) {
+  std::uint64_t size = 0;
+  in.read(reinterpret_cast<char*>(&size), sizeof size);
+  if (!in || size != expected) {
+    throw std::runtime_error(std::string(what) +
+                             ": section size mismatch (torn or tampered file)");
+  }
+  in.read(static_cast<char*>(dst), static_cast<std::streamsize>(size));
+  std::uint32_t stored = 0;
+  in.read(reinterpret_cast<char*>(&stored), sizeof stored);
+  if (!in) {
+    throw std::runtime_error(std::string(what) + ": truncated section");
+  }
+  if (crc32(dst, static_cast<std::size_t>(size)) != stored) {
+    throw std::runtime_error(std::string(what) + ": section checksum mismatch");
+  }
+}
+
+void ByteReader::overrun() const {
+  throw std::runtime_error(std::string(what_) +
+                           ": corrupt payload (field extends past section)");
+}
+
+void expect_eof(std::istream& in, const char* what) {
+  if (in.peek() != std::istream::traits_type::eof()) {
+    throw std::runtime_error(std::string(what) +
+                             ": trailing bytes after payload");
+  }
+}
+
+std::uint64_t bytes_remaining(std::istream& in) {
+  const std::istream::pos_type at = in.tellg();
+  if (at == std::istream::pos_type(-1)) return 0;
+  in.seekg(0, std::ios::end);
+  const std::istream::pos_type end = in.tellg();
+  in.seekg(at);
+  return end >= at ? static_cast<std::uint64_t>(end - at) : 0;
+}
+
+}  // namespace vf::util

@@ -1,0 +1,175 @@
+#include "vf/util/fault.hpp"
+
+#include <cctype>
+#include <cstdlib>
+#include <mutex>
+#include <unordered_map>
+
+extern char** environ;  // POSIX: scanned once for VF_FAULT_* variables
+
+namespace vf::util::fault {
+
+namespace {
+
+struct SiteState {
+  Spec spec;
+  bool armed = false;
+  std::uint64_t hits = 0;
+};
+
+struct Registry {
+  std::mutex mu;
+  std::unordered_map<std::string, SiteState> sites;
+  bool env_loaded = false;
+};
+
+Registry& registry() {
+  static Registry r;
+  return r;
+}
+
+std::string site_from_env_name(const std::string& name) {
+  // VF_FAULT_ATOMIC_WRITE -> atomic_write
+  std::string site;
+  for (char c : name) {
+    site += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  return site;
+}
+
+/// Locked: parse and apply every VF_FAULT_* environment variable.
+void load_env_locked(Registry& r) {
+  constexpr const char* kPrefix = "VF_FAULT_";
+  for (char** e = environ; e != nullptr && *e != nullptr; ++e) {
+    const std::string entry(*e);
+    if (entry.rfind(kPrefix, 0) != 0) continue;
+    const std::size_t eq = entry.find('=');
+    if (eq == std::string::npos) continue;
+    const std::string site =
+        site_from_env_name(entry.substr(std::char_traits<char>::length(kPrefix),
+                                        eq - std::char_traits<char>::length(kPrefix)));
+    Spec spec;
+    bool armed = true;
+    if (!parse_spec(entry.substr(eq + 1), spec, armed)) continue;
+    SiteState& st = r.sites[site];
+    st.spec = spec;
+    st.armed = armed;
+    st.hits = 0;
+  }
+  r.env_loaded = true;
+}
+
+void ensure_env_loaded(Registry& r) {
+  if (!r.env_loaded) load_env_locked(r);
+}
+
+}  // namespace
+
+bool parse_spec(const std::string& text, Spec& spec, bool& armed) {
+  // <mode>[:<after>[:<times>]]
+  std::string mode = text;
+  std::string rest;
+  if (std::size_t colon = text.find(':'); colon != std::string::npos) {
+    mode = text.substr(0, colon);
+    rest = text.substr(colon + 1);
+  }
+  Spec out;
+  armed = true;
+  if (mode == "error") {
+    out.mode = Mode::Error;
+  } else if (mode == "short") {
+    out.mode = Mode::ShortWrite;
+  } else if (mode == "alloc") {
+    out.mode = Mode::BadAlloc;
+  } else if (mode == "off") {
+    armed = false;
+    spec = out;
+    return true;
+  } else {
+    return false;
+  }
+  if (!rest.empty()) {
+    char* end = nullptr;
+    out.after = static_cast<int>(std::strtol(rest.c_str(), &end, 10));
+    if (end == rest.c_str()) return false;
+    if (*end == ':') {
+      const char* times_begin = end + 1;
+      out.times = static_cast<int>(std::strtol(times_begin, &end, 10));
+      if (end == times_begin) return false;
+    }
+    if (*end != '\0') return false;
+  }
+  if (out.after < 0) return false;
+  spec = out;
+  return true;
+}
+
+void arm(const std::string& site, Spec spec) {
+  Registry& r = registry();
+  const std::lock_guard<std::mutex> lock(r.mu);
+  ensure_env_loaded(r);
+  SiteState& st = r.sites[site];
+  st.spec = spec;
+  st.armed = true;
+  st.hits = 0;
+}
+
+void disarm(const std::string& site) {
+  Registry& r = registry();
+  const std::lock_guard<std::mutex> lock(r.mu);
+  ensure_env_loaded(r);
+  r.sites[site].armed = false;
+}
+
+void clear() {
+  Registry& r = registry();
+  const std::lock_guard<std::mutex> lock(r.mu);
+  r.sites.clear();
+  // Deliberately leave env_loaded true: clear() means "no faults", not
+  // "re-arm whatever the environment says".
+  r.env_loaded = true;
+}
+
+Mode fire(const char* site) {
+  Registry& r = registry();
+  const std::lock_guard<std::mutex> lock(r.mu);
+  ensure_env_loaded(r);
+  SiteState& st = r.sites[site];
+  const std::uint64_t hit = st.hits++;
+  if (!st.armed) return Mode::Off;
+  const auto after = static_cast<std::uint64_t>(st.spec.after);
+  if (hit < after) return Mode::Off;
+  if (st.spec.times >= 0 &&
+      hit >= after + static_cast<std::uint64_t>(st.spec.times)) {
+    return Mode::Off;
+  }
+  return st.spec.mode;
+}
+
+bool should_fail(const char* site) { return fire(site) == Mode::Error; }
+
+std::uint64_t hits(const std::string& site) {
+  Registry& r = registry();
+  const std::lock_guard<std::mutex> lock(r.mu);
+  auto it = r.sites.find(site);
+  return it == r.sites.end() ? 0 : it->second.hits;
+}
+
+void reload_env() {
+  Registry& r = registry();
+  const std::lock_guard<std::mutex> lock(r.mu);
+  load_env_locked(r);
+}
+
+std::vector<std::string> armed_sites() {
+  Registry& r = registry();
+  const std::lock_guard<std::mutex> lock(r.mu);
+  ensure_env_loaded(r);
+  std::vector<std::string> out;
+  for (const auto& [site, st] : r.sites) {
+    if (st.armed) out.push_back(site);
+  }
+  return out;
+}
+
+}  // namespace vf::util::fault

@@ -1,0 +1,160 @@
+#pragma once
+// Crash-safe file persistence primitives.
+//
+// Every binary artifact the library persists (VFNN/VFNT networks, VFMD
+// models, VFB fields, VFCK training checkpoints) goes through
+// atomic_write_file: the payload is written to a sibling temp file, flushed
+// and fsync'd, and only then renamed over the destination. A crash at any
+// point leaves either the old file or the new file — never a torn hybrid.
+// The write path carries failpoints (atomic_open / atomic_write /
+// atomic_fsync / atomic_rename, see vf/util/fault.hpp) so tests can
+// deterministically exercise every failure leg.
+//
+// The section helpers frame variable-length payloads as
+// `u64 size | bytes | u32 crc32`, which is how the v2 serialization formats
+// detect torn writes and bit flips: a loader rejects a section whose size
+// exceeds the bytes actually left in the file (no multi-GB allocations from
+// a corrupt header) and whose checksum does not match.
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <type_traits>
+
+namespace vf::util {
+
+/// CRC-32 (IEEE 802.3, polynomial 0xEDB88320) of `len` bytes. Chainable:
+/// pass the previous result as `seed` to extend a running checksum.
+std::uint32_t crc32(const void* data, std::size_t len, std::uint32_t seed = 0);
+
+/// Atomically replace `path` with the bytes `writer` produces: write-temp,
+/// flush, fsync, rename. On any failure (including injected faults) the
+/// destination is untouched, the temp file is removed best-effort, and
+/// std::runtime_error is thrown.
+void atomic_write_file(const std::string& path,
+                       const std::function<void(std::ostream&)>& writer);
+
+/// Write one checksummed section: u64 payload size, payload, u32 CRC.
+void write_crc_section(std::ostream& out, const std::string& payload);
+
+/// Same framing, streaming straight from a caller buffer (no staging copy —
+/// used for multi-hundred-MB field payloads).
+void write_crc_section(std::ostream& out, const void* data, std::size_t len);
+
+/// Read a section whose payload size must equal `expected` bytes into `dst`
+/// (caller allocated). Throws std::runtime_error on size mismatch,
+/// truncation, or checksum failure.
+void read_crc_section_into(std::istream& in, void* dst, std::uint64_t expected,
+                           const char* what);
+
+/// Read back one checksummed section. `max_size` bounds the allocation
+/// (callers pass the bytes remaining in the file, so corrupt sizes are
+/// rejected before any allocation). Throws std::runtime_error with `what`
+/// in the message on truncation, oversize, or checksum mismatch.
+std::string read_crc_section(std::istream& in, std::uint64_t max_size,
+                             const char* what);
+
+/// Throw std::runtime_error unless `in` is positioned exactly at EOF —
+/// loaders call this last so trailing garbage is rejected, not ignored.
+void expect_eof(std::istream& in, const char* what);
+
+/// Bytes from the stream's current position to EOF (position restored).
+std::uint64_t bytes_remaining(std::istream& in);
+
+/// Append-only byte buffer for assembling section payloads in memory before
+/// checksumming. POD values are written in native (little-endian on every
+/// supported target) layout, matching the on-disk formats.
+class ByteWriter {
+ public:
+  template <typename T>
+  void pod(const T& v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    buf_.append(reinterpret_cast<const char*>(&v), sizeof v);
+  }
+  void bytes(const void* data, std::size_t len) {
+    buf_.append(static_cast<const char*>(data), len);
+  }
+  /// Length-prefixed string: u32 size + bytes.
+  void str(const std::string& s) {
+    pod(static_cast<std::uint32_t>(s.size()));
+    bytes(s.data(), s.size());
+  }
+  [[nodiscard]] const std::string& data() const { return buf_; }
+  [[nodiscard]] std::string take() { return std::move(buf_); }
+
+ private:
+  std::string buf_;
+};
+
+/// Bounds-checked cursor over an in-memory payload. Every overrun throws
+/// std::runtime_error tagged with `what`, so a corrupt length field can
+/// never read past the buffer or trigger an oversized allocation.
+class ByteReader {
+ public:
+  ByteReader(const std::string& buf, const char* what)
+      : buf_(buf), what_(what) {}
+
+  template <typename T>
+  T pod() {
+    static_assert(std::is_trivially_copyable_v<T>);
+    T v{};
+    bytes(&v, sizeof v);
+    return v;
+  }
+  void bytes(void* dst, std::size_t len) {
+    if (len > buf_.size() - at_) overrun();
+    std::char_traits<char>::copy(static_cast<char*>(dst), buf_.data() + at_,
+                                 len);
+    at_ += len;
+  }
+  /// Length-prefixed string, rejecting lengths above `max_len`.
+  std::string str(std::uint64_t max_len) {
+    const auto len = pod<std::uint32_t>();
+    if (len > max_len || len > remaining()) overrun();
+    std::string s(len, '\0');
+    bytes(s.data(), len);
+    return s;
+  }
+  [[nodiscard]] std::uint64_t remaining() const { return buf_.size() - at_; }
+  /// Throw unless the payload was consumed exactly (no trailing bytes).
+  void expect_end() const {
+    if (at_ != buf_.size()) overrun();
+  }
+
+ private:
+  [[noreturn]] void overrun() const;
+
+  const std::string& buf_;
+  std::size_t at_ = 0;
+  const char* what_;
+};
+
+/// Run `attempt`; on std::runtime_error retry up to `attempts` total calls
+/// with exponential backoff starting at `initial_delay_ms` (doubling each
+/// retry). Rethrows the last error once exhausted. This is the CLI's
+/// transient-I/O policy: NFS hiccups and injected faults get retried,
+/// persistent corruption still surfaces.
+template <typename Fn>
+auto with_retries(int attempts, int initial_delay_ms, Fn&& attempt)
+    -> decltype(attempt()) {
+  int delay_ms = initial_delay_ms;
+  for (int i = 1;; ++i) {
+    try {
+      return attempt();
+    } catch (const std::runtime_error&) {
+      if (i >= attempts) throw;
+      if (delay_ms > 0) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms));
+      }
+      delay_ms *= 2;
+    }
+  }
+}
+
+}  // namespace vf::util

@@ -1,0 +1,84 @@
+#pragma once
+// Deterministic fault injection ("failpoints") for the persistence and
+// training paths.
+//
+// Production code marks the places where the outside world can fail —
+// opening a file, writing bytes, fsync, rename, an epoch boundary — with a
+// named site: `fault::fire("atomic_write")`. Unarmed sites cost one hash
+// lookup on cold I/O paths and nothing is injected. Tests and CI arm a site
+// either programmatically (`fault::arm`) or through the environment
+// (`VF_FAULT_ATOMIC_WRITE=short:2`), and the site then reports a failure
+// mode on the configured hit, letting crash/corruption handling be driven
+// deterministically instead of hoping for real I/O errors.
+//
+// Env grammar (one variable per site, name = VF_FAULT_ + upper-cased site):
+//
+//   VF_FAULT_<SITE>=<mode>[:<after>[:<times>]]
+//
+//   mode   error | short | alloc | off
+//   after  number of passing hits before the first failure (default 0)
+//   times  how many hits fail once triggered; -1 = every later hit
+//          (default 1)
+//
+// e.g. VF_FAULT_ATOMIC_FSYNC=error       fail the first fsync, once
+//      VF_FAULT_TRAINER_EPOCH=error:12   fail the 13th epoch boundary
+//      VF_FAULT_ATOMIC_WRITE=short:0:-1  every body write is torn
+//
+// Sites are process-global and thread-safe. The registry never throws by
+// itself: the *call site* decides what a reported mode means (throw, torn
+// file, nullptr).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace vf::util::fault {
+
+enum class Mode : std::uint8_t {
+  Off = 0,    // site passes
+  Error,      // the operation should fail with an I/O error
+  ShortWrite, // the write should be torn (partial payload)
+  BadAlloc,   // the allocation should fail
+};
+
+struct Spec {
+  Mode mode = Mode::Error;
+  /// Passing hits before the first injected failure.
+  int after = 0;
+  /// Number of failing hits once triggered (-1 = all subsequent hits).
+  int times = 1;
+};
+
+/// Arm `site` programmatically (replaces any previous spec; resets the hit
+/// counter).
+void arm(const std::string& site, Spec spec);
+
+/// Disarm one site (its hit counter is kept).
+void disarm(const std::string& site);
+
+/// Disarm everything and reset all hit counters. Tests call this in
+/// SetUp/TearDown so sites never leak across cases.
+void clear();
+
+/// Record a hit at `site` and report the failure mode for this hit
+/// (Mode::Off = proceed normally). The one call production code makes.
+Mode fire(const char* site);
+
+/// Convenience: true when this hit should fail with Mode::Error.
+bool should_fail(const char* site);
+
+/// Hits recorded at `site` so far (armed or not).
+std::uint64_t hits(const std::string& site);
+
+/// Re-scan the environment for VF_FAULT_* variables (also done once
+/// automatically on first use). Lets tests setenv() then reload.
+void reload_env();
+
+/// Parse the env grammar above. Returns false (and leaves `spec` untouched)
+/// for malformed input; "off" parses as armed=false.
+bool parse_spec(const std::string& text, Spec& spec, bool& armed);
+
+/// Sites currently armed (for diagnostics).
+std::vector<std::string> armed_sites();
+
+}  // namespace vf::util::fault

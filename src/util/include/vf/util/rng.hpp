@@ -14,6 +14,16 @@
 
 namespace vf::util {
 
+/// Complete serialisable PCG32 state, including the Box-Muller gaussian
+/// cache. Restoring a snapshot resumes the exact draw sequence, which is
+/// what makes checkpointed training bit-identical to an uninterrupted run.
+struct RngState {
+  std::uint64_t state = 0;
+  std::uint64_t inc = 0;
+  double cached_gaussian = 0.0;
+  bool has_cached_gaussian = false;
+};
+
 /// PCG32 pseudo-random generator. Satisfies UniformRandomBitGenerator so it
 /// can be used with <random> distributions, but also ships the handful of
 /// convenience draws the library needs (uniform doubles, gaussians, index
@@ -62,6 +72,19 @@ class Rng {
 
   /// Derive a child generator; children with distinct ids are independent.
   Rng fork(std::uint64_t id) const;
+
+  /// Snapshot the full generator state for checkpointing.
+  [[nodiscard]] RngState state() const {
+    return {state_, inc_, cached_gaussian_, has_cached_gaussian_};
+  }
+
+  /// Restore a snapshot taken with state().
+  void restore(const RngState& s) {
+    state_ = s.state;
+    inc_ = s.inc;
+    cached_gaussian_ = s.cached_gaussian;
+    has_cached_gaussian_ = s.has_cached_gaussian;
+  }
 
  private:
   std::uint64_t state_;

@@ -18,6 +18,7 @@ Image::Image(int width, int height, Rgb fill)
 }
 
 void Image::write_ppm(const std::string& path) const {
+  // vf-lint: allow(raw-ofstream) throwaway visualisation artifact, not archival state
   std::ofstream out(path, std::ios::binary);
   if (!out) throw std::runtime_error("write_ppm: cannot open " + path);
   out << "P6\n" << width_ << " " << height_ << "\n255\n";

@@ -52,6 +52,7 @@ BoundingBox TriangleMesh::bounds() const {
 }
 
 void TriangleMesh::write_obj(const std::string& path) const {
+  // vf-lint: allow(raw-ofstream) throwaway visualisation artifact, not archival state
   std::ofstream out(path);
   if (!out) throw std::runtime_error("write_obj: cannot open " + path);
   out.precision(9);

@@ -26,6 +26,14 @@
 //                    second call. Silence a checked site with
 //                    `// vf-lint: allow(resize-zeroed) <reason>`.
 //
+//   raw-ofstream     Persistent artifacts must go through
+//                    vf::util::atomic_write_file (write-temp -> fsync ->
+//                    rename), so a crash can never leave a torn model/field
+//                    file. A raw `std::ofstream` bypasses that protocol.
+//                    Deliberate sites — the atomic-write implementation
+//                    itself, throwaway visualisation dumps — annotate with
+//                    `// vf-lint: allow(raw-ofstream) <reason>`.
+//
 //   aligned-cast     `reinterpret_cast` is allowed only to byte pointers
 //                    (char / unsigned char / std::byte), the legal aliasing
 //                    family used by the binary serializers. Anything else —
@@ -278,6 +286,18 @@ void lint_file(const fs::path& path, std::vector<Finding>& findings) {
       if (!name.empty() && !allowed("resize-zeroed")) {
         watches.push_back({name, lineno, 12});
       }
+    }
+
+    // --- raw-ofstream ---------------------------------------------------
+    if ((code.find("std::ofstream") != std::string::npos ||
+         has_word(code, "ofstream")) &&
+        code.find("#include") == std::string::npos &&
+        !allowed("raw-ofstream")) {
+      findings.push_back(
+          {file, lineno, "raw-ofstream",
+           "raw std::ofstream bypasses the crash-safe write protocol — "
+           "persist through vf::util::atomic_write_file, or annotate a "
+           "deliberate site with vf-lint: allow(raw-ofstream)"});
     }
 
     // --- aligned-cast ---------------------------------------------------

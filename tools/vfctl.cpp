@@ -9,24 +9,37 @@
 //                     [--sampler importance|random|stratified] --out cloud.vtp
 //   vfctl train       --in truth.vti --out model.vfmd [--epochs N]
 //                     [--max-rows N] [--no-gradients]
+//                     [--checkpoint-dir DIR [--checkpoint-every N]
+//                      [--checkpoint-keep K] [--resume]]
 //   vfctl finetune    --model model.vfmd --in next.vti [--epochs 10]
 //                     [--case2]
 //   vfctl reconstruct --cloud cloud.vtp --like truth.vti --out recon.vti
-//                     (--model model.vfmd | --method linear|natural|...)
+//                     (--model model.vfmd [--fallback shepard|nearest]
+//                      | --method linear|natural|...)
 //   vfctl eval        --truth truth.vti --recon recon.vti
 //
 // Every command prints what it did; `eval` prints SNR/PSNR/RMSE.
+//
+// Robustness options (all commands): --retries N (default 1) retries file
+// loads N times total on transient I/O errors with exponential backoff
+// starting at --retry-delay-ms M (default 50). `reconstruct --model` never
+// hard-fails on a rotten model or cloud: bad samples are scrubbed, a
+// missing/corrupt model degrades to the classical --fallback method, and
+// the degradation report is printed.
 
 #include <cstdio>
 #include <stdexcept>
 #include <string>
+#include <utility>
 
 #include "vf/core/fcnn.hpp"
+#include "vf/core/resilient.hpp"
 #include "vf/data/registry.hpp"
 #include "vf/field/metrics.hpp"
 #include "vf/field/vtk_io.hpp"
 #include "vf/interp/reconstructor.hpp"
 #include "vf/sampling/samplers.hpp"
+#include "vf/util/atomic_io.hpp"
 #include "vf/util/cli.hpp"
 #include "vf/util/timer.hpp"
 
@@ -70,7 +83,25 @@ core::FcnnConfig config_from(const util::Cli& cli) {
       static_cast<std::size_t>(cli.get_int("max-rows", 20000));
   cfg.with_gradients = !cli.get_bool("no-gradients", false);
   cfg.seed = static_cast<std::uint64_t>(cli.get_int("seed", 42));
+  cfg.checkpoint_dir = cli.get("checkpoint-dir", "");
+  cfg.checkpoint_every = cli.get_int("checkpoint-every", 1);
+  cfg.checkpoint_keep = cli.get_int("checkpoint-keep", 3);
+  cfg.resume = cli.get_bool("resume", false);
   return cfg;
+}
+
+/// Retry transient I/O per the command line: --retries total attempts with
+/// exponential backoff from --retry-delay-ms.
+template <typename Fn>
+auto load_with_retries(const util::Cli& cli, Fn&& fn) -> decltype(fn()) {
+  return util::with_retries(cli.get_int("retries", 1),
+                            cli.get_int("retry-delay-ms", 50),
+                            std::forward<Fn>(fn));
+}
+
+field::ScalarField read_vti_retry(const util::Cli& cli,
+                                  const std::string& path) {
+  return load_with_retries(cli, [&] { return field::read_vti(path); });
 }
 
 int cmd_generate(const util::Cli& cli) {
@@ -87,7 +118,7 @@ int cmd_generate(const util::Cli& cli) {
 }
 
 int cmd_sample(const util::Cli& cli) {
-  auto truth = field::read_vti(require(cli, "in"));
+  auto truth = read_vti_retry(cli, require(cli, "in"));
   auto sampler = make_sampler(cli.get("sampler", "importance"));
   double fraction = cli.get_double("fraction", 0.01);
   auto cloud = sampler->sample(truth, fraction,
@@ -102,13 +133,17 @@ int cmd_sample(const util::Cli& cli) {
 }
 
 int cmd_train(const util::Cli& cli) {
-  auto truth = field::read_vti(require(cli, "in"));
+  auto truth = read_vti_retry(cli, require(cli, "in"));
   auto sampler = make_sampler(cli.get("sampler", "importance"));
   auto cfg = config_from(cli);
   util::Timer timer;
   auto pre = core::pretrain(truth, *sampler, cfg);
   auto out = require(cli, "out");
   pre.model.save(out);
+  if (pre.history.resumed_from_epoch >= 0) {
+    std::printf("resumed from checkpoint at epoch %d\n",
+                pre.history.resumed_from_epoch);
+  }
   std::printf("trained on %zu rows in %.1fs (loss %.5f -> %.5f) -> %s\n",
               pre.train_rows, timer.seconds(),
               pre.history.train_loss.front(), pre.history.train_loss.back(),
@@ -118,8 +153,9 @@ int cmd_train(const util::Cli& cli) {
 
 int cmd_finetune(const util::Cli& cli) {
   auto model_path = require(cli, "model");
-  auto model = core::FcnnModel::load(model_path);
-  auto truth = field::read_vti(require(cli, "in"));
+  auto model =
+      load_with_retries(cli, [&] { return core::FcnnModel::load(model_path); });
+  auto truth = read_vti_retry(cli, require(cli, "in"));
   auto sampler = make_sampler(cli.get("sampler", "importance"));
   auto cfg = config_from(cli);
   auto mode = cli.get_bool("case2", false)
@@ -140,16 +176,22 @@ int cmd_finetune(const util::Cli& cli) {
 }
 
 int cmd_reconstruct(const util::Cli& cli) {
-  auto cloud = sampling::SampleCloud::load_vtp(require(cli, "cloud"));
-  auto like = field::read_vti(require(cli, "like"));
+  auto cloud = load_with_retries(
+      cli, [&] { return sampling::SampleCloud::load_vtp(require(cli, "cloud")); });
+  auto like = read_vti_retry(cli, require(cli, "like"));
   auto out = require(cli, "out");
 
   util::Timer timer;
   field::ScalarField recon;
   if (cli.has("model")) {
-    auto model = core::FcnnModel::load(cli.get("model", ""));
-    core::FcnnReconstructor rec(std::move(model));
-    recon = rec.reconstruct(cloud, like.grid());
+    // Resilient path: scrub rotten samples, degrade per point or (when the
+    // model file is unusable) wholesale to the classical fallback — and say
+    // so, instead of dying mid-campaign.
+    core::ReconstructReport report;
+    recon = core::reconstruct_resilient(
+        cli.get("model", ""), cloud, like.grid(), report,
+        core::fallback_method_from(cli.get("fallback", "shepard")));
+    if (!report.clean()) std::printf("%s\n", report.summary().c_str());
   } else {
     auto rec = interp::make_reconstructor(cli.get("method", "linear"));
     recon = rec->reconstruct(cloud, like.grid());
@@ -163,8 +205,8 @@ int cmd_reconstruct(const util::Cli& cli) {
 }
 
 int cmd_eval(const util::Cli& cli) {
-  auto truth = field::read_vti(require(cli, "truth"));
-  auto recon = field::read_vti(require(cli, "recon"));
+  auto truth = read_vti_retry(cli, require(cli, "truth"));
+  auto recon = read_vti_retry(cli, require(cli, "recon"));
   std::printf("snr_db=%.3f psnr_db=%.3f rmse=%.6g mae=%.6g max_err=%.6g\n",
               field::snr_db(truth, recon), field::psnr_db(truth, recon),
               field::rmse(truth, recon), field::mae(truth, recon),
