@@ -1,0 +1,196 @@
+// perf_smoke — the CI perf-regression probe.
+//
+// Runs one small, fixed workload per performance-critical subsystem (GEMM,
+// fused dense layer, k-d tree build/query, feature extraction, streaming
+// and whole-grid reconstruction) and writes one vf::obs::BenchRecorder JSON
+// record. The headline `metrics` map (throughputs, higher is better) is
+// what .github/workflows/perf.yml feeds to tools/compare_perf.py against
+// bench_baselines/ci_baseline.json.
+//
+//   perf_smoke [--out FILE] [--repeat N]
+//
+// Each workload runs N times (default 3) and reports the best repeat, so a
+// single scheduler hiccup on a shared CI runner doesn't read as a
+// regression. Workload sizes are fixed — never scale them with the host,
+// or the baseline comparison is meaningless.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <limits>
+#include <string>
+
+#include "vf/core/batch_reconstruct.hpp"
+#include "vf/core/fcnn.hpp"
+#include "vf/data/registry.hpp"
+#include "vf/nn/kernels.hpp"
+#include "vf/nn/matrix.hpp"
+#include "vf/obs/obs.hpp"
+#include "vf/sampling/samplers.hpp"
+#include "vf/spatial/kdtree.hpp"
+#include "vf/util/cli.hpp"
+#include "vf/util/rng.hpp"
+
+namespace {
+
+using vf::field::Vec3;
+
+std::vector<Vec3> random_points(std::size_t n, std::uint64_t seed = 7) {
+  vf::util::Rng rng(seed);
+  std::vector<Vec3> pts;
+  pts.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    pts.push_back({rng.uniform(0, 1), rng.uniform(0, 1), rng.uniform(0, 1)});
+  }
+  return pts;
+}
+
+/// Untrained paper-architecture model with identity normalisation — the
+/// inference path does not care whether the weights are trained.
+vf::core::FcnnModel paper_arch_model() {
+  vf::core::FcnnModel model;
+  model.net = vf::nn::Network::mlp(
+      static_cast<std::size_t>(vf::core::kFeatureDim),
+      vf::core::FcnnConfig{}.hidden,
+      static_cast<std::size_t>(vf::core::kTargetDimGrad), 42);
+  model.in_norm.mean.assign(vf::core::kFeatureDim, 0.0);
+  model.in_norm.stddev.assign(vf::core::kFeatureDim, 1.0);
+  model.out_norm.mean.assign(vf::core::kTargetDimGrad, 0.0);
+  model.out_norm.stddev.assign(vf::core::kTargetDimGrad, 1.0);
+  return model;
+}
+
+/// Run `fn` `repeat` times; record the best wall time as one phase and
+/// return items/best_seconds (the headline throughput).
+template <typename Fn>
+double run_phase(vf::obs::BenchRecorder& rec, const std::string& name,
+                 double items, int repeat, Fn&& fn) {
+  double best_wall = std::numeric_limits<double>::infinity();
+  double best_cpu = 0.0;
+  for (int i = 0; i < repeat; ++i) {
+    const double cpu0 = vf::obs::process_cpu_seconds();
+    const auto t0 = std::chrono::steady_clock::now();
+    fn();
+    const double wall =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    const double cpu = vf::obs::process_cpu_seconds() - cpu0;
+    if (wall < best_wall) {
+      best_wall = wall;
+      best_cpu = cpu;
+    }
+  }
+  vf::obs::BenchPhase phase;
+  phase.name = name;
+  phase.wall_seconds = best_wall;
+  phase.cpu_seconds = best_cpu;
+  phase.items = items;
+  rec.add_phase(phase);
+  const double rate = best_wall > 0.0 ? items / best_wall : 0.0;
+  std::printf("%-24s %8.3fms  %12.3g items/s\n", name.c_str(),
+              best_wall * 1e3, rate);
+  return rate;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const vf::util::Cli cli(argc, argv);
+  const std::string out = cli.get("out", "perf_smoke.json");
+  const int repeat = std::max(1, cli.get_int("repeat", 3));
+
+  // The probe times raw kernel cost; keep the observability layer's own
+  // (tiny) overhead out of the measurement.
+  vf::obs::set_enabled(false);
+
+  vf::obs::BenchRecorder rec("perf_smoke");
+
+  {  // Blocked GEMM at the headline rectangular shape (FLOPs/s).
+    constexpr std::size_t m = 1024, n = 512, k = 256;
+    vf::nn::Matrix a(m, k, 0.5), b(k, n, 0.25), c;
+    rec.set_metric("gemm_gflops",
+                   run_phase(rec, "gemm_1024x512x256",
+                             2.0 * static_cast<double>(m * n * k), repeat,
+                             [&] { vf::nn::gemm(a, b, c); }) *
+                       1e-9);
+  }
+
+  {  // Fused GEMM + bias + ReLU on one streaming inference tile.
+    constexpr std::size_t rows = 8192, cols = 512, feat = 23;
+    vf::nn::Matrix x(rows, feat, 0.5), w(feat, cols, 0.1), bias(1, cols, 0.01),
+        y;
+    rec.set_metric("fused_dense_gflops",
+                   run_phase(rec, "fused_dense_8192",
+                             2.0 * static_cast<double>(rows * cols * feat),
+                             repeat,
+                             [&] {
+                               vf::nn::fused_dense_forward(x, w, bias,
+                                                           /*relu=*/true, y);
+                             }) *
+                       1e-9);
+  }
+
+  {  // k-d tree construction and 5-NN queries.
+    constexpr std::size_t n = 100000;
+    const auto pts = random_points(n);
+    rec.set_metric("kdtree_build_points_per_second",
+                   run_phase(rec, "kdtree_build_100k",
+                             static_cast<double>(n), repeat, [&] {
+                               const vf::spatial::KdTree tree(pts);
+                               if (tree.size() != n) std::abort();
+                             }));
+
+    const vf::spatial::KdTree tree(pts);
+    constexpr std::size_t queries = 100000;
+    const auto qs = random_points(queries, 11);
+    std::vector<vf::spatial::Neighbor> buf;
+    rec.set_metric("knn_queries_per_second",
+                   run_phase(rec, "kdtree_knn5_100k",
+                             static_cast<double>(queries), repeat, [&] {
+                               for (const auto& q : qs) tree.knn(q, 5, buf);
+                             }));
+  }
+
+  // Shared reconstruction scene: hurricane 48x48x12, 2% importance samples.
+  auto ds = vf::data::make_dataset("hurricane");
+  const auto truth = ds->generate({48, 48, 12}, 24.0);
+  vf::sampling::ImportanceSampler sampler;
+  const auto cloud = sampler.sample(truth, 0.02, 1);
+
+  {  // Feature extraction for 10k void points.
+    auto voids = cloud.void_indices();
+    voids.resize(std::min<std::size_t>(voids.size(), 10000));
+    rec.set_metric("feature_extract_rows_per_second",
+                   run_phase(rec, "feature_extract_10k",
+                             static_cast<double>(voids.size()), repeat, [&] {
+                               auto X = vf::core::extract_features(
+                                   cloud, truth.grid(), voids);
+                               if (X.rows() != voids.size()) std::abort();
+                             }));
+  }
+
+  const auto points = static_cast<double>(truth.size());
+  {  // Streaming tiled reconstruction (the vfctl production path).
+    vf::core::BatchReconstructor brec(paper_arch_model(), 4096);
+    rec.set_metric("streaming_points_per_second",
+                   run_phase(rec, "batch_reconstruct_48", points, repeat,
+                             [&] {
+                               auto f = brec.reconstruct(cloud, truth.grid());
+                               if (f.size() != truth.size()) std::abort();
+                             }));
+  }
+
+  {  // Whole-grid FCNN reconstruction (feature matrix materialised once).
+    vf::core::FcnnReconstructor frec(paper_arch_model());
+    rec.set_metric("fcnn_points_per_second",
+                   run_phase(rec, "fcnn_reconstruct_48", points, repeat,
+                             [&] {
+                               auto f = frec.reconstruct(cloud, truth.grid());
+                               if (f.size() != truth.size()) std::abort();
+                             }));
+  }
+
+  rec.write(out);
+  std::printf("wrote %s (%d repeats, best-of)\n", out.c_str(), repeat);
+  return 0;
+}

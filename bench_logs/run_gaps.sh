@@ -1,8 +1,23 @@
 #!/bin/bash
-cd /root/repo
-for n in fig02_renderings ablation_cross_dataset fig08_gradient_ablation; do
+# Re-run the benches that were missing from an earlier suite pass. A bench
+# failing or timing out fails the script (CI-safe).
+#
+# Usage: bench_logs/run_gaps.sh [bench ...]   (default: the historical gap set)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+benches=("$@")
+if [[ ${#benches[@]} -eq 0 ]]; then
+  benches=(fig02_renderings ablation_cross_dataset fig08_gradient_ablation)
+fi
+
+for n in "${benches[@]}"; do
+  if [[ ! -x "build/bench/$n" ]]; then
+    echo "run_gaps.sh: build/bench/$n not built" >&2
+    exit 1
+  fi
   echo "=== $n ==="
-  timeout 2400 "./build/bench/$n" 2>/dev/null
+  timeout 2400 "./build/bench/$n"
   echo
 done
 echo "GAPS DONE"

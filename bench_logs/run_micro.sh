@@ -1,55 +1,26 @@
 #!/bin/bash
-# Run the kernel-layer micro benchmarks and distil a compact JSON perf
-# record (bench_logs/micro_perf.json): GFLOP/s for the trainer-shape GEMM
-# (blocked and naive, plus their ratio) and reconstructed points/s for the
-# whole-grid and streaming batch reconstruction paths.
+# Run the kernel-layer perf probe and leave a BenchRecorder JSON record at
+# bench_logs/micro_perf.json: per-phase wall/CPU time plus the headline
+# throughput metrics (GEMM and fused-dense GFLOP/s, k-d tree build/query,
+# feature extraction, streaming and whole-grid reconstruction points/s).
+# This is the same "vf-bench-record" document the CI perf lane uploads and
+# compares against bench_baselines/ci_baseline.json.
 #
 # Usage: bench_logs/run_micro.sh [output.json]
+#   REPEAT=N   repeats per workload, best-of (default 3)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 out="${1:-bench_logs/micro_perf.json}"
-raw="$(mktemp)"
-trap 'rm -f "$raw"' EXIT
+probe="./build/bench/perf_smoke"
 
-./build/bench/micro_kernels \
-  --benchmark_filter='BM_Gemm(Naive)?Shaped|BM_FusedDense|BM_FcnnReconstruct|BM_BatchReconstruct' \
-  --benchmark_format=json >"$raw"
+if [[ ! -x "$probe" ]]; then
+  echo "run_micro.sh: $probe not built (cmake --build build --target perf_smoke)" >&2
+  exit 1
+fi
 
-python3 - "$raw" "$out" <<'PY'
-import json
-import sys
+"$probe" --repeat "${REPEAT:-3}" --out "$out"
 
-raw_path, out_path = sys.argv[1], sys.argv[2]
-with open(raw_path) as f:
-    report = json.load(f)
-
-per_second = {}
-for b in report.get("benchmarks", []):
-    ips = b.get("items_per_second")
-    if ips is not None:
-        per_second[b["name"]] = ips
-
-gemm = per_second.get("BM_GemmShaped/4096/512/256")
-naive = per_second.get("BM_GemmNaiveShaped/4096/512/256")
-record = {
-    "context": report.get("context", {}),
-    "gemm_trainer_shape": {
-        "shape": [4096, 512, 256],
-        "blocked_gflops": gemm / 1e9 if gemm else None,
-        "naive_gflops": naive / 1e9 if naive else None,
-        "speedup": (gemm / naive) if gemm and naive else None,
-    },
-    "fused_dense_gflops": (per_second.get("BM_FusedDense/8192") or 0) / 1e9,
-    "reconstruction_points_per_second": {
-        "whole_grid": per_second.get("BM_FcnnReconstruct"),
-        "streaming_tile_2048": per_second.get("BM_BatchReconstruct/2048"),
-        "streaming_tile_8192": per_second.get("BM_BatchReconstruct/8192"),
-    },
-}
-with open(out_path, "w") as f:
-    json.dump(record, f, indent=2)
-    f.write("\n")
-print(json.dumps(record["gemm_trainer_shape"], indent=2))
-print("wrote", out_path)
-PY
+# Refuse to leave a truncated/invalid record behind.
+python3 -m json.tool "$out" >/dev/null
+echo "wrote $out"

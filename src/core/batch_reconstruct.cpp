@@ -6,6 +6,7 @@
 
 #include "vf/core/features.hpp"
 #include "vf/core/resilient.hpp"
+#include "vf/obs/obs.hpp"
 
 #include <omp.h>
 
@@ -47,6 +48,8 @@ BatchReconstructor::BatchReconstructor(FcnnModel model, std::size_t tile_size)
 void BatchReconstructor::bind_cloud(const SampleCloud& cloud) {
   const void* key = static_cast<const void*>(cloud.points().data());
   if (key == cloud_key_ && cloud.size() == cloud_count_) return;
+  VF_OBS_SPAN("tree_build");
+  VF_OBS_COUNT("core.batch.tree_builds", 1);
   // Scrub once per bound cloud; tree, feature queries, and value pinning
   // all see the scrubbed copy.
   bound_ = cloud.scrubbed(scrub_nonfinite_, scrub_duplicates_);
@@ -66,6 +69,8 @@ ScalarField BatchReconstructor::reconstruct(const SampleCloud& cloud,
 ScalarField BatchReconstructor::reconstruct(const SampleCloud& cloud,
                                             const UniformGrid3& grid,
                                             ReconstructReport& report) {
+  VF_OBS_SPAN("batch_reconstruct");
+  VF_OBS_COUNT("core.batch.calls", 1);
   bind_cloud(cloud);
   if (bound_.size() < static_cast<std::size_t>(kNeighbors)) {
     throw std::invalid_argument("BatchReconstructor: cloud smaller than k");
@@ -115,6 +120,10 @@ ScalarField BatchReconstructor::reconstruct(const SampleCloud& cloud,
     std::vector<std::int64_t> bad_local;
 #pragma omp for schedule(dynamic)
     for (std::int64_t t = 0; t < tiles; ++t) {
+      // Span buffers are thread-local, so instrumenting inside the omp
+      // region is race-free; worker-thread spans aggregate by path.
+      VF_OBS_HIST_TIMER("core.batch.tile_seconds");
+      VF_OBS_COUNT("core.batch.tiles", 1);
       const std::int64_t b = t * tile;
       const std::int64_t e = std::min(n, b + tile);
       const auto count = static_cast<std::size_t>(e - b);
@@ -127,9 +136,15 @@ ScalarField BatchReconstructor::reconstruct(const SampleCloud& cloud,
       // Inside this parallel region the helpers' own OpenMP regions
       // serialise (nested parallelism is off), so each tile is one
       // thread's sequential pipeline.
-      extract_features_into(tree_, values_, ts.queries.data(), count, ts.X);
-      model_.in_norm.apply(ts.X);
-      model_.net.infer(ts.X, ts.Y, ts.infer);
+      {
+        VF_OBS_SPAN("extract_features");
+        extract_features_into(tree_, values_, ts.queries.data(), count, ts.X);
+      }
+      {
+        VF_OBS_SPAN("inference");
+        model_.in_norm.apply(ts.X);
+        model_.net.infer(ts.X, ts.Y, ts.infer);
+      }
       for (std::int64_t i = b; i < e; ++i) {
         const double y = ts.Y(static_cast<std::size_t>(i - b), 0) * scale +
                          shift;
@@ -162,6 +177,8 @@ ScalarField BatchReconstructor::reconstruct(const SampleCloud& cloud,
     report.fallback = FallbackReason::NonFiniteOutput;
     report.detail = "network produced non-finite outputs";
   }
+  VF_OBS_COUNT("core.batch.predicted_points", report.predicted_points);
+  VF_OBS_COUNT("core.batch.repaired_points", report.degraded_points);
   return out;
 }
 

@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "vf/core/resilient.hpp"
+#include "vf/obs/obs.hpp"
 #include "vf/util/env.hpp"
 #include "vf/util/parallel.hpp"
 #include "vf/util/rng.hpp"
@@ -105,6 +106,7 @@ TrainingSet build_training_set(const ScalarField& truth,
   if (config.train_fractions.empty()) {
     throw std::invalid_argument("build_training_set: no train fractions");
   }
+  VF_OBS_SPAN("build_training_set");
   std::vector<Matrix> xs, ys;
   std::uint64_t seed = config.seed;
   for (double frac : config.train_fractions) {
@@ -134,7 +136,8 @@ TrainingSet build_training_set(const ScalarField& truth,
 
 PretrainResult pretrain(const ScalarField& truth, const Sampler& sampler,
                         const FcnnConfig& config) {
-  vf::util::Timer data_timer;
+  VF_OBS_SPAN("pretrain");
+  vf::util::Timer data_timer;  // vf-lint: allow(raw-timer) feeds PretrainResult
   TrainingSet set = build_training_set(truth, sampler, config);
 
   PretrainResult result;
@@ -216,6 +219,8 @@ const vf::spatial::KdTree& FcnnReconstructor::bound_tree(
     const SampleCloud& cloud) {
   const void* key = static_cast<const void*>(cloud.points().data());
   if (key != tree_key_ || cloud.size() != tree_count_) {
+    VF_OBS_SPAN("tree_build");
+    VF_OBS_COUNT("core.reconstruct.tree_builds", 1);
     // Scrub once per bound cloud: the scrubbed copy is what the tree, the
     // feature queries, and the value pinning all see.
     bound_ = cloud.scrubbed(scrub_nonfinite_, scrub_duplicates_);
@@ -233,6 +238,7 @@ FcnnReconstructor::reconstruct_with_gradients(const SampleCloud& cloud,
     throw std::logic_error(
         "reconstruct_with_gradients: model has scalar-only outputs");
   }
+  VF_OBS_SPAN("fcnn_reconstruct");
   FullReconstruction out{
       ScalarField(grid, "fcnn"),
       {ScalarField(grid, "fcnn_dx"), ScalarField(grid, "fcnn_dy"),
@@ -243,8 +249,15 @@ FcnnReconstructor::reconstruct_with_gradients(const SampleCloud& cloud,
   std::vector<std::int64_t> all(static_cast<std::size_t>(grid.point_count()));
   std::iota(all.begin(), all.end(), 0);
   const auto& tree = bound_tree(cloud);
-  Matrix X = extract_features(tree, bound_.values(), grid_positions(grid, all));
-  Matrix Y = model_.predict(X);
+  Matrix X, Y;
+  {
+    VF_OBS_SPAN("extract_features");
+    X = extract_features(tree, bound_.values(), grid_positions(grid, all));
+  }
+  {
+    VF_OBS_SPAN("inference");
+    Y = model_.predict(X);
+  }
   vf::util::parallel_for(0, grid.point_count(), [&](std::int64_t i) {
     auto r = static_cast<std::size_t>(i);
     out.scalar[i] = Y(r, 0);
@@ -273,6 +286,8 @@ ScalarField FcnnReconstructor::reconstruct(const SampleCloud& cloud,
                                            ReconstructReport& report) {
   report = ReconstructReport{};
   report.input_points = cloud.size();
+  VF_OBS_SPAN("fcnn_reconstruct");
+  VF_OBS_COUNT("core.reconstruct.calls", 1);
   const auto& tree = bound_tree(cloud);
   report.scrubbed_nonfinite = scrub_nonfinite_;
   report.scrubbed_duplicates = scrub_duplicates_;
@@ -305,9 +320,15 @@ ScalarField FcnnReconstructor::reconstruct(const SampleCloud& cloud,
   if (same_grid) {
     // Sampled points keep their stored values; only voids are predicted.
     auto voids = bound_.void_indices();
-    Matrix X =
-        extract_features(tree, bound_.values(), grid_positions(grid, voids));
-    Matrix Y = model_.predict(X);
+    Matrix X, Y;
+    {
+      VF_OBS_SPAN("extract_features");
+      X = extract_features(tree, bound_.values(), grid_positions(grid, voids));
+    }
+    {
+      VF_OBS_SPAN("inference");
+      Y = model_.predict(X);
+    }
     const auto& kept = bound_.kept_indices();
     const auto& vals = bound_.values();
     for (std::size_t i = 0; i < kept.size(); ++i) out[kept[i]] = vals[i];
@@ -316,14 +337,23 @@ ScalarField FcnnReconstructor::reconstruct(const SampleCloud& cloud,
     // Foreign grid (e.g. upscaling): predict everywhere.
     std::vector<std::int64_t> all(static_cast<std::size_t>(grid.point_count()));
     std::iota(all.begin(), all.end(), 0);
-    Matrix X = extract_features(tree, bound_.values(), grid_positions(grid, all));
-    Matrix Y = model_.predict(X);
+    Matrix X, Y;
+    {
+      VF_OBS_SPAN("extract_features");
+      X = extract_features(tree, bound_.values(), grid_positions(grid, all));
+    }
+    {
+      VF_OBS_SPAN("inference");
+      Y = model_.predict(X);
+    }
     write_scalar(all, Y);
   }
   if (report.degraded_points > 0) {
     report.fallback = FallbackReason::NonFiniteOutput;
     report.detail = "network produced non-finite outputs";
   }
+  VF_OBS_COUNT("core.reconstruct.predicted_points", report.predicted_points);
+  VF_OBS_COUNT("core.reconstruct.repaired_points", report.degraded_points);
   return out;
 }
 

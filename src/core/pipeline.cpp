@@ -22,7 +22,7 @@ TimestepArtifacts TemporalPipeline::ingest(const vf::field::ScalarField& truth) 
   TimestepArtifacts art;
   art.timestep = steps_;
 
-  vf::util::Timer timer;
+  vf::util::Timer timer;  // vf-lint: allow(raw-timer) feeds TimestepArtifacts
   if (!model_) {
     auto cfg = options_.pretrain_config;
     cfg.seed = options_.seed;

@@ -8,6 +8,7 @@
 #include "vf/core/batch_reconstruct.hpp"
 #include "vf/core/features.hpp"
 #include "vf/core/model.hpp"
+#include "vf/obs/obs.hpp"
 #include "vf/util/parallel.hpp"
 
 namespace vf::core {
@@ -78,6 +79,8 @@ namespace {
 /// match, every remaining point estimated from the k nearest samples.
 ScalarField classical_fill(const SampleCloud& clean, const UniformGrid3& grid,
                            FallbackMethod method, ReconstructReport& report) {
+  VF_OBS_SPAN("classical_fill");
+  VF_OBS_COUNT("core.resilient.fallbacks", 1);
   ScalarField out(grid, "fcnn");
   const int k = method == FallbackMethod::Nearest ? 1 : kNeighbors;
   vf::spatial::KdTree tree(clean.points());
@@ -155,7 +158,9 @@ ScalarField reconstruct_resilient(const std::string& model_path,
     report.fallback = FallbackReason::NoUsableSamples;
     report.detail = "fewer usable samples than the feature stencil needs";
   }
-  return classical_fill(clean, grid, fallback, report);
+  ScalarField out = classical_fill(clean, grid, fallback, report);
+  VF_OBS_COUNT("core.resilient.degraded_points", report.degraded_points);
+  return out;
 }
 
 }  // namespace vf::core

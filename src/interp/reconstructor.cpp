@@ -1,13 +1,17 @@
 #include "vf/interp/reconstructor.hpp"
 
 #include <stdexcept>
+#include <utility>
 
 #include "vf/interp/kriging.hpp"
 #include "vf/interp/methods.hpp"
+#include "vf/obs/obs.hpp"
 
 namespace vf::interp {
 
-std::unique_ptr<Reconstructor> make_reconstructor(const std::string& name) {
+namespace {
+
+std::unique_ptr<Reconstructor> make_raw(const std::string& name) {
   if (name == "nearest") return std::make_unique<NearestNeighborReconstructor>();
   if (name == "shepard") return std::make_unique<ShepardReconstructor>();
   if (name == "linear") {
@@ -27,6 +31,44 @@ std::unique_ptr<Reconstructor> make_reconstructor(const std::string& name) {
   if (name == "kriging") return std::make_unique<KrigingReconstructor>();
   throw std::invalid_argument("make_reconstructor: unknown method '" + name +
                               "'");
+}
+
+/// Observability decorator around any classical method: one span plus a
+/// call counter and a latency histogram per method, so the six method
+/// classes stay untouched. Metric names are dynamic (per method), so this
+/// calls the registry directly instead of using the static-caching macros.
+class InstrumentedReconstructor final : public Reconstructor {
+ public:
+  explicit InstrumentedReconstructor(std::unique_ptr<Reconstructor> inner)
+      : inner_(std::move(inner)),
+        span_name_("interp/" + inner_->name()),
+        counter_name_("interp." + inner_->name() + ".calls"),
+        hist_name_("interp." + inner_->name() + ".seconds") {}
+
+  [[nodiscard]] std::string name() const override { return inner_->name(); }
+
+  [[nodiscard]] vf::field::ScalarField reconstruct(
+      const vf::sampling::SampleCloud& cloud,
+      const vf::field::UniformGrid3& grid) const override {
+#if VF_OBS_ENABLED
+    const vf::obs::Span span(span_name_.c_str());
+    const vf::obs::ScopedHistTimer timer(hist_name_.c_str());
+    if (vf::obs::enabled()) vf::obs::counter(counter_name_).add(1);
+#endif
+    return inner_->reconstruct(cloud, grid);
+  }
+
+ private:
+  std::unique_ptr<Reconstructor> inner_;
+  std::string span_name_;
+  std::string counter_name_;
+  std::string hist_name_;
+};
+
+}  // namespace
+
+std::unique_ptr<Reconstructor> make_reconstructor(const std::string& name) {
+  return std::make_unique<InstrumentedReconstructor>(make_raw(name));
 }
 
 std::vector<std::string> reconstructor_names() {

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <stdexcept>
 
+#include "vf/obs/obs.hpp"
 #include "vf/util/aligned.hpp"
 #include "vf/util/contract.hpp"
 #include "vf/util/parallel.hpp"
@@ -148,6 +149,10 @@ void gemm_blocked(std::size_t m, std::size_t n, std::size_t k,
   VF_REQUIRE(lda >= (a_trans ? m : k), "gemm_blocked: lda below logical row");
   VF_REQUIRE(ldb >= (b_trans ? k : n), "gemm_blocked: ldb below logical row");
   VF_REQUIRE(ldc >= n, "gemm_blocked: ldc below output row");
+  // Every dense forward/backward funnels through here, so these two
+  // counters cover the model's entire multiply-add volume.
+  VF_OBS_COUNT("nn.gemm.calls", 1);
+  VF_OBS_COUNT("nn.gemm.flops", 2 * m * n * k);
   if (m == 0 || n == 0) return;
   if (k == 0) {
     // Degenerate inner dimension: the product is all zeros + epilogue.

@@ -9,6 +9,7 @@
 #include <utility>
 
 #include "vf/nn/checkpoint.hpp"
+#include "vf/obs/obs.hpp"
 #include "vf/util/fault.hpp"
 #include "vf/util/rng.hpp"
 #include "vf/util/timer.hpp"
@@ -39,7 +40,8 @@ TrainHistory Trainer::fit(Network& net, const Matrix& X,
   }
   if (X.rows() == 0) throw std::invalid_argument("Trainer::fit: empty data");
 
-  vf::util::Timer timer;
+  VF_OBS_SPAN("fit");
+  vf::util::Timer timer;  // vf-lint: allow(raw-timer) feeds TrainHistory
   vf::util::Rng rng(options_.shuffle_seed, 0x74726169);
 
   // Optional validation split off the tail of a fixed shuffle.
@@ -106,6 +108,8 @@ TrainHistory Trainer::fit(Network& net, const Matrix& X,
 
   const std::size_t bs = std::max<std::size_t>(options_.batch_size, 1);
   for (int epoch = start_epoch; epoch < options_.epochs; ++epoch) {
+    VF_OBS_SPAN("epoch");
+    VF_OBS_HIST_TIMER("nn.train.epoch_seconds");
     // Failpoint for kill-and-resume tests: dies between epochs, exactly
     // where a SIGKILL loses the least work.
     if (vf::util::fault::should_fail("trainer_epoch")) {
@@ -136,6 +140,8 @@ TrainHistory Trainer::fit(Network& net, const Matrix& X,
     epoch_loss /= static_cast<double>(seen);
     hist.train_loss.push_back(epoch_loss);
     ++hist.epochs_run;
+    VF_OBS_COUNT("nn.train.epochs", 1);
+    VF_OBS_GAUGE("nn.train.last_loss", epoch_loss);
 
     double vloss = std::numeric_limits<double>::quiet_NaN();
     if (val_rows > 0) {
@@ -173,7 +179,12 @@ TrainHistory Trainer::fit(Network& net, const Matrix& X,
       st.train_loss = hist.train_loss;
       st.val_loss = hist.val_loss;
       st.adam = opt.export_state();
-      ckpt->write(net, st);
+      {
+        VF_OBS_SPAN("checkpoint");
+        VF_OBS_HIST_TIMER("nn.train.checkpoint_seconds");
+        ckpt->write(net, st);
+      }
+      VF_OBS_COUNT("nn.train.checkpoints", 1);
     }
     if (stop) break;
   }

@@ -1,0 +1,132 @@
+#include "vf/obs/bench_recorder.hpp"
+
+#include <chrono>
+
+#include <omp.h>
+
+#include "json_util.hpp"
+#include "vf/obs/metrics.hpp"
+#include "vf/util/atomic_io.hpp"
+#include "vf/util/env.hpp"
+
+// Build metadata stamped in by src/obs/CMakeLists.txt; fall back so
+// non-CMake consumers of the sources still compile.
+#ifndef VF_OBS_BUILD_TYPE
+#define VF_OBS_BUILD_TYPE "unknown"
+#endif
+#ifndef VF_OBS_COMPILER
+#define VF_OBS_COMPILER "unknown"
+#endif
+#ifndef VF_OBS_NATIVE_ARCH
+#define VF_OBS_NATIVE_ARCH 0
+#endif
+#ifndef VF_OBS_ENABLED
+#define VF_OBS_ENABLED 1
+#endif
+
+namespace vf::obs {
+
+namespace {
+
+double steady_us() {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+BenchRecorder::BenchRecorder(std::string run_name)
+    : name_(std::move(run_name)),
+      git_sha_(vf::util::env_string(
+          "VF_GIT_SHA", vf::util::env_string("GITHUB_SHA", "unknown"))),
+      unix_time_(std::chrono::duration_cast<std::chrono::seconds>(
+                     std::chrono::system_clock::now().time_since_epoch())
+                     .count()),
+      threads_(omp_get_max_threads()) {}
+
+void BenchRecorder::add_phase(const BenchPhase& phase) {
+  phases_.push_back(phase);
+}
+
+BenchRecorder::ScopedPhase::ScopedPhase(BenchRecorder& rec, std::string name)
+    : rec_(rec),
+      wall_start_us_(steady_us()),
+      cpu_start_(process_cpu_seconds()) {
+  phase_.name = std::move(name);
+}
+
+BenchRecorder::ScopedPhase::~ScopedPhase() {
+  phase_.wall_seconds = (steady_us() - wall_start_us_) * 1e-6;
+  phase_.cpu_seconds = process_cpu_seconds() - cpu_start_;
+  rec_.add_phase(phase_);
+}
+
+void BenchRecorder::set_metric(const std::string& name, double value) {
+  metrics_[name] = value;
+}
+
+std::string BenchRecorder::to_json() const {
+  using detail::json_bool;
+  using detail::json_number;
+  using detail::json_string;
+
+  std::string out = "{\n";
+  out += "  \"schema\": \"vf-bench-record\",\n";
+  out += "  \"schema_version\": " +
+         json_number(static_cast<std::int64_t>(kSchemaVersion)) + ",\n";
+  out += "  \"name\": " + json_string(name_) + ",\n";
+  out += "  \"git_sha\": " + json_string(git_sha_) + ",\n";
+  out += "  \"unix_time\": " + json_number(unix_time_) + ",\n";
+  out += "  \"build\": {\"build_type\": " + json_string(VF_OBS_BUILD_TYPE) +
+         ", \"compiler\": " + json_string(VF_OBS_COMPILER) +
+         ", \"native_arch\": " + json_bool(VF_OBS_NATIVE_ARCH != 0) +
+         ", \"obs_compiled\": " + json_bool(VF_OBS_ENABLED != 0) + "},\n";
+  out += "  \"threads\": " + json_number(static_cast<std::int64_t>(threads_)) +
+         ",\n";
+
+  out += "  \"phases\": [";
+  bool first = true;
+  for (const auto& p : phases_) {
+    if (!first) out += ',';
+    first = false;
+    out += "\n    {\"name\": " + json_string(p.name) +
+           ", \"wall_seconds\": " + json_number(p.wall_seconds) +
+           ", \"cpu_seconds\": " + json_number(p.cpu_seconds);
+    if (p.items > 0.0) {
+      out += ", \"items\": " + json_number(p.items);
+      if (p.wall_seconds > 0.0) {
+        out += ", \"items_per_second\": " +
+               json_number(p.items / p.wall_seconds);
+      }
+    }
+    if (p.bytes > 0.0) {
+      out += ", \"bytes\": " + json_number(p.bytes);
+      if (p.wall_seconds > 0.0) {
+        out += ", \"bytes_per_second\": " +
+               json_number(p.bytes / p.wall_seconds);
+      }
+    }
+    out += "}";
+  }
+  out += phases_.empty() ? "],\n" : "\n  ],\n";
+
+  out += "  \"metrics\": {";
+  first = true;
+  for (const auto& [name, value] : metrics_) {
+    if (!first) out += ',';
+    first = false;
+    out += "\n    " + json_string(name) + ": " + json_number(value);
+  }
+  out += metrics_.empty() ? "}\n" : "\n  }\n";
+  out += "}\n";
+  return out;
+}
+
+void BenchRecorder::write(const std::string& path) const {
+  const std::string json = to_json();
+  vf::util::atomic_write_file(path,
+                              [&](std::ostream& out) { out << json; });
+}
+
+}  // namespace vf::obs

@@ -1,0 +1,89 @@
+#pragma once
+// Machine-readable benchmark run records.
+//
+// A BenchRecorder captures one benchmark run — who/where (git SHA, build
+// flags, thread count), per-phase wall/CPU time with items and bytes
+// processed, plus a flat map of named headline metrics — and emits it as
+// versioned JSON ("vf-bench-record", schema_version below). The CI
+// perf-regression lane compares the metrics map of a fresh run against
+// bench_baselines/ci_baseline.json (tools/compare_perf.py); schema changes
+// must bump kSchemaVersion and update that comparator.
+//
+// The git SHA is read from $VF_GIT_SHA, falling back to $GITHUB_SHA and
+// then "unknown" — recorders never shell out.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace vf::obs {
+
+/// One measured phase of a benchmark run. Rates are derived at write time
+/// (items or bytes of 0 simply omit the rate).
+struct BenchPhase {
+  std::string name;
+  double wall_seconds = 0.0;
+  double cpu_seconds = 0.0;
+  double items = 0.0;  // problem-specific unit: points, FLOPs, rows, ...
+  double bytes = 0.0;
+};
+
+class BenchRecorder {
+ public:
+  static constexpr int kSchemaVersion = 1;
+
+  explicit BenchRecorder(std::string run_name);
+
+  void add_phase(const BenchPhase& phase);
+
+  /// RAII phase: measures wall + process-CPU time from construction to
+  /// destruction and appends the phase to the recorder.
+  class ScopedPhase {
+   public:
+    ScopedPhase(BenchRecorder& rec, std::string name);
+    ~ScopedPhase();
+    ScopedPhase(const ScopedPhase&) = delete;
+    ScopedPhase& operator=(const ScopedPhase&) = delete;
+
+    void set_items(double items) { phase_.items = items; }
+    void set_bytes(double bytes) { phase_.bytes = bytes; }
+
+   private:
+    BenchRecorder& rec_;
+    BenchPhase phase_;
+    double wall_start_us_;
+    double cpu_start_;
+  };
+  [[nodiscard]] ScopedPhase phase(std::string name) {
+    return {*this, std::move(name)};
+  }
+
+  /// Headline metric tracked by the CI comparator (higher is better:
+  /// GFLOP/s, points/s, ...).
+  void set_metric(const std::string& name, double value);
+
+  [[nodiscard]] const std::vector<BenchPhase>& phases() const {
+    return phases_;
+  }
+  [[nodiscard]] const std::map<std::string, double>& metrics() const {
+    return metrics_;
+  }
+
+  /// The full versioned record as a JSON document (deterministic key
+  /// order, trailing newline).
+  [[nodiscard]] std::string to_json() const;
+
+  /// Atomically write to_json() to `path`.
+  void write(const std::string& path) const;
+
+ private:
+  std::string name_;
+  std::string git_sha_;
+  std::int64_t unix_time_ = 0;
+  int threads_ = 1;
+  std::vector<BenchPhase> phases_;
+  std::map<std::string, double> metrics_;
+};
+
+}  // namespace vf::obs

@@ -1,0 +1,236 @@
+#pragma once
+// Process-wide metrics registry: counters, gauges, and histograms with
+// fixed log-scale buckets.
+//
+// Thread safety is sharding, not locking: every counter/histogram holds a
+// small array of cacheline-padded shards, a thread picks its shard by a
+// stable thread-local slot, and writes are relaxed atomic adds into that
+// shard. Readers merge the shards, so a snapshot taken mid-run is a
+// consistent-enough view for telemetry (never torn, possibly a few
+// increments stale) at zero cost to the writers.
+//
+// Naming convention (see DESIGN.md §8): dot-separated lowercase
+// `subsystem.noun[.qualifier]`, e.g. `nn.gemm.flops`,
+// `core.reconstruct.degraded_points`, `nn.train.epoch_seconds`.
+// Instrument call sites through the VF_OBS_* macros in vf/obs/obs.hpp so
+// the layer compiles out with -DVF_OBS=OFF.
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace vf::obs {
+
+/// Runtime master switch. Defaults to the VF_OBS environment variable
+/// (enabled when unset). Disabled instrumentation costs one relaxed atomic
+/// load and a branch per call site.
+[[nodiscard]] bool enabled();
+void set_enabled(bool on);
+
+namespace detail {
+
+constexpr std::size_t kShards = 16;  // power of two, indexed by thread slot
+
+/// Stable per-thread shard index: threads grab the next slot on first use,
+/// folded into the shard count. OpenMP pool threads keep their slot for the
+/// process lifetime, so contention only appears past kShards live threads.
+[[nodiscard]] std::size_t thread_shard();
+
+/// Relaxed atomic add for doubles via compare-exchange (fetch_add on
+/// atomic<double> is C++20-library-dependent; this is portable).
+inline void atomic_add(std::atomic<double>& a, double v) {
+  double cur = a.load(std::memory_order_relaxed);
+  while (!a.compare_exchange_weak(cur, cur + v, std::memory_order_relaxed)) {
+  }
+}
+
+inline void atomic_min(std::atomic<double>& a, double v) {
+  double cur = a.load(std::memory_order_relaxed);
+  while (v < cur &&
+         !a.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+inline void atomic_max(std::atomic<double>& a, double v) {
+  double cur = a.load(std::memory_order_relaxed);
+  while (v > cur &&
+         !a.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace detail
+
+/// Monotonic event count. add() is wait-free (one relaxed fetch_add into
+/// the caller's shard); value() merges the shards.
+class Counter {
+ public:
+  void add(std::int64_t n) {
+    shards_[detail::thread_shard()].v.fetch_add(n, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::int64_t value() const {
+    std::int64_t sum = 0;
+    for (const auto& s : shards_) sum += s.v.load(std::memory_order_relaxed);
+    return sum;
+  }
+
+ private:
+  friend class Registry;
+  void reset() {
+    for (auto& s : shards_) s.v.store(0, std::memory_order_relaxed);
+  }
+
+  struct alignas(64) Shard {
+    std::atomic<std::int64_t> v{0};
+  };
+  std::array<Shard, detail::kShards> shards_{};
+};
+
+/// Last-write-wins scalar (e.g. `nn.train.last_loss`).
+class Gauge {
+ public:
+  void set(double v) { v_.store(v, std::memory_order_relaxed); }
+  [[nodiscard]] double value() const {
+    return v_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  friend class Registry;
+  void reset() { v_.store(0.0, std::memory_order_relaxed); }
+
+  std::atomic<double> v_{0.0};
+};
+
+/// Distribution with fixed base-2 log-scale buckets.
+///
+/// Bucket layout (identical for every histogram, so records from different
+/// runs line up):
+///   bucket 0                 v <= 0 (and NaN)
+///   bucket 1                 0 < v < 2^-29   (positive underflow, ~1.9e-9)
+///   bucket b in [2, 62]      2^(b-31) <= v < 2^(b-30)
+///   bucket 63                v >= 2^32
+/// Seconds, bytes, and row counts all fit this range comfortably.
+class Histogram {
+ public:
+  static constexpr std::size_t kBuckets = 64;
+
+  [[nodiscard]] static std::size_t bucket_index(double v);
+  /// Inclusive lower edge of bucket `b` (-inf for 0, 0 for 1).
+  [[nodiscard]] static double bucket_lower_bound(std::size_t b);
+
+  void record(double v) {
+    auto& shard = shards_[detail::thread_shard()];
+    shard.buckets[bucket_index(v)].fetch_add(1, std::memory_order_relaxed);
+    shard.count.fetch_add(1, std::memory_order_relaxed);
+    detail::atomic_add(shard.sum, v);
+    detail::atomic_min(shard.min, v);
+    detail::atomic_max(shard.max, v);
+  }
+
+  struct Snapshot {
+    std::uint64_t count = 0;
+    double sum = 0.0;
+    double min = std::numeric_limits<double>::infinity();
+    double max = -std::numeric_limits<double>::infinity();
+    std::array<std::uint64_t, kBuckets> buckets{};
+
+    [[nodiscard]] double mean() const {
+      return count > 0 ? sum / static_cast<double>(count) : 0.0;
+    }
+  };
+  [[nodiscard]] Snapshot snapshot() const;
+
+ private:
+  friend class Registry;
+  void reset();
+
+  struct alignas(64) Shard {
+    std::array<std::atomic<std::uint64_t>, kBuckets> buckets{};
+    std::atomic<std::uint64_t> count{0};
+    std::atomic<double> sum{0.0};
+    std::atomic<double> min{std::numeric_limits<double>::infinity()};
+    std::atomic<double> max{-std::numeric_limits<double>::infinity()};
+  };
+  std::array<Shard, detail::kShards> shards_{};
+};
+
+/// Process-wide name -> metric table. Lookup takes a mutex; handles are
+/// stable for the process lifetime, so hot call sites resolve once (the
+/// VF_OBS_* macros cache the reference in a function-local static).
+class Registry {
+ public:
+  static Registry& instance();
+
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name);
+
+  struct CounterEntry {
+    std::string name;
+    std::int64_t value;
+  };
+  struct GaugeEntry {
+    std::string name;
+    double value;
+  };
+  struct HistogramEntry {
+    std::string name;
+    Histogram::Snapshot snapshot;
+  };
+  struct MetricsSnapshot {
+    std::vector<CounterEntry> counters;    // sorted by name
+    std::vector<GaugeEntry> gauges;        // sorted by name
+    std::vector<HistogramEntry> histograms;  // sorted by name
+  };
+  [[nodiscard]] MetricsSnapshot snapshot();
+
+  /// Zero every metric's value (handles stay valid). Test isolation only.
+  void reset_values();
+
+ private:
+  Registry() = default;
+
+  std::mutex mu_;
+  // node-based maps: addresses handed out stay stable across inserts.
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, Gauge> gauges_;
+  std::map<std::string, Histogram> histograms_;
+};
+
+/// Shorthands for Registry::instance().
+Counter& counter(const std::string& name);
+Gauge& gauge(const std::string& name);
+Histogram& histogram(const std::string& name);
+
+/// RAII wall-clock timer that records its scope's duration (seconds) into
+/// a histogram on destruction. The preferred way to time hot paths — see
+/// the vf_lint `raw-timer` rule.
+class ScopedHistTimer {
+ public:
+  explicit ScopedHistTimer(const char* name)
+      : hist_(enabled() ? &histogram(name) : nullptr),
+        start_(std::chrono::steady_clock::now()) {}
+  ~ScopedHistTimer() {
+    if (hist_ == nullptr) return;
+    hist_->record(std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - start_)
+                      .count());
+  }
+  ScopedHistTimer(const ScopedHistTimer&) = delete;
+  ScopedHistTimer& operator=(const ScopedHistTimer&) = delete;
+
+ private:
+  Histogram* hist_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// CPU time consumed by the whole process (all threads), in seconds.
+[[nodiscard]] double process_cpu_seconds();
+
+}  // namespace vf::obs

@@ -1,0 +1,72 @@
+#pragma once
+// RAII trace spans with nesting.
+//
+// A Span marks the wall-clock extent of one phase on one thread. Spans nest
+// lexically: a span opened while another is active on the same thread
+// becomes its child, and the recorded path is the '/'-joined stack
+// ("reconstruct/batch", "reconstruct/inference"). Completed spans collect
+// into per-thread buffers merged on export, so instrumentation inside
+// OpenMP regions is safe and contention-free.
+//
+// Two export shapes:
+//   trace_summary()      — human-readable aggregated tree (count/total/mean
+//                          per path), printed by vfctl on exit.
+//   chrome_trace_json()  — chrome://tracing / Perfetto "traceEvents" JSON
+//                          of every individual span, written by
+//                          write_chrome_trace() for --trace-out.
+//
+// Span names are path segments: lowercase, '_' between words, '/' reserved
+// for nesting (DESIGN.md §8). Create spans through VF_OBS_SPAN so the layer
+// compiles out with -DVF_OBS=OFF.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace vf::obs {
+
+class Span {
+ public:
+  /// Opens a span named `name` (copied; any lifetime is fine). No-op when
+  /// runtime observability is disabled at construction time.
+  explicit Span(const char* name);
+  ~Span();
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  bool active_ = false;
+  double start_us_ = 0.0;
+};
+
+/// One aggregated row of the span tree.
+struct SpanAggregate {
+  std::string path;      // '/'-joined nesting path
+  int depth = 0;         // path segments - 1
+  std::uint64_t count = 0;
+  double total_seconds = 0.0;
+};
+
+/// Completed spans aggregated by path, sorted by path (parents sort before
+/// their children, so the result reads as a tree).
+[[nodiscard]] std::vector<SpanAggregate> span_aggregates();
+
+/// Human-readable indented tree of span_aggregates(); empty string when no
+/// spans completed.
+[[nodiscard]] std::string trace_summary();
+
+/// chrome://tracing JSON ("traceEvents" array of X events, ts/dur in
+/// microseconds since process start).
+[[nodiscard]] std::string chrome_trace_json();
+
+/// Atomically write chrome_trace_json() to `path`.
+void write_chrome_trace(const std::string& path);
+
+/// Spans dropped because a thread buffer hit its cap (telemetry must never
+/// grow without bound).
+[[nodiscard]] std::uint64_t dropped_spans();
+
+/// Discard every recorded span. Test isolation only.
+void reset_spans();
+
+}  // namespace vf::obs

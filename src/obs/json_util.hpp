@@ -1,0 +1,68 @@
+#pragma once
+// Internal minimal JSON emission helpers shared by the vf::obs exporters
+// (metrics JSON, chrome traces, bench records). Not installed; writers
+// build documents by hand so key order is deterministic and schema tests
+// can diff output byte-for-byte.
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+
+namespace vf::obs::detail {
+
+/// JSON string literal (quotes included) with the mandatory escapes.
+inline std::string json_string(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+/// JSON number; non-finite doubles have no JSON spelling and become null.
+inline std::string json_number(double v) {
+  if (!std::isfinite(v)) return "null";
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.12g", v);
+  return buf;
+}
+
+inline std::string json_number(std::int64_t v) {
+  return std::to_string(v);
+}
+
+inline std::string json_number(std::uint64_t v) {
+  return std::to_string(v);
+}
+
+inline std::string json_bool(bool v) { return v ? "true" : "false"; }
+
+}  // namespace vf::obs::detail

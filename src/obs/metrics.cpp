@@ -1,0 +1,157 @@
+#include "vf/obs/metrics.hpp"
+
+#include <cmath>
+#include <ctime>
+
+#include "vf/util/env.hpp"
+
+namespace vf::obs {
+
+namespace {
+
+std::atomic<bool>& enabled_flag() {
+  // First touch reads the VF_OBS environment switch; default on.
+  static std::atomic<bool> flag{vf::util::env_bool("VF_OBS", true)};
+  return flag;
+}
+
+}  // namespace
+
+bool enabled() { return enabled_flag().load(std::memory_order_relaxed); }
+
+void set_enabled(bool on) {
+  enabled_flag().store(on, std::memory_order_relaxed);
+}
+
+namespace detail {
+
+std::size_t thread_shard() {
+  static std::atomic<std::size_t> next{0};
+  thread_local const std::size_t slot =
+      next.fetch_add(1, std::memory_order_relaxed);
+  static_assert((kShards & (kShards - 1)) == 0, "kShards must be 2^n");
+  return slot & (kShards - 1);
+}
+
+}  // namespace detail
+
+std::size_t Histogram::bucket_index(double v) {
+  if (!(v > 0.0)) return 0;  // zero, negatives, NaN
+  // ilogb is floor(log2 v) for normal doubles; denormals and huge values
+  // land in the clamp arms either way.
+  const int e = std::ilogb(v);
+  if (e < -29) return 1;
+  if (e >= 32) return kBuckets - 1;
+  return static_cast<std::size_t>(e + 31);
+}
+
+double Histogram::bucket_lower_bound(std::size_t b) {
+  if (b == 0) return -std::numeric_limits<double>::infinity();
+  if (b == 1) return 0.0;
+  return std::ldexp(1.0, static_cast<int>(b) - 31);
+}
+
+Histogram::Snapshot Histogram::snapshot() const {
+  Snapshot snap;
+  for (const auto& shard : shards_) {
+    const std::uint64_t n = shard.count.load(std::memory_order_relaxed);
+    if (n == 0) continue;
+    snap.count += n;
+    snap.sum += shard.sum.load(std::memory_order_relaxed);
+    snap.min = std::min(snap.min, shard.min.load(std::memory_order_relaxed));
+    snap.max = std::max(snap.max, shard.max.load(std::memory_order_relaxed));
+    for (std::size_t b = 0; b < kBuckets; ++b) {
+      snap.buckets[b] += shard.buckets[b].load(std::memory_order_relaxed);
+    }
+  }
+  return snap;
+}
+
+void Histogram::reset() {
+  for (auto& shard : shards_) {
+    for (auto& b : shard.buckets) b.store(0, std::memory_order_relaxed);
+    shard.count.store(0, std::memory_order_relaxed);
+    shard.sum.store(0.0, std::memory_order_relaxed);
+    shard.min.store(std::numeric_limits<double>::infinity(),
+                    std::memory_order_relaxed);
+    shard.max.store(-std::numeric_limits<double>::infinity(),
+                    std::memory_order_relaxed);
+  }
+}
+
+Registry& Registry::instance() {
+  // Immortal singleton: never destroyed, so instrumentation in other
+  // static destructors and in lingering OpenMP pool threads stays valid at
+  // process exit (running the Registry destructor there is also a TSan
+  // report — the pool's last relaxed shard writes have no visible
+  // happens-before edge to exit-time teardown). Still reachable through
+  // this pointer, so LeakSanitizer does not flag it.
+  static Registry* reg =
+      new Registry();  // vf-lint: allow(naked-new) immortal singleton
+  return *reg;
+}
+
+Counter& Registry::counter(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return counters_[name];
+}
+
+Gauge& Registry::gauge(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return gauges_[name];
+}
+
+Histogram& Registry::histogram(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return histograms_[name];
+}
+
+Registry::MetricsSnapshot Registry::snapshot() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot snap;
+  snap.counters.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) {
+    snap.counters.push_back({name, c.value()});
+  }
+  snap.gauges.reserve(gauges_.size());
+  for (const auto& [name, g] : gauges_) {
+    snap.gauges.push_back({name, g.value()});
+  }
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) {
+    snap.histograms.push_back({name, h.snapshot()});
+  }
+  return snap;
+}
+
+void Registry::reset_values() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, c] : counters_) c.reset();
+  for (auto& [name, g] : gauges_) g.reset();
+  for (auto& [name, h] : histograms_) h.reset();
+}
+
+Counter& counter(const std::string& name) {
+  return Registry::instance().counter(name);
+}
+
+Gauge& gauge(const std::string& name) {
+  return Registry::instance().gauge(name);
+}
+
+Histogram& histogram(const std::string& name) {
+  return Registry::instance().histogram(name);
+}
+
+double process_cpu_seconds() {
+#if defined(CLOCK_PROCESS_CPUTIME_ID)
+  timespec ts{};
+  if (clock_gettime(CLOCK_PROCESS_CPUTIME_ID, &ts) == 0) {
+    return static_cast<double>(ts.tv_sec) +
+           static_cast<double>(ts.tv_nsec) * 1e-9;
+  }
+#endif
+  return static_cast<double>(std::clock()) / CLOCKS_PER_SEC;
+}
+
+}  // namespace vf::obs

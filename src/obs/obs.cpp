@@ -1,0 +1,92 @@
+#include "vf/obs/obs.hpp"
+
+#include "json_util.hpp"
+#include "vf/util/atomic_io.hpp"
+
+namespace vf::obs {
+
+std::string metrics_json() {
+  using detail::json_number;
+  using detail::json_string;
+
+  const auto metrics = Registry::instance().snapshot();
+  const auto spans = span_aggregates();
+
+  std::string out = "{\n";
+  out += "  \"schema\": \"vf-metrics\",\n";
+  out += "  \"schema_version\": 1,\n";
+
+  out += "  \"counters\": {";
+  bool first = true;
+  for (const auto& c : metrics.counters) {
+    if (!first) out += ',';
+    first = false;
+    out += "\n    " + json_string(c.name) + ": " + json_number(c.value);
+  }
+  out += metrics.counters.empty() ? "},\n" : "\n  },\n";
+
+  out += "  \"gauges\": {";
+  first = true;
+  for (const auto& g : metrics.gauges) {
+    if (!first) out += ',';
+    first = false;
+    out += "\n    " + json_string(g.name) + ": " + json_number(g.value);
+  }
+  out += metrics.gauges.empty() ? "},\n" : "\n  },\n";
+
+  out += "  \"histograms\": {";
+  first = true;
+  for (const auto& h : metrics.histograms) {
+    if (!first) out += ',';
+    first = false;
+    const auto& snap = h.snapshot;
+    out += "\n    " + json_string(h.name) +
+           ": {\"count\": " + json_number(snap.count) +
+           ", \"sum\": " + json_number(snap.sum) +
+           ", \"mean\": " + json_number(snap.mean()) +
+           ", \"min\": " + json_number(snap.count > 0 ? snap.min : 0.0) +
+           ", \"max\": " + json_number(snap.count > 0 ? snap.max : 0.0) +
+           ", \"buckets\": [";
+    // Sparse bucket encoding: only non-empty buckets, keyed by their
+    // inclusive lower edge. Fixed edges mean records always line up.
+    bool bfirst = true;
+    for (std::size_t b = 0; b < Histogram::kBuckets; ++b) {
+      if (snap.buckets[b] == 0) continue;
+      if (!bfirst) out += ", ";
+      bfirst = false;
+      out += "{\"ge\": " + json_number(Histogram::bucket_lower_bound(b)) +
+             ", \"count\": " + json_number(snap.buckets[b]) + "}";
+    }
+    out += "]}";
+  }
+  out += metrics.histograms.empty() ? "},\n" : "\n  },\n";
+
+  out += "  \"spans\": [";
+  first = true;
+  for (const auto& s : spans) {
+    if (!first) out += ',';
+    first = false;
+    out += "\n    {\"path\": " + json_string(s.path) +
+           ", \"depth\": " + json_number(static_cast<std::int64_t>(s.depth)) +
+           ", \"count\": " + json_number(s.count) +
+           ", \"total_seconds\": " + json_number(s.total_seconds) +
+           ", \"mean_seconds\": " +
+           json_number(s.count > 0
+                           ? s.total_seconds / static_cast<double>(s.count)
+                           : 0.0) +
+           "}";
+  }
+  out += spans.empty() ? "],\n" : "\n  ],\n";
+
+  out += "  \"dropped_spans\": " + json_number(dropped_spans()) + "\n";
+  out += "}\n";
+  return out;
+}
+
+void write_metrics_json(const std::string& path) {
+  const std::string json = metrics_json();
+  vf::util::atomic_write_file(path,
+                              [&](std::ostream& out) { out << json; });
+}
+
+}  // namespace vf::obs

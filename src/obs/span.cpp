@@ -1,0 +1,217 @@
+#include "vf/obs/span.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "json_util.hpp"
+#include "vf/obs/metrics.hpp"
+#include "vf/util/atomic_io.hpp"
+#include "vf/util/timer.hpp"
+
+namespace vf::obs {
+
+namespace {
+
+/// Completed span as recorded: full nesting path plus raw timing.
+struct SpanRecord {
+  std::string path;
+  double start_us = 0.0;
+  double dur_us = 0.0;
+  int depth = 0;
+  int tid = 0;
+};
+
+/// Hard cap per thread so long benchmark loops cannot grow telemetry
+/// without bound; overflow is counted, not silently ignored.
+constexpr std::size_t kMaxRecordsPerThread = std::size_t{1} << 16;
+
+struct ThreadBuffer {
+  std::mutex mu;
+  int tid = 0;
+  std::vector<std::string> stack;  // names of the open spans, outermost first
+  std::vector<SpanRecord> done;
+  std::uint64_t dropped = 0;
+};
+
+struct Collector {
+  std::mutex mu;
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  int next_tid = 0;
+};
+
+Collector& collector() {
+  // Immortal for the same reason as Registry::instance(): spans may close
+  // during static destruction, and exit-time teardown while OpenMP pool
+  // threads linger trips TSan. Reachable via this pointer => LSan-clean.
+  static Collector* c =
+      new Collector();  // vf-lint: allow(naked-new) immortal singleton
+  return *c;
+}
+
+ThreadBuffer& local_buffer() {
+  thread_local std::shared_ptr<ThreadBuffer> buf = [] {
+    auto b = std::make_shared<ThreadBuffer>();
+    auto& c = collector();
+    const std::lock_guard<std::mutex> lock(c.mu);
+    b->tid = c.next_tid++;
+    c.buffers.push_back(b);
+    return b;
+  }();
+  return *buf;
+}
+
+double now_us() {
+  static const auto t0 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+std::string join_stack(const std::vector<std::string>& stack) {
+  std::string path;
+  for (const auto& seg : stack) {
+    if (!path.empty()) path += '/';
+    path += seg;
+  }
+  return path;
+}
+
+/// Merged copy of every thread's completed records, ordered by (tid, start)
+/// so exports are deterministic for a deterministic run.
+std::vector<SpanRecord> merged_records() {
+  std::vector<SpanRecord> all;
+  auto& c = collector();
+  const std::lock_guard<std::mutex> lock(c.mu);
+  for (const auto& buf : c.buffers) {
+    const std::lock_guard<std::mutex> buf_lock(buf->mu);
+    all.insert(all.end(), buf->done.begin(), buf->done.end());
+  }
+  std::sort(all.begin(), all.end(), [](const SpanRecord& a, const SpanRecord& b) {
+    if (a.tid != b.tid) return a.tid < b.tid;
+    return a.start_us < b.start_us;
+  });
+  return all;
+}
+
+}  // namespace
+
+Span::Span(const char* name) {
+  if (!enabled()) return;
+  auto& buf = local_buffer();
+  const std::lock_guard<std::mutex> lock(buf.mu);
+  buf.stack.emplace_back(name);
+  start_us_ = now_us();
+  active_ = true;
+}
+
+Span::~Span() {
+  if (!active_) return;
+  const double end_us = now_us();
+  auto& buf = local_buffer();
+  const std::lock_guard<std::mutex> lock(buf.mu);
+  SpanRecord rec;
+  rec.path = join_stack(buf.stack);
+  rec.depth = static_cast<int>(buf.stack.size()) - 1;
+  rec.start_us = start_us_;
+  rec.dur_us = end_us - start_us_;
+  rec.tid = buf.tid;
+  buf.stack.pop_back();
+  if (buf.done.size() < kMaxRecordsPerThread) {
+    buf.done.push_back(std::move(rec));
+  } else {
+    ++buf.dropped;
+  }
+}
+
+std::vector<SpanAggregate> span_aggregates() {
+  std::map<std::string, SpanAggregate> by_path;
+  for (const auto& rec : merged_records()) {
+    auto& agg = by_path[rec.path];
+    if (agg.count == 0) {
+      agg.path = rec.path;
+      agg.depth = rec.depth;
+    }
+    ++agg.count;
+    agg.total_seconds += rec.dur_us * 1e-6;
+  }
+  std::vector<SpanAggregate> out;
+  out.reserve(by_path.size());
+  for (auto& [path, agg] : by_path) out.push_back(std::move(agg));
+  return out;
+}
+
+std::string trace_summary() {
+  const auto aggs = span_aggregates();
+  if (aggs.empty()) return {};
+  std::string out = "trace spans (wall clock):\n";
+  for (const auto& agg : aggs) {
+    const std::size_t cut = agg.path.rfind('/');
+    const std::string leaf =
+        cut == std::string::npos ? agg.path : agg.path.substr(cut + 1);
+    out.append(2 + 2 * static_cast<std::size_t>(agg.depth), ' ');
+    out += leaf;
+    out += ": ";
+    out += vf::util::format_duration(agg.total_seconds);
+    if (agg.count > 1) {
+      out += " (" + std::to_string(agg.count) + "x, avg " +
+             vf::util::format_duration(agg.total_seconds /
+                                       static_cast<double>(agg.count)) +
+             ")";
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+std::string chrome_trace_json() {
+  std::string out = "{\"traceEvents\": [";
+  bool first = true;
+  for (const auto& rec : merged_records()) {
+    if (!first) out += ',';
+    first = false;
+    const std::size_t cut = rec.path.rfind('/');
+    const std::string leaf =
+        cut == std::string::npos ? rec.path : rec.path.substr(cut + 1);
+    out += "\n  {\"name\": " + detail::json_string(leaf) +
+           ", \"cat\": \"vf\", \"ph\": \"X\", \"ts\": " +
+           detail::json_number(rec.start_us) +
+           ", \"dur\": " + detail::json_number(rec.dur_us) +
+           ", \"pid\": 1, \"tid\": " +
+           detail::json_number(static_cast<std::int64_t>(rec.tid)) +
+           ", \"args\": {\"path\": " + detail::json_string(rec.path) + "}}";
+  }
+  out += "\n], \"displayTimeUnit\": \"ms\"}\n";
+  return out;
+}
+
+void write_chrome_trace(const std::string& path) {
+  const std::string json = chrome_trace_json();
+  vf::util::atomic_write_file(path,
+                              [&](std::ostream& out) { out << json; });
+}
+
+std::uint64_t dropped_spans() {
+  std::uint64_t total = 0;
+  auto& c = collector();
+  const std::lock_guard<std::mutex> lock(c.mu);
+  for (const auto& buf : c.buffers) {
+    const std::lock_guard<std::mutex> buf_lock(buf->mu);
+    total += buf->dropped;
+  }
+  return total;
+}
+
+void reset_spans() {
+  auto& c = collector();
+  const std::lock_guard<std::mutex> lock(c.mu);
+  for (const auto& buf : c.buffers) {
+    const std::lock_guard<std::mutex> buf_lock(buf->mu);
+    buf->done.clear();
+    buf->dropped = 0;
+  }
+}
+
+}  // namespace vf::obs

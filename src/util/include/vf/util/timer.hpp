@@ -25,7 +25,8 @@ class Timer {
 };
 
 /// Format a duration in seconds as a short human-readable string
-/// (e.g. "532ms", "12.3s", "4m05s").
+/// (e.g. "500us", "532ms", "12.3s", "4m05s", "1h02m"). Non-positive
+/// durations format as "0ms".
 std::string format_duration(double seconds);
 
 }  // namespace vf::util

@@ -18,14 +18,24 @@ double Timer::millis() const { return seconds() * 1000.0; }
 
 std::string format_duration(double seconds) {
   char buf[64];
-  if (seconds < 1.0) {
+  if (seconds <= 0.0) {
+    return "0ms";
+  }
+  if (seconds < 0.001) {
+    std::snprintf(buf, sizeof buf, "%.0fus", seconds * 1e6);
+  } else if (seconds < 1.0) {
     std::snprintf(buf, sizeof buf, "%.0fms", seconds * 1000.0);
   } else if (seconds < 120.0) {
     std::snprintf(buf, sizeof buf, "%.1fs", seconds);
   } else {
-    int mins = static_cast<int>(seconds / 60.0);
-    int secs = static_cast<int>(std::lround(seconds - 60.0 * mins));
-    std::snprintf(buf, sizeof buf, "%dm%02ds", mins, secs);
+    // Round the total once so 179.6s is "3m00s", never "2m60s".
+    const long total = std::lround(seconds);
+    if (total < 3600) {
+      std::snprintf(buf, sizeof buf, "%ldm%02lds", total / 60, total % 60);
+    } else {
+      std::snprintf(buf, sizeof buf, "%ldh%02ldm", total / 3600,
+                    (total % 3600) / 60);
+    }
   }
   return buf;
 }

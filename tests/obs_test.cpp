@@ -1,0 +1,295 @@
+// Tests for the vf::obs observability layer: histogram bucket edges,
+// counter correctness under concurrent (OpenMP) increments, span nesting
+// and export round-trips, BenchRecorder JSON schema stability, and the
+// runtime enable/disable toggle.
+//
+// The registry and span collector are process-wide singletons, so every
+// fixture test starts from reset_values()/reset_spans() and restores the
+// runtime toggle on exit.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <string>
+
+#include "vf/obs/obs.hpp"
+
+namespace {
+
+using vf::obs::Histogram;
+
+class ObsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    vf::obs::set_enabled(true);
+    vf::obs::Registry::instance().reset_values();
+    vf::obs::reset_spans();
+  }
+  void TearDown() override {
+    vf::obs::set_enabled(true);
+    vf::obs::Registry::instance().reset_values();
+    vf::obs::reset_spans();
+  }
+};
+
+// --- Histogram bucket layout ------------------------------------------------
+
+TEST(ObsHistogramBuckets, NonPositiveAndNanLandInBucketZero) {
+  EXPECT_EQ(Histogram::bucket_index(0.0), 0u);
+  EXPECT_EQ(Histogram::bucket_index(-1.5), 0u);
+  EXPECT_EQ(Histogram::bucket_index(-std::numeric_limits<double>::infinity()),
+            0u);
+  EXPECT_EQ(Histogram::bucket_index(std::numeric_limits<double>::quiet_NaN()),
+            0u);
+}
+
+TEST(ObsHistogramBuckets, PositiveUnderflowLandsInBucketOne) {
+  EXPECT_EQ(Histogram::bucket_index(std::numeric_limits<double>::denorm_min()),
+            1u);
+  EXPECT_EQ(Histogram::bucket_index(1e-10), 1u);
+  // Just below the bucket-2 lower edge (2^-29).
+  EXPECT_EQ(Histogram::bucket_index(std::nextafter(std::ldexp(1.0, -29), 0.0)),
+            1u);
+}
+
+TEST(ObsHistogramBuckets, KnownValues) {
+  EXPECT_EQ(Histogram::bucket_index(1.0), 31u);  // [1, 2)
+  EXPECT_EQ(Histogram::bucket_index(1.999), 31u);
+  EXPECT_EQ(Histogram::bucket_index(2.0), 32u);
+  EXPECT_EQ(Histogram::bucket_index(0.5), 30u);  // [0.5, 1)
+  EXPECT_EQ(Histogram::bucket_index(std::ldexp(1.0, 32)), 63u);
+  EXPECT_EQ(Histogram::bucket_index(std::numeric_limits<double>::infinity()),
+            63u);
+}
+
+TEST(ObsHistogramBuckets, EveryLowerEdgeIsInclusive) {
+  // bucket_lower_bound(b) must itself fall in bucket b, and the next
+  // representable value below it in bucket b-1: edges are [closed, open).
+  for (std::size_t b = 2; b < Histogram::kBuckets; ++b) {
+    const double edge = Histogram::bucket_lower_bound(b);
+    EXPECT_EQ(Histogram::bucket_index(edge), b) << "bucket " << b;
+    EXPECT_EQ(Histogram::bucket_index(std::nextafter(edge, 0.0)), b - 1)
+        << "bucket " << b;
+  }
+  EXPECT_TRUE(std::isinf(Histogram::bucket_lower_bound(0)));
+  EXPECT_LT(Histogram::bucket_lower_bound(0), 0.0);
+  EXPECT_EQ(Histogram::bucket_lower_bound(1), 0.0);
+  EXPECT_EQ(Histogram::bucket_lower_bound(31), 1.0);
+}
+
+TEST_F(ObsTest, HistogramSnapshotAggregates) {
+  auto& h = vf::obs::histogram("test.hist.basic");
+  h.record(0.5);
+  h.record(1.0);
+  h.record(3.0);
+  const auto snap = h.snapshot();
+  EXPECT_EQ(snap.count, 3u);
+  EXPECT_DOUBLE_EQ(snap.sum, 4.5);
+  EXPECT_DOUBLE_EQ(snap.min, 0.5);
+  EXPECT_DOUBLE_EQ(snap.max, 3.0);
+  EXPECT_DOUBLE_EQ(snap.mean(), 1.5);
+  EXPECT_EQ(snap.buckets[30], 1u);  // 0.5
+  EXPECT_EQ(snap.buckets[31], 1u);  // 1.0
+  EXPECT_EQ(snap.buckets[32], 1u);  // 3.0 in [2, 4)
+}
+
+// --- Spans ------------------------------------------------------------------
+
+TEST_F(ObsTest, SpanNestingBuildsSlashJoinedPaths) {
+  {
+    const vf::obs::Span outer("outer");
+    { const vf::obs::Span inner("inner"); }
+    { const vf::obs::Span inner("inner"); }
+  }
+  const auto aggs = vf::obs::span_aggregates();
+  ASSERT_EQ(aggs.size(), 2u);
+  EXPECT_EQ(aggs[0].path, "outer");
+  EXPECT_EQ(aggs[0].depth, 0);
+  EXPECT_EQ(aggs[0].count, 1u);
+  EXPECT_EQ(aggs[1].path, "outer/inner");
+  EXPECT_EQ(aggs[1].depth, 1);
+  EXPECT_EQ(aggs[1].count, 2u);
+  // The parent's wall time covers both children.
+  EXPECT_GE(aggs[0].total_seconds, aggs[1].total_seconds);
+}
+
+TEST_F(ObsTest, ChromeTraceExportRoundTrips) {
+  {
+    const vf::obs::Span outer("phase_a");
+    const vf::obs::Span inner("phase_b");
+  }
+  const std::string path = ::testing::TempDir() + "vf_obs_trace.json";
+  vf::obs::write_chrome_trace(path);
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream ss;
+  ss << in.rdbuf();
+  const std::string written = ss.str();
+  // The file is byte-identical to the in-memory export (atomic write, no
+  // spans recorded in between)...
+  EXPECT_EQ(written, vf::obs::chrome_trace_json());
+  // ...and carries complete events with leaf names and full paths.
+  EXPECT_NE(written.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(written.find("\"ph\": \"X\""), std::string::npos);
+  EXPECT_NE(written.find("\"name\": \"phase_a\""), std::string::npos);
+  EXPECT_NE(written.find("\"name\": \"phase_b\""), std::string::npos);
+  EXPECT_NE(written.find("\"path\": \"phase_a/phase_b\""), std::string::npos);
+}
+
+TEST_F(ObsTest, TraceSummaryListsLeavesAndEmptiesOnReset) {
+  {
+    const vf::obs::Span outer("outer");
+    const vf::obs::Span inner("inner");
+  }
+  const std::string summary = vf::obs::trace_summary();
+  EXPECT_NE(summary.find("outer"), std::string::npos);
+  EXPECT_NE(summary.find("inner"), std::string::npos);
+  vf::obs::reset_spans();
+  EXPECT_TRUE(vf::obs::trace_summary().empty());
+  EXPECT_EQ(vf::obs::dropped_spans(), 0u);
+}
+
+TEST_F(ObsTest, DisabledSpansRecordNothing) {
+  vf::obs::set_enabled(false);
+  { const vf::obs::Span ghost("ghost"); }
+  vf::obs::set_enabled(true);
+  EXPECT_TRUE(vf::obs::span_aggregates().empty());
+}
+
+#if VF_OBS_ENABLED
+TEST_F(ObsTest, MacrosRespectRuntimeToggle) {
+  vf::obs::set_enabled(false);
+  VF_OBS_COUNT("test.macro.counter", 5);
+  vf::obs::set_enabled(true);
+  VF_OBS_COUNT("test.macro.counter", 2);
+  EXPECT_EQ(vf::obs::counter("test.macro.counter").value(), 2);
+}
+#endif
+
+// --- Registry ---------------------------------------------------------------
+
+TEST_F(ObsTest, ResetValuesKeepsHandlesValid) {
+  auto& c = vf::obs::counter("test.reset.counter");
+  c.add(3);
+  vf::obs::Registry::instance().reset_values();
+  EXPECT_EQ(c.value(), 0);
+  c.add(1);
+  EXPECT_EQ(c.value(), 1);
+  // Same name resolves to the same handle across resets.
+  EXPECT_EQ(&c, &vf::obs::counter("test.reset.counter"));
+}
+
+TEST_F(ObsTest, MetricsJsonCarriesEveryMetricKind) {
+  vf::obs::counter("test.json.counter").add(7);
+  vf::obs::gauge("test.json.gauge").set(2.5);
+  vf::obs::histogram("test.json.hist").record(1.0);
+  { const vf::obs::Span span("json_span"); }
+  const std::string json = vf::obs::metrics_json();
+  EXPECT_NE(json.find("\"schema\": \"vf-metrics\""), std::string::npos);
+  EXPECT_NE(json.find("\"schema_version\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"test.json.counter\": 7"), std::string::npos);
+  EXPECT_NE(json.find("\"test.json.gauge\": 2.5"), std::string::npos);
+  EXPECT_NE(json.find("\"test.json.hist\""), std::string::npos);
+  EXPECT_NE(json.find("\"ge\": 1, \"count\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"path\": \"json_span\""), std::string::npos);
+  EXPECT_NE(json.find("\"dropped_spans\": 0"), std::string::npos);
+}
+
+// --- BenchRecorder ----------------------------------------------------------
+
+TEST(ObsBenchRecorder, JsonSchemaIsStable) {
+  vf::obs::BenchRecorder rec("unit_test_run");
+  vf::obs::BenchPhase phase;
+  phase.name = "phase_one";
+  phase.wall_seconds = 2.0;
+  phase.cpu_seconds = 4.0;
+  phase.items = 10.0;
+  phase.bytes = 100.0;
+  rec.add_phase(phase);
+  rec.set_metric("alpha_rate", 5.0);
+  rec.set_metric("beta_rate", 0.25);
+
+  const std::string json = rec.to_json();
+  // Versioned envelope: the CI comparator keys off these two fields, so
+  // renaming them is a schema break and must bump kSchemaVersion.
+  EXPECT_NE(json.find("\"schema\": \"vf-bench-record\""), std::string::npos);
+  EXPECT_NE(json.find("\"schema_version\": 1"), std::string::npos);
+  for (const char* key :
+       {"\"name\": \"unit_test_run\"", "\"git_sha\"", "\"unix_time\"",
+        "\"build\"", "\"build_type\"", "\"compiler\"", "\"native_arch\"",
+        "\"obs_compiled\"", "\"threads\"", "\"phases\"", "\"metrics\""}) {
+    EXPECT_NE(json.find(key), std::string::npos) << key;
+  }
+  // Rates are derived at write time: items/wall and bytes/wall.
+  EXPECT_NE(json.find("\"items_per_second\": 5"), std::string::npos);
+  EXPECT_NE(json.find("\"bytes_per_second\": 50"), std::string::npos);
+  EXPECT_NE(json.find("\"alpha_rate\": 5"), std::string::npos);
+  EXPECT_NE(json.find("\"beta_rate\": 0.25"), std::string::npos);
+}
+
+TEST(ObsBenchRecorder, ScopedPhaseMeasuresAndAppends) {
+  vf::obs::BenchRecorder rec("scoped");
+  {
+    auto phase = rec.phase("work");
+    phase.set_items(42.0);
+  }
+  ASSERT_EQ(rec.phases().size(), 1u);
+  EXPECT_EQ(rec.phases()[0].name, "work");
+  EXPECT_GE(rec.phases()[0].wall_seconds, 0.0);
+  EXPECT_GE(rec.phases()[0].cpu_seconds, 0.0);
+  EXPECT_DOUBLE_EQ(rec.phases()[0].items, 42.0);
+}
+
+TEST(ObsBenchRecorder, WriteProducesParsableFile) {
+  vf::obs::BenchRecorder rec("written");
+  rec.set_metric("gamma", 1.5);
+  const std::string path = ::testing::TempDir() + "vf_obs_bench.json";
+  rec.write(path);
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream ss;
+  ss << in.rdbuf();
+  EXPECT_EQ(ss.str(), rec.to_json());
+}
+
+// --- Concurrency ------------------------------------------------------------
+// A separate suite, declared after every other one, so it runs last (gtest
+// orders suites by first declaration): libgomp is not TSan-instrumented, so
+// after an OpenMP region the pool threads' reads of the data-sharing struct
+// on the main thread's stack have no TSan-visible happens-before edge, and
+// any later test's instrumented writes to that reused stack memory would be
+// a false positive in the sanitizer lane. Nothing runs after these.
+
+TEST(ObsZConcurrency, CounterIsExactUnderConcurrentIncrements) {
+  vf::obs::set_enabled(true);
+  auto& c = vf::obs::counter("test.concurrent.counter");
+  constexpr int kIters = 200000;
+// vf-par: independent relaxed increments into cacheline-padded per-thread
+// shards; value() merges the shards afterwards.
+#pragma omp parallel for
+  for (int i = 0; i < kIters; ++i) {
+    c.add(1);
+  }
+  EXPECT_EQ(c.value(), static_cast<std::int64_t>(kIters));
+}
+
+TEST(ObsZConcurrency, HistogramIsExactUnderConcurrentRecords) {
+  vf::obs::set_enabled(true);
+  auto& h = vf::obs::histogram("test.concurrent.hist");
+  constexpr int kIters = 20000;
+// vf-par: record() only touches the calling thread's shard.
+#pragma omp parallel for
+  for (int i = 0; i < kIters; ++i) {
+    h.record(1.0);
+  }
+  const auto snap = h.snapshot();
+  EXPECT_EQ(snap.count, static_cast<std::uint64_t>(kIters));
+  EXPECT_DOUBLE_EQ(snap.sum, static_cast<double>(kIters));
+  EXPECT_EQ(snap.buckets[31], static_cast<std::uint64_t>(kIters));
+}
+
+}  // namespace

@@ -179,6 +179,19 @@ TEST(Timer, FormatDuration) {
   EXPECT_EQ(vf::util::format_duration(125.0), "2m05s");
 }
 
+TEST(Timer, FormatDurationEdges) {
+  EXPECT_EQ(vf::util::format_duration(0.0), "0ms");
+  EXPECT_EQ(vf::util::format_duration(-1.0), "0ms");
+  EXPECT_EQ(vf::util::format_duration(0.0005), "500us");
+  EXPECT_EQ(vf::util::format_duration(1e-6), "1us");
+  // Minute rounding must carry: 179.6s is 3m00s, never 2m60s.
+  EXPECT_EQ(vf::util::format_duration(179.6), "3m00s");
+  EXPECT_EQ(vf::util::format_duration(3599.9), "1h00m");
+  EXPECT_EQ(vf::util::format_duration(3600.0), "1h00m");
+  EXPECT_EQ(vf::util::format_duration(3725.0), "1h02m");
+  EXPECT_EQ(vf::util::format_duration(7260.0), "2h01m");
+}
+
 TEST(Cli, ParsesSpaceSeparatedOptions) {
   const char* argv[] = {"prog", "--alpha", "3", "--name", "isabel"};
   Cli cli(5, argv);

@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""Compare a perf_smoke run against the checked-in CI baseline.
+
+Usage:
+    compare_perf.py BASELINE.json CURRENT.json [--threshold 1.5]
+
+Both files carry a ``metrics`` map of headline throughputs (higher is
+better). For every metric in the baseline, the current run fails if
+
+    baseline_value / current_value > threshold
+
+i.e. the metric got more than ``threshold``x slower than the baseline.
+Metrics present in the current run but absent from the baseline are
+reported as info (add them to the baseline when they stabilise); metrics
+missing from the current run are an error (the probe silently lost
+coverage).
+
+Refreshing the baseline: download the ``perf-record`` artifact from a green
+run of the perf workflow on main, then copy its ``metrics`` values into
+``bench_baselines/ci_baseline.json``, scaled down by the ``headroom``
+recorded there (see that file's ``note``). Never paste laptop numbers.
+
+Exit codes: 0 ok, 1 regression or missing metric, 2 usage/IO error.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_metrics(path):
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, ValueError) as e:
+        print(f"compare_perf: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+    metrics = doc.get("metrics")
+    if not isinstance(metrics, dict) or not metrics:
+        print(f"compare_perf: {path} has no 'metrics' map", file=sys.stderr)
+        sys.exit(2)
+    return doc, metrics
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("baseline")
+    ap.add_argument("current")
+    ap.add_argument("--threshold", type=float, default=None,
+                    help="max allowed slowdown factor "
+                         "(default: baseline file's 'threshold', else 1.5)")
+    args = ap.parse_args()
+
+    base_doc, base = load_metrics(args.baseline)
+    _, cur = load_metrics(args.current)
+    threshold = args.threshold
+    if threshold is None:
+        threshold = float(base_doc.get("threshold", 1.5))
+
+    failures = []
+    print(f"{'metric':<36} {'baseline':>12} {'current':>12} {'slowdown':>9}")
+    for name in sorted(base):
+        expected = float(base[name])
+        if name not in cur:
+            print(f"{name:<36} {expected:>12.4g} {'MISSING':>12} {'':>9}")
+            failures.append(f"{name}: missing from current run")
+            continue
+        actual = float(cur[name])
+        if actual <= 0:
+            print(f"{name:<36} {expected:>12.4g} {actual:>12.4g} {'':>9}")
+            failures.append(f"{name}: non-positive throughput {actual}")
+            continue
+        slowdown = expected / actual
+        flag = "  FAIL" if slowdown > threshold else ""
+        print(f"{name:<36} {expected:>12.4g} {actual:>12.4g} "
+              f"{slowdown:>8.2f}x{flag}")
+        if slowdown > threshold:
+            failures.append(
+                f"{name}: {slowdown:.2f}x slower than baseline "
+                f"(limit {threshold:.2f}x)")
+
+    for name in sorted(set(cur) - set(base)):
+        print(f"{name:<36} {'(no baseline)':>12} {float(cur[name]):>12.4g}")
+
+    if failures:
+        print(f"\ncompare_perf: {len(failures)} regression(s):",
+              file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        return 1
+    print(f"\ncompare_perf: all {len(base)} metrics within "
+          f"{threshold:.2f}x of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -34,6 +34,15 @@
 //                    itself, throwaway visualisation dumps — annotate with
 //                    `// vf-lint: allow(raw-ofstream) <reason>`.
 //
+//   raw-timer        Hot paths (src/core, src/nn) must time through the
+//                    observability layer — VF_OBS_HIST_TIMER / VF_OBS_SPAN
+//                    (vf/obs/obs.hpp) — not ad-hoc vf::util::Timer
+//                    stopwatches, so the measurement lands in the exported
+//                    metrics/trace instead of a scattered local. Sites whose
+//                    timing feeds a returned artifact (TrainHistory,
+//                    TimestepArtifacts) annotate with
+//                    `// vf-lint: allow(raw-timer) <reason>`.
+//
 //   aligned-cast     `reinterpret_cast` is allowed only to byte pointers
 //                    (char / unsigned char / std::byte), the legal aliasing
 //                    family used by the binary serializers. Anything else —
@@ -183,6 +192,11 @@ void lint_file(const fs::path& path, std::vector<Finding>& findings) {
   for (const auto& line : raw) split.push_back(split_line(line, in_block));
 
   const std::string file = path.string();
+  // The raw-timer rule only bites in the reconstruction/training hot paths;
+  // elsewhere (tools, bench, vis) a plain stopwatch is fine.
+  const std::string gen = path.generic_string();
+  const bool hot_path = gen.find("src/core/") != std::string::npos ||
+                        gen.find("src/nn/") != std::string::npos;
   std::vector<ResizeWatch> watches;
 
   for (std::size_t i = 0; i < split.size(); ++i) {
@@ -298,6 +312,17 @@ void lint_file(const fs::path& path, std::vector<Finding>& findings) {
            "raw std::ofstream bypasses the crash-safe write protocol — "
            "persist through vf::util::atomic_write_file, or annotate a "
            "deliberate site with vf-lint: allow(raw-ofstream)"});
+    }
+
+    // --- raw-timer ------------------------------------------------------
+    if (hot_path && code.find("util::Timer") != std::string::npos &&
+        code.find("#include") == std::string::npos && !allowed("raw-timer")) {
+      findings.push_back(
+          {file, lineno, "raw-timer",
+           "raw vf::util::Timer in a hot path — time through "
+           "VF_OBS_HIST_TIMER / VF_OBS_SPAN so the measurement reaches the "
+           "exported metrics, or annotate a site that feeds a returned "
+           "artifact with vf-lint: allow(raw-timer)"});
     }
 
     // --- aligned-cast ---------------------------------------------------

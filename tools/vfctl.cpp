@@ -20,6 +20,13 @@
 //
 // Every command prints what it did; `eval` prints SNR/PSNR/RMSE.
 //
+// Observability (all commands): --metrics-out FILE writes the vf::obs
+// metrics registry (counters/gauges/histograms + aggregated span tree) as
+// "vf-metrics" JSON after the command succeeds; --trace-out FILE writes a
+// chrome://tracing file of every recorded span; --trace prints the
+// aggregated span-tree summary to stdout on exit. The VF_OBS environment
+// variable (0/1) is the runtime master switch.
+//
 // Robustness options (all commands): --retries N (default 1) retries file
 // loads N times total on transient I/O errors with exponential backoff
 // starting at --retry-delay-ms M (default 50). `reconstruct --model` never
@@ -38,6 +45,7 @@
 #include "vf/field/metrics.hpp"
 #include "vf/field/vtk_io.hpp"
 #include "vf/interp/reconstructor.hpp"
+#include "vf/obs/obs.hpp"
 #include "vf/sampling/samplers.hpp"
 #include "vf/util/atomic_io.hpp"
 #include "vf/util/cli.hpp"
@@ -216,20 +224,49 @@ int cmd_eval(const util::Cli& cli) {
 
 }  // namespace
 
+namespace {
+
+/// Telemetry sinks, flushed after the command body (success or failure) so
+/// a degraded run still leaves its metrics behind.
+void flush_observability(const util::Cli& cli) {
+  try {
+    if (cli.has("metrics-out")) {
+      obs::write_metrics_json(cli.get("metrics-out", ""));
+    }
+    if (cli.has("trace-out")) {
+      obs::write_chrome_trace(cli.get("trace-out", ""));
+    }
+    if (cli.get_bool("trace", false)) {
+      const std::string summary = obs::trace_summary();
+      if (!summary.empty()) std::printf("%s", summary.c_str());
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "vfctl: observability export failed: %s\n", e.what());
+  }
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   if (argc < 2) usage("no command");
   std::string cmd = argv[1];
   util::Cli cli(argc - 1, argv + 1);
+  int rc = -1;
   try {
-    if (cmd == "generate") return cmd_generate(cli);
-    if (cmd == "sample") return cmd_sample(cli);
-    if (cmd == "train") return cmd_train(cli);
-    if (cmd == "finetune") return cmd_finetune(cli);
-    if (cmd == "reconstruct") return cmd_reconstruct(cli);
-    if (cmd == "eval") return cmd_eval(cli);
+    if (cmd == "generate") rc = cmd_generate(cli);
+    if (cmd == "sample") rc = cmd_sample(cli);
+    if (cmd == "train") rc = cmd_train(cli);
+    if (cmd == "finetune") rc = cmd_finetune(cli);
+    if (cmd == "reconstruct") rc = cmd_reconstruct(cli);
+    if (cmd == "eval") rc = cmd_eval(cli);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "vfctl %s: %s\n", cmd.c_str(), e.what());
+    flush_observability(cli);
     return 1;
+  }
+  if (rc >= 0) {
+    flush_observability(cli);
+    return rc;
   }
   usage(("unknown command " + cmd).c_str());
 }
