@@ -29,6 +29,7 @@ int main(int argc, char** argv) {
                " (hurricane-trained model applied to combustion)");
   bench::row({"model", "snr_db"});
 
+  // vf-lint: allow(api-facade) benchmarks the engine directly
   core::FcnnReconstructor frozen(pre.model.clone());
   bench::row({"frozen_transfer",
               bench::fmt(field::snr_db(
@@ -38,6 +39,7 @@ int main(int argc, char** argv) {
   core::fine_tune(tuned, dst_truth, sampler, cfg,
                   core::FineTuneMode::FullNetwork,
                   cli.get_int("ft-epochs", 10));
+  // vf-lint: allow(api-facade) benchmarks the engine directly
   core::FcnnReconstructor ft(std::move(tuned));
   bench::row({"after_10ep_finetune",
               bench::fmt(field::snr_db(
@@ -51,12 +53,14 @@ int main(int argc, char** argv) {
                   core::FineTuneMode::FullNetwork,
                   cli.get_int("ft-epochs", 10),
                   /*refit_normalization=*/true);
+  // vf-lint: allow(api-facade) benchmarks the engine directly
   core::FcnnReconstructor rn(std::move(renorm));
   bench::row({"refit_norm+finetune",
               bench::fmt(field::snr_db(
                   dst_truth, rn.reconstruct(cloud, dst_truth.grid())))});
 
   auto native = core::pretrain(dst_truth, sampler, cfg);
+  // vf-lint: allow(api-facade) benchmarks the engine directly
   core::FcnnReconstructor nat(std::move(native.model));
   bench::row({"native_training",
               bench::fmt(field::snr_db(

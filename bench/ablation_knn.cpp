@@ -66,7 +66,11 @@ int main(int argc, char** argv) {
     for (double frac : {0.01, 0.05}) {
       auto cloud = sampler.sample(truth, frac, 99);
       auto voids = cloud.void_indices();
-      Matrix X = core::extract_features(cloud, truth.grid(), voids);
+      core::FeatureRequest freq;
+      freq.cloud = &cloud;
+      freq.grid = &truth.grid();
+      freq.indices = &voids;
+      Matrix X = core::extract_features(freq);
       mask_neighbors(X, k);
       Matrix Y = model.predict(X);
       field::ScalarField rec(truth.grid(), "rec");

@@ -19,6 +19,7 @@ int main(int argc, char** argv) {
   sampling::StratifiedSampler stratified;
 
   auto pre = core::pretrain(truth, importance, bench::bench_config());
+  // vf-lint: allow(api-facade) benchmarks the engine directly
   core::FcnnReconstructor fcnn(std::move(pre.model));
   interp::LinearDelaunayReconstructor linear;
 

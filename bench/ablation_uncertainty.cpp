@@ -28,6 +28,7 @@ int main(int argc, char** argv) {
                " (hurricane " + truth.grid().describe() + ")");
   bench::row({"model", "snr_db"});
   for (std::size_t m = 0; m < ens.size(); ++m) {
+    // vf-lint: allow(api-facade) benchmarks the engine directly
     core::FcnnReconstructor rec(ens.member(m).clone());
     bench::row({"member_" + std::to_string(m),
                 bench::fmt(field::snr_db(

@@ -41,6 +41,7 @@ int main(int argc, char** argv) {
     ropt.axis = scene.axis;
 
     auto pre = core::pretrain(truth, sampler, bench::bench_config());
+    // vf-lint: allow(api-facade) benchmarks the engine directly
     core::FcnnReconstructor fcnn(std::move(pre.model));
     auto cloud = sampler.sample(truth, frac, 22);
 

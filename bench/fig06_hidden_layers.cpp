@@ -29,6 +29,7 @@ int main(int argc, char** argv) {
     auto cfg = bench::bench_config();
     cfg.hidden = core::FcnnConfig::pyramid(layers);
     auto pre = core::pretrain(truth, sampler, cfg);
+    // vf-lint: allow(api-facade) benchmarks the engine directly
     core::FcnnReconstructor rec(std::move(pre.model));
 
     double snr_sum = 0.0;

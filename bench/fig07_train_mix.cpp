@@ -26,6 +26,7 @@ int main(int argc, char** argv) {
       {"train@1%+5%", {0.01, 0.05}},
   };
 
+  // vf-lint: allow(api-facade) benchmarks the engine directly
   std::vector<core::FcnnReconstructor> models;
   for (const auto& v : variants) {
     auto cfg = bench::bench_config();

@@ -26,6 +26,7 @@ int main(int argc, char** argv) {
   std::vector<Variant> variants = {{"grad_w1", true, 1.0},
                                    {"grad_w0.1", true, 0.1},
                                    {"no_grad", false, 1.0}};
+  // vf-lint: allow(api-facade) benchmarks the engine directly
   std::vector<core::FcnnReconstructor> models;
   for (const auto& v : variants) {
     auto cfg = bench::bench_config();

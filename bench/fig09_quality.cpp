@@ -25,6 +25,7 @@ int main(int argc, char** argv) {
     auto truth = ds->generate(bench::bench_dims(*ds), t);
 
     auto pre = core::pretrain(truth, sampler, bench::bench_config());
+    // vf-lint: allow(api-facade) benchmarks the engine directly
     core::FcnnReconstructor fcnn(std::move(pre.model));
 
     bench::title("Fig 9 — SNR vs sampling % (" + name + " " +

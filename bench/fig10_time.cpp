@@ -30,7 +30,9 @@ int main(int argc, char** argv) {
     auto truth = ds->generate(bench::bench_dims(*ds), t);
 
     auto pre = core::pretrain(truth, sampler, bench::bench_config());
+    // vf-lint: allow(api-facade) benchmarks the engine directly
     core::BatchReconstructor fcnn_stream(pre.model.clone());
+    // vf-lint: allow(api-facade) benchmarks the engine directly
     core::FcnnReconstructor fcnn(std::move(pre.model));
 
     bench::title("Fig 10 — reconstruction time [s] vs sampling % (" + name +

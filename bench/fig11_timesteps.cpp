@@ -45,7 +45,9 @@ int main(int argc, char** argv) {
 
     double s_lin = field::snr_db(truth, linear.reconstruct(cloud, truth.grid()));
 
+    // vf-lint: allow(api-facade) benchmarks the engine directly
     core::FcnnReconstructor f01(frozen01.clone());
+    // vf-lint: allow(api-facade) benchmarks the engine directly
     core::FcnnReconstructor f25(frozen25.clone());
     double s_f01 = field::snr_db(truth, f01.reconstruct(cloud, truth.grid()));
     double s_f25 = field::snr_db(truth, f25.reconstruct(cloud, truth.grid()));
@@ -57,7 +59,9 @@ int main(int argc, char** argv) {
                     core::FineTuneMode::FullNetwork, ft_epochs);
     core::fine_tune(tuned25, truth, sampler, cfg,
                     core::FineTuneMode::FullNetwork, ft_epochs);
+    // vf-lint: allow(api-facade) benchmarks the engine directly
     core::FcnnReconstructor t01(tuned01.clone());
+    // vf-lint: allow(api-facade) benchmarks the engine directly
     core::FcnnReconstructor t25(tuned25.clone());
     double s_t01 = field::snr_db(truth, t01.reconstruct(cloud, truth.grid()));
     double s_t25 = field::snr_db(truth, t25.reconstruct(cloud, truth.grid()));

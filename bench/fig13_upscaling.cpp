@@ -45,10 +45,12 @@ int main(int argc, char** argv) {
                     core::FineTuneMode::FullNetwork,
                     cli.get_int("ft-epochs", 10));
   });
+  // vf-lint: allow(api-facade) benchmarks the engine directly
   core::FcnnReconstructor fcnn_ft(std::move(pre_lo.model));
 
   // Model B: trained from scratch on the high-res data.
   auto pre_hi = core::pretrain(hi_truth, sampler, cfg);
+  // vf-lint: allow(api-facade) benchmarks the engine directly
   core::FcnnReconstructor fcnn_hi(std::move(pre_hi.model));
 
   std::printf("low-res %s -> high-res %s (domain shifted +15%%)\n",

@@ -23,6 +23,7 @@ int main(int argc, char** argv) {
   std::vector<std::pair<const char*, double>> subsets = {
       {"100%", 1.0}, {"50%", 0.5}, {"25%", 0.25}};
 
+  // vf-lint: allow(api-facade) benchmarks the engine directly
   std::vector<core::FcnnReconstructor> models;
   std::vector<std::size_t> rows;
   for (auto& [label, sub] : subsets) {

@@ -164,8 +164,12 @@ void BM_FeatureExtraction(benchmark::State& state) {
   auto cloud = sampler.sample(truth, 0.02, 1);
   auto voids = cloud.void_indices();
   voids.resize(static_cast<std::size_t>(state.range(0)));
+  vf::core::FeatureRequest freq;
+  freq.cloud = &cloud;
+  freq.grid = &truth.grid();
+  freq.indices = &voids;
   for (auto _ : state) {
-    auto X = vf::core::extract_features(cloud, truth.grid(), voids);
+    auto X = vf::core::extract_features(freq);
     benchmark::DoNotOptimize(X.data().data());
   }
   state.SetItemsProcessed(state.iterations() * state.range(0));
@@ -224,6 +228,7 @@ void BM_FcnnReconstruct(benchmark::State& state) {
   auto truth = ds->generate({48, 48, 12}, 24.0);
   vf::sampling::ImportanceSampler sampler;
   auto cloud = sampler.sample(truth, 0.02, 1);
+  // vf-lint: allow(api-facade) benchmarks the engine directly
   vf::core::FcnnReconstructor rec(paper_arch_model());
   for (auto _ : state) {
     auto out = rec.reconstruct(cloud, truth.grid());
@@ -238,8 +243,11 @@ void BM_BatchReconstruct(benchmark::State& state) {
   auto truth = ds->generate({48, 48, 12}, 24.0);
   vf::sampling::ImportanceSampler sampler;
   auto cloud = sampler.sample(truth, 0.02, 1);
-  vf::core::BatchReconstructor rec(paper_arch_model(),
-                                   static_cast<std::size_t>(state.range(0)));
+  // vf-lint: allow(api-facade) benchmarks the engine directly
+  vf::core::BatchReconstructor rec(
+      paper_arch_model(),
+      vf::core::ReconstructOptions{static_cast<std::size_t>(state.range(0)),
+                                   5});
   for (auto _ : state) {
     auto out = rec.reconstruct(cloud, truth.grid());
     benchmark::DoNotOptimize(out.values().data());

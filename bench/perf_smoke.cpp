@@ -17,8 +17,10 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <filesystem>
 #include <limits>
 #include <string>
+#include <thread>
 
 #include "vf/core/batch_reconstruct.hpp"
 #include "vf/core/fcnn.hpp"
@@ -27,6 +29,7 @@
 #include "vf/nn/matrix.hpp"
 #include "vf/obs/obs.hpp"
 #include "vf/sampling/samplers.hpp"
+#include "vf/serve/service.hpp"
 #include "vf/spatial/kdtree.hpp"
 #include "vf/util/cli.hpp"
 #include "vf/util/rng.hpp"
@@ -163,15 +166,20 @@ int main(int argc, char** argv) {
     rec.set_metric("feature_extract_rows_per_second",
                    run_phase(rec, "feature_extract_10k",
                              static_cast<double>(voids.size()), repeat, [&] {
-                               auto X = vf::core::extract_features(
-                                   cloud, truth.grid(), voids);
+                               vf::core::FeatureRequest freq;
+                               freq.cloud = &cloud;
+                               freq.grid = &truth.grid();
+                               freq.indices = &voids;
+                               auto X = vf::core::extract_features(freq);
                                if (X.rows() != voids.size()) std::abort();
                              }));
   }
 
   const auto points = static_cast<double>(truth.size());
   {  // Streaming tiled reconstruction (the vfctl production path).
-    vf::core::BatchReconstructor brec(paper_arch_model(), 4096);
+    // vf-lint: allow(api-facade) benchmarks the engine directly
+    vf::core::BatchReconstructor brec(paper_arch_model(),
+                                      vf::core::ReconstructOptions{4096, 5});
     rec.set_metric("streaming_points_per_second",
                    run_phase(rec, "batch_reconstruct_48", points, repeat,
                              [&] {
@@ -181,6 +189,7 @@ int main(int argc, char** argv) {
   }
 
   {  // Whole-grid FCNN reconstruction (feature matrix materialised once).
+    // vf-lint: allow(api-facade) benchmarks the engine directly
     vf::core::FcnnReconstructor frec(paper_arch_model());
     rec.set_metric("fcnn_points_per_second",
                    run_phase(rec, "fcnn_reconstruct_48", points, repeat,
@@ -188,6 +197,55 @@ int main(int argc, char** argv) {
                                auto f = frec.reconstruct(cloud, truth.grid());
                                if (f.size() != truth.size()) std::abort();
                              }));
+  }
+
+  {  // Micro-batched point serving: 4 closed-loop clients against one
+    // session (the vf::serve production shape, scaled to a CI runner).
+    const auto model_dir =
+        std::filesystem::temp_directory_path() / "vf_perf_smoke_serve";
+    std::filesystem::create_directories(model_dir);
+    const std::string model_path = (model_dir / "model.vfmd").string();
+    paper_arch_model().save(model_path);
+
+    vf::serve::Service service;
+    service.add_session("t0", cloud, model_path);
+    const auto bounds = truth.grid().bounds();
+    constexpr int kClients = 4;
+    constexpr int kQueriesPerClient = 100;
+    constexpr std::size_t kPointsPerQuery = 4;
+    rec.set_metric(
+        "serve_queries_per_second",
+        run_phase(rec, "serve_batched_4x100",
+                  static_cast<double>(kClients * kQueriesPerClient), repeat,
+                  [&] {
+                    std::vector<std::thread> clients;
+                    for (int c = 0; c < kClients; ++c) {
+                      clients.emplace_back([&service, &bounds, c] {
+                        vf::util::Rng rng(
+                            static_cast<std::uint64_t>(100 + c));
+                        std::vector<Vec3> pts(kPointsPerQuery);
+                        for (int i = 0; i < kQueriesPerClient; ++i) {
+                          for (auto& p : pts) {
+                            p = {rng.uniform(bounds.min.x, bounds.max.x),
+                                 rng.uniform(bounds.min.y, bounds.max.y),
+                                 rng.uniform(bounds.min.z, bounds.max.z)};
+                          }
+                          for (;;) {
+                            auto f = service.submit("t0", pts);
+                            if (f) {
+                              if (f->get().values.size() != kPointsPerQuery) {
+                                std::abort();
+                              }
+                              break;
+                            }
+                            std::this_thread::yield();  // shed: retry
+                          }
+                        }
+                      });
+                    }
+                    for (auto& t : clients) t.join();
+                  }));
+    std::filesystem::remove_all(model_dir);
   }
 
   rec.write(out);

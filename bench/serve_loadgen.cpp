@@ -1,0 +1,196 @@
+// serve_loadgen — closed-loop load generator for the vf::serve micro-batcher.
+//
+// Spins up an in-process Service bound to one session (hurricane scene,
+// paper-architecture model), then drives it with N closed-loop clients:
+// each client thread issues synchronous point queries back-to-back until
+// its quota is done. The same workload runs twice —
+//
+//   unbatched  batch_max_points=1, zero deadline: every request is its own
+//              micro-batch (the per-request cost floor);
+//   batched    the production defaults: concurrent same-session requests
+//              coalesce into dynamic micro-batches on the fused infer path.
+//
+// The headline is the queries/sec ratio between the two runs. The PR's
+// acceptance demo is this binary's `serve_batching_speedup >= 2`.
+//
+//   serve_loadgen [--clients 8] [--queries 150] [--points 4] [--out FILE]
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "vf/core/fcnn.hpp"
+#include "vf/core/model.hpp"
+#include "vf/data/registry.hpp"
+#include "vf/obs/obs.hpp"
+#include "vf/sampling/samplers.hpp"
+#include "vf/serve/service.hpp"
+#include "vf/util/cli.hpp"
+#include "vf/util/rng.hpp"
+
+namespace {
+
+using vf::field::Vec3;
+using vf::serve::Service;
+using vf::serve::ServiceOptions;
+
+/// Untrained paper-architecture model with identity normalisation — the
+/// serving path does not care whether the weights are trained, and the
+/// full-width network is what makes per-request inference expensive enough
+/// for batching to matter (one weight-matrix pass amortised over the
+/// whole micro-batch).
+vf::core::FcnnModel paper_arch_model() {
+  vf::core::FcnnModel model;
+  model.net = vf::nn::Network::mlp(
+      static_cast<std::size_t>(vf::core::kFeatureDim),
+      vf::core::FcnnConfig{}.hidden,
+      static_cast<std::size_t>(vf::core::kTargetDimScalar), 42);
+  model.in_norm.mean.assign(vf::core::kFeatureDim, 0.0);
+  model.in_norm.stddev.assign(vf::core::kFeatureDim, 1.0);
+  model.out_norm.mean.assign(vf::core::kTargetDimScalar, 0.0);
+  model.out_norm.stddev.assign(vf::core::kTargetDimScalar, 1.0);
+  model.with_gradients = false;
+  model.dataset = "serve-loadgen";
+  return model;
+}
+
+struct LoadResult {
+  double seconds = 0.0;
+  std::uint64_t queries = 0;
+  std::uint64_t shed = 0;
+  vf::serve::ServiceStats stats;
+};
+
+/// Drive `service` with `clients` closed-loop threads, `queries` synchronous
+/// queries each. A shed query (backpressure) is retried after a yield, so
+/// every query eventually completes — closed-loop clients never give up.
+LoadResult run_load(Service& service, int clients, int queries, int points,
+                    const Vec3& lo, const Vec3& hi) {
+  std::atomic<std::uint64_t> done{0};
+  std::atomic<std::uint64_t> shed{0};
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(clients));
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      vf::util::Rng rng(static_cast<std::uint64_t>(1000 + c));
+      std::vector<Vec3> pts(static_cast<std::size_t>(points));
+      for (int i = 0; i < queries; ++i) {
+        for (auto& p : pts) {
+          p = {rng.uniform(lo.x, hi.x), rng.uniform(lo.y, hi.y),
+               rng.uniform(lo.z, hi.z)};
+        }
+        for (;;) {
+          auto future = service.submit("t0", pts);
+          if (future) {
+            (void)future->get();
+            break;
+          }
+          shed.fetch_add(1, std::memory_order_relaxed);
+          std::this_thread::yield();
+        }
+        done.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  LoadResult r;
+  r.seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  r.queries = done.load();
+  r.shed = shed.load();
+  r.stats = service.stats();
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const vf::util::Cli cli(argc, argv);
+  const int clients = std::max(1, cli.get_int("clients", 8));
+  const int queries = std::max(1, cli.get_int("queries", 150));
+  const int points = std::max(1, cli.get_int("points", 4));
+  const std::string out = cli.get("out", "serve_loadgen.json");
+
+  vf::obs::set_enabled(false);  // measure the serving path, not the probes
+
+  // One shared scene: hurricane 48x48x12 at 2% importance samples, and a
+  // paper-architecture model saved where the registry can load it.
+  auto ds = vf::data::make_dataset("hurricane");
+  const auto truth = ds->generate({48, 48, 12}, 24.0);
+  vf::sampling::ImportanceSampler sampler;
+  const auto cloud = sampler.sample(truth, 0.02, 1);
+  const auto model_dir =
+      std::filesystem::temp_directory_path() / "vf_serve_loadgen";
+  std::filesystem::create_directories(model_dir);
+  const std::string model_path = (model_dir / "model.vfmd").string();
+  paper_arch_model().save(model_path);
+
+  const auto bounds = truth.grid().bounds();
+  const Vec3 lo = bounds.min;
+  const Vec3 hi = bounds.max;
+  const double total =
+      static_cast<double>(clients) * static_cast<double>(queries);
+
+  vf::obs::BenchRecorder rec("serve_loadgen");
+  double unbatched_qps = 0.0;
+  double batched_qps = 0.0;
+
+  {  // Per-request floor: one micro-batch per query.
+    ServiceOptions opts;
+    opts.batch_max_points = 1;
+    opts.batch_deadline = std::chrono::microseconds{0};
+    opts.queue_max = 4096;
+    Service service(opts);
+    service.add_session("t0", cloud, model_path);
+    const auto r = run_load(service, clients, queries, points, lo, hi);
+    unbatched_qps = r.seconds > 0.0 ? total / r.seconds : 0.0;
+    vf::obs::BenchPhase phase;
+    phase.name = "unbatched";
+    phase.wall_seconds = r.seconds;
+    phase.items = total;
+    rec.add_phase(phase);
+    std::printf("unbatched: %8.1f q/s  (%llu batches, %llu retried sheds)\n",
+                unbatched_qps,
+                static_cast<unsigned long long>(r.stats.batches),
+                static_cast<unsigned long long>(r.shed));
+  }
+
+  {  // Production defaults: dynamic micro-batching.
+    ServiceOptions opts;
+    opts.queue_max = 4096;
+    Service service(opts);
+    service.add_session("t0", cloud, model_path);
+    const auto r = run_load(service, clients, queries, points, lo, hi);
+    batched_qps = r.seconds > 0.0 ? total / r.seconds : 0.0;
+    vf::obs::BenchPhase phase;
+    phase.name = "batched";
+    phase.wall_seconds = r.seconds;
+    phase.items = total;
+    rec.add_phase(phase);
+    const double avg_batch =
+        r.stats.batches > 0
+            ? static_cast<double>(r.stats.served_points) /
+                  static_cast<double>(r.stats.batches)
+            : 0.0;
+    std::printf("batched:   %8.1f q/s  (%llu batches, %.1f points/batch)\n",
+                batched_qps,
+                static_cast<unsigned long long>(r.stats.batches), avg_batch);
+  }
+
+  const double speedup =
+      unbatched_qps > 0.0 ? batched_qps / unbatched_qps : 0.0;
+  rec.set_metric("serve_unbatched_queries_per_second", unbatched_qps);
+  rec.set_metric("serve_batched_queries_per_second", batched_qps);
+  rec.set_metric("serve_batching_speedup", speedup);
+  rec.write(out);
+  std::printf("micro-batching speedup: %.2fx  (wrote %s)\n", speedup,
+              out.c_str());
+  std::filesystem::remove_all(model_dir);
+  return 0;
+}

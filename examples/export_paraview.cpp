@@ -15,6 +15,7 @@
 #include <cstdio>
 #include <filesystem>
 
+#include "vf/api/reconstruct.hpp"
 #include "vf/core/fcnn.hpp"
 #include "vf/data/registry.hpp"
 #include "vf/field/metrics.hpp"
@@ -45,9 +46,14 @@ int main(int argc, char** argv) {
   cfg.epochs = cli.get_int("epochs", 25);
   cfg.max_train_rows = 10000;
   auto pre = core::pretrain(truth, sampler, cfg);
-  core::FcnnReconstructor fcnn(std::move(pre.model));
 
-  auto rec_fcnn = fcnn.reconstruct(cloud, truth.grid());
+  // One-shot facade call: request in, reconstructed field out.
+  api::ReconstructRequest req;
+  req.cloud = &cloud;
+  req.grid = &truth.grid();
+  req.options.method = api::Method::Fcnn;
+  req.options.model = &pre.model;
+  auto rec_fcnn = api::reconstruct(req).field;
   rec_fcnn.set_name(truth.name());
   field::write_vti(rec_fcnn, (out / "recon_fcnn.vti").string());
 

@@ -15,6 +15,7 @@
 #include <cstdio>
 #include <filesystem>
 
+#include "vf/api/reconstruct.hpp"
 #include "vf/core/fcnn.hpp"
 #include "vf/data/registry.hpp"
 #include "vf/field/metrics.hpp"
@@ -52,6 +53,12 @@ int main(int argc, char** argv) {
               "fine-tuned", "case2_bytes");
   interp::LinearDelaunayReconstructor linear;
   auto frozen = pre.model.clone();
+  // Stateful facade over the frozen model: the engine is cached across
+  // timesteps because the model never changes.
+  api::ReconstructOptions frozen_opts;
+  frozen_opts.method = api::Method::Fcnn;
+  frozen_opts.model = &frozen;
+  api::Reconstructor stale(frozen_opts);
 
   for (int s = 1; s <= steps; ++s) {
     double t = s * stride;
@@ -63,16 +70,19 @@ int main(int argc, char** argv) {
         field::snr_db(truth, linear.reconstruct(cloud, truth.grid()));
 
     // Frozen pretrained model degrades as the storm evolves...
-    core::FcnnReconstructor stale(frozen.clone());
     double snr_frozen =
-        field::snr_db(truth, stale.reconstruct(cloud, truth.grid()));
+        field::snr_db(truth, stale.reconstruct(cloud, truth.grid()).field);
 
-    // ...Case-1 fine-tuning (10 epochs, all layers) keeps up.
+    // ...Case-1 fine-tuning (10 epochs, all layers) keeps up. The facade is
+    // rebuilt each step because fine_tune just rewrote the weights.
     core::fine_tune(pre.model, truth, sampler, cfg,
                     core::FineTuneMode::FullNetwork, 10);
-    core::FcnnReconstructor tuned(pre.model.clone());
-    double snr_tuned =
-        field::snr_db(truth, tuned.reconstruct(cloud, truth.grid()));
+    api::ReconstructOptions tuned_opts;
+    tuned_opts.method = api::Method::Fcnn;
+    tuned_opts.model = &pre.model;
+    double snr_tuned = field::snr_db(
+        truth,
+        api::Reconstructor(tuned_opts).reconstruct(cloud, truth.grid()).field);
 
     // Case-2 archival: persist only the last two dense layers per step.
     auto tail_path = archive / ("tail_t" + std::to_string(s) + ".vfnt");

@@ -6,6 +6,7 @@
 
 #include <cstdio>
 
+#include "vf/api/reconstruct.hpp"
 #include "vf/core/fcnn.hpp"
 #include "vf/data/registry.hpp"
 #include "vf/field/metrics.hpp"
@@ -35,7 +36,10 @@ int main(int argc, char** argv) {
   util::Timer timer;
   auto pre = core::pretrain(truth, sampler, cfg);
   double train_s = timer.seconds();
-  core::FcnnReconstructor fcnn(std::move(pre.model));
+  api::ReconstructOptions fcnn_opts;
+  fcnn_opts.method = api::Method::Fcnn;
+  fcnn_opts.model = &pre.model;
+  api::Reconstructor fcnn(fcnn_opts);
 
   std::printf("\n%-14s %9s %9s %10s %9s\n", "method", "SNR[dB]", "PSNR[dB]",
               "RMSE", "time[s]");
@@ -46,9 +50,8 @@ int main(int argc, char** argv) {
                 field::rmse(truth, rec), seconds);
   };
 
-  timer.restart();
   auto rec_fcnn = fcnn.reconstruct(cloud, truth.grid());
-  report("fcnn", rec_fcnn, timer.seconds());
+  report("fcnn", rec_fcnn.field, rec_fcnn.stats.seconds);
 
   for (const auto& method : {"linear", "linear_seq", "natural", "shepard",
                              "nearest", "rbf", "kriging"}) {

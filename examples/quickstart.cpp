@@ -10,10 +10,10 @@
 
 #include <cstdio>
 
+#include "vf/api/reconstruct.hpp"
 #include "vf/core/fcnn.hpp"
 #include "vf/data/registry.hpp"
 #include "vf/field/metrics.hpp"
-#include "vf/interp/methods.hpp"
 #include "vf/sampling/samplers.hpp"
 #include "vf/util/cli.hpp"
 #include "vf/util/timer.hpp"
@@ -47,22 +47,24 @@ int main(int argc, char** argv) {
               timer.seconds(), pretrained.history.train_loss.front(),
               pretrained.history.train_loss.back());
 
-  // 4. Reconstruct the full grid from the sparse cloud.
-  core::FcnnReconstructor fcnn(std::move(pretrained.model));
-  timer.restart();
-  auto recon = fcnn.reconstruct(cloud, truth.grid());
-  double fcnn_seconds = timer.seconds();
+  // 4. Reconstruct the full grid from the sparse cloud, through the
+  //    vf::api facade — the library's one front door for reconstruction.
+  api::ReconstructOptions fcnn_opts;
+  fcnn_opts.method = api::Method::Fcnn;
+  fcnn_opts.model = &pretrained.model;
+  auto recon = api::Reconstructor(fcnn_opts).reconstruct(cloud, truth.grid());
 
-  // 5. Compare against the strongest classical baseline.
-  timer.restart();
+  // 5. Compare against the strongest classical baseline (same facade,
+  //    different Method).
+  api::ReconstructOptions linear_opts;
+  linear_opts.method = api::Method::Linear;
   auto linear =
-      interp::LinearDelaunayReconstructor().reconstruct(cloud, truth.grid());
-  double linear_seconds = timer.seconds();
+      api::Reconstructor(linear_opts).reconstruct(cloud, truth.grid());
 
   std::printf("\n%-10s %10s %10s\n", "method", "SNR [dB]", "time [s]");
   std::printf("%-10s %10.2f %10.2f\n", "fcnn",
-              field::snr_db(truth, recon), fcnn_seconds);
+              field::snr_db(truth, recon.field), recon.stats.seconds);
   std::printf("%-10s %10.2f %10.2f\n", "linear",
-              field::snr_db(truth, linear), linear_seconds);
+              field::snr_db(truth, linear.field), linear.stats.seconds);
   return 0;
 }

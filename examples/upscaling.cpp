@@ -10,6 +10,7 @@
 
 #include <cstdio>
 
+#include "vf/api/reconstruct.hpp"
 #include "vf/core/fcnn.hpp"
 #include "vf/data/registry.hpp"
 #include "vf/field/metrics.hpp"
@@ -57,17 +58,23 @@ int main(int argc, char** argv) {
   core::fine_tune(pre.model, hi_truth, sampler, cfg,
                   core::FineTuneMode::FullNetwork, 10);
   double finetune_s = timer.seconds();
-  core::FcnnReconstructor transferred(std::move(pre.model));
+  api::ReconstructOptions transfer_opts;
+  transfer_opts.method = api::Method::Fcnn;
+  transfer_opts.model = &pre.model;
+  api::Reconstructor transferred(transfer_opts);
 
   // Reference: full training at the fine resolution.
   timer.restart();
   auto pre_hi = core::pretrain(hi_truth, sampler, cfg);
   double full_hi_s = timer.seconds();
-  core::FcnnReconstructor from_scratch(std::move(pre_hi.model));
+  api::ReconstructOptions scratch_opts;
+  scratch_opts.method = api::Method::Fcnn;
+  scratch_opts.model = &pre_hi.model;
+  api::Reconstructor from_scratch(scratch_opts);
 
   auto cloud = sampler.sample(hi_truth, fraction, 7);
-  auto rec_transfer = transferred.reconstruct(cloud, hi_grid);
-  auto rec_scratch = from_scratch.reconstruct(cloud, hi_grid);
+  auto rec_transfer = transferred.reconstruct(cloud, hi_grid).field;
+  auto rec_scratch = from_scratch.reconstruct(cloud, hi_grid).field;
   auto rec_linear =
       interp::LinearDelaunayReconstructor().reconstruct(cloud, hi_grid);
 

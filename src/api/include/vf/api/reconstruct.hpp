@@ -1,0 +1,167 @@
+#pragma once
+// vf::api — the unified reconstruction facade.
+//
+// Callers used to hand-wire four different engine families with four
+// different signatures: FcnnReconstructor (full-matrix), BatchReconstructor
+// (streaming tiles), six classical interpolators behind vf::interp, and
+// reconstruct_resilient (never-throw degradation). This header is the one
+// front door: pick a Method, fill ReconstructOptions, and call either the
+// stateful Reconstructor (caches the loaded model, the scrubbed cloud's
+// k-d tree, and the chosen engine across calls — the serving layer's usage)
+// or the one-shot reconstruct(ReconstructRequest) convenience.
+//
+// Two query shapes are supported:
+//   grid mode   — reconstruct a full ScalarField on a UniformGrid3
+//                 (every Method);
+//   point mode  — predict scalar values at arbitrary positions
+//                 (Fcnn/FcnnStream/Auto plus the Shepard and Nearest
+//                 estimators; the mesh-building interpolators are
+//                 grid-only and throw).
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "vf/core/batch_reconstruct.hpp"
+#include "vf/core/fcnn.hpp"
+#include "vf/core/model.hpp"
+#include "vf/core/options.hpp"
+#include "vf/core/report.hpp"
+#include "vf/core/resilient.hpp"
+#include "vf/field/scalar_field.hpp"
+#include "vf/interp/reconstructor.hpp"
+#include "vf/nn/network.hpp"
+#include "vf/sampling/sample_cloud.hpp"
+#include "vf/spatial/kdtree.hpp"
+
+namespace vf::api {
+
+/// Every reconstruction engine the repo offers, as one closed enum.
+enum class Method {
+  Auto,        ///< Fcnn stream when a model is configured, Shepard otherwise
+  Fcnn,        ///< trained FCNN, full-matrix path (FcnnReconstructor)
+  FcnnStream,  ///< trained FCNN, O(tile) streaming path (BatchReconstructor)
+  Nearest,
+  Shepard,
+  Linear,
+  Natural,
+  Rbf,
+  Kriging,
+};
+
+/// Canonical name ("auto", "fcnn", "fcnn_stream", or the classical names).
+[[nodiscard]] const char* to_string(Method m);
+
+/// Parse a canonical name back to the enum (throws std::invalid_argument).
+[[nodiscard]] Method method_from_name(const std::string& name);
+
+struct ReconstructOptions {
+  Method method = Method::Auto;
+
+  /// Model source for the FCNN methods: a borrowed, caller-owned model
+  /// pointer wins over `model_path`; with only a path the model is loaded
+  /// lazily on first use and cached. Classical methods ignore both.
+  const vf::core::FcnnModel* model = nullptr;
+  std::string model_path;
+
+  /// Never-throw mode (grid queries only): route through
+  /// reconstruct_resilient so a missing/corrupt model degrades to the
+  /// classical `fallback` instead of throwing. Requires `model_path`.
+  bool resilient = false;
+  vf::core::FallbackMethod fallback = vf::core::FallbackMethod::Shepard;
+
+  /// Engine tuning forwarded to the concrete FCNN reconstructors.
+  vf::core::ReconstructOptions engine;
+};
+
+/// Wall-clock and volume accounting for one facade call.
+struct ReconstructStats {
+  double seconds = 0.0;
+  std::size_t points = 0;       ///< outputs produced (grid points or queries)
+  std::string method;           ///< resolved engine name ("fcnn_stream", ...)
+};
+
+struct ReconstructResult {
+  /// Grid mode: the reconstructed field. Point mode: empty (0-point grid).
+  vf::field::ScalarField field;
+  /// Point mode: one value per query position. Grid mode: empty.
+  std::vector<double> values;
+  vf::core::ReconstructReport report;
+  ReconstructStats stats;
+};
+
+/// One-shot request: sample source, exactly one query shape, options.
+struct ReconstructRequest {
+  const vf::sampling::SampleCloud* cloud = nullptr;       // required
+  const vf::field::UniformGrid3* grid = nullptr;          // grid mode
+  const std::vector<vf::field::Vec3>* points = nullptr;   // point mode
+  ReconstructOptions options;
+};
+
+/// Reusable per-thread scratch for predict_points (feature matrix,
+/// activation ping-pong, neighbour staging). One per worker thread.
+struct PointScratch {
+  vf::nn::Matrix X;
+  vf::nn::Matrix Y;
+  vf::nn::InferScratch infer;
+};
+
+/// Low-level point-prediction kernel shared by the facade's point mode and
+/// the vf::serve micro-batcher: features against a prebuilt tree over the
+/// (already scrubbed) samples, normalisation, fused inference, scalar
+/// de-normalisation into `out`, and per-point Shepard repair of non-finite
+/// outputs. Returns the number of repaired (degraded) points; when
+/// `repaired_rows` is given the row index of every repair is appended to
+/// it (the micro-batcher slices these back onto individual requests).
+/// Thread-safe for concurrent calls with distinct `scratch`/`out`;
+/// respects the caller's OpenMP context (call with a 1-thread ICV for
+/// serial serving).
+std::size_t predict_points(const vf::core::FcnnModel& model,
+                           const vf::spatial::KdTree& tree,
+                           const std::vector<double>& values,
+                           const vf::field::Vec3* points, std::size_t count,
+                           double* out, PointScratch& scratch,
+                           int repair_neighbors = 5,
+                           std::vector<std::size_t>* repaired_rows = nullptr);
+
+/// The stateful facade. Construction is cheap; the model load, the
+/// scrubbed-cloud k-d tree, and the concrete engine are created lazily and
+/// cached across calls. Not thread-safe (vf::serve layers its own
+/// synchronisation and per-worker scratch on top of predict_points).
+class Reconstructor {
+ public:
+  explicit Reconstructor(ReconstructOptions options = {});
+  ~Reconstructor();
+  Reconstructor(Reconstructor&&) noexcept;
+  Reconstructor& operator=(Reconstructor&&) noexcept;
+  Reconstructor(const Reconstructor&) = delete;
+  Reconstructor& operator=(const Reconstructor&) = delete;
+
+  /// Grid mode: reconstruct a full field (any Method).
+  [[nodiscard]] ReconstructResult reconstruct(
+      const vf::sampling::SampleCloud& cloud,
+      const vf::field::UniformGrid3& grid);
+
+  /// Point mode: predict values at arbitrary positions
+  /// (Auto/Fcnn/FcnnStream/Shepard/Nearest; mesh interpolators throw).
+  [[nodiscard]] ReconstructResult reconstruct_points(
+      const vf::sampling::SampleCloud& cloud,
+      const std::vector<vf::field::Vec3>& points);
+
+  [[nodiscard]] const ReconstructOptions& options() const { return options_; }
+
+  /// The model this facade resolves to (borrowed or lazily loaded).
+  /// Throws if no model source is configured.
+  [[nodiscard]] const vf::core::FcnnModel& model();
+
+ private:
+  struct Impl;
+  ReconstructOptions options_;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// One-shot convenience over a throwaway Reconstructor.
+[[nodiscard]] ReconstructResult reconstruct(const ReconstructRequest& request);
+
+}  // namespace vf::api

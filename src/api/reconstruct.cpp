@@ -1,0 +1,264 @@
+#include "vf/api/reconstruct.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+#include "vf/obs/obs.hpp"
+#include "vf/util/timer.hpp"
+
+namespace vf::api {
+
+using vf::core::FcnnModel;
+using vf::field::ScalarField;
+using vf::field::UniformGrid3;
+using vf::field::Vec3;
+using vf::sampling::SampleCloud;
+
+const char* to_string(Method m) {
+  switch (m) {
+    case Method::Auto: return "auto";
+    case Method::Fcnn: return "fcnn";
+    case Method::FcnnStream: return "fcnn_stream";
+    case Method::Nearest: return "nearest";
+    case Method::Shepard: return "shepard";
+    case Method::Linear: return "linear";
+    case Method::Natural: return "natural";
+    case Method::Rbf: return "rbf";
+    case Method::Kriging: return "kriging";
+  }
+  return "unknown";
+}
+
+Method method_from_name(const std::string& name) {
+  for (Method m : {Method::Auto, Method::Fcnn, Method::FcnnStream,
+                   Method::Nearest, Method::Shepard, Method::Linear,
+                   Method::Natural, Method::Rbf, Method::Kriging}) {
+    if (name == to_string(m)) return m;
+  }
+  throw std::invalid_argument("vf::api: unknown method '" + name + "'");
+}
+
+namespace {
+
+vf::interp::Method interp_method(Method m) {
+  switch (m) {
+    case Method::Nearest: return vf::interp::Method::Nearest;
+    case Method::Shepard: return vf::interp::Method::Shepard;
+    case Method::Linear: return vf::interp::Method::Linear;
+    case Method::Natural: return vf::interp::Method::Natural;
+    case Method::Rbf: return vf::interp::Method::Rbf;
+    case Method::Kriging: return vf::interp::Method::Kriging;
+    default:
+      throw std::logic_error("vf::api: not a classical method");
+  }
+}
+
+bool is_fcnn(Method m) {
+  return m == Method::Fcnn || m == Method::FcnnStream;
+}
+
+}  // namespace
+
+std::size_t predict_points(const FcnnModel& model,
+                           const vf::spatial::KdTree& tree,
+                           const std::vector<double>& values,
+                           const Vec3* points, std::size_t count, double* out,
+                           PointScratch& scratch, int repair_neighbors,
+                           std::vector<std::size_t>* repaired_rows) {
+  if (count == 0) return 0;
+  vf::core::extract_features_into(tree, values, points, count, scratch.X);
+  model.in_norm.apply(scratch.X);
+  model.net.infer(scratch.X, scratch.Y, scratch.infer);
+  const double scale = model.out_norm.stddev[0];
+  const double shift = model.out_norm.mean[0];
+  std::size_t degraded = 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    const double y = scratch.Y(i, 0) * scale + shift;
+    if (std::isfinite(y)) {
+      out[i] = y;
+    } else {
+      out[i] = vf::core::shepard_estimate(tree, values, points[i],
+                                          repair_neighbors);
+      ++degraded;
+      if (repaired_rows != nullptr) repaired_rows->push_back(i);
+    }
+  }
+  return degraded;
+}
+
+struct Reconstructor::Impl {
+  /// Owned copy of the model once resolved (loaded from disk, or cloned
+  /// from the borrowed pointer so later engine construction can't dangle).
+  FcnnModel model;
+  bool model_ready = false;
+
+  std::unique_ptr<vf::core::BatchReconstructor> stream;
+  std::unique_ptr<vf::core::FcnnReconstructor> full;
+  std::unique_ptr<vf::interp::Reconstructor> classical;
+  vf::interp::Method classical_method{};
+
+  /// Point-mode cache: scrubbed cloud + tree, keyed like the core engines
+  /// on the source cloud's buffer identity.
+  SampleCloud bound;
+  vf::spatial::KdTree tree;
+  const void* cloud_key = nullptr;
+  std::size_t cloud_count = 0;
+  std::size_t scrub_nonfinite = 0;
+  std::size_t scrub_duplicates = 0;
+  PointScratch scratch;
+};
+
+Reconstructor::Reconstructor(ReconstructOptions options)
+    : options_(std::move(options)), impl_(std::make_unique<Impl>()) {}
+
+Reconstructor::~Reconstructor() = default;
+Reconstructor::Reconstructor(Reconstructor&&) noexcept = default;
+Reconstructor& Reconstructor::operator=(Reconstructor&&) noexcept = default;
+
+const FcnnModel& Reconstructor::model() {
+  if (!impl_->model_ready) {
+    if (options_.model != nullptr) {
+      impl_->model = options_.model->clone();
+    } else if (!options_.model_path.empty()) {
+      impl_->model = FcnnModel::load(options_.model_path);
+    } else {
+      throw std::invalid_argument(
+          "vf::api::Reconstructor: FCNN method needs a model or model_path");
+    }
+    impl_->model_ready = true;
+  }
+  return impl_->model;
+}
+
+namespace {
+
+/// Resolve Auto against the configured model source.
+Method resolve(const ReconstructOptions& o) {
+  if (o.method != Method::Auto) return o.method;
+  return (o.model != nullptr || !o.model_path.empty()) ? Method::FcnnStream
+                                                       : Method::Shepard;
+}
+
+}  // namespace
+
+ReconstructResult Reconstructor::reconstruct(const SampleCloud& cloud,
+                                             const UniformGrid3& grid) {
+  VF_OBS_SPAN("api/reconstruct");
+  vf::util::Timer timer;  // vf-lint: allow(raw-timer) feeds ReconstructStats
+  ReconstructResult result;
+  const Method method = resolve(options_);
+
+  if (options_.resilient) {
+    if (options_.model_path.empty()) {
+      throw std::invalid_argument(
+          "vf::api::Reconstructor: resilient mode needs model_path");
+    }
+    result.field = vf::core::reconstruct_resilient(
+        options_.model_path, cloud, grid, result.report, options_.fallback);
+    result.stats.method = "resilient";
+  } else if (method == Method::Fcnn) {
+    if (!impl_->full) {
+      impl_->full = std::make_unique<vf::core::FcnnReconstructor>(
+          model().clone(), options_.engine);
+    }
+    result.field = impl_->full->reconstruct(cloud, grid, result.report);
+    result.stats.method = to_string(method);
+  } else if (method == Method::FcnnStream) {
+    if (!impl_->stream) {
+      impl_->stream = std::make_unique<vf::core::BatchReconstructor>(
+          model().clone(), options_.engine);
+    }
+    result.field = impl_->stream->reconstruct(cloud, grid, result.report);
+    result.stats.method = to_string(method);
+  } else {
+    const auto im = interp_method(method);
+    if (!impl_->classical || impl_->classical_method != im) {
+      impl_->classical = vf::interp::make_interpolator(im);
+      impl_->classical_method = im;
+    }
+    result.field = impl_->classical->reconstruct(cloud, grid);
+    result.report.input_points = cloud.size();
+    result.report.predicted_points =
+        static_cast<std::size_t>(grid.point_count());
+    result.stats.method = to_string(method);
+  }
+
+  result.stats.points = static_cast<std::size_t>(grid.point_count());
+  result.stats.seconds = timer.seconds();
+  return result;
+}
+
+ReconstructResult Reconstructor::reconstruct_points(
+    const SampleCloud& cloud, const std::vector<Vec3>& points) {
+  VF_OBS_SPAN("api/reconstruct_points");
+  vf::util::Timer timer;  // vf-lint: allow(raw-timer) feeds ReconstructStats
+  const Method method = resolve(options_);
+  if (!is_fcnn(method) && method != Method::Shepard &&
+      method != Method::Nearest) {
+    throw std::invalid_argument(
+        std::string("vf::api: point queries support fcnn/fcnn_stream/"
+                    "shepard/nearest, not ") +
+        to_string(method));
+  }
+
+  ReconstructResult result;
+  result.report.input_points = cloud.size();
+
+  // Bind the cloud: scrub once, build the tree once, reuse across calls.
+  const void* key = static_cast<const void*>(cloud.points().data());
+  if (key != impl_->cloud_key || cloud.size() != impl_->cloud_count) {
+    VF_OBS_SPAN("tree_build");
+    impl_->bound =
+        cloud.scrubbed(impl_->scrub_nonfinite, impl_->scrub_duplicates);
+    impl_->tree = vf::spatial::KdTree(impl_->bound.points());
+    impl_->cloud_key = key;
+    impl_->cloud_count = cloud.size();
+  }
+  result.report.scrubbed_nonfinite = impl_->scrub_nonfinite;
+  result.report.scrubbed_duplicates = impl_->scrub_duplicates;
+  const auto& values = impl_->bound.values();
+
+  result.values.resize(points.size());
+  if (is_fcnn(method)) {
+    const std::size_t degraded = predict_points(
+        model(), impl_->tree, values, points.data(), points.size(),
+        result.values.data(), impl_->scratch,
+        options_.engine.repair_neighbors);
+    result.report.predicted_points = points.size() - degraded;
+    result.report.degraded_points = degraded;
+    if (degraded > 0) {
+      result.report.fallback = vf::core::FallbackReason::NonFiniteOutput;
+      result.report.detail = "network produced non-finite outputs";
+    }
+  } else {
+    const int k = method == Method::Nearest ? 1 : vf::core::kNeighbors;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      result.values[i] =
+          vf::core::shepard_estimate(impl_->tree, values, points[i], k);
+    }
+    result.report.predicted_points = points.size();
+  }
+
+  result.stats.method = to_string(method);
+  result.stats.points = points.size();
+  result.stats.seconds = timer.seconds();
+  return result;
+}
+
+ReconstructResult reconstruct(const ReconstructRequest& request) {
+  if (request.cloud == nullptr) {
+    throw std::invalid_argument("vf::api::reconstruct: cloud is required");
+  }
+  const bool has_grid = request.grid != nullptr;
+  const bool has_points = request.points != nullptr;
+  if (has_grid == has_points) {
+    throw std::invalid_argument(
+        "vf::api::reconstruct: set exactly one of grid / points");
+  }
+  Reconstructor rec(request.options);
+  return has_grid ? rec.reconstruct(*request.cloud, *request.grid)
+                  : rec.reconstruct_points(*request.cloud, *request.points);
+}
+
+}  // namespace vf::api

@@ -37,13 +37,23 @@ struct TileScratch {
 
 }  // namespace
 
-BatchReconstructor::BatchReconstructor(FcnnModel model, std::size_t tile_size)
-    : model_(std::move(model)), tile_(std::max<std::size_t>(1, tile_size)) {
+BatchReconstructor::BatchReconstructor(FcnnModel model,
+                                       const ReconstructOptions& opts)
+    : model_(std::move(model)),
+      tile_(std::max<std::size_t>(1, opts.tile_size)),
+      repair_neighbors_(std::max(1, opts.repair_neighbors)) {
   if (model_.out_norm.mean.empty() || model_.in_norm.mean.empty()) {
     throw std::invalid_argument(
         "BatchReconstructor: model is missing normalisation constants");
   }
 }
+
+// Deprecated positional-tile shim; body only touches the options ctor.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+BatchReconstructor::BatchReconstructor(FcnnModel model, std::size_t tile_size)
+    : BatchReconstructor(std::move(model), ReconstructOptions{tile_size, 5}) {}
+#pragma GCC diagnostic pop
 
 void BatchReconstructor::bind_cloud(const SampleCloud& cloud) {
   const void* key = static_cast<const void*>(cloud.points().data());
@@ -168,8 +178,8 @@ ScalarField BatchReconstructor::reconstruct(const SampleCloud& cloud,
   // Per-point graceful degradation: a non-finite prediction is replaced by
   // the classical Shepard estimate from the scrubbed samples.
   for (std::int64_t target : bad) {
-    out[target] =
-        shepard_estimate(tree_, values_, grid.position(target), kNeighbors);
+    out[target] = shepard_estimate(tree_, values_, grid.position(target),
+                                   repair_neighbors_);
   }
   report.predicted_points = static_cast<std::size_t>(n) - bad.size();
   report.degraded_points = bad.size();

@@ -70,16 +70,18 @@ Matrix vstack(const std::vector<Matrix>& parts) {
   return out;
 }
 
-/// Physical positions of the grid points named by `indices`.
-std::vector<vf::field::Vec3> grid_positions(
-    const UniformGrid3& grid, const std::vector<std::int64_t>& indices) {
-  std::vector<vf::field::Vec3> queries(indices.size());
-  vf::util::parallel_for(
-      0, static_cast<std::int64_t>(indices.size()), [&](std::int64_t i) {
-        queries[static_cast<std::size_t>(i)] =
-            grid.position(indices[static_cast<std::size_t>(i)]);
-      });
-  return queries;
+/// Feature matrix for grid points named by `indices` against a prebuilt
+/// tree (FeatureRequest assembly in one place for the four call sites).
+Matrix grid_features(const vf::spatial::KdTree& tree,
+                     const std::vector<double>& values,
+                     const UniformGrid3& grid,
+                     const std::vector<std::int64_t>& indices) {
+  FeatureRequest req;
+  req.tree = &tree;
+  req.values = &values;
+  req.grid = &grid;
+  req.indices = &indices;
+  return extract_features(req);
 }
 
 /// Keep a random subset of rows (same permutation applied to X and Y).
@@ -115,8 +117,7 @@ TrainingSet build_training_set(const ScalarField& truth,
     // One explicit tree per sampled cloud, shared by every feature query of
     // this fraction rather than rebuilt inside extract_features.
     vf::spatial::KdTree tree(cloud.points());
-    xs.push_back(extract_features(tree, cloud.values(),
-                                  grid_positions(truth.grid(), voids)));
+    xs.push_back(grid_features(tree, cloud.values(), truth.grid(), voids));
     ys.push_back(extract_targets(truth, voids, config.with_gradients));
   }
   TrainingSet set{vstack(xs), vstack(ys)};
@@ -252,7 +253,7 @@ FcnnReconstructor::reconstruct_with_gradients(const SampleCloud& cloud,
   Matrix X, Y;
   {
     VF_OBS_SPAN("extract_features");
-    X = extract_features(tree, bound_.values(), grid_positions(grid, all));
+    X = grid_features(tree, bound_.values(), grid, all);
   }
   {
     VF_OBS_SPAN("inference");
@@ -310,7 +311,7 @@ ScalarField FcnnReconstructor::reconstruct(const SampleCloud& cloud,
       if (std::isfinite(Y(i, 0))) continue;
       out[targets[i]] = shepard_estimate(tree, bound_.values(),
                                          grid.position(targets[i]),
-                                         kNeighbors);
+                                         opts_.repair_neighbors);
       ++degraded;
     }
     report.predicted_points += targets.size() - degraded;
@@ -323,7 +324,7 @@ ScalarField FcnnReconstructor::reconstruct(const SampleCloud& cloud,
     Matrix X, Y;
     {
       VF_OBS_SPAN("extract_features");
-      X = extract_features(tree, bound_.values(), grid_positions(grid, voids));
+      X = grid_features(tree, bound_.values(), grid, voids);
     }
     {
       VF_OBS_SPAN("inference");
@@ -340,7 +341,7 @@ ScalarField FcnnReconstructor::reconstruct(const SampleCloud& cloud,
     Matrix X, Y;
     {
       VF_OBS_SPAN("extract_features");
-      X = extract_features(tree, bound_.values(), grid_positions(grid, all));
+      X = grid_features(tree, bound_.values(), grid, all);
     }
     {
       VF_OBS_SPAN("inference");

@@ -130,33 +130,89 @@ void extract_features_into(const vf::spatial::KdTree& tree,
   }
 }
 
+Matrix extract_features(const FeatureRequest& req) {
+  const bool has_cloud = req.cloud != nullptr;
+  const bool has_tree = req.tree != nullptr || req.values != nullptr;
+  if (has_cloud == has_tree) {
+    throw std::invalid_argument(
+        "extract_features: set exactly one sample source (cloud, or "
+        "tree+values)");
+  }
+  if (has_tree && (req.tree == nullptr || req.values == nullptr)) {
+    throw std::invalid_argument(
+        "extract_features: tree and values must be set together");
+  }
+  const bool has_points = req.points != nullptr;
+  const bool has_grid = req.grid != nullptr || req.indices != nullptr;
+  if (has_points == has_grid) {
+    throw std::invalid_argument(
+        "extract_features: set exactly one query shape (points, or "
+        "grid+indices)");
+  }
+  if (has_grid && (req.grid == nullptr || req.indices == nullptr)) {
+    throw std::invalid_argument(
+        "extract_features: grid and indices must be set together");
+  }
+
+  const Vec3* queries = nullptr;
+  std::size_t count = 0;
+  std::vector<Vec3> scratch;
+  if (has_points) {
+    queries = req.points->data();
+    count = req.points->size();
+  } else {
+    scratch.resize(req.indices->size());
+    const auto& grid = *req.grid;
+    const auto& indices = *req.indices;
+    vf::util::parallel_for(
+        0, static_cast<std::int64_t>(indices.size()), [&](std::int64_t i) {
+          scratch[static_cast<std::size_t>(i)] =
+              grid.position(indices[static_cast<std::size_t>(i)]);
+        });
+    queries = scratch.data();
+    count = scratch.size();
+  }
+
+  Matrix X;
+  if (has_cloud) {
+    vf::spatial::KdTree tree(req.cloud->points());
+    extract_features_into(tree, req.cloud->values(), queries, count, X);
+  } else {
+    extract_features_into(*req.tree, *req.values, queries, count, X);
+  }
+  return X;
+}
+
+// Deprecated shims: each forwards straight to the FeatureRequest entry.
+// (Defining a deprecated function is not itself a use, so these compile
+// clean under -Werror; only external callers get the warning.)
+
 Matrix extract_features(const vf::spatial::KdTree& tree,
                         const std::vector<double>& values,
                         const std::vector<Vec3>& queries) {
-  Matrix X;
-  extract_features_into(tree, values, queries.data(), queries.size(), X);
-  return X;
+  FeatureRequest req;
+  req.tree = &tree;
+  req.values = &values;
+  req.points = &queries;
+  return extract_features(req);
 }
 
 Matrix extract_features(const vf::sampling::SampleCloud& cloud,
                         const std::vector<Vec3>& queries) {
-  if (cloud.size() < kNeighbors) {
-    throw std::invalid_argument("extract_features: cloud smaller than k");
-  }
-  vf::spatial::KdTree tree(cloud.points());
-  return extract_features(tree, cloud.values(), queries);
+  FeatureRequest req;
+  req.cloud = &cloud;
+  req.points = &queries;
+  return extract_features(req);
 }
 
 Matrix extract_features(const vf::sampling::SampleCloud& cloud,
                         const vf::field::UniformGrid3& grid,
                         const std::vector<std::int64_t>& indices) {
-  std::vector<Vec3> queries(indices.size());
-  vf::util::parallel_for(
-      0, static_cast<std::int64_t>(indices.size()), [&](std::int64_t i) {
-        queries[static_cast<std::size_t>(i)] =
-            grid.position(indices[static_cast<std::size_t>(i)]);
-      });
-  return extract_features(cloud, queries);
+  FeatureRequest req;
+  req.cloud = &cloud;
+  req.grid = &grid;
+  req.indices = &indices;
+  return extract_features(req);
 }
 
 Matrix extract_targets(const vf::field::ScalarField& truth,

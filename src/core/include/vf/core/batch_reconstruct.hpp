@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "vf/core/model.hpp"
+#include "vf/core/options.hpp"
 #include "vf/core/report.hpp"
 #include "vf/field/scalar_field.hpp"
 #include "vf/sampling/sample_cloud.hpp"
@@ -40,9 +41,15 @@ class BatchReconstructor {
   /// while still amortising per-tile setup; the BM_BatchReconstruct sweep
   /// in bench/micro_kernels picked it over 1024/4096/8192.
   static constexpr std::size_t kDefaultTile = 2048;
+  static_assert(ReconstructOptions{}.tile_size == kDefaultTile,
+                "ReconstructOptions::tile_size default must track "
+                "BatchReconstructor::kDefaultTile");
 
   explicit BatchReconstructor(FcnnModel model,
-                              std::size_t tile_size = kDefaultTile);
+                              const ReconstructOptions& opts = {});
+
+  [[deprecated("use BatchReconstructor(model, ReconstructOptions) instead")]]
+  BatchReconstructor(FcnnModel model, std::size_t tile_size);
 
   [[nodiscard]] std::string name() const { return "fcnn_stream"; }
 
@@ -83,6 +90,7 @@ class BatchReconstructor {
 
   FcnnModel model_;
   std::size_t tile_;
+  int repair_neighbors_ = 5;
 
   // Cached spatial index over the bound cloud. The key is the points
   // buffer's address + size: cheap, and stale hits would require the caller

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "vf/core/model.hpp"
+#include "vf/core/options.hpp"
 #include "vf/core/report.hpp"
 #include "vf/nn/trainer.hpp"
 #include "vf/sampling/samplers.hpp"
@@ -108,7 +109,9 @@ vf::nn::TrainHistory fine_tune(FcnnModel& model,
 /// (e.g. upscaling onto a finer grid) every grid point is predicted.
 class FcnnReconstructor {
  public:
-  explicit FcnnReconstructor(FcnnModel model) : model_(std::move(model)) {}
+  explicit FcnnReconstructor(FcnnModel model,
+                             const ReconstructOptions& opts = {})
+      : model_(std::move(model)), opts_(opts) {}
 
   [[nodiscard]] std::string name() const { return "fcnn"; }
 
@@ -149,6 +152,7 @@ class FcnnReconstructor {
   const vf::spatial::KdTree& bound_tree(const vf::sampling::SampleCloud& cloud);
 
   FcnnModel model_;
+  ReconstructOptions opts_;
   vf::spatial::KdTree tree_;
   /// Scrubbed copy of the bound cloud (the tree/values the queries use).
   vf::sampling::SampleCloud bound_;

@@ -48,20 +48,44 @@ struct Normalizer {
   void invert(vf::nn::Matrix& m) const;
 };
 
-/// Assemble the (n x 23) feature matrix for the given query positions
-/// against `cloud` (a k-d tree is built internally). Parallelised.
+/// One request describing a feature-extraction job. Replaces the old
+/// three-way overload family (cloud x positions, cloud x grid indices,
+/// prebuilt tree x positions) with a single options-struct entry point.
+///
+/// Exactly one sample source and exactly one query shape must be set:
+///   source:  `cloud`                         (a k-d tree is built per call)
+///            `tree` + `values`               (prebuilt, the hot repeated-
+///                                             query path: trainer loops,
+///                                             streaming tiles, serving)
+///   queries: `points`                        (arbitrary positions)
+///            `grid` + `indices`              (grid points by linear index)
+struct FeatureRequest {
+  const vf::sampling::SampleCloud* cloud = nullptr;
+  const vf::spatial::KdTree* tree = nullptr;
+  const std::vector<double>* values = nullptr;  // parallel to tree.points()
+
+  const std::vector<vf::field::Vec3>* points = nullptr;
+  const vf::field::UniformGrid3* grid = nullptr;
+  const std::vector<std::int64_t>* indices = nullptr;
+};
+
+/// Assemble the (n x 23) feature matrix for `req` (see FeatureRequest).
+/// Parallelised; throws std::invalid_argument on an over- or
+/// under-specified request.
+vf::nn::Matrix extract_features(const FeatureRequest& req);
+
+/// Deprecated overload shims (one PR of grace): forward to the
+/// FeatureRequest entry point above.
+[[deprecated("use extract_features(FeatureRequest) instead")]]
 vf::nn::Matrix extract_features(const vf::sampling::SampleCloud& cloud,
                                 const std::vector<vf::field::Vec3>& queries);
 
-/// Feature matrix for grid points identified by linear indices.
+[[deprecated("use extract_features(FeatureRequest) instead")]]
 vf::nn::Matrix extract_features(const vf::sampling::SampleCloud& cloud,
                                 const vf::field::UniformGrid3& grid,
                                 const std::vector<std::int64_t>& indices);
 
-/// Same, against a prebuilt k-d tree (`values[i]` is the scalar of
-/// `tree.points()[i]`). Lets callers that query one cloud repeatedly —
-/// the trainer's per-fraction loop, the streaming BatchReconstructor —
-/// pay the O(n log n) build once instead of per call.
+[[deprecated("use extract_features(FeatureRequest) instead")]]
 vf::nn::Matrix extract_features(const vf::spatial::KdTree& tree,
                                 const std::vector<double>& values,
                                 const std::vector<vf::field::Vec3>& queries);

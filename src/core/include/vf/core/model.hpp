@@ -33,6 +33,11 @@ struct FcnnModel {
   /// Deep copy (Network is move-only, so copying must be explicit).
   [[nodiscard]] FcnnModel clone() const;
 
+  /// Approximate resident size in bytes (weights + normaliser constants +
+  /// metadata strings). The serve-layer ModelRegistry charges this against
+  /// its byte budget when deciding LRU evictions.
+  [[nodiscard]] std::size_t memory_bytes() const;
+
   /// Persist / restore the full model (network + normalisers + metadata).
   void save(const std::string& path) const;
   static FcnnModel load(const std::string& path);

@@ -1,0 +1,26 @@
+#pragma once
+// Options structs for the reconstruction entry points.
+//
+// The reconstruction engines used to be configured through positional
+// constructor arguments (tile sizes, repair ks) that drifted apart between
+// FcnnReconstructor, BatchReconstructor, and the resilient path. Everything
+// tunable now lives in one named-field struct consumed uniformly by the
+// concrete engines and the vf::api facade; the old positional constructors
+// remain as deprecated shims for one PR.
+
+#include <cstddef>
+
+namespace vf::core {
+
+struct ReconstructOptions {
+  /// Rows per streaming inference tile (BatchReconstructor): per-thread
+  /// scratch memory is O(tile_size), independent of the grid. Must match
+  /// BatchReconstructor::kDefaultTile (static_assert'd there).
+  std::size_t tile_size = 2048;
+
+  /// Neighbour count for the per-point Shepard repair of non-finite
+  /// network outputs (historically hard-wired to the feature stencil k).
+  int repair_neighbors = 5;
+};
+
+}  // namespace vf::core

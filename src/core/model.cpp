@@ -49,6 +49,16 @@ FcnnModel FcnnModel::clone() const {
   return copy;
 }
 
+std::size_t FcnnModel::memory_bytes() const {
+  std::size_t bytes = net.parameter_count() * sizeof(double);
+  bytes += (in_norm.mean.size() + in_norm.stddev.size() +
+            out_norm.mean.size() + out_norm.stddev.size()) *
+           sizeof(double);
+  bytes += dataset.size();
+  bytes += sizeof(FcnnModel);
+  return bytes;
+}
+
 namespace {
 
 constexpr char kMagic[4] = {'V', 'F', 'M', 'D'};

@@ -8,8 +8,8 @@
 #include "vf/core/batch_reconstruct.hpp"
 #include "vf/core/features.hpp"
 #include "vf/core/model.hpp"
+#include "vf/interp/reconstructor.hpp"
 #include "vf/obs/obs.hpp"
-#include "vf/util/parallel.hpp"
 
 namespace vf::core {
 
@@ -75,34 +75,31 @@ double shepard_estimate(const vf::spatial::KdTree& tree,
 
 namespace {
 
-/// Fill `grid` classically from `clean`: kept samples pinned when the grids
-/// match, every remaining point estimated from the k nearest samples.
+/// The classical interpolant backing each fallback method.
+vf::interp::Method interp_method(FallbackMethod method) {
+  return method == FallbackMethod::Nearest ? vf::interp::Method::Nearest
+                                           : vf::interp::Method::Shepard;
+}
+
+/// Fill `grid` classically from `clean` via the shared vf::interp factory;
+/// kept samples are re-pinned to their stored values when the grids match
+/// (the interpolator is free to smooth over them).
 ScalarField classical_fill(const SampleCloud& clean, const UniformGrid3& grid,
                            FallbackMethod method, ReconstructReport& report) {
   VF_OBS_SPAN("classical_fill");
   VF_OBS_COUNT("core.resilient.fallbacks", 1);
-  ScalarField out(grid, "fcnn");
-  const int k = method == FallbackMethod::Nearest ? 1 : kNeighbors;
-  vf::spatial::KdTree tree(clean.points());
-  const auto& values = clean.values();
+  ScalarField out =
+      vf::interp::make_interpolator(interp_method(method))
+          ->reconstruct(clean, grid);
+  out.set_name("fcnn");
 
   if (clean.has_grid() && clean.grid() == grid) {
     const auto& kept = clean.kept_indices();
+    const auto& values = clean.values();
     for (std::size_t i = 0; i < kept.size(); ++i) out[kept[i]] = values[i];
-    const auto voids = clean.void_indices();
-    // vf-par: read-only-capture — tree queries are thread-safe after build;
-    // each iteration writes a distinct void index of out.
-    vf::util::parallel_for(
-        0, static_cast<std::int64_t>(voids.size()), [&](std::int64_t i) {
-          const auto idx = voids[static_cast<std::size_t>(i)];
-          out[idx] = shepard_estimate(tree, values, grid.position(idx), k);
-        });
-    report.degraded_points += voids.size();
+    report.degraded_points +=
+        static_cast<std::size_t>(grid.point_count()) - kept.size();
   } else {
-    // vf-par: read-only-capture — disjoint writes indexed by i.
-    vf::util::parallel_for(0, grid.point_count(), [&](std::int64_t i) {
-      out[i] = shepard_estimate(tree, values, grid.position(i), k);
-    });
     report.degraded_points += static_cast<std::size_t>(grid.point_count());
   }
   return out;

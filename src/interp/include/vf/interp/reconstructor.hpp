@@ -31,9 +31,33 @@ class Reconstructor {
       const vf::field::UniformGrid3& grid) const = 0;
 };
 
-/// Construct a reconstructor by name: "nearest", "shepard", "linear",
-/// "linear_seq" (single-threaded naive), "natural", "rbf".
-/// Throws std::invalid_argument for unknown names.
+/// Every classical method, as a closed enum. The canonical factory input:
+/// switch-style dispatch elsewhere in the repo (the resilient fallback, the
+/// vf::api facade, the serving layer) routes through this instead of
+/// hand-rolled name comparisons.
+enum class Method {
+  Nearest,
+  Shepard,
+  Linear,       // parallel Delaunay (the paper's strong baseline)
+  LinearSeq,    // single-threaded Delaunay
+  LinearNaive,  // cold point location per query (paper's "initial" impl)
+  Natural,
+  Rbf,
+  Kriging,
+};
+
+/// Canonical name of `m` ("nearest", "shepard", "linear", "linear_seq",
+/// "linear_naive", "natural", "rbf", "kriging").
+[[nodiscard]] const char* to_string(Method m);
+
+/// Parse a canonical name back to the enum (throws std::invalid_argument).
+[[nodiscard]] Method method_from_name(const std::string& name);
+
+/// Construct the interpolator for `method`, wrapped in the vf::obs
+/// instrumentation decorator (per-method call counter + latency histogram).
+std::unique_ptr<Reconstructor> make_interpolator(Method method);
+
+/// Name-based convenience shim over method_from_name + make_interpolator.
 std::unique_ptr<Reconstructor> make_reconstructor(const std::string& name);
 
 /// Names of all registered reconstructors, in paper order.

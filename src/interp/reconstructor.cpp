@@ -11,26 +11,29 @@ namespace vf::interp {
 
 namespace {
 
-std::unique_ptr<Reconstructor> make_raw(const std::string& name) {
-  if (name == "nearest") return std::make_unique<NearestNeighborReconstructor>();
-  if (name == "shepard") return std::make_unique<ShepardReconstructor>();
-  if (name == "linear") {
-    return std::make_unique<LinearDelaunayReconstructor>(
-        LinearDelaunayReconstructor::Mode::Parallel);
+std::unique_ptr<Reconstructor> make_raw(Method method) {
+  switch (method) {
+    case Method::Nearest:
+      return std::make_unique<NearestNeighborReconstructor>();
+    case Method::Shepard:
+      return std::make_unique<ShepardReconstructor>();
+    case Method::Linear:
+      return std::make_unique<LinearDelaunayReconstructor>(
+          LinearDelaunayReconstructor::Mode::Parallel);
+    case Method::LinearSeq:
+      return std::make_unique<LinearDelaunayReconstructor>(
+          LinearDelaunayReconstructor::Mode::Sequential);
+    case Method::LinearNaive:
+      return std::make_unique<LinearDelaunayReconstructor>(
+          LinearDelaunayReconstructor::Mode::Naive);
+    case Method::Natural:
+      return std::make_unique<NaturalNeighborReconstructor>();
+    case Method::Rbf:
+      return std::make_unique<RbfReconstructor>();
+    case Method::Kriging:
+      return std::make_unique<KrigingReconstructor>();
   }
-  if (name == "linear_seq") {
-    return std::make_unique<LinearDelaunayReconstructor>(
-        LinearDelaunayReconstructor::Mode::Sequential);
-  }
-  if (name == "linear_naive") {
-    return std::make_unique<LinearDelaunayReconstructor>(
-        LinearDelaunayReconstructor::Mode::Naive);
-  }
-  if (name == "natural") return std::make_unique<NaturalNeighborReconstructor>();
-  if (name == "rbf") return std::make_unique<RbfReconstructor>();
-  if (name == "kriging") return std::make_unique<KrigingReconstructor>();
-  throw std::invalid_argument("make_reconstructor: unknown method '" + name +
-                              "'");
+  throw std::invalid_argument("make_interpolator: bad Method enum value");
 }
 
 /// Observability decorator around any classical method: one span plus a
@@ -67,8 +70,36 @@ class InstrumentedReconstructor final : public Reconstructor {
 
 }  // namespace
 
+const char* to_string(Method m) {
+  switch (m) {
+    case Method::Nearest: return "nearest";
+    case Method::Shepard: return "shepard";
+    case Method::Linear: return "linear";
+    case Method::LinearSeq: return "linear_seq";
+    case Method::LinearNaive: return "linear_naive";
+    case Method::Natural: return "natural";
+    case Method::Rbf: return "rbf";
+    case Method::Kriging: return "kriging";
+  }
+  return "unknown";
+}
+
+Method method_from_name(const std::string& name) {
+  for (Method m : {Method::Nearest, Method::Shepard, Method::Linear,
+                   Method::LinearSeq, Method::LinearNaive, Method::Natural,
+                   Method::Rbf, Method::Kriging}) {
+    if (name == to_string(m)) return m;
+  }
+  throw std::invalid_argument("method_from_name: unknown method '" + name +
+                              "'");
+}
+
+std::unique_ptr<Reconstructor> make_interpolator(Method method) {
+  return std::make_unique<InstrumentedReconstructor>(make_raw(method));
+}
+
 std::unique_ptr<Reconstructor> make_reconstructor(const std::string& name) {
-  return std::make_unique<InstrumentedReconstructor>(make_raw(name));
+  return make_interpolator(method_from_name(name));
 }
 
 std::vector<std::string> reconstructor_names() {

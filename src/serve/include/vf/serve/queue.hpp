@@ -1,0 +1,87 @@
+#pragma once
+// RequestQueue — bounded MPMC queue with dynamic micro-batch extraction.
+//
+// Producers (client threads) push point-query requests; admission control
+// rejects pushes once `max_pending` requests are queued, so a saturated
+// service sheds load with a backpressure signal instead of growing an
+// unbounded backlog. Consumers (worker threads) pop *micro-batches*: a
+// worker takes the oldest request, claims every queued request with the
+// same session key, and — if the batch is still under `max_points` —
+// briefly waits for more same-key arrivals until the head request's age
+// reaches `max_delay` (deadline flush) or the batch fills (size flush).
+// Claimed requests leave the deque immediately, so two workers can never
+// serve the same request; requests for other keys stay queued for other
+// workers.
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "vf/field/scalar_field.hpp"
+
+namespace vf::serve {
+
+/// Outcome of one served request.
+struct PointResponse {
+  std::vector<double> values;   ///< one per query point
+  std::size_t degraded = 0;     ///< points repaired / classically estimated
+  std::size_t batch_points = 0; ///< size of the micro-batch that carried it
+  /// Empty on the FCNN fast path; "classical" when the model could not be
+  /// loaded and the whole batch fell back to the Shepard estimator.
+  std::string fallback;
+};
+
+struct PointRequest {
+  std::string key;  ///< session / model key (batching groups by this)
+  std::vector<vf::field::Vec3> points;
+  std::promise<PointResponse> promise;
+  std::chrono::steady_clock::time_point enqueued;
+};
+
+enum class Admission {
+  Accepted,
+  QueueFull,      ///< backpressure: shed this request
+  ShuttingDown,
+};
+
+class RequestQueue {
+ public:
+  explicit RequestQueue(std::size_t max_pending);
+
+  /// Admission-controlled enqueue. QueueFull leaves `req` untouched so the
+  /// caller still owns the promise and can report the shed.
+  Admission push(PointRequest& req);
+
+  /// Blocking micro-batch pop per the module comment. Returns false only
+  /// at shutdown with an empty queue; otherwise fills `out` with >= 1
+  /// same-key requests totalling <= max_points query points (a single
+  /// oversized request is always taken whole).
+  bool pop_batch(std::vector<PointRequest>& out, std::size_t max_points,
+                 std::chrono::microseconds max_delay);
+
+  /// Wake all waiters; subsequent pushes are refused, pops drain the
+  /// remaining backlog then return false.
+  void shutdown();
+
+  [[nodiscard]] std::size_t depth() const;
+
+ private:
+  /// Move every queued `key` request into `out` until `max_points`
+  /// (requires mu_ held). Returns total points claimed so far.
+  std::size_t claim_locked(const std::string& key,
+                           std::vector<PointRequest>& out,
+                           std::size_t max_points, std::size_t claimed);
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<PointRequest> q_;
+  std::size_t max_pending_;
+  bool down_ = false;
+};
+
+}  // namespace vf::serve

@@ -1,0 +1,89 @@
+#pragma once
+// ModelRegistry — thread-safe LRU cache of per-timestep FCNN models.
+//
+// The paper's Case 1/Case 2 workflow produces one fine-tuned model per
+// timestep; a long-running service cannot keep them all resident. The
+// registry maps a stable key ("t042") to a model file, loads lazily on
+// first resolve, and evicts least-recently-used models when either the
+// entry cap or the byte budget (FcnnModel::memory_bytes accounting) is
+// exceeded. Concurrent resolvers of the same cold key share a single
+// load via a shared_future instead of thundering-herding the disk; a
+// failed load is propagated to every waiter and leaves the entry
+// re-loadable. Evicted entries keep their path registration, so a later
+// resolve simply reloads. In-flight shared_ptr handles keep an evicted
+// model's storage alive until the last user drops it — eviction only
+// drops the registry's reference, never memory a worker is reading.
+
+#include <cstdint>
+#include <future>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "vf/core/model.hpp"
+
+namespace vf::serve {
+
+struct RegistryOptions {
+  /// Maximum resident (loaded) models; at least 1 stays resident.
+  std::size_t max_models = 4;
+  /// Byte budget across resident models (0 = unlimited). The most
+  /// recently used model is never evicted even when it alone exceeds
+  /// the budget.
+  std::size_t max_bytes = 0;
+};
+
+struct RegistryStats {
+  std::uint64_t hits = 0;
+  std::uint64_t loads = 0;
+  std::uint64_t load_failures = 0;
+  std::uint64_t evictions = 0;
+  std::size_t resident_models = 0;
+  std::size_t resident_bytes = 0;
+};
+
+class ModelRegistry {
+ public:
+  explicit ModelRegistry(RegistryOptions options = {});
+
+  /// Register `key` -> model file. Does not load. Re-registering an
+  /// existing key updates the path and drops any resident model.
+  void add(const std::string& key, const std::string& path);
+
+  /// True when `key` has been registered.
+  [[nodiscard]] bool contains(const std::string& key) const;
+
+  /// Resolve `key` to its model, loading it if not resident (blocking;
+  /// concurrent cold resolves of one key share a single load). Bumps the
+  /// LRU position and evicts over-budget models. Throws
+  /// std::invalid_argument for unregistered keys and propagates load
+  /// errors (missing/corrupt file, fault-injected "model_read" failures).
+  [[nodiscard]] std::shared_ptr<const vf::core::FcnnModel> resolve(
+      const std::string& key);
+
+  [[nodiscard]] RegistryStats stats() const;
+
+ private:
+  using ModelPtr = std::shared_ptr<const vf::core::FcnnModel>;
+
+  struct Entry {
+    std::string path;
+    ModelPtr model;  // null while not resident
+    std::shared_future<ModelPtr> loading;  // valid while a load is in flight
+    std::list<std::string>::iterator lru{};  // valid while resident
+    std::size_t bytes = 0;
+  };
+
+  /// Evict LRU tails until budgets hold (requires mu_ held).
+  void evict_over_budget_locked();
+
+  RegistryOptions options_;
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, Entry> entries_;
+  std::list<std::string> lru_;  // front = most recently used
+  RegistryStats stats_;
+};
+
+}  // namespace vf::serve

@@ -1,0 +1,141 @@
+#pragma once
+// Service — the embeddable concurrent reconstruction service (tentpole of
+// the serving layer; see DESIGN.md §9).
+//
+//   clients ── submit() ──> RequestQueue ──> worker pool ──> promises
+//                               │                 │
+//                         admission control   ModelRegistry (LRU)
+//                               │                 │
+//                           shed (Overloaded)  vf::api::predict_points
+//
+// A session binds a sample cloud (scrubbed once, k-d tree built once) and
+// a model key; clients then submit point queries against the session.
+// Workers coalesce concurrent same-session requests into dynamic
+// micro-batches that ride the fused Network::infer path — one feature
+// extraction + one GEMM per batch instead of per request. Each worker
+// pins its OpenMP ICV to one thread: parallelism comes from the worker
+// pool (requests are many and small), not from data-parallel kernels, so
+// the pool never oversubscribes the machine. A model-load failure (disk
+// fault, VF_FAULT_MODEL_READ injection) degrades the affected batch to
+// the classical Shepard estimator instead of failing the requests.
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "vf/sampling/sample_cloud.hpp"
+#include "vf/serve/queue.hpp"
+#include "vf/serve/registry.hpp"
+#include "vf/spatial/kdtree.hpp"
+
+namespace vf::serve {
+
+/// Thrown by the synchronous query() when admission control sheds the
+/// request. submit() reports the same condition as std::nullopt so
+/// closed-loop clients can back off without exception overhead.
+struct OverloadedError : std::runtime_error {
+  OverloadedError() : std::runtime_error("vf::serve: queue full, request shed") {}
+};
+
+struct ServiceOptions {
+  /// Worker threads serving micro-batches.
+  std::size_t workers = 2;
+  /// Flush a micro-batch at this many query points...
+  std::size_t batch_max_points = 512;
+  /// ...or when the oldest member has waited this long.
+  std::chrono::microseconds batch_deadline{200};
+  /// Bounded backlog: pending requests beyond this are shed.
+  std::size_t queue_max = 256;
+  /// Neighbour count for classical estimates (repair + fallback).
+  int repair_neighbors = 5;
+  RegistryOptions registry;
+};
+
+/// Monotonic counters, snapshot via Service::stats().
+struct ServiceStats {
+  std::uint64_t accepted = 0;
+  std::uint64_t shed = 0;
+  std::uint64_t batches = 0;
+  std::uint64_t served_points = 0;
+  std::uint64_t degraded_points = 0;
+  std::uint64_t fallback_batches = 0;  ///< batches served classically
+  RegistryStats registry;
+};
+
+class Service {
+ public:
+  explicit Service(ServiceOptions options = {});
+  ~Service();
+  Service(const Service&) = delete;
+  Service& operator=(const Service&) = delete;
+
+  /// Bind `cloud` under `key`: the cloud is scrubbed and indexed now
+  /// (amortised across every later query), and `model_path` is registered
+  /// with the model registry under the same key. Rebinding a key replaces
+  /// the session for subsequent queries.
+  void add_session(const std::string& key,
+                   const vf::sampling::SampleCloud& cloud,
+                   const std::string& model_path);
+
+  [[nodiscard]] bool has_session(const std::string& key) const;
+
+  /// Asynchronous point query. Returns std::nullopt when the queue is
+  /// full (backpressure) or the service is stopping; otherwise a future
+  /// that resolves when a worker serves the containing micro-batch.
+  /// Throws std::invalid_argument for unknown session keys.
+  [[nodiscard]] std::optional<std::future<PointResponse>> submit(
+      const std::string& key, std::vector<vf::field::Vec3> points);
+
+  /// Synchronous convenience: submit + wait. Throws OverloadedError on
+  /// shed.
+  [[nodiscard]] PointResponse query(const std::string& key,
+                                    std::vector<vf::field::Vec3> points);
+
+  [[nodiscard]] ServiceStats stats() const;
+  [[nodiscard]] std::size_t queue_depth() const { return queue_.depth(); }
+  [[nodiscard]] const ServiceOptions& options() const { return options_; }
+
+  /// Drain the backlog and join the workers (idempotent; the destructor
+  /// calls it).
+  void stop();
+
+ private:
+  struct Session {
+    vf::sampling::SampleCloud cloud;  // scrubbed
+    vf::spatial::KdTree tree;
+    std::vector<double> values;
+  };
+
+  void worker_loop();
+  void serve_batch(std::vector<PointRequest>& batch,
+                   struct WorkerScratch& scratch);
+
+  ServiceOptions options_;
+  ModelRegistry registry_;
+  RequestQueue queue_;
+
+  mutable std::mutex sessions_mu_;
+  std::unordered_map<std::string, std::shared_ptr<const Session>> sessions_;
+
+  std::atomic<std::uint64_t> accepted_{0};
+  std::atomic<std::uint64_t> shed_{0};
+  std::atomic<std::uint64_t> batches_{0};
+  std::atomic<std::uint64_t> served_points_{0};
+  std::atomic<std::uint64_t> degraded_points_{0};
+  std::atomic<std::uint64_t> fallback_batches_{0};
+
+  std::vector<std::thread> workers_;
+  bool stopped_ = false;
+  std::mutex stop_mu_;
+};
+
+}  // namespace vf::serve

@@ -1,0 +1,48 @@
+#pragma once
+// Line-delimited JSON wire protocol for `vfctl serve`.
+//
+// One request per line, one response line per request:
+//   -> {"id": 7, "key": "t0", "points": [[0.1, 0.2, 0.3], [0.5, 0.5, 0.5]]}
+//   <- {"id": 7, "status": "ok", "values": [1.25, 0.98], "degraded": 0,
+//       "batch": 128}
+//   -> {"id": 8, "cmd": "stats"}
+//   <- {"id": 8, "status": "ok", "stats": {...}}
+// Shed requests answer {"id": n, "status": "overloaded"}; malformed input
+// answers {"id": n, "status": "error", "message": "..."}.
+//
+// The codec is a deliberately minimal hand-rolled parser for exactly this
+// request shape (objects, arrays, numbers, strings — no external JSON
+// dependency), shared by the stdin loop, the TCP handler, and the tests.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "vf/field/scalar_field.hpp"
+#include "vf/serve/queue.hpp"
+#include "vf/serve/service.hpp"
+
+namespace vf::serve::wire {
+
+struct Request {
+  std::int64_t id = 0;
+  std::string key;  ///< session key; empty = the server's default session
+  std::string cmd;  ///< "" (point query), "stats", or "shutdown"
+  std::vector<vf::field::Vec3> points;
+};
+
+/// Parse one protocol line. On failure returns false and fills `error`
+/// (out may be partially filled; its id is kept when it parsed early
+/// enough, so the error response can still be correlated).
+bool parse_request(const std::string& line, Request& out, std::string& error);
+
+/// Response lines (no trailing newline).
+[[nodiscard]] std::string ok_response(std::int64_t id,
+                                      const PointResponse& resp);
+[[nodiscard]] std::string stats_response(std::int64_t id,
+                                         const ServiceStats& stats);
+[[nodiscard]] std::string status_response(std::int64_t id,
+                                          const std::string& status,
+                                          const std::string& message = "");
+
+}  // namespace vf::serve::wire

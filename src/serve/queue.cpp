@@ -1,0 +1,84 @@
+#include "vf/serve/queue.hpp"
+
+#include <utility>
+
+#include "vf/obs/obs.hpp"
+
+namespace vf::serve {
+
+RequestQueue::RequestQueue(std::size_t max_pending)
+    : max_pending_(max_pending == 0 ? 1 : max_pending) {}
+
+Admission RequestQueue::push(PointRequest& req) {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    if (down_) return Admission::ShuttingDown;
+    if (q_.size() >= max_pending_) {
+      VF_OBS_COUNT("serve.queue.shed", 1);
+      return Admission::QueueFull;
+    }
+    req.enqueued = std::chrono::steady_clock::now();
+    q_.push_back(std::move(req));
+    VF_OBS_GAUGE("serve.queue.depth", static_cast<std::int64_t>(q_.size()));
+  }
+  // Wake every waiter: a worker parked on a deadline wait for key A must
+  // also notice a fresh key-B head that a second idle worker could miss.
+  cv_.notify_all();
+  return Admission::Accepted;
+}
+
+std::size_t RequestQueue::claim_locked(const std::string& key,
+                                       std::vector<PointRequest>& out,
+                                       std::size_t max_points,
+                                       std::size_t claimed) {
+  for (auto it = q_.begin(); it != q_.end() && claimed < max_points;) {
+    if (it->key == key) {
+      claimed += it->points.size();
+      out.push_back(std::move(*it));
+      it = q_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return claimed;
+}
+
+bool RequestQueue::pop_batch(std::vector<PointRequest>& out,
+                             std::size_t max_points,
+                             std::chrono::microseconds max_delay) {
+  out.clear();
+  if (max_points == 0) max_points = 1;
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [&] { return down_ || !q_.empty(); });
+  if (q_.empty()) return false;  // shutdown with a drained backlog
+
+  const std::string key = q_.front().key;
+  const auto deadline = q_.front().enqueued + max_delay;
+  std::size_t claimed = claim_locked(key, out, max_points, 0);
+
+  // Coalescing window: park until the head's deadline for more same-key
+  // arrivals (each push notifies). A size-flush ends the wait early;
+  // shutdown flushes whatever has been claimed.
+  while (claimed < max_points && !down_) {
+    if (cv_.wait_until(lock, deadline) == std::cv_status::timeout) break;
+    claimed = claim_locked(key, out, max_points, claimed);
+  }
+  claimed = claim_locked(key, out, max_points, claimed);
+  VF_OBS_GAUGE("serve.queue.depth", static_cast<std::int64_t>(q_.size()));
+  return true;
+}
+
+void RequestQueue::shutdown() {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    down_ = true;
+  }
+  cv_.notify_all();
+}
+
+std::size_t RequestQueue::depth() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return q_.size();
+}
+
+}  // namespace vf::serve

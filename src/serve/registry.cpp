@@ -1,0 +1,127 @@
+#include "vf/serve/registry.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "vf/obs/obs.hpp"
+
+namespace vf::serve {
+
+ModelRegistry::ModelRegistry(RegistryOptions options) : options_(options) {
+  if (options_.max_models == 0) options_.max_models = 1;
+}
+
+void ModelRegistry::add(const std::string& key, const std::string& path) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = entries_.try_emplace(key);
+  Entry& e = it->second;
+  if (!inserted && e.model) {
+    // Drop the resident model: the path (and thus the bytes) may differ.
+    lru_.erase(e.lru);
+    stats_.resident_bytes -= e.bytes;
+    --stats_.resident_models;
+    e.model.reset();
+    e.bytes = 0;
+  }
+  e.path = path;
+}
+
+bool ModelRegistry::contains(const std::string& key) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return entries_.count(key) > 0;
+}
+
+void ModelRegistry::evict_over_budget_locked() {
+  const bool bounded = options_.max_bytes > 0;
+  while (stats_.resident_models > 1 &&
+         (stats_.resident_models > options_.max_models ||
+          (bounded && stats_.resident_bytes > options_.max_bytes))) {
+    const std::string victim = lru_.back();
+    lru_.pop_back();
+    Entry& e = entries_.at(victim);
+    stats_.resident_bytes -= e.bytes;
+    --stats_.resident_models;
+    ++stats_.evictions;
+    VF_OBS_COUNT("serve.registry.evictions", 1);
+    // In-flight shared_ptr holders keep the storage alive; the registry
+    // merely forgets it. The path stays registered for reload.
+    e.model.reset();
+    e.bytes = 0;
+  }
+  VF_OBS_GAUGE("serve.registry.resident_bytes",
+               static_cast<std::int64_t>(stats_.resident_bytes));
+  VF_OBS_GAUGE("serve.registry.resident_models",
+               static_cast<std::int64_t>(stats_.resident_models));
+}
+
+std::shared_ptr<const vf::core::FcnnModel> ModelRegistry::resolve(
+    const std::string& key) {
+  VF_OBS_SPAN("serve/resolve_model");
+  std::shared_future<ModelPtr> pending;
+  std::promise<ModelPtr> mine;
+  std::string path;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    auto it = entries_.find(key);
+    if (it == entries_.end()) {
+      throw std::invalid_argument("ModelRegistry: unknown key '" + key + "'");
+    }
+    Entry& e = it->second;
+    if (e.model) {  // resident: bump LRU and return
+      ++stats_.hits;
+      lru_.splice(lru_.begin(), lru_, e.lru);
+      return e.model;
+    }
+    if (e.loading.valid()) {  // someone else is loading: share their result
+      pending = e.loading;
+    } else {  // cold: this thread loads outside the lock
+      e.loading = mine.get_future().share();
+      path = e.path;
+    }
+  }
+  if (pending.valid()) {
+    return pending.get();  // rethrows the loader's failure, if any
+  }
+
+  ModelPtr loaded;
+  try {
+    loaded = std::make_shared<const vf::core::FcnnModel>(
+        vf::core::FcnnModel::load(path));
+  } catch (...) {
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      auto it = entries_.find(key);
+      if (it != entries_.end()) it->second.loading = {};
+      ++stats_.load_failures;
+    }
+    mine.set_exception(std::current_exception());
+    throw;
+  }
+
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    auto it = entries_.find(key);
+    if (it != entries_.end()) {
+      Entry& e = it->second;
+      e.model = loaded;
+      e.bytes = loaded->memory_bytes();
+      lru_.push_front(key);
+      e.lru = lru_.begin();
+      e.loading = {};
+      ++stats_.loads;
+      stats_.resident_bytes += e.bytes;
+      ++stats_.resident_models;
+      VF_OBS_COUNT("serve.registry.loads", 1);
+      evict_over_budget_locked();
+    }
+  }
+  mine.set_value(loaded);
+  return loaded;
+}
+
+RegistryStats ModelRegistry::stats() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace vf::serve

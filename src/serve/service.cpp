@@ -1,0 +1,211 @@
+#include "vf/serve/service.hpp"
+
+#include <algorithm>
+#include <exception>
+#include <utility>
+
+#include "vf/api/reconstruct.hpp"
+#include "vf/core/resilient.hpp"
+#include "vf/obs/obs.hpp"
+
+#include <omp.h>
+
+namespace vf::serve {
+
+using vf::field::Vec3;
+
+/// Per-worker working set, reused across batches.
+struct WorkerScratch {
+  std::vector<Vec3> points;
+  std::vector<double> out;
+  std::vector<std::size_t> repaired;
+  vf::api::PointScratch infer;
+};
+
+Service::Service(ServiceOptions options)
+    : options_(options),
+      registry_(options.registry),
+      queue_(options.queue_max) {
+  const std::size_t n = std::max<std::size_t>(1, options_.workers);
+  workers_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+Service::~Service() { stop(); }
+
+void Service::stop() {
+  {
+    const std::lock_guard<std::mutex> lock(stop_mu_);
+    if (stopped_) return;
+    stopped_ = true;
+  }
+  queue_.shutdown();
+  for (auto& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+}
+
+void Service::add_session(const std::string& key,
+                          const vf::sampling::SampleCloud& cloud,
+                          const std::string& model_path) {
+  auto session = std::make_shared<Session>();
+  std::size_t nonfinite = 0, duplicates = 0;
+  session->cloud = cloud.scrubbed(nonfinite, duplicates);
+  session->tree = vf::spatial::KdTree(session->cloud.points());
+  session->values = session->cloud.values();
+  registry_.add(key, model_path);
+  const std::lock_guard<std::mutex> lock(sessions_mu_);
+  sessions_[key] = std::move(session);
+}
+
+bool Service::has_session(const std::string& key) const {
+  const std::lock_guard<std::mutex> lock(sessions_mu_);
+  return sessions_.count(key) > 0;
+}
+
+std::optional<std::future<PointResponse>> Service::submit(
+    const std::string& key, std::vector<Vec3> points) {
+  if (!has_session(key)) {
+    throw std::invalid_argument("vf::serve: unknown session '" + key + "'");
+  }
+  PointRequest req;
+  req.key = key;
+  req.points = std::move(points);
+  auto future = req.promise.get_future();
+  switch (queue_.push(req)) {
+    case Admission::Accepted:
+      accepted_.fetch_add(1, std::memory_order_relaxed);
+      return future;
+    case Admission::QueueFull:
+    case Admission::ShuttingDown:
+      shed_.fetch_add(1, std::memory_order_relaxed);
+      return std::nullopt;
+  }
+  return std::nullopt;
+}
+
+PointResponse Service::query(const std::string& key, std::vector<Vec3> points) {
+  auto future = submit(key, std::move(points));
+  if (!future) throw OverloadedError{};
+  return future->get();
+}
+
+void Service::worker_loop() {
+  // Worker-pool parallelism replaces data parallelism: each worker runs
+  // its kernels (feature extraction, fused inference) on a single OpenMP
+  // thread so `workers` batches in flight use `workers` cores, not
+  // workers x omp_num_threads.
+  omp_set_num_threads(1);
+  WorkerScratch scratch;
+  std::vector<PointRequest> batch;
+  while (queue_.pop_batch(batch, options_.batch_max_points,
+                          options_.batch_deadline)) {
+    serve_batch(batch, scratch);
+  }
+}
+
+void Service::serve_batch(std::vector<PointRequest>& batch,
+                          WorkerScratch& scratch) {
+  VF_OBS_SPAN("serve/batch");
+  std::shared_ptr<const Session> session;
+  {
+    const std::lock_guard<std::mutex> lock(sessions_mu_);
+    auto it = sessions_.find(batch.front().key);
+    if (it != sessions_.end()) session = it->second;
+  }
+  if (!session) {  // raced with a rebind/remove: fail the requests honestly
+    auto err = std::make_exception_ptr(
+        std::invalid_argument("vf::serve: session disappeared"));
+    for (auto& req : batch) req.promise.set_exception(err);
+    return;
+  }
+
+  std::size_t total = 0;
+  for (const auto& req : batch) total += req.points.size();
+  batches_.fetch_add(1, std::memory_order_relaxed);
+  served_points_.fetch_add(total, std::memory_order_relaxed);
+  VF_OBS_HIST("serve.batch.points", static_cast<double>(total));
+  VF_OBS_HIST("serve.batch.requests", static_cast<double>(batch.size()));
+
+  scratch.points.clear();
+  scratch.points.reserve(total);
+  for (const auto& req : batch) {
+    scratch.points.insert(scratch.points.end(), req.points.begin(),
+                          req.points.end());
+  }
+  scratch.out.resize(total);
+  scratch.repaired.clear();
+
+  // Resolve the model; a load failure (missing file, corrupt bytes, or a
+  // VF_FAULT_MODEL_READ injection inside FcnnModel::load) degrades the
+  // batch to the classical estimator instead of failing the requests.
+  std::shared_ptr<const vf::core::FcnnModel> model;
+  try {
+    model = registry_.resolve(batch.front().key);
+  } catch (const std::exception&) {
+    model = nullptr;
+  }
+
+  std::size_t degraded_total = 0;
+  bool classical = false;
+  if (model) {
+    VF_OBS_SPAN("serve/infer");
+    degraded_total = vf::api::predict_points(
+        *model, session->tree, session->values, scratch.points.data(), total,
+        scratch.out.data(), scratch.infer, options_.repair_neighbors,
+        &scratch.repaired);
+  } else {
+    VF_OBS_SPAN("serve/classical_fallback");
+    VF_OBS_COUNT("serve.fallback_batches", 1);
+    classical = true;
+    fallback_batches_.fetch_add(1, std::memory_order_relaxed);
+    for (std::size_t i = 0; i < total; ++i) {
+      scratch.out[i] =
+          vf::core::shepard_estimate(session->tree, session->values,
+                                     scratch.points[i],
+                                     options_.repair_neighbors);
+    }
+    degraded_total = total;
+  }
+  degraded_points_.fetch_add(degraded_total, std::memory_order_relaxed);
+
+  // Slice the flat outputs back onto the individual requests.
+  std::size_t offset = 0;
+  auto repaired_it = scratch.repaired.begin();
+  for (auto& req : batch) {
+    const std::size_t n = req.points.size();
+    PointResponse resp;
+    resp.values.assign(scratch.out.begin() + static_cast<std::ptrdiff_t>(offset),
+                       scratch.out.begin() +
+                           static_cast<std::ptrdiff_t>(offset + n));
+    if (classical) {
+      resp.degraded = n;
+      resp.fallback = "classical";
+    } else {
+      while (repaired_it != scratch.repaired.end() &&
+             *repaired_it < offset + n) {
+        ++resp.degraded;
+        ++repaired_it;
+      }
+    }
+    resp.batch_points = total;
+    req.promise.set_value(std::move(resp));
+    offset += n;
+  }
+}
+
+ServiceStats Service::stats() const {
+  ServiceStats s;
+  s.accepted = accepted_.load(std::memory_order_relaxed);
+  s.shed = shed_.load(std::memory_order_relaxed);
+  s.batches = batches_.load(std::memory_order_relaxed);
+  s.served_points = served_points_.load(std::memory_order_relaxed);
+  s.degraded_points = degraded_points_.load(std::memory_order_relaxed);
+  s.fallback_batches = fallback_batches_.load(std::memory_order_relaxed);
+  s.registry = registry_.stats();
+  return s;
+}
+
+}  // namespace vf::serve

@@ -1,0 +1,268 @@
+#include "vf/serve/wire.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace vf::serve::wire {
+
+namespace {
+
+/// Cursor over one request line. All helpers return false on malformed
+/// input and leave a message in err.
+struct Cursor {
+  const char* p;
+  const char* end;
+  std::string err;
+
+  void skip_ws() {
+    while (p != end && std::isspace(static_cast<unsigned char>(*p)) != 0) ++p;
+  }
+
+  bool fail(const std::string& what) {
+    if (err.empty()) err = what;
+    return false;
+  }
+
+  bool expect(char c) {
+    skip_ws();
+    if (p == end || *p != c) {
+      return fail(std::string("expected '") + c + "'");
+    }
+    ++p;
+    return true;
+  }
+
+  bool peek_is(char c) {
+    skip_ws();
+    return p != end && *p == c;
+  }
+
+  bool parse_string(std::string& out) {
+    skip_ws();
+    if (p == end || *p != '"') return fail("expected string");
+    ++p;
+    out.clear();
+    while (p != end && *p != '"') {
+      char c = *p++;
+      if (c == '\\') {
+        if (p == end) return fail("bad escape");
+        const char esc = *p++;
+        switch (esc) {
+          case '"': c = '"'; break;
+          case '\\': c = '\\'; break;
+          case '/': c = '/'; break;
+          case 'n': c = '\n'; break;
+          case 'r': c = '\r'; break;
+          case 't': c = '\t'; break;
+          default: return fail("unsupported escape");
+        }
+      }
+      out += c;
+    }
+    if (p == end) return fail("unterminated string");
+    ++p;
+    return true;
+  }
+
+  bool parse_number(double& out) {
+    skip_ws();
+    char* after = nullptr;
+    out = std::strtod(p, &after);
+    if (after == p) return fail("expected number");
+    p = after;
+    return true;
+  }
+
+  /// Skip any JSON value (for unknown keys).
+  bool skip_value() {
+    skip_ws();
+    if (p == end) return fail("truncated value");
+    const char c = *p;
+    if (c == '"') {
+      std::string ignored;
+      return parse_string(ignored);
+    }
+    if (c == '{' || c == '[') {
+      const char close = c == '{' ? '}' : ']';
+      ++p;
+      skip_ws();
+      if (peek_is(close)) {
+        ++p;
+        return true;
+      }
+      while (true) {
+        if (c == '{') {
+          std::string ignored;
+          if (!parse_string(ignored) || !expect(':')) return false;
+        }
+        if (!skip_value()) return false;
+        skip_ws();
+        if (peek_is(',')) {
+          ++p;
+          continue;
+        }
+        return expect(close);
+      }
+    }
+    // number / true / false / null
+    const char* start = p;
+    while (p != end && (std::isalnum(static_cast<unsigned char>(*p)) != 0 ||
+                        *p == '-' || *p == '+' || *p == '.')) {
+      ++p;
+    }
+    if (p == start) return fail("unexpected token");
+    return true;
+  }
+
+  bool parse_points(std::vector<vf::field::Vec3>& out) {
+    if (!expect('[')) return false;
+    out.clear();
+    if (peek_is(']')) {
+      ++p;
+      return true;
+    }
+    while (true) {
+      if (!expect('[')) return false;
+      double xyz[3] = {0, 0, 0};
+      for (int i = 0; i < 3; ++i) {
+        if (!parse_number(xyz[i])) return fail("point needs 3 numbers");
+        if (i < 2 && !expect(',')) return fail("point needs 3 numbers");
+      }
+      if (!expect(']')) return fail("point needs exactly 3 numbers");
+      out.push_back({xyz[0], xyz[1], xyz[2]});
+      if (peek_is(',')) {
+        ++p;
+        continue;
+      }
+      return expect(']');
+    }
+  }
+};
+
+std::string quoted(const std::string& s) {
+  std::string out = "\"";
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+std::string number(double v) {
+  if (!std::isfinite(v)) return "null";
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.12g", v);
+  return buf;
+}
+
+}  // namespace
+
+bool parse_request(const std::string& line, Request& out, std::string& error) {
+  out = Request{};
+  Cursor c{line.data(), line.data() + line.size(), {}};
+  bool ok = c.expect('{');
+  if (ok && c.peek_is('}')) {
+    error = "empty request";
+    return false;
+  }
+  while (ok) {
+    std::string field;
+    ok = c.parse_string(field) && c.expect(':');
+    if (!ok) break;
+    if (field == "id") {
+      double v = 0;
+      ok = c.parse_number(v);
+      out.id = static_cast<std::int64_t>(v);
+    } else if (field == "key") {
+      ok = c.parse_string(out.key);
+    } else if (field == "cmd") {
+      ok = c.parse_string(out.cmd);
+    } else if (field == "points") {
+      ok = c.parse_points(out.points);
+    } else {
+      ok = c.skip_value();
+    }
+    if (!ok) break;
+    if (c.peek_is(',')) {
+      ++c.p;
+      continue;
+    }
+    ok = c.expect('}');
+    break;
+  }
+  if (!ok) {
+    error = c.err.empty() ? "malformed request" : c.err;
+    return false;
+  }
+  if (out.cmd.empty() && out.points.empty()) {
+    error = "query needs a non-empty \"points\" array";
+    return false;
+  }
+  return true;
+}
+
+std::string ok_response(std::int64_t id, const PointResponse& resp) {
+  std::string out = "{\"id\": " + std::to_string(id) + ", \"status\": \"ok\"";
+  out += ", \"values\": [";
+  for (std::size_t i = 0; i < resp.values.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += number(resp.values[i]);
+  }
+  out += "], \"degraded\": " + std::to_string(resp.degraded);
+  out += ", \"batch\": " + std::to_string(resp.batch_points);
+  if (!resp.fallback.empty()) {
+    out += ", \"fallback\": " + quoted(resp.fallback);
+  }
+  out += "}";
+  return out;
+}
+
+std::string stats_response(std::int64_t id, const ServiceStats& stats) {
+  std::string out = "{\"id\": " + std::to_string(id) + ", \"status\": \"ok\"";
+  out += ", \"stats\": {";
+  out += "\"accepted\": " + std::to_string(stats.accepted);
+  out += ", \"shed\": " + std::to_string(stats.shed);
+  out += ", \"batches\": " + std::to_string(stats.batches);
+  out += ", \"served_points\": " + std::to_string(stats.served_points);
+  out += ", \"degraded_points\": " + std::to_string(stats.degraded_points);
+  out += ", \"fallback_batches\": " + std::to_string(stats.fallback_batches);
+  out += ", \"registry\": {";
+  out += "\"hits\": " + std::to_string(stats.registry.hits);
+  out += ", \"loads\": " + std::to_string(stats.registry.loads);
+  out += ", \"load_failures\": " + std::to_string(stats.registry.load_failures);
+  out += ", \"evictions\": " + std::to_string(stats.registry.evictions);
+  out += ", \"resident_models\": " +
+         std::to_string(stats.registry.resident_models);
+  out += ", \"resident_bytes\": " +
+         std::to_string(stats.registry.resident_bytes);
+  out += "}}}";
+  return out;
+}
+
+std::string status_response(std::int64_t id, const std::string& status,
+                            const std::string& message) {
+  std::string out =
+      "{\"id\": " + std::to_string(id) + ", \"status\": " + quoted(status);
+  if (!message.empty()) out += ", \"message\": " + quoted(message);
+  out += "}";
+  return out;
+}
+
+}  // namespace vf::serve::wire

@@ -74,7 +74,8 @@ TEST_F(BatchReconstruct, MatchesWholeGridPathOnSameGrid) {
   ScalarField want = whole.reconstruct(cloud, truth_->grid());
 
   // A tile far smaller than the void count forces many tiles.
-  BatchReconstructor streaming(model_->clone(), /*tile_size=*/333);
+  BatchReconstructor streaming(model_->clone(),
+                               ReconstructOptions{.tile_size = 333});
   ScalarField got = streaming.reconstruct(cloud, truth_->grid());
   expect_fields_equal(got, want);
 
@@ -95,7 +96,8 @@ TEST_F(BatchReconstruct, MatchesWholeGridPathOnForeignGrid) {
   FcnnReconstructor whole(model_->clone());
   ScalarField want = whole.reconstruct(cloud, fine);
 
-  BatchReconstructor streaming(model_->clone(), /*tile_size=*/512);
+  BatchReconstructor streaming(model_->clone(),
+                               ReconstructOptions{.tile_size = 512});
   ScalarField got = streaming.reconstruct(cloud, fine);
   expect_fields_equal(got, want);
 }
@@ -104,7 +106,8 @@ TEST_F(BatchReconstruct, TreeIsCachedAcrossCallsAndRebuiltOnNewCloud) {
   ImportanceSampler sampler;
   SampleCloud cloud = sampler.sample(*truth_, 0.05, 11);
 
-  BatchReconstructor streaming(model_->clone(), 512);
+  BatchReconstructor streaming(model_->clone(),
+                               ReconstructOptions{.tile_size = 512});
   EXPECT_EQ(streaming.tree_builds(), 0u);
   auto a = streaming.reconstruct(cloud, truth_->grid());
   EXPECT_EQ(streaming.tree_builds(), 1u);
@@ -124,10 +127,12 @@ TEST_F(BatchReconstruct, ScratchScalesWithTileNotGrid) {
   // Same tile, ~2.7x more grid points: scratch high-water mark must not
   // track the grid.
   const std::size_t tile = 256;
-  BatchReconstructor small_grid(model_->clone(), tile);
+  BatchReconstructor small_grid(model_->clone(),
+                                ReconstructOptions{.tile_size = tile});
   (void)small_grid.reconstruct(cloud, truth_->grid());
   UniformGrid3 fine({24, 24, 12}, {0, 0, 0}, {0.75, 0.75, 0.64});
-  BatchReconstructor large_grid(model_->clone(), tile);
+  BatchReconstructor large_grid(model_->clone(),
+                                ReconstructOptions{.tile_size = tile});
   (void)large_grid.reconstruct(cloud, fine);
 
   ASSERT_GT(small_grid.peak_scratch_elements(), 0u);
@@ -137,7 +142,8 @@ TEST_F(BatchReconstruct, ScratchScalesWithTileNotGrid) {
 
   // Quadrupling the tile grows scratch roughly proportionally (within 2x
   // of linear), far below any O(grid) footprint.
-  BatchReconstructor bigger_tile(model_->clone(), 4 * tile);
+  BatchReconstructor bigger_tile(model_->clone(),
+                                 ReconstructOptions{.tile_size = 4 * tile});
   (void)bigger_tile.reconstruct(cloud, truth_->grid());
   EXPECT_GT(bigger_tile.peak_scratch_elements(),
             small_grid.peak_scratch_elements());
@@ -146,12 +152,20 @@ TEST_F(BatchReconstruct, ScratchScalesWithTileNotGrid) {
 }
 
 TEST_F(BatchReconstruct, RejectsUndersizedCloudAndUnfittedModel) {
-  BatchReconstructor streaming(model_->clone(), 128);
+  BatchReconstructor streaming(model_->clone(),
+                               ReconstructOptions{.tile_size = 128});
   std::vector<Vec3> pts = {{0, 0, 0}, {1, 0, 0}, {0, 1, 0}};
   SampleCloud tiny(pts, {1.0, 2.0, 3.0});
   EXPECT_THROW((void)streaming.reconstruct(tiny, truth_->grid()),
                std::invalid_argument);
+  EXPECT_THROW(BatchReconstructor(FcnnModel{}, ReconstructOptions{}),
+               std::invalid_argument);
+  // The deprecated tile-size constructor must keep the same contract while
+  // the shim survives.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
   EXPECT_THROW(BatchReconstructor(FcnnModel{}, 128), std::invalid_argument);
+#pragma GCC diagnostic pop
 }
 
 }  // namespace

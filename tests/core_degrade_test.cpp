@@ -222,8 +222,8 @@ TEST_F(DegradeTest, BatchReconstructorScrubsRottenSamples) {
   truth[kept[11]] = -kInf;
   const SampleCloud cloud(truth, kept);
 
-  vf::core::BatchReconstructor rec(trained_model().clone(),
-                                   /*tile_size=*/64);
+  vf::core::BatchReconstructor rec(
+      trained_model().clone(), vf::core::ReconstructOptions{.tile_size = 64});
   ReconstructReport report;
   const auto out = rec.reconstruct(cloud, truth.grid(), report);
 
@@ -240,7 +240,8 @@ TEST_F(DegradeTest, BatchReconstructorRepairsNonFiniteOutputs) {
 
   auto broken = trained_model().clone();
   broken.out_norm.stddev[0] = kNaN;
-  vf::core::BatchReconstructor rec(std::move(broken), /*tile_size=*/64);
+  vf::core::BatchReconstructor rec(std::move(broken),
+                                   vf::core::ReconstructOptions{.tile_size = 64});
 
   ReconstructReport report;
   const auto out = rec.reconstruct(cloud, truth.grid(), report);

@@ -141,12 +141,12 @@ TEST(Determinism, BatchReconstructorBitIdenticalAcrossThreadCounts) {
   ScalarField serial(truth.grid(), "s"), parallel(truth.grid(), "p");
   {
     ThreadGuard g(1);
-    BatchReconstructor r(model.clone(), /*tile_size=*/97);
+    BatchReconstructor r(model.clone(), ReconstructOptions{.tile_size = 97});
     serial = r.reconstruct(cloud, truth.grid());
   }
   {
     ThreadGuard g(4);
-    BatchReconstructor r(model.clone(), /*tile_size=*/97);
+    BatchReconstructor r(model.clone(), ReconstructOptions{.tile_size = 97});
     parallel = r.reconstruct(cloud, truth.grid());
   }
   ASSERT_EQ(serial.size(), parallel.size());

@@ -27,6 +27,22 @@ ScalarField test_field() {
   return f;
 }
 
+Matrix features_at(const SampleCloud& cloud, const std::vector<Vec3>& points) {
+  FeatureRequest req;
+  req.cloud = &cloud;
+  req.points = &points;
+  return extract_features(req);
+}
+
+Matrix features_on_grid(const SampleCloud& cloud, const UniformGrid3& grid,
+                        const std::vector<std::int64_t>& idx) {
+  FeatureRequest req;
+  req.cloud = &cloud;
+  req.grid = &grid;
+  req.indices = &idx;
+  return extract_features(req);
+}
+
 TEST(Constants, MatchPaperLayout) {
   EXPECT_EQ(kNeighbors, 5);
   EXPECT_EQ(kFeatureDim, 23);
@@ -42,7 +58,7 @@ TEST(Features, LayoutHoldsFiveNearestThenQuery) {
   SampleCloud cloud(f, kept);
 
   std::vector<Vec3> queries = {{3.3, 4.4, 2.2}, {10.0, 2.0, 6.0}};
-  Matrix X = extract_features(cloud, queries);
+  Matrix X = features_at(cloud, queries);
   ASSERT_EQ(X.rows(), 2u);
   ASSERT_EQ(X.cols(), 23u);
 
@@ -80,10 +96,10 @@ TEST(Features, IndexOverloadMatchesPositions) {
   SampleCloud cloud(f, kept);
 
   std::vector<std::int64_t> idx = {5, 100, 777};
-  Matrix a = extract_features(cloud, f.grid(), idx);
+  Matrix a = features_on_grid(cloud, f.grid(), idx);
   std::vector<Vec3> pos;
   for (auto i : idx) pos.push_back(f.grid().position(i));
-  Matrix b = extract_features(cloud, pos);
+  Matrix b = features_at(cloud, pos);
   for (std::size_t i = 0; i < a.size(); ++i) {
     ASSERT_EQ(a.data()[i], b.data()[i]);
   }
@@ -92,7 +108,59 @@ TEST(Features, IndexOverloadMatchesPositions) {
 TEST(Features, TooSmallCloudThrows) {
   auto f = test_field();
   SampleCloud cloud(f, {0, 1, 2});  // 3 < kNeighbors
-  EXPECT_THROW(extract_features(cloud, {{1, 1, 1}}), std::invalid_argument);
+  EXPECT_THROW(features_at(cloud, {{1, 1, 1}}), std::invalid_argument);
+}
+
+TEST(Features, RequestValidatesSourceAndQueryShape) {
+  auto f = test_field();
+  std::vector<std::int64_t> kept;
+  for (std::int64_t i = 0; i < f.size(); i += 11) kept.push_back(i);
+  SampleCloud cloud(f, kept);
+  std::vector<Vec3> pts = {{1, 1, 1}};
+  std::vector<std::int64_t> idx = {5};
+
+  FeatureRequest no_source;
+  no_source.points = &pts;
+  EXPECT_THROW(extract_features(no_source), std::invalid_argument);
+
+  FeatureRequest no_query;
+  no_query.cloud = &cloud;
+  EXPECT_THROW(extract_features(no_query), std::invalid_argument);
+
+  FeatureRequest both_queries;
+  both_queries.cloud = &cloud;
+  both_queries.points = &pts;
+  both_queries.grid = &f.grid();
+  both_queries.indices = &idx;
+  EXPECT_THROW(extract_features(both_queries), std::invalid_argument);
+}
+
+// The pre-FeatureRequest overloads are deprecated but must keep working for
+// one release; pin them to the new entry point bit-for-bit.
+TEST(Features, DeprecatedOverloadsMatchFeatureRequest) {
+  auto f = test_field();
+  std::vector<std::int64_t> kept;
+  for (std::int64_t i = 0; i < f.size(); i += 13) kept.push_back(i);
+  SampleCloud cloud(f, kept);
+  std::vector<Vec3> pts = {{2.5, 3.5, 1.5}, {9.0, 4.0, 5.0}};
+  std::vector<std::int64_t> idx = {4, 321, 650};
+
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  Matrix old_pts = extract_features(cloud, pts);
+  Matrix old_idx = extract_features(cloud, f.grid(), idx);
+#pragma GCC diagnostic pop
+
+  Matrix new_pts = features_at(cloud, pts);
+  Matrix new_idx = features_on_grid(cloud, f.grid(), idx);
+  ASSERT_EQ(old_pts.size(), new_pts.size());
+  for (std::size_t i = 0; i < old_pts.size(); ++i) {
+    ASSERT_EQ(old_pts.data()[i], new_pts.data()[i]);
+  }
+  ASSERT_EQ(old_idx.size(), new_idx.size());
+  for (std::size_t i = 0; i < old_idx.size(); ++i) {
+    ASSERT_EQ(old_idx.data()[i], new_idx.data()[i]);
+  }
 }
 
 TEST(Targets, ScalarOnly) {
@@ -172,8 +240,8 @@ TEST(Features, DeterministicAcrossCalls) {
   SampleCloud cloud(f, kept);
   std::vector<std::int64_t> idx;
   for (std::int64_t i = 3; i < f.size(); i += 31) idx.push_back(i);
-  Matrix a = extract_features(cloud, f.grid(), idx);
-  Matrix b = extract_features(cloud, f.grid(), idx);
+  Matrix a = features_on_grid(cloud, f.grid(), idx);
+  Matrix b = features_on_grid(cloud, f.grid(), idx);
   for (std::size_t i = 0; i < a.size(); ++i) {
     ASSERT_EQ(a.data()[i], b.data()[i]);
   }

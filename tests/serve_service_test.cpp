@@ -1,0 +1,229 @@
+// Service: end-to-end micro-batched point serving — session binding,
+// concurrent clients, deadline coalescing, load shedding, classical
+// fallback on model-load failure, and clean shutdown (TSan via the
+// sanitize label).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <filesystem>
+#include <thread>
+#include <vector>
+
+#include "vf/core/fcnn.hpp"
+#include "vf/core/model.hpp"
+#include "vf/serve/service.hpp"
+
+namespace {
+
+namespace fs = std::filesystem;
+using namespace std::chrono_literals;
+using vf::field::Vec3;
+using vf::sampling::SampleCloud;
+using vf::serve::Service;
+using vf::serve::ServiceOptions;
+
+vf::core::FcnnModel tiny_model() {
+  vf::core::FcnnModel model;
+  model.net = vf::nn::Network::mlp(
+      static_cast<std::size_t>(vf::core::kFeatureDim), {16, 8},
+      static_cast<std::size_t>(vf::core::kTargetDimScalar), 7);
+  model.in_norm.mean.assign(vf::core::kFeatureDim, 0.0);
+  model.in_norm.stddev.assign(vf::core::kFeatureDim, 1.0);
+  model.out_norm.mean.assign(vf::core::kTargetDimScalar, 0.0);
+  model.out_norm.stddev.assign(vf::core::kTargetDimScalar, 1.0);
+  model.with_gradients = false;
+  model.dataset = "service-test";
+  return model;
+}
+
+SampleCloud test_cloud() {
+  std::vector<Vec3> points;
+  std::vector<double> values;
+  for (int i = 0; i < 6; ++i) {
+    for (int j = 0; j < 6; ++j) {
+      for (int k = 0; k < 3; ++k) {
+        Vec3 p{static_cast<double>(i), static_cast<double>(j),
+               static_cast<double>(k)};
+        points.push_back(p);
+        values.push_back(std::sin(0.3 * p.x) + 0.2 * p.y - 0.1 * p.z);
+      }
+    }
+  }
+  return SampleCloud(points, values);
+}
+
+class ServiceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("vf_service_test_" + std::string(::testing::UnitTest::GetInstance()
+                                                 ->current_test_info()
+                                                 ->name()));
+    fs::create_directories(dir_);
+    model_path_ = (dir_ / "model.vfmd").string();
+    tiny_model().save(model_path_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  fs::path dir_;
+  std::string model_path_;
+};
+
+TEST_F(ServiceTest, ServesPointQueriesAgainstABoundSession) {
+  Service service;
+  service.add_session("t0", test_cloud(), model_path_);
+  EXPECT_TRUE(service.has_session("t0"));
+  EXPECT_FALSE(service.has_session("t1"));
+
+  auto resp = service.query("t0", {{1.5, 2.5, 0.5}, {4.0, 1.0, 1.0}});
+  ASSERT_EQ(resp.values.size(), 2u);
+  for (double v : resp.values) EXPECT_TRUE(std::isfinite(v));
+  EXPECT_TRUE(resp.fallback.empty());
+  EXPECT_GE(resp.batch_points, 2u);
+
+  auto stats = service.stats();
+  EXPECT_EQ(stats.accepted, 1u);
+  EXPECT_EQ(stats.shed, 0u);
+  EXPECT_GE(stats.batches, 1u);
+  EXPECT_EQ(stats.served_points, 2u);
+  EXPECT_EQ(stats.registry.loads, 1u);
+}
+
+TEST_F(ServiceTest, UnknownSessionKeyThrows) {
+  Service service;
+  EXPECT_THROW((void)service.submit("nope", {{0, 0, 0}}),
+               std::invalid_argument);
+}
+
+TEST_F(ServiceTest, CoalescesConcurrentSameSessionRequests) {
+  ServiceOptions opts;
+  opts.workers = 1;
+  opts.batch_deadline = 300ms;  // generous window so both requests join
+  Service service(opts);
+  service.add_session("t0", test_cloud(), model_path_);
+
+  auto f1 = service.submit("t0", {{1, 1, 1}});
+  auto f2 = service.submit("t0", {{2, 2, 1}});
+  ASSERT_TRUE(f1 && f2);
+  auto r1 = f1->get();
+  auto r2 = f2->get();
+  // Both rode one micro-batch: each response saw the combined point count.
+  EXPECT_EQ(r1.batch_points, 2u);
+  EXPECT_EQ(r2.batch_points, 2u);
+  EXPECT_EQ(service.stats().batches, 1u);
+}
+
+TEST_F(ServiceTest, ConcurrentClientsAllServed) {
+  ServiceOptions opts;
+  opts.workers = 3;
+  opts.batch_deadline = 200us;
+  opts.queue_max = 10000;
+  Service service(opts);
+  service.add_session("t0", test_cloud(), model_path_);
+
+  constexpr int kClients = 8;
+  constexpr int kQueriesPerClient = 20;
+  std::atomic<std::size_t> total_points{0};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&service, &total_points, c] {
+      for (int i = 0; i < kQueriesPerClient; ++i) {
+        const std::size_t n = 1 + static_cast<std::size_t>((c + i) % 4);
+        std::vector<Vec3> pts(n, Vec3{0.5 + i * 0.01, 1.0 + c * 0.1, 0.5});
+        auto resp = service.query("t0", pts);
+        ASSERT_EQ(resp.values.size(), n);
+        for (double v : resp.values) ASSERT_TRUE(std::isfinite(v));
+        total_points.fetch_add(n, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+
+  auto stats = service.stats();
+  EXPECT_EQ(stats.accepted,
+            static_cast<std::uint64_t>(kClients * kQueriesPerClient));
+  EXPECT_EQ(stats.served_points, total_points.load());
+  EXPECT_GE(stats.batches, 1u);
+  EXPECT_LE(stats.batches, stats.accepted);
+  EXPECT_EQ(stats.registry.loads, 1u);  // one model shared by every batch
+}
+
+TEST_F(ServiceTest, ShedsLoadWhenTheQueueIsFull) {
+  ServiceOptions opts;
+  opts.workers = 1;
+  opts.batch_deadline = 500ms;  // park the worker on the first key's window
+  opts.queue_max = 1;
+  Service service(opts);
+  service.add_session("a", test_cloud(), model_path_);
+  service.add_session("b", test_cloud(), model_path_);
+
+  std::vector<std::future<vf::serve::PointResponse>> accepted;
+  std::size_t shed = 0;
+  auto first = service.submit("a", {{1, 1, 1}});
+  if (first) accepted.push_back(std::move(*first));
+  // While the worker coalesces key "a", key-"b" requests can only queue —
+  // the second and later must hit the 1-deep admission limit.
+  for (int i = 0; i < 4; ++i) {
+    auto f = service.submit("b", {{2, 2, 1}});
+    if (f) {
+      accepted.push_back(std::move(*f));
+    } else {
+      ++shed;
+    }
+  }
+  EXPECT_GE(shed, 3u);  // at most one "b" fits the bounded queue
+  EXPECT_EQ(service.stats().shed, shed);
+
+  // Every accepted request is still served to completion.
+  for (auto& f : accepted) {
+    auto resp = f.get();
+    EXPECT_EQ(resp.values.size(), 1u);
+  }
+}
+
+TEST_F(ServiceTest, FallsBackToClassicalWhenTheModelCannotLoad) {
+  Service service;
+  service.add_session("t0", test_cloud(), (dir_ / "missing.vfmd").string());
+
+  auto resp = service.query("t0", {{1.0, 1.0, 1.0}, {3.0, 2.0, 1.0}});
+  ASSERT_EQ(resp.values.size(), 2u);
+  EXPECT_EQ(resp.fallback, "classical");
+  EXPECT_EQ(resp.degraded, 2u);
+  for (double v : resp.values) EXPECT_TRUE(std::isfinite(v));
+  // The classical estimate at an exact sample position is the sample value.
+  EXPECT_NEAR(resp.values[0], std::sin(0.3) + 0.2 - 0.1, 1e-9);
+
+  auto stats = service.stats();
+  EXPECT_GE(stats.fallback_batches, 1u);
+  EXPECT_EQ(stats.degraded_points, 2u);
+  EXPECT_EQ(stats.registry.load_failures, 1u);
+}
+
+TEST_F(ServiceTest, RebindingASessionReplacesIt) {
+  Service service;
+  service.add_session("t0", test_cloud(), model_path_);
+  (void)service.query("t0", {{1, 1, 1}});
+
+  // Rebind with a fresh cloud and the same model path; queries keep working.
+  service.add_session("t0", test_cloud(), model_path_);
+  auto resp = service.query("t0", {{2, 2, 1}});
+  EXPECT_EQ(resp.values.size(), 1u);
+}
+
+TEST_F(ServiceTest, StopIsIdempotentAndRefusesLateWork) {
+  auto service = std::make_unique<Service>();
+  service->add_session("t0", test_cloud(), model_path_);
+  (void)service->query("t0", {{1, 1, 1}});
+  service->stop();
+  service->stop();  // idempotent
+
+  // Post-stop submissions are refused as shed, not deadlocked.
+  EXPECT_EQ(service->submit("t0", {{1, 1, 1}}), std::nullopt);
+  EXPECT_THROW((void)service->query("t0", {{1, 1, 1}}), vf::serve::OverloadedError);
+  service.reset();  // destructor after explicit stop must be safe
+}
+
+}  // namespace

@@ -1,0 +1,155 @@
+// Wire codec for `vfctl serve`: the hand-rolled ndjson request parser and
+// the response emitters.
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "vf/serve/wire.hpp"
+
+namespace {
+
+using vf::serve::PointResponse;
+using vf::serve::ServiceStats;
+namespace wire = vf::serve::wire;
+
+TEST(WireParse, PointQueryRoundTrip) {
+  wire::Request req;
+  std::string error;
+  ASSERT_TRUE(wire::parse_request(
+      R"({"id": 7, "key": "t0", "points": [[0.1, 0.2, 0.3], [1, 2, 3]]})",
+      req, error))
+      << error;
+  EXPECT_EQ(req.id, 7);
+  EXPECT_EQ(req.key, "t0");
+  EXPECT_TRUE(req.cmd.empty());
+  ASSERT_EQ(req.points.size(), 2u);
+  EXPECT_DOUBLE_EQ(req.points[0].x, 0.1);
+  EXPECT_DOUBLE_EQ(req.points[1].z, 3.0);
+}
+
+TEST(WireParse, KeyIsOptionalForTheDefaultSession) {
+  wire::Request req;
+  std::string error;
+  ASSERT_TRUE(
+      wire::parse_request(R"({"id": 1, "points": [[0, 0, 0]]})", req, error));
+  EXPECT_TRUE(req.key.empty());
+  EXPECT_EQ(req.points.size(), 1u);
+}
+
+TEST(WireParse, CommandsNeedNoPoints) {
+  wire::Request req;
+  std::string error;
+  ASSERT_TRUE(wire::parse_request(R"({"id": 2, "cmd": "stats"})", req, error));
+  EXPECT_EQ(req.cmd, "stats");
+  ASSERT_TRUE(
+      wire::parse_request(R"({"id": 3, "cmd": "shutdown"})", req, error));
+  EXPECT_EQ(req.cmd, "shutdown");
+}
+
+TEST(WireParse, UnknownFieldsAreSkipped) {
+  wire::Request req;
+  std::string error;
+  ASSERT_TRUE(wire::parse_request(
+      R"({"id": 4, "client": "loadgen", "retry": true, "meta": {"a": [1, 2]},)"
+      R"( "points": [[1, 2, 3]]})",
+      req, error))
+      << error;
+  EXPECT_EQ(req.id, 4);
+  EXPECT_EQ(req.points.size(), 1u);
+}
+
+TEST(WireParse, StringEscapesAreDecoded) {
+  wire::Request req;
+  std::string error;
+  ASSERT_TRUE(wire::parse_request(
+      R"({"id": 5, "key": "a\"b\\c\n", "points": [[0, 0, 0]]})", req, error));
+  EXPECT_EQ(req.key, "a\"b\\c\n");
+}
+
+TEST(WireParse, MalformedInputsAreRejectedWithAMessage) {
+  wire::Request req;
+  std::string error;
+  EXPECT_FALSE(wire::parse_request("", req, error));
+  EXPECT_FALSE(wire::parse_request("{}", req, error));
+  EXPECT_FALSE(wire::parse_request("not json", req, error));
+  EXPECT_FALSE(wire::parse_request(R"({"id": 1})", req, error));
+  EXPECT_FALSE(wire::parse_request(R"({"id": 1, "points": []})", req, error));
+  EXPECT_FALSE(
+      wire::parse_request(R"({"id": 1, "points": [[1, 2]]})", req, error));
+  EXPECT_FALSE(wire::parse_request(R"({"id": 1, "points": [[1, 2, 3, 4]]})",
+                                   req, error));
+  EXPECT_FALSE(
+      wire::parse_request(R"({"id": 1, "points": [[1, 2, 3)", req, error));
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(WireParse, IdSurvivesAnErrorLateInTheLine) {
+  wire::Request req;
+  std::string error;
+  EXPECT_FALSE(wire::parse_request(R"({"id": 42, "points": "oops"})", req,
+                                   error));
+  EXPECT_EQ(req.id, 42);  // the error response can still be correlated
+}
+
+TEST(WireEmit, OkResponseCarriesValuesAndBatchMetadata) {
+  PointResponse resp;
+  resp.values = {1.25, -0.5};
+  resp.degraded = 1;
+  resp.batch_points = 128;
+  const std::string line = wire::ok_response(7, resp);
+  EXPECT_NE(line.find("\"id\": 7"), std::string::npos);
+  EXPECT_NE(line.find("\"status\": \"ok\""), std::string::npos);
+  EXPECT_NE(line.find("\"values\": [1.25, -0.5]"), std::string::npos);
+  EXPECT_NE(line.find("\"degraded\": 1"), std::string::npos);
+  EXPECT_NE(line.find("\"batch\": 128"), std::string::npos);
+  EXPECT_EQ(line.find("fallback"), std::string::npos);
+
+  resp.fallback = "classical";
+  EXPECT_NE(wire::ok_response(7, resp).find("\"fallback\": \"classical\""),
+            std::string::npos);
+}
+
+TEST(WireEmit, NonFiniteValuesSerializeAsNull) {
+  PointResponse resp;
+  resp.values = {std::numeric_limits<double>::quiet_NaN()};
+  EXPECT_NE(wire::ok_response(1, resp).find("\"values\": [null]"),
+            std::string::npos);
+}
+
+TEST(WireEmit, StatsResponseNestsRegistryCounters) {
+  ServiceStats stats;
+  stats.accepted = 10;
+  stats.shed = 2;
+  stats.registry.loads = 3;
+  const std::string line = wire::stats_response(9, stats);
+  EXPECT_NE(line.find("\"accepted\": 10"), std::string::npos);
+  EXPECT_NE(line.find("\"shed\": 2"), std::string::npos);
+  EXPECT_NE(line.find("\"registry\": {"), std::string::npos);
+  EXPECT_NE(line.find("\"loads\": 3"), std::string::npos);
+}
+
+TEST(WireEmit, StatusResponseEscapesTheMessage) {
+  const std::string line =
+      wire::status_response(3, "error", "bad \"points\"\n");
+  EXPECT_NE(line.find("\"status\": \"error\""), std::string::npos);
+  EXPECT_NE(line.find("bad \\\"points\\\"\\n"), std::string::npos);
+
+  // No message key when the message is empty.
+  EXPECT_EQ(wire::status_response(4, "overloaded").find("message"),
+            std::string::npos);
+}
+
+// A parse -> serve -> emit line is what the stdin and TCP loops exchange;
+// make sure a response line itself stays a single line (ndjson framing).
+TEST(WireEmit, ResponsesAreSingleLines) {
+  PointResponse resp;
+  resp.values = {1.0};
+  EXPECT_EQ(wire::ok_response(1, resp).find('\n'), std::string::npos);
+  EXPECT_EQ(wire::stats_response(1, ServiceStats{}).find('\n'),
+            std::string::npos);
+  EXPECT_EQ(wire::status_response(1, "error", "x\ny").find('\n'),
+            std::string::npos);
+}
+
+}  // namespace

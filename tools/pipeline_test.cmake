@@ -17,9 +17,9 @@ function(run)
   endif()
 endfunction()
 
-run(generate --dataset hurricane --dims 32x32x8 --t 12 --out truth.vti)
+run(generate --dataset hurricane --dims 32x32x8 --timestep 12 --out truth.vti)
 run(sample --in truth.vti --fraction 0.02 --out cloud.vtp)
-run(train --in truth.vti --out model.vfmd --epochs 8 --max-rows 3000)
+run(train --in truth.vti --out model.vfmd --epochs 8 --rows-max 3000)
 run(finetune --model model.vfmd --in truth.vti --epochs 3 --out model_ft.vfmd)
 run(reconstruct --cloud cloud.vtp --like truth.vti --model model_ft.vfmd
     --out recon_fcnn.vti)

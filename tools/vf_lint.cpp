@@ -43,6 +43,15 @@
 //                    TimestepArtifacts) annotate with
 //                    `// vf-lint: allow(raw-timer) <reason>`.
 //
+//   api-facade       Code outside src/ — tools, bench, examples — must go
+//                    through the vf::api::Reconstructor facade
+//                    (vf/api/reconstruct.hpp) rather than constructing
+//                    FcnnReconstructor / BatchReconstructor directly, so
+//                    engine selection, model caching, and stats stay in one
+//                    place. Engine-level benchmarks and fine-tuning flows
+//                    that deliberately bypass the facade annotate with
+//                    `// vf-lint: allow(api-facade) <reason>`.
+//
 //   aligned-cast     `reinterpret_cast` is allowed only to byte pointers
 //                    (char / unsigned char / std::byte), the legal aliasing
 //                    family used by the binary serializers. Anything else —
@@ -51,7 +60,8 @@
 //                    needs `// vf-lint: allow(cast) <reason>`.
 //
 // Usage: vf_lint <dir-or-file>...   (exit 1 if any finding)
-// Wired into CTest as the `vf_lint` test over src/ and tools/.
+// Wired into CTest as the `vf_lint` test over src/, tools/, bench/, and
+// examples/.
 
 #include <algorithm>
 #include <cctype>
@@ -197,6 +207,11 @@ void lint_file(const fs::path& path, std::vector<Finding>& findings) {
   const std::string gen = path.generic_string();
   const bool hot_path = gen.find("src/core/") != std::string::npos ||
                         gen.find("src/nn/") != std::string::npos;
+  // The api-facade rule bites everywhere *except* the library sources (the
+  // engines and the facade itself live there) — tools/bench/examples must
+  // route reconstruction through vf::api.
+  const bool outside_src = gen.find("/src/") == std::string::npos &&
+                           gen.rfind("src/", 0) != 0;
   std::vector<ResizeWatch> watches;
 
   for (std::size_t i = 0; i < split.size(); ++i) {
@@ -323,6 +338,19 @@ void lint_file(const fs::path& path, std::vector<Finding>& findings) {
            "VF_OBS_HIST_TIMER / VF_OBS_SPAN so the measurement reaches the "
            "exported metrics, or annotate a site that feeds a returned "
            "artifact with vf-lint: allow(raw-timer)"});
+    }
+
+    // --- api-facade -----------------------------------------------------
+    if (outside_src && code.find("#include") == std::string::npos &&
+        (has_word(code, "FcnnReconstructor") ||
+         has_word(code, "BatchReconstructor")) &&
+        !allowed("api-facade")) {
+      findings.push_back(
+          {file, lineno, "api-facade",
+           "direct FcnnReconstructor/BatchReconstructor use outside src/ — "
+           "reconstruct through vf::api::Reconstructor "
+           "(vf/api/reconstruct.hpp), or annotate a deliberate engine-level "
+           "site with vf-lint: allow(api-facade)"});
     }
 
     // --- aligned-cast ---------------------------------------------------

@@ -3,22 +3,36 @@
 // Chains the paper's workflow over VTK files, so the library is usable
 // without writing C++:
 //
-//   vfctl generate    --dataset hurricane --dims 125x125x25 --t 24
+//   vfctl generate    --dataset hurricane --dims 125x125x25 --timestep 24
 //                     --out truth.vti
 //   vfctl sample      --in truth.vti --fraction 0.01
 //                     [--sampler importance|random|stratified] --out cloud.vtp
 //   vfctl train       --in truth.vti --out model.vfmd [--epochs N]
-//                     [--max-rows N] [--no-gradients]
+//                     [--rows-max N] [--gradients-off]
 //                     [--checkpoint-dir DIR [--checkpoint-every N]
 //                      [--checkpoint-keep K] [--resume]]
 //   vfctl finetune    --model model.vfmd --in next.vti [--epochs 10]
-//                     [--case2]
+//                     [--finetune-case2]
 //   vfctl reconstruct --cloud cloud.vtp --like truth.vti --out recon.vti
-//                     (--model model.vfmd [--fallback shepard|nearest]
+//                     (--model model.vfmd [--fallback-method shepard|nearest]
 //                      | --method linear|natural|...)
 //   vfctl eval        --truth truth.vti --recon recon.vti
+//   vfctl serve       --cloud cloud.vtp --model model.vfmd [--key NAME]
+//                     [--serve-workers N] [--batch-max POINTS]
+//                     [--batch-deadline-us US] [--queue-max N]
+//                     [--registry-max-models N] [--registry-budget-mb MB]
+//                     [--serve-port PORT]
 //
-// Every command prints what it did; `eval` prints SNR/PSNR/RMSE.
+// Every command prints what it did; `eval` prints SNR/PSNR/RMSE. `serve`
+// speaks the line-delimited JSON protocol of vf/serve/wire.hpp on stdin
+// (or, with --serve-port, to concurrent TCP clients):
+//   {"id": 1, "points": [[0.5, 0.5, 0.5]]}     -> point query
+//   {"id": 2, "cmd": "stats"}                  -> service counters
+//   {"id": 3, "cmd": "shutdown"}               -> stop serving
+//
+// Flag spellings follow --<noun>-<verb(or qualifier)> form; the pre-rename
+// spellings (--t, --max-rows, --no-gradients, --case2, --fallback) still
+// work for one release and print a deprecation note on stderr.
 //
 // Observability (all commands): --metrics-out FILE writes the vf::obs
 // metrics registry (counters/gauges/histograms + aggregated span tree) as
@@ -31,22 +45,34 @@
 // loads N times total on transient I/O errors with exponential backoff
 // starting at --retry-delay-ms M (default 50). `reconstruct --model` never
 // hard-fails on a rotten model or cloud: bad samples are scrubbed, a
-// missing/corrupt model degrades to the classical --fallback method, and
+// missing/corrupt model degrades to the classical --fallback-method, and
 // the degradation report is printed.
 
+#include <atomic>
+#include <chrono>
 #include <cstdio>
+#include <iostream>
 #include <stdexcept>
 #include <string>
+#include <thread>
 #include <utility>
+#include <vector>
 
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "vf/api/reconstruct.hpp"
 #include "vf/core/fcnn.hpp"
 #include "vf/core/resilient.hpp"
 #include "vf/data/registry.hpp"
 #include "vf/field/metrics.hpp"
 #include "vf/field/vtk_io.hpp"
-#include "vf/interp/reconstructor.hpp"
 #include "vf/obs/obs.hpp"
 #include "vf/sampling/samplers.hpp"
+#include "vf/serve/service.hpp"
+#include "vf/serve/wire.hpp"
 #include "vf/util/atomic_io.hpp"
 #include "vf/util/cli.hpp"
 #include "vf/util/timer.hpp"
@@ -59,8 +85,8 @@ using namespace vf;
   std::fprintf(stderr, "vfctl: %s\n", why);
   std::fprintf(stderr,
                "usage: vfctl <generate|sample|train|finetune|reconstruct|"
-               "eval> [options]\n       (see tools/vfctl.cpp header for the "
-               "full option list)\n");
+               "eval|serve> [options]\n       (see tools/vfctl.cpp header for "
+               "the full option list)\n");
   std::exit(2);
 }
 
@@ -88,8 +114,8 @@ core::FcnnConfig config_from(const util::Cli& cli) {
   core::FcnnConfig cfg;
   cfg.epochs = cli.get_int("epochs", 60);
   cfg.max_train_rows =
-      static_cast<std::size_t>(cli.get_int("max-rows", 20000));
-  cfg.with_gradients = !cli.get_bool("no-gradients", false);
+      static_cast<std::size_t>(cli.get_int("rows-max", 20000));
+  cfg.with_gradients = !cli.get_bool("gradients-off", false);
   cfg.seed = static_cast<std::uint64_t>(cli.get_int("seed", 42));
   cfg.checkpoint_dir = cli.get("checkpoint-dir", "");
   cfg.checkpoint_every = cli.get_int("checkpoint-every", 1);
@@ -116,7 +142,7 @@ int cmd_generate(const util::Cli& cli) {
   auto ds = data::make_dataset(cli.get("dataset", "hurricane"),
                                static_cast<std::uint64_t>(cli.get_int("seed", 0)));
   auto dims = parse_dims(cli.get("dims", "125x125x25"));
-  double t = cli.get_double("t", 0.0);
+  double t = cli.get_double("timestep", 0.0);
   auto truth = ds->generate(dims, t);
   auto out = require(cli, "out");
   field::write_vti(truth, out);
@@ -166,7 +192,7 @@ int cmd_finetune(const util::Cli& cli) {
   auto truth = read_vti_retry(cli, require(cli, "in"));
   auto sampler = make_sampler(cli.get("sampler", "importance"));
   auto cfg = config_from(cli);
-  auto mode = cli.get_bool("case2", false)
+  auto mode = cli.get_bool("finetune-case2", false)
                   ? core::FineTuneMode::LastTwoLayers
                   : core::FineTuneMode::FullNetwork;
   int epochs = cli.get_int("epochs", mode == core::FineTuneMode::FullNetwork
@@ -189,26 +215,185 @@ int cmd_reconstruct(const util::Cli& cli) {
   auto like = read_vti_retry(cli, require(cli, "like"));
   auto out = require(cli, "out");
 
-  util::Timer timer;
-  field::ScalarField recon;
+  // Everything routes through the vf::api facade: the FCNN path runs in
+  // resilient mode (scrub rotten samples, degrade per point or — when the
+  // model file is unusable — wholesale to the classical fallback, and say
+  // so, instead of dying mid-campaign).
+  api::ReconstructOptions ropts;
   if (cli.has("model")) {
-    // Resilient path: scrub rotten samples, degrade per point or (when the
-    // model file is unusable) wholesale to the classical fallback — and say
-    // so, instead of dying mid-campaign.
-    core::ReconstructReport report;
-    recon = core::reconstruct_resilient(
-        cli.get("model", ""), cloud, like.grid(), report,
-        core::fallback_method_from(cli.get("fallback", "shepard")));
-    if (!report.clean()) std::printf("%s\n", report.summary().c_str());
+    ropts.model_path = cli.get("model", "");
+    ropts.resilient = true;
+    ropts.fallback =
+        core::fallback_method_from(cli.get("fallback-method", "shepard"));
   } else {
-    auto rec = interp::make_reconstructor(cli.get("method", "linear"));
-    recon = rec->reconstruct(cloud, like.grid());
+    ropts.method = api::method_from_name(cli.get("method", "linear"));
   }
-  double seconds = timer.seconds();
+  api::Reconstructor reconstructor(ropts);
+  auto result = reconstructor.reconstruct(cloud, like.grid());
+  if (!result.report.clean()) {
+    std::printf("%s\n", result.report.summary().c_str());
+  }
+  field::ScalarField recon = std::move(result.field);
+  double seconds = result.stats.seconds;
   recon.set_name(like.name());
   field::write_vti(recon, out);
   std::printf("reconstructed %s in %.2fs -> %s\n",
               like.grid().describe().c_str(), seconds, out.c_str());
+  return 0;
+}
+
+/// Serve one protocol line; sets `stop` on a shutdown command.
+std::string handle_serve_line(serve::Service& service,
+                              const std::string& default_key,
+                              const std::string& line,
+                              std::atomic<bool>& stop) {
+  serve::wire::Request req;
+  std::string error;
+  if (!serve::wire::parse_request(line, req, error)) {
+    return serve::wire::status_response(req.id, "error", error);
+  }
+  if (req.cmd == "stats") {
+    return serve::wire::stats_response(req.id, service.stats());
+  }
+  if (req.cmd == "shutdown") {
+    stop.store(true);
+    return serve::wire::status_response(req.id, "ok", "shutting down");
+  }
+  if (!req.cmd.empty()) {
+    return serve::wire::status_response(req.id, "error",
+                                        "unknown cmd '" + req.cmd + "'");
+  }
+  const std::string& key = req.key.empty() ? default_key : req.key;
+  try {
+    auto future = service.submit(key, std::move(req.points));
+    if (!future) return serve::wire::status_response(req.id, "overloaded");
+    return serve::wire::ok_response(req.id, future->get());
+  } catch (const std::exception& e) {
+    return serve::wire::status_response(req.id, "error", e.what());
+  }
+}
+
+/// Thread body for one TCP client: newline-framed requests in, one
+/// response line per request out.
+void serve_tcp_client(serve::Service& service, const std::string& default_key,
+                      int fd, std::atomic<bool>& stop) {
+  std::string buffer;
+  char chunk[4096];
+  while (!stop.load()) {
+    const ssize_t n = ::read(fd, chunk, sizeof chunk);
+    if (n <= 0) break;
+    buffer.append(chunk, static_cast<std::size_t>(n));
+    std::size_t at = 0;
+    for (std::size_t nl = buffer.find('\n', at); nl != std::string::npos;
+         at = nl + 1, nl = buffer.find('\n', at)) {
+      const std::string line = buffer.substr(at, nl - at);
+      if (line.empty()) continue;
+      std::string resp = handle_serve_line(service, default_key, line, stop);
+      resp += '\n';
+      std::size_t sent = 0;
+      while (sent < resp.size()) {
+        const ssize_t w = ::write(fd, resp.data() + sent, resp.size() - sent);
+        if (w <= 0) {
+          ::close(fd);
+          return;
+        }
+        sent += static_cast<std::size_t>(w);
+      }
+    }
+    buffer.erase(0, at);
+  }
+  ::close(fd);
+}
+
+int serve_tcp(serve::Service& service, const std::string& default_key,
+              int port) {
+  const int listener = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listener < 0) {
+    std::fprintf(stderr, "vfctl serve: socket() failed\n");
+    return 1;
+  }
+  const int one = 1;
+  ::setsockopt(listener, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  // vf-lint: allow(cast) POSIX sockaddr_in -> sockaddr aliasing for bind()
+  if (::bind(listener, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof addr) != 0 ||
+      ::listen(listener, 16) != 0) {
+    std::fprintf(stderr, "vfctl serve: cannot listen on port %d\n", port);
+    ::close(listener);
+    return 1;
+  }
+  std::printf("listening on 127.0.0.1:%d\n", port);
+  std::fflush(stdout);
+
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> clients;
+  while (!stop.load()) {
+    pollfd pfd{listener, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, 200 /*ms*/);
+    if (ready <= 0) continue;  // timeout: recheck stop
+    const int fd = ::accept(listener, nullptr, nullptr);
+    if (fd < 0) continue;
+    clients.emplace_back(serve_tcp_client, std::ref(service),
+                         std::cref(default_key), fd, std::ref(stop));
+  }
+  ::close(listener);
+  for (auto& c : clients) {
+    if (c.joinable()) c.join();
+  }
+  return 0;
+}
+
+int cmd_serve(const util::Cli& cli) {
+  serve::ServiceOptions opts;
+  opts.workers = static_cast<std::size_t>(cli.get_int("serve-workers", 2));
+  opts.batch_max_points =
+      static_cast<std::size_t>(cli.get_int("batch-max", 512));
+  opts.batch_deadline =
+      std::chrono::microseconds(cli.get_int("batch-deadline-us", 200));
+  opts.queue_max = static_cast<std::size_t>(cli.get_int("queue-max", 256));
+  opts.registry.max_models =
+      static_cast<std::size_t>(cli.get_int("registry-max-models", 4));
+  opts.registry.max_bytes =
+      static_cast<std::size_t>(cli.get_int("registry-budget-mb", 0)) << 20;
+
+  auto cloud = load_with_retries(
+      cli, [&] { return sampling::SampleCloud::load_vtp(require(cli, "cloud")); });
+  const std::string key = cli.get("key", "default");
+  const std::string model_path = require(cli, "model");
+
+  serve::Service service(opts);
+  service.add_session(key, cloud, model_path);
+  std::printf("serving session '%s' (%zu samples, model %s) with %zu "
+              "workers, batch<=%zu pts, deadline %lldus\n",
+              key.c_str(), cloud.size(), model_path.c_str(), opts.workers,
+              opts.batch_max_points,
+              static_cast<long long>(opts.batch_deadline.count()));
+  std::fflush(stdout);
+
+  if (cli.has("serve-port")) {
+    return serve_tcp(service, key, cli.get_int("serve-port", 7777));
+  }
+  std::atomic<bool> stop{false};
+  std::string line;
+  while (!stop.load() && std::getline(std::cin, line)) {
+    if (line.empty()) continue;
+    const std::string resp = handle_serve_line(service, key, line, stop);
+    std::printf("%s\n", resp.c_str());
+    std::fflush(stdout);
+  }
+  service.stop();
+  const auto stats = service.stats();
+  std::fprintf(stderr,
+               "served %llu points in %llu batches (%llu shed, %llu "
+               "degraded)\n",
+               static_cast<unsigned long long>(stats.served_points),
+               static_cast<unsigned long long>(stats.batches),
+               static_cast<unsigned long long>(stats.shed),
+               static_cast<unsigned long long>(stats.degraded_points));
   return 0;
 }
 
@@ -247,10 +432,34 @@ void flush_observability(const util::Cli& cli) {
 
 }  // namespace
 
+namespace {
+
+/// Old flag spellings -> normalized --<noun>-<qualifier> form. Aliases keep
+/// working for one release; using one prints a deprecation note.
+constexpr struct {
+  const char* old_name;
+  const char* canonical;
+} kFlagAliases[] = {
+    {"t", "timestep"},
+    {"max-rows", "rows-max"},
+    {"no-gradients", "gradients-off"},
+    {"case2", "finetune-case2"},
+    {"fallback", "fallback-method"},
+};
+
+}  // namespace
+
 int main(int argc, char** argv) {
   if (argc < 2) usage("no command");
   std::string cmd = argv[1];
   util::Cli cli(argc - 1, argv + 1);
+  for (const auto& alias : kFlagAliases) {
+    if (cli.canonicalize(alias.old_name, alias.canonical)) {
+      std::fprintf(stderr,
+                   "vfctl: --%s is deprecated, use --%s\n", alias.old_name,
+                   alias.canonical);
+    }
+  }
   int rc = -1;
   try {
     if (cmd == "generate") rc = cmd_generate(cli);
@@ -259,6 +468,7 @@ int main(int argc, char** argv) {
     if (cmd == "finetune") rc = cmd_finetune(cli);
     if (cmd == "reconstruct") rc = cmd_reconstruct(cli);
     if (cmd == "eval") rc = cmd_eval(cli);
+    if (cmd == "serve") rc = cmd_serve(cli);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "vfctl %s: %s\n", cmd.c_str(), e.what());
     flush_observability(cli);
