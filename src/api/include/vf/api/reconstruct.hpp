@@ -145,6 +145,11 @@ class Reconstructor {
 
   /// Point mode: predict values at arbitrary positions
   /// (Auto/Fcnn/FcnnStream/Shepard/Nearest; mesh interpolators throw).
+  /// The scrubbed cloud and its k-d tree are cached between calls, keyed
+  /// on the cloud's points/values buffer addresses and size (the core
+  /// engines' binding convention). Mutating a bound cloud's coordinates
+  /// or values IN PLACE between calls is not detected — pass a freshly
+  /// allocated cloud to rebind.
   [[nodiscard]] ReconstructResult reconstruct_points(
       const vf::sampling::SampleCloud& cloud,
       const std::vector<vf::field::Vec3>& points);

@@ -103,6 +103,7 @@ struct Reconstructor::Impl {
   SampleCloud bound;
   vf::spatial::KdTree tree;
   const void* cloud_key = nullptr;
+  const void* values_key = nullptr;
   std::size_t cloud_count = 0;
   std::size_t scrub_nonfinite = 0;
   std::size_t scrub_duplicates = 0;
@@ -206,13 +207,19 @@ ReconstructResult Reconstructor::reconstruct_points(
   result.report.input_points = cloud.size();
 
   // Bind the cloud: scrub once, build the tree once, reuse across calls.
+  // Keyed on both buffer addresses + size so a different cloud reusing
+  // the points allocation still rebinds; in-place mutation of a bound
+  // cloud stays undetected (documented on reconstruct_points).
   const void* key = static_cast<const void*>(cloud.points().data());
-  if (key != impl_->cloud_key || cloud.size() != impl_->cloud_count) {
+  const void* vkey = static_cast<const void*>(cloud.values().data());
+  if (key != impl_->cloud_key || vkey != impl_->values_key ||
+      cloud.size() != impl_->cloud_count) {
     VF_OBS_SPAN("tree_build");
     impl_->bound =
         cloud.scrubbed(impl_->scrub_nonfinite, impl_->scrub_duplicates);
     impl_->tree = vf::spatial::KdTree(impl_->bound.points());
     impl_->cloud_key = key;
+    impl_->values_key = vkey;
     impl_->cloud_count = cloud.size();
   }
   result.report.scrubbed_nonfinite = impl_->scrub_nonfinite;

@@ -49,7 +49,10 @@ class ModelRegistry {
   explicit ModelRegistry(RegistryOptions options = {});
 
   /// Register `key` -> model file. Does not load. Re-registering an
-  /// existing key updates the path and drops any resident model.
+  /// existing key updates the path, drops any resident model, and
+  /// invalidates in-flight loads of the old path (their results are
+  /// discarded on completion, never installed under the new
+  /// registration).
   void add(const std::string& key, const std::string& path);
 
   /// True when `key` has been registered.
@@ -59,7 +62,9 @@ class ModelRegistry {
   /// concurrent cold resolves of one key share a single load). Bumps the
   /// LRU position and evicts over-budget models. Throws
   /// std::invalid_argument for unregistered keys and propagates load
-  /// errors (missing/corrupt file, fault-injected "model_read" failures).
+  /// errors (missing/corrupt file, fault-injected "model_read" failures,
+  /// or a loadable model whose normaliser shapes don't match the
+  /// kFeatureDim feature pipeline).
   [[nodiscard]] std::shared_ptr<const vf::core::FcnnModel> resolve(
       const std::string& key);
 
@@ -74,6 +79,9 @@ class ModelRegistry {
     std::shared_future<ModelPtr> loading;  // valid while a load is in flight
     std::list<std::string>::iterator lru{};  // valid while resident
     std::size_t bytes = 0;
+    /// Bumped by add() on re-registration; a load completing under a
+    /// stale generation discards its result instead of installing it.
+    std::uint64_t generation = 0;
   };
 
   /// Evict LRU tails until budgets hold (requires mu_ held).

@@ -81,7 +81,10 @@ class Service {
   /// Bind `cloud` under `key`: the cloud is scrubbed and indexed now
   /// (amortised across every later query), and `model_path` is registered
   /// with the model registry under the same key. Rebinding a key replaces
-  /// the session for subsequent queries.
+  /// the session for subsequent queries. Throws std::invalid_argument
+  /// when fewer than kNeighbors usable samples survive scrubbing — a
+  /// cloud too small for k-NN features must fail at bind time, not crash
+  /// a worker on the first query.
   void add_session(const std::string& key,
                    const vf::sampling::SampleCloud& cloud,
                    const std::string& model_path);

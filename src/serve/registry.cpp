@@ -1,8 +1,10 @@
 #include "vf/serve/registry.hpp"
 
 #include <stdexcept>
+#include <string>
 #include <utility>
 
+#include "vf/core/features.hpp"
 #include "vf/obs/obs.hpp"
 
 namespace vf::serve {
@@ -15,13 +17,20 @@ void ModelRegistry::add(const std::string& key, const std::string& path) {
   const std::lock_guard<std::mutex> lock(mu_);
   auto [it, inserted] = entries_.try_emplace(key);
   Entry& e = it->second;
-  if (!inserted && e.model) {
-    // Drop the resident model: the path (and thus the bytes) may differ.
-    lru_.erase(e.lru);
-    stats_.resident_bytes -= e.bytes;
-    --stats_.resident_models;
-    e.model.reset();
-    e.bytes = 0;
+  if (!inserted) {
+    // Invalidate everything tied to the old registration: drop the
+    // resident model, orphan any in-flight load (bumping the generation
+    // makes its completion discard the stale result instead of installing
+    // a model from the old path), and let new resolvers load fresh.
+    if (e.model) {
+      lru_.erase(e.lru);
+      stats_.resident_bytes -= e.bytes;
+      --stats_.resident_models;
+      e.model.reset();
+      e.bytes = 0;
+    }
+    e.loading = {};
+    ++e.generation;
   }
   e.path = path;
 }
@@ -60,6 +69,7 @@ std::shared_ptr<const vf::core::FcnnModel> ModelRegistry::resolve(
   std::shared_future<ModelPtr> pending;
   std::promise<ModelPtr> mine;
   std::string path;
+  std::uint64_t generation = 0;
   {
     std::unique_lock<std::mutex> lock(mu_);
     auto it = entries_.find(key);
@@ -77,6 +87,7 @@ std::shared_ptr<const vf::core::FcnnModel> ModelRegistry::resolve(
     } else {  // cold: this thread loads outside the lock
       e.loading = mine.get_future().share();
       path = e.path;
+      generation = e.generation;
     }
   }
   if (pending.valid()) {
@@ -87,11 +98,25 @@ std::shared_ptr<const vf::core::FcnnModel> ModelRegistry::resolve(
   try {
     loaded = std::make_shared<const vf::core::FcnnModel>(
         vf::core::FcnnModel::load(path));
+    // A loadable file whose normaliser shapes don't match the feature
+    // pipeline would only blow up later, inside a worker's inference —
+    // reject it here so callers degrade exactly as for a corrupt file.
+    if (loaded->in_norm.mean.size() !=
+            static_cast<std::size_t>(vf::core::kFeatureDim) ||
+        loaded->out_norm.mean.empty() || loaded->out_norm.stddev.empty()) {
+      throw std::runtime_error(
+          "ModelRegistry: model '" + path + "' is incompatible with the " +
+          std::to_string(vf::core::kFeatureDim) + "-dim feature pipeline");
+    }
   } catch (...) {
     {
       const std::lock_guard<std::mutex> lock(mu_);
       auto it = entries_.find(key);
-      if (it != entries_.end()) it->second.loading = {};
+      // Only clear our own load; add() may have re-registered the key
+      // (and a newer load may own e.loading now).
+      if (it != entries_.end() && it->second.generation == generation) {
+        it->second.loading = {};
+      }
       ++stats_.load_failures;
     }
     mine.set_exception(std::current_exception());
@@ -101,7 +126,10 @@ std::shared_ptr<const vf::core::FcnnModel> ModelRegistry::resolve(
   {
     const std::lock_guard<std::mutex> lock(mu_);
     auto it = entries_.find(key);
-    if (it != entries_.end()) {
+    // Skip installation when add() re-registered the key mid-load: this
+    // result came from the superseded path and must not be served as the
+    // new registration's model. Our direct waiters still get it below.
+    if (it != entries_.end() && it->second.generation == generation) {
       Entry& e = it->second;
       e.model = loaded;
       e.bytes = loaded->memory_bytes();

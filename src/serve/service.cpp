@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "vf/api/reconstruct.hpp"
+#include "vf/core/features.hpp"
 #include "vf/core/resilient.hpp"
 #include "vf/obs/obs.hpp"
 
@@ -53,6 +54,13 @@ void Service::add_session(const std::string& key,
   auto session = std::make_shared<Session>();
   std::size_t nonfinite = 0, duplicates = 0;
   session->cloud = cloud.scrubbed(nonfinite, duplicates);
+  if (session->cloud.size() < static_cast<std::size_t>(vf::core::kNeighbors)) {
+    throw std::invalid_argument(
+        "vf::serve: session '" + key + "' has " +
+        std::to_string(session->cloud.size()) +
+        " usable samples after scrubbing; need >= " +
+        std::to_string(vf::core::kNeighbors) + " for k-NN features");
+  }
   session->tree = vf::spatial::KdTree(session->cloud.points());
   session->values = session->cloud.values();
   registry_.add(key, model_path);
@@ -102,7 +110,15 @@ void Service::worker_loop() {
   std::vector<PointRequest> batch;
   while (queue_.pop_batch(batch, options_.batch_max_points,
                           options_.batch_deadline)) {
-    serve_batch(batch, scratch);
+    // serve_batch degrades or fails each request's promise itself; this
+    // guard is the last line of defence — an exception escaping a worker
+    // std::thread would std::terminate the whole process. Unfulfilled
+    // promises surface to waiters as broken_promise when `batch` is
+    // cleared by the next pop.
+    try {
+      serve_batch(batch, scratch);
+    } catch (...) {
+    }
   }
 }
 
@@ -151,23 +167,41 @@ void Service::serve_batch(std::vector<PointRequest>& batch,
   std::size_t degraded_total = 0;
   bool classical = false;
   if (model) {
-    VF_OBS_SPAN("serve/infer");
-    degraded_total = vf::api::predict_points(
-        *model, session->tree, session->values, scratch.points.data(), total,
-        scratch.out.data(), scratch.infer, options_.repair_neighbors,
-        &scratch.repaired);
-  } else {
-    VF_OBS_SPAN("serve/classical_fallback");
-    VF_OBS_COUNT("serve.fallback_batches", 1);
-    classical = true;
-    fallback_batches_.fetch_add(1, std::memory_order_relaxed);
-    for (std::size_t i = 0; i < total; ++i) {
-      scratch.out[i] =
-          vf::core::shepard_estimate(session->tree, session->values,
-                                     scratch.points[i],
-                                     options_.repair_neighbors);
+    // Inference can throw even with a resolvable model (e.g. a scratch
+    // allocation failure); degrade the batch like a load failure instead
+    // of letting the exception escape the worker thread.
+    try {
+      VF_OBS_SPAN("serve/infer");
+      degraded_total = vf::api::predict_points(
+          *model, session->tree, session->values, scratch.points.data(), total,
+          scratch.out.data(), scratch.infer, options_.repair_neighbors,
+          &scratch.repaired);
+    } catch (const std::exception&) {
+      model = nullptr;
+      scratch.repaired.clear();
     }
-    degraded_total = total;
+  }
+  if (!model) {
+    try {
+      VF_OBS_SPAN("serve/classical_fallback");
+      VF_OBS_COUNT("serve.fallback_batches", 1);
+      classical = true;
+      fallback_batches_.fetch_add(1, std::memory_order_relaxed);
+      for (std::size_t i = 0; i < total; ++i) {
+        scratch.out[i] =
+            vf::core::shepard_estimate(session->tree, session->values,
+                                       scratch.points[i],
+                                       options_.repair_neighbors);
+      }
+      degraded_total = total;
+    } catch (...) {
+      // Even the fallback failed: fail the requests honestly. No promise
+      // has been fulfilled yet (that happens only in the slicing loop
+      // below), so set_exception cannot double-set.
+      const auto err = std::current_exception();
+      for (auto& req : batch) req.promise.set_exception(err);
+      return;
+    }
   }
   degraded_points_.fetch_add(degraded_total, std::memory_order_relaxed);
 

@@ -157,6 +157,24 @@ TEST_F(Registry, FailedLoadPropagatesAndStaysRetryable) {
   EXPECT_GT(model->net.parameter_count(), 0u);
 }
 
+TEST_F(Registry, RejectsALoadableButIncompatibleModel) {
+  // Valid file, wrong feature width: resolve must fail like a corrupt
+  // file (so serve degrades to classical) instead of handing workers a
+  // model whose Normalizer::apply throws mid-inference.
+  auto bad = tiny_model(1);
+  bad.in_norm.mean.assign(vf::core::kFeatureDim + 2, 0.0);
+  bad.in_norm.stddev.assign(vf::core::kFeatureDim + 2, 1.0);
+  const std::string path = (dir_ / "incompatible.vfmd").string();
+  bad.save(path);
+
+  ModelRegistry reg;
+  reg.add("bad", path);
+  EXPECT_THROW((void)reg.resolve("bad"), std::runtime_error);
+  auto stats = reg.stats();
+  EXPECT_EQ(stats.load_failures, 1u);
+  EXPECT_EQ(stats.resident_models, 0u);
+}
+
 TEST_F(Registry, ReRegisteringDropsTheResidentModel) {
   ModelRegistry reg;
   reg.add("a", save_model("a", 1));
@@ -165,6 +183,33 @@ TEST_F(Registry, ReRegisteringDropsTheResidentModel) {
   auto second = reg.resolve("a");
   EXPECT_NE(first.get(), second.get());
   EXPECT_EQ(reg.stats().loads, 2u);
+}
+
+TEST_F(Registry, ReRegisteringMidLoadNeverInstallsTheStaleModel) {
+  auto old_model = tiny_model(1);
+  old_model.dataset = "old";
+  const std::string old_path = (dir_ / "old.vfmd").string();
+  old_model.save(old_path);
+  auto new_model = tiny_model(2);
+  new_model.dataset = "new";
+  const std::string new_path = (dir_ / "new.vfmd").string();
+  new_model.save(new_path);
+
+  // Race a cold resolve of the old path against re-registration. Whatever
+  // the interleaving — resolve completes first (resident model dropped by
+  // add), load in flight (generation mismatch discards the result), or
+  // resolve starts after add (loads the new path) — the new registration
+  // must never serve the old path's model.
+  for (int round = 0; round < 25; ++round) {
+    ModelRegistry reg;
+    reg.add("k", old_path);
+    std::thread loader([&reg] { (void)reg.resolve("k"); });
+    reg.add("k", new_path);
+    loader.join();
+    auto model = reg.resolve("k");
+    ASSERT_NE(model, nullptr);
+    EXPECT_EQ(model->dataset, "new");
+  }
 }
 
 TEST_F(Registry, ConcurrentColdResolversShareOneLoad) {

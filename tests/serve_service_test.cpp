@@ -202,6 +202,35 @@ TEST_F(ServiceTest, FallsBackToClassicalWhenTheModelCannotLoad) {
   EXPECT_EQ(stats.registry.load_failures, 1u);
 }
 
+TEST_F(ServiceTest, AddSessionRejectsACloudTooSmallForFeatures) {
+  Service service;
+  // Fewer than kNeighbors usable samples must fail at bind time instead
+  // of blowing up feature extraction inside a worker on the first query.
+  SampleCloud tiny({{0, 0, 0}, {1, 0, 0}, {0, 1, 0}}, {1.0, 2.0, 3.0});
+  EXPECT_THROW(service.add_session("t0", tiny, model_path_),
+               std::invalid_argument);
+  EXPECT_FALSE(service.has_session("t0"));
+}
+
+TEST_F(ServiceTest, DegradesToClassicalWhenTheModelIsIncompatible) {
+  // Loadable file, wrong feature width: the registry must reject it at
+  // resolve time and the batch must fall back classically — previously
+  // Normalizer::apply threw inside the worker and terminated the process.
+  auto bad = tiny_model();
+  bad.in_norm.mean.assign(vf::core::kFeatureDim + 2, 0.0);
+  bad.in_norm.stddev.assign(vf::core::kFeatureDim + 2, 1.0);
+  const std::string bad_path = (dir_ / "incompatible.vfmd").string();
+  bad.save(bad_path);
+
+  Service service;
+  service.add_session("t0", test_cloud(), bad_path);
+  auto resp = service.query("t0", {{1.0, 1.0, 1.0}});
+  ASSERT_EQ(resp.values.size(), 1u);
+  EXPECT_EQ(resp.fallback, "classical");
+  EXPECT_TRUE(std::isfinite(resp.values[0]));
+  EXPECT_GE(service.stats().registry.load_failures, 1u);
+}
+
 TEST_F(ServiceTest, RebindingASessionReplacesIt) {
   Service service;
   service.add_session("t0", test_cloud(), model_path_);

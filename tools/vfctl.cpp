@@ -280,6 +280,12 @@ void serve_tcp_client(serve::Service& service, const std::string& default_key,
   std::string buffer;
   char chunk[4096];
   while (!stop.load()) {
+    // Poll with a timeout instead of blocking in read(): an idle client
+    // must not pin this thread past shutdown (serve_tcp joins us).
+    pollfd pfd{fd, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, 200 /*ms*/);
+    if (ready < 0) break;
+    if (ready == 0) continue;  // timeout: recheck stop
     const ssize_t n = ::read(fd, chunk, sizeof chunk);
     if (n <= 0) break;
     buffer.append(chunk, static_cast<std::size_t>(n));
