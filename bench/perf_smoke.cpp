@@ -30,6 +30,7 @@
 #include "vf/obs/obs.hpp"
 #include "vf/sampling/samplers.hpp"
 #include "vf/serve/service.hpp"
+#include "vf/spatial/grid_hash.hpp"
 #include "vf/spatial/kdtree.hpp"
 #include "vf/util/cli.hpp"
 #include "vf/util/rng.hpp"
@@ -152,6 +153,29 @@ int main(int argc, char** argv) {
                              static_cast<double>(queries), repeat, [&] {
                                for (const auto& q : qs) tree.knn(q, 5, buf);
                              }));
+
+    // Grid-hash batched 5-NN over grid-ordered queries — the engines'
+    // dense-sweep workload, where the cell sweep amortises candidate
+    // gathering across adjacent queries.
+    const vf::spatial::GridHashIndex grid_index(pts);
+    std::vector<Vec3> sweep;
+    sweep.reserve(50 * 50 * 40);
+    for (int z = 0; z < 40; ++z) {
+      for (int y = 0; y < 50; ++y) {
+        for (int x = 0; x < 50; ++x) {
+          sweep.push_back({x / 49.0, y / 49.0, z / 39.0});
+        }
+      }
+    }
+    std::vector<std::uint32_t> nidx(sweep.size() * 5);
+    std::vector<double> nd2(sweep.size() * 5);
+    rec.set_metric(
+        "neighbor_queries_per_second",
+        run_phase(rec, "grid_hash_knn5_100k",
+                  static_cast<double>(sweep.size()), repeat, [&] {
+                    grid_index.knn_batch(sweep.data(), sweep.size(), 5,
+                                         nidx.data(), nd2.data());
+                  }));
   }
 
   // Shared reconstruction scene: hurricane 48x48x12, 2% importance samples.
@@ -188,11 +212,27 @@ int main(int argc, char** argv) {
                              }));
   }
 
-  {  // Whole-grid FCNN reconstruction (feature matrix materialised once).
+  {  // Whole-grid FCNN reconstruction, production fast path: grid-hash
+    // neighbour index (Auto resolves to it for the dense sweep) + fp16
+    // packed-GEMM inference. The SNR guardrail suite bounds its quality.
+    vf::core::ReconstructOptions fast;
+    fast.quant = vf::nn::QuantPolicy::Fp16;
     // vf-lint: allow(api-facade) benchmarks the engine directly
-    vf::core::FcnnReconstructor frec(paper_arch_model());
+    vf::core::FcnnReconstructor frec(paper_arch_model(), fast);
     rec.set_metric("fcnn_points_per_second",
                    run_phase(rec, "fcnn_reconstruct_48", points, repeat,
+                             [&] {
+                               auto f = frec.reconstruct(cloud, truth.grid());
+                               if (f.size() != truth.size()) std::abort();
+                             }));
+  }
+
+  {  // Whole-grid FCNN reconstruction, exact fp64 path (kept gated so the
+    // fast path can never silently replace a regressed exact path).
+    // vf-lint: allow(api-facade) benchmarks the engine directly
+    vf::core::FcnnReconstructor frec(paper_arch_model());
+    rec.set_metric("fcnn_fp64_points_per_second",
+                   run_phase(rec, "fcnn_reconstruct_fp64_48", points, repeat,
                              [&] {
                                auto f = frec.reconstruct(cloud, truth.grid());
                                if (f.size() != truth.size()) std::abort();

@@ -29,11 +29,13 @@
 #include "vf/core/options.hpp"
 #include "vf/core/report.hpp"
 #include "vf/core/resilient.hpp"
+#include "vf/core/features.hpp"
 #include "vf/field/scalar_field.hpp"
 #include "vf/interp/reconstructor.hpp"
 #include "vf/nn/network.hpp"
+#include "vf/nn/quant.hpp"
 #include "vf/sampling/sample_cloud.hpp"
-#include "vf/spatial/kdtree.hpp"
+#include "vf/spatial/neighbor_index.hpp"
 
 namespace vf::api {
 
@@ -100,30 +102,36 @@ struct ReconstructRequest {
 };
 
 /// Reusable per-thread scratch for predict_points (feature matrix,
-/// activation ping-pong, neighbour staging). One per worker thread.
+/// activation ping-pong, SoA neighbour staging, quantized staging). One per
+/// worker thread.
 struct PointScratch {
   vf::nn::Matrix X;
   vf::nn::Matrix Y;
   vf::nn::InferScratch infer;
+  vf::core::FeatureScratch features;
+  vf::nn::QuantScratch quant;
 };
 
 /// Low-level point-prediction kernel shared by the facade's point mode and
-/// the vf::serve micro-batcher: features against a prebuilt tree over the
-/// (already scrubbed) samples, normalisation, fused inference, scalar
-/// de-normalisation into `out`, and per-point Shepard repair of non-finite
-/// outputs. Returns the number of repaired (degraded) points; when
-/// `repaired_rows` is given the row index of every repair is appended to
-/// it (the micro-batcher slices these back onto individual requests).
+/// the vf::serve micro-batcher: features against a prebuilt neighbour index
+/// over the (already scrubbed) samples, normalisation, fused inference,
+/// scalar de-normalisation into `out`, and per-point Shepard repair of
+/// non-finite outputs. Returns the number of repaired (degraded) points;
+/// when `repaired_rows` is given the row index of every repair is appended
+/// to it (the micro-batcher slices these back onto individual requests).
+/// When `qnet` is non-null (and quantized), inference runs the packed
+/// single-precision GEMM instead of the fp64 Network path.
 /// Thread-safe for concurrent calls with distinct `scratch`/`out`;
 /// respects the caller's OpenMP context (call with a 1-thread ICV for
 /// serial serving).
 std::size_t predict_points(const vf::core::FcnnModel& model,
-                           const vf::spatial::KdTree& tree,
+                           const vf::spatial::NeighborIndex& index,
                            const std::vector<double>& values,
                            const vf::field::Vec3* points, std::size_t count,
                            double* out, PointScratch& scratch,
                            int repair_neighbors = 5,
-                           std::vector<std::size_t>* repaired_rows = nullptr);
+                           std::vector<std::size_t>* repaired_rows = nullptr,
+                           const vf::nn::QuantizedNetwork* qnet = nullptr);
 
 /// The stateful facade. Construction is cheap; the model load, the
 /// scrubbed-cloud k-d tree, and the concrete engine are created lazily and

@@ -61,15 +61,21 @@ bool is_fcnn(Method m) {
 }  // namespace
 
 std::size_t predict_points(const FcnnModel& model,
-                           const vf::spatial::KdTree& tree,
+                           const vf::spatial::NeighborIndex& index,
                            const std::vector<double>& values,
                            const Vec3* points, std::size_t count, double* out,
                            PointScratch& scratch, int repair_neighbors,
-                           std::vector<std::size_t>* repaired_rows) {
+                           std::vector<std::size_t>* repaired_rows,
+                           const vf::nn::QuantizedNetwork* qnet) {
   if (count == 0) return 0;
-  vf::core::extract_features_into(tree, values, points, count, scratch.X);
+  vf::core::extract_features_into(index, values, points, count, scratch.X,
+                                  scratch.features);
   model.in_norm.apply(scratch.X);
-  model.net.infer(scratch.X, scratch.Y, scratch.infer);
+  if (qnet != nullptr && !qnet->empty()) {
+    qnet->infer(scratch.X, scratch.Y, scratch.quant);
+  } else {
+    model.net.infer(scratch.X, scratch.Y, scratch.infer);
+  }
   const double scale = model.out_norm.stddev[0];
   const double shift = model.out_norm.mean[0];
   std::size_t degraded = 0;
@@ -78,7 +84,7 @@ std::size_t predict_points(const FcnnModel& model,
     if (std::isfinite(y)) {
       out[i] = y;
     } else {
-      out[i] = vf::core::shepard_estimate(tree, values, points[i],
+      out[i] = vf::core::shepard_estimate(index, values, points[i],
                                           repair_neighbors);
       ++degraded;
       if (repaired_rows != nullptr) repaired_rows->push_back(i);
@@ -98,16 +104,21 @@ struct Reconstructor::Impl {
   std::unique_ptr<vf::interp::Reconstructor> classical;
   vf::interp::Method classical_method{};
 
-  /// Point-mode cache: scrubbed cloud + tree, keyed like the core engines
-  /// on the source cloud's buffer identity.
+  /// Point-mode cache: scrubbed cloud + neighbour index, keyed like the
+  /// core engines on the source cloud's buffer identity.
   SampleCloud bound;
-  vf::spatial::KdTree tree;
+  std::unique_ptr<vf::spatial::NeighborIndex> index;
+  vf::spatial::IndexKind bound_kind = vf::spatial::IndexKind::Auto;
   const void* cloud_key = nullptr;
   const void* values_key = nullptr;
   std::size_t cloud_count = 0;
   std::size_t scrub_nonfinite = 0;
   std::size_t scrub_duplicates = 0;
   PointScratch scratch;
+
+  /// Quantized copy of the resolved model for the point-mode fast path,
+  /// built lazily on first use when engine options ask for it.
+  vf::nn::QuantizedNetwork qnet;
 };
 
 Reconstructor::Reconstructor(ReconstructOptions options)
@@ -156,7 +167,8 @@ ReconstructResult Reconstructor::reconstruct(const SampleCloud& cloud,
           "vf::api::Reconstructor: resilient mode needs model_path");
     }
     result.field = vf::core::reconstruct_resilient(
-        options_.model_path, cloud, grid, result.report, options_.fallback);
+        options_.model_path, cloud, grid, result.report, options_.fallback,
+        options_.engine);
     result.stats.method = "resilient";
   } else if (method == Method::Fcnn) {
     if (!impl_->full) {
@@ -206,18 +218,31 @@ ReconstructResult Reconstructor::reconstruct_points(
   ReconstructResult result;
   result.report.input_points = cloud.size();
 
-  // Bind the cloud: scrub once, build the tree once, reuse across calls.
+  // Bind the cloud: scrub once, build the index once, reuse across calls.
   // Keyed on both buffer addresses + size so a different cloud reusing
   // the points allocation still rebinds; in-place mutation of a bound
-  // cloud stays undetected (documented on reconstruct_points).
+  // cloud stays undetected (documented on reconstruct_points). The index
+  // kind follows engine options; Auto resolves against this call's query
+  // count and rebinds only when the selection flips.
   const void* key = static_cast<const void*>(cloud.points().data());
   const void* vkey = static_cast<const void*>(cloud.values().data());
-  if (key != impl_->cloud_key || vkey != impl_->values_key ||
-      cloud.size() != impl_->cloud_count) {
+  const bool same_cloud = key == impl_->cloud_key &&
+                          vkey == impl_->values_key &&
+                          cloud.size() == impl_->cloud_count;
+  vf::spatial::IndexKind want = options_.engine.index;
+  if (want == vf::spatial::IndexKind::Auto) {
+    want = vf::spatial::select_index_kind(
+        same_cloud ? impl_->bound.size() : cloud.size(), points.size());
+  }
+  if (!same_cloud || want != impl_->bound_kind || !impl_->index) {
     VF_OBS_SPAN("tree_build");
-    impl_->bound =
-        cloud.scrubbed(impl_->scrub_nonfinite, impl_->scrub_duplicates);
-    impl_->tree = vf::spatial::KdTree(impl_->bound.points());
+    if (!same_cloud) {
+      impl_->bound =
+          cloud.scrubbed(impl_->scrub_nonfinite, impl_->scrub_duplicates);
+    }
+    impl_->index = vf::spatial::build_index(impl_->bound.points(), want,
+                                            points.size());
+    impl_->bound_kind = want;
     impl_->cloud_key = key;
     impl_->values_key = vkey;
     impl_->cloud_count = cloud.size();
@@ -228,10 +253,18 @@ ReconstructResult Reconstructor::reconstruct_points(
 
   result.values.resize(points.size());
   if (is_fcnn(method)) {
+    const vf::nn::QuantizedNetwork* qnet = nullptr;
+    if (options_.engine.quant != vf::nn::QuantPolicy::None) {
+      if (impl_->qnet.empty()) {
+        impl_->qnet =
+            vf::nn::QuantizedNetwork(model().net, options_.engine.quant);
+      }
+      qnet = &impl_->qnet;
+    }
     const std::size_t degraded = predict_points(
-        model(), impl_->tree, values, points.data(), points.size(),
+        model(), *impl_->index, values, points.data(), points.size(),
         result.values.data(), impl_->scratch,
-        options_.engine.repair_neighbors);
+        options_.engine.repair_neighbors, nullptr, qnet);
     result.report.predicted_points = points.size() - degraded;
     result.report.degraded_points = degraded;
     if (degraded > 0) {
@@ -242,7 +275,7 @@ ReconstructResult Reconstructor::reconstruct_points(
     const int k = method == Method::Nearest ? 1 : vf::core::kNeighbors;
     for (std::size_t i = 0; i < points.size(); ++i) {
       result.values[i] =
-          vf::core::shepard_estimate(impl_->tree, values, points[i], k);
+          vf::core::shepard_estimate(*impl_->index, values, points[i], k);
     }
     result.report.predicted_points = points.size();
   }

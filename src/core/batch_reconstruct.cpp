@@ -26,12 +26,14 @@ struct TileScratch {
   vf::nn::Matrix X;
   vf::nn::Matrix Y;
   vf::nn::InferScratch infer;
+  FeatureScratch features;
+  vf::nn::QuantScratch quant;
 
   [[nodiscard]] std::size_t element_count() const {
-    // Vec3 counts as 3 doubles; neighbour staging inside
-    // extract_features_into is O(k) and ignored.
+    // Vec3 counts as 3 doubles.
     return 3 * queries.capacity() + X.size() + Y.size() +
-           infer.element_count();
+           infer.element_count() + features.element_count() +
+           quant.element_count();
   }
 };
 
@@ -41,10 +43,16 @@ BatchReconstructor::BatchReconstructor(FcnnModel model,
                                        const ReconstructOptions& opts)
     : model_(std::move(model)),
       tile_(std::max<std::size_t>(1, opts.tile_size)),
-      repair_neighbors_(std::max(1, opts.repair_neighbors)) {
+      repair_neighbors_(std::max(1, opts.repair_neighbors)),
+      quant_(opts.quant),
+      index_kind_opt_(opts.index) {
   if (model_.out_norm.mean.empty() || model_.in_norm.mean.empty()) {
     throw std::invalid_argument(
         "BatchReconstructor: model is missing normalisation constants");
+  }
+  if (quant_ != vf::nn::QuantPolicy::None) {
+    // Quantize once; tiles share the immutable packed weights.
+    qnet_ = vf::nn::QuantizedNetwork(model_.net, quant_);
   }
 }
 
@@ -55,16 +63,29 @@ BatchReconstructor::BatchReconstructor(FcnnModel model, std::size_t tile_size)
     : BatchReconstructor(std::move(model), ReconstructOptions{tile_size, 5}) {}
 #pragma GCC diagnostic pop
 
-void BatchReconstructor::bind_cloud(const SampleCloud& cloud) {
+void BatchReconstructor::bind_cloud(const SampleCloud& cloud,
+                                    std::size_t expected_queries) {
   const void* key = static_cast<const void*>(cloud.points().data());
-  if (key == cloud_key_ && cloud.size() == cloud_count_) return;
+  const bool same_cloud = key == cloud_key_ && cloud.size() == cloud_count_;
+  // Resolve Auto against this call's workload so the policy can flip the
+  // index kind if the same cloud is suddenly probed sparsely (and rebuild
+  // only then — the common repeated-grid loop keeps its cache hit).
+  vf::spatial::IndexKind want = index_kind_opt_;
+  if (want == vf::spatial::IndexKind::Auto) {
+    want = vf::spatial::select_index_kind(
+        same_cloud ? bound_.size() : cloud.size(), expected_queries);
+  }
+  if (same_cloud && want == bound_kind_) return;
   VF_OBS_SPAN("tree_build");
   VF_OBS_COUNT("core.batch.tree_builds", 1);
-  // Scrub once per bound cloud; tree, feature queries, and value pinning
-  // all see the scrubbed copy.
-  bound_ = cloud.scrubbed(scrub_nonfinite_, scrub_duplicates_);
-  tree_ = vf::spatial::KdTree(bound_.points());
-  values_ = bound_.values();
+  if (!same_cloud) {
+    // Scrub once per bound cloud; index, feature queries, and value pinning
+    // all see the scrubbed copy.
+    bound_ = cloud.scrubbed(scrub_nonfinite_, scrub_duplicates_);
+    values_ = bound_.values();
+  }
+  index_ = vf::spatial::build_index(bound_.points(), want, expected_queries);
+  bound_kind_ = want;
   cloud_key_ = key;
   cloud_count_ = cloud.size();
   ++tree_builds_;
@@ -81,7 +102,9 @@ ScalarField BatchReconstructor::reconstruct(const SampleCloud& cloud,
                                             ReconstructReport& report) {
   VF_OBS_SPAN("batch_reconstruct");
   VF_OBS_COUNT("core.batch.calls", 1);
-  bind_cloud(cloud);
+  // The engine sweeps (nearly) every grid point, so the grid size is the
+  // query count the index selection policy sees.
+  bind_cloud(cloud, static_cast<std::size_t>(grid.point_count()));
   if (bound_.size() < static_cast<std::size_t>(kNeighbors)) {
     throw std::invalid_argument("BatchReconstructor: cloud smaller than k");
   }
@@ -148,12 +171,17 @@ ScalarField BatchReconstructor::reconstruct(const SampleCloud& cloud,
       // thread's sequential pipeline.
       {
         VF_OBS_SPAN("extract_features");
-        extract_features_into(tree_, values_, ts.queries.data(), count, ts.X);
+        extract_features_into(*index_, values_, ts.queries.data(), count,
+                              ts.X, ts.features);
       }
       {
         VF_OBS_SPAN("inference");
         model_.in_norm.apply(ts.X);
-        model_.net.infer(ts.X, ts.Y, ts.infer);
+        if (quant_ != vf::nn::QuantPolicy::None) {
+          qnet_.infer(ts.X, ts.Y, ts.quant);
+        } else {
+          model_.net.infer(ts.X, ts.Y, ts.infer);
+        }
       }
       for (std::int64_t i = b; i < e; ++i) {
         const double y = ts.Y(static_cast<std::size_t>(i - b), 0) * scale +
@@ -178,7 +206,7 @@ ScalarField BatchReconstructor::reconstruct(const SampleCloud& cloud,
   // Per-point graceful degradation: a non-finite prediction is replaced by
   // the classical Shepard estimate from the scrubbed samples.
   for (std::int64_t target : bad) {
-    out[target] = shepard_estimate(tree_, values_, grid.position(target),
+    out[target] = shepard_estimate(*index_, values_, grid.position(target),
                                    repair_neighbors_);
   }
   report.predicted_points = static_cast<std::size_t>(n) - bad.size();

@@ -71,13 +71,13 @@ Matrix vstack(const std::vector<Matrix>& parts) {
 }
 
 /// Feature matrix for grid points named by `indices` against a prebuilt
-/// tree (FeatureRequest assembly in one place for the four call sites).
-Matrix grid_features(const vf::spatial::KdTree& tree,
+/// index (FeatureRequest assembly in one place for the four call sites).
+Matrix grid_features(const vf::spatial::NeighborIndex& index,
                      const std::vector<double>& values,
                      const UniformGrid3& grid,
                      const std::vector<std::int64_t>& indices) {
   FeatureRequest req;
-  req.tree = &tree;
+  req.tree = &index;
   req.values = &values;
   req.grid = &grid;
   req.indices = &indices;
@@ -114,10 +114,12 @@ TrainingSet build_training_set(const ScalarField& truth,
   for (double frac : config.train_fractions) {
     SampleCloud cloud = sampler.sample(truth, frac, seed++);
     auto voids = cloud.void_indices();
-    // One explicit tree per sampled cloud, shared by every feature query of
-    // this fraction rather than rebuilt inside extract_features.
-    vf::spatial::KdTree tree(cloud.points());
-    xs.push_back(grid_features(tree, cloud.values(), truth.grid(), voids));
+    // One explicit index per sampled cloud, shared by every feature query
+    // of this fraction rather than rebuilt inside extract_features. The
+    // void sweep is dense, so Auto resolves to the grid-hash.
+    auto index = vf::spatial::build_index(
+        cloud.points(), vf::spatial::IndexKind::Auto, voids.size());
+    xs.push_back(grid_features(*index, cloud.values(), truth.grid(), voids));
     ys.push_back(extract_targets(truth, voids, config.with_gradients));
   }
   TrainingSet set{vstack(xs), vstack(ys)};
@@ -216,20 +218,49 @@ vf::nn::TrainHistory fine_tune(FcnnModel& model, const ScalarField& truth,
   return history;
 }
 
-const vf::spatial::KdTree& FcnnReconstructor::bound_tree(
-    const SampleCloud& cloud) {
+FcnnReconstructor::FcnnReconstructor(FcnnModel model,
+                                     const ReconstructOptions& opts)
+    : model_(std::move(model)), opts_(opts) {
+  if (opts_.quant != vf::nn::QuantPolicy::None) {
+    // Quantize once; every reconstruct shares the immutable packed weights.
+    qnet_ = vf::nn::QuantizedNetwork(model_.net, opts_.quant);
+  }
+}
+
+const vf::spatial::NeighborIndex& FcnnReconstructor::bound_index(
+    const SampleCloud& cloud, std::size_t expected_queries) {
   const void* key = static_cast<const void*>(cloud.points().data());
-  if (key != tree_key_ || cloud.size() != tree_count_) {
+  const bool same_cloud = key == tree_key_ && cloud.size() == tree_count_;
+  vf::spatial::IndexKind want = opts_.index;
+  if (want == vf::spatial::IndexKind::Auto) {
+    want = vf::spatial::select_index_kind(
+        same_cloud ? bound_.size() : cloud.size(), expected_queries);
+  }
+  if (!same_cloud || want != bound_kind_ || !index_) {
     VF_OBS_SPAN("tree_build");
     VF_OBS_COUNT("core.reconstruct.tree_builds", 1);
-    // Scrub once per bound cloud: the scrubbed copy is what the tree, the
-    // feature queries, and the value pinning all see.
-    bound_ = cloud.scrubbed(scrub_nonfinite_, scrub_duplicates_);
-    tree_ = vf::spatial::KdTree(bound_.points());
+    if (!same_cloud) {
+      // Scrub once per bound cloud: the scrubbed copy is what the index,
+      // the feature queries, and the value pinning all see.
+      bound_ = cloud.scrubbed(scrub_nonfinite_, scrub_duplicates_);
+    }
+    index_ =
+        vf::spatial::build_index(bound_.points(), want, expected_queries);
+    bound_kind_ = want;
     tree_key_ = key;
     tree_count_ = cloud.size();
   }
-  return tree_;
+  return *index_;
+}
+
+Matrix FcnnReconstructor::predict(Matrix X) {
+  if (opts_.quant == vf::nn::QuantPolicy::None) return model_.predict(X);
+  model_.in_norm.apply(X);
+  Matrix Y;
+  vf::nn::QuantScratch scratch;
+  qnet_.infer(X, Y, scratch);  // streams rows in cache-sized chunks
+  model_.out_norm.invert(Y);
+  return Y;
 }
 
 FcnnReconstructor::FullReconstruction
@@ -249,15 +280,16 @@ FcnnReconstructor::reconstruct_with_gradients(const SampleCloud& cloud,
   // scalars to their stored values when the grids match.
   std::vector<std::int64_t> all(static_cast<std::size_t>(grid.point_count()));
   std::iota(all.begin(), all.end(), 0);
-  const auto& tree = bound_tree(cloud);
+  const auto& index =
+      bound_index(cloud, static_cast<std::size_t>(grid.point_count()));
   Matrix X, Y;
   {
     VF_OBS_SPAN("extract_features");
-    X = grid_features(tree, bound_.values(), grid, all);
+    X = grid_features(index, bound_.values(), grid, all);
   }
   {
     VF_OBS_SPAN("inference");
-    Y = model_.predict(X);
+    Y = predict(std::move(X));
   }
   vf::util::parallel_for(0, grid.point_count(), [&](std::int64_t i) {
     auto r = static_cast<std::size_t>(i);
@@ -289,7 +321,8 @@ ScalarField FcnnReconstructor::reconstruct(const SampleCloud& cloud,
   report.input_points = cloud.size();
   VF_OBS_SPAN("fcnn_reconstruct");
   VF_OBS_COUNT("core.reconstruct.calls", 1);
-  const auto& tree = bound_tree(cloud);
+  const auto& index =
+      bound_index(cloud, static_cast<std::size_t>(grid.point_count()));
   report.scrubbed_nonfinite = scrub_nonfinite_;
   report.scrubbed_duplicates = scrub_duplicates_;
 
@@ -309,7 +342,7 @@ ScalarField FcnnReconstructor::reconstruct(const SampleCloud& cloud,
     std::size_t degraded = 0;
     for (std::size_t i = 0; i < targets.size(); ++i) {
       if (std::isfinite(Y(i, 0))) continue;
-      out[targets[i]] = shepard_estimate(tree, bound_.values(),
+      out[targets[i]] = shepard_estimate(index, bound_.values(),
                                          grid.position(targets[i]),
                                          opts_.repair_neighbors);
       ++degraded;
@@ -324,11 +357,11 @@ ScalarField FcnnReconstructor::reconstruct(const SampleCloud& cloud,
     Matrix X, Y;
     {
       VF_OBS_SPAN("extract_features");
-      X = grid_features(tree, bound_.values(), grid, voids);
+      X = grid_features(index, bound_.values(), grid, voids);
     }
     {
       VF_OBS_SPAN("inference");
-      Y = model_.predict(X);
+      Y = predict(std::move(X));
     }
     const auto& kept = bound_.kept_indices();
     const auto& vals = bound_.values();
@@ -341,11 +374,11 @@ ScalarField FcnnReconstructor::reconstruct(const SampleCloud& cloud,
     Matrix X, Y;
     {
       VF_OBS_SPAN("extract_features");
-      X = grid_features(tree, bound_.values(), grid, all);
+      X = grid_features(index, bound_.values(), grid, all);
     }
     {
       VF_OBS_SPAN("inference");
-      Y = model_.predict(X);
+      Y = predict(std::move(X));
     }
     write_scalar(all, Y);
   }

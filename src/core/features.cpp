@@ -88,46 +88,59 @@ void Normalizer::invert(Matrix& m) const {
       row_grain(cols));
 }
 
-void extract_features_into(const vf::spatial::KdTree& tree,
+void extract_features_into(const vf::spatial::NeighborIndex& index,
                            const std::vector<double>& values,
-                           const Vec3* queries, std::size_t count, Matrix& X) {
-  if (tree.size() < kNeighbors) {
+                           const Vec3* queries, std::size_t count, Matrix& X,
+                           FeatureScratch& scratch) {
+  if (index.size() < kNeighbors) {
     throw std::invalid_argument("extract_features: cloud smaller than k");
   }
-  if (values.size() != tree.size()) {
+  if (values.size() != index.size()) {
     throw std::invalid_argument("extract_features: values/tree size mismatch");
   }
-  const auto& pts = tree.points();
+  const auto& pts = index.points();
   X.resize(count, kFeatureDim);
+  if (count == 0) return;
 
-  // vf-par: per-thread-scratch — nbrs is thread-local; iteration qi writes
-  // only X.row(qi); the tree and values are read-only after build.
-#pragma omp parallel
-  {
-    std::vector<vf::spatial::Neighbor> nbrs;
-#pragma omp for schedule(static)
-    for (std::int64_t qi = 0; qi < static_cast<std::int64_t>(count); ++qi) {
-      const Vec3& q = queries[static_cast<std::size_t>(qi)];
-      tree.knn(q, kNeighbors, nbrs);
-      // The size guard above ensures the tree holds >= k points, so a query
-      // always fills exactly k neighbour slots of the feature row.
-      VF_ASSERT(nbrs.size() == static_cast<std::size_t>(kNeighbors),
-                "extract_features: knn returned fewer than k neighbours");
-      double* row = X.row(static_cast<std::size_t>(qi));
-      for (int j = 0; j < kNeighbors; ++j) {
-        const auto& nb = nbrs[static_cast<std::size_t>(j)];
-        VF_BOUNDS_CHECK(nb.index, pts.size());
-        const Vec3& p = pts[nb.index];
-        row[4 * j + 0] = p.x;
-        row[4 * j + 1] = p.y;
-        row[4 * j + 2] = p.z;
-        row[4 * j + 3] = values[nb.index];
-      }
-      row[4 * kNeighbors + 0] = q.x;
-      row[4 * kNeighbors + 1] = q.y;
-      row[4 * kNeighbors + 2] = q.z;
-    }
-  }
+  // Stage 1 — batched k-NN into SoA scratch. GridHashIndex answers this
+  // with the cell-order sweep; KdTree with per-thread query scratch.
+  constexpr auto uk = static_cast<std::size_t>(kNeighbors);
+  scratch.indices.resize(count * uk);
+  scratch.dist2.resize(count * uk);
+  index.knn_batch(queries, count, kNeighbors, scratch.indices.data(),
+                  scratch.dist2.data());
+
+  // Stage 2 — row assembly from the staged neighbour indices: pure gathers
+  // with no search logic, so the loop body stays branch-free and the
+  // compiler vectorises the stores.
+  const std::uint32_t* nbr = scratch.indices.data();
+  vf::util::parallel_for(
+      0, static_cast<std::int64_t>(count),
+      [&](std::int64_t qi) {
+        const auto u = static_cast<std::size_t>(qi);
+        const Vec3& q = queries[u];
+        const std::uint32_t* ni = nbr + u * uk;
+        double* row = X.row(u);
+        for (std::size_t j = 0; j < uk; ++j) {
+          VF_BOUNDS_CHECK(ni[j], pts.size());
+          const Vec3& p = pts[ni[j]];
+          row[4 * j + 0] = p.x;
+          row[4 * j + 1] = p.y;
+          row[4 * j + 2] = p.z;
+          row[4 * j + 3] = values[ni[j]];
+        }
+        row[4 * uk + 0] = q.x;
+        row[4 * uk + 1] = q.y;
+        row[4 * uk + 2] = q.z;
+      },
+      /*grain=*/512);
+}
+
+void extract_features_into(const vf::spatial::NeighborIndex& index,
+                           const std::vector<double>& values,
+                           const Vec3* queries, std::size_t count, Matrix& X) {
+  FeatureScratch scratch;
+  extract_features_into(index, values, queries, count, X, scratch);
 }
 
 Matrix extract_features(const FeatureRequest& req) {
@@ -175,8 +188,10 @@ Matrix extract_features(const FeatureRequest& req) {
 
   Matrix X;
   if (has_cloud) {
-    vf::spatial::KdTree tree(req.cloud->points());
-    extract_features_into(tree, req.cloud->values(), queries, count, X);
+    // One-shot source: pick the index by this call's query density.
+    const auto index = vf::spatial::build_index(
+        req.cloud->points(), vf::spatial::IndexKind::Auto, count);
+    extract_features_into(*index, req.cloud->values(), queries, count, X);
   } else {
     extract_features_into(*req.tree, *req.values, queries, count, X);
   }

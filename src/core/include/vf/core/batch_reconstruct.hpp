@@ -17,20 +17,28 @@
 // Network::infer is const and thread-safe, so no state is shared but the
 // read-only model and the cached k-d tree.
 //
-// The sample cloud's k-d tree is cached across calls (keyed on the identity
-// of the cloud's points buffer): the common loop "reconstruct the same
-// sampling at several grids / repeatedly over time" pays the O(n log n)
-// build once.
+// The sample cloud's neighbour index is cached across calls (keyed on the
+// identity of the cloud's points buffer): the common loop "reconstruct the
+// same sampling at several grids / repeatedly over time" pays the build
+// once. The index kind follows ReconstructOptions::index — Auto picks the
+// grid-hash for the dense grid-sweep workload this engine runs (see
+// vf/spatial/neighbor_index.hpp for the policy).
+//
+// ReconstructOptions::quant selects the reduced-precision inference path:
+// the model is quantized once at construction (QuantizedNetwork) and tiles
+// run the packed fp32 GEMM instead of Network::infer.
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "vf/core/model.hpp"
 #include "vf/core/options.hpp"
 #include "vf/core/report.hpp"
 #include "vf/field/scalar_field.hpp"
+#include "vf/nn/quant.hpp"
 #include "vf/sampling/sample_cloud.hpp"
-#include "vf/spatial/kdtree.hpp"
+#include "vf/spatial/neighbor_index.hpp"
 
 namespace vf::core {
 
@@ -77,27 +85,46 @@ class BatchReconstructor {
     return peak_scratch_elements_;
   }
 
-  /// Number of k-d tree builds performed (cache misses). A second
-  /// reconstruct with the same cloud must not increment this.
+  /// Number of index builds performed (cache misses). A second reconstruct
+  /// with the same cloud must not increment this.
   [[nodiscard]] std::size_t tree_builds() const { return tree_builds_; }
+
+  /// Kind of the currently bound neighbour index ("kdtree" / "grid_hash"),
+  /// or "none" before the first reconstruct. Exposed for tests/benches that
+  /// assert the Auto selection policy.
+  [[nodiscard]] const char* index_kind() const {
+    return index_ ? index_->kind_name() : "none";
+  }
+
+  /// Active inference precision (None = the fp64 Network path).
+  [[nodiscard]] vf::nn::QuantPolicy quant_policy() const { return quant_; }
 
   [[nodiscard]] FcnnModel& model() { return model_; }
   [[nodiscard]] const FcnnModel& model() const { return model_; }
 
  private:
-  /// Rebuild the cached tree iff `cloud` is not the one already bound.
-  void bind_cloud(const vf::sampling::SampleCloud& cloud);
+  /// Rebuild the cached index iff `cloud` is not the one already bound or
+  /// the selection policy picks a different index kind for this workload
+  /// (`expected_queries` = number of points the coming reconstruct will
+  /// predict).
+  void bind_cloud(const vf::sampling::SampleCloud& cloud,
+                  std::size_t expected_queries);
 
   FcnnModel model_;
   std::size_t tile_;
   int repair_neighbors_ = 5;
+  vf::nn::QuantPolicy quant_ = vf::nn::QuantPolicy::None;
+  vf::spatial::IndexKind index_kind_opt_ = vf::spatial::IndexKind::Auto;
+  /// Quantized once at construction when quant_ != None.
+  vf::nn::QuantizedNetwork qnet_;
 
   // Cached spatial index over the bound cloud. The key is the points
   // buffer's address + size: cheap, and stale hits would require the caller
   // to have freed the cloud and landed a new one at the same address with
   // the same size — reconstruct() takes the cloud by reference, so the
   // cached values_ copy keeps results well-defined regardless.
-  vf::spatial::KdTree tree_;
+  std::unique_ptr<vf::spatial::NeighborIndex> index_;
+  vf::spatial::IndexKind bound_kind_ = vf::spatial::IndexKind::Auto;
   /// Scrubbed copy of the bound cloud; values_ aliases its values.
   vf::sampling::SampleCloud bound_;
   std::vector<double> values_;

@@ -15,13 +15,16 @@
 //                  sampling fraction (paper Fig 10).
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "vf/core/model.hpp"
 #include "vf/core/options.hpp"
 #include "vf/core/report.hpp"
+#include "vf/nn/quant.hpp"
 #include "vf/nn/trainer.hpp"
 #include "vf/sampling/samplers.hpp"
+#include "vf/spatial/neighbor_index.hpp"
 
 namespace vf::core {
 
@@ -110,8 +113,7 @@ vf::nn::TrainHistory fine_tune(FcnnModel& model,
 class FcnnReconstructor {
  public:
   explicit FcnnReconstructor(FcnnModel model,
-                             const ReconstructOptions& opts = {})
-      : model_(std::move(model)), opts_(opts) {}
+                             const ReconstructOptions& opts = {});
 
   [[nodiscard]] std::string name() const { return "fcnn"; }
 
@@ -143,18 +145,33 @@ class FcnnReconstructor {
   [[nodiscard]] FcnnModel& model() { return model_; }
   [[nodiscard]] const FcnnModel& model() const { return model_; }
 
+  /// Kind of the currently bound neighbour index ("kdtree" / "grid_hash"),
+  /// or "none" before the first reconstruct.
+  [[nodiscard]] const char* index_kind() const {
+    return index_ ? index_->kind_name() : "none";
+  }
+
  private:
-  /// k-d tree over `cloud`'s scrubbed points, rebuilt only when the cloud
-  /// changes (keyed on the points buffer identity). Repeated
+  /// Neighbour index over `cloud`'s scrubbed points, rebuilt only when the
+  /// cloud changes (keyed on the points buffer identity) or the selection
+  /// policy picks a different kind for this workload. Repeated
   /// reconstructions of the same sampling — the Fig 10 timing loop,
-  /// upscaling to several grids — skip the scrub and the O(n log n) build
-  /// after the first call.
-  const vf::spatial::KdTree& bound_tree(const vf::sampling::SampleCloud& cloud);
+  /// upscaling to several grids — skip the scrub and the build after the
+  /// first call.
+  const vf::spatial::NeighborIndex& bound_index(
+      const vf::sampling::SampleCloud& cloud, std::size_t expected_queries);
+
+  /// Forward pass honouring opts_.quant: the fp64 Network path for None,
+  /// the packed single-precision GEMM otherwise. Consumes `X`.
+  [[nodiscard]] vf::nn::Matrix predict(vf::nn::Matrix X);
 
   FcnnModel model_;
   ReconstructOptions opts_;
-  vf::spatial::KdTree tree_;
-  /// Scrubbed copy of the bound cloud (the tree/values the queries use).
+  /// Quantized once at construction when opts_.quant != None.
+  vf::nn::QuantizedNetwork qnet_;
+  std::unique_ptr<vf::spatial::NeighborIndex> index_;
+  vf::spatial::IndexKind bound_kind_ = vf::spatial::IndexKind::Auto;
+  /// Scrubbed copy of the bound cloud (the index/values the queries use).
   vf::sampling::SampleCloud bound_;
   std::size_t scrub_nonfinite_ = 0;
   std::size_t scrub_duplicates_ = 0;

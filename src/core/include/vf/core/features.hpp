@@ -24,6 +24,8 @@
 #include "vf/nn/matrix.hpp"
 #include "vf/sampling/sample_cloud.hpp"
 #include "vf/spatial/kdtree.hpp"
+#include "vf/spatial/neighbor_index.hpp"
+#include "vf/util/aligned.hpp"
 
 namespace vf::core {
 
@@ -48,12 +50,26 @@ struct Normalizer {
   void invert(vf::nn::Matrix& m) const;
 };
 
+/// Reusable SoA staging for batched neighbour queries: row i of the
+/// kNeighbors-wide `indices` / `dist2` arrays holds query i's neighbours.
+/// Owned per thread by the streaming engines so feature assembly performs
+/// no per-point (or per-tile, after warm-up) heap allocation.
+struct FeatureScratch {
+  vf::util::AlignedVector<std::uint32_t> indices;
+  vf::util::AlignedVector<double> dist2;
+
+  /// Scratch footprint in double-equivalents (for peak-memory accounting).
+  [[nodiscard]] std::size_t element_count() const {
+    return dist2.capacity() + (indices.capacity() + 1) / 2;
+  }
+};
+
 /// One request describing a feature-extraction job. Replaces the old
 /// three-way overload family (cloud x positions, cloud x grid indices,
 /// prebuilt tree x positions) with a single options-struct entry point.
 ///
 /// Exactly one sample source and exactly one query shape must be set:
-///   source:  `cloud`                         (a k-d tree is built per call)
+///   source:  `cloud`                         (an index is built per call)
 ///            `tree` + `values`               (prebuilt, the hot repeated-
 ///                                             query path: trainer loops,
 ///                                             streaming tiles, serving)
@@ -61,7 +77,7 @@ struct Normalizer {
 ///            `grid` + `indices`              (grid points by linear index)
 struct FeatureRequest {
   const vf::sampling::SampleCloud* cloud = nullptr;
-  const vf::spatial::KdTree* tree = nullptr;
+  const vf::spatial::NeighborIndex* tree = nullptr;
   const std::vector<double>* values = nullptr;  // parallel to tree.points()
 
   const std::vector<vf::field::Vec3>* points = nullptr;
@@ -91,10 +107,18 @@ vf::nn::Matrix extract_features(const vf::spatial::KdTree& tree,
                                 const std::vector<vf::field::Vec3>& queries);
 
 /// Allocation-free core: fills `X` (resized to count x 23) from `count`
-/// query positions. Internally parallel, but safe to call from inside an
-/// active OpenMP region (the nested region serialises), which is how the
+/// query positions. The batched neighbour query stages into `scratch` in
+/// SoA layout, then rows are assembled in a second vectorisable pass — no
+/// per-point allocation. Internally parallel, but safe to call from inside
+/// an active OpenMP region (the nested region serialises), which is how the
 /// per-tile streaming path uses it.
-void extract_features_into(const vf::spatial::KdTree& tree,
+void extract_features_into(const vf::spatial::NeighborIndex& index,
+                           const std::vector<double>& values,
+                           const vf::field::Vec3* queries, std::size_t count,
+                           vf::nn::Matrix& X, FeatureScratch& scratch);
+
+/// Convenience overload that owns its scratch (one allocation per call).
+void extract_features_into(const vf::spatial::NeighborIndex& index,
                            const std::vector<double>& values,
                            const vf::field::Vec3* queries, std::size_t count,
                            vf::nn::Matrix& X);

@@ -10,6 +10,9 @@
 
 #include <cstddef>
 
+#include "vf/nn/quant.hpp"
+#include "vf/spatial/neighbor_index.hpp"
+
 namespace vf::core {
 
 struct ReconstructOptions {
@@ -21,6 +24,16 @@ struct ReconstructOptions {
   /// Neighbour count for the per-point Shepard repair of non-finite
   /// network outputs (historically hard-wired to the feature stencil k).
   int repair_neighbors = 5;
+
+  /// Inference precision. None runs the fp64 Network::infer path; Fp32 /
+  /// Fp16 / Int8 run the packed single-precision GEMM over pre-quantized
+  /// weights (see vf/nn/quant.hpp). Guarded by the SNR-regression suite.
+  vf::nn::QuantPolicy quant = vf::nn::QuantPolicy::None;
+
+  /// Neighbour index selection. Auto picks grid-hash for dense grid-sweep
+  /// query workloads and the exact k-d tree for sparse probing (see
+  /// vf/spatial/neighbor_index.hpp for the policy).
+  vf::spatial::IndexKind index = vf::spatial::IndexKind::Auto;
 };
 
 }  // namespace vf::core

@@ -15,10 +15,11 @@
 #include <string>
 #include <vector>
 
+#include "vf/core/options.hpp"
 #include "vf/core/report.hpp"
 #include "vf/field/scalar_field.hpp"
 #include "vf/sampling/sample_cloud.hpp"
-#include "vf/spatial/kdtree.hpp"
+#include "vf/spatial/neighbor_index.hpp"
 
 namespace vf::core {
 
@@ -31,19 +32,24 @@ enum class FallbackMethod {
 /// Parse "shepard" / "nearest" (throws std::invalid_argument otherwise).
 [[nodiscard]] FallbackMethod fallback_method_from(const std::string& name);
 
-/// Classical estimate at `p` from the k nearest samples in `tree` (values
-/// parallel to the tree's points). Finite whenever `values` are finite and
-/// the tree is non-empty. k = 1 degenerates to nearest-neighbour.
-[[nodiscard]] double shepard_estimate(const vf::spatial::KdTree& tree,
+/// Classical estimate at `p` from the k nearest samples in `index` (values
+/// parallel to the index's points). Finite whenever `values` are finite and
+/// the index is non-empty. k = 1 degenerates to nearest-neighbour. Queries
+/// reuse thread-local neighbour scratch, so repeated repair calls allocate
+/// nothing.
+[[nodiscard]] double shepard_estimate(const vf::spatial::NeighborIndex& index,
                                       const std::vector<double>& values,
                                       const vf::field::Vec3& p, int k);
 
 /// Reconstruct `grid` from `cloud` with the model stored at `model_path`,
 /// degrading gracefully per the module comment. Throws only on invalid
 /// arguments (empty cloud, zero-point grid) — never on corrupt inputs.
+/// `engine` tunes the FCNN path (tile size, quantization policy, neighbour
+/// index kind); the classical fallback stays fp64 regardless.
 [[nodiscard]] vf::field::ScalarField reconstruct_resilient(
     const std::string& model_path, const vf::sampling::SampleCloud& cloud,
     const vf::field::UniformGrid3& grid, ReconstructReport& report,
-    FallbackMethod fallback = FallbackMethod::Shepard);
+    FallbackMethod fallback = FallbackMethod::Shepard,
+    const ReconstructOptions& engine = {});
 
 }  // namespace vf::core

@@ -55,11 +55,11 @@ FallbackMethod fallback_method_from(const std::string& name) {
   throw std::invalid_argument("unknown fallback method: " + name);
 }
 
-double shepard_estimate(const vf::spatial::KdTree& tree,
+double shepard_estimate(const vf::spatial::NeighborIndex& index,
                         const std::vector<double>& values, const Vec3& p,
                         int k) {
   thread_local std::vector<vf::spatial::Neighbor> nbrs;
-  tree.knn(p, k, nbrs);
+  index.knn(p, k, nbrs);
   // Exact hit (or k == 1): the nearest sample's value verbatim.
   if (!nbrs.empty() && (nbrs.size() == 1 || nbrs.front().dist2 == 0.0)) {
     return values[nbrs.front().index];
@@ -111,7 +111,8 @@ ScalarField reconstruct_resilient(const std::string& model_path,
                                   const SampleCloud& cloud,
                                   const UniformGrid3& grid,
                                   ReconstructReport& report,
-                                  FallbackMethod fallback) {
+                                  FallbackMethod fallback,
+                                  const ReconstructOptions& engine) {
   if (cloud.size() == 0) {
     throw std::invalid_argument("reconstruct_resilient: empty cloud");
   }
@@ -135,7 +136,7 @@ ScalarField reconstruct_resilient(const std::string& model_path,
   const std::size_t duplicates = report.scrubbed_duplicates;
   if (clean.size() >= static_cast<std::size_t>(kNeighbors)) {
     try {
-      BatchReconstructor rec(FcnnModel::load(model_path));
+      BatchReconstructor rec(FcnnModel::load(model_path), engine);
       ScalarField out = rec.reconstruct(clean, grid, report);
       // The inner report re-ran scrubbing on the already-clean cloud;
       // restore the ingest-side accounting.

@@ -32,10 +32,11 @@
 #include <unordered_map>
 #include <vector>
 
+#include "vf/nn/quant.hpp"
 #include "vf/sampling/sample_cloud.hpp"
 #include "vf/serve/queue.hpp"
 #include "vf/serve/registry.hpp"
-#include "vf/spatial/kdtree.hpp"
+#include "vf/spatial/neighbor_index.hpp"
 
 namespace vf::serve {
 
@@ -57,6 +58,15 @@ struct ServiceOptions {
   std::size_t queue_max = 256;
   /// Neighbour count for classical estimates (repair + fallback).
   int repair_neighbors = 5;
+  /// Inference precision for served batches. None runs the fp64 Network
+  /// path; Fp32/Fp16/Int8 run the packed single-precision GEMM (each
+  /// worker quantizes the resolved model once and caches it, keyed on the
+  /// registry's model instance). Guarded by the SNR-regression suite.
+  vf::nn::QuantPolicy quant = vf::nn::QuantPolicy::None;
+  /// Session index kind. Auto resolves against batch_max_points — serve
+  /// micro-batches are sparse probes, so Auto keeps the exact k-d tree
+  /// for typical session sizes.
+  vf::spatial::IndexKind index = vf::spatial::IndexKind::Auto;
   RegistryOptions registry;
 };
 
@@ -114,7 +124,7 @@ class Service {
  private:
   struct Session {
     vf::sampling::SampleCloud cloud;  // scrubbed
-    vf::spatial::KdTree tree;
+    std::unique_ptr<vf::spatial::NeighborIndex> index;
     std::vector<double> values;
   };
 

@@ -21,6 +21,11 @@ struct WorkerScratch {
   std::vector<double> out;
   std::vector<std::size_t> repaired;
   vf::api::PointScratch infer;
+  /// Quantized copy of the last resolved model (ServiceOptions::quant !=
+  /// None), keyed on the registry's model instance so a registry reload /
+  /// eviction triggers re-quantization.
+  vf::nn::QuantizedNetwork qnet;
+  const vf::core::FcnnModel* qnet_key = nullptr;
 };
 
 Service::Service(ServiceOptions options)
@@ -61,7 +66,10 @@ void Service::add_session(const std::string& key,
         " usable samples after scrubbing; need >= " +
         std::to_string(vf::core::kNeighbors) + " for k-NN features");
   }
-  session->tree = vf::spatial::KdTree(session->cloud.points());
+  // Expected queries per lookup = one micro-batch; Auto typically keeps
+  // the exact k-d tree for serve's sparse-probe workload.
+  session->index = vf::spatial::build_index(
+      session->cloud.points(), options_.index, options_.batch_max_points);
   session->values = session->cloud.values();
   registry_.add(key, model_path);
   const std::lock_guard<std::mutex> lock(sessions_mu_);
@@ -172,10 +180,18 @@ void Service::serve_batch(std::vector<PointRequest>& batch,
     // of letting the exception escape the worker thread.
     try {
       VF_OBS_SPAN("serve/infer");
+      const vf::nn::QuantizedNetwork* qnet = nullptr;
+      if (options_.quant != vf::nn::QuantPolicy::None) {
+        if (scratch.qnet_key != model.get()) {
+          scratch.qnet = vf::nn::QuantizedNetwork(model->net, options_.quant);
+          scratch.qnet_key = model.get();
+        }
+        qnet = &scratch.qnet;
+      }
       degraded_total = vf::api::predict_points(
-          *model, session->tree, session->values, scratch.points.data(), total,
-          scratch.out.data(), scratch.infer, options_.repair_neighbors,
-          &scratch.repaired);
+          *model, *session->index, session->values, scratch.points.data(),
+          total, scratch.out.data(), scratch.infer,
+          options_.repair_neighbors, &scratch.repaired, qnet);
     } catch (const std::exception&) {
       model = nullptr;
       scratch.repaired.clear();
@@ -189,7 +205,7 @@ void Service::serve_batch(std::vector<PointRequest>& batch,
       fallback_batches_.fetch_add(1, std::memory_order_relaxed);
       for (std::size_t i = 0; i < total; ++i) {
         scratch.out[i] =
-            vf::core::shepard_estimate(session->tree, session->values,
+            vf::core::shepard_estimate(*session->index, session->values,
                                        scratch.points[i],
                                        options_.repair_neighbors);
       }

@@ -1,49 +1,50 @@
 #pragma once
 // 3-D k-d tree for nearest-neighbour queries over sampled point clouds.
 //
-// This is the workhorse of the whole reconstruction pipeline: the FCNN's
-// feature extraction needs the 5 nearest sampled points of every void grid
-// point (paper §III-D), and the nearest-neighbour / Shepard baselines need
-// 1-NN / k-NN at every grid point. Queries are thread-safe after build, so
-// the per-voxel loops parallelise over OpenMP.
+// This is the exact workhorse index of the reconstruction pipeline: the
+// FCNN's feature extraction needs the 5 nearest sampled points of every void
+// grid point (paper §III-D), and the nearest-neighbour / Shepard baselines
+// need 1-NN / k-NN at every grid point. Queries are thread-safe after build,
+// so the per-voxel loops parallelise over OpenMP. For dense grid-sweep
+// workloads the GridHashIndex sibling usually wins — see neighbor_index.hpp
+// for the selection policy.
 //
 // Implementation: median-split balanced tree stored as an implicit array of
 // nodes (no pointers), built with nth_element in O(n log n). Axis chosen as
 // the widest extent of each subtree for robustness to anisotropic clouds.
+// The node array is laid out in DFS order with 64-byte-aligned storage and
+// the subtree sizes are computed up front, so subtrees build into disjoint
+// node/permutation ranges and large builds parallelise over OpenMP tasks.
 
 #include <cstdint>
 #include <vector>
 
 #include "vf/field/grid.hpp"
+#include "vf/spatial/neighbor_index.hpp"
+#include "vf/util/aligned.hpp"
 
 namespace vf::spatial {
 
-/// One k-NN result: index into the original point array + squared distance.
-struct Neighbor {
-  std::uint32_t index = 0;
-  double dist2 = 0.0;
-};
-
-class KdTree {
+class KdTree final : public NeighborIndex {
  public:
   KdTree() = default;
 
-  /// Build over a copy of `points`. Build is O(n log n).
+  /// Build over a copy of `points`. Build is O(n log n) and parallelises
+  /// across subtrees.
   explicit KdTree(std::vector<vf::field::Vec3> points);
 
-  [[nodiscard]] std::size_t size() const { return points_.size(); }
-  [[nodiscard]] const std::vector<vf::field::Vec3>& points() const {
+  [[nodiscard]] const char* kind_name() const override { return "kdtree"; }
+  [[nodiscard]] std::size_t size() const override { return points_.size(); }
+  [[nodiscard]] const std::vector<vf::field::Vec3>& points() const override {
     return points_;
   }
 
-  /// The k nearest points to `query`, sorted by ascending distance.
-  /// Returns fewer than k when the cloud is smaller than k.
-  [[nodiscard]] std::vector<Neighbor> knn(const vf::field::Vec3& query,
-                                          int k) const;
-
-  /// k-NN without allocation: fills `out` (resized to the result count).
+  /// The k nearest points to `query`, sorted by ascending distance, without
+  /// allocation: fills `out` (resized to the result count). Returns fewer
+  /// than k when the cloud is smaller than k.
   void knn(const vf::field::Vec3& query, int k,
-           std::vector<Neighbor>& out) const;
+           std::vector<Neighbor>& out) const override;
+  using NeighborIndex::knn;
 
   /// Index of the single nearest point (size() must be > 0).
   [[nodiscard]] std::uint32_t nearest(const vf::field::Vec3& query) const;
@@ -54,9 +55,9 @@ class KdTree {
 
  private:
   struct Node {
-    // Leaf when count > 0: points_[first..first+count).
-    // Internal when count == 0: children at 2*i+1 / 2*i+2 ... we instead
-    // store explicit child indices for a compact array layout.
+    // Leaf when count > 0: points_storage_[first..first+count).
+    // Internal when count == 0: explicit child indices into the DFS-ordered
+    // node array (left == self+1; right follows the left subtree).
     std::uint32_t first = 0;
     std::uint32_t count = 0;
     std::uint32_t left = 0;
@@ -67,7 +68,7 @@ class KdTree {
     double split_hi = 0.0;  // min coordinate of right subtree on axis
   };
 
-  std::uint32_t build(std::uint32_t begin, std::uint32_t end);
+  void build_at(std::uint32_t begin, std::uint32_t end, std::uint32_t self);
 
   template <typename Visitor>
   void search(std::uint32_t node, const vf::field::Vec3& q, double& worst,
@@ -76,7 +77,7 @@ class KdTree {
   std::vector<vf::field::Vec3> points_;          // original order (API view)
   std::vector<vf::field::Vec3> points_storage_;  // leaf-contiguous order
   std::vector<std::uint32_t> perm_;  // storage position -> original index
-  std::vector<Node> nodes_;
+  vf::util::AlignedVector<Node> nodes_;
   std::uint32_t root_ = 0;
   static constexpr std::uint32_t kLeafSize = 16;
 };

@@ -6,6 +6,9 @@
 #include <numeric>
 #include <stdexcept>
 
+#include <omp.h>
+
+#include "vf/obs/obs.hpp"
 #include "vf/util/contract.hpp"
 
 namespace vf::spatial {
@@ -23,25 +26,48 @@ inline double dist2(const Vec3& a, const Vec3& b) {
   return dx * dx + dy * dy + dz * dz;
 }
 
+/// Nodes a subtree over n points occupies. Must mirror the split in
+/// build_at (left = n/2) so the DFS layout is computable up front.
+std::uint32_t subtree_nodes(std::uint32_t n) {
+  constexpr std::uint32_t kLeaf = 16;  // == KdTree::kLeafSize
+  // total(n) = 1 + total(n/2) + total(n - n/2): recurse on the right child,
+  // iterate down the left spine.
+  std::uint32_t total = 1;  // the leaf this spine ends in
+  while (n > kLeaf) {
+    total += 1 + subtree_nodes(n - n / 2);
+    n /= 2;
+  }
+  return total;
+}
+
+// Subtrees below this point count build serially; above it each half is an
+// OpenMP task. Large enough that task overhead never dominates nth_element.
+constexpr std::uint32_t kTaskGrain = 8192;
+
 }  // namespace
 
 // Points are kept in build order; the tree permutes an index array instead,
 // so Neighbor::index always refers to the caller's original ordering.
-namespace detail {
-struct BuildCtx {
-  std::vector<std::uint32_t> perm;
-};
-}  // namespace detail
 
 KdTree::KdTree(std::vector<Vec3> points) : points_(std::move(points)) {
   if (points_.empty()) return;
-  nodes_.reserve(points_.size() / kLeafSize * 2 + 4);
-  // Build permutes a scratch index array, then we reorder points so leaves
-  // are contiguous (cache-friendly) while remembering original indices.
-  perm_.resize(points_.size());
+  VF_OBS_SPAN("kdtree_build");
+  VF_OBS_COUNT("spatial.kdtree.builds", 1);
+  const auto n = static_cast<std::uint32_t>(points_.size());
+  // DFS layout with precomputed subtree sizes: every recursive call owns a
+  // disjoint [self, self + subtree_nodes) node range and a disjoint
+  // [begin, end) permutation range, so subtrees build in parallel without
+  // synchronisation on the node array.
+  nodes_.resize(subtree_nodes(n));
+  perm_.resize(n);
   std::iota(perm_.begin(), perm_.end(), 0u);
-  root_ = build(0, static_cast<std::uint32_t>(points_.size()));
-  VF_ASSERT(root_ < nodes_.size(), "KdTree: root index outside node array");
+  root_ = 0;
+  // vf-par: disjoint-writes — tasks recurse into non-overlapping node and
+  // permutation ranges (see layout comment above); joined by the implicit
+  // barrier at the end of the parallel region.
+#pragma omp parallel
+#pragma omp single nowait
+  build_at(0, n, root_);
   // Reorder the point storage to match perm_ so leaf scans are sequential.
   std::vector<Vec3> reordered(points_.size());
   for (std::size_t i = 0; i < points_.size(); ++i) {
@@ -51,13 +77,15 @@ KdTree::KdTree(std::vector<Vec3> points) : points_(std::move(points)) {
   points_storage_ = std::move(reordered);
 }
 
-std::uint32_t KdTree::build(std::uint32_t begin, std::uint32_t end) {
+void KdTree::build_at(std::uint32_t begin, std::uint32_t end,
+                      std::uint32_t self) {
+  VF_BOUNDS_CHECK(self, nodes_.size());
   Node node;
   if (end - begin <= kLeafSize) {
     node.first = begin;
     node.count = end - begin;
-    nodes_.push_back(node);
-    return static_cast<std::uint32_t>(nodes_.size() - 1);
+    nodes_[self] = node;
+    return;
   }
 
   // Choose the axis with the widest extent over this range.
@@ -99,13 +127,21 @@ std::uint32_t KdTree::build(std::uint32_t begin, std::uint32_t end) {
   node.split_lo = left_max;
   node.split_hi = right_min;
 
-  auto self = static_cast<std::uint32_t>(nodes_.size());
-  nodes_.push_back(node);
-  std::uint32_t left = build(begin, mid);
-  std::uint32_t right = build(mid, end);
-  nodes_[self].left = left;
-  nodes_[self].right = right;
-  return self;
+  node.left = self + 1;
+  node.right = self + 1 + subtree_nodes(mid - begin);
+  nodes_[self] = node;
+  if (end - begin >= kTaskGrain) {
+    // Children touch disjoint ranges, so the left half runs as an
+    // independent task while the right half continues on this thread; the
+    // parallel region's barrier joins all tasks before storage reorder.
+    const std::uint32_t left_idx = node.left;
+#pragma omp task firstprivate(begin, mid, left_idx)
+    build_at(begin, mid, left_idx);
+    build_at(mid, end, node.right);
+  } else {
+    build_at(begin, mid, node.left);
+    build_at(mid, end, node.right);
+  }
 }
 
 template <typename Visitor>
@@ -154,12 +190,6 @@ void KdTree::knn(const Vec3& query, int k, std::vector<Neighbor>& out) const {
     if (out.size() == static_cast<std::size_t>(k)) w = out.back().dist2;
   };
   search(root_, query, worst, visit);
-}
-
-std::vector<Neighbor> KdTree::knn(const Vec3& query, int k) const {
-  std::vector<Neighbor> out;
-  knn(query, k, out);
-  return out;
 }
 
 std::uint32_t KdTree::nearest(const Vec3& query) const {

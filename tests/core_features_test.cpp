@@ -247,4 +247,65 @@ TEST(Features, DeterministicAcrossCalls) {
   }
 }
 
+TEST(Features, GridHashIndexMatchesKdTree) {
+  // The SoA batched path must assemble identical rows whichever
+  // NeighborIndex backs the k-NN queries.
+  auto f = test_field();
+  std::vector<std::int64_t> kept;
+  for (std::int64_t i = 0; i < f.size(); i += 7) kept.push_back(i);
+  SampleCloud cloud(f, kept);
+
+  std::vector<Vec3> queries;
+  vf::util::Rng rng(64);
+  for (int i = 0; i < 300; ++i) {
+    queries.push_back({rng.uniform(0, 13), rng.uniform(0, 11),
+                       rng.uniform(0, 7)});
+  }
+
+  auto kd = vf::spatial::build_index(cloud.points(),
+                                     vf::spatial::IndexKind::KdTree);
+  auto gh = vf::spatial::build_index(cloud.points(),
+                                     vf::spatial::IndexKind::GridHash);
+  Matrix a, b;
+  extract_features_into(*kd, cloud.values(), queries.data(), queries.size(),
+                        a);
+  extract_features_into(*gh, cloud.values(), queries.data(), queries.size(),
+                        b);
+  ASSERT_EQ(a.rows(), b.rows());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a.data()[i], b.data()[i]) << "flat element " << i;
+  }
+}
+
+TEST(Features, ScratchReuseDoesNotChangeRowsOrAllocatePerCall) {
+  auto f = test_field();
+  std::vector<std::int64_t> kept;
+  for (std::int64_t i = 0; i < f.size(); i += 11) kept.push_back(i);
+  SampleCloud cloud(f, kept);
+  auto index = vf::spatial::build_index(cloud.points(),
+                                        vf::spatial::IndexKind::GridHash);
+
+  std::vector<Vec3> queries;
+  vf::util::Rng rng(5);
+  for (int i = 0; i < 200; ++i) {
+    queries.push_back({rng.uniform(0, 13), rng.uniform(0, 11),
+                       rng.uniform(0, 7)});
+  }
+
+  FeatureScratch scratch;
+  Matrix a, b;
+  extract_features_into(*index, cloud.values(), queries.data(),
+                        queries.size(), a, scratch);
+  const std::size_t warm = scratch.element_count();
+  EXPECT_GT(warm, 0u);
+  extract_features_into(*index, cloud.values(), queries.data(),
+                        queries.size(), b, scratch);
+  // Warm scratch must be reused, not regrown, on a same-shape call...
+  EXPECT_EQ(scratch.element_count(), warm);
+  // ...and reuse must not perturb the assembled rows.
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a.data()[i], b.data()[i]);
+  }
+}
+
 }  // namespace

@@ -52,6 +52,16 @@
 //                    that deliberately bypass the facade annotate with
 //                    `// vf-lint: allow(api-facade) <reason>`.
 //
+//   hot-alloc        A by-value std::vector / AlignedVector declared inside
+//                    a `for`/`while` body in src/core or src/spatial .cpp
+//                    files heap-allocates once per iteration — exactly the
+//                    per-point allocation the SoA scratch refactor removed
+//                    from feature extraction. Hoist the buffer into a
+//                    reusable scratch struct (FeatureScratch / QuantScratch
+//                    pattern) or, for a deliberately cold loop, annotate
+//                    with `// vf-lint: allow(hot-alloc) <reason>`.
+//                    `static` / `thread_local` declarations are exempt.
+//
 //   aligned-cast     `reinterpret_cast` is allowed only to byte pointers
 //                    (char / unsigned char / std::byte), the legal aliasing
 //                    family used by the binary serializers. Anything else —
@@ -212,7 +222,19 @@ void lint_file(const fs::path& path, std::vector<Finding>& findings) {
   // route reconstruction through vf::api.
   const bool outside_src = gen.find("/src/") == std::string::npos &&
                            gen.rfind("src/", 0) != 0;
+  // The hot-alloc rule bites only in the spatial/reconstruction inner-loop
+  // implementations; headers and other layers keep their judgement.
+  const bool alloc_hot = (gen.find("src/core/") != std::string::npos ||
+                          gen.find("src/spatial/") != std::string::npos) &&
+                         path.extension() == ".cpp";
   std::vector<ResizeWatch> watches;
+
+  // Brace-depth tracking for hot-alloc: which open-brace depths are loop
+  // bodies. `pending_loop` carries a brace-less `for`/`while` header to the
+  // next line (repo style puts `{` on the header line or the one after).
+  int depth = 0;
+  std::vector<int> loop_scopes;
+  int pending_loop = 0;
 
   for (std::size_t i = 0; i < split.size(); ++i) {
     const std::string& code = split[i].code;
@@ -351,6 +373,67 @@ void lint_file(const fs::path& path, std::vector<Finding>& findings) {
            "reconstruct through vf::api::Reconstructor "
            "(vf/api/reconstruct.hpp), or annotate a deliberate engine-level "
            "site with vf-lint: allow(api-facade)"});
+    }
+
+    // --- hot-alloc ------------------------------------------------------
+    if (alloc_hot) {
+      // Loop-header detection feeds the brace tracker below; `} while` is
+      // the tail of a do-while, not a new loop scope.
+      std::string trimmed = code;
+      trimmed.erase(0, trimmed.find_first_not_of(" \t"));
+      if ((has_word(code, "for") || has_word(code, "while")) &&
+          code.find('(') != std::string::npos &&
+          trimmed.rfind("} while", 0) != 0) {
+        pending_loop = 2;
+      }
+      for (const char c : code) {
+        if (c == '{') {
+          ++depth;
+          if (pending_loop > 0) {
+            loop_scopes.push_back(depth);
+            pending_loop = 0;
+          }
+        } else if (c == '}') {
+          if (!loop_scopes.empty() && loop_scopes.back() == depth) {
+            loop_scopes.pop_back();
+          }
+          --depth;
+        }
+      }
+      if (pending_loop > 0) --pending_loop;
+
+      if (!loop_scopes.empty() && !has_word(code, "static") &&
+          !has_word(code, "thread_local")) {
+        std::string decl = trimmed;
+        if (decl.rfind("const ", 0) == 0) decl.erase(0, 6);
+        for (const char* prefix :
+             {"std::vector<", "vf::util::AlignedVector<",
+              "util::AlignedVector<", "AlignedVector<"}) {
+          if (decl.rfind(prefix, 0) != 0) continue;
+          // Find the template close, then require a by-value variable name
+          // (a `&` / `*` binding does not allocate).
+          std::size_t pos = std::string(prefix).size();
+          int angle = 1;
+          while (pos < decl.size() && angle > 0) {
+            if (decl[pos] == '<') ++angle;
+            if (decl[pos] == '>') --angle;
+            ++pos;
+          }
+          while (pos < decl.size() && decl[pos] == ' ') ++pos;
+          if (angle == 0 && pos < decl.size() &&
+              (std::isalpha(static_cast<unsigned char>(decl[pos])) != 0 ||
+               decl[pos] == '_') &&
+              !allowed("hot-alloc")) {
+            findings.push_back(
+                {file, lineno, "hot-alloc",
+                 "container declared inside a loop body heap-allocates every "
+                 "iteration — hoist it into a reusable scratch struct "
+                 "(FeatureScratch/QuantScratch pattern) or annotate a cold "
+                 "loop with vf-lint: allow(hot-alloc)"});
+          }
+          break;
+        }
+      }
     }
 
     // --- aligned-cast ---------------------------------------------------

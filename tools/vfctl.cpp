@@ -16,12 +16,13 @@
 //   vfctl reconstruct --cloud cloud.vtp --like truth.vti --out recon.vti
 //                     (--model model.vfmd [--fallback-method shepard|nearest]
 //                      | --method linear|natural|...)
+//                     [--quant none|fp32|fp16|int8] [--index auto|kdtree|grid_hash]
 //   vfctl eval        --truth truth.vti --recon recon.vti
 //   vfctl serve       --cloud cloud.vtp --model model.vfmd [--key NAME]
 //                     [--serve-workers N] [--batch-max POINTS]
 //                     [--batch-deadline-us US] [--queue-max N]
 //                     [--registry-max-models N] [--registry-budget-mb MB]
-//                     [--serve-port PORT]
+//                     [--serve-port PORT] [--quant none|fp32|fp16|int8]
 //
 // Every command prints what it did; `eval` prints SNR/PSNR/RMSE. `serve`
 // speaks the line-delimited JSON protocol of vf/serve/wire.hpp on stdin
@@ -220,6 +221,11 @@ int cmd_reconstruct(const util::Cli& cli) {
   // model file is unusable — wholesale to the classical fallback, and say
   // so, instead of dying mid-campaign).
   api::ReconstructOptions ropts;
+  // Engine tuning applies to the FCNN engines (the resilient wrapper's
+  // whole-reconstruction fallback path stays fp64 classical regardless).
+  ropts.engine.quant = nn::quant_policy_from_name(cli.get("quant", "none"));
+  ropts.engine.index =
+      spatial::index_kind_from_name(cli.get("index", "auto"));
   if (cli.has("model")) {
     ropts.model_path = cli.get("model", "");
     ropts.resilient = true;
@@ -365,6 +371,7 @@ int cmd_serve(const util::Cli& cli) {
       static_cast<std::size_t>(cli.get_int("registry-max-models", 4));
   opts.registry.max_bytes =
       static_cast<std::size_t>(cli.get_int("registry-budget-mb", 0)) << 20;
+  opts.quant = nn::quant_policy_from_name(cli.get("quant", "none"));
 
   auto cloud = load_with_retries(
       cli, [&] { return sampling::SampleCloud::load_vtp(require(cli, "cloud")); });
