@@ -22,9 +22,11 @@
 #include <cstdint>
 #include <limits>
 #include <map>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "vf/util/mutex.hpp"
+#include "vf/util/thread_annotations.hpp"
 
 namespace vf::obs {
 
@@ -167,9 +169,9 @@ class Registry {
  public:
   static Registry& instance();
 
-  Counter& counter(const std::string& name);
-  Gauge& gauge(const std::string& name);
-  Histogram& histogram(const std::string& name);
+  Counter& counter(const std::string& name) VF_EXCLUDES(mu_);
+  Gauge& gauge(const std::string& name) VF_EXCLUDES(mu_);
+  Histogram& histogram(const std::string& name) VF_EXCLUDES(mu_);
 
   struct CounterEntry {
     std::string name;
@@ -188,19 +190,19 @@ class Registry {
     std::vector<GaugeEntry> gauges;        // sorted by name
     std::vector<HistogramEntry> histograms;  // sorted by name
   };
-  [[nodiscard]] MetricsSnapshot snapshot();
+  [[nodiscard]] MetricsSnapshot snapshot() VF_EXCLUDES(mu_);
 
   /// Zero every metric's value (handles stay valid). Test isolation only.
-  void reset_values();
+  void reset_values() VF_EXCLUDES(mu_);
 
  private:
   Registry() = default;
 
-  std::mutex mu_;
+  vf::util::Mutex mu_{"obs.metrics"};
   // node-based maps: addresses handed out stay stable across inserts.
-  std::map<std::string, Counter> counters_;
-  std::map<std::string, Gauge> gauges_;
-  std::map<std::string, Histogram> histograms_;
+  std::map<std::string, Counter> counters_ VF_GUARDED_BY(mu_);
+  std::map<std::string, Gauge> gauges_ VF_GUARDED_BY(mu_);
+  std::map<std::string, Histogram> histograms_ VF_GUARDED_BY(mu_);
 };
 
 /// Shorthands for Registry::instance().

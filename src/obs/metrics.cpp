@@ -92,22 +92,22 @@ Registry& Registry::instance() {
 }
 
 Counter& Registry::counter(const std::string& name) {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const vf::util::MutexLock lock(mu_);
   return counters_[name];
 }
 
 Gauge& Registry::gauge(const std::string& name) {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const vf::util::MutexLock lock(mu_);
   return gauges_[name];
 }
 
 Histogram& Registry::histogram(const std::string& name) {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const vf::util::MutexLock lock(mu_);
   return histograms_[name];
 }
 
 Registry::MetricsSnapshot Registry::snapshot() {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const vf::util::MutexLock lock(mu_);
   MetricsSnapshot snap;
   snap.counters.reserve(counters_.size());
   for (const auto& [name, c] : counters_) {
@@ -125,7 +125,7 @@ Registry::MetricsSnapshot Registry::snapshot() {
 }
 
 void Registry::reset_values() {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const vf::util::MutexLock lock(mu_);
   for (auto& [name, c] : counters_) c.reset();
   for (auto& [name, g] : gauges_) g.reset();
   for (auto& [name, h] : histograms_) h.reset();

@@ -4,11 +4,12 @@
 #include <chrono>
 #include <map>
 #include <memory>
-#include <mutex>
 
 #include "json_util.hpp"
 #include "vf/obs/metrics.hpp"
 #include "vf/util/atomic_io.hpp"
+#include "vf/util/mutex.hpp"
+#include "vf/util/thread_annotations.hpp"
 #include "vf/util/timer.hpp"
 
 namespace vf::obs {
@@ -29,17 +30,18 @@ struct SpanRecord {
 constexpr std::size_t kMaxRecordsPerThread = std::size_t{1} << 16;
 
 struct ThreadBuffer {
-  std::mutex mu;
-  int tid = 0;
-  std::vector<std::string> stack;  // names of the open spans, outermost first
-  std::vector<SpanRecord> done;
-  std::uint64_t dropped = 0;
+  vf::util::Mutex mu{"obs.span.buffer"};
+  int tid = 0;  // written once before publication to the collector
+  /// Names of the open spans, outermost first.
+  std::vector<std::string> stack VF_GUARDED_BY(mu);
+  std::vector<SpanRecord> done VF_GUARDED_BY(mu);
+  std::uint64_t dropped VF_GUARDED_BY(mu) = 0;
 };
 
 struct Collector {
-  std::mutex mu;
-  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
-  int next_tid = 0;
+  vf::util::Mutex mu{"obs.span.collector"};
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers VF_GUARDED_BY(mu);
+  int next_tid VF_GUARDED_BY(mu) = 0;
 };
 
 Collector& collector() {
@@ -55,7 +57,7 @@ ThreadBuffer& local_buffer() {
   thread_local std::shared_ptr<ThreadBuffer> buf = [] {
     auto b = std::make_shared<ThreadBuffer>();
     auto& c = collector();
-    const std::lock_guard<std::mutex> lock(c.mu);
+    const vf::util::MutexLock lock(c.mu);
     b->tid = c.next_tid++;
     c.buffers.push_back(b);
     return b;
@@ -84,9 +86,9 @@ std::string join_stack(const std::vector<std::string>& stack) {
 std::vector<SpanRecord> merged_records() {
   std::vector<SpanRecord> all;
   auto& c = collector();
-  const std::lock_guard<std::mutex> lock(c.mu);
+  const vf::util::MutexLock lock(c.mu);
   for (const auto& buf : c.buffers) {
-    const std::lock_guard<std::mutex> buf_lock(buf->mu);
+    const vf::util::MutexLock buf_lock(buf->mu);
     all.insert(all.end(), buf->done.begin(), buf->done.end());
   }
   std::sort(all.begin(), all.end(), [](const SpanRecord& a, const SpanRecord& b) {
@@ -101,7 +103,7 @@ std::vector<SpanRecord> merged_records() {
 Span::Span(const char* name) {
   if (!enabled()) return;
   auto& buf = local_buffer();
-  const std::lock_guard<std::mutex> lock(buf.mu);
+  const vf::util::MutexLock lock(buf.mu);
   buf.stack.emplace_back(name);
   start_us_ = now_us();
   active_ = true;
@@ -111,7 +113,7 @@ Span::~Span() {
   if (!active_) return;
   const double end_us = now_us();
   auto& buf = local_buffer();
-  const std::lock_guard<std::mutex> lock(buf.mu);
+  const vf::util::MutexLock lock(buf.mu);
   SpanRecord rec;
   rec.path = join_stack(buf.stack);
   rec.depth = static_cast<int>(buf.stack.size()) - 1;
@@ -196,9 +198,9 @@ void write_chrome_trace(const std::string& path) {
 std::uint64_t dropped_spans() {
   std::uint64_t total = 0;
   auto& c = collector();
-  const std::lock_guard<std::mutex> lock(c.mu);
+  const vf::util::MutexLock lock(c.mu);
   for (const auto& buf : c.buffers) {
-    const std::lock_guard<std::mutex> buf_lock(buf->mu);
+    const vf::util::MutexLock buf_lock(buf->mu);
     total += buf->dropped;
   }
   return total;
@@ -206,9 +208,9 @@ std::uint64_t dropped_spans() {
 
 void reset_spans() {
   auto& c = collector();
-  const std::lock_guard<std::mutex> lock(c.mu);
+  const vf::util::MutexLock lock(c.mu);
   for (const auto& buf : c.buffers) {
-    const std::lock_guard<std::mutex> buf_lock(buf->mu);
+    const vf::util::MutexLock buf_lock(buf->mu);
     buf->done.clear();
     buf->dropped = 0;
   }

@@ -14,15 +14,15 @@
 // workers.
 
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <future>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "vf/field/scalar_field.hpp"
+#include "vf/util/mutex.hpp"
+#include "vf/util/thread_annotations.hpp"
 
 namespace vf::serve {
 
@@ -55,33 +55,34 @@ class RequestQueue {
 
   /// Admission-controlled enqueue. QueueFull leaves `req` untouched so the
   /// caller still owns the promise and can report the shed.
-  Admission push(PointRequest& req);
+  Admission push(PointRequest& req) VF_EXCLUDES(mu_);
 
   /// Blocking micro-batch pop per the module comment. Returns false only
   /// at shutdown with an empty queue; otherwise fills `out` with >= 1
   /// same-key requests totalling <= max_points query points (a single
   /// oversized request is always taken whole).
   bool pop_batch(std::vector<PointRequest>& out, std::size_t max_points,
-                 std::chrono::microseconds max_delay);
+                 std::chrono::microseconds max_delay) VF_EXCLUDES(mu_);
 
   /// Wake all waiters; subsequent pushes are refused, pops drain the
   /// remaining backlog then return false.
-  void shutdown();
+  void shutdown() VF_EXCLUDES(mu_);
 
-  [[nodiscard]] std::size_t depth() const;
+  [[nodiscard]] std::size_t depth() const VF_EXCLUDES(mu_);
 
  private:
-  /// Move every queued `key` request into `out` until `max_points`
-  /// (requires mu_ held). Returns total points claimed so far.
+  /// Move every queued `key` request into `out` until `max_points`.
+  /// Returns total points claimed so far.
   std::size_t claim_locked(const std::string& key,
                            std::vector<PointRequest>& out,
-                           std::size_t max_points, std::size_t claimed);
+                           std::size_t max_points, std::size_t claimed)
+      VF_REQUIRES(mu_);
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<PointRequest> q_;
-  std::size_t max_pending_;
-  bool down_ = false;
+  mutable vf::util::Mutex mu_{"serve.queue"};
+  vf::util::CondVar cv_;
+  std::deque<PointRequest> q_ VF_GUARDED_BY(mu_);
+  std::size_t max_pending_;  // immutable after construction
+  bool down_ VF_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace vf::serve

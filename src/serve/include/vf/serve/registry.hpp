@@ -18,11 +18,12 @@
 #include <future>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 
 #include "vf/core/model.hpp"
+#include "vf/util/mutex.hpp"
+#include "vf/util/thread_annotations.hpp"
 
 namespace vf::serve {
 
@@ -53,10 +54,12 @@ class ModelRegistry {
   /// invalidates in-flight loads of the old path (their results are
   /// discarded on completion, never installed under the new
   /// registration).
-  void add(const std::string& key, const std::string& path);
+  void add(const std::string& key, const std::string& path)
+      VF_EXCLUDES(mu_);
 
   /// True when `key` has been registered.
-  [[nodiscard]] bool contains(const std::string& key) const;
+  [[nodiscard]] bool contains(const std::string& key) const
+      VF_EXCLUDES(mu_);
 
   /// Resolve `key` to its model, loading it if not resident (blocking;
   /// concurrent cold resolves of one key share a single load). Bumps the
@@ -66,9 +69,9 @@ class ModelRegistry {
   /// or a loadable model whose normaliser shapes don't match the
   /// kFeatureDim feature pipeline).
   [[nodiscard]] std::shared_ptr<const vf::core::FcnnModel> resolve(
-      const std::string& key);
+      const std::string& key) VF_EXCLUDES(mu_);
 
-  [[nodiscard]] RegistryStats stats() const;
+  [[nodiscard]] RegistryStats stats() const VF_EXCLUDES(mu_);
 
  private:
   using ModelPtr = std::shared_ptr<const vf::core::FcnnModel>;
@@ -84,14 +87,14 @@ class ModelRegistry {
     std::uint64_t generation = 0;
   };
 
-  /// Evict LRU tails until budgets hold (requires mu_ held).
-  void evict_over_budget_locked();
+  /// Evict LRU tails until budgets hold.
+  void evict_over_budget_locked() VF_REQUIRES(mu_);
 
-  RegistryOptions options_;
-  mutable std::mutex mu_;
-  std::unordered_map<std::string, Entry> entries_;
-  std::list<std::string> lru_;  // front = most recently used
-  RegistryStats stats_;
+  RegistryOptions options_;  // immutable after construction
+  mutable vf::util::Mutex mu_{"serve.registry"};
+  std::unordered_map<std::string, Entry> entries_ VF_GUARDED_BY(mu_);
+  std::list<std::string> lru_ VF_GUARDED_BY(mu_);  // front = most recent
+  RegistryStats stats_ VF_GUARDED_BY(mu_);
 };
 
 }  // namespace vf::serve

@@ -24,7 +24,6 @@
 #include <cstdint>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <stdexcept>
 #include <string>
@@ -37,6 +36,8 @@
 #include "vf/serve/queue.hpp"
 #include "vf/serve/registry.hpp"
 #include "vf/spatial/neighbor_index.hpp"
+#include "vf/util/mutex.hpp"
+#include "vf/util/thread_annotations.hpp"
 
 namespace vf::serve {
 
@@ -136,8 +137,9 @@ class Service {
   ModelRegistry registry_;
   RequestQueue queue_;
 
-  mutable std::mutex sessions_mu_;
-  std::unordered_map<std::string, std::shared_ptr<const Session>> sessions_;
+  mutable vf::util::Mutex sessions_mu_{"serve.sessions"};
+  std::unordered_map<std::string, std::shared_ptr<const Session>> sessions_
+      VF_GUARDED_BY(sessions_mu_);
 
   std::atomic<std::uint64_t> accepted_{0};
   std::atomic<std::uint64_t> shed_{0};
@@ -147,8 +149,8 @@ class Service {
   std::atomic<std::uint64_t> fallback_batches_{0};
 
   std::vector<std::thread> workers_;
-  bool stopped_ = false;
-  std::mutex stop_mu_;
+  vf::util::Mutex stop_mu_{"serve.stop"};
+  bool stopped_ VF_GUARDED_BY(stop_mu_) = false;
 };
 
 }  // namespace vf::serve

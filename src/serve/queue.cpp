@@ -11,7 +11,7 @@ RequestQueue::RequestQueue(std::size_t max_pending)
 
 Admission RequestQueue::push(PointRequest& req) {
   {
-    const std::lock_guard<std::mutex> lock(mu_);
+    const vf::util::MutexLock lock(mu_);
     if (down_) return Admission::ShuttingDown;
     if (q_.size() >= max_pending_) {
       VF_OBS_COUNT("serve.queue.shed", 1);
@@ -48,8 +48,8 @@ bool RequestQueue::pop_batch(std::vector<PointRequest>& out,
                              std::chrono::microseconds max_delay) {
   out.clear();
   if (max_points == 0) max_points = 1;
-  std::unique_lock<std::mutex> lock(mu_);
-  cv_.wait(lock, [&] { return down_ || !q_.empty(); });
+  const vf::util::MutexLock lock(mu_);
+  cv_.wait(mu_, [&]() VF_REQUIRES(mu_) { return down_ || !q_.empty(); });
   if (q_.empty()) return false;  // shutdown with a drained backlog
 
   const std::string key = q_.front().key;
@@ -60,7 +60,7 @@ bool RequestQueue::pop_batch(std::vector<PointRequest>& out,
   // arrivals (each push notifies). A size-flush ends the wait early;
   // shutdown flushes whatever has been claimed.
   while (claimed < max_points && !down_) {
-    if (cv_.wait_until(lock, deadline) == std::cv_status::timeout) break;
+    if (cv_.wait_until(mu_, deadline) == std::cv_status::timeout) break;
     claimed = claim_locked(key, out, max_points, claimed);
   }
   claimed = claim_locked(key, out, max_points, claimed);
@@ -70,14 +70,14 @@ bool RequestQueue::pop_batch(std::vector<PointRequest>& out,
 
 void RequestQueue::shutdown() {
   {
-    const std::lock_guard<std::mutex> lock(mu_);
+    const vf::util::MutexLock lock(mu_);
     down_ = true;
   }
   cv_.notify_all();
 }
 
 std::size_t RequestQueue::depth() const {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const vf::util::MutexLock lock(mu_);
   return q_.size();
 }
 

@@ -14,7 +14,7 @@ ModelRegistry::ModelRegistry(RegistryOptions options) : options_(options) {
 }
 
 void ModelRegistry::add(const std::string& key, const std::string& path) {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const vf::util::MutexLock lock(mu_);
   auto [it, inserted] = entries_.try_emplace(key);
   Entry& e = it->second;
   if (!inserted) {
@@ -36,7 +36,7 @@ void ModelRegistry::add(const std::string& key, const std::string& path) {
 }
 
 bool ModelRegistry::contains(const std::string& key) const {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const vf::util::MutexLock lock(mu_);
   return entries_.count(key) > 0;
 }
 
@@ -71,7 +71,7 @@ std::shared_ptr<const vf::core::FcnnModel> ModelRegistry::resolve(
   std::string path;
   std::uint64_t generation = 0;
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    const vf::util::MutexLock lock(mu_);
     auto it = entries_.find(key);
     if (it == entries_.end()) {
       throw std::invalid_argument("ModelRegistry: unknown key '" + key + "'");
@@ -110,7 +110,7 @@ std::shared_ptr<const vf::core::FcnnModel> ModelRegistry::resolve(
     }
   } catch (...) {
     {
-      const std::lock_guard<std::mutex> lock(mu_);
+      const vf::util::MutexLock lock(mu_);
       auto it = entries_.find(key);
       // Only clear our own load; add() may have re-registered the key
       // (and a newer load may own e.loading now).
@@ -124,7 +124,7 @@ std::shared_ptr<const vf::core::FcnnModel> ModelRegistry::resolve(
   }
 
   {
-    const std::lock_guard<std::mutex> lock(mu_);
+    const vf::util::MutexLock lock(mu_);
     auto it = entries_.find(key);
     // Skip installation when add() re-registered the key mid-load: this
     // result came from the superseded path and must not be served as the
@@ -148,7 +148,7 @@ std::shared_ptr<const vf::core::FcnnModel> ModelRegistry::resolve(
 }
 
 RegistryStats ModelRegistry::stats() const {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const vf::util::MutexLock lock(mu_);
   return stats_;
 }
 

@@ -43,7 +43,7 @@ Service::~Service() { stop(); }
 
 void Service::stop() {
   {
-    const std::lock_guard<std::mutex> lock(stop_mu_);
+    const vf::util::MutexLock lock(stop_mu_);
     if (stopped_) return;
     stopped_ = true;
   }
@@ -72,12 +72,12 @@ void Service::add_session(const std::string& key,
       session->cloud.points(), options_.index, options_.batch_max_points);
   session->values = session->cloud.values();
   registry_.add(key, model_path);
-  const std::lock_guard<std::mutex> lock(sessions_mu_);
+  const vf::util::MutexLock lock(sessions_mu_);
   sessions_[key] = std::move(session);
 }
 
 bool Service::has_session(const std::string& key) const {
-  const std::lock_guard<std::mutex> lock(sessions_mu_);
+  const vf::util::MutexLock lock(sessions_mu_);
   return sessions_.count(key) > 0;
 }
 
@@ -135,7 +135,7 @@ void Service::serve_batch(std::vector<PointRequest>& batch,
   VF_OBS_SPAN("serve/batch");
   std::shared_ptr<const Session> session;
   {
-    const std::lock_guard<std::mutex> lock(sessions_mu_);
+    const vf::util::MutexLock lock(sessions_mu_);
     auto it = sessions_.find(batch.front().key);
     if (it != sessions_.end()) session = it->second;
   }

@@ -2,8 +2,10 @@
 
 #include <cctype>
 #include <cstdlib>
-#include <mutex>
 #include <unordered_map>
+
+#include "vf/util/mutex.hpp"
+#include "vf/util/thread_annotations.hpp"
 
 extern char** environ;  // POSIX: scanned once for VF_FAULT_* variables
 
@@ -18,9 +20,9 @@ struct SiteState {
 };
 
 struct Registry {
-  std::mutex mu;
-  std::unordered_map<std::string, SiteState> sites;
-  bool env_loaded = false;
+  vf::util::Mutex mu{"util.fault"};
+  std::unordered_map<std::string, SiteState> sites VF_GUARDED_BY(mu);
+  bool env_loaded VF_GUARDED_BY(mu) = false;
 };
 
 Registry& registry() {
@@ -37,8 +39,8 @@ std::string site_from_env_name(const std::string& name) {
   return site;
 }
 
-/// Locked: parse and apply every VF_FAULT_* environment variable.
-void load_env_locked(Registry& r) {
+/// Parse and apply every VF_FAULT_* environment variable.
+void load_env_locked(Registry& r) VF_REQUIRES(r.mu) {
   constexpr const char* kPrefix = "VF_FAULT_";
   for (char** e = environ; e != nullptr && *e != nullptr; ++e) {
     const std::string entry(*e);
@@ -59,7 +61,7 @@ void load_env_locked(Registry& r) {
   r.env_loaded = true;
 }
 
-void ensure_env_loaded(Registry& r) {
+void ensure_env_loaded(Registry& r) VF_REQUIRES(r.mu) {
   if (!r.env_loaded) load_env_locked(r);
 }
 
@@ -106,7 +108,7 @@ bool parse_spec(const std::string& text, Spec& spec, bool& armed) {
 
 void arm(const std::string& site, Spec spec) {
   Registry& r = registry();
-  const std::lock_guard<std::mutex> lock(r.mu);
+  const vf::util::MutexLock lock(r.mu);
   ensure_env_loaded(r);
   SiteState& st = r.sites[site];
   st.spec = spec;
@@ -116,14 +118,14 @@ void arm(const std::string& site, Spec spec) {
 
 void disarm(const std::string& site) {
   Registry& r = registry();
-  const std::lock_guard<std::mutex> lock(r.mu);
+  const vf::util::MutexLock lock(r.mu);
   ensure_env_loaded(r);
   r.sites[site].armed = false;
 }
 
 void clear() {
   Registry& r = registry();
-  const std::lock_guard<std::mutex> lock(r.mu);
+  const vf::util::MutexLock lock(r.mu);
   r.sites.clear();
   // Deliberately leave env_loaded true: clear() means "no faults", not
   // "re-arm whatever the environment says".
@@ -132,7 +134,7 @@ void clear() {
 
 Mode fire(const char* site) {
   Registry& r = registry();
-  const std::lock_guard<std::mutex> lock(r.mu);
+  const vf::util::MutexLock lock(r.mu);
   ensure_env_loaded(r);
   SiteState& st = r.sites[site];
   const std::uint64_t hit = st.hits++;
@@ -150,20 +152,20 @@ bool should_fail(const char* site) { return fire(site) == Mode::Error; }
 
 std::uint64_t hits(const std::string& site) {
   Registry& r = registry();
-  const std::lock_guard<std::mutex> lock(r.mu);
+  const vf::util::MutexLock lock(r.mu);
   auto it = r.sites.find(site);
   return it == r.sites.end() ? 0 : it->second.hits;
 }
 
 void reload_env() {
   Registry& r = registry();
-  const std::lock_guard<std::mutex> lock(r.mu);
+  const vf::util::MutexLock lock(r.mu);
   load_env_locked(r);
 }
 
 std::vector<std::string> armed_sites() {
   Registry& r = registry();
-  const std::lock_guard<std::mutex> lock(r.mu);
+  const vf::util::MutexLock lock(r.mu);
   ensure_env_loaded(r);
   std::vector<std::string> out;
   for (const auto& [site, st] : r.sites) {

@@ -1,0 +1,75 @@
+#pragma once
+// Runtime lock-order (deadlock-potential) detector for vf::util::Mutex.
+//
+// Clang's Thread Safety Analysis proves lock *scopes*; it cannot see
+// acquisition *order* across translation units. This detector closes that
+// gap at runtime, deterministically: every armed vf::util::Mutex acquire
+// records directed edges `held -> acquiring` into a process-wide graph,
+// checked *before* the thread blocks on the lock. The first edge that
+// would close a cycle — the classic A->B vs B->A inversion — is reported
+// with both offending held-lock stacks: the current thread's stack and the
+// stack recorded when the conflicting edge was first seen. Unlike TSan's
+// schedule-dependent deadlock reports, one run through both code paths is
+// enough; the threads never have to interleave into the actual deadlock.
+//
+// Arming (off by default; disarmed cost is one relaxed atomic load per
+// lock/unlock):
+//   - environment:  VF_LOCK_ORDER=1|on|abort  arm, abort on a cycle
+//                   VF_LOCK_ORDER=log         arm, log + keep running
+//                   (the VF_FAULT-style downgrade for CI triage)
+//   - programmatic: set_enabled(true) + set_action(Action::Log) — what the
+//                   unit tests and `vfctl serve --lock-order` use.
+//
+// Armed, every acquire serialises on one internal mutex — debug/test/smoke
+// tooling, never a production-hot-path default. The hooks compile out
+// entirely with -DVF_LOCK_ORDER=OFF (VF_LOCK_ORDER_ENABLED=0).
+//
+// Node identity is the Mutex instance (pointer, retired on destruction);
+// the name passed at construction is for reports only. Edges learned from
+// destroyed mutexes linger as unreachable ghosts — conservative and cheap.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#ifndef VF_LOCK_ORDER_ENABLED
+#define VF_LOCK_ORDER_ENABLED 1
+#endif
+
+namespace vf::util::lockorder {
+
+enum class Action : std::uint8_t {
+  Abort,  ///< print the report and std::abort() (default when armed)
+  Log,    ///< print + record the report, keep running (CI triage / tests)
+};
+
+/// Master switch. First call reads the VF_LOCK_ORDER environment variable
+/// (see above); set_enabled() overrides it for the process lifetime.
+[[nodiscard]] bool enabled();
+void set_enabled(bool on);
+
+[[nodiscard]] Action action();
+void set_action(Action a);
+
+/// Hooks called by vf::util::Mutex. `on_acquire` runs BEFORE the thread
+/// blocks, so an inversion is reported even on schedules that would
+/// deadlock. `on_try_acquire` records the hold without edge/cycle checks:
+/// a failed-or-successful try_lock can never deadlock by itself, but locks
+/// it holds still constrain later blocking acquires.
+void on_acquire(const void* mu, const char* name);
+void on_try_acquire(const void* mu, const char* name);
+void on_release(const void* mu);
+void on_destroy(const void* mu);
+
+/// Cycles detected since the last reset() (each distinct inverted edge
+/// pair is reported once).
+[[nodiscard]] std::uint64_t cycle_count();
+
+/// Reports accumulated under Action::Log (capped; oldest kept).
+[[nodiscard]] std::vector<std::string> cycle_reports();
+
+/// Drop the recorded graph, reports, and counters; keeps the armed state
+/// and live mutex registrations. Call with no locks held (test isolation).
+void reset();
+
+}  // namespace vf::util::lockorder

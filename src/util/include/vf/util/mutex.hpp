@@ -1,0 +1,154 @@
+#pragma once
+// Annotated mutex / condition-variable wrappers (DESIGN.md §11).
+//
+// vf::util::Mutex is the repo's one blessed lock type: a std::mutex
+// declared as a Clang Thread Safety *capability*, so `VF_GUARDED_BY(mu_)`
+// fields and `VF_REQUIRES(mu_)` helpers are verified at compile time by
+// the thread-safety CI lane, plus runtime lock-order detector hooks
+// (vf/util/lock_order.hpp) that turn acquisition-order inversions into
+// deterministic reports in debug/smoke runs. The vf_lint `raw-mutex` rule
+// bans std::mutex/std::shared_mutex and raw .lock()/.unlock() calls
+// outside src/util, so every lock in the tree carries both layers.
+//
+// Name your mutexes: `Mutex mu_{"serve.registry"};`. The name (a string
+// literal; the Mutex only stores the pointer) appears in lock-order
+// inversion reports and follows the dot-separated `subsystem.noun` metric
+// naming convention.
+//
+// Locking idiom:
+//   const MutexLock lock(mu_);            // scoped, replaces lock_guard
+//   cv_.wait(mu_, [&]() VF_REQUIRES(mu_) { return ready_; });
+//
+// CondVar waits take the held Mutex directly (the wait temporarily
+// releases and reacquires it through the instrumented lock/unlock, so the
+// detector's held-lock stack stays truthful across the park).
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+#include "vf/util/lock_order.hpp"
+#include "vf/util/thread_annotations.hpp"
+
+namespace vf::util {
+
+class VF_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() noexcept = default;
+  /// `name` must outlive the Mutex (pass a string literal).
+  explicit Mutex(const char* name) noexcept : name_(name) {}
+  ~Mutex() {
+#if VF_LOCK_ORDER_ENABLED
+    lockorder::on_destroy(this);
+#endif
+  }
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() VF_ACQUIRE() {
+#if VF_LOCK_ORDER_ENABLED
+    // Hook runs before the block, so an inversion that would deadlock this
+    // schedule is reported instead of hanging.
+    lockorder::on_acquire(this, name_);
+#endif
+    m_.lock();
+  }
+
+  void unlock() VF_RELEASE() {
+#if VF_LOCK_ORDER_ENABLED
+    lockorder::on_release(this);
+#endif
+    m_.unlock();
+  }
+
+  [[nodiscard]] bool try_lock() VF_TRY_ACQUIRE(true) {
+    if (!m_.try_lock()) return false;
+#if VF_LOCK_ORDER_ENABLED
+    lockorder::on_try_acquire(this, name_);
+#endif
+    return true;
+  }
+
+  [[nodiscard]] const char* name() const noexcept { return name_; }
+
+ private:
+  std::mutex m_;  // vf-lint: allow(unannotated-guard) the wrapper's own storage
+  const char* name_ = "mutex";
+};
+
+/// Scoped acquire/release, the std::lock_guard replacement. Declared a
+/// scoped capability so the analysis tracks the lock across the scope.
+class VF_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) VF_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() VF_RELEASE() { mu_.unlock(); }
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+namespace detail {
+
+/// BasicLockable adapter handing an already-held Mutex to
+/// std::condition_variable_any, so the wait's internal release/reacquire
+/// goes through the instrumented Mutex::unlock/lock.
+class CvLock {
+ public:
+  explicit CvLock(Mutex& mu) noexcept : mu_(mu) {}
+  void lock() VF_ACQUIRE(mu_) { mu_.lock(); }
+  void unlock() VF_RELEASE(mu_) { mu_.unlock(); }
+
+ private:
+  Mutex& mu_;
+};
+
+}  // namespace detail
+
+/// Condition variable paired with vf::util::Mutex. Waits are annotated
+/// VF_REQUIRES(mu): the caller must hold the mutex, and still holds it on
+/// return (the temporary release inside the wait is invisible to — and
+/// sound for — the static analysis).
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void notify_one() noexcept { cv_.notify_one(); }
+  void notify_all() noexcept { cv_.notify_all(); }
+
+  void wait(Mutex& mu) VF_REQUIRES(mu) {
+    detail::CvLock adapter(mu);
+    cv_.wait(adapter);
+  }
+
+  template <typename Pred>
+  void wait(Mutex& mu, Pred pred) VF_REQUIRES(mu) {
+    detail::CvLock adapter(mu);
+    cv_.wait(adapter, std::move(pred));
+  }
+
+  template <typename Clock, typename Duration>
+  std::cv_status wait_until(
+      Mutex& mu,
+      const std::chrono::time_point<Clock, Duration>& deadline)
+      VF_REQUIRES(mu) {
+    detail::CvLock adapter(mu);
+    return cv_.wait_until(adapter, deadline);
+  }
+
+  template <typename Rep, typename Period>
+  std::cv_status wait_for(Mutex& mu,
+                          const std::chrono::duration<Rep, Period>& rel)
+      VF_REQUIRES(mu) {
+    detail::CvLock adapter(mu);
+    return cv_.wait_for(adapter, rel);
+  }
+
+ private:
+  std::condition_variable_any cv_;
+};
+
+}  // namespace vf::util

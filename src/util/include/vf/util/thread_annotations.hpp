@@ -1,0 +1,75 @@
+#pragma once
+// Clang Thread Safety Analysis attribute macros (DESIGN.md §11).
+//
+// These make the repo's locking contracts *statically checkable*: a mutex
+// declared as a capability (vf::util::Mutex), fields tagged with
+// VF_GUARDED_BY(mu), and helpers tagged with VF_REQUIRES(mu) /
+// VF_EXCLUDES(mu) let Clang prove at compile time that every access to a
+// guarded field happens under its lock and that no helper is entered with
+// the wrong locks held. The `thread-safety` CI lane builds the annotated
+// layers with -Wthread-safety -Werror=thread-safety-analysis; under GCC
+// (and any non-Clang compiler) every macro expands to nothing, so the
+// annotations are pure documentation there.
+//
+// Conventions:
+//   - Every mutex member gets at least one VF_GUARDED_BY sibling (enforced
+//     by the vf_lint `unannotated-guard` rule).
+//   - `*_locked()` helpers take VF_REQUIRES(mu_); public entry points that
+//     acquire the lock themselves take VF_EXCLUDES(mu_) so a re-entrant
+//     call is a compile error, not a deadlock.
+//   - Lambdas touching guarded state under an already-held lock are
+//     annotated in place: `[&]() VF_REQUIRES(mu_) { ... }`.
+
+#if defined(__clang__)
+#define VF_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define VF_THREAD_ANNOTATION(x)  // no-op off Clang
+#endif
+
+/// Marks a class as a lockable capability (e.g. a mutex type).
+#define VF_CAPABILITY(x) VF_THREAD_ANNOTATION(capability(x))
+
+/// Marks an RAII class whose constructor acquires and destructor releases.
+#define VF_SCOPED_CAPABILITY VF_THREAD_ANNOTATION(scoped_lockable)
+
+/// Data member readable/writable only while holding the given capability.
+#define VF_GUARDED_BY(x) VF_THREAD_ANNOTATION(guarded_by(x))
+
+/// Pointer member whose *pointee* is protected by the given capability.
+#define VF_PT_GUARDED_BY(x) VF_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Documents (and checks) static acquisition order between capabilities.
+#define VF_ACQUIRED_BEFORE(...) \
+  VF_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+#define VF_ACQUIRED_AFTER(...) \
+  VF_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+
+/// Function may only be called while holding the given capabilities.
+#define VF_REQUIRES(...) \
+  VF_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// Function acquires the capabilities (held on return, not on entry).
+#define VF_ACQUIRE(...) VF_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/// Function releases the capabilities (held on entry, not on return).
+#define VF_RELEASE(...) VF_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// Function acquires the capability when it returns the given value.
+#define VF_TRY_ACQUIRE(...) \
+  VF_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+/// Function must NOT be called while holding the given capabilities —
+/// the annotation that turns a self-deadlock into a compile error.
+#define VF_EXCLUDES(...) VF_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Assert-at-runtime that the capability is held (fact injected into the
+/// analysis, e.g. after an external synchronisation handshake).
+#define VF_ASSERT_CAPABILITY(x) VF_THREAD_ANNOTATION(assert_capability(x))
+
+/// Function returns a reference to the given capability.
+#define VF_RETURN_CAPABILITY(x) VF_THREAD_ANNOTATION(lock_returned(x))
+
+/// Escape hatch: suppress the analysis for one deliberately unverifiable
+/// function body (use sparingly; say why in a comment).
+#define VF_NO_THREAD_SAFETY_ANALYSIS \
+  VF_THREAD_ANNOTATION(no_thread_safety_analysis)

@@ -1,0 +1,292 @@
+#include "vf/util/lock_order.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "vf/util/env.hpp"
+
+namespace vf::util::lockorder {
+
+namespace {
+
+/// One recorded ordering edge a -> b ("a was held while b was acquired"),
+/// with the acquiring thread's held stack captured at first sight so an
+/// inversion report can show *both* sides.
+struct EdgeInfo {
+  std::string holder_stack;
+  int tid = 0;
+};
+
+/// The process-wide acquisition graph. Guarded by its own raw std::mutex:
+/// the detector cannot be built on the vf::util::Mutex it instruments.
+struct State {
+  std::mutex mu;  // vf-lint: allow(unannotated-guard) detector internals predate the annotated wrapper
+  std::unordered_map<const void*, std::uint32_t> ids;  // live mutex -> node
+  std::vector<const char*> names;                      // node -> report name
+  std::vector<std::vector<std::uint32_t>> adj;         // node -> successors
+  std::map<std::pair<std::uint32_t, std::uint32_t>, EdgeInfo> edges;
+  std::set<std::pair<std::uint32_t, std::uint32_t>> reported;
+  std::vector<std::string> reports;
+  std::uint64_t cycles = 0;
+};
+
+State& state() {
+  // Immortal singleton (same pattern as the obs registries): mutexes lock
+  // during static destruction and from lingering pool threads, and the
+  // graph must outlive all of them. Reachable via this pointer => LSan ok.
+  static State* s = new State();  // vf-lint: allow(naked-new) immortal singleton
+  return *s;
+}
+
+constexpr std::size_t kMaxReports = 64;
+
+/// Per-thread held-lock stack. Deliberately a trivially-destructible POD
+/// (fixed array, no heap) so the hooks stay valid during thread-local and
+/// static destruction, when ordinary thread_local vectors may already be
+/// gone. Depth beyond kMaxHeld is counted and ignored — no real code path
+/// in this repo nests anywhere near 16 locks.
+constexpr std::size_t kMaxHeld = 16;
+
+struct HeldLock {
+  const void* mu;
+  std::uint32_t id;
+  const char* name;
+};
+
+struct HeldStack {
+  HeldLock slots[kMaxHeld];
+  std::size_t n;
+  std::size_t overflow;
+};
+thread_local HeldStack t_held;  // zero-initialised, trivially destructible
+
+int thread_tag() {
+  static std::atomic<int> next{1};
+  thread_local const int tag = next.fetch_add(1, std::memory_order_relaxed);
+  return tag;
+}
+
+struct Config {
+  std::atomic<bool> enabled{false};
+  std::atomic<std::uint8_t> action{static_cast<std::uint8_t>(Action::Abort)};
+};
+
+Config& config() {
+  static Config* c = [] {
+    auto* cfg = new Config();  // vf-lint: allow(naked-new) immortal singleton
+    const std::string v = env_string("VF_LOCK_ORDER", "");
+    if (v == "1" || v == "on" || v == "true" || v == "abort") {
+      cfg->enabled.store(true, std::memory_order_relaxed);
+    } else if (v == "log") {
+      cfg->enabled.store(true, std::memory_order_relaxed);
+      cfg->action.store(static_cast<std::uint8_t>(Action::Log),
+                        std::memory_order_relaxed);
+    }
+    return cfg;
+  }();
+  return *c;
+}
+
+/// Node id for `mu`, interning it on first sight (requires s.mu held).
+std::uint32_t intern_locked(State& s, const void* mu, const char* name) {
+  auto [it, inserted] =
+      s.ids.try_emplace(mu, static_cast<std::uint32_t>(s.names.size()));
+  if (inserted) {
+    s.names.push_back(name);
+    s.adj.emplace_back();
+  }
+  return it->second;
+}
+
+/// True when `to` is reachable from `from` in the recorded graph, filling
+/// `parent` for path reconstruction (requires s.mu held).
+bool reachable_locked(const State& s, std::uint32_t from, std::uint32_t to,
+                      std::vector<std::uint32_t>& parent) {
+  parent.assign(s.names.size(), UINT32_MAX);
+  std::vector<std::uint32_t> stack{from};
+  parent[from] = from;
+  while (!stack.empty()) {
+    const std::uint32_t node = stack.back();
+    stack.pop_back();
+    if (node == to) return true;
+    for (const std::uint32_t next : s.adj[node]) {
+      if (parent[next] != UINT32_MAX) continue;
+      parent[next] = node;
+      stack.push_back(next);
+    }
+  }
+  return false;
+}
+
+std::string held_names() {
+  std::string out = "[";
+  for (std::size_t i = 0; i < t_held.n; ++i) {
+    if (i > 0) out += ", ";
+    out += '"';
+    out += t_held.slots[i].name;
+    out += '"';
+  }
+  out += ']';
+  return out;
+}
+
+/// Build the two-sided inversion report: this thread's held stack at the
+/// violating acquire, plus the recorded context of every edge on the
+/// conflicting path acquiring -> ... -> held (requires s.mu held).
+std::string report_locked(const State& s, std::uint32_t acquiring,
+                          std::uint32_t held,
+                          const std::vector<std::uint32_t>& parent) {
+  std::string out = "vf::util: lock-order inversion detected\n";
+  out += "  thread " + std::to_string(thread_tag()) + " holds " +
+         held_names() + " and is acquiring \"" +
+         std::string(s.names[acquiring]) + "\"\n";
+  out += "  conflicting order recorded earlier:\n";
+  // Walk the path held <- ... <- acquiring backwards via parent[].
+  std::vector<std::uint32_t> path{held};
+  while (path.back() != acquiring) path.push_back(parent[path.back()]);
+  for (std::size_t i = path.size(); i-- > 1;) {
+    const auto key = std::make_pair(path[i], path[i - 1]);
+    const auto it = s.edges.find(key);
+    out += "    \"" + std::string(s.names[key.first]) + "\" -> \"" +
+           std::string(s.names[key.second]) + "\"";
+    if (it != s.edges.end()) {
+      out += ": thread " + std::to_string(it->second.tid) +
+             " acquired it while holding " + it->second.holder_stack;
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+void push_held(const void* mu, std::uint32_t id, const char* name) {
+  if (t_held.n < kMaxHeld) {
+    t_held.slots[t_held.n] = HeldLock{mu, id, name};
+    ++t_held.n;
+  } else {
+    ++t_held.overflow;
+  }
+}
+
+}  // namespace
+
+bool enabled() {
+  return config().enabled.load(std::memory_order_relaxed);
+}
+
+void set_enabled(bool on) {
+  config().enabled.store(on, std::memory_order_relaxed);
+}
+
+Action action() {
+  return static_cast<Action>(config().action.load(std::memory_order_relaxed));
+}
+
+void set_action(Action a) {
+  config().action.store(static_cast<std::uint8_t>(a),
+                        std::memory_order_relaxed);
+}
+
+void on_acquire(const void* mu, const char* name) {
+  if (!enabled()) return;
+  State& s = state();
+  std::string report;
+  std::uint32_t id = 0;
+  {
+    const std::lock_guard<std::mutex> lock(s.mu);
+    id = intern_locked(s, mu, name);
+    std::vector<std::uint32_t> parent;
+    for (std::size_t i = 0; i < t_held.n; ++i) {
+      const std::uint32_t held = t_held.slots[i].id;
+      if (held == id) continue;
+      const auto key = std::make_pair(held, id);
+      if (s.edges.count(key) > 0) continue;  // known edge, already checked
+      if (reachable_locked(s, id, held, parent)) {
+        // Adding held -> id would close a cycle. Report once per pair and
+        // keep the graph acyclic so later checks stay meaningful.
+        if (s.reported.insert(key).second) {
+          ++s.cycles;
+          report = report_locked(s, id, held, parent);
+          if (s.reports.size() < kMaxReports) s.reports.push_back(report);
+        }
+      } else {
+        s.adj[held].push_back(id);
+        s.edges[key] = EdgeInfo{held_names(), thread_tag()};
+      }
+    }
+  }
+  push_held(mu, id, name);
+  if (!report.empty()) {
+    std::fprintf(stderr, "%s", report.c_str());
+    if (action() == Action::Abort) {
+      std::fprintf(stderr,
+                   "vf::util: aborting (set VF_LOCK_ORDER=log to downgrade "
+                   "for triage)\n");
+      std::abort();
+    }
+  }
+}
+
+void on_try_acquire(const void* mu, const char* name) {
+  if (!enabled()) return;
+  State& s = state();
+  std::uint32_t id = 0;
+  {
+    const std::lock_guard<std::mutex> lock(s.mu);
+    id = intern_locked(s, mu, name);
+  }
+  push_held(mu, id, name);
+}
+
+void on_release(const void* mu) {
+  // Locks are usually released LIFO, but a CondVar wait can release out of
+  // order; search from the top.
+  for (std::size_t i = t_held.n; i-- > 0;) {
+    if (t_held.slots[i].mu != mu) continue;
+    for (std::size_t j = i + 1; j < t_held.n; ++j) {
+      t_held.slots[j - 1] = t_held.slots[j];
+    }
+    --t_held.n;
+    return;
+  }
+  // Not tracked: either armed mid-hold or pushed past the depth cap.
+  if (t_held.overflow > 0) --t_held.overflow;
+}
+
+void on_destroy(const void* mu) {
+  if (!enabled()) return;
+  State& s = state();
+  const std::lock_guard<std::mutex> lock(s.mu);
+  // Retire the pointer so a recycled address gets a fresh node; the old
+  // node's edges stay behind as unreachable ghosts.
+  s.ids.erase(mu);
+}
+
+std::uint64_t cycle_count() {
+  State& s = state();
+  const std::lock_guard<std::mutex> lock(s.mu);
+  return s.cycles;
+}
+
+std::vector<std::string> cycle_reports() {
+  State& s = state();
+  const std::lock_guard<std::mutex> lock(s.mu);
+  return s.reports;
+}
+
+void reset() {
+  State& s = state();
+  const std::lock_guard<std::mutex> lock(s.mu);
+  for (auto& successors : s.adj) successors.clear();
+  s.edges.clear();
+  s.reported.clear();
+  s.reports.clear();
+  s.cycles = 0;
+}
+
+}  // namespace vf::util::lockorder

@@ -1,0 +1,289 @@
+// Runtime lock-order detector (vf/util/lock_order.hpp): a seeded A->B /
+// B->A inversion is reported exactly once with both lock names, abort mode
+// dies with the report, and legitimate nesting patterns — consistent
+// hierarchies, try_lock probes, CondVar waits — never false-positive.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "vf/util/lock_order.hpp"
+#include "vf/util/mutex.hpp"
+#include "vf/util/thread_annotations.hpp"
+
+namespace {
+
+using namespace std::chrono_literals;
+using vf::util::CondVar;
+using vf::util::Mutex;
+using vf::util::MutexLock;
+namespace lockorder = vf::util::lockorder;
+
+/// Arms the detector in Log mode (no abort) with a clean graph, and
+/// disarms + clears on the way out so other suites start fresh.
+class LockOrderTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    lockorder::reset();
+    lockorder::set_action(lockorder::Action::Log);
+    lockorder::set_enabled(true);
+  }
+  void TearDown() override {
+    lockorder::set_enabled(false);
+    lockorder::reset();
+  }
+};
+
+TEST_F(LockOrderTest, SeededInversionIsDetectedWithBothNames) {
+  Mutex a("test.a");
+  Mutex b("test.b");
+  {
+    const MutexLock la(a);
+    const MutexLock lb(b);  // records test.a -> test.b
+  }
+  EXPECT_EQ(lockorder::cycle_count(), 0u);
+  {
+    const MutexLock lb(b);
+    const MutexLock la(a);  // closes the cycle: test.b -> test.a
+  }
+  EXPECT_EQ(lockorder::cycle_count(), 1u);
+
+  const auto reports = lockorder::cycle_reports();
+  ASSERT_EQ(reports.size(), 1u);
+  EXPECT_NE(reports[0].find("lock-order inversion"), std::string::npos);
+  EXPECT_NE(reports[0].find("test.a"), std::string::npos);
+  EXPECT_NE(reports[0].find("test.b"), std::string::npos);
+  // Both sides of the conflict are present: the acquiring thread's held
+  // stack and the recorded context of the earlier conflicting edge.
+  EXPECT_NE(reports[0].find("is acquiring"), std::string::npos);
+  EXPECT_NE(reports[0].find("conflicting order recorded earlier"),
+            std::string::npos);
+}
+
+TEST_F(LockOrderTest, InversionAcrossThreadsIsDetectedWithoutDeadlocking) {
+  Mutex a("test.thr.a");
+  Mutex b("test.thr.b");
+  // Thread 1 records a -> b and fully releases before thread 2 starts, so
+  // the schedule itself can never deadlock — the detector still flags the
+  // order violation from the graph alone.
+  std::thread t1([&] {
+    const MutexLock la(a);
+    const MutexLock lb(b);
+  });
+  t1.join();
+  std::thread t2([&] {
+    const MutexLock lb(b);
+    const MutexLock la(a);
+  });
+  t2.join();
+  EXPECT_EQ(lockorder::cycle_count(), 1u);
+}
+
+TEST_F(LockOrderTest, EachInvertedPairIsReportedOnce) {
+  Mutex a("test.once.a");
+  Mutex b("test.once.b");
+  {
+    const MutexLock la(a);
+    const MutexLock lb(b);
+  }
+  for (int i = 0; i < 3; ++i) {
+    const MutexLock lb(b);
+    const MutexLock la(a);
+  }
+  EXPECT_EQ(lockorder::cycle_count(), 1u);
+  EXPECT_EQ(lockorder::cycle_reports().size(), 1u);
+}
+
+TEST_F(LockOrderTest, TransitiveInversionIsDetected) {
+  Mutex a("test.chain.a");
+  Mutex b("test.chain.b");
+  Mutex c("test.chain.c");
+  {
+    const MutexLock la(a);
+    const MutexLock lb(b);  // a -> b
+  }
+  {
+    const MutexLock lb(b);
+    const MutexLock lc(c);  // b -> c
+  }
+  {
+    const MutexLock lc(c);
+    const MutexLock la(a);  // c -> a closes a three-lock cycle
+  }
+  EXPECT_EQ(lockorder::cycle_count(), 1u);
+  const auto reports = lockorder::cycle_reports();
+  ASSERT_EQ(reports.size(), 1u);
+  // The report walks the conflicting path, so all three names appear.
+  EXPECT_NE(reports[0].find("test.chain.a"), std::string::npos);
+  EXPECT_NE(reports[0].find("test.chain.b"), std::string::npos);
+  EXPECT_NE(reports[0].find("test.chain.c"), std::string::npos);
+}
+
+TEST_F(LockOrderTest, ConsistentNestingNeverFalsePositives) {
+  Mutex outer("test.hier.outer");
+  Mutex inner("test.hier.inner");
+  std::vector<std::thread> threads;
+  threads.reserve(8);
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 200; ++i) {
+        {
+          const MutexLock lo(outer);
+          const MutexLock li(inner);  // always outer -> inner
+        }
+        {
+          const MutexLock lo(outer);  // outer alone
+        }
+        {
+          const MutexLock li(inner);  // inner alone is not an inversion
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(lockorder::cycle_count(), 0u);
+  EXPECT_TRUE(lockorder::cycle_reports().empty());
+}
+
+TEST_F(LockOrderTest, DiamondHierarchyIsNotACycle) {
+  // a -> b, a -> c, b -> d, c -> d: a classic diamond. Reachability
+  // d -> nothing, so no edge closes a cycle.
+  Mutex a("test.dia.a");
+  Mutex b("test.dia.b");
+  Mutex c("test.dia.c");
+  Mutex d("test.dia.d");
+  {
+    const MutexLock la(a);
+    const MutexLock lb(b);
+    const MutexLock ld(d);
+  }
+  {
+    const MutexLock la(a);
+    const MutexLock lc(c);
+    const MutexLock ld(d);
+  }
+  EXPECT_EQ(lockorder::cycle_count(), 0u);
+}
+
+TEST_F(LockOrderTest, TryLockRecordsTheHoldButNoOrderingEdge) {
+  Mutex a("test.try.a");
+  Mutex b("test.try.b");
+  {
+    const MutexLock la(a);
+    ASSERT_TRUE(b.try_lock());  // cannot deadlock: records no a -> b edge
+    b.unlock();
+  }
+  {
+    const MutexLock lb(b);
+    const MutexLock la(a);  // b -> a is the only recorded edge — no cycle
+  }
+  EXPECT_EQ(lockorder::cycle_count(), 0u);
+}
+
+TEST_F(LockOrderTest, LocksHeldViaTryLockStillConstrainBlockingAcquires) {
+  Mutex a("test.tryhold.a");
+  Mutex b("test.tryhold.b");
+  {
+    const MutexLock la(a);
+    const MutexLock lb(b);  // a -> b
+  }
+  {
+    ASSERT_TRUE(b.try_lock());  // held via try_lock...
+    const MutexLock la(a);  // ...so this blocking acquire records b -> a
+    b.unlock();
+  }
+  EXPECT_EQ(lockorder::cycle_count(), 1u);
+}
+
+TEST_F(LockOrderTest, CondVarWaitKeepsTheHeldStackTruthful) {
+  Mutex m("test.cv.m");
+  Mutex other("test.cv.other");
+  CondVar cv;
+  bool ready = false;  // protected by m (locals cannot carry VF_GUARDED_BY)
+
+  std::thread waiter([&] {
+    const MutexLock lock(m);
+    cv.wait(m, [&]() VF_REQUIRES(m) { return ready; });
+    // Still holding m after the wait; a nested acquire here must record
+    // m -> other exactly as if no wait had happened.
+    const MutexLock lo(other);
+  });
+  {
+    // The signaller can take m while the waiter is parked — if the wait
+    // left a stale hold on the detector stack this would look like a
+    // self-deadlock or corrupt later bookkeeping.
+    std::this_thread::sleep_for(10ms);
+    const MutexLock lock(m);
+    ready = true;
+  }
+  cv.notify_all();
+  waiter.join();
+  EXPECT_EQ(lockorder::cycle_count(), 0u);
+}
+
+TEST_F(LockOrderTest, ResetClearsTheGraphAndReports) {
+  Mutex a("test.reset.a");
+  Mutex b("test.reset.b");
+  {
+    const MutexLock la(a);
+    const MutexLock lb(b);
+  }
+  {
+    const MutexLock lb(b);
+    const MutexLock la(a);
+  }
+  ASSERT_EQ(lockorder::cycle_count(), 1u);
+  lockorder::reset();
+  EXPECT_EQ(lockorder::cycle_count(), 0u);
+  EXPECT_TRUE(lockorder::cycle_reports().empty());
+  // The same inversion is re-learnable after a reset (fresh graph).
+  {
+    const MutexLock la(a);
+    const MutexLock lb(b);
+  }
+  {
+    const MutexLock lb(b);
+    const MutexLock la(a);
+  }
+  EXPECT_EQ(lockorder::cycle_count(), 1u);
+}
+
+TEST_F(LockOrderTest, DisarmedDetectorRecordsNothing) {
+  lockorder::set_enabled(false);
+  Mutex a("test.off.a");
+  Mutex b("test.off.b");
+  {
+    const MutexLock la(a);
+    const MutexLock lb(b);
+  }
+  {
+    const MutexLock lb(b);
+    const MutexLock la(a);
+  }
+  EXPECT_EQ(lockorder::cycle_count(), 0u);
+}
+
+using LockOrderDeathTest = LockOrderTest;
+
+TEST_F(LockOrderDeathTest, AbortModeDiesWithTheReport) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  Mutex a("test.die.a");
+  Mutex b("test.die.b");
+  {
+    const MutexLock la(a);
+    const MutexLock lb(b);
+  }
+  EXPECT_DEATH(
+      {
+        lockorder::set_action(lockorder::Action::Abort);
+        const MutexLock lb(b);
+        const MutexLock la(a);
+      },
+      "lock-order inversion");
+}
+
+}  // namespace

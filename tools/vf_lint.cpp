@@ -69,6 +69,30 @@
 //                    buffers to vector types with alignment assumptions —
 //                    needs `// vf-lint: allow(cast) <reason>`.
 //
+//   raw-mutex        Outside src/util, locking goes through the annotated
+//                    vf::util::Mutex / MutexLock / CondVar wrappers
+//                    (vf/util/mutex.hpp), never raw std::mutex /
+//                    std::shared_mutex / std::condition_variable or manual
+//                    .lock()/.unlock() calls. The wrappers carry the Clang
+//                    Thread Safety capability and the runtime lock-order
+//                    detector hooks; a raw mutex is invisible to both.
+//                    Annotate a deliberate site with
+//                    `// vf-lint: allow(raw-mutex) <reason>`.
+//
+//   detached-thread  `.detach()` is banned everywhere: a detached thread
+//                    outlives the objects it captures, cannot be joined at
+//                    shutdown, and turns every static destructor into a
+//                    race. Own threads in a joinable pool (see
+//                    vf::serve::Service). Annotate a deliberate site with
+//                    `// vf-lint: allow(detached-thread) <reason>`.
+//
+//   unannotated-guard  A vf::util::Mutex / std::mutex member declared in a
+//                    file where no field is VF_GUARDED_BY(that mutex) is a
+//                    lock protecting nothing the analysis can check —
+//                    usually a migration gap. Declare what it guards, or
+//                    annotate wrapper/detector internals with
+//                    `// vf-lint: allow(unannotated-guard) <reason>`.
+//
 // Usage: vf_lint <dir-or-file>...   (exit 1 if any finding)
 // Wired into CTest as the `vf_lint` test over src/, tools/, bench/, and
 // examples/.
@@ -227,7 +251,17 @@ void lint_file(const fs::path& path, std::vector<Finding>& findings) {
   const bool alloc_hot = (gen.find("src/core/") != std::string::npos ||
                           gen.find("src/spatial/") != std::string::npos) &&
                          path.extension() == ".cpp";
+  // The raw-mutex rule exempts src/util: the annotated wrappers and the
+  // lock-order detector are themselves built on the raw primitives.
+  const bool util_src = gen.find("src/util/") != std::string::npos;
   std::vector<ResizeWatch> watches;
+
+  /// Mutex members awaiting a VF_GUARDED_BY(<name>) sighting in this file.
+  struct GuardWatch {
+    std::string name;
+    std::size_t line;
+  };
+  std::vector<GuardWatch> guard_watches;
 
   // Brace-depth tracking for hot-alloc: which open-brace depths are loop
   // bodies. `pending_loop` carries a brace-less `for`/`while` header to the
@@ -462,6 +496,98 @@ void lint_file(const fs::path& path, std::vector<Finding>& findings) {
                  "aligned-buffer reinterpretation needs "
                  "vf-lint: allow(cast) with a justification"});
       }
+    }
+
+    // --- raw-mutex ------------------------------------------------------
+    if (!util_src && code.find("#include") == std::string::npos) {
+      for (const char* token :
+           {"std::mutex", "std::shared_mutex", "std::recursive_mutex",
+            "std::timed_mutex", "std::condition_variable"}) {
+        if (has_word(code, token) && !allowed("raw-mutex")) {
+          findings.push_back(
+              {file, lineno, "raw-mutex",
+               std::string("raw `") + token +
+                   "` outside src/util — lock through the annotated "
+                   "vf::util::Mutex / MutexLock / CondVar wrappers "
+                   "(vf/util/mutex.hpp) so the thread-safety analysis and "
+                   "the lock-order detector both see it, or annotate with "
+                   "vf-lint: allow(raw-mutex)"});
+          break;  // one finding per line is enough
+        }
+      }
+      for (const char* call : {".lock()", ".unlock()"}) {
+        // `.try_lock()` never matches: its substring is `_lock()`.
+        if (code.find(call) != std::string::npos && !allowed("raw-mutex")) {
+          findings.push_back(
+              {file, lineno, "raw-mutex",
+               std::string("manual `") + call +
+                   "` outside src/util — use the scoped "
+                   "vf::util::MutexLock (exception-safe, analysis-visible), "
+                   "or annotate with vf-lint: allow(raw-mutex)"});
+        }
+      }
+    }
+
+    // --- detached-thread ------------------------------------------------
+    if (code.find(".detach()") != std::string::npos &&
+        !allowed("detached-thread")) {
+      findings.push_back(
+          {file, lineno, "detached-thread",
+           "detached thread — it outlives its captures and cannot be "
+           "joined at shutdown; own it in a joinable pool (see "
+           "vf::serve::Service), or annotate with "
+           "vf-lint: allow(detached-thread)"});
+    }
+
+    // --- unannotated-guard (collection; resolved after the line loop) ---
+    for (const char* mutex_type :
+         {"vf::util::Mutex", "std::mutex", "std::shared_mutex"}) {
+      const std::size_t pos = code.find(mutex_type);
+      if (pos == std::string::npos) continue;
+      if (pos > 0 && (is_ident_char(code[pos - 1]) || code[pos - 1] == ':')) {
+        continue;  // mid-identifier or a longer qualified name
+      }
+      std::size_t p = pos + std::string(mutex_type).size();
+      if (p < code.size() && is_ident_char(code[p])) continue;  // MutexLock
+      while (p < code.size() && code[p] == ' ') ++p;
+      // Declarations only: `Mutex name;` / `Mutex name{...};` /
+      // `Mutex name = ...;`. A following `&`/`*`/`(`/`>` is a reference,
+      // pointer, constructor, or template argument — not a member.
+      std::size_t b = p;
+      while (b < code.size() && is_ident_char(code[b])) ++b;
+      if (b == p) continue;  // no identifier follows
+      std::string member = code.substr(p, b - p);
+      while (b < code.size() && code[b] == ' ') ++b;
+      if (b >= code.size() || (code[b] != ';' && code[b] != '{' && code[b] != '=')) {
+        continue;
+      }
+      if (!allowed("unannotated-guard")) {
+        guard_watches.push_back({std::move(member), lineno});
+      }
+    }
+  }
+
+  // --- unannotated-guard (resolution) -----------------------------------
+  for (const auto& watch : guard_watches) {
+    bool guarded = false;
+    for (const auto& sl : split) {
+      if (sl.code.find("VF_GUARDED_BY(" + watch.name + ")") !=
+              std::string::npos ||
+          sl.code.find("VF_PT_GUARDED_BY(" + watch.name + ")") !=
+              std::string::npos) {
+        guarded = true;
+        break;
+      }
+    }
+    if (!guarded) {
+      findings.push_back(
+          {file, watch.line, "unannotated-guard",
+           "mutex `" + watch.name +
+               "` has no VF_GUARDED_BY(" + watch.name +
+               ") field in this file — declare what it protects "
+               "(vf/util/thread_annotations.hpp) or annotate "
+               "wrapper/detector internals with "
+               "vf-lint: allow(unannotated-guard)"});
     }
   }
 }

@@ -23,6 +23,7 @@
 //                     [--batch-deadline-us US] [--queue-max N]
 //                     [--registry-max-models N] [--registry-budget-mb MB]
 //                     [--serve-port PORT] [--quant none|fp32|fp16|int8]
+//                     [--lock-order]
 //
 // Every command prints what it did; `eval` prints SNR/PSNR/RMSE. `serve`
 // speaks the line-delimited JSON protocol of vf/serve/wire.hpp on stdin
@@ -41,6 +42,12 @@
 // chrome://tracing file of every recorded span; --trace prints the
 // aggregated span-tree summary to stdout on exit. The VF_OBS environment
 // variable (0/1) is the runtime master switch.
+//
+// Concurrency debugging: `serve --lock-order` (or VF_LOCK_ORDER=1 in the
+// environment, =log to report without aborting) arms the runtime
+// lock-order detector — any acquisition-order inversion across the serve /
+// obs / util mutexes aborts with both offending held-lock stacks. See
+// vf/util/lock_order.hpp and DESIGN.md §11.
 //
 // Robustness options (all commands): --retries N (default 1) retries file
 // loads N times total on transient I/O errors with exponential backoff
@@ -76,6 +83,7 @@
 #include "vf/serve/wire.hpp"
 #include "vf/util/atomic_io.hpp"
 #include "vf/util/cli.hpp"
+#include "vf/util/lock_order.hpp"
 #include "vf/util/timer.hpp"
 
 namespace {
@@ -360,6 +368,12 @@ int serve_tcp(serve::Service& service, const std::string& default_key,
 }
 
 int cmd_serve(const util::Cli& cli) {
+  if (cli.get_bool("lock-order", false)) {
+    // Arm before the Service spins up its workers so every acquisition in
+    // the process is recorded; VF_LOCK_ORDER=log in the environment (read
+    // at first lock) still downgrades abort -> log for triage.
+    util::lockorder::set_enabled(true);
+  }
   serve::ServiceOptions opts;
   opts.workers = static_cast<std::size_t>(cli.get_int("serve-workers", 2));
   opts.batch_max_points =
