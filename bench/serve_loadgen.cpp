@@ -13,7 +13,14 @@
 // The headline is the queries/sec ratio between the two runs. The PR's
 // acceptance demo is this binary's `serve_batching_speedup >= 2`.
 //
-//   serve_loadgen [--clients 8] [--queries 150] [--points 4] [--out FILE]
+// --deadline-ms N attaches a per-request deadline to every query; requests
+// the service cannot serve in time come back `deadline_exceeded` and are
+// reported as the deadline-miss rate (`serve_deadline_miss_rate`, measured
+// over the batched run). The default (0) keeps requests deadline-free so
+// the baseline throughput gates are unaffected.
+//
+//   serve_loadgen [--clients 8] [--queries 150] [--points 4]
+//                 [--deadline-ms 0] [--out FILE]
 
 #include <atomic>
 #include <chrono>
@@ -62,16 +69,20 @@ struct LoadResult {
   double seconds = 0.0;
   std::uint64_t queries = 0;
   std::uint64_t shed = 0;
+  std::uint64_t deadline_missed = 0;  ///< answered deadline_exceeded
   vf::serve::ServiceStats stats;
 };
 
 /// Drive `service` with `clients` closed-loop threads, `queries` synchronous
 /// queries each. A shed query (backpressure) is retried after a yield, so
-/// every query eventually completes — closed-loop clients never give up.
+/// every query eventually completes — closed-loop clients never give up. A
+/// nonzero `deadline_ms` rides each request; deadline-exceeded answers are
+/// terminal (counted, not retried — the data is stale by definition).
 LoadResult run_load(Service& service, int clients, int queries, int points,
-                    const Vec3& lo, const Vec3& hi) {
+                    const Vec3& lo, const Vec3& hi, int deadline_ms) {
   std::atomic<std::uint64_t> done{0};
   std::atomic<std::uint64_t> shed{0};
+  std::atomic<std::uint64_t> missed{0};
   const auto t0 = std::chrono::steady_clock::now();
   std::vector<std::thread> threads;
   threads.reserve(static_cast<std::size_t>(clients));
@@ -85,9 +96,17 @@ LoadResult run_load(Service& service, int clients, int queries, int points,
                rng.uniform(lo.z, hi.z)};
         }
         for (;;) {
-          auto future = service.submit("t0", pts);
+          auto future =
+              deadline_ms > 0
+                  ? service.submit("t0", pts,
+                                   std::chrono::steady_clock::now() +
+                                       std::chrono::milliseconds(deadline_ms))
+                  : service.submit("t0", pts);
           if (future) {
-            (void)future->get();
+            const auto resp = future->get();
+            if (resp.status == vf::serve::Status::DeadlineExceeded) {
+              missed.fetch_add(1, std::memory_order_relaxed);
+            }
             break;
           }
           shed.fetch_add(1, std::memory_order_relaxed);
@@ -104,6 +123,7 @@ LoadResult run_load(Service& service, int clients, int queries, int points,
           .count();
   r.queries = done.load();
   r.shed = shed.load();
+  r.deadline_missed = missed.load();
   r.stats = service.stats();
   return r;
 }
@@ -115,6 +135,7 @@ int main(int argc, char** argv) {
   const int clients = std::max(1, cli.get_int("clients", 8));
   const int queries = std::max(1, cli.get_int("queries", 150));
   const int points = std::max(1, cli.get_int("points", 4));
+  const int deadline_ms = std::max(0, cli.get_int("deadline-ms", 0));
   const std::string out = cli.get("out", "serve_loadgen.json");
 
   vf::obs::set_enabled(false);  // measure the serving path, not the probes
@@ -148,7 +169,7 @@ int main(int argc, char** argv) {
     opts.queue_max = 4096;
     Service service(opts);
     service.add_session("t0", cloud, model_path);
-    const auto r = run_load(service, clients, queries, points, lo, hi);
+    const auto r = run_load(service, clients, queries, points, lo, hi, 0);
     unbatched_qps = r.seconds > 0.0 ? total / r.seconds : 0.0;
     vf::obs::BenchPhase phase;
     phase.name = "unbatched";
@@ -161,13 +182,18 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(r.shed));
   }
 
+  double miss_rate = 0.0;
   {  // Production defaults: dynamic micro-batching.
     ServiceOptions opts;
     opts.queue_max = 4096;
     Service service(opts);
     service.add_session("t0", cloud, model_path);
-    const auto r = run_load(service, clients, queries, points, lo, hi);
+    const auto r =
+        run_load(service, clients, queries, points, lo, hi, deadline_ms);
     batched_qps = r.seconds > 0.0 ? total / r.seconds : 0.0;
+    miss_rate = r.queries > 0 ? static_cast<double>(r.deadline_missed) /
+                                    static_cast<double>(r.queries)
+                              : 0.0;
     vf::obs::BenchPhase phase;
     phase.name = "batched";
     phase.wall_seconds = r.seconds;
@@ -181,6 +207,12 @@ int main(int argc, char** argv) {
     std::printf("batched:   %8.1f q/s  (%llu batches, %.1f points/batch)\n",
                 batched_qps,
                 static_cast<unsigned long long>(r.stats.batches), avg_batch);
+    if (deadline_ms > 0) {
+      std::printf("deadline:  %llu/%llu missed (%.2f%%) at %d ms\n",
+                  static_cast<unsigned long long>(r.deadline_missed),
+                  static_cast<unsigned long long>(r.queries),
+                  100.0 * miss_rate, deadline_ms);
+    }
   }
 
   const double speedup =
@@ -188,6 +220,7 @@ int main(int argc, char** argv) {
   rec.set_metric("serve_unbatched_queries_per_second", unbatched_qps);
   rec.set_metric("serve_batched_queries_per_second", batched_qps);
   rec.set_metric("serve_batching_speedup", speedup);
+  rec.set_metric("serve_deadline_miss_rate", miss_rate);
   rec.write(out);
   std::printf("micro-batching speedup: %.2fx  (wrote %s)\n", speedup,
               out.c_str());

@@ -13,13 +13,26 @@
 // resolve simply reloads. In-flight shared_ptr handles keep an evicted
 // model's storage alive until the last user drops it — eviction only
 // drops the registry's reference, never memory a worker is reading.
+//
+// Loads sit behind a per-model circuit breaker (DESIGN.md §12): after
+// `breaker_threshold` consecutive failures the breaker opens and resolve
+// fast-fails with CircuitOpenError — no disk I/O — until an exponentially
+// backed-off half-open window lets a single probe load through. A probe
+// success closes the breaker; a failure re-opens it with doubled backoff.
+// Callers already treat any resolve failure as "degrade to the classical
+// estimator", so an open breaker turns a retry-hammered fault into an
+// instant, bounded degradation.
 
+#include <chrono>
 #include <cstdint>
 #include <future>
 #include <list>
 #include <memory>
+#include <stdexcept>
 #include <string>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "vf/core/model.hpp"
 #include "vf/util/mutex.hpp"
@@ -34,6 +47,38 @@ struct RegistryOptions {
   /// recently used model is never evicted even when it alone exceeds
   /// the budget.
   std::size_t max_bytes = 0;
+  /// Consecutive load failures before the per-model breaker opens
+  /// (0 disables circuit breaking entirely).
+  std::uint32_t breaker_threshold = 3;
+  /// First open window; doubles on every failed half-open probe up to
+  /// `breaker_backoff_max`.
+  std::chrono::milliseconds breaker_backoff{100};
+  std::chrono::milliseconds breaker_backoff_max{5000};
+};
+
+/// Per-model load-path health (see module comment for transitions).
+enum class BreakerState : std::uint8_t {
+  Closed = 0,    ///< loads flow normally
+  Open = 1,      ///< fast-failing; no disk I/O until the window elapses
+  HalfOpen = 2,  ///< one probe load in flight; siblings still fast-fail
+};
+
+[[nodiscard]] const char* breaker_state_name(BreakerState s);
+
+/// Thrown by resolve() when the key's breaker is open. Derives
+/// runtime_error so existing "any load failure degrades classically"
+/// handling applies unchanged.
+class CircuitOpenError : public std::runtime_error {
+ public:
+  explicit CircuitOpenError(const std::string& key)
+      : std::runtime_error("ModelRegistry: circuit open for key '" + key +
+                           "'") {}
+};
+
+struct BreakerSnapshot {
+  BreakerState state = BreakerState::Closed;
+  std::uint32_t consecutive_failures = 0;
+  std::chrono::milliseconds backoff{0};  ///< current open window (0 = never tripped)
 };
 
 struct RegistryStats {
@@ -41,8 +86,11 @@ struct RegistryStats {
   std::uint64_t loads = 0;
   std::uint64_t load_failures = 0;
   std::uint64_t evictions = 0;
+  std::uint64_t breaker_opens = 0;       ///< Closed/HalfOpen -> Open transitions
+  std::uint64_t breaker_fast_fails = 0;  ///< resolves answered without disk I/O
   std::size_t resident_models = 0;
   std::size_t resident_bytes = 0;
+  std::size_t open_breakers = 0;  ///< keys currently Open or HalfOpen
 };
 
 class ModelRegistry {
@@ -50,10 +98,10 @@ class ModelRegistry {
   explicit ModelRegistry(RegistryOptions options = {});
 
   /// Register `key` -> model file. Does not load. Re-registering an
-  /// existing key updates the path, drops any resident model, and
-  /// invalidates in-flight loads of the old path (their results are
-  /// discarded on completion, never installed under the new
-  /// registration).
+  /// existing key updates the path, drops any resident model, resets the
+  /// breaker (a new file is a new fault domain), and invalidates in-flight
+  /// loads of the old path (their results are discarded on completion,
+  /// never installed under the new registration).
   void add(const std::string& key, const std::string& path)
       VF_EXCLUDES(mu_);
 
@@ -64,14 +112,24 @@ class ModelRegistry {
   /// Resolve `key` to its model, loading it if not resident (blocking;
   /// concurrent cold resolves of one key share a single load). Bumps the
   /// LRU position and evicts over-budget models. Throws
-  /// std::invalid_argument for unregistered keys and propagates load
-  /// errors (missing/corrupt file, fault-injected "model_read" failures,
-  /// or a loadable model whose normaliser shapes don't match the
-  /// kFeatureDim feature pipeline).
+  /// std::invalid_argument for unregistered keys, CircuitOpenError when
+  /// the key's breaker is open, and propagates load errors
+  /// (missing/corrupt file, fault-injected "model_read" failures, or a
+  /// loadable model whose normaliser shapes don't match the kFeatureDim
+  /// feature pipeline).
   [[nodiscard]] std::shared_ptr<const vf::core::FcnnModel> resolve(
       const std::string& key) VF_EXCLUDES(mu_);
 
   [[nodiscard]] RegistryStats stats() const VF_EXCLUDES(mu_);
+
+  /// Breaker state for one key (throws std::invalid_argument if
+  /// unregistered).
+  [[nodiscard]] BreakerSnapshot breaker(const std::string& key) const
+      VF_EXCLUDES(mu_);
+
+  /// Every registered key's breaker state, for the `ready` wire verb.
+  [[nodiscard]] std::vector<std::pair<std::string, BreakerSnapshot>>
+  breaker_states() const VF_EXCLUDES(mu_);
 
  private:
   using ModelPtr = std::shared_ptr<const vf::core::FcnnModel>;
@@ -85,10 +143,20 @@ class ModelRegistry {
     /// Bumped by add() on re-registration; a load completing under a
     /// stale generation discards its result instead of installing it.
     std::uint64_t generation = 0;
+    // --- circuit breaker (guarded by mu_ like the rest of the entry) ---
+    BreakerState breaker = BreakerState::Closed;
+    std::uint32_t consecutive_failures = 0;
+    std::chrono::milliseconds backoff{0};  // current open window
+    std::chrono::steady_clock::time_point open_until{};
   };
 
   /// Evict LRU tails until budgets hold.
   void evict_over_budget_locked() VF_REQUIRES(mu_);
+
+  /// Record a load failure against `e` and open/re-open the breaker when
+  /// the consecutive-failure threshold is reached.
+  void record_load_failure_locked(const std::string& key, Entry& e)
+      VF_REQUIRES(mu_);
 
   RegistryOptions options_;  // immutable after construction
   mutable vf::util::Mutex mu_{"serve.registry"};

@@ -1,10 +1,10 @@
 #pragma once
 // Service — the embeddable concurrent reconstruction service (tentpole of
-// the serving layer; see DESIGN.md §9).
+// the serving layer; see DESIGN.md §9, lifecycle in §12).
 //
-//   clients ── submit() ──> RequestQueue ──> worker pool ──> promises
+//   clients ── submit() ──> RequestQueue ──> worker pool ──> replies
 //                               │                 │
-//                         admission control   ModelRegistry (LRU)
+//                         admission control   ModelRegistry (LRU + breaker)
 //                               │                 │
 //                           shed (Overloaded)  vf::api::predict_points
 //
@@ -16,8 +16,16 @@
 // pins its OpenMP ICV to one thread: parallelism comes from the worker
 // pool (requests are many and small), not from data-parallel kernels, so
 // the pool never oversubscribes the machine. A model-load failure (disk
-// fault, VF_FAULT_MODEL_READ injection) degrades the affected batch to
-// the classical Shepard estimator instead of failing the requests.
+// fault, VF_FAULT_MODEL_READ injection, open circuit breaker) degrades
+// the affected batch to the classical Shepard estimator instead of
+// failing the requests.
+//
+// Request lifecycle guarantees (chaos-soak-tested, DESIGN.md §12): every
+// accepted request gets exactly one terminal answer through its Reply —
+// served, DeadlineExceeded (at submit, in the queue, or just before
+// compute), Draining (drain-budget shed), or a failure exception; no
+// promise is ever orphaned, including through stop()/drain() racing live
+// producers.
 
 #include <atomic>
 #include <chrono>
@@ -57,6 +65,9 @@ struct ServiceOptions {
   std::chrono::microseconds batch_deadline{200};
   /// Bounded backlog: pending requests beyond this are shed.
   std::size_t queue_max = 256;
+  /// Default per-request deadline applied by submit()/query() when the
+  /// caller passes none (zero = requests never expire).
+  std::chrono::milliseconds default_deadline{0};
   /// Neighbour count for classical estimates (repair + fallback).
   int repair_neighbors = 5;
   /// Inference precision for served batches. None runs the fp64 Network
@@ -79,11 +90,17 @@ struct ServiceStats {
   std::uint64_t served_points = 0;
   std::uint64_t degraded_points = 0;
   std::uint64_t fallback_batches = 0;  ///< batches served classically
+  std::uint64_t expired = 0;  ///< requests answered DeadlineExceeded
+  std::uint64_t drain_rejects = 0;  ///< submits refused while draining
   RegistryStats registry;
 };
 
 class Service {
  public:
+  /// "No deadline" sentinel for submit().
+  static constexpr std::chrono::steady_clock::time_point kNoDeadline =
+      std::chrono::steady_clock::time_point::max();
+
   explicit Service(ServiceOptions options = {});
   ~Service();
   Service(const Service&) = delete;
@@ -102,12 +119,21 @@ class Service {
 
   [[nodiscard]] bool has_session(const std::string& key) const;
 
-  /// Asynchronous point query. Returns std::nullopt when the queue is
-  /// full (backpressure) or the service is stopping; otherwise a future
-  /// that resolves when a worker serves the containing micro-batch.
-  /// Throws std::invalid_argument for unknown session keys.
+  /// Asynchronous point query with the service-default deadline. Returns
+  /// std::nullopt when the queue is full (backpressure) or the service is
+  /// draining/stopping; otherwise a future that resolves when a worker
+  /// serves the containing micro-batch. Throws std::invalid_argument for
+  /// unknown session keys.
   [[nodiscard]] std::optional<std::future<PointResponse>> submit(
       const std::string& key, std::vector<vf::field::Vec3> points);
+
+  /// As above with an explicit absolute deadline (kNoDeadline = none). A
+  /// deadline already in the past is answered DeadlineExceeded immediately
+  /// — the returned future is resolved and the request never touches the
+  /// queue, registry, or inference.
+  [[nodiscard]] std::optional<std::future<PointResponse>> submit(
+      const std::string& key, std::vector<vf::field::Vec3> points,
+      std::chrono::steady_clock::time_point deadline);
 
   /// Synchronous convenience: submit + wait. Throws OverloadedError on
   /// shed.
@@ -117,8 +143,26 @@ class Service {
   [[nodiscard]] ServiceStats stats() const;
   [[nodiscard]] std::size_t queue_depth() const { return queue_.depth(); }
   [[nodiscard]] const ServiceOptions& options() const { return options_; }
+  /// Read-only registry access (breaker snapshots for the `ready` verb).
+  [[nodiscard]] const ModelRegistry& registry() const { return registry_; }
 
-  /// Drain the backlog and join the workers (idempotent; the destructor
+  /// Close admission without stopping workers: subsequent submits return
+  /// std::nullopt (counted as drain_rejects; the wire layer answers them
+  /// `draining`) while the backlog keeps being served. Idempotent.
+  void begin_drain() { draining_.store(true, std::memory_order_relaxed); }
+  [[nodiscard]] bool draining() const {
+    return draining_.load(std::memory_order_relaxed);
+  }
+
+  /// Graceful shutdown: begin_drain, flush the backlog through the
+  /// workers, and join them. Returns true when everything drained within
+  /// `budget`; on budget exhaustion every still-queued request is answered
+  /// Draining (never orphaned) before the workers are joined, and false is
+  /// reported so the operator can see the budget was blown. Idempotent;
+  /// concurrent callers may return before another caller's join completes.
+  bool drain(std::chrono::milliseconds budget);
+
+  /// drain() without a budget (blocks until workers exit; the destructor
   /// calls it).
   void stop();
 
@@ -132,6 +176,7 @@ class Service {
   void worker_loop();
   void serve_batch(std::vector<PointRequest>& batch,
                    struct WorkerScratch& scratch);
+  bool drain_impl(bool bounded, std::chrono::milliseconds budget);
 
   ServiceOptions options_;
   ModelRegistry registry_;
@@ -147,10 +192,20 @@ class Service {
   std::atomic<std::uint64_t> served_points_{0};
   std::atomic<std::uint64_t> degraded_points_{0};
   std::atomic<std::uint64_t> fallback_batches_{0};
+  /// Submit-time + pre-compute expiries; queue-side expiries are counted
+  /// by the queue itself (stats() sums both).
+  std::atomic<std::uint64_t> expired_{0};
+  std::atomic<std::uint64_t> drain_rejects_{0};
+  std::atomic<bool> draining_{false};
 
   std::vector<std::thread> workers_;
   vf::util::Mutex stop_mu_{"serve.stop"};
   bool stopped_ VF_GUARDED_BY(stop_mu_) = false;
+  /// Worker-exit signalling so drain() can wait with a budget instead of
+  /// an unconditional join.
+  mutable vf::util::Mutex workers_mu_{"serve.workers"};
+  vf::util::CondVar workers_cv_;
+  std::size_t live_workers_ VF_GUARDED_BY(workers_mu_) = 0;
 };
 
 }  // namespace vf::serve

@@ -2,13 +2,29 @@
 // Line-delimited JSON wire protocol for `vfctl serve`.
 //
 // One request per line, one response line per request:
-//   -> {"id": 7, "key": "t0", "points": [[0.1, 0.2, 0.3], [0.5, 0.5, 0.5]]}
-//   <- {"id": 7, "status": "ok", "values": [1.25, 0.98], "degraded": 0,
-//       "batch": 128}
+//   -> {"id": 7, "key": "t0", "points": [[0.1, 0.2, 0.3], [0.5, 0.5, 0.5]],
+//       "deadline_ms": 250}
+//   <- {"id": 7, "status": "ok", "code": 0, "values": [1.25, 0.98],
+//       "degraded": 0, "batch": 128}
 //   -> {"id": 8, "cmd": "stats"}
-//   <- {"id": 8, "status": "ok", "stats": {...}}
-// Shed requests answer {"id": n, "status": "overloaded"}; malformed input
-// answers {"id": n, "status": "error", "message": "..."}.
+//   <- {"id": 8, "status": "ok", "code": 0, "stats": {...}}
+//
+// Error taxonomy (DESIGN.md §12): every response carries a `status` string
+// and its stable machine-readable `code` int (the vf::serve::Status
+// enumerator value — append-only, never renumbered):
+//
+//   status              code  meaning
+//   ok                     0  served (inspect degraded/fallback for quality)
+//   bad_request            1  malformed line or unserviceable request
+//   overloaded             2  shed by admission control; retry with backoff
+//   deadline_exceeded      3  expired before a worker could compute it
+//   draining               4  server is shutting down; stop sending
+//   internal               5  unexpected server-side failure
+//
+// `deadline_ms` is a per-request relative deadline (0/absent = the server
+// default from --deadline-ms). The `health` and `ready` cmds report
+// liveness and serving readiness (queue depth, registry residency, and
+// per-model circuit-breaker state).
 //
 // The codec is a deliberately minimal hand-rolled parser for exactly this
 // request shape (objects, arrays, numbers, strings — no external JSON
@@ -16,10 +32,12 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "vf/field/scalar_field.hpp"
 #include "vf/serve/queue.hpp"
+#include "vf/serve/registry.hpp"
 #include "vf/serve/service.hpp"
 
 namespace vf::serve::wire {
@@ -27,22 +45,49 @@ namespace vf::serve::wire {
 struct Request {
   std::int64_t id = 0;
   std::string key;  ///< session key; empty = the server's default session
-  std::string cmd;  ///< "" (point query), "stats", or "shutdown"
+  std::string cmd;  ///< "" (point query), "stats", "health", "ready", "shutdown"
   std::vector<vf::field::Vec3> points;
+  /// Relative deadline in milliseconds; 0 = use the server default.
+  double deadline_ms = 0;
 };
+
+/// Stable wire spelling of a Status ("ok", "deadline_exceeded", ...).
+[[nodiscard]] const char* status_name(Status s);
+/// Stable wire code int (the enumerator value).
+[[nodiscard]] int status_code(Status s);
+/// Inverse of status_name. Returns false for unknown spellings.
+bool status_from_name(const std::string& name, Status& out);
 
 /// Parse one protocol line. On failure returns false and fills `error`
 /// (out may be partially filled; its id is kept when it parsed early
-/// enough, so the error response can still be correlated).
+/// enough, so the bad_request response can still be correlated).
 bool parse_request(const std::string& line, Request& out, std::string& error);
 
+/// What the `ready` verb reports; filled by the server front-end so the
+/// codec stays unit-testable without a live Service.
+struct ReadyInfo {
+  bool draining = false;
+  std::size_t queue_depth = 0;
+  std::size_t queue_max = 0;
+  std::size_t resident_models = 0;
+  std::size_t open_breakers = 0;
+  /// Per-model breaker state, from ModelRegistry::breaker_states().
+  std::vector<std::pair<std::string, BreakerSnapshot>> breakers;
+};
+
 /// Response lines (no trailing newline).
-[[nodiscard]] std::string ok_response(std::int64_t id,
-                                      const PointResponse& resp);
+[[nodiscard]] std::string query_response(std::int64_t id,
+                                         const PointResponse& resp);
 [[nodiscard]] std::string stats_response(std::int64_t id,
                                          const ServiceStats& stats);
-[[nodiscard]] std::string status_response(std::int64_t id,
-                                          const std::string& status,
+/// Bare terminal status (every non-ok answer; ok with a message is the
+/// `health` liveness reply).
+[[nodiscard]] std::string status_response(std::int64_t id, Status status,
                                           const std::string& message = "");
+/// `ready` reply: ready = not draining (an open breaker keeps the server
+/// ready — it serves classically — but is reported as "degraded": true
+/// plus the per-model breaker list so operators can see why).
+[[nodiscard]] std::string ready_response(std::int64_t id,
+                                         const ReadyInfo& info);
 
 }  // namespace vf::serve::wire

@@ -6,6 +6,28 @@
 
 namespace vf::serve {
 
+bool Reply::fulfill(PointResponse resp) {
+  if (answered_) return false;
+  answered_ = true;
+  // vf-lint: allow(unbounded-wait) the answer-exactly-once helper itself
+  promise_.set_value(std::move(resp));
+  return true;
+}
+
+bool Reply::fulfill(Status status) {
+  PointResponse resp;
+  resp.status = status;
+  return fulfill(std::move(resp));
+}
+
+bool Reply::fail(std::exception_ptr err) {
+  if (answered_) return false;
+  answered_ = true;
+  // vf-lint: allow(unbounded-wait) the answer-exactly-once helper itself
+  promise_.set_exception(std::move(err));
+  return true;
+}
+
 RequestQueue::RequestQueue(std::size_t max_pending)
     : max_pending_(max_pending == 0 ? 1 : max_pending) {}
 
@@ -27,18 +49,68 @@ Admission RequestQueue::push(PointRequest& req) {
   return Admission::Accepted;
 }
 
-std::size_t RequestQueue::claim_locked(const std::string& key,
-                                       std::vector<PointRequest>& out,
-                                       std::size_t max_points,
-                                       std::size_t claimed) {
-  for (auto it = q_.begin(); it != q_.end() && claimed < max_points;) {
-    if (it->key == key) {
-      claimed += it->points.size();
-      out.push_back(std::move(*it));
+std::size_t RequestQueue::expire_sweep_locked(
+    std::chrono::steady_clock::time_point now) {
+  std::size_t swept = 0;
+  for (auto it = q_.begin(); it != q_.end();) {
+    if (it->expired(now)) {
+      // Count before fulfilling: a client that wakes on the answer must
+      // already see this expiry in the stats it reads next.
+      expired_.fetch_add(1, std::memory_order_relaxed);
+      it->reply.fulfill(Status::DeadlineExceeded);
       it = q_.erase(it);
+      ++swept;
     } else {
       ++it;
     }
+  }
+  if (swept > 0) {
+    VF_OBS_COUNT("serve.queue.expired", static_cast<std::int64_t>(swept));
+    VF_OBS_GAUGE("serve.queue.depth", static_cast<std::int64_t>(q_.size()));
+  }
+  return swept;
+}
+
+std::size_t RequestQueue::expire_sweep() {
+  const vf::util::MutexLock lock(mu_);
+  return expire_sweep_locked(std::chrono::steady_clock::now());
+}
+
+std::size_t RequestQueue::shed_all(Status status) {
+  std::deque<PointRequest> orphaned;
+  {
+    const vf::util::MutexLock lock(mu_);
+    orphaned.swap(q_);
+    VF_OBS_GAUGE("serve.queue.depth", 0);
+  }
+  for (auto& req : orphaned) req.reply.fulfill(status);
+  return orphaned.size();
+}
+
+std::size_t RequestQueue::claim_locked(
+    const std::string& key, std::vector<PointRequest>& out,
+    std::size_t max_points, std::size_t claimed,
+    std::chrono::steady_clock::time_point now,
+    std::chrono::steady_clock::time_point& flush) {
+  for (auto it = q_.begin(); it != q_.end() && claimed < max_points;) {
+    if (it->key != key) {
+      ++it;
+      continue;
+    }
+    if (it->expired(now)) {
+      // Dead on claim: answer it here so it neither pads the batch nor
+      // waits for the next sweep (count first — see expire_sweep_locked).
+      expired_.fetch_add(1, std::memory_order_relaxed);
+      it->reply.fulfill(Status::DeadlineExceeded);
+      VF_OBS_COUNT("serve.queue.expired", 1);
+      it = q_.erase(it);
+      continue;
+    }
+    // Never hold the batch open past the earliest member's own deadline.
+    if (it->deadline < flush) flush = it->deadline;
+    claimed += it->points.size();
+    out.push_back(std::move(*it));
+    it = q_.erase(it);
   }
   return claimed;
 }
@@ -49,22 +121,38 @@ bool RequestQueue::pop_batch(std::vector<PointRequest>& out,
   out.clear();
   if (max_points == 0) max_points = 1;
   const vf::util::MutexLock lock(mu_);
-  cv_.wait(mu_, [&]() VF_REQUIRES(mu_) { return down_ || !q_.empty(); });
-  if (q_.empty()) return false;  // shutdown with a drained backlog
+
+  std::chrono::steady_clock::time_point now;
+  for (;;) {
+    cv_.wait(mu_, [&]() VF_REQUIRES(mu_) { return down_ || !q_.empty(); });
+    now = std::chrono::steady_clock::now();
+    // Sweep before selecting a head: a backlog of expired requests must
+    // never starve the live ones behind it (or pad their batch).
+    expire_sweep_locked(now);
+    if (!q_.empty()) break;
+    if (down_) return false;  // shutdown with a drained backlog
+  }
 
   const std::string key = q_.front().key;
-  const auto deadline = q_.front().enqueued + max_delay;
-  std::size_t claimed = claim_locked(key, out, max_points, 0);
+  // Coalescing flush point: the head's age budget, clamped by every claimed
+  // member's request deadline (claim_locked tightens it as it claims).
+  auto flush = q_.front().enqueued + max_delay;
+  std::size_t claimed = claim_locked(key, out, max_points, 0, now, flush);
 
-  // Coalescing window: park until the head's deadline for more same-key
+  // Coalescing window: park until the flush point for more same-key
   // arrivals (each push notifies). A size-flush ends the wait early;
   // shutdown flushes whatever has been claimed.
   while (claimed < max_points && !down_) {
-    if (cv_.wait_until(mu_, deadline) == std::cv_status::timeout) break;
-    claimed = claim_locked(key, out, max_points, claimed);
+    // vf-lint: allow(unbounded-wait) bounded by flush; loop rechecks state
+    if (cv_.wait_until(mu_, flush) == std::cv_status::timeout) break;
+    claimed = claim_locked(key, out, max_points, claimed,
+                           std::chrono::steady_clock::now(), flush);
   }
-  claimed = claim_locked(key, out, max_points, claimed);
+  claimed = claim_locked(key, out, max_points, claimed,
+                         std::chrono::steady_clock::now(), flush);
   VF_OBS_GAUGE("serve.queue.depth", static_cast<std::int64_t>(q_.size()));
+  // The pre-claim sweep guarantees at least the head was live, so `out` is
+  // never empty here even if later claims expired everything they saw.
   return true;
 }
 

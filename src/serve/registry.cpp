@@ -1,5 +1,6 @@
 #include "vf/serve/registry.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 #include <string>
 #include <utility>
@@ -9,8 +10,26 @@
 
 namespace vf::serve {
 
+const char* breaker_state_name(BreakerState s) {
+  switch (s) {
+    case BreakerState::Closed:
+      return "closed";
+    case BreakerState::Open:
+      return "open";
+    case BreakerState::HalfOpen:
+      return "half_open";
+  }
+  return "closed";
+}
+
 ModelRegistry::ModelRegistry(RegistryOptions options) : options_(options) {
   if (options_.max_models == 0) options_.max_models = 1;
+  if (options_.breaker_backoff <= std::chrono::milliseconds::zero()) {
+    options_.breaker_backoff = std::chrono::milliseconds(1);
+  }
+  if (options_.breaker_backoff_max < options_.breaker_backoff) {
+    options_.breaker_backoff_max = options_.breaker_backoff;
+  }
 }
 
 void ModelRegistry::add(const std::string& key, const std::string& path) {
@@ -31,6 +50,11 @@ void ModelRegistry::add(const std::string& key, const std::string& path) {
     }
     e.loading = {};
     ++e.generation;
+    // A fresh registration is a fresh fault domain: give the new file a
+    // clean breaker instead of inheriting the old path's failure streak.
+    e.breaker = BreakerState::Closed;
+    e.consecutive_failures = 0;
+    e.backoff = std::chrono::milliseconds(0);
   }
   e.path = path;
 }
@@ -63,6 +87,29 @@ void ModelRegistry::evict_over_budget_locked() {
                static_cast<std::int64_t>(stats_.resident_models));
 }
 
+void ModelRegistry::record_load_failure_locked(const std::string& key,
+                                               Entry& e) {
+  ++stats_.load_failures;
+  if (options_.breaker_threshold == 0) return;  // breaker disabled
+  ++e.consecutive_failures;
+  if (e.consecutive_failures < options_.breaker_threshold) return;
+  // Trip (or re-trip after a failed half-open probe) with exponential
+  // backoff on the open window.
+  e.backoff = (e.backoff == std::chrono::milliseconds(0))
+                  ? options_.breaker_backoff
+                  : std::min(e.backoff * 2, options_.breaker_backoff_max);
+  e.open_until = std::chrono::steady_clock::now() + e.backoff;
+  e.breaker = BreakerState::Open;
+  ++stats_.breaker_opens;
+  VF_OBS_COUNT("serve.registry.breaker_opens", 1);
+  VF_OBS_GAUGE("serve.registry.open_breakers",
+               static_cast<std::int64_t>(std::count_if(
+                   entries_.begin(), entries_.end(), [](const auto& kv) {
+                     return kv.second.breaker != BreakerState::Closed;
+                   })));
+  (void)key;
+}
+
 std::shared_ptr<const vf::core::FcnnModel> ModelRegistry::resolve(
     const std::string& key) {
   VF_OBS_SPAN("serve/resolve_model");
@@ -82,9 +129,24 @@ std::shared_ptr<const vf::core::FcnnModel> ModelRegistry::resolve(
       lru_.splice(lru_.begin(), lru_, e.lru);
       return e.model;
     }
+    if (e.breaker != BreakerState::Closed) {
+      // Open, or half-open with a probe already chosen: fast-fail without
+      // touching disk. Only when the open window has elapsed and no probe
+      // is in flight does this resolve become the probe.
+      const auto now = std::chrono::steady_clock::now();
+      const bool probe_slot_free = !e.loading.valid();
+      if (e.breaker == BreakerState::Open && now >= e.open_until &&
+          probe_slot_free) {
+        e.breaker = BreakerState::HalfOpen;  // this thread probes below
+      } else {
+        ++stats_.breaker_fast_fails;
+        VF_OBS_COUNT("serve.registry.breaker_fast_fails", 1);
+        throw CircuitOpenError(key);
+      }
+    }
     if (e.loading.valid()) {  // someone else is loading: share their result
       pending = e.loading;
-    } else {  // cold: this thread loads outside the lock
+    } else {  // cold (or half-open probe): this thread loads outside the lock
       e.loading = mine.get_future().share();
       path = e.path;
       generation = e.generation;
@@ -113,12 +175,17 @@ std::shared_ptr<const vf::core::FcnnModel> ModelRegistry::resolve(
       const vf::util::MutexLock lock(mu_);
       auto it = entries_.find(key);
       // Only clear our own load; add() may have re-registered the key
-      // (and a newer load may own e.loading now).
+      // (and a newer load may own e.loading now). A failure against a
+      // superseded registration also doesn't count against the new
+      // file's breaker.
       if (it != entries_.end() && it->second.generation == generation) {
         it->second.loading = {};
+        record_load_failure_locked(key, it->second);
+      } else {
+        ++stats_.load_failures;
       }
-      ++stats_.load_failures;
     }
+    // vf-lint: allow(unbounded-wait) single-flight handoff, not a request reply
     mine.set_exception(std::current_exception());
     throw;
   }
@@ -140,16 +207,59 @@ std::shared_ptr<const vf::core::FcnnModel> ModelRegistry::resolve(
       stats_.resident_bytes += e.bytes;
       ++stats_.resident_models;
       VF_OBS_COUNT("serve.registry.loads", 1);
+      // A successful load (including a half-open probe) heals the breaker.
+      e.breaker = BreakerState::Closed;
+      e.consecutive_failures = 0;
+      e.backoff = std::chrono::milliseconds(0);
+      VF_OBS_GAUGE("serve.registry.open_breakers",
+                   static_cast<std::int64_t>(std::count_if(
+                       entries_.begin(), entries_.end(), [](const auto& kv) {
+                         return kv.second.breaker != BreakerState::Closed;
+                       })));
       evict_over_budget_locked();
     }
   }
+  // vf-lint: allow(unbounded-wait) single-flight handoff, not a request reply
   mine.set_value(loaded);
   return loaded;
 }
 
 RegistryStats ModelRegistry::stats() const {
   const vf::util::MutexLock lock(mu_);
-  return stats_;
+  RegistryStats s = stats_;
+  for (const auto& [key, e] : entries_) {
+    (void)key;
+    if (e.breaker != BreakerState::Closed) ++s.open_breakers;
+  }
+  return s;
+}
+
+BreakerSnapshot ModelRegistry::breaker(const std::string& key) const {
+  const vf::util::MutexLock lock(mu_);
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    throw std::invalid_argument("ModelRegistry: unknown key '" + key + "'");
+  }
+  BreakerSnapshot snap;
+  snap.state = it->second.breaker;
+  snap.consecutive_failures = it->second.consecutive_failures;
+  snap.backoff = it->second.backoff;
+  return snap;
+}
+
+std::vector<std::pair<std::string, BreakerSnapshot>>
+ModelRegistry::breaker_states() const {
+  const vf::util::MutexLock lock(mu_);
+  std::vector<std::pair<std::string, BreakerSnapshot>> out;
+  out.reserve(entries_.size());
+  for (const auto& [key, e] : entries_) {
+    BreakerSnapshot snap;
+    snap.state = e.breaker;
+    snap.consecutive_failures = e.consecutive_failures;
+    snap.backoff = e.backoff;
+    out.emplace_back(key, snap);
+  }
+  return out;
 }
 
 }  // namespace vf::serve

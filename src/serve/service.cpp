@@ -2,12 +2,14 @@
 
 #include <algorithm>
 #include <exception>
+#include <stdexcept>
 #include <utility>
 
 #include "vf/api/reconstruct.hpp"
 #include "vf/core/features.hpp"
 #include "vf/core/resilient.hpp"
 #include "vf/obs/obs.hpp"
+#include "vf/util/fault.hpp"
 
 #include <omp.h>
 
@@ -34,6 +36,10 @@ Service::Service(ServiceOptions options)
       queue_(options.queue_max) {
   const std::size_t n = std::max<std::size_t>(1, options_.workers);
   workers_.reserve(n);
+  {
+    const vf::util::MutexLock lock(workers_mu_);
+    live_workers_ = n;
+  }
   for (std::size_t i = 0; i < n; ++i) {
     workers_.emplace_back([this] { worker_loop(); });
   }
@@ -41,17 +47,41 @@ Service::Service(ServiceOptions options)
 
 Service::~Service() { stop(); }
 
-void Service::stop() {
+bool Service::drain_impl(bool bounded, std::chrono::milliseconds budget) {
+  begin_drain();
   {
     const vf::util::MutexLock lock(stop_mu_);
-    if (stopped_) return;
+    if (stopped_) return true;  // another caller owns the shutdown
     stopped_ = true;
   }
-  queue_.shutdown();
+  queue_.shutdown();  // wakes workers; they flush the backlog and exit
+
+  bool in_budget = true;
+  if (bounded) {
+    const auto deadline = std::chrono::steady_clock::now() + budget;
+    const vf::util::MutexLock lock(workers_mu_);
+    in_budget = workers_cv_.wait_until(
+        workers_mu_, deadline,
+        [&]() VF_REQUIRES(workers_mu_) { return live_workers_ == 0; });
+  }
+  if (!in_budget) {
+    // Budget blown: the workers are wedged in a slow batch. Answer every
+    // still-queued request Draining so no promise is orphaned; the join
+    // below then only waits on the batches already being computed.
+    const std::size_t shed = queue_.shed_all(Status::Draining);
+    VF_OBS_COUNT("serve.drain.budget_shed", static_cast<std::int64_t>(shed));
+  }
   for (auto& w : workers_) {
     if (w.joinable()) w.join();
   }
+  return in_budget;
 }
+
+bool Service::drain(std::chrono::milliseconds budget) {
+  return drain_impl(true, budget);
+}
+
+void Service::stop() { drain_impl(false, std::chrono::milliseconds(0)); }
 
 void Service::add_session(const std::string& key,
                           const vf::sampling::SampleCloud& cloud,
@@ -83,13 +113,37 @@ bool Service::has_session(const std::string& key) const {
 
 std::optional<std::future<PointResponse>> Service::submit(
     const std::string& key, std::vector<Vec3> points) {
+  auto deadline = kNoDeadline;
+  if (options_.default_deadline > std::chrono::milliseconds(0)) {
+    deadline = std::chrono::steady_clock::now() + options_.default_deadline;
+  }
+  return submit(key, std::move(points), deadline);
+}
+
+std::optional<std::future<PointResponse>> Service::submit(
+    const std::string& key, std::vector<Vec3> points,
+    std::chrono::steady_clock::time_point deadline) {
   if (!has_session(key)) {
     throw std::invalid_argument("vf::serve: unknown session '" + key + "'");
+  }
+  if (draining()) {
+    drain_rejects_.fetch_add(1, std::memory_order_relaxed);
+    VF_OBS_COUNT("serve.drain.rejects", 1);
+    return std::nullopt;
   }
   PointRequest req;
   req.key = key;
   req.points = std::move(points);
-  auto future = req.promise.get_future();
+  req.deadline = deadline;
+  auto future = req.reply.get_future();
+  // A dead-on-arrival deadline never touches the queue (let alone the
+  // registry or inference): answer it right here, resolved future and all.
+  if (req.expired(std::chrono::steady_clock::now())) {
+    expired_.fetch_add(1, std::memory_order_relaxed);
+    VF_OBS_COUNT("serve.submit.expired", 1);
+    req.reply.fulfill(Status::DeadlineExceeded);
+    return future;
+  }
   switch (queue_.push(req)) {
     case Admission::Accepted:
       accepted_.fetch_add(1, std::memory_order_relaxed);
@@ -118,21 +172,52 @@ void Service::worker_loop() {
   std::vector<PointRequest> batch;
   while (queue_.pop_batch(batch, options_.batch_max_points,
                           options_.batch_deadline)) {
-    // serve_batch degrades or fails each request's promise itself; this
-    // guard is the last line of defence — an exception escaping a worker
-    // std::thread would std::terminate the whole process. Unfulfilled
-    // promises surface to waiters as broken_promise when `batch` is
-    // cleared by the next pop.
+    // serve_batch answers every request itself; this guard is the last
+    // line of defence — an exception escaping a worker std::thread would
+    // std::terminate the whole process. Reply::fail is a no-op for
+    // already-answered members, so the exactly-once invariant holds even
+    // here.
     try {
       serve_batch(batch, scratch);
     } catch (...) {
+      const auto err = std::current_exception();
+      for (auto& req : batch) req.reply.fail(err);
     }
   }
+  {
+    const vf::util::MutexLock lock(workers_mu_);
+    --live_workers_;
+  }
+  workers_cv_.notify_all();  // drain() may be waiting on a budget
 }
 
 void Service::serve_batch(std::vector<PointRequest>& batch,
                           WorkerScratch& scratch) {
   VF_OBS_SPAN("serve/batch");
+  // Last-chance deadline check: a request can expire between being claimed
+  // into a batch (the queue only answers *queued* expiries) and the worker
+  // getting to it. Answer those now and compute only the live remainder.
+  {
+    const auto now = std::chrono::steady_clock::now();
+    std::size_t live = 0;
+    for (auto& req : batch) {
+      if (req.expired(now)) {
+        // Count before fulfilling so a client woken by the answer already
+        // sees this expiry in the stats it reads next.
+        expired_.fetch_add(1, std::memory_order_relaxed);
+        req.reply.fulfill(Status::DeadlineExceeded);
+        VF_OBS_COUNT("serve.queue.expired", 1);
+      } else {
+        if (live != static_cast<std::size_t>(&req - batch.data())) {
+          batch[live] = std::move(req);
+        }
+        ++live;
+      }
+    }
+    batch.resize(live);
+    if (batch.empty()) return;
+  }
+
   std::shared_ptr<const Session> session;
   {
     const vf::util::MutexLock lock(sessions_mu_);
@@ -142,7 +227,7 @@ void Service::serve_batch(std::vector<PointRequest>& batch,
   if (!session) {  // raced with a rebind/remove: fail the requests honestly
     auto err = std::make_exception_ptr(
         std::invalid_argument("vf::serve: session disappeared"));
-    for (auto& req : batch) req.promise.set_exception(err);
+    for (auto& req : batch) req.reply.fail(err);
     return;
   }
 
@@ -162,9 +247,10 @@ void Service::serve_batch(std::vector<PointRequest>& batch,
   scratch.out.resize(total);
   scratch.repaired.clear();
 
-  // Resolve the model; a load failure (missing file, corrupt bytes, or a
-  // VF_FAULT_MODEL_READ injection inside FcnnModel::load) degrades the
-  // batch to the classical estimator instead of failing the requests.
+  // Resolve the model; a load failure (missing file, corrupt bytes, a
+  // VF_FAULT_MODEL_READ injection inside FcnnModel::load, or an open
+  // circuit breaker fast-failing the resolve) degrades the batch to the
+  // classical estimator instead of failing the requests.
   std::shared_ptr<const vf::core::FcnnModel> model;
   try {
     model = registry_.resolve(batch.front().key);
@@ -177,9 +263,13 @@ void Service::serve_batch(std::vector<PointRequest>& batch,
   if (model) {
     // Inference can throw even with a resolvable model (e.g. a scratch
     // allocation failure); degrade the batch like a load failure instead
-    // of letting the exception escape the worker thread.
+    // of letting the exception escape the worker thread. The serve_infer
+    // failpoint injects exactly that for the chaos soak.
     try {
       VF_OBS_SPAN("serve/infer");
+      if (vf::util::fault::should_fail("serve_infer")) {
+        throw std::runtime_error("vf::serve: injected inference fault");
+      }
       const vf::nn::QuantizedNetwork* qnet = nullptr;
       if (options_.quant != vf::nn::QuantPolicy::None) {
         if (scratch.qnet_key != model.get()) {
@@ -211,11 +301,9 @@ void Service::serve_batch(std::vector<PointRequest>& batch,
       }
       degraded_total = total;
     } catch (...) {
-      // Even the fallback failed: fail the requests honestly. No promise
-      // has been fulfilled yet (that happens only in the slicing loop
-      // below), so set_exception cannot double-set.
+      // Even the fallback failed: fail the requests honestly.
       const auto err = std::current_exception();
-      for (auto& req : batch) req.promise.set_exception(err);
+      for (auto& req : batch) req.reply.fail(err);
       return;
     }
   }
@@ -241,7 +329,7 @@ void Service::serve_batch(std::vector<PointRequest>& batch,
       }
     }
     resp.batch_points = total;
-    req.promise.set_value(std::move(resp));
+    req.reply.fulfill(std::move(resp));
     offset += n;
   }
 }
@@ -254,6 +342,8 @@ ServiceStats Service::stats() const {
   s.served_points = served_points_.load(std::memory_order_relaxed);
   s.degraded_points = degraded_points_.load(std::memory_order_relaxed);
   s.fallback_batches = fallback_batches_.load(std::memory_order_relaxed);
+  s.expired = expired_.load(std::memory_order_relaxed) + queue_.expired_count();
+  s.drain_rejects = drain_rejects_.load(std::memory_order_relaxed);
   s.registry = registry_.stats();
   return s;
 }

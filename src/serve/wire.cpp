@@ -172,7 +172,46 @@ std::string number(double v) {
   return buf;
 }
 
+/// `"id": N, "status": S, "code": C` — the prefix every response shares.
+std::string response_head(std::int64_t id, Status status) {
+  return "{\"id\": " + std::to_string(id) +
+         ", \"status\": " + quoted(status_name(status)) +
+         ", \"code\": " + std::to_string(status_code(status));
+}
+
 }  // namespace
+
+const char* status_name(Status s) {
+  switch (s) {
+    case Status::Ok:
+      return "ok";
+    case Status::BadRequest:
+      return "bad_request";
+    case Status::Overloaded:
+      return "overloaded";
+    case Status::DeadlineExceeded:
+      return "deadline_exceeded";
+    case Status::Draining:
+      return "draining";
+    case Status::Internal:
+      return "internal";
+  }
+  return "internal";
+}
+
+int status_code(Status s) { return static_cast<int>(s); }
+
+bool status_from_name(const std::string& name, Status& out) {
+  for (const Status s :
+       {Status::Ok, Status::BadRequest, Status::Overloaded,
+        Status::DeadlineExceeded, Status::Draining, Status::Internal}) {
+    if (name == status_name(s)) {
+      out = s;
+      return true;
+    }
+  }
+  return false;
+}
 
 bool parse_request(const std::string& line, Request& out, std::string& error) {
   out = Request{};
@@ -196,6 +235,11 @@ bool parse_request(const std::string& line, Request& out, std::string& error) {
       ok = c.parse_string(out.cmd);
     } else if (field == "points") {
       ok = c.parse_points(out.points);
+    } else if (field == "deadline_ms") {
+      ok = c.parse_number(out.deadline_ms);
+      if (ok && (!std::isfinite(out.deadline_ms) || out.deadline_ms < 0)) {
+        ok = c.fail("deadline_ms must be a finite number >= 0");
+      }
     } else {
       ok = c.skip_value();
     }
@@ -218,8 +262,9 @@ bool parse_request(const std::string& line, Request& out, std::string& error) {
   return true;
 }
 
-std::string ok_response(std::int64_t id, const PointResponse& resp) {
-  std::string out = "{\"id\": " + std::to_string(id) + ", \"status\": \"ok\"";
+std::string query_response(std::int64_t id, const PointResponse& resp) {
+  if (resp.status != Status::Ok) return status_response(id, resp.status);
+  std::string out = response_head(id, Status::Ok);
   out += ", \"values\": [";
   for (std::size_t i = 0; i < resp.values.size(); ++i) {
     if (i > 0) out += ", ";
@@ -235,7 +280,7 @@ std::string ok_response(std::int64_t id, const PointResponse& resp) {
 }
 
 std::string stats_response(std::int64_t id, const ServiceStats& stats) {
-  std::string out = "{\"id\": " + std::to_string(id) + ", \"status\": \"ok\"";
+  std::string out = response_head(id, Status::Ok);
   out += ", \"stats\": {";
   out += "\"accepted\": " + std::to_string(stats.accepted);
   out += ", \"shed\": " + std::to_string(stats.shed);
@@ -243,11 +288,17 @@ std::string stats_response(std::int64_t id, const ServiceStats& stats) {
   out += ", \"served_points\": " + std::to_string(stats.served_points);
   out += ", \"degraded_points\": " + std::to_string(stats.degraded_points);
   out += ", \"fallback_batches\": " + std::to_string(stats.fallback_batches);
+  out += ", \"expired\": " + std::to_string(stats.expired);
+  out += ", \"drain_rejects\": " + std::to_string(stats.drain_rejects);
   out += ", \"registry\": {";
   out += "\"hits\": " + std::to_string(stats.registry.hits);
   out += ", \"loads\": " + std::to_string(stats.registry.loads);
   out += ", \"load_failures\": " + std::to_string(stats.registry.load_failures);
   out += ", \"evictions\": " + std::to_string(stats.registry.evictions);
+  out += ", \"breaker_opens\": " + std::to_string(stats.registry.breaker_opens);
+  out += ", \"breaker_fast_fails\": " +
+         std::to_string(stats.registry.breaker_fast_fails);
+  out += ", \"open_breakers\": " + std::to_string(stats.registry.open_breakers);
   out += ", \"resident_models\": " +
          std::to_string(stats.registry.resident_models);
   out += ", \"resident_bytes\": " +
@@ -256,12 +307,36 @@ std::string stats_response(std::int64_t id, const ServiceStats& stats) {
   return out;
 }
 
-std::string status_response(std::int64_t id, const std::string& status,
+std::string status_response(std::int64_t id, Status status,
                             const std::string& message) {
-  std::string out =
-      "{\"id\": " + std::to_string(id) + ", \"status\": " + quoted(status);
+  std::string out = response_head(id, status);
   if (!message.empty()) out += ", \"message\": " + quoted(message);
   out += "}";
+  return out;
+}
+
+std::string ready_response(std::int64_t id, const ReadyInfo& info) {
+  const Status status = info.draining ? Status::Draining : Status::Ok;
+  std::string out = response_head(id, status);
+  out += std::string(", \"ready\": ") + (info.draining ? "false" : "true");
+  out += std::string(", \"degraded\": ") +
+         (info.open_breakers > 0 ? "true" : "false");
+  out += ", \"queue_depth\": " + std::to_string(info.queue_depth);
+  out += ", \"queue_max\": " + std::to_string(info.queue_max);
+  out += ", \"resident_models\": " + std::to_string(info.resident_models);
+  out += ", \"open_breakers\": " + std::to_string(info.open_breakers);
+  out += ", \"breakers\": {";
+  bool first = true;
+  for (const auto& [key, snap] : info.breakers) {
+    if (!first) out += ", ";
+    first = false;
+    out += quoted(key) + ": {\"state\": " +
+           quoted(breaker_state_name(snap.state)) +
+           ", \"consecutive_failures\": " +
+           std::to_string(snap.consecutive_failures) +
+           ", \"backoff_ms\": " + std::to_string(snap.backoff.count()) + "}";
+  }
+  out += "}}";
   return out;
 }
 

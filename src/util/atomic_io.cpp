@@ -188,4 +188,18 @@ std::uint64_t bytes_remaining(std::istream& in) {
   return end >= at ? static_cast<std::uint64_t>(end - at) : 0;
 }
 
+std::vector<int> retry_delays_ms(const RetryPolicy& policy) {
+  std::vector<int> out;
+  if (policy.attempts <= 1) return out;
+  out.reserve(static_cast<std::size_t>(policy.attempts - 1));
+  Rng rng(policy.jitter_seed);
+  int delay_ms = policy.initial_delay_ms;
+  for (int i = 1; i < policy.attempts; ++i) {
+    out.push_back(detail::jittered_delay_ms(
+        delay_ms, policy.jitter_seed != 0 ? &rng : nullptr));
+    delay_ms *= 2;
+  }
+  return out;
+}
+
 }  // namespace vf::util

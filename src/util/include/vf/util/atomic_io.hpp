@@ -26,6 +26,10 @@
 #include <string>
 #include <thread>
 #include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "vf/util/rng.hpp"
 
 namespace vf::util {
 
@@ -135,26 +139,83 @@ class ByteReader {
   const char* what_;
 };
 
-/// Run `attempt`; on std::runtime_error retry up to `attempts` total calls
-/// with exponential backoff starting at `initial_delay_ms` (doubling each
-/// retry). Rethrows the last error once exhausted. This is the CLI's
-/// transient-I/O policy: NFS hiccups and injected faults get retried,
-/// persistent corruption still surfaces.
+/// Retry policy for with_retries. Two independent caps bound the loop:
+/// `attempts` (total calls) and `max_elapsed_ms` (wall clock across calls
+/// and backoff sleeps; 0 = attempts-only) — whichever trips first rethrows
+/// the last error. A nonzero `jitter_seed` replaces exact exponential
+/// doubling with a deterministic uniform draw in [delay/2, delay], so a
+/// fleet of clients that all failed at the same instant (a burst fault, a
+/// restarted file server) fans back in spread out instead of re-colliding
+/// on every backoff step.
+struct RetryPolicy {
+  int attempts = 1;
+  int initial_delay_ms = 0;
+  int max_elapsed_ms = 0;
+  std::uint64_t jitter_seed = 0;  ///< 0 = no jitter
+};
+
+namespace detail {
+/// Jitter one backoff step: uniform in [delay/2, delay] (identity when
+/// rng is null or the delay is <= 0). Shared by with_retries and the
+/// retry_delays_ms test hook so the unit tests pin the exact sequence.
+inline int jittered_delay_ms(int delay_ms, Rng* rng) {
+  if (rng == nullptr || delay_ms <= 0) return delay_ms;
+  const int half = delay_ms / 2;
+  return half + static_cast<int>(
+                    rng->below(static_cast<std::uint32_t>(delay_ms - half) + 1));
+}
+}  // namespace detail
+
+/// The exact backoff sleeps (ms) a with_retries(policy, ...) call would
+/// perform if every attempt failed — one entry per retry. Deterministic
+/// for a given policy; exists so tests can assert the jitter sequence
+/// without sleeping through it.
+std::vector<int> retry_delays_ms(const RetryPolicy& policy);
+
+/// Run `attempt`; on std::runtime_error retry under `policy` (exponential
+/// backoff starting at initial_delay_ms, doubling each retry, jittered
+/// when seeded). Rethrows the last error once either cap is exhausted.
+/// This is the CLI's transient-I/O policy: NFS hiccups and injected
+/// faults get retried, persistent corruption still surfaces. Logic errors
+/// (std::logic_error et al.) are never retried.
 template <typename Fn>
-auto with_retries(int attempts, int initial_delay_ms, Fn&& attempt)
+auto with_retries(const RetryPolicy& policy, Fn&& attempt)
     -> decltype(attempt()) {
-  int delay_ms = initial_delay_ms;
+  const auto start = std::chrono::steady_clock::now();
+  Rng rng(policy.jitter_seed);
+  int delay_ms = policy.initial_delay_ms;
   for (int i = 1;; ++i) {
     try {
       return attempt();
     } catch (const std::runtime_error&) {
-      if (i >= attempts) throw;
-      if (delay_ms > 0) {
-        std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms));
+      if (i >= policy.attempts) throw;
+      if (policy.max_elapsed_ms > 0) {
+        const auto elapsed =
+            std::chrono::duration_cast<std::chrono::milliseconds>(
+                std::chrono::steady_clock::now() - start)
+                .count();
+        // Give up before sleeping into a budget already blown: a retry we
+        // would only start after the cap helps nobody.
+        if (elapsed >= policy.max_elapsed_ms) throw;
+      }
+      const int sleep_ms = detail::jittered_delay_ms(
+          delay_ms, policy.jitter_seed != 0 ? &rng : nullptr);
+      if (sleep_ms > 0) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(sleep_ms));
       }
       delay_ms *= 2;
     }
   }
+}
+
+/// Attempts-only compatibility form (no elapsed cap, no jitter).
+template <typename Fn>
+auto with_retries(int attempts, int initial_delay_ms, Fn&& attempt)
+    -> decltype(attempt()) {
+  RetryPolicy policy;
+  policy.attempts = attempts;
+  policy.initial_delay_ms = initial_delay_ms;
+  return with_retries(policy, std::forward<Fn>(attempt));
 }
 
 }  // namespace vf::util

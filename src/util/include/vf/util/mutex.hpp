@@ -139,6 +139,18 @@ class CondVar {
     return cv_.wait_until(adapter, deadline);
   }
 
+  /// Predicate form: returns pred()'s value at wake-up (false = timed out
+  /// with the predicate still unsatisfied). Prefer this over the
+  /// cv_status form for bounded waits — it is spurious-wakeup-proof and
+  /// satisfies the vf_lint `unbounded-wait` rule in src/serve.
+  template <typename Clock, typename Duration, typename Pred>
+  bool wait_until(Mutex& mu,
+                  const std::chrono::time_point<Clock, Duration>& deadline,
+                  Pred pred) VF_REQUIRES(mu) {
+    detail::CvLock adapter(mu);
+    return cv_.wait_until(adapter, deadline, std::move(pred));
+  }
+
   template <typename Rep, typename Period>
   std::cv_status wait_for(Mutex& mu,
                           const std::chrono::duration<Rep, Period>& rel)

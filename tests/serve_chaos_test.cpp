@@ -1,0 +1,355 @@
+// Chaos soak for the serving stack (DESIGN.md §12): open-loop producers
+// hammer a Service while the model_read and serve_infer failpoints inject
+// storms of load and inference faults, the registry churns under a
+// one-model LRU cap, and tiny circuit-breaker backoffs force rapid
+// open/half-open/close cycling. The suite asserts the request-lifecycle
+// contract, not throughput:
+//
+//   - no crash, no hang (every future resolves; CTest enforces the bound);
+//   - exactly one terminal answer per accepted request — a broken promise
+//     (std::future_error) anywhere is a failure;
+//   - the error rate is bounded: faults degrade requests to the classical
+//     fallback, they do not fail them;
+//   - drain mid-storm leaves zero orphaned promises;
+//   - the breaker opens under the storm and closes once the fault clears.
+//
+// The lock-order detector is armed in Log mode throughout, and the chaos
+// CTest label runs this under ASan and TSan with VF_FAULT_* / VF_LOCK_ORDER
+// armed from the environment (.github/workflows/correctness.yml).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <filesystem>
+#include <future>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "vf/core/fcnn.hpp"
+#include "vf/core/model.hpp"
+#include "vf/serve/service.hpp"
+#include "vf/util/fault.hpp"
+#include "vf/util/lock_order.hpp"
+
+namespace {
+
+namespace fs = std::filesystem;
+namespace fault = vf::util::fault;
+namespace lockorder = vf::util::lockorder;
+using namespace std::chrono_literals;
+using vf::field::Vec3;
+using vf::sampling::SampleCloud;
+using vf::serve::BreakerState;
+using vf::serve::PointResponse;
+using vf::serve::Service;
+using vf::serve::ServiceOptions;
+using vf::serve::Status;
+
+vf::core::FcnnModel tiny_model(unsigned seed) {
+  vf::core::FcnnModel model;
+  model.net = vf::nn::Network::mlp(
+      static_cast<std::size_t>(vf::core::kFeatureDim), {16, 8},
+      static_cast<std::size_t>(vf::core::kTargetDimScalar), seed);
+  model.in_norm.mean.assign(vf::core::kFeatureDim, 0.0);
+  model.in_norm.stddev.assign(vf::core::kFeatureDim, 1.0);
+  model.out_norm.mean.assign(vf::core::kTargetDimScalar, 0.0);
+  model.out_norm.stddev.assign(vf::core::kTargetDimScalar, 1.0);
+  model.with_gradients = false;
+  model.dataset = "chaos-test";
+  return model;
+}
+
+SampleCloud test_cloud() {
+  std::vector<Vec3> points;
+  std::vector<double> values;
+  for (int i = 0; i < 6; ++i) {
+    for (int j = 0; j < 6; ++j) {
+      for (int k = 0; k < 3; ++k) {
+        Vec3 p{static_cast<double>(i), static_cast<double>(j),
+               static_cast<double>(k)};
+        points.push_back(p);
+        values.push_back(std::sin(0.3 * p.x) + 0.2 * p.y - 0.1 * p.z);
+      }
+    }
+  }
+  return SampleCloud(points, values);
+}
+
+/// Chaos options: small everything — a 1-model registry under two live
+/// keys evicts on nearly every cross-key batch, millisecond breaker
+/// backoffs cycle open/half-open/close inside the soak, and a short
+/// coalescing window keeps batches flowing.
+ServiceOptions chaos_options() {
+  ServiceOptions opts;
+  opts.workers = 3;
+  opts.batch_deadline = 200us;
+  opts.batch_max_points = 32;  // small batches: more registry traffic
+  opts.queue_max = 512;
+  opts.registry.max_models = 1;
+  opts.registry.breaker_threshold = 2;
+  opts.registry.breaker_backoff = 2ms;
+  opts.registry.breaker_backoff_max = 20ms;
+  return opts;
+}
+
+/// One harvested request outcome.
+struct Outcome {
+  std::uint64_t ok = 0;         ///< served (model or classical fallback)
+  std::uint64_t fallback = 0;   ///< of ok: classical fallback
+  std::uint64_t expired = 0;    ///< deadline_exceeded
+  std::uint64_t draining = 0;   ///< drain-shed
+  std::uint64_t failed = 0;     ///< exception (never future_error)
+  [[nodiscard]] std::uint64_t total() const {
+    return ok + expired + draining + failed;
+  }
+};
+
+/// get() every future, classifying terminal answers. A broken promise is
+/// an immediate test failure: it means a request was orphaned.
+Outcome harvest(std::vector<std::future<PointResponse>>& futures) {
+  Outcome out;
+  for (auto& f : futures) {
+    try {
+      const PointResponse resp = f.get();
+      switch (resp.status) {
+        case Status::Ok:
+          ++out.ok;
+          if (!resp.fallback.empty()) ++out.fallback;
+          break;
+        case Status::DeadlineExceeded:
+          ++out.expired;
+          break;
+        case Status::Draining:
+          ++out.draining;
+          break;
+        default:
+          ADD_FAILURE() << "unexpected terminal status "
+                        << static_cast<int>(resp.status);
+      }
+    } catch (const std::future_error&) {
+      ADD_FAILURE() << "orphaned promise: request never answered";
+    } catch (const std::exception&) {
+      ++out.failed;  // an honest failure is a terminal answer too
+    }
+  }
+  return out;
+}
+
+class ServeChaosTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("vf_serve_chaos_" + std::string(::testing::UnitTest::GetInstance()
+                                                ->current_test_info()
+                                                ->name()));
+    fs::create_directories(dir_);
+    fault::clear();  // each case arms its own storm
+    lockorder::reset();
+    lockorder::set_action(lockorder::Action::Log);
+    lockorder::set_enabled(true);
+  }
+  void TearDown() override {
+    EXPECT_EQ(lockorder::cycle_count(), 0u);
+    for (const auto& report : lockorder::cycle_reports()) {
+      ADD_FAILURE() << report;
+    }
+    lockorder::set_enabled(false);
+    lockorder::reset();
+    fault::clear();
+    fault::reload_env();  // restore any env-armed sites for later suites
+    fs::remove_all(dir_);
+  }
+
+  std::string save_model(const std::string& name, unsigned seed) {
+    const std::string path = (dir_ / (name + ".vfmd")).string();
+    tiny_model(seed).save(path);
+    return path;
+  }
+
+  fs::path dir_;
+};
+
+// The headline soak: producers race a fault storm that hits both failure
+// domains (model load + inference) while the 1-model LRU cap churns the
+// registry. Every accepted request must come back with exactly one
+// terminal answer, and the storm must degrade requests — not fail them.
+TEST_F(ServeChaosTest, SurvivesAFaultStormWithExactlyOneAnswerPerRequest) {
+  // Finite fault bursts early in the soak. Both session keys resolve at
+  // least once, so arming model_read from its second hit guarantees the
+  // load-failure domain fires however aggressively the batches coalesce;
+  // recovery afterwards is part of what the soak asserts.
+  fault::arm("model_read", {fault::Mode::Error, /*after=*/1, /*times=*/2});
+  fault::arm("serve_infer", {fault::Mode::Error, /*after=*/2, /*times=*/3});
+
+  Service service(chaos_options());
+  service.add_session("a", test_cloud(), save_model("a", 1));
+  service.add_session("b", test_cloud(), save_model("b", 2));
+
+  constexpr int kProducers = 4;
+  constexpr int kQueriesPerProducer = 60;
+  std::atomic<std::uint64_t> accepted{0};
+  std::vector<std::vector<std::future<PointResponse>>> futures(kProducers);
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      auto& mine = futures[static_cast<std::size_t>(p)];
+      mine.reserve(kQueriesPerProducer);
+      for (int i = 0; i < kQueriesPerProducer; ++i) {
+        const char* key = (p + i) % 2 == 0 ? "a" : "b";
+        // Every 7th request carries a tight-but-feasible deadline so the
+        // expiry paths stay exercised under the storm.
+        auto f = i % 7 == 6
+                     ? service.submit(key, {{1.0 + i * 0.01, 2.0, 1.0}},
+                                      std::chrono::steady_clock::now() + 2ms)
+                     : service.submit(key, {{1.0 + i * 0.01, 2.0, 1.0}});
+        if (f) {
+          accepted.fetch_add(1, std::memory_order_relaxed);
+          mine.push_back(std::move(*f));
+        }
+        // open-loop: shed requests are simply dropped by the producer
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+
+  Outcome total;
+  for (auto& mine : futures) {
+    const Outcome o = harvest(mine);
+    total.ok += o.ok;
+    total.fallback += o.fallback;
+    total.expired += o.expired;
+    total.draining += o.draining;
+    total.failed += o.failed;
+  }
+
+  // Exactly one terminal answer per accepted request.
+  EXPECT_EQ(total.total(), accepted.load());
+  EXPECT_EQ(total.draining, 0u);  // nobody called drain
+  // The storm bends the service, it does not break it: most requests are
+  // served, and faults surface as classical fallbacks, not errors.
+  EXPECT_GT(total.ok, accepted.load() / 2);
+  EXPECT_EQ(total.failed, 0u);
+
+  const auto stats = service.stats();
+  EXPECT_EQ(stats.accepted, accepted.load());
+  // The storm actually fired: load failures and fallbacks are visible.
+  EXPECT_GT(stats.registry.load_failures, 0u);
+  EXPECT_GT(stats.fallback_batches, 0u);
+}
+
+// Drain mid-storm: begin_drain + a tight budget while producers are still
+// pushing and faults are still firing. The contract: zero orphaned
+// promises — everything already admitted resolves Ok/expired/Draining, and
+// post-drain submits are refused, not queued into the void.
+TEST_F(ServeChaosTest, DrainMidStormLeavesZeroOrphanedPromises) {
+  fault::arm("model_read", {fault::Mode::Error, /*after=*/2, /*times=*/2});
+  fault::arm("serve_infer", {fault::Mode::Error, /*after=*/4, /*times=*/2});
+
+  Service service(chaos_options());
+  service.add_session("a", test_cloud(), save_model("a", 1));
+  service.add_session("b", test_cloud(), save_model("b", 2));
+
+  constexpr int kProducers = 4;
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> accepted{0};
+  std::atomic<std::uint64_t> rejected{0};
+  std::vector<std::vector<std::future<PointResponse>>> futures(kProducers);
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      auto& mine = futures[static_cast<std::size_t>(p)];
+      for (int i = 0; !stop.load(std::memory_order_relaxed); ++i) {
+        auto f = service.submit((p + i) % 2 == 0 ? "a" : "b",
+                                {{1.0 + i * 0.01, 2.0, 1.0}});
+        if (f) {
+          accepted.fetch_add(1, std::memory_order_relaxed);
+          mine.push_back(std::move(*f));
+        } else if (service.draining()) {
+          rejected.fetch_add(1, std::memory_order_relaxed);
+          break;  // admission is closed for good
+        }
+      }
+    });
+  }
+
+  std::this_thread::sleep_for(20ms);  // let the storm build a backlog
+  const bool in_budget = service.drain(50ms);
+  stop.store(true);
+  for (auto& t : producers) t.join();
+
+  Outcome total;
+  for (auto& mine : futures) {
+    const Outcome o = harvest(mine);
+    total.ok += o.ok;
+    total.expired += o.expired;
+    total.draining += o.draining;
+    total.failed += o.failed;
+  }
+  // Every accepted request got its one terminal answer — none orphaned,
+  // whether the drain made its budget or had to shed.
+  EXPECT_EQ(total.total(), accepted.load());
+  EXPECT_EQ(total.failed, 0u);
+  if (!in_budget) {
+    EXPECT_GT(total.draining, 0u);
+  }
+  EXPECT_EQ(service.queue_depth(), 0u);
+  // A refused submit surfaces as a drain reject (draining check) or a shed
+  // (queue already shut down when the producer raced past the check) —
+  // either way it was counted, never silently dropped.
+  const auto stats = service.stats();
+  EXPECT_GE(stats.drain_rejects + stats.shed, rejected.load());
+}
+
+// Breaker lifecycle under chaos: a persistent load fault opens the
+// breaker (visible in stats and snapshots, served classically meanwhile);
+// once the fault clears, the half-open probe closes it and full-fidelity
+// answers resume.
+TEST_F(ServeChaosTest, BreakerOpensUnderFaultsAndRecoversWhenTheyClear) {
+  fault::arm("model_read", {fault::Mode::Error, /*after=*/0, /*times=*/-1});
+
+  // A wider backoff window than the soak default so the back-to-back
+  // queries below reliably land inside it (fast-fail, not probe) even
+  // under sanitizer slowdown.
+  ServiceOptions opts = chaos_options();
+  opts.registry.breaker_backoff = 100ms;
+  opts.registry.breaker_backoff_max = 500ms;
+  Service service(opts);
+  service.add_session("a", test_cloud(), save_model("a", 1));
+
+  // Enough sequential queries to blow through breaker_threshold=2: the
+  // breaker opens and later batches fast-fail the resolve (no disk I/O)
+  // while still serving classically.
+  for (int i = 0; i < 6; ++i) {
+    const auto resp = service.query("a", {{1.0, 2.0, 1.0}});
+    EXPECT_EQ(resp.status, Status::Ok);
+    EXPECT_EQ(resp.fallback, "classical");
+  }
+  auto stats = service.stats();
+  EXPECT_GT(stats.registry.breaker_opens, 0u);
+  EXPECT_GT(stats.registry.breaker_fast_fails, 0u);
+  EXPECT_EQ(service.registry().breaker("a").state, BreakerState::Open);
+
+  // The fault clears. After the (tiny) backoff the next resolve probes,
+  // succeeds, and closes the breaker — full-fidelity serving resumes.
+  fault::clear();
+  const auto give_up = std::chrono::steady_clock::now() + 5s;
+  bool recovered = false;
+  while (std::chrono::steady_clock::now() < give_up) {
+    const auto resp = service.query("a", {{1.0, 2.0, 1.0}});
+    EXPECT_EQ(resp.status, Status::Ok);
+    if (resp.fallback.empty()) {
+      recovered = true;
+      break;
+    }
+    std::this_thread::sleep_for(5ms);
+  }
+  EXPECT_TRUE(recovered) << "breaker never closed after the fault cleared";
+  EXPECT_EQ(service.registry().breaker("a").state, BreakerState::Closed);
+  EXPECT_EQ(service.stats().registry.open_breakers, 0u);
+}
+
+}  // namespace

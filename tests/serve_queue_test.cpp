@@ -1,5 +1,6 @@
 // RequestQueue: admission control (bounded backlog), same-key micro-batch
-// coalescing, deadline vs size flush, shutdown drain semantics, and
+// coalescing, deadline vs size flush, per-request expiry (sweep + coalescing
+// clamp), shutdown drain semantics, shed_all terminal answers, and
 // multi-producer/multi-consumer safety (run under TSan via the sanitize
 // label).
 
@@ -8,6 +9,7 @@
 #include <atomic>
 #include <chrono>
 #include <future>
+#include <stdexcept>
 #include <thread>
 #include <vector>
 
@@ -21,6 +23,7 @@ using vf::serve::Admission;
 using vf::serve::PointRequest;
 using vf::serve::PointResponse;
 using vf::serve::RequestQueue;
+using vf::serve::Status;
 
 PointRequest make_request(const std::string& key, std::size_t n_points) {
   PointRequest req;
@@ -38,8 +41,8 @@ TEST(RequestQueue, AdmissionControlShedsBeyondMaxPending) {
   EXPECT_EQ(q.push(b), Admission::Accepted);
   EXPECT_EQ(q.push(c), Admission::QueueFull);
   EXPECT_EQ(q.depth(), 2u);
-  // The shed request still owns its promise: the caller can report the shed.
-  c.promise.set_value(PointResponse{});
+  // The shed request still owns its reply: the caller can report the shed.
+  EXPECT_TRUE(c.reply.fulfill(Status::Overloaded));
 }
 
 TEST(RequestQueue, CoalescesQueuedSameKeyRequestsIntoOneBatch) {
@@ -148,7 +151,7 @@ TEST(RequestQueue, ShutdownDrainsBacklogThenRefuses) {
 
   PointRequest late = make_request("k", 1);
   EXPECT_EQ(q.push(late), Admission::ShuttingDown);
-  late.promise.set_value(PointResponse{});
+  EXPECT_TRUE(late.reply.fulfill(Status::Draining));
 
   std::vector<PointRequest> batch;
   EXPECT_TRUE(q.pop_batch(batch, 64, 1ms));  // drains the backlog
@@ -163,6 +166,105 @@ TEST(RequestQueue, ShutdownWakesABlockedPopper) {
   std::this_thread::sleep_for(20ms);
   q.shutdown();
   popper.join();
+}
+
+// --- request lifecycle: Reply, deadlines, drain -----------------------------
+
+TEST(Reply, AnswersExactlyOnce) {
+  vf::serve::Reply reply;
+  auto future = reply.get_future();
+  EXPECT_FALSE(reply.answered());
+  EXPECT_TRUE(reply.fulfill(Status::DeadlineExceeded));
+  EXPECT_TRUE(reply.answered());
+  // Every later fulfil/fail is an idempotent no-op, not a future_error.
+  EXPECT_FALSE(reply.fulfill(PointResponse{}));
+  EXPECT_FALSE(reply.fail(
+      std::make_exception_ptr(std::runtime_error("late"))));
+  EXPECT_EQ(future.get().status, Status::DeadlineExceeded);
+}
+
+TEST(Reply, FailDeliversTheExceptionOnce) {
+  vf::serve::Reply reply;
+  auto future = reply.get_future();
+  EXPECT_TRUE(reply.fail(
+      std::make_exception_ptr(std::runtime_error("worker died"))));
+  EXPECT_FALSE(reply.fulfill(Status::Ok));
+  EXPECT_THROW(future.get(), std::runtime_error);
+}
+
+TEST(RequestQueue, ExpireSweepRemovesOnlyExpiredEntries) {
+  RequestQueue q(16);
+  const auto now = std::chrono::steady_clock::now();
+  PointRequest dead = make_request("k", 1);
+  dead.deadline = now - 1ms;
+  PointRequest live = make_request("k", 1);
+  live.deadline = now + 60s;
+  PointRequest forever = make_request("k", 1);  // default: no deadline
+  auto dead_future = dead.reply.get_future();
+  ASSERT_EQ(q.push(dead), Admission::Accepted);
+  ASSERT_EQ(q.push(live), Admission::Accepted);
+  ASSERT_EQ(q.push(forever), Admission::Accepted);
+
+  EXPECT_EQ(q.expire_sweep(), 1u);
+  EXPECT_EQ(q.depth(), 2u);
+  EXPECT_EQ(q.expired_count(), 1u);
+  // The swept request got its terminal answer, not silence.
+  EXPECT_EQ(dead_future.get().status, Status::DeadlineExceeded);
+  // Sweeping again finds nothing new.
+  EXPECT_EQ(q.expire_sweep(), 0u);
+}
+
+TEST(RequestQueue, PopBatchSkipsExpiredBacklogAndServesLiveRequests) {
+  // A dead backlog must not starve live requests: expired entries are
+  // answered during the pop, and the batch holds only live members.
+  RequestQueue q(16);
+  PointRequest dead = make_request("k", 1);
+  dead.deadline = std::chrono::steady_clock::now() - 1ms;
+  PointRequest live = make_request("k", 2);
+  auto dead_future = dead.reply.get_future();
+  ASSERT_EQ(q.push(dead), Admission::Accepted);
+  ASSERT_EQ(q.push(live), Admission::Accepted);
+
+  std::vector<PointRequest> batch;
+  ASSERT_TRUE(q.pop_batch(batch, /*max_points=*/64, /*max_delay=*/1ms));
+  ASSERT_EQ(batch.size(), 1u);
+  EXPECT_EQ(batch[0].points.size(), 2u);
+  EXPECT_EQ(dead_future.get().status, Status::DeadlineExceeded);
+}
+
+TEST(RequestQueue, CoalescingNeverFlushesPastTheEarliestMemberDeadline) {
+  // Head has a huge coalescing window but a member deadline well inside
+  // it: the flush must clamp to the deadline, not sit out the window.
+  RequestQueue q(16);
+  PointRequest a = make_request("k", 1);
+  a.deadline = std::chrono::steady_clock::now() + 100ms;
+  const auto start = std::chrono::steady_clock::now();
+  ASSERT_EQ(q.push(a), Admission::Accepted);
+
+  std::vector<PointRequest> batch;
+  ASSERT_TRUE(q.pop_batch(batch, /*max_points=*/64, /*max_delay=*/60s));
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  ASSERT_EQ(batch.size(), 1u);
+  // Flushed at the deadline boundary — far before the 60 s window (upper
+  // bound is generous because loaded runners stall; the point is the wait
+  // was deadline-bounded, not window-bounded).
+  EXPECT_LT(elapsed, 30s);
+}
+
+TEST(RequestQueue, ShedAllAnswersEveryQueuedRequestWithTheGivenStatus) {
+  RequestQueue q(16);
+  PointRequest a = make_request("alpha", 1);
+  PointRequest b = make_request("beta", 2);
+  auto fa = a.reply.get_future();
+  auto fb = b.reply.get_future();
+  ASSERT_EQ(q.push(a), Admission::Accepted);
+  ASSERT_EQ(q.push(b), Admission::Accepted);
+
+  EXPECT_EQ(q.shed_all(Status::Draining), 2u);
+  EXPECT_EQ(q.depth(), 0u);
+  EXPECT_EQ(fa.get().status, Status::Draining);
+  EXPECT_EQ(fb.get().status, Status::Draining);
+  EXPECT_EQ(q.shed_all(Status::Draining), 0u);  // idempotent on empty
 }
 
 // Multi-producer / multi-consumer stress: every accepted request is served
@@ -182,7 +284,7 @@ TEST(RequestQueue, ConcurrentProducersAndConsumersServeEveryRequest) {
         for (auto& req : batch) {
           PointResponse resp;
           resp.values.assign(req.points.size(), 1.0);
-          req.promise.set_value(std::move(resp));
+          req.reply.fulfill(std::move(resp));
           served_requests.fetch_add(1, std::memory_order_relaxed);
         }
       }
@@ -198,7 +300,7 @@ TEST(RequestQueue, ConcurrentProducersAndConsumersServeEveryRequest) {
         PointRequest req =
             make_request(p % 2 == 0 ? "even" : "odd",
                          static_cast<std::size_t>(1 + (i % 3)));
-        auto future = req.promise.get_future();
+        auto future = req.reply.get_future();
         while (q.push(req) != Admission::Accepted) {
           std::this_thread::yield();
         }

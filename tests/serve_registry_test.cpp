@@ -1,9 +1,10 @@
 // ModelRegistry: lazy loading, LRU/byte-budget eviction, failed-load
-// retry, and single-flight concurrent resolution (TSan via the sanitize
-// label).
+// retry, per-key circuit breaking (open / half-open probe / close), and
+// single-flight concurrent resolution (TSan via the sanitize label).
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <filesystem>
 #include <thread>
 #include <vector>
@@ -16,6 +17,8 @@ namespace {
 
 namespace fs = std::filesystem;
 using vf::core::FcnnModel;
+using vf::serve::BreakerState;
+using vf::serve::CircuitOpenError;
 using vf::serve::ModelRegistry;
 using vf::serve::RegistryOptions;
 
@@ -230,6 +233,123 @@ TEST_F(Registry, ConcurrentColdResolversShareOneLoad) {
     EXPECT_EQ(r.get(), results[0].get());  // single shared instance
   }
   EXPECT_EQ(reg.stats().loads, 1u);  // no thundering herd
+}
+
+// --- circuit breaker --------------------------------------------------------
+
+TEST_F(Registry, BreakerOpensAtTheThresholdAndFastFailsWithoutDiskIo) {
+  RegistryOptions opts;
+  opts.breaker_threshold = 3;
+  opts.breaker_backoff = std::chrono::milliseconds(60000);  // stays open
+  ModelRegistry reg(opts);
+  reg.add("bad", (dir_ / "nope.vfmd").string());
+
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_THROW((void)reg.resolve("bad"), std::runtime_error);
+  }
+  auto snap = reg.breaker("bad");
+  EXPECT_EQ(snap.state, BreakerState::Open);
+  EXPECT_EQ(snap.consecutive_failures, 3u);
+
+  // Inside the backoff window the key fails fast — no load is attempted.
+  EXPECT_THROW((void)reg.resolve("bad"), CircuitOpenError);
+  auto stats = reg.stats();
+  EXPECT_EQ(stats.load_failures, 3u);  // the fast-fail was not a load
+  EXPECT_EQ(stats.breaker_opens, 1u);
+  EXPECT_EQ(stats.breaker_fast_fails, 1u);
+  EXPECT_EQ(stats.open_breakers, 1u);
+}
+
+TEST_F(Registry, BreakerDisabledAtThresholdZeroNeverOpens) {
+  RegistryOptions opts;
+  opts.breaker_threshold = 0;
+  ModelRegistry reg(opts);
+  reg.add("bad", (dir_ / "nope.vfmd").string());
+  for (int i = 0; i < 6; ++i) {
+    EXPECT_THROW((void)reg.resolve("bad"), std::runtime_error);
+  }
+  EXPECT_EQ(reg.breaker("bad").state, BreakerState::Closed);
+  EXPECT_EQ(reg.stats().load_failures, 6u);  // every attempt hit the disk
+  EXPECT_EQ(reg.stats().breaker_opens, 0u);
+}
+
+TEST_F(Registry, HalfOpenProbeClosesTheBreakerOnceTheFaultClears) {
+  RegistryOptions opts;
+  opts.breaker_threshold = 2;
+  opts.breaker_backoff = std::chrono::milliseconds(1);
+  ModelRegistry reg(opts);
+  const std::string path = (dir_ / "flaky.vfmd").string();
+  reg.add("k", path);
+
+  EXPECT_THROW((void)reg.resolve("k"), std::runtime_error);
+  EXPECT_THROW((void)reg.resolve("k"), std::runtime_error);
+  EXPECT_EQ(reg.breaker("k").state, BreakerState::Open);
+
+  // The fault clears (a good model appears at the registered path). After
+  // the backoff window the next resolve is the half-open probe; its
+  // success closes the breaker for everyone.
+  tiny_model(5).save(path);
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  auto model = reg.resolve("k");
+  ASSERT_NE(model, nullptr);
+  EXPECT_EQ(reg.breaker("k").state, BreakerState::Closed);
+  EXPECT_EQ(reg.breaker("k").consecutive_failures, 0u);
+  EXPECT_EQ(reg.stats().open_breakers, 0u);
+}
+
+TEST_F(Registry, FailedProbeReopensWithADoubledBackoff) {
+  RegistryOptions opts;
+  opts.breaker_threshold = 1;
+  opts.breaker_backoff = std::chrono::milliseconds(1);
+  opts.breaker_backoff_max = std::chrono::milliseconds(100);
+  ModelRegistry reg(opts);
+  reg.add("bad", (dir_ / "nope.vfmd").string());
+
+  EXPECT_THROW((void)reg.resolve("bad"), std::runtime_error);
+  EXPECT_EQ(reg.breaker("bad").backoff, std::chrono::milliseconds(1));
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_THROW((void)reg.resolve("bad"), std::runtime_error);  // the probe
+  auto snap = reg.breaker("bad");
+  EXPECT_EQ(snap.state, BreakerState::Open);
+  EXPECT_EQ(snap.backoff, std::chrono::milliseconds(2));  // exponential
+  EXPECT_EQ(reg.stats().breaker_opens, 2u);
+}
+
+TEST_F(Registry, ReRegisteringAKeyResetsItsBreaker) {
+  RegistryOptions opts;
+  opts.breaker_threshold = 1;
+  opts.breaker_backoff = std::chrono::milliseconds(60000);
+  ModelRegistry reg(opts);
+  reg.add("k", (dir_ / "nope.vfmd").string());
+  EXPECT_THROW((void)reg.resolve("k"), std::runtime_error);
+  EXPECT_THROW((void)reg.resolve("k"), CircuitOpenError);
+
+  // A new file is a new fault domain: the old key's failures must not
+  // fast-fail the healed registration.
+  reg.add("k", save_model("healed", 3));
+  EXPECT_EQ(reg.breaker("k").state, BreakerState::Closed);
+  auto model = reg.resolve("k");
+  ASSERT_NE(model, nullptr);
+  EXPECT_EQ(reg.stats().open_breakers, 0u);
+}
+
+TEST_F(Registry, BreakerStatesSnapshotCoversEveryRegisteredKey) {
+  RegistryOptions opts;
+  opts.breaker_threshold = 1;
+  opts.breaker_backoff = std::chrono::milliseconds(60000);
+  ModelRegistry reg(opts);
+  reg.add("good", save_model("good", 1));
+  reg.add("bad", (dir_ / "nope.vfmd").string());
+  (void)reg.resolve("good");
+  EXPECT_THROW((void)reg.resolve("bad"), std::runtime_error);
+
+  const auto states = reg.breaker_states();
+  ASSERT_EQ(states.size(), 2u);
+  for (const auto& [key, snap] : states) {
+    EXPECT_EQ(snap.state,
+              key == "bad" ? BreakerState::Open : BreakerState::Closed);
+  }
 }
 
 TEST_F(Registry, ConcurrentMixedKeyChurnUnderTightCapStaysConsistent) {

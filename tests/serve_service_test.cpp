@@ -1,7 +1,8 @@
 // Service: end-to-end micro-batched point serving — session binding,
-// concurrent clients, deadline coalescing, load shedding, classical
-// fallback on model-load failure, and clean shutdown (TSan via the
-// sanitize label).
+// concurrent clients, deadline coalescing, load shedding, per-request
+// deadlines (dead-on-arrival and queue-side expiry), graceful drain, the
+// classical fallback on model-load failure, and clean shutdown (TSan via
+// the sanitize label).
 
 #include <gtest/gtest.h>
 
@@ -9,6 +10,7 @@
 #include <chrono>
 #include <cmath>
 #include <filesystem>
+#include <future>
 #include <thread>
 #include <vector>
 
@@ -24,6 +26,7 @@ using vf::field::Vec3;
 using vf::sampling::SampleCloud;
 using vf::serve::Service;
 using vf::serve::ServiceOptions;
+using vf::serve::Status;
 
 vf::core::FcnnModel tiny_model() {
   vf::core::FcnnModel model;
@@ -253,6 +256,110 @@ TEST_F(ServiceTest, StopIsIdempotentAndRefusesLateWork) {
   EXPECT_EQ(service->submit("t0", {{1, 1, 1}}), std::nullopt);
   EXPECT_THROW((void)service->query("t0", {{1, 1, 1}}), vf::serve::OverloadedError);
   service.reset();  // destructor after explicit stop must be safe
+}
+
+// --- per-request deadlines --------------------------------------------------
+
+TEST_F(ServiceTest, AlreadyExpiredDeadlineNeverReachesInference) {
+  Service service;
+  service.add_session("t0", test_cloud(), model_path_);
+
+  auto f = service.submit("t0", {{1, 1, 1}},
+                          std::chrono::steady_clock::now() - 1ms);
+  ASSERT_TRUE(f);
+  // Resolved on the spot: the request never touched the queue, the
+  // registry, or inference.
+  ASSERT_EQ(f->wait_for(0s), std::future_status::ready);
+  EXPECT_EQ(f->get().status, Status::DeadlineExceeded);
+  const auto stats = service.stats();
+  EXPECT_EQ(stats.expired, 1u);
+  EXPECT_EQ(stats.batches, 0u);
+  EXPECT_EQ(stats.registry.loads, 0u);
+}
+
+TEST_F(ServiceTest, QueuedRequestPastItsDeadlineIsExpiredNotServed) {
+  ServiceOptions opts;
+  opts.workers = 1;
+  opts.batch_deadline = 400ms;  // parks the sole worker on key "a"'s window
+  Service service(opts);
+  service.add_session("a", test_cloud(), model_path_);
+  service.add_session("b", test_cloud(), model_path_);
+
+  auto fa = service.submit("a", {{1, 1, 1}});
+  ASSERT_TRUE(fa);
+  // Queued behind the parked worker with a deadline far inside the 400 ms
+  // coalescing window: by the time the worker frees up, the queue must
+  // expire this request instead of serving stale data.
+  auto fb = service.submit("b", {{2, 2, 1}},
+                           std::chrono::steady_clock::now() + 25ms);
+  ASSERT_TRUE(fb);
+  EXPECT_EQ(fb->get().status, Status::DeadlineExceeded);
+  EXPECT_EQ(fa->get().status, Status::Ok);
+  EXPECT_GE(service.stats().expired, 1u);
+}
+
+TEST_F(ServiceTest, GenerousDeadlinesAreServedNormally) {
+  Service service;
+  service.add_session("t0", test_cloud(), model_path_);
+  auto f = service.submit("t0", {{1, 1, 1}},
+                          std::chrono::steady_clock::now() + 60s);
+  ASSERT_TRUE(f);
+  const auto resp = f->get();
+  EXPECT_EQ(resp.status, Status::Ok);
+  ASSERT_EQ(resp.values.size(), 1u);
+  EXPECT_TRUE(std::isfinite(resp.values[0]));
+  EXPECT_EQ(service.stats().expired, 0u);
+}
+
+// --- graceful drain ---------------------------------------------------------
+
+TEST_F(ServiceTest, BeginDrainRefusesAdmissionButServesTheBacklog) {
+  ServiceOptions opts;
+  opts.workers = 1;
+  opts.batch_deadline = 100ms;
+  Service service(opts);
+  service.add_session("t0", test_cloud(), model_path_);
+
+  auto backlog = service.submit("t0", {{1, 1, 1}});
+  ASSERT_TRUE(backlog);
+  service.begin_drain();
+  EXPECT_TRUE(service.draining());
+  EXPECT_EQ(service.submit("t0", {{2, 2, 1}}), std::nullopt);
+  EXPECT_EQ(service.stats().drain_rejects, 1u);
+
+  // The already-admitted request still completes, inside the budget.
+  EXPECT_TRUE(service.drain(10s));
+  EXPECT_EQ(backlog->get().status, Status::Ok);
+  EXPECT_EQ(service.queue_depth(), 0u);
+}
+
+TEST_F(ServiceTest, DrainNeverOrphansARequestEvenOnABlownBudget) {
+  ServiceOptions opts;
+  opts.workers = 1;
+  opts.batch_deadline = 300ms;  // park the worker so a backlog builds
+  opts.queue_max = 64;
+  Service service(opts);
+  service.add_session("a", test_cloud(), model_path_);
+  service.add_session("b", test_cloud(), model_path_);
+
+  std::vector<std::future<vf::serve::PointResponse>> futures;
+  auto first = service.submit("a", {{1, 1, 1}});
+  ASSERT_TRUE(first);
+  futures.push_back(std::move(*first));
+  for (int i = 0; i < 4; ++i) {
+    auto f = service.submit("b", {{2, 2, 1}});
+    if (f) futures.push_back(std::move(*f));
+  }
+
+  // Zero budget: whatever has not drained by "now" is shed as Draining —
+  // but every accepted request still gets exactly one terminal answer.
+  (void)service.drain(0ms);
+  for (auto& f : futures) {
+    const auto resp = f.get();
+    EXPECT_TRUE(resp.status == Status::Ok || resp.status == Status::Draining)
+        << "code " << static_cast<int>(resp.status);
+  }
+  EXPECT_EQ(service.queue_depth(), 0u);
 }
 
 }  // namespace

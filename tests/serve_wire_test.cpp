@@ -1,16 +1,24 @@
-// Wire codec for `vfctl serve`: the hand-rolled ndjson request parser and
-// the response emitters.
+// Wire codec for `vfctl serve`: the hand-rolled ndjson request parser, the
+// response emitters, and the status taxonomy (name <-> enum <-> stable code
+// round trips).
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <limits>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "vf/serve/wire.hpp"
 
 namespace {
 
+using vf::serve::BreakerSnapshot;
+using vf::serve::BreakerState;
 using vf::serve::PointResponse;
 using vf::serve::ServiceStats;
+using vf::serve::Status;
 namespace wire = vf::serve::wire;
 
 TEST(WireParse, PointQueryRoundTrip) {
@@ -97,23 +105,24 @@ TEST(WireEmit, OkResponseCarriesValuesAndBatchMetadata) {
   resp.values = {1.25, -0.5};
   resp.degraded = 1;
   resp.batch_points = 128;
-  const std::string line = wire::ok_response(7, resp);
+  const std::string line = wire::query_response(7, resp);
   EXPECT_NE(line.find("\"id\": 7"), std::string::npos);
   EXPECT_NE(line.find("\"status\": \"ok\""), std::string::npos);
+  EXPECT_NE(line.find("\"code\": 0"), std::string::npos);
   EXPECT_NE(line.find("\"values\": [1.25, -0.5]"), std::string::npos);
   EXPECT_NE(line.find("\"degraded\": 1"), std::string::npos);
   EXPECT_NE(line.find("\"batch\": 128"), std::string::npos);
   EXPECT_EQ(line.find("fallback"), std::string::npos);
 
   resp.fallback = "classical";
-  EXPECT_NE(wire::ok_response(7, resp).find("\"fallback\": \"classical\""),
+  EXPECT_NE(wire::query_response(7, resp).find("\"fallback\": \"classical\""),
             std::string::npos);
 }
 
 TEST(WireEmit, NonFiniteValuesSerializeAsNull) {
   PointResponse resp;
   resp.values = {std::numeric_limits<double>::quiet_NaN()};
-  EXPECT_NE(wire::ok_response(1, resp).find("\"values\": [null]"),
+  EXPECT_NE(wire::query_response(1, resp).find("\"values\": [null]"),
             std::string::npos);
 }
 
@@ -131,12 +140,13 @@ TEST(WireEmit, StatsResponseNestsRegistryCounters) {
 
 TEST(WireEmit, StatusResponseEscapesTheMessage) {
   const std::string line =
-      wire::status_response(3, "error", "bad \"points\"\n");
-  EXPECT_NE(line.find("\"status\": \"error\""), std::string::npos);
+      wire::status_response(3, Status::BadRequest, "bad \"points\"\n");
+  EXPECT_NE(line.find("\"status\": \"bad_request\""), std::string::npos);
+  EXPECT_NE(line.find("\"code\": 1"), std::string::npos);
   EXPECT_NE(line.find("bad \\\"points\\\"\\n"), std::string::npos);
 
   // No message key when the message is empty.
-  EXPECT_EQ(wire::status_response(4, "overloaded").find("message"),
+  EXPECT_EQ(wire::status_response(4, Status::Overloaded).find("message"),
             std::string::npos);
 }
 
@@ -145,10 +155,114 @@ TEST(WireEmit, StatusResponseEscapesTheMessage) {
 TEST(WireEmit, ResponsesAreSingleLines) {
   PointResponse resp;
   resp.values = {1.0};
-  EXPECT_EQ(wire::ok_response(1, resp).find('\n'), std::string::npos);
+  EXPECT_EQ(wire::query_response(1, resp).find('\n'), std::string::npos);
   EXPECT_EQ(wire::stats_response(1, ServiceStats{}).find('\n'),
             std::string::npos);
-  EXPECT_EQ(wire::status_response(1, "error", "x\ny").find('\n'),
+  EXPECT_EQ(wire::status_response(1, Status::Internal, "x\ny").find('\n'),
+            std::string::npos);
+  wire::ReadyInfo info;
+  info.breakers.emplace_back("t0", BreakerSnapshot{});
+  EXPECT_EQ(wire::ready_response(1, info).find('\n'), std::string::npos);
+}
+
+// --- status taxonomy --------------------------------------------------------
+
+TEST(WireStatus, EveryStatusRoundTripsNameAndKeepsItsStableCode) {
+  // The code ints are the wire contract: append-only, never renumbered.
+  const std::vector<std::pair<Status, int>> expected = {
+      {Status::Ok, 0},          {Status::BadRequest, 1},
+      {Status::Overloaded, 2},  {Status::DeadlineExceeded, 3},
+      {Status::Draining, 4},    {Status::Internal, 5},
+  };
+  for (const auto& [status, code] : expected) {
+    EXPECT_EQ(wire::status_code(status), code);
+    Status parsed = Status::Internal;
+    ASSERT_TRUE(wire::status_from_name(wire::status_name(status), parsed))
+        << wire::status_name(status);
+    EXPECT_EQ(parsed, status);
+  }
+  Status parsed = Status::Ok;
+  EXPECT_FALSE(wire::status_from_name("no_such_status", parsed));
+  EXPECT_FALSE(wire::status_from_name("", parsed));
+}
+
+TEST(WireStatus, EmittedStatusLinesParseBackToTheSameStatus) {
+  for (const Status status :
+       {Status::Overloaded, Status::DeadlineExceeded, Status::Draining}) {
+    const std::string line = wire::status_response(1, status);
+    const std::string needle =
+        std::string("\"status\": \"") + wire::status_name(status) + "\"";
+    EXPECT_NE(line.find(needle), std::string::npos) << line;
+    EXPECT_NE(line.find("\"code\": " +
+                        std::to_string(wire::status_code(status))),
+              std::string::npos)
+        << line;
+  }
+}
+
+TEST(WireEmit, QueryResponseRoutesNonOkStatusesToStatusLines) {
+  PointResponse resp;
+  resp.status = Status::DeadlineExceeded;
+  resp.values = {1.0};  // must not leak into an error line
+  const std::string line = wire::query_response(6, resp);
+  EXPECT_NE(line.find("\"status\": \"deadline_exceeded\""), std::string::npos);
+  EXPECT_NE(line.find("\"code\": 3"), std::string::npos);
+  EXPECT_EQ(line.find("values"), std::string::npos);
+}
+
+// --- deadlines on the wire --------------------------------------------------
+
+TEST(WireParse, DeadlineMsIsParsedAndDefaultsToZero) {
+  wire::Request req;
+  std::string error;
+  ASSERT_TRUE(wire::parse_request(
+      R"({"id": 1, "points": [[0, 0, 0]], "deadline_ms": 250})", req, error))
+      << error;
+  EXPECT_DOUBLE_EQ(req.deadline_ms, 250.0);
+
+  wire::Request bare;
+  ASSERT_TRUE(
+      wire::parse_request(R"({"id": 2, "points": [[0, 0, 0]]})", bare, error));
+  EXPECT_DOUBLE_EQ(bare.deadline_ms, 0.0);
+}
+
+TEST(WireParse, BadDeadlinesAreRejected) {
+  wire::Request req;
+  std::string error;
+  EXPECT_FALSE(wire::parse_request(
+      R"({"id": 1, "points": [[0, 0, 0]], "deadline_ms": -5})", req, error));
+  EXPECT_FALSE(error.empty());
+  EXPECT_FALSE(wire::parse_request(
+      R"({"id": 1, "points": [[0, 0, 0]], "deadline_ms": "soon"})", req,
+      error));
+}
+
+// --- ready ------------------------------------------------------------------
+
+TEST(WireEmit, ReadyResponseReportsDrainAndBreakerState) {
+  wire::ReadyInfo info;
+  info.draining = false;
+  info.queue_depth = 3;
+  info.queue_max = 256;
+  info.resident_models = 1;
+  info.open_breakers = 1;
+  BreakerSnapshot open;
+  open.state = BreakerState::Open;
+  open.consecutive_failures = 4;
+  open.backoff = std::chrono::milliseconds(200);
+  info.breakers.emplace_back("t0", open);
+  const std::string line = wire::ready_response(2, info);
+  EXPECT_NE(line.find("\"ready\": true"), std::string::npos);
+  // Open breaker: still serving (classically), but flagged degraded.
+  EXPECT_NE(line.find("\"degraded\": true"), std::string::npos);
+  EXPECT_NE(line.find("\"queue_depth\": 3"), std::string::npos);
+  EXPECT_NE(line.find("\"open_breakers\": 1"), std::string::npos);
+  EXPECT_NE(line.find("\"t0\""), std::string::npos);
+  EXPECT_NE(line.find("\"state\": \"open\""), std::string::npos);
+  EXPECT_NE(line.find("\"consecutive_failures\": 4"), std::string::npos);
+
+  info.draining = true;
+  EXPECT_NE(wire::ready_response(3, info).find("\"ready\": false"),
             std::string::npos);
 }
 

@@ -4,6 +4,7 @@
 // deterministically through the failpoints and must leave the destination
 // exactly as it was.
 
+#include <chrono>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
@@ -266,6 +267,67 @@ TEST_F(FaultTest, WithRetriesDoesNotCatchLogicErrors) {
                                       }),
                std::logic_error);
   EXPECT_EQ(calls, 1);  // programming errors are not transient I/O
+}
+
+TEST_F(FaultTest, RetryJitterIsDeterministicPerSeed) {
+  vf::util::RetryPolicy policy;
+  policy.attempts = 5;
+  policy.initial_delay_ms = 100;
+  policy.jitter_seed = 42;
+  const auto a = vf::util::retry_delays_ms(policy);
+  const auto b = vf::util::retry_delays_ms(policy);
+  ASSERT_EQ(a.size(), 4u);  // one sleep per retry, none before the first try
+  EXPECT_EQ(a, b);          // same seed -> same schedule, reproducible runs
+
+  // Jitter keeps each delay inside [base/2, base] of the doubling ladder.
+  int base = policy.initial_delay_ms;
+  for (const int d : a) {
+    EXPECT_GE(d, base / 2);
+    EXPECT_LE(d, base);
+    base *= 2;
+  }
+
+  policy.jitter_seed = 43;
+  EXPECT_NE(vf::util::retry_delays_ms(policy), a);  // seeds decorrelate
+
+  policy.jitter_seed = 0;  // jitter off: the raw exponential ladder
+  EXPECT_EQ(vf::util::retry_delays_ms(policy),
+            (std::vector<int>{100, 200, 400, 800}));
+}
+
+TEST_F(FaultTest, WithRetriesHonoursTheElapsedTimeCap) {
+  vf::util::RetryPolicy policy;
+  policy.attempts = 100;      // the attempt budget alone would retry forever
+  policy.initial_delay_ms = 20;
+  policy.max_elapsed_ms = 1;  // but the clock runs out first
+  int calls = 0;
+  const auto t0 = std::chrono::steady_clock::now();
+  EXPECT_THROW(vf::util::with_retries(policy,
+                                      [&]() -> int {
+                                        ++calls;
+                                        throw std::runtime_error("down");
+                                      }),
+               std::runtime_error);
+  const auto elapsed = std::chrono::steady_clock::now() - t0;
+  EXPECT_LT(calls, 100);  // the cap cut the attempt budget short
+  EXPECT_GE(calls, 1);
+  // The cap is checked before sleeping, so the total stays near the budget
+  // instead of overshooting by a full backoff (bound loose for CI noise).
+  EXPECT_LT(elapsed, std::chrono::seconds(2));
+}
+
+TEST_F(FaultTest, WithRetriesPolicyFormStillRetriesToSuccess) {
+  vf::util::RetryPolicy policy;
+  policy.attempts = 4;
+  policy.initial_delay_ms = 1;
+  policy.jitter_seed = 7;
+  int calls = 0;
+  const int got = vf::util::with_retries(policy, [&] {
+    if (++calls < 3) throw std::runtime_error("transient");
+    return 7;
+  });
+  EXPECT_EQ(got, 7);
+  EXPECT_EQ(calls, 3);
 }
 
 // ---- CRC32 + section framing ----------------------------------------------

@@ -93,6 +93,19 @@
 //                    annotate wrapper/detector internals with
 //                    `// vf-lint: allow(unannotated-guard) <reason>`.
 //
+//   unbounded-wait   In src/serve, every park must be bounded or
+//                    predicate-checked: `.wait(mu)` without a predicate and
+//                    `.wait_until(...)`/`.wait_for(...)` without a predicate
+//                    argument are exactly the waits that hang a worker (or
+//                    drain) forever on a missed notify. Likewise, raw
+//                    promise `.set_value(`/`.set_exception(` calls bypass
+//                    the answer-exactly-once Reply helper that the request
+//                    lifecycle guarantees rest on (DESIGN.md §12). The
+//                    deliberate sites — the Reply implementation itself,
+//                    the registry's single-flight handoff, the coalescing
+//                    window's timeout-rechecked wait — annotate with
+//                    `// vf-lint: allow(unbounded-wait) <reason>`.
+//
 // Usage: vf_lint <dir-or-file>...   (exit 1 if any finding)
 // Wired into CTest as the `vf_lint` test over src/, tools/, bench/, and
 // examples/.
@@ -213,6 +226,36 @@ SplitLine split_line(const std::string& line, bool& in_block) {
   return out;
 }
 
+/// Number of top-level arguments in the call whose opening paren sits at
+/// `split[i].code[open]`. Scans forward across (string-blanked) lines until
+/// the parens balance; commas nested inside (), [], {}, or <lambda captures>
+/// stay invisible because only depth-1 commas count. Returns -1 when the
+/// call does not close within a short lookahead — a rule should stay quiet
+/// rather than guess about a call it cannot see whole.
+int call_arg_count(const std::vector<SplitLine>& split, std::size_t i,
+                   std::size_t open) {
+  int depth = 0;
+  int commas = 0;
+  bool any_tokens = false;
+  for (std::size_t li = i; li < split.size() && li < i + 12; ++li) {
+    const std::string& c = split[li].code;
+    for (std::size_t p = li == i ? open : 0; p < c.size(); ++p) {
+      const char ch = c[p];
+      if (ch == '(' || ch == '[' || ch == '{') {
+        ++depth;
+      } else if (ch == ')' || ch == ']' || ch == '}') {
+        --depth;
+        if (depth == 0) return any_tokens ? commas + 1 : 0;
+      } else if (depth == 1 && ch == ',') {
+        ++commas;
+      } else if (depth >= 1 && ch != ' ' && ch != '\t') {
+        any_tokens = true;
+      }
+    }
+  }
+  return -1;
+}
+
 /// Active `x.resize(...)` site awaiting evidence of zeroing before use.
 struct ResizeWatch {
   std::string name;
@@ -254,6 +297,9 @@ void lint_file(const fs::path& path, std::vector<Finding>& findings) {
   // The raw-mutex rule exempts src/util: the annotated wrappers and the
   // lock-order detector are themselves built on the raw primitives.
   const bool util_src = gen.find("src/util/") != std::string::npos;
+  // The unbounded-wait rule bites only in the serving layer, where a park
+  // with no predicate or deadline strands a client forever.
+  const bool serve_src = gen.find("src/serve") != std::string::npos;
   std::vector<ResizeWatch> watches;
 
   /// Mutex members awaiting a VF_GUARDED_BY(<name>) sighting in this file.
@@ -537,6 +583,53 @@ void lint_file(const fs::path& path, std::vector<Finding>& findings) {
            "joined at shutdown; own it in a joinable pool (see "
            "vf::serve::Service), or annotate with "
            "vf-lint: allow(detached-thread)"});
+    }
+
+    // --- unbounded-wait -------------------------------------------------
+    if (serve_src && code.find('#') == std::string::npos) {
+      // A wait must carry a predicate: `.wait(mu)` re-parks on spurious
+      // wakeups with nothing to recheck, and `.wait_until(mu, t)` /
+      // `.wait_for(mu, d)` without a predicate silently turns a missed
+      // notify into a full-timeout stall on every wakeup path.
+      struct WaitForm {
+        const char* call;
+        int min_args;  // fewer top-level args than this = no predicate
+      };
+      for (const auto& form :
+           {WaitForm{".wait(", 2}, WaitForm{".wait_until(", 3},
+            WaitForm{".wait_for(", 3}}) {
+        const std::string call(form.call);
+        for (std::size_t pos = code.find(call); pos != std::string::npos;
+             pos = code.find(call, pos + 1)) {
+          const int args =
+              call_arg_count(split, i, pos + call.size() - 1);
+          if (args >= 0 && args < form.min_args && !allowed("unbounded-wait")) {
+            findings.push_back(
+                {file, lineno, "unbounded-wait",
+                 call.substr(1, call.size() - 2) +
+                     " without a predicate in src/serve — pass the "
+                     "condition as the final argument so spurious wakeups "
+                     "and missed notifies recheck state, or annotate a "
+                     "deliberately bounded wait with "
+                     "vf-lint: allow(unbounded-wait) <reason>"});
+          }
+        }
+      }
+      // Raw promise fulfilment bypasses Reply's answer-exactly-once guard;
+      // a second set_value on an already-answered request throws
+      // future_error in whichever thread lost the race.
+      for (const char* call : {".set_value(", ".set_exception("}) {
+        if (code.find(call) != std::string::npos &&
+            !allowed("unbounded-wait")) {
+          findings.push_back(
+              {file, lineno, "unbounded-wait",
+               std::string("raw promise ") + call +
+                   "...) in src/serve — answer requests through "
+                   "vf::serve::Reply (fulfill/fail are idempotent), or "
+                   "annotate non-request promises with "
+                   "vf-lint: allow(unbounded-wait) <reason>"});
+        }
+      }
     }
 
     // --- unannotated-guard (collection; resolved after the line loop) ---

@@ -21,6 +21,7 @@
 //   vfctl serve       --cloud cloud.vtp --model model.vfmd [--key NAME]
 //                     [--serve-workers N] [--batch-max POINTS]
 //                     [--batch-deadline-us US] [--queue-max N]
+//                     [--deadline-ms MS] [--drain-timeout-ms MS]
 //                     [--registry-max-models N] [--registry-budget-mb MB]
 //                     [--serve-port PORT] [--quant none|fp32|fp16|int8]
 //                     [--lock-order]
@@ -29,8 +30,18 @@
 // speaks the line-delimited JSON protocol of vf/serve/wire.hpp on stdin
 // (or, with --serve-port, to concurrent TCP clients):
 //   {"id": 1, "points": [[0.5, 0.5, 0.5]]}     -> point query
+//       (optional "deadline_ms": N; default from --deadline-ms, 0 = none)
 //   {"id": 2, "cmd": "stats"}                  -> service counters
-//   {"id": 3, "cmd": "shutdown"}               -> stop serving
+//   {"id": 3, "cmd": "health"}                 -> liveness probe
+//   {"id": 4, "cmd": "ready"}                  -> readiness + breaker state
+//   {"id": 5, "cmd": "shutdown"}               -> graceful drain, then exit
+//
+// Lifecycle (DESIGN.md §12): SIGTERM/SIGINT or the shutdown cmd starts a
+// graceful drain — admission closes (new queries answer "draining"),
+// in-flight batches flush, every outstanding request is answered — and the
+// process exits 0 when the drain finishes inside --drain-timeout-ms
+// (default 5000), 1 when the budget was blown (still no orphaned request:
+// the backlog is answered "draining" before exit).
 //
 // Flag spellings follow --<noun>-<verb(or qualifier)> form; the pre-rename
 // spellings (--t, --max-rows, --no-gradients, --case2, --fallback) still
@@ -65,6 +76,8 @@
 #include <thread>
 #include <utility>
 #include <vector>
+
+#include <csignal>
 
 #include <netinet/in.h>
 #include <poll.h>
@@ -256,34 +269,84 @@ int cmd_reconstruct(const util::Cli& cli) {
   return 0;
 }
 
+/// Set by the SIGTERM/SIGINT handler; the serve loops poll it. Installed
+/// without SA_RESTART so blocking getline/poll calls return with EINTR and
+/// the loops fall through into the graceful drain.
+std::atomic<bool> g_signal_stop{false};
+
+extern "C" void serve_signal_handler(int) { g_signal_stop.store(true); }
+
+void install_serve_signal_handlers() {
+  struct sigaction sa {};
+  sa.sa_handler = serve_signal_handler;
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = 0;  // deliberately no SA_RESTART: interrupt blocking reads
+  ::sigaction(SIGTERM, &sa, nullptr);
+  ::sigaction(SIGINT, &sa, nullptr);
+}
+
 /// Serve one protocol line; sets `stop` on a shutdown command.
 std::string handle_serve_line(serve::Service& service,
                               const std::string& default_key,
                               const std::string& line,
                               std::atomic<bool>& stop) {
+  using serve::Status;
   serve::wire::Request req;
   std::string error;
   if (!serve::wire::parse_request(line, req, error)) {
-    return serve::wire::status_response(req.id, "error", error);
+    return serve::wire::status_response(req.id, Status::BadRequest, error);
   }
   if (req.cmd == "stats") {
     return serve::wire::stats_response(req.id, service.stats());
   }
+  if (req.cmd == "health") {
+    // Liveness only: the fact that this line is being answered is the
+    // signal. Readiness (queue, breakers, draining) is `ready`'s job.
+    return serve::wire::status_response(req.id, Status::Ok, "alive");
+  }
+  if (req.cmd == "ready") {
+    serve::wire::ReadyInfo info;
+    info.draining = service.draining();
+    info.queue_depth = service.queue_depth();
+    info.queue_max = service.options().queue_max;
+    const auto stats = service.stats();
+    info.resident_models = stats.registry.resident_models;
+    info.open_breakers = stats.registry.open_breakers;
+    info.breakers = service.registry().breaker_states();
+    return serve::wire::ready_response(req.id, info);
+  }
   if (req.cmd == "shutdown") {
+    // Close admission immediately so queries racing the drain are answered
+    // "draining"; the main loop runs the actual drain with its budget.
+    service.begin_drain();
     stop.store(true);
-    return serve::wire::status_response(req.id, "ok", "shutting down");
+    return serve::wire::status_response(req.id, Status::Ok, "draining");
   }
   if (!req.cmd.empty()) {
-    return serve::wire::status_response(req.id, "error",
+    return serve::wire::status_response(req.id, Status::BadRequest,
                                         "unknown cmd '" + req.cmd + "'");
   }
   const std::string& key = req.key.empty() ? default_key : req.key;
   try {
-    auto future = service.submit(key, std::move(req.points));
-    if (!future) return serve::wire::status_response(req.id, "overloaded");
-    return serve::wire::ok_response(req.id, future->get());
+    std::optional<std::future<serve::PointResponse>> future;
+    if (req.deadline_ms > 0) {
+      const auto deadline =
+          std::chrono::steady_clock::now() +
+          std::chrono::microseconds(
+              static_cast<std::int64_t>(req.deadline_ms * 1000.0));
+      future = service.submit(key, std::move(req.points), deadline);
+    } else {
+      future = service.submit(key, std::move(req.points));
+    }
+    if (!future) {
+      return serve::wire::status_response(
+          req.id, service.draining() ? Status::Draining : Status::Overloaded);
+    }
+    return serve::wire::query_response(req.id, future->get());
+  } catch (const std::invalid_argument& e) {
+    return serve::wire::status_response(req.id, Status::BadRequest, e.what());
   } catch (const std::exception& e) {
-    return serve::wire::status_response(req.id, "error", e.what());
+    return serve::wire::status_response(req.id, Status::Internal, e.what());
   }
 }
 
@@ -293,7 +356,7 @@ void serve_tcp_client(serve::Service& service, const std::string& default_key,
                       int fd, std::atomic<bool>& stop) {
   std::string buffer;
   char chunk[4096];
-  while (!stop.load()) {
+  while (!stop.load() && !g_signal_stop.load()) {
     // Poll with a timeout instead of blocking in read(): an idle client
     // must not pin this thread past shutdown (serve_tcp joins us).
     pollfd pfd{fd, POLLIN, 0};
@@ -351,15 +414,19 @@ int serve_tcp(serve::Service& service, const std::string& default_key,
 
   std::atomic<bool> stop{false};
   std::vector<std::thread> clients;
-  while (!stop.load()) {
+  while (!stop.load() && !g_signal_stop.load()) {
     pollfd pfd{listener, POLLIN, 0};
     const int ready = ::poll(&pfd, 1, 200 /*ms*/);
-    if (ready <= 0) continue;  // timeout: recheck stop
+    if (ready <= 0) continue;  // timeout/EINTR: recheck stop
     const int fd = ::accept(listener, nullptr, nullptr);
     if (fd < 0) continue;
     clients.emplace_back(serve_tcp_client, std::ref(service),
                          std::cref(default_key), fd, std::ref(stop));
   }
+  // Signal path skipped the shutdown cmd: close admission before waiting
+  // on the client threads so racing queries answer "draining" right away.
+  service.begin_drain();
+  stop.store(true);
   ::close(listener);
   for (auto& c : clients) {
     if (c.joinable()) c.join();
@@ -381,6 +448,8 @@ int cmd_serve(const util::Cli& cli) {
   opts.batch_deadline =
       std::chrono::microseconds(cli.get_int("batch-deadline-us", 200));
   opts.queue_max = static_cast<std::size_t>(cli.get_int("queue-max", 256));
+  opts.default_deadline =
+      std::chrono::milliseconds(cli.get_int("deadline-ms", 0));
   opts.registry.max_models =
       static_cast<std::size_t>(cli.get_int("registry-max-models", 4));
   opts.registry.max_bytes =
@@ -394,6 +463,7 @@ int cmd_serve(const util::Cli& cli) {
 
   serve::Service service(opts);
   service.add_session(key, cloud, model_path);
+  install_serve_signal_handlers();
   std::printf("serving session '%s' (%zu samples, model %s) with %zu "
               "workers, batch<=%zu pts, deadline %lldus\n",
               key.c_str(), cloud.size(), model_path.c_str(), opts.workers,
@@ -401,27 +471,41 @@ int cmd_serve(const util::Cli& cli) {
               static_cast<long long>(opts.batch_deadline.count()));
   std::fflush(stdout);
 
+  int rc = 0;
   if (cli.has("serve-port")) {
-    return serve_tcp(service, key, cli.get_int("serve-port", 7777));
+    rc = serve_tcp(service, key, cli.get_int("serve-port", 7777));
+  } else {
+    std::atomic<bool> stop{false};
+    std::string line;
+    // A SIGTERM/SIGINT interrupts the blocking getline (no SA_RESTART), so
+    // the loop falls through to the drain below with requests in flight.
+    while (!stop.load() && !g_signal_stop.load() &&
+           std::getline(std::cin, line)) {
+      if (line.empty()) continue;
+      const std::string resp = handle_serve_line(service, key, line, stop);
+      std::printf("%s\n", resp.c_str());
+      std::fflush(stdout);
+    }
   }
-  std::atomic<bool> stop{false};
-  std::string line;
-  while (!stop.load() && std::getline(std::cin, line)) {
-    if (line.empty()) continue;
-    const std::string resp = handle_serve_line(service, key, line, stop);
-    std::printf("%s\n", resp.c_str());
-    std::fflush(stdout);
+  // Graceful drain: admission is closed, the backlog flushes through the
+  // workers, and every outstanding request is answered. Blowing the budget
+  // answers the remainder "draining" and reports exit 1.
+  const bool drained = service.drain(
+      std::chrono::milliseconds(cli.get_int("drain-timeout-ms", 5000)));
+  if (!drained) {
+    std::fprintf(stderr, "vfctl serve: drain budget exceeded\n");
   }
-  service.stop();
   const auto stats = service.stats();
   std::fprintf(stderr,
                "served %llu points in %llu batches (%llu shed, %llu "
-               "degraded)\n",
+               "degraded, %llu expired, %llu drain-rejected)\n",
                static_cast<unsigned long long>(stats.served_points),
                static_cast<unsigned long long>(stats.batches),
                static_cast<unsigned long long>(stats.shed),
-               static_cast<unsigned long long>(stats.degraded_points));
-  return 0;
+               static_cast<unsigned long long>(stats.degraded_points),
+               static_cast<unsigned long long>(stats.expired),
+               static_cast<unsigned long long>(stats.drain_rejects));
+  return rc != 0 ? rc : (drained ? 0 : 1);
 }
 
 int cmd_eval(const util::Cli& cli) {
