@@ -29,7 +29,7 @@
 #include "vf/nn/matrix.hpp"
 #include "vf/obs/obs.hpp"
 #include "vf/sampling/samplers.hpp"
-#include "vf/serve/service.hpp"
+#include "vf/serve/router.hpp"
 #include "vf/spatial/grid_hash.hpp"
 #include "vf/spatial/kdtree.hpp"
 #include "vf/util/cli.hpp"
@@ -240,14 +240,15 @@ int main(int argc, char** argv) {
   }
 
   {  // Micro-batched point serving: 4 closed-loop clients against one
-    // session (the vf::serve production shape, scaled to a CI runner).
+    // session behind a single-shard router (the vf::serve production
+    // entry point, scaled to a CI runner).
     const auto model_dir =
         std::filesystem::temp_directory_path() / "vf_perf_smoke_serve";
     std::filesystem::create_directories(model_dir);
     const std::string model_path = (model_dir / "model.vfmd").string();
     paper_arch_model().save(model_path);
 
-    vf::serve::Service service;
+    vf::serve::ShardRouter service;
     service.add_session("t0", cloud, model_path);
     const auto bounds = truth.grid().bounds();
     constexpr int kClients = 4;

@@ -28,6 +28,7 @@
 #include <future>
 #include <list>
 #include <memory>
+#include <optional>
 #include <stdexcept>
 #include <string>
 #include <unordered_map>
@@ -35,10 +36,18 @@
 #include <vector>
 
 #include "vf/core/model.hpp"
+#include "vf/util/atomic_io.hpp"
 #include "vf/util/mutex.hpp"
+#include "vf/util/rng.hpp"
 #include "vf/util/thread_annotations.hpp"
 
 namespace vf::serve {
+
+/// Deterministic per-shard salt (splitmix64 of seed + shard id). Shard 0
+/// maps to a nonzero salt too — "no salt" is expressed by leaving
+/// RegistryOptions::shard_salt at 0, not by a magic shard id.
+[[nodiscard]] std::uint64_t derive_shard_salt(std::uint64_t seed,
+                                              std::size_t shard_id);
 
 struct RegistryOptions {
   /// Maximum resident (loaded) models; at least 1 stays resident.
@@ -54,6 +63,20 @@ struct RegistryOptions {
   /// `breaker_backoff_max`.
   std::chrono::milliseconds breaker_backoff{100};
   std::chrono::milliseconds breaker_backoff_max{5000};
+  /// Retry policy for the disk read inside resolve() (attempts = 1 means
+  /// a single try, exactly the pre-retry behaviour). Only the file load
+  /// is retried; compatibility validation failures are permanent and
+  /// surface immediately. When `jitter_seed` is 0 and `shard_salt` is
+  /// nonzero, the salt seeds the jitter so co-located shards spread out.
+  vf::util::RetryPolicy load_retry{};
+  /// Per-shard identity for fault *independence*: a nonzero salt gives
+  /// this registry its own deterministic jitter stream for breaker open
+  /// windows (uniform in [backoff/2, backoff]) and, by default, for
+  /// load-retry backoff. 0 keeps the exact un-jittered windows — the
+  /// single-instance default and what the backoff-ladder tests pin.
+  /// ShardRouter derives a distinct salt per shard; a hand-built fleet
+  /// can set ServiceOptions::shard_id to get the same effect.
+  std::uint64_t shard_salt = 0;
 };
 
 /// Per-model load-path health (see module comment for transitions).
@@ -78,7 +101,10 @@ class CircuitOpenError : public std::runtime_error {
 struct BreakerSnapshot {
   BreakerState state = BreakerState::Closed;
   std::uint32_t consecutive_failures = 0;
-  std::chrono::milliseconds backoff{0};  ///< current open window (0 = never tripped)
+  std::chrono::milliseconds backoff{0};  ///< exponential ladder value (0 = never tripped)
+  /// The open window actually armed: equal to `backoff` for an unsalted
+  /// registry, jittered into [backoff/2, backoff] under a shard salt.
+  std::chrono::milliseconds open_for{0};
 };
 
 struct RegistryStats {
@@ -146,7 +172,8 @@ class ModelRegistry {
     // --- circuit breaker (guarded by mu_ like the rest of the entry) ---
     BreakerState breaker = BreakerState::Closed;
     std::uint32_t consecutive_failures = 0;
-    std::chrono::milliseconds backoff{0};  // current open window
+    std::chrono::milliseconds backoff{0};  // exponential ladder value
+    std::chrono::milliseconds open_for{0};  // armed window (jittered)
     std::chrono::steady_clock::time_point open_until{};
   };
 
@@ -160,6 +187,10 @@ class ModelRegistry {
 
   RegistryOptions options_;  // immutable after construction
   mutable vf::util::Mutex mu_{"serve.registry"};
+  /// Deterministic breaker-window jitter stream; engaged only when
+  /// options_.shard_salt != 0 (constructed before the workers exist, so
+  /// the un-locked ctor write is safe).
+  std::optional<vf::util::Rng> breaker_rng_ VF_GUARDED_BY(mu_);
   std::unordered_map<std::string, Entry> entries_ VF_GUARDED_BY(mu_);
   std::list<std::string> lru_ VF_GUARDED_BY(mu_);  // front = most recent
   RegistryStats stats_ VF_GUARDED_BY(mu_);

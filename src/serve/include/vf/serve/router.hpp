@@ -1,0 +1,204 @@
+#pragma once
+// ShardRouter — consistent-hash front-end over N Service shards (the
+// scale-out tier; see DESIGN.md §13).
+//
+//   clients ── submit(key, …) ──> HashRing ──> shard 0  (Service)
+//                                    │    └──> shard 1  (Service)
+//                              health/drain └> shard …  (Service)
+//
+// Each shard is a full Service — its own ModelRegistry, RequestQueue, and
+// worker pool — so shards share no locks, no breaker state, and no LRU:
+// one slow disk or tripped breaker degrades one shard, not the tier. A
+// (session, timestep) key maps to its home shard through a consistent
+// hash ring with virtual nodes, so adding or removing a shard remaps only
+// ~1/N of the key space (bounded-remap property, unit-tested) instead of
+// reshuffling every resident model.
+//
+// Routing is health-aware: a draining shard (the `ready` verb's notion —
+// Service::draining()) or one an operator marked unhealthy is skipped and
+// the request walks clockwise to the next healthy shard. Sessions follow
+// a *versioned manifest*: add_session records (cloud, model path, version)
+// centrally and applies it eagerly to the home shard; when a request is
+// re-routed, the failover shard converges lazily — the router compares
+// the shard's applied version against the manifest and re-binds before
+// delegating, so replica registries converge after re-registration
+// instead of serving a superseded model.
+//
+// Per-shard fault independence (DESIGN.md §13): the router derives a
+// distinct `shard_salt` for every shard, which seeds both the registry's
+// load-retry jitter and its breaker open-window jitter — co-located
+// shards that all failed on a shared-disk fault fan back in spread out
+// instead of retrying in lockstep.
+
+#include <atomic>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "vf/sampling/sample_cloud.hpp"
+#include "vf/serve/service.hpp"
+#include "vf/util/mutex.hpp"
+#include "vf/util/thread_annotations.hpp"
+
+namespace vf::serve {
+
+/// Consistent-hash ring with virtual nodes. Pure data structure (no
+/// services, no locks — the owner synchronises mutation), so the
+/// bounded-remap and stability properties are unit-testable in isolation.
+/// `vnodes` points per shard keep the per-shard key share within a few
+/// percent of 1/N.
+class HashRing {
+ public:
+  explicit HashRing(std::size_t vnodes = 64,
+                    std::uint64_t seed = 0x76666c6c72696e67ULL);
+
+  void add_shard(std::uint32_t shard);
+  void remove_shard(std::uint32_t shard);
+  [[nodiscard]] bool empty() const { return ring_.empty(); }
+
+  /// Home shard for `key` (first ring point clockwise of the key's hash).
+  /// Precondition: !empty().
+  [[nodiscard]] std::uint32_t owner(const std::string& key) const;
+
+  /// Clockwise walk from `key`'s position: every distinct shard in
+  /// failover order, starting with the home shard. Used by the router to
+  /// skip draining/unhealthy shards without re-hashing.
+  [[nodiscard]] std::vector<std::uint32_t> walk(const std::string& key) const;
+
+ private:
+  [[nodiscard]] std::uint64_t key_hash(const std::string& key) const;
+
+  std::size_t vnodes_;
+  std::uint64_t seed_;
+  /// Sorted (point, shard) pairs; lookup is an upper_bound + wrap.
+  std::vector<std::pair<std::uint64_t, std::uint32_t>> ring_;
+};
+
+struct RouterOptions {
+  /// Shard count; each shard is a full Service built from `shard` below.
+  std::size_t shards = 1;
+  /// Virtual nodes per shard on the hash ring.
+  std::size_t vnodes = 64;
+  /// Ring seed (also the base of the per-shard salts).
+  std::uint64_t seed = 0x76666c6c72696e67ULL;
+  /// Template for every shard's Service. The router overrides shard_id
+  /// and derives a per-shard registry shard_salt from `seed` (unless the
+  /// template already set a nonzero salt).
+  ServiceOptions shard;
+};
+
+/// Aggregated router counters, snapshot via ShardRouter::stats().
+struct RouterStats {
+  std::uint64_t routed = 0;    ///< submits delegated to a shard
+  std::uint64_t rerouted = 0;  ///< served off the home shard (drain/health)
+  std::uint64_t manifest_applies = 0;  ///< session binds pushed to shards
+  std::uint64_t no_shard = 0;  ///< submits refused: no routable shard
+  ServiceStats total;          ///< element-wise sum across shards
+  std::vector<ServiceStats> shards;
+};
+
+class ShardRouter {
+ public:
+  explicit ShardRouter(RouterOptions options = {});
+  ~ShardRouter();
+  ShardRouter(const ShardRouter&) = delete;
+  ShardRouter& operator=(const ShardRouter&) = delete;
+
+  /// Register `key` in the versioned manifest (bumping its version) and
+  /// bind it eagerly on the home shard. Re-registering replaces the
+  /// entry; shards holding the old binding converge on their next routed
+  /// request. Throws std::invalid_argument as Service::add_session does.
+  void add_session(const std::string& key,
+                   const vf::sampling::SampleCloud& cloud,
+                   const std::string& model_path);
+
+  [[nodiscard]] bool has_session(const std::string& key) const;
+
+  /// Route + delegate. Returns std::nullopt when every routable shard
+  /// refused (all draining/unhealthy, or the chosen shard's queue is
+  /// full). Throws std::invalid_argument for unmanifested keys.
+  [[nodiscard]] std::optional<std::future<PointResponse>> submit(
+      const std::string& key, std::vector<vf::field::Vec3> points);
+  [[nodiscard]] std::optional<std::future<PointResponse>> submit(
+      const std::string& key, std::vector<vf::field::Vec3> points,
+      std::chrono::steady_clock::time_point deadline);
+
+  /// Synchronous convenience: submit + wait (OverloadedError on refusal).
+  [[nodiscard]] PointResponse query(const std::string& key,
+                                    std::vector<vf::field::Vec3> points);
+
+  [[nodiscard]] std::size_t shard_count() const { return shards_.size(); }
+  /// Home shard for `key` (ignores health — ring position only).
+  [[nodiscard]] std::size_t shard_for(const std::string& key) const;
+  /// Shard a submit for `key` would reach right now (health-aware);
+  /// std::nullopt when no shard is routable.
+  [[nodiscard]] std::optional<std::size_t> route(const std::string& key) const;
+
+  /// Read-only access to one shard (stats, registry, ready snapshots).
+  [[nodiscard]] const Service& shard(std::size_t i) const;
+
+  /// Operator health override: an unhealthy shard is skipped by routing
+  /// but keeps serving its backlog.
+  void set_healthy(std::size_t i, bool healthy);
+  [[nodiscard]] bool healthy(std::size_t i) const;
+
+  /// Close admission on one shard (requests re-route to its neighbours).
+  void begin_drain_shard(std::size_t i);
+  /// Close admission everywhere.
+  void begin_drain();
+  /// True once every shard is draining (the tier-level `ready` signal).
+  [[nodiscard]] bool draining() const;
+
+  /// Graceful tier shutdown: drain every shard, splitting `budget` across
+  /// them. True when every shard drained within its slice.
+  bool drain(std::chrono::milliseconds budget);
+  void stop();
+
+  [[nodiscard]] RouterStats stats() const;
+  [[nodiscard]] std::size_t queue_depth() const;
+  [[nodiscard]] const RouterOptions& options() const { return options_; }
+
+ private:
+  struct ManifestEntry {
+    vf::sampling::SampleCloud cloud;
+    std::string model_path;
+    std::uint64_t version = 0;
+  };
+  struct Shard {
+    std::unique_ptr<Service> service;
+    std::atomic<bool> healthy{true};
+    /// Manifest version last applied per key, for lazy convergence.
+    mutable vf::util::Mutex mu{"serve.router.shard"};
+    std::unordered_map<std::string, std::uint64_t> applied VF_GUARDED_BY(mu);
+  };
+
+  [[nodiscard]] bool routable(const Shard& s) const {
+    return s.healthy.load(std::memory_order_relaxed) &&
+           !s.service->draining();
+  }
+  /// Bind `key` on shard `s` iff its applied version is stale.
+  void converge_session(Shard& s,
+                        const std::shared_ptr<const ManifestEntry>& entry,
+                        const std::string& key);
+
+  RouterOptions options_;
+  HashRing ring_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+
+  mutable vf::util::Mutex manifest_mu_{"serve.router.manifest"};
+  std::unordered_map<std::string, std::shared_ptr<const ManifestEntry>>
+      manifest_ VF_GUARDED_BY(manifest_mu_);
+  std::uint64_t next_version_ VF_GUARDED_BY(manifest_mu_) = 0;
+
+  std::atomic<std::uint64_t> routed_{0};
+  std::atomic<std::uint64_t> rerouted_{0};
+  std::atomic<std::uint64_t> manifest_applies_{0};
+  std::atomic<std::uint64_t> no_shard_{0};
+};
+
+}  // namespace vf::serve

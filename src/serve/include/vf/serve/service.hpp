@@ -79,6 +79,12 @@ struct ServiceOptions {
   /// micro-batches are sparse probes, so Auto keeps the exact k-d tree
   /// for typical session sizes.
   vf::spatial::IndexKind index = vf::spatial::IndexKind::Auto;
+  /// Identity of this instance inside a sharded tier (ShardRouter sets
+  /// it). A nonzero shard_id with an unsalted registry derives a
+  /// per-shard registry salt, so even hand-built co-located fleets get
+  /// decorrelated retry jitter and breaker open windows (DESIGN.md §13).
+  /// The 0 default is "not sharded": exact legacy behaviour.
+  std::size_t shard_id = 0;
   RegistryOptions registry;
 };
 

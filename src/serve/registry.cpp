@@ -7,6 +7,7 @@
 
 #include "vf/core/features.hpp"
 #include "vf/obs/obs.hpp"
+#include "vf/util/atomic_io.hpp"
 
 namespace vf::serve {
 
@@ -22,6 +23,16 @@ const char* breaker_state_name(BreakerState s) {
   return "closed";
 }
 
+std::uint64_t derive_shard_salt(std::uint64_t seed, std::size_t shard_id) {
+  // splitmix64: a full-avalanche mix keeps salts for adjacent shard ids
+  // statistically independent even for seed = 0.
+  std::uint64_t x = seed + 0x9e3779b97f4a7c15ULL * (shard_id + 1);
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x == 0 ? 1 : x;  // 0 means "unsalted"; never derive it
+}
+
 ModelRegistry::ModelRegistry(RegistryOptions options) : options_(options) {
   if (options_.max_models == 0) options_.max_models = 1;
   if (options_.breaker_backoff <= std::chrono::milliseconds::zero()) {
@@ -29,6 +40,13 @@ ModelRegistry::ModelRegistry(RegistryOptions options) : options_(options) {
   }
   if (options_.breaker_backoff_max < options_.breaker_backoff) {
     options_.breaker_backoff_max = options_.breaker_backoff;
+  }
+  if (options_.load_retry.attempts < 1) options_.load_retry.attempts = 1;
+  if (options_.shard_salt != 0) {
+    if (options_.load_retry.jitter_seed == 0) {
+      options_.load_retry.jitter_seed = options_.shard_salt;
+    }
+    breaker_rng_.emplace(options_.shard_salt, /*stream=*/0x62726b7277696eULL);
   }
 }
 
@@ -55,6 +73,7 @@ void ModelRegistry::add(const std::string& key, const std::string& path) {
     e.breaker = BreakerState::Closed;
     e.consecutive_failures = 0;
     e.backoff = std::chrono::milliseconds(0);
+    e.open_for = std::chrono::milliseconds(0);
   }
   e.path = path;
 }
@@ -98,7 +117,17 @@ void ModelRegistry::record_load_failure_locked(const std::string& key,
   e.backoff = (e.backoff == std::chrono::milliseconds(0))
                   ? options_.breaker_backoff
                   : std::min(e.backoff * 2, options_.breaker_backoff_max);
-  e.open_until = std::chrono::steady_clock::now() + e.backoff;
+  // The armed window is the ladder value, jittered into [backoff/2,
+  // backoff] under a shard salt so co-located shards tripped by one
+  // shared-disk fault probe back spread out instead of in lockstep. The
+  // ladder itself stays exact — doubling state is shared fleet-wide
+  // semantics; only the sleep is per-shard.
+  e.open_for = e.backoff;
+  if (breaker_rng_.has_value()) {
+    e.open_for = std::chrono::milliseconds(vf::util::detail::jittered_delay_ms(
+        static_cast<int>(e.backoff.count()), &*breaker_rng_));
+  }
+  e.open_until = std::chrono::steady_clock::now() + e.open_for;
   e.breaker = BreakerState::Open;
   ++stats_.breaker_opens;
   VF_OBS_COUNT("serve.registry.breaker_opens", 1);
@@ -158,8 +187,16 @@ std::shared_ptr<const vf::core::FcnnModel> ModelRegistry::resolve(
 
   ModelPtr loaded;
   try {
+    // Only the disk read retries (transient NFS hiccups, injected
+    // model_read faults); a file that loads but fails validation below is
+    // permanently bad and never worth a second read. attempts = 1 — the
+    // default — is byte-for-byte the old single-try path.
     loaded = std::make_shared<const vf::core::FcnnModel>(
-        vf::core::FcnnModel::load(path));
+        options_.load_retry.attempts > 1
+            ? vf::util::with_retries(
+                  options_.load_retry,
+                  [&path] { return vf::core::FcnnModel::load(path); })
+            : vf::core::FcnnModel::load(path));
     // A loadable file whose normaliser shapes don't match the feature
     // pipeline would only blow up later, inside a worker's inference —
     // reject it here so callers degrade exactly as for a corrupt file.
@@ -211,6 +248,7 @@ std::shared_ptr<const vf::core::FcnnModel> ModelRegistry::resolve(
       e.breaker = BreakerState::Closed;
       e.consecutive_failures = 0;
       e.backoff = std::chrono::milliseconds(0);
+      e.open_for = std::chrono::milliseconds(0);
       VF_OBS_GAUGE("serve.registry.open_breakers",
                    static_cast<std::int64_t>(std::count_if(
                        entries_.begin(), entries_.end(), [](const auto& kv) {
@@ -244,6 +282,7 @@ BreakerSnapshot ModelRegistry::breaker(const std::string& key) const {
   snap.state = it->second.breaker;
   snap.consecutive_failures = it->second.consecutive_failures;
   snap.backoff = it->second.backoff;
+  snap.open_for = it->second.open_for;
   return snap;
 }
 
@@ -257,6 +296,7 @@ ModelRegistry::breaker_states() const {
     snap.state = e.breaker;
     snap.consecutive_failures = e.consecutive_failures;
     snap.backoff = e.backoff;
+    snap.open_for = e.open_for;
     out.emplace_back(key, snap);
   }
   return out;

@@ -30,9 +30,24 @@ struct WorkerScratch {
   const vf::core::FcnnModel* qnet_key = nullptr;
 };
 
+namespace {
+
+/// ServiceOptions::shard_id contract: a sharded instance with an unsalted
+/// registry gets a derived per-shard salt (decorrelated retry jitter +
+/// breaker windows); shard 0 / explicit salts pass through untouched.
+RegistryOptions shard_registry_options(const ServiceOptions& options) {
+  RegistryOptions r = options.registry;
+  if (r.shard_salt == 0 && options.shard_id != 0) {
+    r.shard_salt = derive_shard_salt(0, options.shard_id);
+  }
+  return r;
+}
+
+}  // namespace
+
 Service::Service(ServiceOptions options)
     : options_(options),
-      registry_(options.registry),
+      registry_(shard_registry_options(options)),
       queue_(options.queue_max) {
   const std::size_t n = std::max<std::size_t>(1, options_.workers);
   workers_.reserve(n);

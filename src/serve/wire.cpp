@@ -1,9 +1,14 @@
 #include "vf/serve/wire.hpp"
 
+#include <algorithm>
 #include <cctype>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <stdexcept>
+
+#include "vf/util/atomic_io.hpp"
 
 namespace vf::serve::wire {
 
@@ -313,6 +318,300 @@ std::string status_response(std::int64_t id, Status status,
   if (!message.empty()) out += ", \"message\": " + quoted(message);
   out += "}";
   return out;
+}
+
+namespace {
+
+/// Bounds-checked sequential reader over a frame payload — the ByteReader
+/// discipline from atomic_io, over a string_view so decode never copies
+/// the payload before validating it. Overruns throw; the frame decoders
+/// translate that into FrameStatus::Corrupt.
+struct PayloadReader {
+  std::string_view buf;
+  std::size_t at = 0;
+
+  template <typename T>
+  T pod() {
+    static_assert(std::is_trivially_copyable_v<T>);
+    T v{};
+    bytes(&v, sizeof v);
+    return v;
+  }
+  void bytes(void* dst, std::size_t len) {
+    if (len > buf.size() - at) {
+      throw std::runtime_error("VFW1: truncated payload record");
+    }
+    if (len > 0) std::memcpy(dst, buf.data() + at, len);
+    at += len;
+  }
+  std::string str(std::size_t max_len) {
+    const auto len = pod<std::uint32_t>();
+    if (len > max_len || len > buf.size() - at) {
+      throw std::runtime_error("VFW1: oversized string field");
+    }
+    std::string s(buf.substr(at, len));
+    at += len;
+    return s;
+  }
+  void expect_end() const {
+    if (at != buf.size()) {
+      throw std::runtime_error("VFW1: trailing payload bytes");
+    }
+  }
+};
+
+/// Wrap a finished payload in the VFW1 frame: magic, length, payload, CRC.
+std::string frame_payload(const std::string& payload) {
+  std::string out;
+  out.reserve(payload.size() + 12);
+  out.append(kBinaryMagic, sizeof kBinaryMagic);
+  const auto len = static_cast<std::uint32_t>(payload.size());
+  out.append(reinterpret_cast<const char*>(&len), sizeof len);
+  out += payload;
+  const std::uint32_t crc = vf::util::crc32(payload.data(), payload.size());
+  out.append(reinterpret_cast<const char*>(&crc), sizeof crc);
+  return out;
+}
+
+/// Shared framing: validate magic/length/CRC at the head of `buf`. On Ok,
+/// `payload` views into `buf` and `consumed` covers the whole frame.
+FrameStatus open_frame(std::string_view buf, std::size_t& consumed,
+                       std::string_view& payload, std::string& error) {
+  consumed = 0;
+  if (buf.size() < sizeof kBinaryMagic + sizeof(std::uint32_t)) {
+    return FrameStatus::NeedMore;
+  }
+  if (std::memcmp(buf.data(), kBinaryMagic, sizeof kBinaryMagic) != 0) {
+    error = "VFW1: bad magic";
+    return FrameStatus::Corrupt;
+  }
+  std::uint32_t len = 0;
+  std::memcpy(&len, buf.data() + sizeof kBinaryMagic, sizeof len);
+  if (len > kBinaryMaxPayload) {
+    error = "VFW1: payload length exceeds frame cap";
+    return FrameStatus::Corrupt;
+  }
+  const std::size_t frame_size =
+      sizeof kBinaryMagic + sizeof len + std::size_t{len} + sizeof(std::uint32_t);
+  if (buf.size() < frame_size) return FrameStatus::NeedMore;
+  payload = buf.substr(sizeof kBinaryMagic + sizeof len, len);
+  std::uint32_t want = 0;
+  std::memcpy(&want, buf.data() + frame_size - sizeof want, sizeof want);
+  if (vf::util::crc32(payload.data(), payload.size()) != want) {
+    error = "VFW1: payload CRC mismatch";
+    return FrameStatus::Corrupt;
+  }
+  consumed = frame_size;
+  return FrameStatus::Ok;
+}
+
+/// Longest key / message the binary codec accepts — far above anything
+/// legitimate, far below the frame cap.
+constexpr std::size_t kMaxStringField = std::size_t{1} << 20;
+
+constexpr std::uint8_t kFlagFallbackClassical = 0x01;
+
+}  // namespace
+
+const char* verb_cmd(Verb v) {
+  switch (v) {
+    case Verb::Query:
+      return "";
+    case Verb::Stats:
+      return "stats";
+    case Verb::Health:
+      return "health";
+    case Verb::Ready:
+      return "ready";
+    case Verb::Shutdown:
+      return "shutdown";
+  }
+  return "";
+}
+
+bool verb_from_cmd(const std::string& cmd, Verb& out) {
+  for (const Verb v : {Verb::Query, Verb::Stats, Verb::Health, Verb::Ready,
+                       Verb::Shutdown}) {
+    if (cmd == verb_cmd(v)) {
+      out = v;
+      return true;
+    }
+  }
+  return false;
+}
+
+Response make_query_response(std::int64_t id, const PointResponse& resp) {
+  Response out;
+  out.id = id;
+  out.verb = Verb::Query;
+  out.status = resp.status;
+  if (resp.status == Status::Ok) {
+    out.values = resp.values;
+    out.degraded = static_cast<std::uint32_t>(resp.degraded);
+    out.batch_points = static_cast<std::uint32_t>(resp.batch_points);
+    out.fallback_classical = resp.fallback == "classical";
+  }
+  return out;
+}
+
+Response make_status_response(std::int64_t id, Verb verb, Status status,
+                              const std::string& message) {
+  Response out;
+  out.id = id;
+  out.verb = verb;
+  out.status = status;
+  out.message = message;
+  return out;
+}
+
+std::string render_json(const Response& resp) {
+  if (!resp.json_body.empty()) return resp.json_body;
+  if (resp.verb == Verb::Query && resp.status == Status::Ok) {
+    PointResponse pr;
+    pr.status = resp.status;
+    pr.values = resp.values;
+    pr.degraded = resp.degraded;
+    pr.batch_points = resp.batch_points;
+    if (resp.fallback_classical) pr.fallback = "classical";
+    return query_response(resp.id, pr);
+  }
+  return status_response(resp.id, resp.status, resp.message);
+}
+
+CodecKind sniff_codec(std::string_view head) {
+  if (head.empty()) return CodecKind::Unknown;
+  const std::size_t n = std::min(head.size(), sizeof kBinaryMagic);
+  if (std::memcmp(head.data(), kBinaryMagic, n) != 0) return CodecKind::Ndjson;
+  return n == sizeof kBinaryMagic ? CodecKind::Binary : CodecKind::Unknown;
+}
+
+std::string encode_request_frame(const Request& req) {
+  Verb verb = Verb::Query;
+  if (!verb_from_cmd(req.cmd, verb)) {
+    throw std::invalid_argument("VFW1: no verb for cmd '" + req.cmd + "'");
+  }
+  vf::util::ByteWriter bw;
+  bw.pod(static_cast<std::uint8_t>(verb));
+  bw.pod(std::uint8_t{0});  // flags, reserved
+  bw.pod(req.id);
+  bw.pod(req.deadline_ms);
+  bw.str(req.key);
+  bw.pod(static_cast<std::uint32_t>(req.points.size()));
+  // Zero-copy float payload: Vec3 is a plain struct of three doubles, so
+  // the whole query travels as one bulk append instead of one formatted
+  // number per coordinate.
+  static_assert(std::is_trivially_copyable_v<vf::field::Vec3> &&
+                sizeof(vf::field::Vec3) == 3 * sizeof(double));
+  if (!req.points.empty()) {
+    bw.bytes(req.points.data(), req.points.size() * sizeof(vf::field::Vec3));
+  }
+  return frame_payload(bw.take());
+}
+
+FrameStatus decode_request_frame(std::string_view buf, std::size_t& consumed,
+                                 Request& out, std::string& error) {
+  out = Request{};
+  error.clear();
+  std::string_view payload;
+  const FrameStatus framed = open_frame(buf, consumed, payload, error);
+  if (framed != FrameStatus::Ok) return framed;
+  try {
+    PayloadReader r{payload, 0};
+    const auto verb_byte = r.pod<std::uint8_t>();
+    (void)r.pod<std::uint8_t>();  // flags, reserved
+    out.id = r.pod<std::int64_t>();
+    out.deadline_ms = r.pod<double>();
+    out.key = r.str(kMaxStringField);
+    const auto n_points = r.pod<std::uint32_t>();
+    if (std::size_t{n_points} * sizeof(vf::field::Vec3) >
+        payload.size() - r.at) {
+      throw std::runtime_error("VFW1: point count exceeds payload");
+    }
+    out.points.resize(n_points);
+    r.bytes(out.points.data(), n_points * sizeof(vf::field::Vec3));
+    r.expect_end();
+    // Semantic validation mirrors parse_request: these frames are sound,
+    // so the server answers bad_request instead of dropping the line.
+    if (verb_byte > static_cast<std::uint8_t>(Verb::Shutdown)) {
+      error = "unknown verb " + std::to_string(verb_byte);
+      return FrameStatus::Bad;
+    }
+    out.cmd = verb_cmd(static_cast<Verb>(verb_byte));
+    if (!std::isfinite(out.deadline_ms) || out.deadline_ms < 0) {
+      error = "deadline_ms must be a finite number >= 0";
+      return FrameStatus::Bad;
+    }
+    if (out.cmd.empty() && out.points.empty()) {
+      error = "query needs a non-empty points payload";
+      return FrameStatus::Bad;
+    }
+  } catch (const std::runtime_error& e) {
+    // Structural violations inside a CRC-clean payload mean the sender's
+    // framing is broken, not the request: connection-fatal.
+    error = e.what();
+    consumed = 0;
+    return FrameStatus::Corrupt;
+  }
+  return FrameStatus::Ok;
+}
+
+std::string encode_response_frame(const Response& resp) {
+  vf::util::ByteWriter bw;
+  bw.pod(static_cast<std::uint8_t>(resp.verb));
+  bw.pod(static_cast<std::uint8_t>(status_code(resp.status)));
+  bw.pod(static_cast<std::uint8_t>(
+      resp.fallback_classical ? kFlagFallbackClassical : 0));
+  bw.pod(std::uint8_t{0});  // reserved
+  bw.pod(resp.id);
+  bw.pod(resp.degraded);
+  bw.pod(resp.batch_points);
+  bw.str(resp.message);
+  bw.str(resp.json_body);
+  bw.pod(static_cast<std::uint32_t>(resp.values.size()));
+  if (!resp.values.empty()) {
+    bw.bytes(resp.values.data(), resp.values.size() * sizeof(double));
+  }
+  return frame_payload(bw.take());
+}
+
+FrameStatus decode_response_frame(std::string_view buf, std::size_t& consumed,
+                                  Response& out, std::string& error) {
+  out = Response{};
+  error.clear();
+  std::string_view payload;
+  const FrameStatus framed = open_frame(buf, consumed, payload, error);
+  if (framed != FrameStatus::Ok) return framed;
+  try {
+    PayloadReader r{payload, 0};
+    const auto verb_byte = r.pod<std::uint8_t>();
+    const auto code = r.pod<std::uint8_t>();
+    const auto flags = r.pod<std::uint8_t>();
+    (void)r.pod<std::uint8_t>();  // reserved
+    if (verb_byte > static_cast<std::uint8_t>(Verb::Shutdown) ||
+        code > static_cast<std::uint8_t>(Status::Internal)) {
+      throw std::runtime_error("VFW1: unknown verb/status in response");
+    }
+    out.verb = static_cast<Verb>(verb_byte);
+    out.status = static_cast<Status>(code);
+    out.fallback_classical = (flags & kFlagFallbackClassical) != 0;
+    out.id = r.pod<std::int64_t>();
+    out.degraded = r.pod<std::uint32_t>();
+    out.batch_points = r.pod<std::uint32_t>();
+    out.message = r.str(kMaxStringField);
+    out.json_body = r.str(kMaxStringField);
+    const auto n_values = r.pod<std::uint32_t>();
+    if (std::size_t{n_values} * sizeof(double) > payload.size() - r.at) {
+      throw std::runtime_error("VFW1: value count exceeds payload");
+    }
+    out.values.resize(n_values);
+    r.bytes(out.values.data(), n_values * sizeof(double));
+    r.expect_end();
+  } catch (const std::runtime_error& e) {
+    error = e.what();
+    consumed = 0;
+    return FrameStatus::Corrupt;
+  }
+  return FrameStatus::Ok;
 }
 
 std::string ready_response(std::int64_t id, const ReadyInfo& info) {

@@ -1,0 +1,305 @@
+// VFW1 binary wire codec: request/response round-trips across every verb,
+// codec negotiation (sniff_codec), and the framing fuzz suite — every
+// truncation prefix, single-bit flips over the whole frame, oversize
+// length fields, bad magic, CRC damage, and well-framed-but-invalid
+// payloads (Bad keeps the connection; Corrupt drops it). Runs in the
+// faults lane because a hostile byte stream is an injected fault.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "vf/serve/wire.hpp"
+#include "vf/util/atomic_io.hpp"
+
+namespace {
+
+namespace wire = vf::serve::wire;
+using vf::serve::Status;
+using wire::CodecKind;
+using wire::FrameStatus;
+using wire::Verb;
+
+wire::Request query_request() {
+  wire::Request req;
+  req.id = 42;
+  req.key = "t7";
+  req.points = {{0.1, 0.2, 0.3}, {1.5, -2.5, 3.25}, {-0.75, 0.0, 9.5}};
+  req.deadline_ms = 250.0;
+  return req;
+}
+
+/// Re-stamp the trailing CRC so a deliberately mutated payload stays
+/// well-framed (tests the semantic layer, not the checksum).
+void fix_crc(std::string& frame) {
+  ASSERT_GE(frame.size(), 12u);
+  const std::uint32_t crc =
+      vf::util::crc32(frame.data() + 8, frame.size() - 12);
+  std::memcpy(frame.data() + frame.size() - 4, &crc, 4);
+}
+
+// --- round-trips ------------------------------------------------------------
+
+TEST(BinaryWire, QueryRequestRoundTripsExactly) {
+  const wire::Request req = query_request();
+  const std::string frame = wire::encode_request_frame(req);
+
+  wire::Request out;
+  std::string error;
+  std::size_t consumed = 0;
+  ASSERT_EQ(wire::decode_request_frame(frame, consumed, out, error),
+            FrameStatus::Ok)
+      << error;
+  EXPECT_EQ(consumed, frame.size());
+  EXPECT_EQ(out.id, req.id);
+  EXPECT_EQ(out.key, req.key);
+  EXPECT_EQ(out.cmd, req.cmd);
+  EXPECT_EQ(out.deadline_ms, req.deadline_ms);
+  ASSERT_EQ(out.points.size(), req.points.size());
+  for (std::size_t i = 0; i < req.points.size(); ++i) {
+    EXPECT_EQ(out.points[i].x, req.points[i].x);
+    EXPECT_EQ(out.points[i].y, req.points[i].y);
+    EXPECT_EQ(out.points[i].z, req.points[i].z);
+  }
+}
+
+TEST(BinaryWire, ControlVerbsRoundTrip) {
+  for (const char* cmd : {"stats", "health", "ready", "shutdown"}) {
+    wire::Request req;
+    req.id = 9;
+    req.cmd = cmd;
+    const std::string frame = wire::encode_request_frame(req);
+    wire::Request out;
+    std::string error;
+    std::size_t consumed = 0;
+    ASSERT_EQ(wire::decode_request_frame(frame, consumed, out, error),
+              FrameStatus::Ok)
+        << cmd << ": " << error;
+    EXPECT_EQ(out.cmd, cmd);
+    EXPECT_EQ(out.id, 9);
+    EXPECT_TRUE(out.points.empty());
+  }
+}
+
+TEST(BinaryWire, UnmappedCmdThrowsAtEncodeTime) {
+  wire::Request req;
+  req.cmd = "frobnicate";
+  EXPECT_THROW((void)wire::encode_request_frame(req), std::invalid_argument);
+}
+
+TEST(BinaryWire, QueryResponseRoundTripsValuesAndFlags) {
+  wire::Response resp;
+  resp.id = 42;
+  resp.verb = Verb::Query;
+  resp.status = Status::Ok;
+  resp.values = {1014.25, -3.5, 0.0};
+  resp.degraded = 1;
+  resp.batch_points = 128;
+  resp.fallback_classical = true;
+
+  const std::string frame = wire::encode_response_frame(resp);
+  wire::Response out;
+  std::string error;
+  std::size_t consumed = 0;
+  ASSERT_EQ(wire::decode_response_frame(frame, consumed, out, error),
+            FrameStatus::Ok)
+      << error;
+  EXPECT_EQ(consumed, frame.size());
+  EXPECT_EQ(out.id, resp.id);
+  EXPECT_EQ(out.verb, resp.verb);
+  EXPECT_EQ(out.status, resp.status);
+  EXPECT_EQ(out.values, resp.values);
+  EXPECT_EQ(out.degraded, resp.degraded);
+  EXPECT_EQ(out.batch_points, resp.batch_points);
+  EXPECT_TRUE(out.fallback_classical);
+}
+
+TEST(BinaryWire, StatusAndJsonBodyResponsesRoundTrip) {
+  wire::Response resp =
+      wire::make_status_response(7, Verb::Ready, Status::Draining, "bye");
+  resp.json_body = "{\"id\": 7, \"ready\": false}";
+  const std::string frame = wire::encode_response_frame(resp);
+  wire::Response out;
+  std::string error;
+  std::size_t consumed = 0;
+  ASSERT_EQ(wire::decode_response_frame(frame, consumed, out, error),
+            FrameStatus::Ok)
+      << error;
+  EXPECT_EQ(out.status, Status::Draining);
+  EXPECT_EQ(out.message, "bye");
+  EXPECT_EQ(out.json_body, resp.json_body);
+}
+
+TEST(BinaryWire, BackToBackFramesDecodeSequentially) {
+  const std::string a = wire::encode_request_frame(query_request());
+  wire::Request ping;
+  ping.id = 2;
+  ping.cmd = "health";
+  const std::string b = wire::encode_request_frame(ping);
+  std::string buf = a + b;
+
+  wire::Request out;
+  std::string error;
+  std::size_t consumed = 0;
+  ASSERT_EQ(wire::decode_request_frame(buf, consumed, out, error),
+            FrameStatus::Ok);
+  EXPECT_EQ(consumed, a.size());
+  EXPECT_EQ(out.id, 42);
+  buf.erase(0, consumed);
+  ASSERT_EQ(wire::decode_request_frame(buf, consumed, out, error),
+            FrameStatus::Ok);
+  EXPECT_EQ(consumed, b.size());
+  EXPECT_EQ(out.cmd, "health");
+}
+
+// --- negotiation ------------------------------------------------------------
+
+TEST(BinaryWire, SniffNegotiatesPerFirstBytes) {
+  EXPECT_EQ(wire::sniff_codec(""), CodecKind::Unknown);
+  EXPECT_EQ(wire::sniff_codec("V"), CodecKind::Unknown);
+  EXPECT_EQ(wire::sniff_codec("VF"), CodecKind::Unknown);
+  EXPECT_EQ(wire::sniff_codec("VFW"), CodecKind::Unknown);
+  EXPECT_EQ(wire::sniff_codec("VFW1"), CodecKind::Binary);
+  EXPECT_EQ(wire::sniff_codec("VFW1\x10\x00"), CodecKind::Binary);
+  EXPECT_EQ(wire::sniff_codec("{\"id\": 1}"), CodecKind::Ndjson);
+  EXPECT_EQ(wire::sniff_codec("VX"), CodecKind::Ndjson);
+  EXPECT_EQ(wire::sniff_codec("VFWx"), CodecKind::Ndjson);
+}
+
+// --- framing fuzz -----------------------------------------------------------
+
+TEST(BinaryWireFuzz, EveryTruncationPrefixAsksForMoreBytes) {
+  const std::string frame = wire::encode_request_frame(query_request());
+  for (std::size_t len = 0; len < frame.size(); ++len) {
+    wire::Request out;
+    std::string error;
+    std::size_t consumed = 0;
+    const auto st = wire::decode_request_frame(
+        std::string_view(frame.data(), len), consumed, out, error);
+    EXPECT_EQ(st, FrameStatus::NeedMore) << "prefix length " << len;
+    EXPECT_EQ(consumed, 0u) << "prefix length " << len;
+  }
+}
+
+TEST(BinaryWireFuzz, SingleBitFlipsNeverDecodeAsAValidFrame) {
+  const std::string frame = wire::encode_request_frame(query_request());
+  for (std::size_t byte = 0; byte < frame.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::string mutated = frame;
+      mutated[byte] = static_cast<char>(
+          static_cast<unsigned char>(mutated[byte]) ^ (1u << bit));
+      wire::Request out;
+      std::string error;
+      std::size_t consumed = 0;
+      const auto st =
+          wire::decode_request_frame(mutated, consumed, out, error);
+      // A flipped frame may look incomplete (length grew) or corrupt
+      // (magic/CRC damage) — it must never decode as Ok, and only a
+      // CRC-valid reinterpretation could even reach Bad (the CRC spans
+      // the whole payload, so a payload/CRC flip cannot).
+      EXPECT_NE(st, FrameStatus::Ok) << "byte " << byte << " bit " << bit;
+      if (st == FrameStatus::Corrupt || st == FrameStatus::NeedMore) {
+        EXPECT_EQ(consumed, 0u);
+      }
+    }
+  }
+}
+
+TEST(BinaryWireFuzz, BadMagicIsConnectionFatal) {
+  std::string frame = wire::encode_request_frame(query_request());
+  frame[0] = 'X';
+  wire::Request out;
+  std::string error;
+  std::size_t consumed = 0;
+  EXPECT_EQ(wire::decode_request_frame(frame, consumed, out, error),
+            FrameStatus::Corrupt);
+  EXPECT_EQ(consumed, 0u);
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(BinaryWireFuzz, OversizeLengthFieldIsRejectedBeforeAllocation) {
+  std::string frame = wire::encode_request_frame(query_request());
+  const std::uint32_t huge = 1u << 30;  // > kBinaryMaxPayload
+  std::memcpy(frame.data() + 4, &huge, 4);
+  wire::Request out;
+  std::string error;
+  std::size_t consumed = 0;
+  EXPECT_EQ(wire::decode_request_frame(frame, consumed, out, error),
+            FrameStatus::Corrupt);
+  EXPECT_EQ(consumed, 0u);
+}
+
+TEST(BinaryWireFuzz, CrcDamageIsConnectionFatal) {
+  std::string frame = wire::encode_request_frame(query_request());
+  frame[frame.size() - 1] = static_cast<char>(
+      static_cast<unsigned char>(frame[frame.size() - 1]) ^ 0xFF);
+  wire::Request out;
+  std::string error;
+  std::size_t consumed = 0;
+  EXPECT_EQ(wire::decode_request_frame(frame, consumed, out, error),
+            FrameStatus::Corrupt);
+}
+
+TEST(BinaryWireFuzz, UnknownVerbIsBadButKeepsTheConnection) {
+  std::string frame = wire::encode_request_frame(query_request());
+  frame[8] = static_cast<char>(0x7F);  // verb byte, no such enumerator
+  fix_crc(frame);
+  wire::Request out;
+  std::string error;
+  std::size_t consumed = 0;
+  EXPECT_EQ(wire::decode_request_frame(frame, consumed, out, error),
+            FrameStatus::Bad);
+  // Bad consumes the frame (the stream stays parseable) and keeps the id
+  // so the bad_request answer can be correlated.
+  EXPECT_EQ(consumed, frame.size());
+  EXPECT_EQ(out.id, 42);
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(BinaryWireFuzz, EmptyQueryIsBadNotCorrupt) {
+  wire::Request req;
+  req.id = 5;  // a query with zero points is well-framed but unserviceable
+  const std::string frame = wire::encode_request_frame(req);
+  wire::Request out;
+  std::string error;
+  std::size_t consumed = 0;
+  EXPECT_EQ(wire::decode_request_frame(frame, consumed, out, error),
+            FrameStatus::Bad);
+  EXPECT_EQ(consumed, frame.size());
+  EXPECT_EQ(out.id, 5);
+}
+
+TEST(BinaryWireFuzz, MixedCodecBufferDecodesFramesThenGoesCorruptOnJson) {
+  // A binary client must not survive an ndjson line spliced into its
+  // stream: the frame decoder sees bad magic and reports Corrupt.
+  const std::string frame = wire::encode_request_frame(query_request());
+  std::string buf = frame + "{\"id\": 1, \"cmd\": \"stats\"}\n";
+  wire::Request out;
+  std::string error;
+  std::size_t consumed = 0;
+  ASSERT_EQ(wire::decode_request_frame(buf, consumed, out, error),
+            FrameStatus::Ok);
+  buf.erase(0, consumed);
+  EXPECT_EQ(wire::decode_request_frame(buf, consumed, out, error),
+            FrameStatus::Corrupt);
+}
+
+TEST(BinaryWireFuzz, ResponseDecoderRejectsUnknownStatusByte) {
+  wire::Response resp = wire::make_status_response(3, Verb::Query, Status::Ok);
+  std::string frame = wire::encode_response_frame(resp);
+  frame[9] = static_cast<char>(0x70);  // status byte past every enumerator
+  // Re-stamp the CRC: the damage is semantic, not framing.
+  const std::uint32_t crc =
+      vf::util::crc32(frame.data() + 8, frame.size() - 12);
+  std::memcpy(frame.data() + frame.size() - 4, &crc, 4);
+  wire::Response out;
+  std::string error;
+  std::size_t consumed = 0;
+  EXPECT_EQ(wire::decode_response_frame(frame, consumed, out, error),
+            FrameStatus::Corrupt);
+}
+
+}  // namespace

@@ -4,7 +4,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <chrono>
+#include <cstdint>
 #include <filesystem>
 #include <thread>
 #include <vector>
@@ -12,6 +14,7 @@
 #include "vf/core/fcnn.hpp"
 #include "vf/core/model.hpp"
 #include "vf/serve/registry.hpp"
+#include "vf/util/fault.hpp"
 
 namespace {
 
@@ -379,6 +382,110 @@ TEST_F(Registry, ConcurrentMixedKeyChurnUnderTightCapStaysConsistent) {
   EXPECT_LE(stats.hits + stats.loads, 100u);
   EXPECT_GE(stats.loads, 2u);  // both keys were cold at least once
   EXPECT_GE(stats.evictions, 1u);
+}
+
+
+// --- per-shard fault independence (shard salts, jitter, load retry) ---------
+
+TEST_F(Registry, UnsaltedBreakerOpenWindowEqualsItsBackoff) {
+  RegistryOptions opts;
+  opts.breaker_threshold = 1;
+  opts.breaker_backoff = std::chrono::milliseconds(64);
+  ModelRegistry reg(opts);  // shard_salt 0: exact legacy behaviour
+  reg.add("bad", (dir_ / "nope.vfmd").string());
+  EXPECT_THROW((void)reg.resolve("bad"), std::runtime_error);
+  const auto snap = reg.breaker("bad");
+  EXPECT_EQ(snap.backoff, std::chrono::milliseconds(64));
+  EXPECT_EQ(snap.open_for, snap.backoff);  // no jitter without a salt
+}
+
+TEST_F(Registry, SaltedBreakerJittersTheOpenWindowWithinTheBackoff) {
+  RegistryOptions opts;
+  opts.breaker_threshold = 1;
+  opts.breaker_backoff = std::chrono::milliseconds(64);
+  opts.breaker_backoff_max = std::chrono::milliseconds(60000);
+  opts.shard_salt = 0x5eedULL;
+  ModelRegistry reg(opts);
+  reg.add("bad", (dir_ / "nope.vfmd").string());
+  EXPECT_THROW((void)reg.resolve("bad"), std::runtime_error);
+  const auto snap = reg.breaker("bad");
+  // The exponential ladder itself stays exact; only the armed window is
+  // drawn from [backoff/2, backoff].
+  EXPECT_EQ(snap.backoff, std::chrono::milliseconds(64));
+  EXPECT_GE(snap.open_for, std::chrono::milliseconds(32));
+  EXPECT_LE(snap.open_for, std::chrono::milliseconds(64));
+}
+
+TEST_F(Registry, DistinctSaltsDecorrelateTheOpenWindows) {
+  auto windows = [&](std::uint64_t salt) {
+    RegistryOptions opts;
+    opts.breaker_threshold = 1;
+    opts.breaker_backoff = std::chrono::milliseconds(4096);
+    opts.shard_salt = salt;
+    ModelRegistry reg(opts);
+    std::vector<std::chrono::milliseconds> open_for;
+    for (int i = 0; i < 8; ++i) {
+      const std::string key = "bad" + std::to_string(i);
+      reg.add(key, (dir_ / (key + ".vfmd")).string());
+      EXPECT_THROW((void)reg.resolve(key), std::runtime_error);
+      open_for.push_back(reg.breaker(key).open_for);
+    }
+    return open_for;
+  };
+  // Two co-located shards with different salts must not arm their open
+  // windows in lockstep (that lockstep is the retry-storm this fixes).
+  EXPECT_NE(windows(vf::serve::derive_shard_salt(0, 1)),
+            windows(vf::serve::derive_shard_salt(0, 2)));
+}
+
+TEST_F(Registry, DerivedShardSaltsAreNonZeroAndDistinct) {
+  std::vector<std::uint64_t> salts;
+  for (std::size_t shard = 0; shard < 16; ++shard) {
+    const std::uint64_t salt = vf::serve::derive_shard_salt(12345, shard);
+    EXPECT_NE(salt, 0u);
+    EXPECT_EQ(std::count(salts.begin(), salts.end(), salt), 0);
+    salts.push_back(salt);
+  }
+}
+
+TEST_F(Registry, LoadRetryAbsorbsTransientReadFaults) {
+  namespace fault = vf::util::fault;
+  fault::clear();
+  RegistryOptions opts;
+  opts.load_retry.attempts = 3;
+  opts.load_retry.initial_delay_ms = 1;
+  ModelRegistry reg(opts);
+  reg.add("a", save_model("a", 1));
+
+  // The first two reads fail (a transient shared-disk brownout); the
+  // in-resolve retry absorbs them so the caller sees one clean load and
+  // the breaker never counts a failure.
+  fault::arm("model_read", {fault::Mode::Error, 0, 2});
+  auto model = reg.resolve("a");
+  fault::clear();
+  ASSERT_NE(model, nullptr);
+  const auto stats = reg.stats();
+  EXPECT_EQ(stats.loads, 1u);
+  EXPECT_EQ(stats.load_failures, 0u);
+  EXPECT_EQ(reg.breaker("a").consecutive_failures, 0u);
+}
+
+TEST_F(Registry, ExhaustedLoadRetryStillTripsTheBreaker) {
+  namespace fault = vf::util::fault;
+  fault::clear();
+  RegistryOptions opts;
+  opts.breaker_threshold = 1;
+  opts.breaker_backoff = std::chrono::milliseconds(60000);
+  opts.load_retry.attempts = 2;
+  opts.load_retry.initial_delay_ms = 1;
+  ModelRegistry reg(opts);
+  reg.add("a", save_model("a", 1));
+
+  fault::arm("model_read", {fault::Mode::Error, 0, -1});  // persistent
+  EXPECT_THROW((void)reg.resolve("a"), std::runtime_error);
+  fault::clear();
+  EXPECT_EQ(reg.breaker("a").state, BreakerState::Open);
+  EXPECT_EQ(reg.stats().load_failures, 1u);  // one failure, not per-attempt
 }
 
 }  // namespace

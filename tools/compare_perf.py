@@ -3,6 +3,7 @@
 
 Usage:
     compare_perf.py BASELINE.json CURRENT.json [--threshold 1.5]
+                    [--expect name1,name2,...]
 
 Both files carry a ``metrics`` map of headline throughputs (higher is
 better). For every metric in the baseline, the current run fails if
@@ -14,6 +15,12 @@ Metrics present in the current run but absent from the baseline are
 reported as info (add them to the baseline when they stabilise); metrics
 missing from the current run are an error (the probe silently lost
 coverage).
+
+``--expect`` restricts the gate to a named subset of the baseline, for
+lanes whose probe emits only some of the baselined metrics (the serve-scale
+lane gates the serve ratios; the perf-regression lane gates the throughput
+floors). A name listed in --expect but absent from the baseline is an
+error — an expectation that gates nothing is a typo, not a pass.
 
 Refreshing the baseline: download the ``perf-record`` artifact from a green
 run of the perf workflow on main, then copy its ``metrics`` values into
@@ -49,10 +56,21 @@ def main():
     ap.add_argument("--threshold", type=float, default=None,
                     help="max allowed slowdown factor "
                          "(default: baseline file's 'threshold', else 1.5)")
+    ap.add_argument("--expect", default=None,
+                    help="comma-separated baseline metric names this lane "
+                         "gates (default: every baseline metric)")
     args = ap.parse_args()
 
     base_doc, base = load_metrics(args.baseline)
     _, cur = load_metrics(args.current)
+    if args.expect is not None:
+        expected = [n for n in args.expect.split(",") if n]
+        unknown = sorted(set(expected) - set(base))
+        if unknown:
+            print(f"compare_perf: --expect names missing from baseline: "
+                  f"{', '.join(unknown)}", file=sys.stderr)
+            sys.exit(2)
+        base = {n: base[n] for n in expected}
     threshold = args.threshold
     if threshold is None:
         threshold = float(base_doc.get("threshold", 1.5))

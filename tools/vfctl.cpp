@@ -19,6 +19,8 @@
 //                     [--quant none|fp32|fp16|int8] [--index auto|kdtree|grid_hash]
 //   vfctl eval        --truth truth.vti --recon recon.vti
 //   vfctl serve       --cloud cloud.vtp --model model.vfmd [--key NAME]
+//                     [--sessions "k1=c1.vtp:m1.vfmd;k2=c2.vtp:m2.vfmd"]
+//                     [--shards N] [--wire ndjson|binary]
 //                     [--serve-workers N] [--batch-max POINTS]
 //                     [--batch-deadline-us US] [--queue-max N]
 //                     [--deadline-ms MS] [--drain-timeout-ms MS]
@@ -27,8 +29,13 @@
 //                     [--lock-order]
 //
 // Every command prints what it did; `eval` prints SNR/PSNR/RMSE. `serve`
-// speaks the line-delimited JSON protocol of vf/serve/wire.hpp on stdin
-// (or, with --serve-port, to concurrent TCP clients):
+// fronts a consistent-hash ShardRouter over --shards full Service
+// instances (DESIGN.md §13; --shards 1 is the single-instance tier) and
+// speaks two codecs: the line-delimited JSON protocol of
+// vf/serve/wire.hpp and the VFW1 binary framing. --wire picks the stdin
+// codec; TCP connections negotiate per connection by sniffing the first
+// bytes, so one --serve-port listener carries mixed-codec clients.
+// ndjson examples (stdin or TCP):
 //   {"id": 1, "points": [[0.5, 0.5, 0.5]]}     -> point query
 //       (optional "deadline_ms": N; default from --deadline-ms, 0 = none)
 //   {"id": 2, "cmd": "stats"}                  -> service counters
@@ -70,6 +77,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <functional>
 #include <iostream>
 #include <stdexcept>
 #include <string>
@@ -92,6 +100,7 @@
 #include "vf/field/vtk_io.hpp"
 #include "vf/obs/obs.hpp"
 #include "vf/sampling/samplers.hpp"
+#include "vf/serve/router.hpp"
 #include "vf/serve/service.hpp"
 #include "vf/serve/wire.hpp"
 #include "vf/util/atomic_io.hpp"
@@ -285,46 +294,63 @@ void install_serve_signal_handlers() {
   ::sigaction(SIGINT, &sa, nullptr);
 }
 
-/// Serve one protocol line; sets `stop` on a shutdown command.
-std::string handle_serve_line(serve::Service& service,
-                              const std::string& default_key,
-                              const std::string& line,
-                              std::atomic<bool>& stop) {
+/// Serve one parsed request against the shard tier; sets `stop` on a
+/// shutdown command. Codec-neutral: the caller renders the Response with
+/// render_json (ndjson) or encode_response_frame (VFW1).
+serve::wire::Response handle_request(serve::ShardRouter& router,
+                                     const std::string& default_key,
+                                     serve::wire::Request& req,
+                                     std::atomic<bool>& stop) {
   using serve::Status;
-  serve::wire::Request req;
-  std::string error;
-  if (!serve::wire::parse_request(line, req, error)) {
-    return serve::wire::status_response(req.id, Status::BadRequest, error);
+  namespace wire = serve::wire;
+  wire::Verb verb = wire::Verb::Query;
+  if (!wire::verb_from_cmd(req.cmd, verb)) {
+    return wire::make_status_response(req.id, wire::Verb::Query,
+                                      Status::BadRequest,
+                                      "unknown cmd '" + req.cmd + "'");
   }
-  if (req.cmd == "stats") {
-    return serve::wire::stats_response(req.id, service.stats());
+  if (verb == wire::Verb::Stats) {
+    // Tier-level counters: the element-wise sum across shards keeps the
+    // exact single-instance stats schema.
+    wire::Response resp = wire::make_status_response(req.id, verb, Status::Ok);
+    resp.json_body = wire::stats_response(req.id, router.stats().total);
+    return resp;
   }
-  if (req.cmd == "health") {
+  if (verb == wire::Verb::Health) {
     // Liveness only: the fact that this line is being answered is the
     // signal. Readiness (queue, breakers, draining) is `ready`'s job.
-    return serve::wire::status_response(req.id, Status::Ok, "alive");
+    return wire::make_status_response(req.id, verb, Status::Ok, "alive");
   }
-  if (req.cmd == "ready") {
-    serve::wire::ReadyInfo info;
-    info.draining = service.draining();
-    info.queue_depth = service.queue_depth();
-    info.queue_max = service.options().queue_max;
-    const auto stats = service.stats();
-    info.resident_models = stats.registry.resident_models;
-    info.open_breakers = stats.registry.open_breakers;
-    info.breakers = service.registry().breaker_states();
-    return serve::wire::ready_response(req.id, info);
+  if (verb == wire::Verb::Ready) {
+    wire::ReadyInfo info;
+    info.draining = router.draining();
+    info.queue_depth = router.queue_depth();
+    const auto stats = router.stats();
+    info.queue_max =
+        router.shard_count() * router.options().shard.queue_max;
+    info.resident_models = stats.total.registry.resident_models;
+    info.open_breakers = stats.total.registry.open_breakers;
+    for (std::size_t i = 0; i < router.shard_count(); ++i) {
+      for (auto& [key, snap] : router.shard(i).registry().breaker_states()) {
+        // Shard-qualified keys in a multi-shard tier: breakers are
+        // per-shard state, and an operator chasing one needs to know
+        // which replica tripped.
+        info.breakers.emplace_back(
+            router.shard_count() > 1 ? std::to_string(i) + "/" + key : key,
+            snap);
+      }
+    }
+    wire::Response resp =
+        wire::make_status_response(req.id, verb, Status::Ok);
+    resp.json_body = wire::ready_response(req.id, info);
+    return resp;
   }
-  if (req.cmd == "shutdown") {
+  if (verb == wire::Verb::Shutdown) {
     // Close admission immediately so queries racing the drain are answered
     // "draining"; the main loop runs the actual drain with its budget.
-    service.begin_drain();
+    router.begin_drain();
     stop.store(true);
-    return serve::wire::status_response(req.id, Status::Ok, "draining");
-  }
-  if (!req.cmd.empty()) {
-    return serve::wire::status_response(req.id, Status::BadRequest,
-                                        "unknown cmd '" + req.cmd + "'");
+    return wire::make_status_response(req.id, verb, Status::Ok, "draining");
   }
   const std::string& key = req.key.empty() ? default_key : req.key;
   try {
@@ -334,28 +360,98 @@ std::string handle_serve_line(serve::Service& service,
           std::chrono::steady_clock::now() +
           std::chrono::microseconds(
               static_cast<std::int64_t>(req.deadline_ms * 1000.0));
-      future = service.submit(key, std::move(req.points), deadline);
+      future = router.submit(key, std::move(req.points), deadline);
     } else {
-      future = service.submit(key, std::move(req.points));
+      future = router.submit(key, std::move(req.points));
     }
     if (!future) {
-      return serve::wire::status_response(
-          req.id, service.draining() ? Status::Draining : Status::Overloaded);
+      return wire::make_status_response(
+          req.id, verb,
+          router.draining() ? Status::Draining : Status::Overloaded);
     }
-    return serve::wire::query_response(req.id, future->get());
+    return wire::make_query_response(req.id, future->get());
   } catch (const std::invalid_argument& e) {
-    return serve::wire::status_response(req.id, Status::BadRequest, e.what());
+    return wire::make_status_response(req.id, verb, Status::BadRequest,
+                                      e.what());
   } catch (const std::exception& e) {
-    return serve::wire::status_response(req.id, Status::Internal, e.what());
+    return wire::make_status_response(req.id, verb, Status::Internal,
+                                      e.what());
   }
 }
 
-/// Thread body for one TCP client: newline-framed requests in, one
-/// response line per request out.
-void serve_tcp_client(serve::Service& service, const std::string& default_key,
-                      int fd, std::atomic<bool>& stop) {
+/// ndjson entry point: parse one protocol line, serve it, render the line.
+std::string handle_serve_line(serve::ShardRouter& router,
+                              const std::string& default_key,
+                              const std::string& line,
+                              std::atomic<bool>& stop) {
+  serve::wire::Request req;
+  std::string error;
+  if (!serve::wire::parse_request(line, req, error)) {
+    return serve::wire::status_response(req.id, serve::Status::BadRequest,
+                                        error);
+  }
+  return serve::wire::render_json(
+      handle_request(router, default_key, req, stop));
+}
+
+/// Blocking full write; false when the peer went away.
+bool write_all(int fd, const std::string& bytes) {
+  std::size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t w = ::write(fd, bytes.data() + sent, bytes.size() - sent);
+    if (w <= 0) return false;
+    sent += static_cast<std::size_t>(w);
+  }
+  return true;
+}
+
+/// Drain every complete VFW1 frame at the head of `buffer`, answering each
+/// through `respond`. Shared by the binary stdin loop and TCP clients.
+/// Returns false when the stream is corrupt (connection-fatal) or the
+/// responder failed; `buffer` keeps any trailing partial frame.
+bool pump_binary_frames(
+    std::string& buffer, serve::ShardRouter& router,
+    const std::string& default_key, std::atomic<bool>& stop,
+    const std::function<bool(const std::string&)>& respond) {
+  namespace wire = serve::wire;
+  while (true) {
+    std::size_t consumed = 0;
+    wire::Request req;
+    std::string error;
+    const wire::FrameStatus st =
+        wire::decode_request_frame(buffer, consumed, req, error);
+    if (st == wire::FrameStatus::NeedMore) return true;
+    if (st == wire::FrameStatus::Corrupt) {
+      // Framing is gone: one last diagnostic frame, then hang up — resync
+      // inside a byte stream with broken length prefixes is guesswork.
+      respond(wire::encode_response_frame(wire::make_status_response(
+          0, wire::Verb::Query, serve::Status::BadRequest, error)));
+      return false;
+    }
+    wire::Response resp =
+        st == wire::FrameStatus::Bad
+            ? wire::make_status_response(req.id, wire::Verb::Query,
+                                         serve::Status::BadRequest, error)
+            : handle_request(router, default_key, req, stop);
+    buffer.erase(0, consumed);
+    if (!respond(wire::encode_response_frame(resp))) return false;
+  }
+}
+
+/// Thread body for one TCP client. The codec is negotiated per connection
+/// by sniffing the first bytes: a "VFW1" magic selects binary framing,
+/// anything else is newline-framed ndjson — so one listener carries
+/// mixed-codec clients.
+void serve_tcp_client(serve::ShardRouter& router,
+                      const std::string& default_key, int fd,
+                      std::atomic<bool>& stop) {
+  namespace wire = serve::wire;
   std::string buffer;
   char chunk[4096];
+  auto codec = wire::CodecKind::Unknown;
+  const auto respond = [fd](const std::string& bytes) {
+    return write_all(fd, bytes);
+  };
   while (!stop.load() && !g_signal_stop.load()) {
     // Poll with a timeout instead of blocking in read(): an idle client
     // must not pin this thread past shutdown (serve_tcp joins us).
@@ -366,21 +462,26 @@ void serve_tcp_client(serve::Service& service, const std::string& default_key,
     const ssize_t n = ::read(fd, chunk, sizeof chunk);
     if (n <= 0) break;
     buffer.append(chunk, static_cast<std::size_t>(n));
+    if (codec == wire::CodecKind::Unknown) {
+      codec = wire::sniff_codec(buffer);
+      if (codec == wire::CodecKind::Unknown) continue;  // need more bytes
+    }
+    if (codec == wire::CodecKind::Binary) {
+      if (!pump_binary_frames(buffer, router, default_key, stop, respond)) {
+        break;
+      }
+      continue;
+    }
     std::size_t at = 0;
     for (std::size_t nl = buffer.find('\n', at); nl != std::string::npos;
          at = nl + 1, nl = buffer.find('\n', at)) {
       const std::string line = buffer.substr(at, nl - at);
       if (line.empty()) continue;
-      std::string resp = handle_serve_line(service, default_key, line, stop);
+      std::string resp = handle_serve_line(router, default_key, line, stop);
       resp += '\n';
-      std::size_t sent = 0;
-      while (sent < resp.size()) {
-        const ssize_t w = ::write(fd, resp.data() + sent, resp.size() - sent);
-        if (w <= 0) {
-          ::close(fd);
-          return;
-        }
-        sent += static_cast<std::size_t>(w);
+      if (!write_all(fd, resp)) {
+        ::close(fd);
+        return;
       }
     }
     buffer.erase(0, at);
@@ -388,7 +489,7 @@ void serve_tcp_client(serve::Service& service, const std::string& default_key,
   ::close(fd);
 }
 
-int serve_tcp(serve::Service& service, const std::string& default_key,
+int serve_tcp(serve::ShardRouter& router, const std::string& default_key,
               int port) {
   const int listener = ::socket(AF_INET, SOCK_STREAM, 0);
   if (listener < 0) {
@@ -420,12 +521,12 @@ int serve_tcp(serve::Service& service, const std::string& default_key,
     if (ready <= 0) continue;  // timeout/EINTR: recheck stop
     const int fd = ::accept(listener, nullptr, nullptr);
     if (fd < 0) continue;
-    clients.emplace_back(serve_tcp_client, std::ref(service),
+    clients.emplace_back(serve_tcp_client, std::ref(router),
                          std::cref(default_key), fd, std::ref(stop));
   }
   // Signal path skipped the shutdown cmd: close admission before waiting
   // on the client threads so racing queries answer "draining" right away.
-  service.begin_drain();
+  router.begin_drain();
   stop.store(true);
   ::close(listener);
   for (auto& c : clients) {
@@ -434,14 +535,46 @@ int serve_tcp(serve::Service& service, const std::string& default_key,
   return 0;
 }
 
+/// One session to bind at startup: key + cloud file + model file.
+struct SessionSpec {
+  std::string key;
+  std::string cloud_path;
+  std::string model_path;
+};
+
+/// Parse --sessions "k1=c1.vtp:m1.vfmd;k2=c2.vtp:m2.vfmd".
+std::vector<SessionSpec> parse_sessions(const std::string& spec) {
+  std::vector<SessionSpec> out;
+  std::size_t at = 0;
+  while (at < spec.size()) {
+    std::size_t end = spec.find(';', at);
+    if (end == std::string::npos) end = spec.size();
+    const std::string item = spec.substr(at, end - at);
+    at = end + 1;
+    if (item.empty()) continue;
+    const std::size_t eq = item.find('=');
+    const std::size_t colon =
+        eq == std::string::npos ? std::string::npos : item.find(':', eq + 1);
+    if (eq == std::string::npos || colon == std::string::npos || eq == 0) {
+      usage("bad --sessions entry, expected key=cloud.vtp:model.vfmd");
+    }
+    out.push_back({item.substr(0, eq), item.substr(eq + 1, colon - eq - 1),
+                   item.substr(colon + 1)});
+  }
+  if (out.empty()) usage("--sessions parsed to zero sessions");
+  return out;
+}
+
 int cmd_serve(const util::Cli& cli) {
   if (cli.get_bool("lock-order", false)) {
-    // Arm before the Service spins up its workers so every acquisition in
+    // Arm before the shards spin up their workers so every acquisition in
     // the process is recorded; VF_LOCK_ORDER=log in the environment (read
     // at first lock) still downgrades abort -> log for triage.
     util::lockorder::set_enabled(true);
   }
-  serve::ServiceOptions opts;
+  serve::RouterOptions ropts;
+  ropts.shards = static_cast<std::size_t>(cli.get_int("shards", 1));
+  serve::ServiceOptions& opts = ropts.shard;
   opts.workers = static_cast<std::size_t>(cli.get_int("serve-workers", 2));
   opts.batch_max_points =
       static_cast<std::size_t>(cli.get_int("batch-max", 512));
@@ -454,57 +587,112 @@ int cmd_serve(const util::Cli& cli) {
       static_cast<std::size_t>(cli.get_int("registry-max-models", 4));
   opts.registry.max_bytes =
       static_cast<std::size_t>(cli.get_int("registry-budget-mb", 0)) << 20;
+  // Shard model loads ride the same transient-I/O policy as every other
+  // file read; the router salts the jitter per shard so co-located
+  // replicas fan back in spread out after a shared-disk fault.
+  opts.registry.load_retry.attempts = cli.get_int("retries", 1);
+  opts.registry.load_retry.initial_delay_ms = cli.get_int("retry-delay-ms", 50);
   opts.quant = nn::quant_policy_from_name(cli.get("quant", "none"));
 
-  auto cloud = load_with_retries(
-      cli, [&] { return sampling::SampleCloud::load_vtp(require(cli, "cloud")); });
-  const std::string key = cli.get("key", "default");
-  const std::string model_path = require(cli, "model");
+  const std::string wire_mode = cli.get("wire", "ndjson");
+  if (wire_mode != "ndjson" && wire_mode != "binary") {
+    usage("bad --wire, expected ndjson or binary");
+  }
 
-  serve::Service service(opts);
-  service.add_session(key, cloud, model_path);
+  std::vector<SessionSpec> specs;
+  if (cli.has("sessions")) {
+    specs = parse_sessions(cli.get("sessions", ""));
+  } else {
+    specs.push_back({cli.get("key", "default"), require(cli, "cloud"),
+                     require(cli, "model")});
+  }
+
+  serve::ShardRouter router(ropts);
+  std::size_t total_samples = 0;
+  for (const auto& spec : specs) {
+    auto cloud = load_with_retries(cli, [&] {
+      return sampling::SampleCloud::load_vtp(spec.cloud_path);
+    });
+    total_samples += cloud.size();
+    router.add_session(spec.key, cloud, spec.model_path);
+  }
+  const std::string key = specs.front().key;
   install_serve_signal_handlers();
-  std::printf("serving session '%s' (%zu samples, model %s) with %zu "
-              "workers, batch<=%zu pts, deadline %lldus\n",
-              key.c_str(), cloud.size(), model_path.c_str(), opts.workers,
-              opts.batch_max_points,
-              static_cast<long long>(opts.batch_deadline.count()));
-  std::fflush(stdout);
+  // In binary mode stdout carries VFW1 frames only; the human banner must
+  // not interleave with them.
+  FILE* banner = wire_mode == "binary" ? stderr : stdout;
+  std::fprintf(banner,
+               "serving %zu session(s) (%zu samples) across %zu shard(s), "
+               "%zu workers/shard, batch<=%zu pts, deadline %lldus, "
+               "stdin wire %s\n",
+               specs.size(), total_samples, router.shard_count(), opts.workers,
+               opts.batch_max_points,
+               static_cast<long long>(opts.batch_deadline.count()),
+               wire_mode.c_str());
+  std::fflush(banner);
 
   int rc = 0;
+  std::atomic<bool> stop{false};
   if (cli.has("serve-port")) {
-    rc = serve_tcp(service, key, cli.get_int("serve-port", 7777));
+    rc = serve_tcp(router, key, cli.get_int("serve-port", 7777));
+  } else if (wire_mode == "binary") {
+    // Binary stdin loop: poll + raw read so SIGTERM still interrupts, one
+    // VFW1 frame out per frame in (stdout stays newline-free).
+    const auto respond = [](const std::string& bytes) {
+      const std::size_t n =
+          std::fwrite(bytes.data(), 1, bytes.size(), stdout);
+      std::fflush(stdout);
+      return n == bytes.size();
+    };
+    std::string buffer;
+    char chunk[4096];
+    while (!stop.load() && !g_signal_stop.load()) {
+      pollfd pfd{STDIN_FILENO, POLLIN, 0};
+      const int ready = ::poll(&pfd, 1, 200 /*ms*/);
+      if (ready < 0) break;  // EINTR: recheck stop
+      if (ready == 0) continue;
+      const ssize_t n = ::read(STDIN_FILENO, chunk, sizeof chunk);
+      if (n <= 0) break;
+      buffer.append(chunk, static_cast<std::size_t>(n));
+      if (!pump_binary_frames(buffer, router, key, stop, respond)) {
+        rc = 1;  // corrupt inbound framing
+        break;
+      }
+    }
   } else {
-    std::atomic<bool> stop{false};
     std::string line;
     // A SIGTERM/SIGINT interrupts the blocking getline (no SA_RESTART), so
     // the loop falls through to the drain below with requests in flight.
     while (!stop.load() && !g_signal_stop.load() &&
            std::getline(std::cin, line)) {
       if (line.empty()) continue;
-      const std::string resp = handle_serve_line(service, key, line, stop);
+      const std::string resp = handle_serve_line(router, key, line, stop);
       std::printf("%s\n", resp.c_str());
       std::fflush(stdout);
     }
   }
-  // Graceful drain: admission is closed, the backlog flushes through the
-  // workers, and every outstanding request is answered. Blowing the budget
-  // answers the remainder "draining" and reports exit 1.
-  const bool drained = service.drain(
+  // Graceful drain: admission is closed on every shard, backlogs flush
+  // through the workers, and every outstanding request is answered.
+  // Blowing the budget answers the remainder "draining" and reports exit 1.
+  const bool drained = router.drain(
       std::chrono::milliseconds(cli.get_int("drain-timeout-ms", 5000)));
   if (!drained) {
     std::fprintf(stderr, "vfctl serve: drain budget exceeded\n");
   }
-  const auto stats = service.stats();
+  const auto rstats = router.stats();
+  const auto& stats = rstats.total;
   std::fprintf(stderr,
-               "served %llu points in %llu batches (%llu shed, %llu "
-               "degraded, %llu expired, %llu drain-rejected)\n",
+               "served %llu points in %llu batches across %zu shard(s) "
+               "(%llu shed, %llu degraded, %llu expired, %llu "
+               "drain-rejected, %llu rerouted)\n",
                static_cast<unsigned long long>(stats.served_points),
                static_cast<unsigned long long>(stats.batches),
+               router.shard_count(),
                static_cast<unsigned long long>(stats.shed),
                static_cast<unsigned long long>(stats.degraded_points),
                static_cast<unsigned long long>(stats.expired),
-               static_cast<unsigned long long>(stats.drain_rejects));
+               static_cast<unsigned long long>(stats.drain_rejects),
+               static_cast<unsigned long long>(rstats.rerouted));
   return rc != 0 ? rc : (drained ? 0 : 1);
 }
 
@@ -556,6 +744,8 @@ constexpr struct {
     {"no-gradients", "gradients-off"},
     {"case2", "finetune-case2"},
     {"fallback", "fallback-method"},
+    {"shard-count", "shards"},
+    {"wire-format", "wire"},
 };
 
 }  // namespace
