@@ -22,6 +22,7 @@
 #include <string>
 #include <thread>
 
+#include "vf/api/pipeline.hpp"
 #include "vf/core/batch_reconstruct.hpp"
 #include "vf/core/fcnn.hpp"
 #include "vf/data/registry.hpp"
@@ -287,6 +288,40 @@ int main(int argc, char** argv) {
                     for (auto& t : clients) t.join();
                   }));
     std::filesystem::remove_all(model_dir);
+  }
+
+  {  // In-situ streaming pipeline: sample -> fine-tune -> hot-swap -> score,
+    // end to end on a tiny ionization stream. The step rate bounds how fast
+    // the pipeline can keep up with a simulation at these training knobs;
+    // a regression here means the per-step loop (sampling, feature
+    // assembly, fine-tune, checkpoint, publish) got slower. The workdir is
+    // wiped per repeat so checkpoint resume can't fast-forward later
+    // repeats.
+    const auto workdir =
+        std::filesystem::temp_directory_path() / "vf_perf_smoke_pipeline";
+    constexpr int kSteps = 6;
+    rec.set_metric(
+        "pipeline_steps_per_second",
+        run_phase(rec, "pipeline_stream_6", static_cast<double>(kSteps),
+                  repeat, [&] {
+                    std::filesystem::remove_all(workdir);
+                    vf::api::PipelineConfig cfg;
+                    cfg.with_dataset("ionization")
+                        .with_dims({16, 16, 8})
+                        .with_sample_fraction(0.05)
+                        .with_pretrain_epochs(4)
+                        .with_epochs_per_step(2)
+                        .with_max_steps(kSteps)
+                        .with_workdir(workdir.string());
+                    cfg.hidden = {8};
+                    cfg.max_train_rows = 600;
+                    vf::api::Pipeline pipe(cfg);
+                    while (pipe.step()) {
+                    }
+                    pipe.drain();
+                    if (pipe.stats().steps_ingested != kSteps) std::abort();
+                  }));
+    std::filesystem::remove_all(workdir);
   }
 
   rec.write(out);

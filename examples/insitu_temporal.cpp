@@ -1,27 +1,25 @@
-// In-situ temporal workflow (paper Experiment 2).
+// In-situ temporal workflow (paper Experiment 2), driven through the
+// vf::api::Pipeline facade.
 //
-// Simulates the deployment the paper targets: a running simulation emits one
-// timestep at a time; only the sampled cloud is archived. The FCNN is
-// pretrained on the first timestep, then at each subsequent step it is
-// fine-tuned for ~10 epochs (Case 1) while the full data is still resident,
-// and the model + cloud are "archived". Post hoc, every timestep can be
-// reconstructed at full resolution from its 3% cloud.
-//
-// Also demonstrates Case 2 storage: only the last two dense layers are
-// retrained and persisted per timestep, shrinking the per-step model cost.
+// A simulated run emits one timestep at a time; the pipeline samples each
+// step down to the archival fraction, pretrains on the first step, fine-
+// tunes ~10 epochs (Case 1) on every later one in a background worker, and
+// hot-swaps each fine-tuned model into its embedded serve tier. The
+// per-step callback compares the streaming model against a frozen copy of
+// the step-0 weights and a classical baseline, and archives the Case-2
+// weight tail (last two dense layers) per step.
 //
 // Run:  ./insitu_temporal [--steps 6] [--stride 8] [--fraction 0.03]
 
 #include <cstdio>
 #include <filesystem>
+#include <optional>
 
+#include "vf/api/pipeline.hpp"
 #include "vf/api/reconstruct.hpp"
-#include "vf/core/fcnn.hpp"
-#include "vf/data/registry.hpp"
 #include "vf/field/metrics.hpp"
 #include "vf/interp/methods.hpp"
 #include "vf/nn/serialize.hpp"
-#include "vf/sampling/samplers.hpp"
 #include "vf/util/cli.hpp"
 
 int main(int argc, char** argv) {
@@ -31,76 +29,76 @@ int main(int argc, char** argv) {
   const int stride = cli.get_int("stride", 8);
   const double fraction = cli.get_double("fraction", 0.03);
 
-  auto dataset = data::make_dataset("hurricane");
-  field::Dims dims{64, 64, 16};
-  sampling::ImportanceSampler sampler;
-
-  core::FcnnConfig cfg;
-  cfg.epochs = cli.get_int("epochs", 25);
-  cfg.max_train_rows = 10000;
-
   auto archive = std::filesystem::temp_directory_path() / "voidfill_insitu";
   std::filesystem::create_directories(archive);
 
-  // --- t = 0: pretrain and persist the full model --------------------------
-  auto truth0 = dataset->generate(dims, 0.0);
-  auto pre = core::pretrain(truth0, sampler, cfg);
-  pre.model.save((archive / "model_t0.vfmd").string());
-  std::printf("t=0: pretrained (%zu rows, %.1fs), model archived\n",
-              pre.train_rows, pre.history.seconds);
-
-  std::printf("\n%-6s %-12s %-12s %-12s %-14s\n", "t", "linear", "frozen",
-              "fine-tuned", "case2_bytes");
   interp::LinearDelaunayReconstructor linear;
-  auto frozen = pre.model.clone();
-  // Stateful facade over the frozen model: the engine is cached across
-  // timesteps because the model never changes.
+  core::FcnnModel frozen;
+  std::optional<api::Reconstructor> stale;  // bound to `frozen` after start
+
+  api::PipelineConfig cfg;
+  cfg.with_dataset("hurricane")
+      .with_dims({64, 64, 16})
+      .with_sample_fraction(fraction)
+      .with_pretrain_epochs(cli.get_int("epochs", 25))
+      .with_epochs_per_step(10)
+      .with_max_steps(steps + 1)  // step 0 pretrains; `steps` fine-tune
+      .with_workdir((archive / "pipeline").string());
+  cfg.stride = stride;
+  cfg.hidden = core::FcnnConfig{}.hidden;  // the paper architecture
+  cfg.max_train_rows = 10000;
+  cfg.on_step = [&](const vf::pipeline::StepReport& r) {
+    if (r.step == 0) return;  // the pretrain line is printed below
+    // Classical baseline reconstructs from scratch; the frozen step-0
+    // model degrades as the storm evolves; the streamed model keeps up.
+    const double snr_linear = field::snr_db(
+        *r.truth, linear.reconstruct(*r.cloud, r.truth->grid()));
+    const double snr_frozen = field::snr_db(
+        *r.truth, stale->reconstruct(*r.cloud, r.truth->grid()).field);
+
+    std::printf("%-6.0f %-12.2f %-12.2f %-12.2f gen %llu%s\n", r.t,
+                snr_linear, snr_frozen, r.model_snr_db,
+                static_cast<unsigned long long>(r.generation),
+                r.classical ? "  (classical fallback)" : "");
+  };
+
+  api::Pipeline pipe(cfg);
+  pipe.start();  // t = 0: synchronous pretrain + first publish
+  frozen = pipe.model()->clone();
   api::ReconstructOptions frozen_opts;
   frozen_opts.method = api::Method::Fcnn;
   frozen_opts.model = &frozen;
-  api::Reconstructor stale(frozen_opts);
+  stale.emplace(frozen_opts);
+  std::printf("t=0: pretrained, generation %llu published\n",
+              static_cast<unsigned long long>(pipe.generation()));
 
-  for (int s = 1; s <= steps; ++s) {
-    double t = s * stride;
-    auto truth = dataset->generate(dims, t);
-    auto cloud = sampler.sample(truth, fraction, 100 + s);
-
-    // Classical baseline reconstructs from scratch at every step.
-    double snr_linear =
-        field::snr_db(truth, linear.reconstruct(cloud, truth.grid()));
-
-    // Frozen pretrained model degrades as the storm evolves...
-    double snr_frozen =
-        field::snr_db(truth, stale.reconstruct(cloud, truth.grid()).field);
-
-    // ...Case-1 fine-tuning (10 epochs, all layers) keeps up. The facade is
-    // rebuilt each step because fine_tune just rewrote the weights.
-    core::fine_tune(pre.model, truth, sampler, cfg,
-                    core::FineTuneMode::FullNetwork, 10);
-    api::ReconstructOptions tuned_opts;
-    tuned_opts.method = api::Method::Fcnn;
-    tuned_opts.model = &pre.model;
-    double snr_tuned = field::snr_db(
-        truth,
-        api::Reconstructor(tuned_opts).reconstruct(cloud, truth.grid()).field);
-
-    // Case-2 archival: persist only the last two dense layers per step.
-    auto tail_path = archive / ("tail_t" + std::to_string(s) + ".vfnt");
-    nn::save_dense_tail(pre.model.net, 2, tail_path.string());
-    auto tail_bytes = std::filesystem::file_size(tail_path);
-
-    std::printf("%-6.0f %-12.2f %-12.2f %-12.2f %-14zu\n", t, snr_linear,
-                snr_frozen, snr_tuned, static_cast<std::size_t>(tail_bytes));
+  std::printf("\n%-6s %-12s %-12s %-12s\n", "t", "linear", "frozen",
+              "fine-tuned");
+  while (pipe.step()) {
   }
+  pipe.drain();
 
-  auto full_bytes =
-      std::filesystem::file_size((archive / "model_t0.vfmd.net").string());
-  std::printf("\nfull model: %zu bytes; per-timestep Case-2 tail is ~%.1f%% "
-              "of that.\n",
-              static_cast<std::size_t>(full_bytes),
-              100.0 * static_cast<double>(std::filesystem::file_size(
-                          archive / "tail_t1.vfnt")) /
-                  static_cast<double>(full_bytes));
+  // Case-2 storage comparison on the final model: the per-step tail is a
+  // small fraction of the full model.
+  auto final_model = pipe.model();
+  const auto tail_path = (archive / "tail_final.vfnt").string();
+  nn::save_dense_tail(final_model->net, 2, tail_path);
+  const auto full_path = (archive / "model_final.vfmd").string();
+  final_model->save(full_path);
+  std::printf("\nfull model: %zu bytes; the per-timestep Case-2 tail is "
+              "%zu bytes (~%.1f%%).\n",
+              static_cast<std::size_t>(std::filesystem::file_size(full_path)),
+              static_cast<std::size_t>(std::filesystem::file_size(tail_path)),
+              100.0 * static_cast<double>(std::filesystem::file_size(tail_path)) /
+                  static_cast<double>(std::filesystem::file_size(full_path)));
+
+  // The serve tier answered queries through every hot swap; ask it once.
+  auto resp = pipe.query({{0.5, 0.5, 0.25}});
+  std::printf("served query against generation %llu: value %.4f%s\n",
+              static_cast<unsigned long long>(pipe.generation()),
+              resp.values.empty() ? 0.0 : resp.values[0],
+              resp.fallback.empty() ? "" : " (classical)");
+
   std::filesystem::remove_all(archive);
   return 0;
 }

@@ -1,10 +1,12 @@
-// Extensions demo: the in-situ TemporalPipeline facade, temporal-delta
+// Extensions demo: the vf::api::Pipeline in-situ facade, temporal-delta
 // sampling, and deep-ensemble uncertainty.
 //
-//   1. Drive a TemporalPipeline over a few simulation steps (pretrain once,
-//      Case-1 fine-tune afterwards) and reconstruct each archived cloud.
+//   1. Stream a few simulation steps through api::Pipeline (pretrain once,
+//      Case-1 fine-tune afterwards in a background worker) and report each
+//      step's reconstruction SNR from its archived cloud.
 //   2. Compare archival samplers on the final step: importance vs
-//      temporal-delta (which steers budget to the regions that changed).
+//      temporal-delta (which steers budget to the regions that changed),
+//      reconstructed with the pipeline's current model.
 //   3. Train a small deep ensemble and report where its uncertainty is
 //      highest relative to the actual error.
 //
@@ -12,9 +14,11 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <filesystem>
 
+#include "vf/api/pipeline.hpp"
+#include "vf/api/reconstruct.hpp"
 #include "vf/core/ensemble.hpp"
-#include "vf/core/pipeline.hpp"
 #include "vf/data/registry.hpp"
 #include "vf/field/metrics.hpp"
 #include "vf/sampling/temporal_sampler.hpp"
@@ -26,26 +30,33 @@ int main(int argc, char** argv) {
   const int steps = cli.get_int("steps", 3);
   auto ds = data::make_dataset("hurricane");
   const field::Dims dims{48, 48, 12};
+  auto workdir =
+      std::filesystem::temp_directory_path() / "voidfill_uncertainty";
 
   // --- 1. in-situ pipeline over a few steps -------------------------------
-  core::PipelineOptions popt;
-  popt.archive_fraction = 0.03;
-  popt.pretrain_config.hidden = {64, 32};
-  popt.pretrain_config.epochs = cli.get_int("epochs", 25);
-  popt.pretrain_config.max_train_rows = 8000;
-  popt.finetune_epochs = 10;
-  core::TemporalPipeline pipeline(popt);
+  api::PipelineConfig cfg;
+  cfg.with_dataset("hurricane")
+      .with_dims(dims)
+      .with_sample_fraction(0.03)
+      .with_pretrain_epochs(cli.get_int("epochs", 25))
+      .with_epochs_per_step(10)
+      .with_max_steps(steps)
+      .with_workdir(workdir.string());
+  cfg.stride = 8.0;
+  cfg.hidden = {64, 32};
+  cfg.max_train_rows = 8000;
+  cfg.on_step = [](const vf::pipeline::StepReport& r) {
+    std::printf("  t=%2d  train %5.1fs  SNR %.2f dB  classical %.2f dB\n",
+                r.step, r.train_seconds, r.model_snr_db,
+                r.classical_snr_db);
+  };
 
   std::printf("in-situ pipeline (archive @%.0f%%):\n",
-              popt.archive_fraction * 100);
-  for (int s = 0; s < steps; ++s) {
-    auto truth = ds->generate(dims, s * 8.0);
-    auto art = pipeline.ingest(truth);
-    auto rec = pipeline.reconstruct(art.cloud, truth.grid());
-    std::printf("  t=%2d  train %5.1fs  loss %.4f  post-hoc SNR %.2f dB\n",
-                art.timestep, art.train_seconds, art.final_loss,
-                field::snr_db(truth, rec));
+              cfg.sample_fraction * 100);
+  api::Pipeline pipe(cfg);
+  while (pipe.step()) {
   }
+  pipe.drain();
 
   // --- 2. temporal-delta vs importance sampling ---------------------------
   auto prev = ds->generate(dims, (steps - 2) * 8.0);
@@ -55,8 +66,15 @@ int main(int argc, char** argv) {
   tds.set_previous(prev);
   auto cloud_imp = imp.sample(cur, 0.03, 7);
   auto cloud_tds = tds.sample(cur, 0.03, 7);
-  auto rec_imp = pipeline.reconstruct(cloud_imp, cur.grid());
-  auto rec_tds = pipeline.reconstruct(cloud_tds, cur.grid());
+  // Reconstruct both clouds with the pipeline's current (latest fine-tuned)
+  // model through the reconstruction facade.
+  auto model = pipe.model();
+  api::ReconstructOptions ropt;
+  ropt.method = api::Method::Fcnn;
+  ropt.model = model.get();
+  api::Reconstructor rec(ropt);
+  auto rec_imp = rec.reconstruct(cloud_imp, cur.grid()).field;
+  auto rec_tds = rec.reconstruct(cloud_tds, cur.grid()).field;
   std::printf("\narchival sampler comparison at t=%d (same model):\n"
               "  importance      SNR %.2f dB\n"
               "  temporal-delta  SNR %.2f dB\n",
@@ -64,10 +82,12 @@ int main(int argc, char** argv) {
               field::snr_db(cur, rec_tds));
 
   // --- 3. ensemble uncertainty --------------------------------------------
-  auto cfg = popt.pretrain_config;
-  cfg.epochs = std::max(10, cfg.epochs / 2);
+  core::FcnnConfig ecfg;
+  ecfg.hidden = {64, 32};
+  ecfg.epochs = std::max(10, cli.get_int("epochs", 25) / 2);
+  ecfg.max_train_rows = 8000;
   auto ens = core::EnsembleReconstructor::pretrain(
-      cur, imp, cfg, cli.get_int("members", 3));
+      cur, imp, ecfg, cli.get_int("members", 3));
   auto res = ens.reconstruct(cloud_imp, cur.grid());
   std::printf("\nensemble of %zu: mean SNR %.2f dB\n", ens.size(),
               field::snr_db(cur, res.mean));
@@ -89,5 +109,6 @@ int main(int argc, char** argv) {
   std::printf("mean |error|: top-uncertainty decile %.4f vs rest %.4f "
               "(ratio %.2fx)\n", err_top, err_rest, err_top / err_rest);
   std::printf("-> the ensemble knows where it is unsure.\n");
+  std::filesystem::remove_all(workdir);
   return 0;
 }

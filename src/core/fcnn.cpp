@@ -212,6 +212,12 @@ vf::nn::TrainHistory fine_tune(FcnnModel& model, const ScalarField& truth,
   topt.learning_rate = config.learning_rate;
   topt.schedule = config.lr_schedule;
   topt.shuffle_seed = config.seed ^ 0x0f1e2d;
+  // Forward the checkpoint wiring just like pretrain: the in-situ pipeline
+  // fine-tunes every timestep and needs each step crash-resumable.
+  topt.checkpoint_dir = config.checkpoint_dir;
+  topt.checkpoint_every = config.checkpoint_every;
+  topt.checkpoint_keep = config.checkpoint_keep;
+  topt.resume = config.resume;
   vf::nn::Trainer trainer(topt);
   auto history = trainer.fit(model.net, set.X, set.Y);
   model.net.set_all_trainable(true);  // leave the model unrestricted

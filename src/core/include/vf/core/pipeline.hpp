@@ -40,7 +40,11 @@ struct TimestepArtifacts {
   double final_loss = 0.0;
 };
 
-class TemporalPipeline {
+class [[deprecated(
+    "wire the in-situ loop through vf::api::Pipeline (vf/api/pipeline.hpp):"
+    " it adds background fine-tune workers, crash-resumable checkpoints,"
+    " hot-swap serving, and drift fallback on top of this synchronous"
+    " wrapper")]] TemporalPipeline {
  public:
   explicit TemporalPipeline(PipelineOptions options);
 

@@ -4,6 +4,11 @@
 
 #include "vf/util/timer.hpp"
 
+// This translation unit implements the deprecated shim itself.
+#if defined(__GNUC__) || defined(__clang__)
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+#endif
+
 namespace vf::core {
 
 TemporalPipeline::TemporalPipeline(PipelineOptions options)

@@ -1,0 +1,107 @@
+#include "vf/api/pipeline.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace vf::api {
+
+namespace {
+
+vf::pipeline::InsituOptions engine_options(const PipelineConfig& cfg) {
+  vf::pipeline::InsituOptions opt;
+  opt.sample_fraction = cfg.sample_fraction;
+  opt.train.hidden = cfg.hidden;
+  opt.train.epochs = cfg.pretrain_epochs;
+  opt.train.max_train_rows = cfg.max_train_rows;
+  opt.train.seed = cfg.seed;
+  opt.epochs_per_step = cfg.epochs_per_step;
+  opt.refinetune_epochs = cfg.epochs_per_step;
+  opt.drift.floor_snr_db = cfg.drift_floor_snr;
+  opt.workers = cfg.workers;
+  opt.workdir = cfg.workdir;
+  opt.session_key = cfg.session_key;
+  opt.seed = cfg.seed;
+  opt.serve.shards = cfg.shards;
+  opt.serve.shard.workers = cfg.serve_workers;
+  opt.on_step = cfg.on_step;
+  return opt;
+}
+
+vf::pipeline::DriverOptions driver_options(const PipelineConfig& cfg) {
+  vf::pipeline::DriverOptions opt;
+  opt.dataset = cfg.dataset;
+  opt.dataset_seed = cfg.seed;
+  opt.dims = cfg.dims;
+  opt.t0 = cfg.t0;
+  opt.stride = cfg.stride;
+  opt.max_steps = cfg.max_steps;
+  return opt;
+}
+
+}  // namespace
+
+Pipeline::Pipeline(PipelineConfig config) : config_(std::move(config)) {
+  driver_ = std::make_unique<vf::pipeline::SimulationDriver>(
+      driver_options(config_));
+  engine_ =
+      std::make_unique<vf::pipeline::InsituPipeline>(engine_options(config_));
+}
+
+Pipeline::~Pipeline() = default;
+
+void Pipeline::start() {
+  if (started_) return;
+  started_ = true;
+  auto first = driver_->next();
+  if (!first) {
+    throw std::runtime_error("vf::api::Pipeline: driver emitted no steps");
+  }
+  engine_->ingest(std::move(*first));
+}
+
+bool Pipeline::step() {
+  if (!started_) {
+    start();
+    return true;
+  }
+  auto next = driver_->next();
+  if (!next) return false;
+  engine_->ingest(std::move(*next));
+  return true;
+}
+
+void Pipeline::drain() { engine_->drain(); }
+
+PipelineStats Pipeline::stats() const { return engine_->stats(); }
+
+std::uint64_t Pipeline::generation() const { return engine_->generation(); }
+
+double Pipeline::last_snr_db() const {
+  return engine_->stats().published_snr_db;
+}
+
+std::optional<std::future<vf::serve::PointResponse>> Pipeline::submit(
+    std::vector<vf::field::Vec3> points) {
+  return engine_->router().submit(config_.session_key, std::move(points));
+}
+
+vf::serve::PointResponse Pipeline::query(
+    std::vector<vf::field::Vec3> points) {
+  return engine_->router().query(config_.session_key, std::move(points));
+}
+
+void Pipeline::set_drift_floor(double floor_snr_db) {
+  engine_->set_drift_floor(floor_snr_db);
+}
+
+std::shared_ptr<const vf::core::FcnnModel> Pipeline::model() const {
+  return engine_->latest_model();
+}
+
+vf::serve::ShardRouter& Pipeline::router() { return engine_->router(); }
+
+vf::pipeline::InsituPipeline& Pipeline::engine() { return *engine_; }
+
+vf::pipeline::SimulationDriver& Pipeline::driver() { return *driver_; }
+
+}  // namespace vf::api

@@ -1,0 +1,63 @@
+#include "vf/pipeline/drift.hpp"
+
+#include "vf/obs/obs.hpp"
+
+namespace vf::pipeline {
+
+const char* drift_action_name(DriftAction a) {
+  switch (a) {
+    case DriftAction::None:
+      return "none";
+    case DriftAction::Refinetune:
+      return "refinetune";
+    case DriftAction::Fallback:
+      return "fallback";
+    case DriftAction::Recover:
+      return "recover";
+  }
+  return "none";
+}
+
+DriftMonitor::DriftMonitor(DriftOptions options) : options_(options) {
+  if (options_.hysteresis_db < 0.0) options_.hysteresis_db = 0.0;
+}
+
+DriftAction DriftMonitor::observe(int step, double model_snr_db,
+                                  double classical_snr_db) {
+  last_model_snr_ = model_snr_db;
+  last_classical_snr_ = classical_snr_db;
+  VF_OBS_GAUGE("pipeline.last_snr_db",
+               static_cast<std::int64_t>(model_snr_db));
+  VF_OBS_GAUGE("pipeline.classical_snr_db",
+               static_cast<std::int64_t>(classical_snr_db));
+
+  if (options_.floor_snr_db <= 0.0) return DriftAction::None;
+
+  if (fallen_back_) {
+    if (model_snr_db >= options_.floor_snr_db + options_.hysteresis_db) {
+      fallen_back_ = false;
+      ++recoveries_;
+      VF_OBS_COUNT("pipeline.drift_recoveries", 1);
+      return DriftAction::Recover;
+    }
+    return DriftAction::None;  // still degraded; keep publishing classical
+  }
+
+  if (model_snr_db >= options_.floor_snr_db) return DriftAction::None;
+
+  if (refinetuned_step_ != step) {
+    // First sub-floor score for this step: buy extra epochs before
+    // degrading.
+    refinetuned_step_ = step;
+    ++refinetunes_;
+    VF_OBS_COUNT("pipeline.drift_refinetunes", 1);
+    return DriftAction::Refinetune;
+  }
+  // The re-finetuned model is still below the floor: degrade.
+  fallen_back_ = true;
+  ++fallbacks_;
+  VF_OBS_COUNT("pipeline.drift_fallbacks", 1);
+  return DriftAction::Fallback;
+}
+
+}  // namespace vf::pipeline

@@ -1,0 +1,43 @@
+#include "vf/pipeline/driver.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "vf/data/registry.hpp"
+
+namespace vf::pipeline {
+
+SimulationDriver::SimulationDriver(DriverOptions options)
+    : SimulationDriver(
+          vf::data::make_dataset(options.dataset, options.dataset_seed),
+          options) {}
+
+SimulationDriver::SimulationDriver(std::unique_ptr<vf::data::Dataset> dataset,
+                                   DriverOptions options)
+    : options_(std::move(options)),
+      dataset_(std::move(dataset)),
+      next_t_(options_.t0),
+      stride_(options_.stride) {
+  if (!dataset_) {
+    throw std::invalid_argument("SimulationDriver: null dataset");
+  }
+  if (options_.dims.nx < 2 || options_.dims.ny < 2 || options_.dims.nz < 2) {
+    throw std::invalid_argument(
+        "SimulationDriver: dims must be at least 2 per axis");
+  }
+}
+
+std::optional<Timestep> SimulationDriver::next() {
+  if (options_.max_steps > 0 && emitted_ >= options_.max_steps) {
+    return std::nullopt;
+  }
+  Timestep step;
+  step.index = emitted_;
+  step.t = next_t_;
+  step.truth = dataset_->generate(options_.dims, next_t_);
+  next_t_ += stride_;
+  ++emitted_;
+  return step;
+}
+
+}  // namespace vf::pipeline

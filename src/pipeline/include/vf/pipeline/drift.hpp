@@ -1,0 +1,87 @@
+#pragma once
+// DriftMonitor — per-timestep reconstruction-quality tracking for the
+// in-situ pipeline (DESIGN.md §14).
+//
+// Every fine-tuned step is scored twice against the resident truth before
+// it is published: the model's reconstruction SNR and the classical
+// (Shepard) reconstruction SNR from the same archival cloud. The monitor
+// exports both as vf::obs gauges and decides what the pipeline does next:
+//
+//   Refinetune — the model dipped below the floor for the first time this
+//                step; spend extra epochs and score again before giving up.
+//   Fallback   — still below the floor after the re-finetune: publish the
+//                session classically (empty model path — the serve tier's
+//                degrade-to-classical state) until the model recovers.
+//   Recover    — a fallen-back pipeline's model cleared the floor plus a
+//                hysteresis margin; resume publishing the model.
+//   None       — healthy (or already fallen back and still unhealthy).
+//
+// The monitor is deliberately a pure, lock-free decision table over the
+// scores it is fed — all the threading lives in InsituPipeline — so the
+// trip/recover ladder is unit-testable with synthetic SNR sequences.
+
+#include <cstdint>
+
+namespace vf::pipeline {
+
+struct DriftOptions {
+  /// Publishing floor: a step whose model SNR (dB) lands below this trips
+  /// the re-finetune/fallback ladder. <= 0 disables drift handling
+  /// entirely (every observe() returns None).
+  double floor_snr_db = 0.0;
+  /// A fallen-back pipeline resumes publishing the model only once its
+  /// SNR clears floor + hysteresis, so a score oscillating around the
+  /// floor doesn't flap between model and classical sessions.
+  double hysteresis_db = 1.0;
+};
+
+enum class DriftAction : std::uint8_t {
+  None = 0,
+  Refinetune,  ///< below floor, first score this step: spend extra epochs
+  Fallback,    ///< below floor after re-finetune: degrade to classical
+  Recover,     ///< fallen back and now above floor + hysteresis
+};
+
+[[nodiscard]] const char* drift_action_name(DriftAction a);
+
+class DriftMonitor {
+ public:
+  explicit DriftMonitor(DriftOptions options = {});
+
+  /// Score one (re-)evaluation of `step` and decide. Feeding a second
+  /// observation for the same step is how the pipeline reports its
+  /// re-finetune result; the monitor answers Fallback instead of
+  /// Refinetune for it. Also exports the pipeline.last_snr_db /
+  /// pipeline.classical_snr_db gauges and the refinetune/fallback/recover
+  /// counters.
+  DriftAction observe(int step, double model_snr_db, double classical_snr_db);
+
+  /// True while the monitor has degraded to classical publishing.
+  [[nodiscard]] bool fallen_back() const { return fallen_back_; }
+
+  [[nodiscard]] double floor_snr_db() const { return options_.floor_snr_db; }
+  /// Runtime-adjustable floor (the facade's set_drift_floor): tests
+  /// measure a healthy step's SNR, then raise the floor above it to trip
+  /// the ladder deterministically.
+  void set_floor_snr_db(double floor) { options_.floor_snr_db = floor; }
+
+  [[nodiscard]] double last_model_snr_db() const { return last_model_snr_; }
+  [[nodiscard]] double last_classical_snr_db() const {
+    return last_classical_snr_;
+  }
+  [[nodiscard]] int refinetunes() const { return refinetunes_; }
+  [[nodiscard]] int fallbacks() const { return fallbacks_; }
+  [[nodiscard]] int recoveries() const { return recoveries_; }
+
+ private:
+  DriftOptions options_;
+  bool fallen_back_ = false;
+  int refinetuned_step_ = -1;  // step whose Refinetune was already spent
+  double last_model_snr_ = 0.0;
+  double last_classical_snr_ = 0.0;
+  int refinetunes_ = 0;
+  int fallbacks_ = 0;
+  int recoveries_ = 0;
+};
+
+}  // namespace vf::pipeline

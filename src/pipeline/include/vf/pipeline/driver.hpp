@@ -1,0 +1,82 @@
+#pragma once
+// SimulationDriver — the in-situ pipeline's stand-in for a running
+// simulation (DESIGN.md §14).
+//
+// A real deployment links the pipeline into the simulation's timestep
+// loop; here, the driver rasterises successive timesteps of a registered
+// analytic dataset (IonizationDataset is the stress case: its ionisation
+// front sweeps the domain, so the field a model was tuned on keeps moving
+// out from under it). Each next() emits one full-resolution timestep —
+// exactly what is briefly resident in situ before the sampler shrinks it
+// to the archival fraction.
+//
+// The temporal stride is mutable mid-stream (set_stride): jumping it
+// makes the front move faster than the fine-tune cadence can track,
+// which is the injected-drift scenario the DriftMonitor tests and the
+// `vfctl pipeline --inject-drift-at` demo use.
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "vf/data/dataset.hpp"
+
+namespace vf::pipeline {
+
+struct DriverOptions {
+  /// Registered dataset name ("hurricane", "combustion", "ionization").
+  std::string dataset = "ionization";
+  std::uint64_t dataset_seed = 0;
+  /// Grid resolution each emitted timestep is rasterised at.
+  vf::field::Dims dims{32, 32, 16};
+  /// Simulation time of step 0 and the per-step advance.
+  double t0 = 0.0;
+  double stride = 1.0;
+  /// Steps to emit before next() reports exhaustion (0 = unbounded).
+  int max_steps = 8;
+};
+
+/// One emitted timestep: the step index, its simulation time, and the
+/// full-resolution field (the only moment the truth exists in situ).
+struct Timestep {
+  int index = 0;
+  double t = 0.0;
+  vf::field::ScalarField truth;
+};
+
+class SimulationDriver {
+ public:
+  /// Resolve `options.dataset` through the registry (throws
+  /// std::invalid_argument for unknown names, like data::make_dataset).
+  explicit SimulationDriver(DriverOptions options);
+
+  /// Injection constructor for tests / custom sources; `dataset` must be
+  /// non-null.
+  SimulationDriver(std::unique_ptr<vf::data::Dataset> dataset,
+                   DriverOptions options);
+
+  /// Emit the next timestep, or std::nullopt once max_steps have been
+  /// emitted.
+  [[nodiscard]] std::optional<Timestep> next();
+
+  /// Change the per-step time advance for subsequent steps — the
+  /// injected-drift hook. The current simulation time is preserved; only
+  /// future advances change.
+  void set_stride(double stride) { stride_ = stride; }
+  [[nodiscard]] double stride() const { return stride_; }
+
+  /// Steps emitted so far.
+  [[nodiscard]] int emitted() const { return emitted_; }
+
+  [[nodiscard]] const vf::data::Dataset& dataset() const { return *dataset_; }
+  [[nodiscard]] const DriverOptions& options() const { return options_; }
+
+ private:
+  DriverOptions options_;
+  std::unique_ptr<vf::data::Dataset> dataset_;
+  double next_t_ = 0.0;
+  double stride_ = 1.0;
+  int emitted_ = 0;
+};
+
+}  // namespace vf::pipeline

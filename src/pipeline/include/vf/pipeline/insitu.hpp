@@ -1,0 +1,233 @@
+#pragma once
+// InsituPipeline — the live loop the paper demonstrates (DESIGN.md §14):
+//
+//   simulation step ──> importance sample (in situ, caller's thread)
+//                          │
+//                          ▼  bounded job queue (oldest pending dropped)
+//                   fine-tune worker pool
+//                     · warm-start from the latest published weights
+//                     · ~10 epochs per step, checkpointed + resumable
+//                     · score model vs classical SNR against the truth
+//                     · DriftMonitor: re-finetune / fallback / recover
+//                          │
+//                          ▼
+//                   hot-swap publish ──> ShardRouter / ModelRegistry
+//                     · add_session() re-registration bumps the entry's
+//                       generation; in-flight loads of the superseded
+//                       model are discarded, in-flight queries complete
+//                       against whichever model they resolved — every
+//                       accepted query still gets exactly one answer.
+//
+// Step 0 pretrains synchronously (there is no model to warm-start from
+// and no session to serve until it lands); every later step trains in the
+// background while the simulation — and the serve tier — keep running.
+//
+// Failure domains: a fine-tune failure skips the step's publish (the tier
+// keeps serving the previous generation); a drift fallback publishes the
+// step's cloud as a *classical* session (empty model path) so queries
+// degrade to Shepard estimates instead of a drifted model's predictions;
+// a crash mid-fine-tune resumes from the step's checkpoint directory on
+// re-ingest (core::fine_tune forwards FcnnConfig::checkpoint_*).
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "vf/core/fcnn.hpp"
+#include "vf/pipeline/drift.hpp"
+#include "vf/pipeline/driver.hpp"
+#include "vf/sampling/samplers.hpp"
+#include "vf/serve/router.hpp"
+#include "vf/util/mutex.hpp"
+#include "vf/util/thread_annotations.hpp"
+
+namespace vf::pipeline {
+
+/// Everything a finished step reports (the on_step callback's payload —
+/// delivered from a worker thread; keep handlers cheap and thread-safe).
+struct StepReport {
+  int step = 0;
+  double t = 0.0;
+  double train_seconds = 0.0;
+  double model_snr_db = 0.0;
+  double classical_snr_db = 0.0;
+  DriftAction action = DriftAction::None;
+  bool published = false;   ///< false when a newer step already published
+  bool classical = false;   ///< published as a classical (Shepard) session
+  std::uint64_t generation = 0;  ///< publish count after this step
+  /// Borrowed views of the step's data — valid ONLY inside the callback
+  /// (the truth is released when the job completes).
+  const vf::field::ScalarField* truth = nullptr;
+  const vf::sampling::SampleCloud* cloud = nullptr;
+};
+
+struct InsituOptions {
+  /// Sampler resolved through sampling::make_sampler.
+  std::string sampler = "importance";
+  /// Archival fraction the in-situ stage keeps per step.
+  double sample_fraction = 0.05;
+  /// Training configuration. `train.epochs` is the step-0 pretrain
+  /// budget; later steps use epochs_per_step. checkpoint_* fields are
+  /// overridden per step (each step gets its own directory under
+  /// workdir/steps).
+  vf::core::FcnnConfig train;
+  /// Case-1 fine-tune budget per later step (the paper's ~10).
+  int epochs_per_step = 10;
+  /// Extra epochs a DriftAction::Refinetune buys before fallback.
+  int refinetune_epochs = 10;
+  DriftOptions drift;
+  /// Background fine-tune workers. 1 (the default) chains steps strictly
+  /// — each warm-starts from its predecessor; more workers overlap
+  /// training at the cost of warm-starting from the latest *finished*
+  /// step.
+  std::size_t workers = 1;
+  /// Bounded pending fine-tune jobs; when full, the OLDEST pending step
+  /// is dropped (the newest data matters most in situ) and counted as
+  /// coalesced.
+  std::size_t queue_max = 2;
+  /// Working directory for per-step checkpoints and published model
+  /// files (required; created if missing).
+  std::string workdir;
+  /// Serve-tier session key every step publishes under.
+  std::string session_key = "live";
+  vf::serve::RouterOptions serve;
+  std::uint64_t seed = 1;
+  /// Optional per-step completion hook (worker thread!).
+  std::function<void(const StepReport&)> on_step;
+};
+
+/// Monotonic pipeline counters, snapshot via InsituPipeline::stats().
+struct InsituStats {
+  int steps_ingested = 0;
+  int steps_trained = 0;
+  /// Pending jobs dropped because the queue was full when a newer step
+  /// arrived.
+  int steps_coalesced = 0;
+  int train_failures = 0;
+  std::uint64_t publishes = 0;  ///< hot-swaps pushed to the router
+  std::uint64_t publish_skipped_stale = 0;
+  int last_published_step = -1;
+  bool serving_classical = false;
+  /// SNR of the step currently being served (what `ready` reports).
+  double published_snr_db = 0.0;
+  double last_snr_db = 0.0;
+  double last_classical_snr_db = 0.0;
+  int refinetunes = 0;
+  int fallbacks = 0;
+  int recoveries = 0;
+  std::size_t pending_jobs = 0;
+  vf::serve::RouterStats serve;
+};
+
+class InsituPipeline {
+ public:
+  explicit InsituPipeline(InsituOptions options);
+  ~InsituPipeline();
+  InsituPipeline(const InsituPipeline&) = delete;
+  InsituPipeline& operator=(const InsituPipeline&) = delete;
+
+  /// Ingest one timestep: sample it down to the archival fraction on the
+  /// calling thread (the in-situ stage — the truth is only briefly
+  /// resident), then hand the fine-tune to the worker pool. The FIRST
+  /// ingest pretrains and publishes synchronously, so a session is
+  /// serveable before this returns. Throws on step-0 training failure;
+  /// later steps report failures through stats().train_failures.
+  void ingest(Timestep step);
+
+  /// Block until every queued and in-flight fine-tune has finished (their
+  /// publishes included). Workers stay alive for further ingests.
+  void drain();
+
+  /// drain() + join the workers. Idempotent; the destructor calls it.
+  void stop();
+
+  [[nodiscard]] InsituStats stats() const;
+
+  /// The serve tier every step publishes into. Queries go through here
+  /// (submit under options().session_key).
+  [[nodiscard]] vf::serve::ShardRouter& router() { return router_; }
+  [[nodiscard]] const vf::serve::ShardRouter& router() const {
+    return router_;
+  }
+
+  /// Current published generation (number of hot-swaps, step 0 included).
+  [[nodiscard]] std::uint64_t generation() const;
+
+  /// Runtime drift-floor override (tests trip the ladder by raising the
+  /// floor above a measured healthy SNR).
+  void set_drift_floor(double floor_snr_db);
+
+  /// The newest finished step's model — the warm-start source (null until
+  /// the first step completes). The pointed-to model never mutates;
+  /// later steps swap in a fresh instance.
+  [[nodiscard]] std::shared_ptr<const vf::core::FcnnModel> latest_model()
+      const;
+
+  [[nodiscard]] const InsituOptions& options() const { return options_; }
+
+ private:
+  struct Job {
+    int step = 0;
+    double t = 0.0;
+    vf::field::ScalarField truth;
+    vf::sampling::SampleCloud cloud;
+  };
+
+  void worker_loop();
+  /// Train + score + publish one step. Step 0 (no warm-start model yet)
+  /// pretrains; later steps fine-tune. Throws on training failure.
+  void process(Job job);
+  /// Fine-tune `model` on `job` for `epochs` under the step's checkpoint
+  /// directory (`suffix` distinguishes the re-finetune pass). Returns
+  /// training seconds.
+  double tune(vf::core::FcnnModel& model, const Job& job, int epochs,
+              const char* suffix);
+  [[nodiscard]] double evaluate_snr(const vf::core::FcnnModel* model,
+                                    const Job& job) const;
+  /// Serialised publish with a monotonic step guard; empty model_path
+  /// publishes a classical session. Returns false when a newer step beat
+  /// this one to the router.
+  bool publish(const Job& job, const std::string& model_path,
+               double snr_db);
+  [[nodiscard]] std::string step_dir(int step, const char* suffix) const;
+
+  InsituOptions options_;
+  std::unique_ptr<vf::sampling::Sampler> sampler_;
+  vf::serve::ShardRouter router_;
+
+  // --- job queue (pipeline.jobs) ---
+  mutable vf::util::Mutex jobs_mu_{"pipeline.jobs"};
+  vf::util::CondVar jobs_cv_;
+  std::deque<Job> jobs_ VF_GUARDED_BY(jobs_mu_);
+  std::size_t in_flight_ VF_GUARDED_BY(jobs_mu_) = 0;
+  bool stopping_ VF_GUARDED_BY(jobs_mu_) = false;
+  int ingested_ VF_GUARDED_BY(jobs_mu_) = 0;
+  int coalesced_ VF_GUARDED_BY(jobs_mu_) = 0;
+
+  // --- model/drift state (pipeline.state) ---
+  mutable vf::util::Mutex state_mu_{"pipeline.state"};
+  std::shared_ptr<const vf::core::FcnnModel> latest_model_
+      VF_GUARDED_BY(state_mu_);
+  int latest_model_step_ VF_GUARDED_BY(state_mu_) = -1;
+  DriftMonitor monitor_ VF_GUARDED_BY(state_mu_);
+  int trained_ VF_GUARDED_BY(state_mu_) = 0;
+  int train_failures_ VF_GUARDED_BY(state_mu_) = 0;
+
+  // --- publish serialisation (pipeline.publish; the three pipeline
+  // mutexes are only ever taken sequentially, never nested) ---
+  mutable vf::util::Mutex publish_mu_{"pipeline.publish"};
+  int published_step_ VF_GUARDED_BY(publish_mu_) = -1;
+  std::uint64_t generation_ VF_GUARDED_BY(publish_mu_) = 0;
+  std::uint64_t skipped_stale_ VF_GUARDED_BY(publish_mu_) = 0;
+  bool serving_classical_ VF_GUARDED_BY(publish_mu_) = false;
+  double published_snr_ VF_GUARDED_BY(publish_mu_) = 0.0;
+
+  std::vector<std::thread> workers_;
+  bool started_ = false;  // first ingest done (single ingester thread)
+};
+
+}  // namespace vf::pipeline

@@ -1,0 +1,335 @@
+#include "vf/pipeline/insitu.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <stdexcept>
+#include <utility>
+
+#include "vf/api/reconstruct.hpp"
+#include "vf/field/metrics.hpp"
+#include "vf/obs/obs.hpp"
+
+namespace vf::pipeline {
+
+namespace fs = std::filesystem;
+
+InsituPipeline::InsituPipeline(InsituOptions options)
+    : options_(std::move(options)),
+      sampler_(vf::sampling::make_sampler(options_.sampler)),
+      router_(options_.serve),
+      monitor_(options_.drift) {
+  if (options_.workdir.empty()) {
+    throw std::invalid_argument("InsituPipeline: workdir is required");
+  }
+  if (options_.session_key.empty()) {
+    throw std::invalid_argument("InsituPipeline: session_key is required");
+  }
+  options_.epochs_per_step = std::max(1, options_.epochs_per_step);
+  options_.refinetune_epochs = std::max(1, options_.refinetune_epochs);
+  options_.workers = std::max<std::size_t>(1, options_.workers);
+  options_.queue_max = std::max<std::size_t>(1, options_.queue_max);
+  fs::create_directories(fs::path(options_.workdir) / "steps");
+  fs::create_directories(fs::path(options_.workdir) / "models");
+  workers_.reserve(options_.workers);
+  for (std::size_t i = 0; i < options_.workers; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+InsituPipeline::~InsituPipeline() { stop(); }
+
+std::string InsituPipeline::step_dir(int step, const char* suffix) const {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "step_%06d%s", step, suffix);
+  return (fs::path(options_.workdir) / "steps" / buf).string();
+}
+
+void InsituPipeline::ingest(Timestep step) {
+  VF_OBS_SPAN("pipeline/ingest");
+  Job job;
+  job.step = step.index;
+  job.t = step.t;
+  {
+    // The in-situ stage proper: the only code that sees the full-
+    // resolution truth while it is resident.
+    VF_OBS_SPAN("pipeline/sample");
+    job.cloud = sampler_->sample(
+        step.truth, options_.sample_fraction,
+        options_.seed ^
+            (static_cast<std::uint64_t>(step.index) * 0x9e3779b97f4a7c15ULL));
+  }
+  job.truth = std::move(step.truth);
+  {
+    const vf::util::MutexLock lock(jobs_mu_);
+    ++ingested_;
+  }
+  VF_OBS_COUNT("pipeline.steps_ingested", 1);
+
+  if (!started_) {
+    // Step 0 trains synchronously: there is no model to warm-start from
+    // and nothing serveable until the first publish lands. Throws on
+    // failure — a pipeline that cannot pretrain has nothing to stream.
+    started_ = true;
+    process(std::move(job));
+    return;
+  }
+
+  {
+    const vf::util::MutexLock lock(jobs_mu_);
+    while (jobs_.size() >= options_.queue_max) {
+      // Full: the newest step matters most in situ, so the OLDEST pending
+      // fine-tune is the one to drop.
+      jobs_.pop_front();
+      ++coalesced_;
+      VF_OBS_COUNT("pipeline.steps_coalesced", 1);
+    }
+    jobs_.push_back(std::move(job));
+  }
+  jobs_cv_.notify_one();
+}
+
+void InsituPipeline::worker_loop() {
+  for (;;) {
+    Job job;
+    {
+      const vf::util::MutexLock lock(jobs_mu_);
+      jobs_cv_.wait(jobs_mu_, [&]() VF_REQUIRES(jobs_mu_) {
+        return stopping_ || !jobs_.empty();
+      });
+      if (jobs_.empty()) return;  // stopping and fully drained
+      job = std::move(jobs_.front());
+      jobs_.pop_front();
+      ++in_flight_;
+    }
+    try {
+      process(std::move(job));
+    } catch (const std::exception&) {
+      // A failed fine-tune skips this step's publish; the serve tier
+      // keeps answering from the previous generation.
+      const vf::util::MutexLock lock(state_mu_);
+      ++train_failures_;
+      VF_OBS_COUNT("pipeline.train_failures", 1);
+    }
+    {
+      const vf::util::MutexLock lock(jobs_mu_);
+      --in_flight_;
+    }
+    jobs_cv_.notify_all();  // drain() may be waiting
+  }
+}
+
+double InsituPipeline::tune(vf::core::FcnnModel& model, const Job& job,
+                            int epochs, const char* suffix) {
+  VF_OBS_SPAN("pipeline/finetune");
+  vf::core::FcnnConfig cfg = options_.train;
+  // Distinct shuffle stream per (step, pass) so consecutive steps don't
+  // replay one permutation; the step directory makes each pass
+  // independently crash-resumable.
+  cfg.seed = options_.train.seed ^
+             (static_cast<std::uint64_t>(job.step) * 2654435761ULL) ^
+             (suffix[0] != '\0' ? 0x5eedULL : 0ULL);
+  cfg.checkpoint_dir = step_dir(job.step, suffix);
+  cfg.checkpoint_every = std::max(1, cfg.checkpoint_every);
+  cfg.resume = true;
+  const auto t0 = std::chrono::steady_clock::now();
+  (void)vf::core::fine_tune(model, job.truth, *sampler_, cfg,
+                            vf::core::FineTuneMode::FullNetwork, epochs);
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+double InsituPipeline::evaluate_snr(const vf::core::FcnnModel* model,
+                                    const Job& job) const {
+  VF_OBS_SPAN("pipeline/evaluate");
+  vf::api::ReconstructOptions ro;
+  if (model != nullptr) {
+    ro.method = vf::api::Method::FcnnStream;
+    ro.model = model;
+  } else {
+    ro.method = vf::api::Method::Shepard;
+  }
+  vf::api::Reconstructor rec(ro);
+  const auto result = rec.reconstruct(job.cloud, job.truth.grid());
+  return vf::field::snr_db(job.truth, result.field);
+}
+
+bool InsituPipeline::publish(const Job& job, const std::string& model_path,
+                             double snr_db) {
+  VF_OBS_SPAN("pipeline/publish");
+  const vf::util::MutexLock lock(publish_mu_);
+  if (job.step <= published_step_) {
+    // A newer step's model already serves; swapping an older one in would
+    // move the tier backwards in simulation time.
+    ++skipped_stale_;
+    VF_OBS_COUNT("pipeline.publish_skipped_stale", 1);
+    return false;
+  }
+  // The hot swap: re-registering the session key bumps the registry
+  // entry's generation — in-flight loads of the superseded model are
+  // discarded on completion, in-flight queries finish safely against
+  // whichever model they already resolved.
+  router_.add_session(options_.session_key, job.cloud, model_path);
+  published_step_ = job.step;
+  serving_classical_ = model_path.empty();
+  published_snr_ = snr_db;
+  ++generation_;
+  VF_OBS_COUNT("pipeline.publishes", 1);
+  VF_OBS_GAUGE("pipeline.generation",
+               static_cast<std::int64_t>(generation_));
+  return true;
+}
+
+void InsituPipeline::process(Job job) {
+  std::shared_ptr<const vf::core::FcnnModel> base;
+  {
+    const vf::util::MutexLock lock(state_mu_);
+    base = latest_model_;
+  }
+
+  vf::core::FcnnModel model;
+  double train_seconds = 0.0;
+  if (!base) {
+    // Step 0: full pretrain (also the crash-recovery path when the
+    // process restarts — the step's checkpoint directory resumes it).
+    VF_OBS_SPAN("pipeline/pretrain");
+    vf::core::FcnnConfig cfg = options_.train;
+    cfg.checkpoint_dir = step_dir(job.step, "");
+    cfg.checkpoint_every = std::max(1, cfg.checkpoint_every);
+    cfg.resume = true;
+    const auto t0 = std::chrono::steady_clock::now();
+    auto result = vf::core::pretrain(job.truth, *sampler_, cfg);
+    train_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    model = std::move(result.model);
+  } else {
+    model = base->clone();
+    train_seconds = tune(model, job, options_.epochs_per_step, "");
+  }
+
+  double snr = evaluate_snr(&model, job);
+  const double classical = evaluate_snr(nullptr, job);
+  DriftAction action;
+  {
+    const vf::util::MutexLock lock(state_mu_);
+    action = monitor_.observe(job.step, snr, classical);
+  }
+  if (action == DriftAction::Refinetune) {
+    // Below the floor: buy extra epochs before degrading the session.
+    train_seconds += tune(model, job, options_.refinetune_epochs, "_refit");
+    snr = evaluate_snr(&model, job);
+    const vf::util::MutexLock lock(state_mu_);
+    action = monitor_.observe(job.step, snr, classical);
+  }
+  bool degrade;
+  {
+    const vf::util::MutexLock lock(state_mu_);
+    degrade = monitor_.fallen_back();
+  }
+
+  // The model is saved (and kept as the warm-start source) even when this
+  // step publishes classically: recovery fine-tunes from the freshest
+  // weights, not from the pre-drift past.
+  char name[32];
+  std::snprintf(name, sizeof(name), "step_%06d.vfmd", job.step);
+  const std::string model_path =
+      (fs::path(options_.workdir) / "models" / name).string();
+  model.save(model_path);
+
+  const bool published =
+      publish(job, degrade ? std::string() : model_path, snr);
+
+  {
+    const vf::util::MutexLock lock(state_mu_);
+    ++trained_;
+    if (job.step > latest_model_step_) {
+      latest_model_ =
+          std::make_shared<const vf::core::FcnnModel>(std::move(model));
+      latest_model_step_ = job.step;
+    }
+  }
+
+  if (options_.on_step) {
+    StepReport report;
+    report.truth = &job.truth;
+    report.cloud = &job.cloud;
+    report.step = job.step;
+    report.t = job.t;
+    report.train_seconds = train_seconds;
+    report.model_snr_db = snr;
+    report.classical_snr_db = classical;
+    report.action = action;
+    report.published = published;
+    report.classical = degrade;
+    report.generation = generation();
+    options_.on_step(report);
+  }
+}
+
+void InsituPipeline::drain() {
+  const vf::util::MutexLock lock(jobs_mu_);
+  jobs_cv_.wait(jobs_mu_, [&]() VF_REQUIRES(jobs_mu_) {
+    return jobs_.empty() && in_flight_ == 0;
+  });
+}
+
+void InsituPipeline::stop() {
+  {
+    const vf::util::MutexLock lock(jobs_mu_);
+    stopping_ = true;
+  }
+  jobs_cv_.notify_all();
+  for (auto& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+}
+
+std::uint64_t InsituPipeline::generation() const {
+  const vf::util::MutexLock lock(publish_mu_);
+  return generation_;
+}
+
+void InsituPipeline::set_drift_floor(double floor_snr_db) {
+  const vf::util::MutexLock lock(state_mu_);
+  monitor_.set_floor_snr_db(floor_snr_db);
+}
+
+std::shared_ptr<const vf::core::FcnnModel> InsituPipeline::latest_model()
+    const {
+  const vf::util::MutexLock lock(state_mu_);
+  return latest_model_;
+}
+
+InsituStats InsituPipeline::stats() const {
+  InsituStats s;
+  {
+    const vf::util::MutexLock lock(jobs_mu_);
+    s.steps_ingested = ingested_;
+    s.steps_coalesced = coalesced_;
+    s.pending_jobs = jobs_.size() + in_flight_;
+  }
+  {
+    const vf::util::MutexLock lock(state_mu_);
+    s.steps_trained = trained_;
+    s.train_failures = train_failures_;
+    s.last_snr_db = monitor_.last_model_snr_db();
+    s.last_classical_snr_db = monitor_.last_classical_snr_db();
+    s.refinetunes = monitor_.refinetunes();
+    s.fallbacks = monitor_.fallbacks();
+    s.recoveries = monitor_.recoveries();
+  }
+  {
+    const vf::util::MutexLock lock(publish_mu_);
+    s.publishes = generation_;
+    s.publish_skipped_stale = skipped_stale_;
+    s.last_published_step = published_step_;
+    s.serving_classical = serving_classical_;
+    s.published_snr_db = published_snr_;
+  }
+  s.serve = router_.stats();
+  return s;
+}
+
+}  // namespace vf::pipeline

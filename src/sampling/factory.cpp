@@ -1,0 +1,17 @@
+#include <memory>
+#include <stdexcept>
+#include <string>
+
+#include "vf/sampling/samplers.hpp"
+
+namespace vf::sampling {
+
+std::unique_ptr<Sampler> make_sampler(const std::string& name) {
+  if (name == "importance") return std::make_unique<ImportanceSampler>();
+  if (name == "random") return std::make_unique<RandomSampler>();
+  if (name == "stratified") return std::make_unique<StratifiedSampler>();
+  throw std::invalid_argument("vf::sampling: unknown sampler '" + name +
+                              "' (importance|random|stratified)");
+}
+
+}  // namespace vf::sampling

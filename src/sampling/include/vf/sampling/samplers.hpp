@@ -6,6 +6,9 @@
 // sampling-method agnostic). We implement that method plus simple random and
 // stratified baselines so the agnosticism claim is testable.
 
+#include <memory>
+#include <string>
+
 #include "vf/sampling/sample_cloud.hpp"
 
 namespace vf::sampling {
@@ -64,5 +67,13 @@ class ImportanceSampler final : public Sampler {
 
 /// Clamp a requested fraction to (0, 1] and convert to a point budget.
 std::int64_t budget_for(const vf::field::ScalarField& field, double fraction);
+
+/// Factory over the stateless samplers: "importance", "random",
+/// "stratified" (mirrors interp::make_interpolator, so CLI surfaces and
+/// the in-situ pipeline resolve sampler names one way). The stateful
+/// TemporalDeltaSampler is excluded — it needs set_previous() wiring the
+/// factory cannot provide. Throws std::invalid_argument for unknown
+/// names.
+[[nodiscard]] std::unique_ptr<Sampler> make_sampler(const std::string& name);
 
 }  // namespace vf::sampling

@@ -114,6 +114,10 @@ struct RegistryStats {
   std::uint64_t evictions = 0;
   std::uint64_t breaker_opens = 0;       ///< Closed/HalfOpen -> Open transitions
   std::uint64_t breaker_fast_fails = 0;  ///< resolves answered without disk I/O
+  std::uint64_t swaps = 0;  ///< add() re-registrations (hot-swaps) of a live key
+  /// Loads that completed under a superseded generation and were
+  /// discarded instead of installed — the hot-swap safety path.
+  std::uint64_t superseded_loads = 0;
   std::size_t resident_models = 0;
   std::size_t resident_bytes = 0;
   std::size_t open_breakers = 0;  ///< keys currently Open or HalfOpen

@@ -114,11 +114,15 @@ class Service {
 
   /// Bind `cloud` under `key`: the cloud is scrubbed and indexed now
   /// (amortised across every later query), and `model_path` is registered
-  /// with the model registry under the same key. Rebinding a key replaces
-  /// the session for subsequent queries. Throws std::invalid_argument
-  /// when fewer than kNeighbors usable samples survive scrubbing — a
-  /// cloud too small for k-NN features must fail at bind time, not crash
-  /// a worker on the first query.
+  /// with the model registry under the same key. An *empty* model_path
+  /// binds a classical session: queries are answered by the Shepard
+  /// estimator directly (fallback:"classical"), no registry entry, no
+  /// load path — the pipeline's degrade-to-classical state publishes
+  /// exactly this. Rebinding a key replaces the session for subsequent
+  /// queries. Throws std::invalid_argument when fewer than kNeighbors
+  /// usable samples survive scrubbing — a cloud too small for k-NN
+  /// features must fail at bind time, not crash a worker on the first
+  /// query.
   void add_session(const std::string& key,
                    const vf::sampling::SampleCloud& cloud,
                    const std::string& model_path);
@@ -177,6 +181,9 @@ class Service {
     vf::sampling::SampleCloud cloud;  // scrubbed
     std::unique_ptr<vf::spatial::NeighborIndex> index;
     std::vector<double> values;
+    /// Classical session (empty model_path): never touches the registry;
+    /// every query runs the Shepard path with fallback:"classical".
+    bool classical = false;
   };
 
   void worker_loop();

@@ -96,6 +96,11 @@ struct ReadyInfo {
   std::size_t open_breakers = 0;
   /// Per-model breaker state, from ModelRegistry::breaker_states().
   std::vector<std::pair<std::string, BreakerSnapshot>> breakers;
+  /// In-situ pipeline status (vfctl pipeline fills these; a plain serve
+  /// front-end leaves has_pipeline false and the fields are omitted).
+  bool has_pipeline = false;
+  std::uint64_t pipeline_generation = 0;
+  double pipeline_last_snr_db = 0.0;
 };
 
 /// Response lines (no trailing newline).

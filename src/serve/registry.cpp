@@ -68,6 +68,8 @@ void ModelRegistry::add(const std::string& key, const std::string& path) {
     }
     e.loading = {};
     ++e.generation;
+    ++stats_.swaps;
+    VF_OBS_COUNT("serve.registry.pipeline_swaps_total", 1);
     // A fresh registration is a fresh fault domain: give the new file a
     // clean breaker instead of inheriting the old path's failure streak.
     e.breaker = BreakerState::Closed;
@@ -255,6 +257,11 @@ std::shared_ptr<const vf::core::FcnnModel> ModelRegistry::resolve(
                          return kv.second.breaker != BreakerState::Closed;
                        })));
       evict_over_budget_locked();
+    } else if (it != entries_.end()) {
+      // The load raced a hot-swap and lost; count it so the chaos harness
+      // can assert swap liveness (superseded loads must never install).
+      ++stats_.superseded_loads;
+      VF_OBS_COUNT("serve.registry.pipeline_swap_superseded_loads", 1);
     }
   }
   // vf-lint: allow(unbounded-wait) single-flight handoff, not a request reply

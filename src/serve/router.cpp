@@ -33,6 +33,8 @@ void accumulate(ServiceStats& total, const ServiceStats& s) {
   total.registry.evictions += s.registry.evictions;
   total.registry.breaker_opens += s.registry.breaker_opens;
   total.registry.breaker_fast_fails += s.registry.breaker_fast_fails;
+  total.registry.swaps += s.registry.swaps;
+  total.registry.superseded_loads += s.registry.superseded_loads;
   total.registry.open_breakers += s.registry.open_breakers;
   total.registry.resident_models += s.registry.resident_models;
   total.registry.resident_bytes += s.registry.resident_bytes;

@@ -116,7 +116,14 @@ void Service::add_session(const std::string& key,
   session->index = vf::spatial::build_index(
       session->cloud.points(), options_.index, options_.batch_max_points);
   session->values = session->cloud.values();
-  registry_.add(key, model_path);
+  if (model_path.empty()) {
+    // Classical session: no model to register — the registry entry (and
+    // its breaker) would only ever fail. serve_batch routes straight to
+    // the Shepard estimator instead.
+    session->classical = true;
+  } else {
+    registry_.add(key, model_path);
+  }
   const vf::util::MutexLock lock(sessions_mu_);
   sessions_[key] = std::move(session);
 }
@@ -267,10 +274,12 @@ void Service::serve_batch(std::vector<PointRequest>& batch,
   // circuit breaker fast-failing the resolve) degrades the batch to the
   // classical estimator instead of failing the requests.
   std::shared_ptr<const vf::core::FcnnModel> model;
-  try {
-    model = registry_.resolve(batch.front().key);
-  } catch (const std::exception&) {
-    model = nullptr;
+  if (!session->classical) {
+    try {
+      model = registry_.resolve(batch.front().key);
+    } catch (const std::exception&) {
+      model = nullptr;
+    }
   }
 
   std::size_t degraded_total = 0;

@@ -624,6 +624,13 @@ std::string ready_response(std::int64_t id, const ReadyInfo& info) {
   out += ", \"queue_max\": " + std::to_string(info.queue_max);
   out += ", \"resident_models\": " + std::to_string(info.resident_models);
   out += ", \"open_breakers\": " + std::to_string(info.open_breakers);
+  if (info.has_pipeline) {
+    // Front-ends embedding an in-situ pipeline report which fine-tune
+    // generation is live and how well it scored on its own step.
+    out += ", \"pipeline_generation\": " +
+           std::to_string(info.pipeline_generation);
+    out += ", \"pipeline_last_snr_db\": " + number(info.pipeline_last_snr_db);
+  }
   out += ", \"breakers\": {";
   bool first = true;
   for (const auto& [key, snap] : info.breakers) {

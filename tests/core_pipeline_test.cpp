@@ -1,4 +1,10 @@
-// Tests for the in-situ TemporalPipeline facade.
+// Tests for the legacy in-situ TemporalPipeline facade. The class is
+// deprecated in favour of vf::api::Pipeline but stays covered until it is
+// removed.
+
+#if defined(__GNUC__) || defined(__clang__)
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+#endif
 
 #include <gtest/gtest.h>
 

@@ -1,0 +1,188 @@
+// Unit coverage for the in-situ pipeline's pure pieces: the
+// SimulationDriver's emission contract (stride, exhaustion, mid-stream
+// drift injection), the DriftMonitor's refinetune -> fallback -> recover
+// ladder, and the sampling::make_sampler factory the pipeline and vfctl
+// share.
+
+#include <memory>
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+#include "vf/pipeline/drift.hpp"
+#include "vf/pipeline/driver.hpp"
+#include "vf/sampling/samplers.hpp"
+
+namespace {
+
+using vf::pipeline::DriftAction;
+using vf::pipeline::DriftMonitor;
+using vf::pipeline::DriftOptions;
+using vf::pipeline::DriverOptions;
+using vf::pipeline::SimulationDriver;
+
+TEST(SimulationDriverTest, EmitsMaxStepsThenExhausts) {
+  DriverOptions opt;
+  opt.dataset = "ionization";
+  opt.dims = {8, 8, 4};
+  opt.t0 = 2.0;
+  opt.stride = 0.5;
+  opt.max_steps = 3;
+  SimulationDriver driver(opt);
+
+  auto s0 = driver.next();
+  auto s1 = driver.next();
+  auto s2 = driver.next();
+  ASSERT_TRUE(s0 && s1 && s2);
+  EXPECT_EQ(s0->index, 0);
+  EXPECT_EQ(s2->index, 2);
+  EXPECT_DOUBLE_EQ(s0->t, 2.0);
+  EXPECT_DOUBLE_EQ(s1->t, 2.5);
+  EXPECT_DOUBLE_EQ(s2->t, 3.0);
+  EXPECT_EQ(s0->truth.grid().dims().nx, 8);
+  EXPECT_EQ(driver.emitted(), 3);
+  EXPECT_FALSE(driver.next().has_value());
+  EXPECT_EQ(driver.emitted(), 3);
+}
+
+TEST(SimulationDriverTest, ZeroMaxStepsIsUnbounded) {
+  DriverOptions opt;
+  opt.dims = {4, 4, 2};
+  opt.max_steps = 0;
+  SimulationDriver driver(opt);
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(driver.next().has_value());
+  }
+}
+
+TEST(SimulationDriverTest, SetStrideOnlyChangesFutureAdvances) {
+  DriverOptions opt;
+  opt.dims = {4, 4, 2};
+  opt.stride = 1.0;
+  opt.max_steps = 4;
+  SimulationDriver driver(opt);
+  ASSERT_DOUBLE_EQ(driver.next()->t, 0.0);
+  ASSERT_DOUBLE_EQ(driver.next()->t, 1.0);
+  driver.set_stride(10.0);  // the injected-drift hook
+  // The step after the change was already scheduled at the old stride; the
+  // jump lands on the advance that follows it.
+  EXPECT_DOUBLE_EQ(driver.next()->t, 2.0);
+  EXPECT_DOUBLE_EQ(driver.next()->t, 12.0);
+}
+
+TEST(SimulationDriverTest, UnknownDatasetThrows) {
+  DriverOptions opt;
+  opt.dataset = "no-such-dataset";
+  EXPECT_THROW(SimulationDriver{opt}, std::invalid_argument);
+}
+
+TEST(SimulationDriverTest, NullInjectedDatasetThrows) {
+  EXPECT_THROW(SimulationDriver(nullptr, DriverOptions{}),
+               std::invalid_argument);
+}
+
+TEST(SimulationDriverTest, TinyDimsThrow) {
+  DriverOptions opt;
+  opt.dims = {1, 4, 4};
+  EXPECT_THROW(SimulationDriver{opt}, std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// DriftMonitor ladder.
+
+TEST(DriftMonitorTest, DisabledFloorNeverActs) {
+  DriftMonitor mon(DriftOptions{/*floor_snr_db=*/0.0, /*hysteresis_db=*/1.0});
+  EXPECT_EQ(mon.observe(0, -50.0, -60.0), DriftAction::None);
+  EXPECT_EQ(mon.observe(1, -80.0, -60.0), DriftAction::None);
+  EXPECT_FALSE(mon.fallen_back());
+  EXPECT_EQ(mon.refinetunes(), 0);
+}
+
+TEST(DriftMonitorTest, HealthyStepsPassThrough) {
+  DriftMonitor mon(DriftOptions{/*floor_snr_db=*/10.0});
+  EXPECT_EQ(mon.observe(0, 15.0, 5.0), DriftAction::None);
+  EXPECT_EQ(mon.observe(1, 12.0, 5.0), DriftAction::None);
+  EXPECT_DOUBLE_EQ(mon.last_model_snr_db(), 12.0);
+  EXPECT_DOUBLE_EQ(mon.last_classical_snr_db(), 5.0);
+}
+
+TEST(DriftMonitorTest, RefinetuneThenFallbackOnSameStep) {
+  DriftMonitor mon(DriftOptions{/*floor_snr_db=*/10.0});
+  // First sub-floor score buys a re-finetune; the re-scored result for the
+  // SAME step failing again is what degrades the pipeline to classical.
+  EXPECT_EQ(mon.observe(3, 6.0, 4.0), DriftAction::Refinetune);
+  EXPECT_FALSE(mon.fallen_back());
+  EXPECT_EQ(mon.observe(3, 7.0, 4.0), DriftAction::Fallback);
+  EXPECT_TRUE(mon.fallen_back());
+  EXPECT_EQ(mon.refinetunes(), 1);
+  EXPECT_EQ(mon.fallbacks(), 1);
+}
+
+TEST(DriftMonitorTest, RefinetuneThatClearsTheFloorStaysOnModel) {
+  DriftMonitor mon(DriftOptions{/*floor_snr_db=*/10.0});
+  EXPECT_EQ(mon.observe(2, 8.0, 4.0), DriftAction::Refinetune);
+  // The extra epochs rescued the step: no fallback.
+  EXPECT_EQ(mon.observe(2, 11.0, 4.0), DriftAction::None);
+  EXPECT_FALSE(mon.fallen_back());
+}
+
+TEST(DriftMonitorTest, RecoveryNeedsHysteresisMargin) {
+  DriftMonitor mon(DriftOptions{/*floor_snr_db=*/10.0,
+                                /*hysteresis_db=*/2.0});
+  EXPECT_EQ(mon.observe(1, 5.0, 4.0), DriftAction::Refinetune);
+  EXPECT_EQ(mon.observe(1, 5.5, 4.0), DriftAction::Fallback);
+  // Above the floor but inside the hysteresis band: stay classical so an
+  // SNR oscillating around the floor doesn't flap the served session.
+  EXPECT_EQ(mon.observe(2, 11.0, 4.0), DriftAction::None);
+  EXPECT_TRUE(mon.fallen_back());
+  EXPECT_EQ(mon.observe(3, 12.5, 4.0), DriftAction::Recover);
+  EXPECT_FALSE(mon.fallen_back());
+  EXPECT_EQ(mon.recoveries(), 1);
+}
+
+TEST(DriftMonitorTest, FallenBackStepsBelowFloorStayQuiet) {
+  DriftMonitor mon(DriftOptions{/*floor_snr_db=*/10.0});
+  EXPECT_EQ(mon.observe(1, 5.0, 4.0), DriftAction::Refinetune);
+  EXPECT_EQ(mon.observe(1, 5.0, 4.0), DriftAction::Fallback);
+  // Already classical: further bad steps neither refinetune nor re-fallback.
+  EXPECT_EQ(mon.observe(2, 4.0, 4.0), DriftAction::None);
+  EXPECT_EQ(mon.observe(3, 3.0, 4.0), DriftAction::None);
+  EXPECT_EQ(mon.fallbacks(), 1);
+  EXPECT_EQ(mon.refinetunes(), 1);
+}
+
+TEST(DriftMonitorTest, RuntimeFloorOverride) {
+  DriftMonitor mon(DriftOptions{/*floor_snr_db=*/0.0});
+  EXPECT_EQ(mon.observe(0, 15.0, 5.0), DriftAction::None);
+  mon.set_floor_snr_db(20.0);
+  EXPECT_DOUBLE_EQ(mon.floor_snr_db(), 20.0);
+  EXPECT_EQ(mon.observe(1, 15.0, 5.0), DriftAction::Refinetune);
+}
+
+TEST(DriftMonitorTest, ActionNames) {
+  EXPECT_STREQ(vf::pipeline::drift_action_name(DriftAction::None), "none");
+  EXPECT_STREQ(vf::pipeline::drift_action_name(DriftAction::Refinetune),
+               "refinetune");
+  EXPECT_STREQ(vf::pipeline::drift_action_name(DriftAction::Fallback),
+               "fallback");
+  EXPECT_STREQ(vf::pipeline::drift_action_name(DriftAction::Recover),
+               "recover");
+}
+
+// ---------------------------------------------------------------------------
+// Sampler factory.
+
+TEST(SamplerFactoryTest, ResolvesTheStatelessSamplers) {
+  for (const char* name : {"importance", "random", "stratified"}) {
+    auto sampler = vf::sampling::make_sampler(name);
+    ASSERT_NE(sampler, nullptr) << name;
+  }
+}
+
+TEST(SamplerFactoryTest, UnknownNameThrows) {
+  EXPECT_THROW((void)vf::sampling::make_sampler("temporal_delta"),
+               std::invalid_argument);
+  EXPECT_THROW((void)vf::sampling::make_sampler(""), std::invalid_argument);
+}
+
+}  // namespace

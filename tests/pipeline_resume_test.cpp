@@ -1,0 +1,218 @@
+// Crash-resumable per-step fine-tuning: the in-situ pipeline checkpoints
+// every step's fine-tune through the same VFCK machinery as pretraining,
+// so a run killed between epochs and re-started from the step's checkpoint
+// directory finishes with bit-for-bit the weights of a run that was never
+// interrupted. Also covers the pipeline-level restart: a new InsituPipeline
+// pointed at a dead one's workdir re-trains into the same step directories
+// without tripping over the leftover checkpoints.
+
+#include <cmath>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include "vf/core/fcnn.hpp"
+#include "vf/nn/dense.hpp"
+#include "vf/pipeline/insitu.hpp"
+#include "vf/sampling/samplers.hpp"
+
+namespace {
+
+namespace fs = std::filesystem;
+using vf::core::FcnnConfig;
+using vf::core::FcnnModel;
+using vf::core::FineTuneMode;
+using vf::field::ScalarField;
+using vf::field::UniformGrid3;
+using vf::field::Vec3;
+
+class PipelineResumeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("vf_presume_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    fs::create_directories(dir_);
+  }
+  void TearDown() override {
+    std::error_code ec;
+    fs::remove_all(dir_, ec);
+  }
+
+  [[nodiscard]] std::string subdir(const char* name) const {
+    return (dir_ / name).string();
+  }
+
+  fs::path dir_;
+};
+
+ScalarField make_truth(double phase) {
+  UniformGrid3 grid({10, 10, 6}, {0, 0, 0}, {0.1, 0.1, 0.2});
+  ScalarField f(grid, "truth");
+  f.fill([phase](const Vec3& p) {
+    return std::sin(5.0 * p.x + phase) * std::cos(4.0 * p.y) + p.z;
+  });
+  return f;
+}
+
+FcnnConfig tiny_config() {
+  FcnnConfig cfg;
+  cfg.hidden = {8};
+  cfg.epochs = 4;
+  cfg.max_train_rows = 500;
+  cfg.seed = 7;
+  return cfg;
+}
+
+testing::AssertionResult models_bit_equal(const FcnnModel& a,
+                                          const FcnnModel& b) {
+  if (a.net.layer_count() != b.net.layer_count()) {
+    return testing::AssertionFailure() << "layer counts differ";
+  }
+  for (std::size_t i = 0; i < a.net.layer_count(); ++i) {
+    const auto* da = dynamic_cast<const vf::nn::DenseLayer*>(&a.net.layer(i));
+    const auto* db = dynamic_cast<const vf::nn::DenseLayer*>(&b.net.layer(i));
+    if ((da == nullptr) != (db == nullptr)) {
+      return testing::AssertionFailure() << "layer " << i << " kinds differ";
+    }
+    if (da == nullptr) continue;
+    const auto wa = da->weights().data();
+    const auto wb = db->weights().data();
+    if (wa.size() != wb.size() ||
+        std::memcmp(wa.data(), wb.data(), wa.size() * sizeof(double)) != 0) {
+      return testing::AssertionFailure()
+             << "layer " << i << " weights differ bitwise";
+    }
+    const auto ba = da->bias().data();
+    const auto bb = db->bias().data();
+    if (ba.size() != bb.size() ||
+        std::memcmp(ba.data(), bb.data(), ba.size() * sizeof(double)) != 0) {
+      return testing::AssertionFailure()
+             << "layer " << i << " biases differ bitwise";
+    }
+  }
+  return testing::AssertionSuccess();
+}
+
+// The contract the pipeline's per-step checkpointing rests on: fine_tune
+// now forwards FcnnConfig::checkpoint_* exactly like pretrain, so an
+// interrupted fine-tune resumed from its newest checkpoint is bit-identical
+// to one that ran straight through.
+TEST_F(PipelineResumeTest, InterruptedFineTuneResumesBitIdentical) {
+  const auto truth0 = make_truth(0.0);
+  const auto truth1 = make_truth(0.6);
+  vf::sampling::ImportanceSampler sampler;
+  auto cfg = tiny_config();
+  const auto base = vf::core::pretrain(truth0, sampler, cfg).model;
+
+  // Uninterrupted reference: 6 fine-tune epochs in one go.
+  FcnnModel straight = base.clone();
+  {
+    auto c = cfg;
+    c.checkpoint_dir = subdir("straight");
+    c.checkpoint_every = 1;
+    c.resume = true;
+    vf::core::fine_tune(straight, truth1, sampler, c,
+                        FineTuneMode::FullNetwork, 6);
+  }
+
+  // "Crashed" run: 3 epochs land in the checkpoint directory, then the
+  // process dies. The restart re-enters fine_tune from the ORIGINAL warm
+  // start (exactly what InsituPipeline::process does on re-ingest) and
+  // resume=true fast-forwards through the checkpointed epochs.
+  FcnnModel crashed = base.clone();
+  {
+    auto c = cfg;
+    c.checkpoint_dir = subdir("crashed");
+    c.checkpoint_every = 1;
+    c.resume = true;
+    vf::core::fine_tune(crashed, truth1, sampler, c,
+                        FineTuneMode::FullNetwork, 3);
+  }
+  FcnnModel resumed = base.clone();
+  {
+    auto c = cfg;
+    c.checkpoint_dir = subdir("crashed");  // same dir: pick up epoch 3
+    c.checkpoint_every = 1;
+    c.resume = true;
+    vf::core::fine_tune(resumed, truth1, sampler, c,
+                        FineTuneMode::FullNetwork, 6);
+  }
+
+  EXPECT_TRUE(models_bit_equal(straight, resumed));
+  // Sanity: the checkpoints actually existed (the equality above would
+  // also hold if resume silently retrained from scratch only by luck of
+  // identical seeding — the directory proves the path was exercised).
+  EXPECT_TRUE(fs::exists(fs::path(subdir("crashed"))));
+  EXPECT_FALSE(fs::is_empty(fs::path(subdir("crashed"))));
+}
+
+// Without resume, a re-run trains from the warm start; with resume it
+// fast-forwards. Both must converge to the same weights for the pipeline's
+// determinism story (same seed, same data, same epoch count).
+TEST_F(PipelineResumeTest, ResumeMatchesFreshRunWithSameBudget) {
+  const auto truth0 = make_truth(0.0);
+  const auto truth1 = make_truth(0.9);
+  vf::sampling::ImportanceSampler sampler;
+  auto cfg = tiny_config();
+  const auto base = vf::core::pretrain(truth0, sampler, cfg).model;
+
+  FcnnModel fresh = base.clone();
+  vf::core::fine_tune(fresh, truth1, sampler, cfg, FineTuneMode::FullNetwork,
+                      5);
+
+  FcnnModel checkpointed = base.clone();
+  auto c = cfg;
+  c.checkpoint_dir = subdir("ck");
+  c.checkpoint_every = 2;
+  c.resume = true;
+  vf::core::fine_tune(checkpointed, truth1, sampler, c,
+                      FineTuneMode::FullNetwork, 5);
+
+  EXPECT_TRUE(models_bit_equal(fresh, checkpointed));
+}
+
+// Pipeline-level restart: kill a pipeline after a few steps, start a new
+// one over the same workdir and feed it the same timesteps. The leftover
+// per-step checkpoint directories must be picked up (resume), not trip the
+// run, and the restarted pipeline must end up serving the same step.
+TEST_F(PipelineResumeTest, RestartOverSameWorkdirServesSameStep) {
+  const auto run = [&](int steps) {
+    vf::pipeline::DriverOptions dopt;
+    dopt.dataset = "ionization";
+    dopt.dims = {10, 10, 6};
+    dopt.max_steps = steps;
+    vf::pipeline::SimulationDriver driver(dopt);
+
+    vf::pipeline::InsituOptions opt;
+    opt.sample_fraction = 0.1;
+    opt.train.hidden = {8};
+    opt.train.epochs = 3;
+    opt.train.max_train_rows = 400;
+    opt.epochs_per_step = 2;
+    opt.queue_max = 4;
+    opt.workdir = dir_.string();
+    vf::pipeline::InsituPipeline pipe(opt);
+    while (auto step = driver.next()) {
+      pipe.ingest(std::move(*step));
+    }
+    pipe.drain();
+    return pipe.stats();
+  };
+
+  const auto first = run(3);
+  EXPECT_EQ(first.train_failures, 0);
+  EXPECT_EQ(first.last_published_step, 2);
+
+  // Second incarnation over the same (now checkpoint-littered) workdir.
+  const auto second = run(3);
+  EXPECT_EQ(second.train_failures, 0);
+  EXPECT_EQ(second.last_published_step, 2);
+  EXPECT_GE(second.publishes, 1u);
+}
+
+}  // namespace

@@ -18,6 +18,13 @@
 //                      | --method linear|natural|...)
 //                     [--quant none|fp32|fp16|int8] [--index auto|kdtree|grid_hash]
 //   vfctl eval        --truth truth.vti --recon recon.vti
+//   vfctl pipeline    --dataset ionization [--steps 8] [--dims 32x32x16]
+//                     [--fraction 0.05] [--epochs-per-step 10]
+//                     [--pretrain-epochs 30] [--drift-floor DB]
+//                     [--workers N] [--workdir DIR] [--seed N]
+//                     [--inject-drift-at STEP [--inject-drift-factor 8]]
+//                     [--probe-off] [--serve-port PORT]
+//                     [--shards N] [--serve-workers N]
 //   vfctl serve       --cloud cloud.vtp --model model.vfmd [--key NAME]
 //                     [--sessions "k1=c1.vtp:m1.vfmd;k2=c2.vtp:m2.vfmd"]
 //                     [--shards N] [--wire ndjson|binary]
@@ -77,6 +84,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <filesystem>
 #include <functional>
 #include <iostream>
 #include <stdexcept>
@@ -92,6 +100,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include "vf/api/pipeline.hpp"
 #include "vf/api/reconstruct.hpp"
 #include "vf/core/fcnn.hpp"
 #include "vf/core/resilient.hpp"
@@ -116,8 +125,8 @@ using namespace vf;
   std::fprintf(stderr, "vfctl: %s\n", why);
   std::fprintf(stderr,
                "usage: vfctl <generate|sample|train|finetune|reconstruct|"
-               "eval|serve> [options]\n       (see tools/vfctl.cpp header for "
-               "the full option list)\n");
+               "eval|serve|pipeline> [options]\n       (see tools/vfctl.cpp "
+               "header for the full option list)\n");
   std::exit(2);
 }
 
@@ -135,10 +144,13 @@ field::Dims parse_dims(const std::string& spec) {
 }
 
 std::unique_ptr<sampling::Sampler> make_sampler(const std::string& name) {
-  if (name == "importance") return std::make_unique<sampling::ImportanceSampler>();
-  if (name == "random") return std::make_unique<sampling::RandomSampler>();
-  if (name == "stratified") return std::make_unique<sampling::StratifiedSampler>();
-  usage("unknown --sampler");
+  // The library factory owns the name -> sampler mapping; vfctl only maps
+  // its failure mode onto the CLI's usage-error exit code.
+  try {
+    return sampling::make_sampler(name);
+  } catch (const std::invalid_argument&) {
+    usage("unknown --sampler");
+  }
 }
 
 core::FcnnConfig config_from(const util::Cli& cli) {
@@ -294,6 +306,11 @@ void install_serve_signal_handlers() {
   ::sigaction(SIGINT, &sa, nullptr);
 }
 
+/// Set by cmd_pipeline before any serve thread starts (and never cleared
+/// while one runs), so the `ready` verb can report which fine-tune
+/// generation is live. Null under plain `vfctl serve`.
+api::Pipeline* g_live_pipeline = nullptr;
+
 /// Serve one parsed request against the shard tier; sets `stop` on a
 /// shutdown command. Codec-neutral: the caller renders the Response with
 /// render_json (ndjson) or encode_response_frame (VFW1).
@@ -339,6 +356,11 @@ serve::wire::Response handle_request(serve::ShardRouter& router,
             router.shard_count() > 1 ? std::to_string(i) + "/" + key : key,
             snap);
       }
+    }
+    if (g_live_pipeline != nullptr) {
+      info.has_pipeline = true;
+      info.pipeline_generation = g_live_pipeline->generation();
+      info.pipeline_last_snr_db = g_live_pipeline->last_snr_db();
     }
     wire::Response resp =
         wire::make_status_response(req.id, verb, Status::Ok);
@@ -696,6 +718,178 @@ int cmd_serve(const util::Cli& cli) {
   return rc != 0 ? rc : (drained ? 0 : 1);
 }
 
+/// Results of the hot-swap probe: a client thread firing point queries at
+/// the embedded serve tier for the whole stream, across every model swap.
+struct ProbeTally {
+  std::uint64_t answered = 0;  ///< exactly one value came back
+  std::uint64_t shed = 0;      ///< admission said overloaded/draining
+  std::uint64_t wrong = 0;     ///< answered with the wrong shape
+  std::uint64_t dropped = 0;   ///< future threw / never fulfilled cleanly
+};
+
+/// vfctl pipeline — the whole in-situ loop as one command: stream a
+/// registered dataset, fine-tune per step in the background, hot-swap each
+/// model into the embedded serve tier, fall back to classical serving when
+/// drift takes SNR below --drift-floor. A probe thread queries throughout
+/// and the exit code asserts the swap invariant (no query dropped or
+/// wrongly answered). --serve-port additionally opens the TCP front door;
+/// its `ready` verb reports the live pipeline generation and last-step SNR.
+int cmd_pipeline(const util::Cli& cli) {
+  if (cli.get_bool("lock-order", false)) {
+    util::lockorder::set_enabled(true);
+  }
+  const int steps = cli.get_int("steps", 8);
+  const int inject_at = cli.get_int("inject-drift-at", -1);
+  const double inject_factor = cli.get_double("inject-drift-factor", 8.0);
+
+  api::PipelineConfig cfg;
+  cfg.with_dataset(cli.get("dataset", "ionization"))
+      .with_dims(parse_dims(cli.get("dims", "32x32x16")))
+      .with_sample_fraction(cli.get_double("fraction", 0.05))
+      .with_pretrain_epochs(cli.get_int("pretrain-epochs", 30))
+      .with_epochs_per_step(cli.get_int("epochs-per-step", 10))
+      .with_drift_floor_snr(cli.get_double("drift-floor", 0.0))
+      .with_workers(static_cast<std::size_t>(cli.get_int("workers", 1)))
+      .with_max_steps(steps)
+      .with_seed(static_cast<std::uint64_t>(cli.get_int("seed", 1)));
+  cfg.t0 = cli.get_double("timestep", 0.0);
+  cfg.stride = cli.get_double("stride", 1.0);
+  cfg.shards = static_cast<std::size_t>(cli.get_int("shards", 1));
+  cfg.serve_workers =
+      static_cast<std::size_t>(cli.get_int("serve-workers", 2));
+  cfg.workdir = cli.get("workdir", "");
+  const bool scratch_workdir = cfg.workdir.empty();
+  if (scratch_workdir) {
+    cfg.workdir = (std::filesystem::temp_directory_path() /
+                   ("vfctl-pipeline-" + std::to_string(::getpid())))
+                      .string();
+  }
+  cfg.on_step = [](const vf::pipeline::StepReport& r) {
+    std::printf("step %-3d t=%-7.2f train %5.2fs  model %6.2f dB  "
+                "classical %6.2f dB  gen %llu  %s%s\n",
+                r.step, r.t, r.train_seconds, r.model_snr_db,
+                r.classical_snr_db,
+                static_cast<unsigned long long>(r.generation),
+                vf::pipeline::drift_action_name(r.action),
+                r.classical ? "  [serving classical]" : "");
+    std::fflush(stdout);
+  };
+
+  api::Pipeline pipe(cfg);
+  g_live_pipeline = &pipe;
+  install_serve_signal_handlers();
+  std::printf("pipeline: dataset %s %s, %.1f%% archive, %d epochs/step, "
+              "%zu worker(s), drift floor %.1f dB, workdir %s\n",
+              cfg.dataset.c_str(), cli.get("dims", "32x32x16").c_str(),
+              cfg.sample_fraction * 100, cfg.epochs_per_step, cfg.workers,
+              cfg.drift_floor_snr, cfg.workdir.c_str());
+  pipe.start();  // synchronous pretrain: a generation is live from here on
+  std::printf("step 0 pretrained; generation %llu serving\n",
+              static_cast<unsigned long long>(pipe.generation()));
+  std::fflush(stdout);
+
+  // The optional TCP front door runs for the whole stream so `ready` can
+  // watch generations advance live; a shutdown cmd or SIGTERM ends it.
+  std::thread tcp;
+  if (cli.has("serve-port")) {
+    tcp = std::thread([&pipe, port = cli.get_int("serve-port", 7777)] {
+      serve_tcp(pipe.router(), pipe.config().session_key, port);
+    });
+  }
+
+  // Hot-swap probe: per-query verification that the serve tier answers
+  // exactly once with exactly one value while models swap underneath it.
+  ProbeTally tally;
+  std::atomic<bool> probe_stop{false};
+  std::thread probe;
+  const bool probed = !cli.get_bool("probe-off", false);
+  if (probed) {
+    probe = std::thread([&pipe, &tally, &probe_stop] {
+      std::uint64_t n = 0;
+      while (!probe_stop.load(std::memory_order_relaxed)) {
+        const double u = 0.05 + 0.9 * static_cast<double>(n % 97) / 96.0;
+        ++n;
+        try {
+          auto future = pipe.submit({{u, 1.0 - u, u}});
+          if (!future) {
+            ++tally.shed;
+          } else if (future->get().values.size() == 1) {
+            ++tally.answered;
+          } else {
+            ++tally.wrong;
+          }
+        } catch (const std::exception&) {
+          ++tally.dropped;
+        }
+        std::this_thread::sleep_for(std::chrono::microseconds(500));
+      }
+    });
+  }
+
+  int emitted = 1;
+  while (emitted < steps || steps <= 0) {
+    if (emitted == inject_at) {
+      // Drift injection: jump the simulation clock so the dataset's front
+      // sweeps far between consecutive steps and fine-tuning from the
+      // previous weights has to chase it.
+      pipe.driver().set_stride(cfg.stride * inject_factor);
+      std::printf("injecting drift: stride -> %.2f\n",
+                  cfg.stride * inject_factor);
+    }
+    if (!pipe.step()) break;
+    ++emitted;
+    if (g_signal_stop.load()) break;
+  }
+  pipe.drain();
+  if (probe.joinable()) {
+    probe_stop.store(true);
+    probe.join();
+  }
+
+  const auto stats = pipe.stats();
+  std::printf(
+      "streamed %llu step(s): %llu trained, %llu coalesced, %llu "
+      "publish(es), %llu refinetune(s), %llu fallback(s), %llu "
+      "recover(ies)%s\n",
+      static_cast<unsigned long long>(stats.steps_ingested),
+      static_cast<unsigned long long>(stats.steps_trained),
+      static_cast<unsigned long long>(stats.steps_coalesced),
+      static_cast<unsigned long long>(stats.publishes),
+      static_cast<unsigned long long>(stats.refinetunes),
+      static_cast<unsigned long long>(stats.fallbacks),
+      static_cast<unsigned long long>(stats.recoveries),
+      stats.serving_classical ? "  [ended serving classical]" : "");
+  std::printf("registry: %llu hot swap(s), %llu superseded load(s) "
+              "discarded\n",
+              static_cast<unsigned long long>(stats.serve.total.registry.swaps),
+              static_cast<unsigned long long>(
+                  stats.serve.total.registry.superseded_loads));
+  bool probe_ok = true;
+  if (probed) {
+    probe_ok = tally.wrong == 0 && tally.dropped == 0;
+    std::printf("probe: %llu answered, %llu shed, %llu wrong, %llu dropped "
+                "-> %s\n",
+                static_cast<unsigned long long>(tally.answered),
+                static_cast<unsigned long long>(tally.shed),
+                static_cast<unsigned long long>(tally.wrong),
+                static_cast<unsigned long long>(tally.dropped),
+                probe_ok ? "ok" : "FAILED");
+  }
+  std::fflush(stdout);
+
+  if (tcp.joinable()) {
+    std::printf("stream complete; serving on --serve-port until shutdown\n");
+    std::fflush(stdout);
+    tcp.join();
+  }
+  g_live_pipeline = nullptr;
+  if (scratch_workdir) {
+    std::error_code ec;
+    std::filesystem::remove_all(cfg.workdir, ec);
+  }
+  return probe_ok ? 0 : 1;
+}
+
 int cmd_eval(const util::Cli& cli) {
   auto truth = read_vti_retry(cli, require(cli, "truth"));
   auto recon = read_vti_retry(cli, require(cli, "recon"));
@@ -746,6 +940,8 @@ constexpr struct {
     {"fallback", "fallback-method"},
     {"shard-count", "shards"},
     {"wire-format", "wire"},
+    {"finetune-epochs", "epochs-per-step"},
+    {"drift-floor-snr", "drift-floor"},
 };
 
 }  // namespace
@@ -770,6 +966,7 @@ int main(int argc, char** argv) {
     if (cmd == "reconstruct") rc = cmd_reconstruct(cli);
     if (cmd == "eval") rc = cmd_eval(cli);
     if (cmd == "serve") rc = cmd_serve(cli);
+    if (cmd == "pipeline") rc = cmd_pipeline(cli);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "vfctl %s: %s\n", cmd.c_str(), e.what());
     flush_observability(cli);
